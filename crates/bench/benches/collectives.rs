@@ -1,0 +1,68 @@
+//! Collective-operation benchmarks on the simulated cluster: the real
+//! thread-rendezvous cost of all-gather / reduce-scatter / all-reduce at
+//! several world sizes and message sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use orbit_comm::Cluster;
+
+fn bench_collectives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("collectives");
+    for &world in &[2usize, 4, 8] {
+        for &len in &[1024usize, 65536] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("all_reduce_w{world}"), len),
+                &len,
+                |b, &len| {
+                    let cluster = Cluster::frontier();
+                    b.iter(|| {
+                        cluster.run(world, |ctx| {
+                            let mut g = ctx.world_group();
+                            let mut clock = std::mem::take(&mut ctx.clock);
+                            let buf = vec![ctx.rank as f32; len];
+                            let out = g.all_reduce(&mut clock, &buf);
+                            out[0]
+                        })
+                    })
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("all_gather_w{world}"), len),
+                &len,
+                |b, &len| {
+                    let cluster = Cluster::frontier();
+                    b.iter(|| {
+                        cluster.run(world, |ctx| {
+                            let mut g = ctx.world_group();
+                            let mut clock = std::mem::take(&mut ctx.clock);
+                            let buf = vec![ctx.rank as f32; len / world];
+                            g.all_gather(&mut clock, &buf).len()
+                        })
+                    })
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("reduce_scatter_w{world}"), len),
+                &len,
+                |b, &len| {
+                    let cluster = Cluster::frontier();
+                    b.iter(|| {
+                        cluster.run(world, |ctx| {
+                            let mut g = ctx.world_group();
+                            let mut clock = std::mem::take(&mut ctx.clock);
+                            let buf = vec![1.0f32; len];
+                            g.reduce_scatter(&mut clock, &buf).len()
+                        })
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_collectives
+}
+criterion_main!(benches);

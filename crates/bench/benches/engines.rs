@@ -1,0 +1,125 @@
+//! Engine-level benchmarks: one optimizer step per parallelism strategy on
+//! the tiny test model, plus the Table I optimization ablation at
+//! executable scale (the ablation bench DESIGN.md calls out).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use orbit_comm::Cluster;
+use orbit_core::{
+    DdpEngine, FsdpEngine, HybridStopEngine, ParallelLayout, SingleDeviceEngine,
+    TensorParallelEngine, TrainOptions,
+};
+use orbit_tensor::init::Rng;
+use orbit_tensor::kernels::AdamW;
+use orbit_vit::{Batch, VitConfig};
+
+fn make_batch(cfg: &VitConfig, n: usize) -> Batch {
+    let mut rng = Rng::seed(7);
+    Batch {
+        inputs: (0..n)
+            .map(|_| {
+                (0..cfg.dims.channels)
+                    .map(|_| rng.normal_tensor(cfg.dims.img_h, cfg.dims.img_w, 1.0))
+                    .collect()
+            })
+            .collect(),
+        targets: (0..n)
+            .map(|_| {
+                (0..cfg.dims.out_channels)
+                    .map(|_| rng.normal_tensor(cfg.dims.img_h, cfg.dims.img_w, 1.0))
+                    .collect()
+            })
+            .collect(),
+    }
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let cfg = VitConfig::test_tiny();
+    let batch = make_batch(&cfg, 4);
+    let opt = AdamW::default();
+    let opts = TrainOptions::none();
+    let mut group = c.benchmark_group("train_step");
+
+    group.bench_function("single_device", |b| {
+        b.iter(|| {
+            Cluster::frontier().run(1, |ctx| {
+                let mut e = SingleDeviceEngine::new(ctx, cfg, opt, opts, 42).unwrap();
+                e.train_step(ctx, &batch).unwrap().loss
+            })
+        })
+    });
+    group.bench_function("ddp_w4", |b| {
+        b.iter(|| {
+            Cluster::frontier().run(4, |ctx| {
+                let mut e = DdpEngine::new(ctx, cfg, opt, opts, 42).unwrap();
+                e.train_step(ctx, &batch).unwrap().loss
+            })
+        })
+    });
+    group.bench_function("fsdp_w4", |b| {
+        b.iter(|| {
+            Cluster::frontier().run(4, |ctx| {
+                let mut e = FsdpEngine::new(ctx, cfg, opt, opts, 42).unwrap();
+                e.train_step(ctx, &batch).unwrap().loss
+            })
+        })
+    });
+    group.bench_function("tp_w2", |b| {
+        b.iter(|| {
+            Cluster::frontier().run(2, |ctx| {
+                let mut e = TensorParallelEngine::new(ctx, cfg, opt, opts, 42).unwrap();
+                e.train_step(ctx, &batch).unwrap().loss
+            })
+        })
+    });
+    group.bench_function("hybrid_stop_2x2", |b| {
+        b.iter(|| {
+            Cluster::frontier().run(4, |ctx| {
+                let layout = ParallelLayout::new(2, 2, 1);
+                let mut e = HybridStopEngine::new(ctx, layout, cfg, opt, opts, 42).unwrap();
+                e.train_step(ctx, &batch).unwrap().loss
+            })
+        })
+    });
+    group.finish();
+
+    // Ablation: each Table I optimization toggled on the Hybrid-STOP
+    // engine at executable scale.
+    let mut ablation = c.benchmark_group("hybrid_stop_ablation");
+    let columns: [(&str, TrainOptions); 4] = [
+        ("wrap_only", TrainOptions {
+            layer_wrapping: true,
+            ..TrainOptions::none()
+        }),
+        ("wrap_mixed", TrainOptions {
+            layer_wrapping: true,
+            mixed_precision: true,
+            ..TrainOptions::none()
+        }),
+        ("wrap_mixed_prefetch", TrainOptions {
+            layer_wrapping: true,
+            mixed_precision: true,
+            prefetch: true,
+            ..TrainOptions::none()
+        }),
+        ("all_on", TrainOptions::all_on()),
+    ];
+    for (name, col_opts) in columns {
+        ablation.bench_with_input(BenchmarkId::from_parameter(name), &col_opts, |b, &o| {
+            b.iter(|| {
+                Cluster::frontier().run(4, |ctx| {
+                    let layout = ParallelLayout::new(2, 2, 1);
+                    let mut e = HybridStopEngine::new(ctx, layout, cfg, opt, o, 42).unwrap();
+                    e.train_step(ctx, &batch).unwrap().loss
+                })
+            })
+        });
+    }
+    ablation.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_engines
+}
+criterion_main!(benches);

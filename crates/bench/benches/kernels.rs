@@ -1,0 +1,56 @@
+//! Kernel microbenchmarks: GEMM variants, layer kernels, precision modes.
+//!
+//! These measure the *host* substrate's throughput (the simulated GPUs'
+//! actual compute), which is what bounds the executable experiments'
+//! runtime — not the modeled Frontier numbers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use orbit_tensor::init::Rng;
+use orbit_tensor::kernels::{gelu, layernorm, linear, mha_forward, softmax_rows};
+use orbit_tensor::{matmul_p, Precision, Tensor};
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    for &n in &[32usize, 64, 128, 256] {
+        let mut rng = Rng::seed(1);
+        let a = rng.normal_tensor(n, n, 1.0);
+        let b = rng.normal_tensor(n, n, 1.0);
+        group.bench_with_input(BenchmarkId::new("f32", n), &n, |bch, _| {
+            bch.iter(|| matmul_p(&a, &b, Precision::F32))
+        });
+        group.bench_with_input(BenchmarkId::new("bf16_mixed", n), &n, |bch, _| {
+            bch.iter(|| matmul_p(&a, &b, Precision::BF16Mixed))
+        });
+    }
+    group.finish();
+}
+
+fn bench_layer_kernels(c: &mut Criterion) {
+    let mut rng = Rng::seed(2);
+    let tokens = 128;
+    let d = 256;
+    let x = rng.normal_tensor(tokens, d, 1.0);
+    let w = rng.normal_tensor(d, d, 0.02);
+    let bias = Tensor::zeros(1, d);
+    let gamma = Tensor::full(1, d, 1.0);
+    let beta = Tensor::zeros(1, d);
+    c.bench_function("linear_128x256", |b| {
+        b.iter(|| linear(&x, &w, Some(&bias), Precision::F32))
+    });
+    c.bench_function("layernorm_128x256", |b| b.iter(|| layernorm(&x, &gamma, &beta)));
+    c.bench_function("gelu_128x256", |b| b.iter(|| gelu(&x)));
+    c.bench_function("softmax_128x256", |b| b.iter(|| softmax_rows(&x)));
+    let q = rng.normal_tensor(tokens, d, 1.0);
+    let k = rng.normal_tensor(tokens, d, 1.0);
+    let v = rng.normal_tensor(tokens, d, 1.0);
+    c.bench_function("mha_8head_128tok", |b| {
+        b.iter(|| mha_forward(&q, &k, &v, 8, None))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_matmul, bench_layer_kernels
+}
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! `repro` — regenerate every table and figure of the ORBIT paper.
+//!
+//! Usage:
+//! ```text
+//! repro <experiment> [--quick]
+//! repro all [--quick]
+//! ```
+//! Experiments: table1, fig5, fig6, fig7, fig8, fig9, fig10.
+//! `--quick` trims the executable experiments to smoke-test size.
+
+use orbit_bench::experiments::{fig10, fig5, fig6, fig7, fig8, fig9, qk_ablation, table1};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let which: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
+    let which = if which.is_empty() || which.contains(&"all") {
+        vec!["table1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "qk_ablation"]
+    } else {
+        which
+    };
+    for exp in which {
+        let start = std::time::Instant::now();
+        match exp {
+            "table1" => drop(table1::run(quick)),
+            "fig5" => drop(fig5::run(quick)),
+            "fig6" => drop(fig6::run(quick)),
+            "fig7" => drop(fig7::run(quick)),
+            "fig8" => drop(fig8::run(quick)),
+            "fig9" => drop(fig9::run(quick)),
+            "fig10" => drop(fig10::run(quick)),
+            "qk_ablation" => drop(qk_ablation::run(quick)),
+            other => {
+                eprintln!("unknown experiment: {other}");
+                eprintln!("known: table1 fig5 fig6 fig7 fig8 fig9 fig10 qk_ablation all");
+                std::process::exit(2);
+            }
+        }
+        println!("[{exp}] done in {:.1}s", start.elapsed().as_secs_f64());
+    }
+}

@@ -1,0 +1,209 @@
+//! Shared training loops for the executable experiments (Figs. 8-10).
+//!
+//! All executable experiments run the *single-device reference* engine at
+//! laptop scale — the distributed engines are proven equivalent to it by
+//! the orbit-core test suite, so training curves transfer.
+
+use orbit_data::generator::ERA5_SOURCE;
+use orbit_data::loader::laptop_loader;
+use orbit_data::metrics::wacc;
+use orbit_data::DataLoader;
+use orbit_tensor::init::Rng;
+use orbit_tensor::kernels::{AdamState, AdamW};
+use orbit_tensor::Tensor;
+use orbit_vit::loss::lat_weights;
+use orbit_vit::{VitConfig, VitModel};
+
+/// 6-hour steps per forecast day.
+pub const STEPS_PER_DAY: usize = 4;
+
+/// A (samples_seen, loss) curve.
+pub type Curve = Vec<(usize, f32)>;
+
+/// Standard laptop loader for all executable experiments.
+pub fn loader() -> DataLoader {
+    laptop_loader(2024)
+}
+
+/// Default optimizer for the scaled experiments.
+pub fn opt() -> AdamW {
+    AdamW {
+        lr: 1e-3,
+        ..AdamW::default()
+    }
+}
+
+/// Pre-train `model` on the synthetic CMIP6 archive (first `n_sources`
+/// sources), returning the loss curve.
+pub fn pretrain(
+    model: &mut VitModel,
+    loader: &DataLoader,
+    n_samples: usize,
+    batch: usize,
+    n_sources: usize,
+    seed: u64,
+) -> Curve {
+    let w = lat_weights(model.cfg.dims.img_h);
+    let o = opt();
+    let mut state = model.init_adam_state();
+    let mut rng = Rng::seed(seed);
+    let mut curve = Vec::new();
+    let mut seen = 0;
+    while seen < n_samples {
+        let b = loader.pretrain_batch_sources(&mut rng, batch, n_sources);
+        let loss = model.train_step(&b, &w, &o, &mut state);
+        seen += batch;
+        curve.push((seen, loss));
+    }
+    curve
+}
+
+/// Fine-tune `model` on the ERA5-like reanalysis at the loader's lead.
+pub fn finetune(
+    model: &mut VitModel,
+    loader: &DataLoader,
+    n_samples: usize,
+    batch: usize,
+    seed: u64,
+) -> Curve {
+    let w = lat_weights(model.cfg.dims.img_h);
+    let o = opt();
+    let mut state = model.init_adam_state();
+    let mut rng = Rng::seed(seed);
+    let mut curve = Vec::new();
+    let mut seen = 0;
+    while seen < n_samples {
+        let b = loader.finetune_batch(&mut rng, batch);
+        let loss = model.train_step(&b, &w, &o, &mut state);
+        seen += batch;
+        curve.push((seen, loss));
+    }
+    curve
+}
+
+/// Fine-tune a full-state (autoregressive) model: targets are all input
+/// channels at `t + lead`.
+pub fn finetune_full_state(
+    model: &mut VitModel,
+    loader: &DataLoader,
+    n_samples: usize,
+    batch: usize,
+    seed: u64,
+) -> Curve {
+    assert_eq!(
+        model.cfg.dims.out_channels, model.cfg.dims.channels,
+        "full-state model must predict every input channel"
+    );
+    let w = lat_weights(model.cfg.dims.img_h);
+    let o = opt();
+    let mut state = model.init_adam_state();
+    let mut rng = Rng::seed(seed);
+    let mut curve = Vec::new();
+    let mut seen = 0;
+    while seen < n_samples {
+        let b = loader.finetune_batch_full_state(&mut rng, batch);
+        let loss = model.train_step(&b, &w, &o, &mut state);
+        seen += batch;
+        curve.push((seen, loss));
+    }
+    curve
+}
+
+/// Mean wACC per output variable of a direct-prediction model on the test
+/// year at the loader's lead.
+pub fn eval_wacc(model: &VitModel, loader: &DataLoader, n_eval: usize) -> [f32; 4] {
+    let batch = loader.eval_batch(n_eval);
+    let clims = loader.output_climatologies();
+    let w = lat_weights(model.cfg.dims.img_h);
+    let mut acc = [0.0f32; 4];
+    for (images, targets) in batch.inputs.iter().zip(&batch.targets) {
+        let preds = model.predict(images);
+        for v in 0..4 {
+            acc[v] += wacc(&preds[v], &targets[v], &clims[v], &w) / n_eval as f32;
+        }
+    }
+    acc
+}
+
+/// Mean wACC of an autoregressive model rolled out `k` times (total lead
+/// `k * loader.lead_steps`), evaluated on the four output variables.
+pub fn eval_wacc_rollout(
+    model: &VitModel,
+    base_loader: &DataLoader,
+    k: usize,
+    n_eval: usize,
+) -> [f32; 4] {
+    assert_eq!(model.cfg.dims.out_channels, model.cfg.dims.channels);
+    let long = base_loader.clone().with_lead(base_loader.lead_steps * k);
+    let batch = long.eval_batch(n_eval);
+    let clims = long.output_climatologies();
+    let out_idx = long.generator.catalog().output_indices();
+    let w = lat_weights(model.cfg.dims.img_h);
+    let mut acc = [0.0f32; 4];
+    for (images, targets) in batch.inputs.iter().zip(&batch.targets) {
+        let mut state: Vec<Tensor> = images.clone();
+        for _ in 0..k {
+            state = model.predict(&state);
+        }
+        for v in 0..4 {
+            acc[v] += wacc(&state[out_idx[v]], &targets[v], &clims[v], &w) / n_eval as f32;
+        }
+    }
+    acc
+}
+
+/// Mean wACC of the IFS-like NWP proxy at `lead` steps.
+pub fn eval_wacc_nwp(loader: &DataLoader, lead: usize, speed_error: f32, n_eval: usize) -> [f32; 4] {
+    let l = loader.clone().with_lead(lead);
+    let clims = l.output_climatologies();
+    let out_idx = l.generator.catalog().output_indices();
+    let w = lat_weights(l.generator.h);
+    let batch = l.eval_batch(n_eval);
+    let span = orbit_data::generator::STEPS_PER_YEAR - lead;
+    let mut acc = [0.0f32; 4];
+    for (k, targets) in batch.targets.iter().enumerate() {
+        let t = l.test_year * orbit_data::generator::STEPS_PER_YEAR + k * span / n_eval;
+        for v in 0..4 {
+            let fc = l.generator.nwp_forecast(out_idx[v], t, lead, speed_error);
+            acc[v] += wacc(&fc, &targets[v], &clims[v], &w) / n_eval as f32;
+        }
+    }
+    acc
+}
+
+/// Mean wACC of damped persistence at `lead` steps.
+pub fn eval_wacc_persistence(loader: &DataLoader, lead: usize, n_eval: usize) -> [f32; 4] {
+    let l = loader.clone().with_lead(lead);
+    let clims = l.output_climatologies();
+    let out_idx = l.generator.catalog().output_indices();
+    let w = lat_weights(l.generator.h);
+    let batch = l.eval_batch(n_eval);
+    let mut acc = [0.0f32; 4];
+    for (images, targets) in batch.inputs.iter().zip(&batch.targets) {
+        for v in 0..4 {
+            let fc = orbit_vit::baselines::damped_persistence(&images[out_idx[v]], &clims[v], lead, 0.99);
+            acc[v] += wacc(&fc, &targets[v], &clims[v], &w) / n_eval as f32;
+        }
+    }
+    acc
+}
+
+/// The ORBIT-style config at ladder rung `rung` (direct 4-variable head).
+pub fn orbit_cfg(rung: usize) -> VitConfig {
+    VitConfig::ladder(rung, 8)
+}
+
+/// The mean of a 4-variable wACC array.
+pub fn mean4(a: [f32; 4]) -> f32 {
+    a.iter().sum::<f32>() / 4.0
+}
+
+/// Validate eval against the ERA5 source being present (sanity helper).
+pub fn era5_source() -> usize {
+    ERA5_SOURCE
+}
+
+/// Fresh Adam state helper for external training loops.
+pub fn adam_state_for(model: &mut VitModel) -> AdamState {
+    model.init_adam_state()
+}

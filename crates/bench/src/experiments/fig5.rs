@@ -1,0 +1,94 @@
+//! Fig. 5: maximal model size each parallelism scales to, 1-512 GPUs.
+//!
+//! Paper endpoints at 512 GPUs: FSDP 20 B, tensor parallelism 73 B,
+//! Hybrid-STOP 143 B (batch 2, 48 channels).
+
+use crate::report::{fmt_params, print_table, write_json};
+use orbit_frontier::{PerfModel, Strategy, TrainOptions};
+use serde_json::json;
+
+/// Per-strategy option sets (see DESIGN.md): vanilla FSDP has no layer
+/// wrapping (that is what makes it vanilla); Megatron TP runs without full
+/// activation checkpointing; Hybrid-STOP uses all optimizations.
+pub fn strategy_opts(strategy: Strategy) -> TrainOptions {
+    match strategy {
+        Strategy::Fsdp => TrainOptions {
+            layer_wrapping: false,
+            ..TrainOptions::all_on()
+        },
+        Strategy::TensorParallel => TrainOptions {
+            activation_checkpointing: false,
+            ..TrainOptions::all_on()
+        },
+        _ => TrainOptions::all_on(),
+    }
+}
+
+pub fn run(_quick: bool) -> serde_json::Value {
+    let model = PerfModel::default();
+    let gpu_counts = [1usize, 2, 4, 8, 16, 32, 64, 128, 256, 512];
+    let strategies = [
+        ("FSDP", Strategy::Fsdp),
+        ("TensorParallel", Strategy::TensorParallel),
+        ("Hybrid-STOP", Strategy::HybridStop),
+    ];
+    let mut rows = Vec::new();
+    let mut artifacts = Vec::new();
+    for &gpus in &gpu_counts {
+        let mut row = vec![gpus.to_string()];
+        let mut entry = json!({ "gpus": gpus });
+        for (name, strategy) in strategies {
+            let opts = strategy_opts(strategy);
+            let (_, p) = model.max_model(strategy, gpus, &opts, 2, 48);
+            row.push(fmt_params(p));
+            entry[name] = json!(p);
+        }
+        rows.push(row);
+        artifacts.push(entry);
+    }
+    print_table(
+        "Fig. 5: max model size vs GPUs (paper @512: FSDP 20B, TP 73B, Hybrid-STOP 143B)",
+        &["gpus", "FSDP", "TP", "Hybrid-STOP"],
+        &rows,
+    );
+    let v = json!({
+        "experiment": "fig5",
+        "paper_at_512": { "FSDP": 20e9, "TensorParallel": 73e9, "Hybrid-STOP": 143e9 },
+        "rows": artifacts,
+    });
+    write_json("fig5", &v);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoints_within_range_of_paper() {
+        let model = PerfModel::default();
+        let cases = [
+            (Strategy::Fsdp, 20e9),
+            (Strategy::TensorParallel, 73e9),
+            (Strategy::HybridStop, 143e9),
+        ];
+        for (strategy, paper) in cases {
+            let opts = strategy_opts(strategy);
+            let (_, p) = model.max_model(strategy, 512, &opts, 2, 48);
+            let ratio = p as f64 / paper;
+            assert!((0.6..1.6).contains(&ratio), "{strategy:?}: {p} vs {paper} ({ratio:.2})");
+        }
+    }
+
+    #[test]
+    fn max_size_is_monotone_in_gpus_for_hybrid_stop() {
+        let model = PerfModel::default();
+        let opts = strategy_opts(Strategy::HybridStop);
+        let mut prev = 0;
+        for gpus in [1usize, 8, 64, 512] {
+            let (_, p) = model.max_model(Strategy::HybridStop, gpus, &opts, 2, 48);
+            assert!(p >= prev, "gpus={gpus}");
+            prev = p;
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Fig. 6: walltime and per-GPU memory at 512 GPUs for the 113 B model
+//! under different (FSDP x tensor) group-size splits, DDP = 1, batch 3.
+//!
+//! Paper: fastest at FSDP=64/TP=8 (0.33 s/observation), ~25x slower at
+//! FSDP=2/TP=256; pure FSDP and pure TP run out of memory; memory rises
+//! mildly as FSDP grows / TP shrinks.
+
+use crate::report::{fmt_secs, print_table, write_json};
+use orbit_frontier::{ModelDims, ParallelLayout, PerfModel, Strategy, TrainOptions};
+use serde_json::json;
+
+/// The (fsdp, tp) splits of 512 GPUs swept in the figure.
+pub fn splits() -> Vec<(usize, usize)> {
+    vec![
+        (1, 512),
+        (2, 256),
+        (4, 128),
+        (8, 64),
+        (16, 32),
+        (32, 16),
+        (64, 8),
+        (128, 4),
+        (256, 2),
+        (512, 1),
+    ]
+}
+
+pub fn run(_quick: bool) -> serde_json::Value {
+    let model = PerfModel::default();
+    let dims = ModelDims::orbit_113b(48);
+    let opts = TrainOptions::all_on();
+    let batch = 3;
+    let mut rows = Vec::new();
+    let mut artifacts = Vec::new();
+    let mut best: Option<(usize, usize, f64)> = None;
+    for (fsdp, tp) in splits() {
+        let layout = ParallelLayout::new(tp, fsdp, 1);
+        // The pure ends degenerate to the single parallelisms the paper
+        // says ran out of memory: tp=1 is plain (vanilla, full-gather)
+        // FSDP, fsdp=1 is plain Megatron TP (head-limited).
+        let (strategy, col_opts) = if tp == 1 {
+            (
+                Strategy::Fsdp,
+                TrainOptions {
+                    layer_wrapping: false,
+                    ..opts
+                },
+            )
+        } else if fsdp == 1 {
+            (Strategy::TensorParallel, opts)
+        } else {
+            (Strategy::HybridStop, opts)
+        };
+        let fits = model.fits(&dims, &layout, strategy, &col_opts, batch);
+        let mem = model.memory(&dims, &layout, strategy, &col_opts, batch);
+        let t = if fits {
+            model.time_per_obs(&dims, &layout, strategy, &col_opts, batch)
+        } else {
+            f64::INFINITY
+        };
+        if t.is_finite() && best.map(|(_, _, bt)| t < bt).unwrap_or(true) {
+            best = Some((fsdp, tp, t));
+        }
+        rows.push(vec![
+            format!("{fsdp}/{tp}"),
+            fmt_secs(t),
+            format!("{:.1}", mem.total() as f64 / 1e9),
+        ]);
+        artifacts.push(json!({
+            "fsdp": fsdp,
+            "tp": tp,
+            "walltime_s": if fits { Some(t) } else { None },
+            "oom": !fits,
+            "memory_gb": mem.total() as f64 / 1e9,
+        }));
+    }
+    print_table(
+        "Fig. 6: 113B @ 512 GPUs, walltime & memory vs FSDP/TP split (paper best: 64/8 @ 0.33s)",
+        &["fsdp/tp", "s per obs", "mem GB"],
+        &rows,
+    );
+    if let Some((f, t, s)) = best {
+        println!("fastest split: fsdp={f} tp={t} at {}", fmt_secs(s));
+    }
+    let v = json!({
+        "experiment": "fig6",
+        "paper_best": { "fsdp": 64, "tp": 8, "walltime_s": 0.33, "slowest_ratio": 25.0 },
+        "rows": artifacts,
+    });
+    write_json("fig6", &v);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_multiply_to_512() {
+        for (fsdp, tp) in splits() {
+            assert_eq!(fsdp * tp, 512);
+        }
+    }
+
+    #[test]
+    fn bowl_shape_with_oom_ends() {
+        let v = run(true);
+        let rows = v["rows"].as_array().unwrap();
+        // Pure ends OOM.
+        assert_eq!(rows.first().unwrap()["oom"], true);
+        assert_eq!(rows.last().unwrap()["oom"], true);
+        // The fastest interior split uses a node-sized-or-smaller TP group.
+        let best = rows
+            .iter()
+            .filter(|r| r["walltime_s"].is_f64())
+            .min_by(|a, b| {
+                a["walltime_s"]
+                    .as_f64()
+                    .partial_cmp(&b["walltime_s"].as_f64())
+                    .unwrap()
+            })
+            .unwrap();
+        assert!(best["tp"].as_u64().unwrap() <= 8, "best split {best}");
+    }
+}

@@ -1,0 +1,124 @@
+//! Fig. 7: strong scaling 512 -> 49,152 GPUs for the four model sizes at
+//! 48 and 91 input channels: walltime per observation (T) and efficiency
+//! relative to 512 GPUs (E), plus sustained FLOPS.
+//!
+//! Paper: efficiencies 44-82 % (48 ch) and 41-85 % (91 ch) at 49,152
+//! GPUs; T(113 B, 48 ch) = 3e-3 s at 684 PFLOPS sustained;
+//! T(10 B, 48 ch) = 1e-4 s at 1.6 EFLOPS.
+
+use crate::report::{fmt_secs, print_table, write_json};
+use orbit_frontier::{ModelDims, ParallelLayout, PerfModel, Strategy, TrainOptions};
+use serde_json::json;
+
+/// Model-shard layout per model size, mirroring the paper's hierarchical
+/// configuration: a tensor-parallel group fills a node (tp = 8) and the
+/// FSDP width grows with model size (1 for 115 M up to 64 for 113 B, i.e.
+/// 512 model shards for the largest model as in Fig. 6's best split).
+pub fn layout_for(dims: &ModelDims, gpus: usize, model: &PerfModel) -> Option<ParallelLayout> {
+    let opts = TrainOptions::all_on();
+    let p = dims.param_count();
+    let fsdp = if p > 50_000_000_000 {
+        64
+    } else if p > 5_000_000_000 {
+        8
+    } else if p > 500_000_000 {
+        2
+    } else {
+        1
+    };
+    let tp = 8;
+    let shards = tp * fsdp;
+    if gpus % shards != 0 || gpus < shards {
+        return None;
+    }
+    let layout = ParallelLayout::new(tp, fsdp, gpus / shards);
+    model
+        .fits(dims, &layout, Strategy::HybridStop, &opts, 1)
+        .then_some(layout)
+}
+
+pub fn run(_quick: bool) -> serde_json::Value {
+    let model = PerfModel::default();
+    let opts = TrainOptions::all_on();
+    let global_batch = 2880usize;
+    let gpu_counts = [512usize, 1024, 2048, 4096, 8192, 16384, 24576, 49152];
+    let sizes: [(&str, fn(usize) -> ModelDims); 4] = [
+        ("115M", ModelDims::orbit_115m),
+        ("1B", ModelDims::orbit_1b),
+        ("10B", ModelDims::orbit_10b),
+        ("113B", ModelDims::orbit_113b),
+    ];
+    let mut artifacts = Vec::new();
+    for channels in [48usize, 91] {
+        let mut rows = Vec::new();
+        for (name, dims_fn) in sizes {
+            let dims = dims_fn(channels);
+            let base_layout = match layout_for(&dims, 512, &model) {
+                Some(l) => l,
+                None => continue,
+            };
+            for &gpus in &gpu_counts {
+                // Keep the shard shape fixed (strong scaling adds replicas).
+                let shards = base_layout.model_shards();
+                let ddp = gpus / shards;
+                if ddp == 0 || shards * ddp != gpus {
+                    continue;
+                }
+                let layout = ParallelLayout::new(base_layout.tp, base_layout.fsdp, ddp);
+                let t = model.time_per_obs_at_global_batch(
+                    &dims,
+                    &layout,
+                    Strategy::HybridStop,
+                    &opts,
+                    global_batch,
+                );
+                let eff = model.scaling_efficiency(
+                    &dims,
+                    &ParallelLayout::new(base_layout.tp, base_layout.fsdp, 512 / shards.max(1)),
+                    &layout,
+                    Strategy::HybridStop,
+                    &opts,
+                    global_batch,
+                );
+                let pflops = model.flops_per_obs(&dims, &opts) / t / 1e15;
+                rows.push(vec![
+                    name.to_string(),
+                    gpus.to_string(),
+                    fmt_secs(t),
+                    format!("{:.0}%", eff * 100.0),
+                    format!("{pflops:.0}"),
+                ]);
+                artifacts.push(json!({
+                    "channels": channels,
+                    "model": name,
+                    "gpus": gpus,
+                    "walltime_per_obs_s": t,
+                    "efficiency": eff,
+                    "sustained_pflops": pflops,
+                }));
+            }
+        }
+        print_table(
+            &format!(
+                "Fig. 7: strong scaling, {channels} channels (paper @49k: eff {} ; T(113B)=3e-3s/684PF, T(10B)=1e-4s/1.6EF for 48ch)",
+                if channels == 48 { "44-82%" } else { "41-85%" }
+            ),
+            &["model", "gpus", "T s/obs", "E", "PFLOPS"],
+            &rows,
+        );
+    }
+    let v = json!({
+        "experiment": "fig7",
+        "paper": {
+            "eff_range_48ch": [0.44, 0.82],
+            "eff_range_91ch": [0.41, 0.85],
+            "t_113b_48ch_49k": 3e-3,
+            "t_10b_48ch_49k": 1e-4,
+            "pflops_113b": 684.0,
+            "pflops_10b": 1600.0,
+        },
+        "rows": artifacts,
+    });
+    write_json("fig7", &v);
+    v
+}

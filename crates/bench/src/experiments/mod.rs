@@ -1,0 +1,13 @@
+//! One module per paper table/figure. Each exposes
+//! `run(quick: bool) -> serde_json::Value`: prints the comparison table
+//! and returns the JSON artifact.
+
+pub mod common;
+pub mod fig10;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod qk_ablation;
+pub mod table1;

@@ -1,0 +1,112 @@
+//! Table I: 113 B model walltime per observation on 512 GPUs under the
+//! four optimization toggles (layer wrapping, mixed precision,
+//! prefetching, activation checkpointing).
+//!
+//! Paper values: OOM / 0.97 s / 0.49 s / 0.40 s / 0.17 s.
+
+use crate::report::{fmt_secs, print_table, write_json};
+use orbit_frontier::{ModelDims, ParallelLayout, PerfModel, Strategy, TrainOptions};
+use serde_json::json;
+
+/// The five Table I columns, in paper order.
+pub fn columns() -> Vec<(&'static str, TrainOptions)> {
+    let col = |wrap, mixed, prefetch, ckpt| TrainOptions {
+        layer_wrapping: wrap,
+        mixed_precision: mixed,
+        prefetch,
+        activation_checkpointing: ckpt,
+    };
+    vec![
+        ("none", col(false, false, false, false)),
+        ("+wrap", col(true, false, false, false)),
+        ("+mixed", col(true, true, false, false)),
+        ("+prefetch", col(true, true, true, false)),
+        ("+ckpt (all)", col(true, true, true, true)),
+    ]
+}
+
+/// Modeled walltime per observation for one column (infinity = OOM).
+pub fn modeled_walltime(model: &PerfModel, opts: &TrainOptions) -> f64 {
+    let dims = ModelDims::orbit_113b(48);
+    let layout = ParallelLayout::new(8, 64, 1);
+    let batch = 2;
+    if !model.fits(&dims, &layout, Strategy::HybridStop, opts, batch) {
+        return f64::INFINITY;
+    }
+    model.time_per_obs(&dims, &layout, Strategy::HybridStop, opts, batch)
+}
+
+pub fn run(_quick: bool) -> serde_json::Value {
+    let model = PerfModel::default();
+    let paper = [f64::INFINITY, 0.97, 0.49, 0.40, 0.17];
+    let mut rows = Vec::new();
+    let mut artifacts = Vec::new();
+    for ((name, opts), paper_t) in columns().into_iter().zip(paper) {
+        let t = modeled_walltime(&model, &opts);
+        rows.push(vec![
+            name.to_string(),
+            fmt_secs(paper_t),
+            fmt_secs(t),
+            if t.is_finite() && paper_t.is_finite() {
+                format!("{:.2}x", t / paper_t)
+            } else if t.is_finite() == paper_t.is_finite() {
+                "match".to_string()
+            } else {
+                "MISMATCH".to_string()
+            },
+        ]);
+        artifacts.push(json!({
+            "column": name,
+            "paper_walltime_s": if paper_t.is_finite() { Some(paper_t) } else { None },
+            "modeled_walltime_s": if t.is_finite() { Some(t) } else { None },
+            "oom": !t.is_finite(),
+        }));
+    }
+    print_table(
+        "Table I: 113B walltime/observation, 512 GPUs (paper vs modeled)",
+        &["optimizations", "paper", "modeled", "ratio"],
+        &rows,
+    );
+    let v = json!({ "experiment": "table1", "rows": artifacts });
+    write_json("table1", &v);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_columns_in_paper_order() {
+        let cols = columns();
+        assert_eq!(cols.len(), 5);
+        assert_eq!(cols[0].1, TrainOptions::none());
+        assert_eq!(cols[4].1, TrainOptions::all_on());
+    }
+
+    #[test]
+    fn each_optimization_strictly_helps() {
+        let model = PerfModel::default();
+        let times: Vec<f64> = columns()
+            .iter()
+            .map(|(_, o)| modeled_walltime(&model, o))
+            .collect();
+        assert!(times[0].is_infinite(), "no optimizations => OOM");
+        for w in times[1..].windows(2) {
+            assert!(w[1] < w[0], "each added optimization must reduce walltime: {w:?}");
+        }
+    }
+
+    #[test]
+    fn modeled_column_values_within_2x_of_paper() {
+        let model = PerfModel::default();
+        let paper = [0.97, 0.49, 0.40, 0.17];
+        for ((_, opts), p) in columns().into_iter().skip(1).zip(paper) {
+            let t = modeled_walltime(&model, &opts);
+            assert!(
+                (0.5..2.0).contains(&(t / p)),
+                "modeled {t} vs paper {p}"
+            );
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! # orbit-bench
+//!
+//! The benchmark harness regenerating every table and figure of the ORBIT
+//! paper's evaluation (Sec. V). Run via the `repro` binary:
+//!
+//! ```text
+//! cargo run --release -p orbit-bench --bin repro -- all
+//! cargo run --release -p orbit-bench --bin repro -- fig7
+//! cargo run --release -p orbit-bench --bin repro -- fig9 --quick
+//! ```
+//!
+//! Each experiment prints the paper's rows next to our measured/modeled
+//! values and writes a JSON artifact under `results/`. Experiments based
+//! on the analytic Frontier model (Table I, Figs. 5-7) are exact and
+//! instant; the executable experiments (Figs. 8-10) train scaled-down
+//! models on the synthetic climate archive and take minutes.
+
+pub mod experiments;
+pub mod report;

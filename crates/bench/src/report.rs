@@ -1,0 +1,89 @@
+//! Result reporting: aligned console tables + JSON artifacts.
+
+use serde_json::Value;
+use std::fs;
+use std::path::Path;
+
+/// Print a titled table with aligned columns.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!(
+        "{}",
+        fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    );
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Write a JSON artifact under `results/` (created on demand).
+pub fn write_json(name: &str, value: &Value) {
+    let dir = Path::new("results");
+    if fs::create_dir_all(dir).is_ok() {
+        let path = dir.join(format!("{name}.json"));
+        if let Ok(s) = serde_json::to_string_pretty(value) {
+            if fs::write(&path, s).is_ok() {
+                println!("[artifact] wrote {}", path.display());
+            }
+        }
+    }
+}
+
+/// Human-readable parameter count (e.g. `113.1B`).
+pub fn fmt_params(p: u64) -> String {
+    let pf = p as f64;
+    if pf >= 1e9 {
+        format!("{:.1}B", pf / 1e9)
+    } else if pf >= 1e6 {
+        format!("{:.1}M", pf / 1e6)
+    } else {
+        format!("{:.1}K", pf / 1e3)
+    }
+}
+
+/// Human-readable seconds with scientific form for small values.
+pub fn fmt_secs(t: f64) -> String {
+    if t == f64::INFINITY {
+        "OOM".to_string()
+    } else if t < 0.01 {
+        format!("{t:.1e}")
+    } else {
+        format!("{t:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn param_formatting() {
+        assert_eq!(fmt_params(113_000_000_000), "113.0B");
+        assert_eq!(fmt_params(115_000_000), "115.0M");
+        assert_eq!(fmt_params(5_000), "5.0K");
+    }
+
+    #[test]
+    fn secs_formatting() {
+        assert_eq!(fmt_secs(0.17), "0.170");
+        assert_eq!(fmt_secs(3e-3), "3.0e-3");
+        assert_eq!(fmt_secs(f64::INFINITY), "OOM");
+    }
+}

@@ -1,0 +1,188 @@
+//! Per-rank simulated time.
+//!
+//! The simulator separates *what happens* (real tensor math on threads)
+//! from *how long it would take on Frontier* (this clock). Compute ops
+//! advance a rank's clock by `FLOPs / sustained-throughput`; collectives
+//! synchronize the clocks of all participants to
+//! `max(participant clocks) + modeled collective time`.
+
+use orbit_frontier::machine::FrontierMachine;
+
+/// A rank's simulated wall clock, in seconds.
+#[derive(Debug, Clone)]
+pub struct SimClock {
+    now: f64,
+    /// Cumulative modeled compute seconds (for utilization reporting).
+    compute_time: f64,
+    /// Cumulative modeled communication seconds.
+    comm_time: f64,
+    /// Cumulative FLOPs charged.
+    flops: f64,
+    /// Pending prefetched communication time that will be overlapped with
+    /// upcoming compute (paper Sec. III-B, "Prefetching").
+    prefetched: f64,
+}
+
+impl Default for SimClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SimClock {
+    pub fn new() -> Self {
+        SimClock {
+            now: 0.0,
+            compute_time: 0.0,
+            comm_time: 0.0,
+            flops: 0.0,
+            prefetched: 0.0,
+        }
+    }
+
+    /// Current simulated time (seconds).
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Total modeled compute seconds so far.
+    pub fn compute_seconds(&self) -> f64 {
+        self.compute_time
+    }
+
+    /// Total modeled communication seconds so far.
+    pub fn comm_seconds(&self) -> f64 {
+        self.comm_time
+    }
+
+    /// Total FLOPs charged so far.
+    pub fn flops(&self) -> f64 {
+        self.flops
+    }
+
+    /// Charge a compute phase of `flops` at `sustained_flops` throughput.
+    /// Any pending prefetched communication is overlapped: it consumes the
+    /// compute window first and only its excess (if longer than the
+    /// compute) delays the clock.
+    pub fn charge_compute(&mut self, flops: f64, sustained_flops: f64) {
+        assert!(sustained_flops > 0.0, "throughput must be positive");
+        let t = flops / sustained_flops;
+        self.flops += flops;
+        self.compute_time += t;
+        if self.prefetched > 0.0 {
+            let overlap = self.prefetched.min(t);
+            self.prefetched -= overlap;
+            // Overlapped comm costs nothing extra; leftover prefetch spills
+            // into the clock when the window was too small.
+            if self.prefetched > 0.0 && t >= 0.0 {
+                // Remaining prefetch keeps pending; it will overlap with the
+                // next compute window or be flushed by `flush_prefetch`.
+            }
+        }
+        self.now += t;
+    }
+
+    /// Charge fully-exposed communication time.
+    pub fn charge_comm(&mut self, seconds: f64) {
+        assert!(seconds >= 0.0);
+        self.comm_time += seconds;
+        self.now += seconds;
+    }
+
+    /// Queue communication time to be hidden under future compute
+    /// (asynchronous prefetch). Time not consumed by compute before
+    /// [`Self::flush_prefetch`] becomes exposed there.
+    pub fn charge_prefetched_comm(&mut self, seconds: f64) {
+        assert!(seconds >= 0.0);
+        self.comm_time += seconds;
+        self.prefetched += seconds;
+    }
+
+    /// Expose any prefetched communication that never found a compute
+    /// window (e.g. end of step). Returns the exposed seconds.
+    pub fn flush_prefetch(&mut self) -> f64 {
+        let exposed = self.prefetched;
+        self.prefetched = 0.0;
+        self.now += exposed;
+        exposed
+    }
+
+    /// Jump this clock forward to `t` if `t` is later (collective sync).
+    pub fn sync_to(&mut self, t: f64) {
+        if t > self.now {
+            self.now = t;
+        }
+    }
+
+    /// Sustained throughput for the given precision on a machine, without
+    /// memory-pressure adjustments (the simulator tracks memory exactly, so
+    /// pressure penalties are applied by callers who observe it).
+    pub fn sustained_flops(machine: &FrontierMachine, mixed_precision: bool, mfu: f64) -> f64 {
+        if mixed_precision {
+            machine.peak_bf16 * mfu
+        } else {
+            machine.peak_fp32 * mfu
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compute_advances_clock() {
+        let mut c = SimClock::new();
+        c.charge_compute(1e12, 1e12);
+        assert!((c.now() - 1.0).abs() < 1e-12);
+        assert_eq!(c.flops(), 1e12);
+        assert_eq!(c.compute_seconds(), 1.0);
+    }
+
+    #[test]
+    fn exposed_comm_adds_time() {
+        let mut c = SimClock::new();
+        c.charge_comm(0.5);
+        assert_eq!(c.now(), 0.5);
+        assert_eq!(c.comm_seconds(), 0.5);
+    }
+
+    #[test]
+    fn prefetch_hides_under_compute() {
+        let mut c = SimClock::new();
+        c.charge_prefetched_comm(0.3);
+        c.charge_compute(1e12, 1e12); // 1 s window
+        assert!((c.now() - 1.0).abs() < 1e-12, "0.3 s hidden under 1 s compute");
+        assert_eq!(c.flush_prefetch(), 0.0);
+    }
+
+    #[test]
+    fn prefetch_excess_is_exposed_on_flush() {
+        let mut c = SimClock::new();
+        c.charge_prefetched_comm(2.0);
+        c.charge_compute(1e12, 1e12); // hides 1 s of it
+        let exposed = c.flush_prefetch();
+        assert!((exposed - 1.0).abs() < 1e-12);
+        assert!((c.now() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sync_only_moves_forward() {
+        let mut c = SimClock::new();
+        c.charge_comm(1.0);
+        c.sync_to(0.5);
+        assert_eq!(c.now(), 1.0);
+        c.sync_to(2.0);
+        assert_eq!(c.now(), 2.0);
+    }
+
+    #[test]
+    fn throughput_modes() {
+        // With the calibrated sustained fractions (see orbit-frontier's
+        // Calibration), BF16 delivers ~2x the FP32 throughput.
+        let m = FrontierMachine::default();
+        let bf = SimClock::sustained_flops(&m, true, 0.295);
+        let fp = SimClock::sustained_flops(&m, false, 0.595);
+        assert!(bf > 1.5 * fp, "sustained bf16 should be ~2x fp32: {bf} vs {fp}");
+    }
+}

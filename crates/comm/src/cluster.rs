@@ -1,0 +1,193 @@
+//! Cluster runtime: one thread per simulated GPU.
+
+use crate::clock::SimClock;
+use crate::group::{Engine, ProcessGroup};
+use crate::memory::Device;
+use orbit_frontier::machine::FrontierMachine;
+use std::sync::Arc;
+
+/// Handle to the simulated cluster, used to launch SPMD programs.
+pub struct Cluster {
+    machine: FrontierMachine,
+    /// Device capacity override for laptop-scale experiments (`None` uses
+    /// the machine's real 64 GB, which tiny test tensors never exhaust).
+    device_capacity: Option<u64>,
+}
+
+impl Cluster {
+    /// A cluster with the given machine description.
+    pub fn new(machine: FrontierMachine) -> Self {
+        Cluster {
+            machine,
+            device_capacity: None,
+        }
+    }
+
+    /// Default Frontier cluster.
+    pub fn frontier() -> Self {
+        Cluster::new(FrontierMachine::default())
+    }
+
+    /// Override the per-device memory capacity (for OOM tests at toy scale).
+    pub fn with_device_capacity(mut self, bytes: u64) -> Self {
+        self.device_capacity = Some(bytes);
+        self
+    }
+
+    /// Run an SPMD function on `world` ranks; returns each rank's result in
+    /// rank order. The closure receives a [`RankCtx`] with the rank id, a
+    /// memory-tracked device, a simulated clock, and a group factory.
+    ///
+    /// Panics in any rank propagate (they indicate a bug in the program,
+    /// not a simulated failure; simulated failures like OOM are `Result`s).
+    pub fn run<R, F>(&self, world: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&mut RankCtx) -> R + Sync,
+    {
+        assert!(world > 0, "world must be positive");
+        let engine = Arc::new(Engine::new());
+        let machine = Arc::new(self.machine.clone());
+        let capacity = self.device_capacity.unwrap_or(self.machine.mem_per_gpu);
+        let mut out: Vec<Option<R>> = (0..world).map(|_| None).collect();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..world)
+                .map(|rank| {
+                    let engine = Arc::clone(&engine);
+                    let machine = Arc::clone(&machine);
+                    let f = &f;
+                    s.spawn(move || {
+                        let mut ctx = RankCtx {
+                            rank,
+                            world,
+                            device: Device::new(capacity),
+                            clock: SimClock::new(),
+                            engine,
+                            machine,
+                        };
+                        f(&mut ctx)
+                    })
+                })
+                .collect();
+            for (i, h) in handles.into_iter().enumerate() {
+                out[i] = Some(h.join().expect("rank thread panicked"));
+            }
+        });
+        out.into_iter().map(|o| o.unwrap()).collect()
+    }
+}
+
+/// Per-rank execution context handed to SPMD programs.
+pub struct RankCtx {
+    /// This rank's global id, `0..world`.
+    pub rank: usize,
+    /// Total number of ranks.
+    pub world: usize,
+    /// Simulated GPU memory tracker.
+    pub device: Device,
+    /// Simulated wall clock.
+    pub clock: SimClock,
+    engine: Arc<Engine>,
+    machine: Arc<FrontierMachine>,
+}
+
+impl RankCtx {
+    /// Build a communicator over `ranks` (which must include this rank).
+    /// All member ranks must call this with the identical rank list, and
+    /// each logical communicator should be created once per rank (the
+    /// operation sequence number lives in the handle).
+    pub fn group(&self, ranks: Vec<usize>) -> ProcessGroup {
+        ProcessGroup::new(&self.engine, &self.machine, ranks, self.rank)
+    }
+
+    /// Communicator over the whole world.
+    pub fn world_group(&self) -> ProcessGroup {
+        self.group((0..self.world).collect())
+    }
+
+    /// The machine this cluster simulates.
+    pub fn machine(&self) -> &FrontierMachine {
+        &self.machine
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn world_runs_and_returns_in_rank_order() {
+        let results = Cluster::frontier().run(4, |ctx| ctx.rank * 10);
+        assert_eq!(results, vec![0, 10, 20, 30]);
+    }
+
+    #[test]
+    fn world_group_all_reduce() {
+        let results = Cluster::frontier().run(4, |ctx| {
+            let mut g = ctx.world_group();
+            let mut clock = std::mem::take(&mut ctx.clock);
+            let r = g.all_reduce_scalar(&mut clock, 1.0);
+            ctx.clock = clock;
+            r
+        });
+        assert_eq!(results, vec![4.0; 4]);
+    }
+
+    #[test]
+    fn device_capacity_override_enables_toy_oom() {
+        let results = Cluster::frontier()
+            .with_device_capacity(100)
+            .run(2, |ctx| ctx.device.alloc(200).is_err());
+        assert_eq!(results, vec![true, true]);
+    }
+
+    #[test]
+    fn devices_are_independent_per_rank() {
+        let results = Cluster::frontier().run(2, |ctx| {
+            if ctx.rank == 0 {
+                let _a = ctx.device.alloc(1024).unwrap();
+                ctx.device.peak()
+            } else {
+                ctx.device.peak()
+            }
+        });
+        assert_eq!(results[0], 1024);
+        assert_eq!(results[1], 0);
+    }
+
+    #[test]
+    fn orthogonal_subgroups_compose() {
+        // 4 ranks in a 2x2 (tp x fsdp) grid: tp groups {0,1},{2,3}; fsdp
+        // groups {0,2},{1,3}. Reduce in tp then gather in fsdp.
+        let results = Cluster::frontier().run(4, |ctx| {
+            let tp_ranks = if ctx.rank < 2 { vec![0, 1] } else { vec![2, 3] };
+            let fsdp_ranks = if ctx.rank % 2 == 0 { vec![0, 2] } else { vec![1, 3] };
+            let mut tp = ctx.group(tp_ranks);
+            let mut fsdp = ctx.group(fsdp_ranks);
+            let mut clock = std::mem::take(&mut ctx.clock);
+            let summed = tp.all_reduce_scalar(&mut clock, ctx.rank as f32);
+            let gathered = fsdp.all_gather(&mut clock, &[summed]);
+            ctx.clock = clock;
+            gathered
+        });
+        // tp sums: {0,1}->1, {2,3}->5. fsdp {0,2} gathers [1,5]; {1,3} too.
+        for r in results {
+            assert_eq!(r, vec![1.0, 5.0]);
+        }
+    }
+
+    #[test]
+    fn simulated_time_reflects_message_size() {
+        let results = Cluster::frontier().run(2, |ctx| {
+            let mut g = ctx.world_group();
+            let mut clock = std::mem::take(&mut ctx.clock);
+            let big = vec![1.0f32; 1 << 22];
+            g.all_reduce(&mut clock, &big);
+            let t_big = clock.now();
+            g.all_reduce(&mut clock, &[1.0]);
+            (t_big, clock.now() - t_big)
+        });
+        let (t_big, t_small) = results[0];
+        assert!(t_big > 10.0 * t_small, "big {t_big} vs small {t_small}");
+    }
+}

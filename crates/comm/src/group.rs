@@ -1,0 +1,641 @@
+//! Process groups and collective operations.
+//!
+//! Collectives are real: data moves between rank threads through a
+//! rendezvous slot, and reductions are applied in group-rank order so the
+//! result is deterministic no matter which thread arrives last. Each
+//! collective also charges modeled time to the caller's [`SimClock`], using
+//! ring-algorithm costs on the link the group actually spans (intra-node
+//! Infinity Fabric vs inter-node Slingshot — the distinction behind the
+//! paper's Fig. 4 hierarchical placement).
+
+use crate::clock::SimClock;
+use orbit_frontier::machine::{FrontierMachine, LinkKind};
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Which collective a rendezvous slot is running (sanity-checked so all
+/// members issued the same op in the same order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OpKind {
+    AllGather,
+    ReduceScatter,
+    AllReduce,
+    Broadcast { root: usize },
+    Barrier,
+}
+
+struct OpSlot {
+    kind: OpKind,
+    contributions: Vec<Option<Vec<f32>>>,
+    clocks: Vec<f64>,
+    arrived: usize,
+    done: bool,
+    results: Vec<Option<Vec<f32>>>,
+    t_end: f64,
+    picked: usize,
+}
+
+impl OpSlot {
+    fn new(kind: OpKind, p: usize) -> Self {
+        OpSlot {
+            kind,
+            contributions: (0..p).map(|_| None).collect(),
+            clocks: vec![0.0; p],
+            arrived: 0,
+            done: false,
+            results: (0..p).map(|_| None).collect(),
+            t_end: 0.0,
+            picked: 0,
+        }
+    }
+}
+
+struct GroupShared {
+    ranks: Vec<usize>,
+    slots: Mutex<HashMap<u64, OpSlot>>,
+    cv: Condvar,
+    /// Point-to-point mailboxes keyed by (src_local, dst_local, seq):
+    /// payload plus the sender's clock at send time.
+    mailboxes: Mutex<HashMap<(usize, usize, u64), (Vec<f32>, f64)>>,
+    p2p_cv: Condvar,
+}
+
+/// The per-cluster rendezvous engine: owns one [`GroupShared`] per distinct
+/// rank set.
+pub(crate) struct Engine {
+    groups: Mutex<HashMap<Vec<usize>, Arc<GroupShared>>>,
+}
+
+impl Engine {
+    pub(crate) fn new() -> Self {
+        Engine {
+            groups: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn shared_for(&self, ranks: &[usize]) -> Arc<GroupShared> {
+        let mut groups = self.groups.lock();
+        Arc::clone(groups.entry(ranks.to_vec()).or_insert_with(|| {
+            Arc::new(GroupShared {
+                ranks: ranks.to_vec(),
+                slots: Mutex::new(HashMap::new()),
+                cv: Condvar::new(),
+                mailboxes: Mutex::new(HashMap::new()),
+                p2p_cv: Condvar::new(),
+            })
+        }))
+    }
+}
+
+/// One rank's handle to a communicator over a fixed set of global ranks.
+///
+/// All members must issue the same sequence of collective calls; reductions
+/// sum contributions in group-rank order (deterministic).
+pub struct ProcessGroup {
+    shared: Arc<GroupShared>,
+    my_idx: usize,
+    seq: u64,
+    /// Per-peer point-to-point sequence numbers (send and receive sides
+    /// count the same stream, so matching is deterministic).
+    p2p_seq: HashMap<(usize, usize), u64>,
+    link: LinkKind,
+    /// Effective per-member bandwidth for ring steps, bytes/s.
+    bandwidth: f64,
+    latency: f64,
+    /// Modeled bytes per element on the wire (4 for f32 payloads, 2 when
+    /// the training runs BF16 mixed precision and communicates bf16).
+    wire_bytes: f64,
+}
+
+impl ProcessGroup {
+    pub(crate) fn new(
+        engine: &Engine,
+        machine: &FrontierMachine,
+        ranks: Vec<usize>,
+        my_rank: usize,
+    ) -> Self {
+        assert!(!ranks.is_empty(), "empty process group");
+        let my_idx = ranks
+            .iter()
+            .position(|&r| r == my_rank)
+            .expect("calling rank must be a member of the group");
+        // Link characterization: intra-node iff all members share a node.
+        let node0 = machine.node_of(ranks[0]);
+        let intra = ranks.iter().all(|&r| machine.node_of(r) == node0);
+        let (link, bandwidth, latency) = if intra {
+            (
+                LinkKind::IntraNode,
+                machine.intra_node_bw,
+                machine.intra_node_latency,
+            )
+        } else {
+            // Each node's injection bandwidth is shared by the group
+            // members placed on it; the ring is throttled by the most
+            // crowded node. An FSDP group with one member per node (the
+            // Fig. 4 placement) gets the full node bandwidth.
+            let mut per_node: HashMap<usize, usize> = HashMap::new();
+            for &r in &ranks {
+                *per_node.entry(machine.node_of(r)).or_insert(0) += 1;
+            }
+            let crowding = per_node.values().copied().max().unwrap_or(1) as f64;
+            let node_injection = machine.inter_node_bw * machine.gpus_per_node as f64;
+            (
+                LinkKind::InterNode,
+                node_injection / crowding,
+                machine.inter_node_latency,
+            )
+        };
+        ProcessGroup {
+            shared: engine.shared_for(&ranks),
+            my_idx,
+            seq: 0,
+            p2p_seq: HashMap::new(),
+            link,
+            bandwidth,
+            latency,
+            wire_bytes: 4.0,
+        }
+    }
+
+    /// Set the modeled on-wire bytes per element (2.0 under BF16 mixed
+    /// precision). Affects only the simulated clock, not the data.
+    pub fn set_wire_bytes(&mut self, bytes: f64) {
+        assert!(bytes > 0.0);
+        self.wire_bytes = bytes;
+    }
+
+    /// Number of members.
+    pub fn size(&self) -> usize {
+        self.shared.ranks.len()
+    }
+
+    /// This rank's index within the group.
+    pub fn local_index(&self) -> usize {
+        self.my_idx
+    }
+
+    /// Global ranks of the members, in group order.
+    pub fn ranks(&self) -> &[usize] {
+        &self.shared.ranks
+    }
+
+    /// Link kind this group spans.
+    pub fn link(&self) -> LinkKind {
+        self.link
+    }
+
+    fn ring_time(&self, steps: f64, bytes_per_step: f64) -> f64 {
+        steps * (self.latency + bytes_per_step / self.bandwidth)
+    }
+
+    /// Run one rendezvous: deposit `data`, wait for all members, pick up
+    /// this rank's result. `finish` is executed exactly once by the last
+    /// arriver to compute all members' results.
+    fn exchange(
+        &mut self,
+        kind: OpKind,
+        data: Vec<f32>,
+        clock_now: f64,
+        comm_time: f64,
+        finish: impl FnOnce(&[Option<Vec<f32>>]) -> Vec<Option<Vec<f32>>>,
+    ) -> (Vec<f32>, f64) {
+        let p = self.size();
+        if p == 1 {
+            let out = finish(&[Some(data)]).swap_remove(0).unwrap_or_default();
+            self.seq += 1;
+            return (out, clock_now);
+        }
+        let seq = self.seq;
+        self.seq += 1;
+        let mut slots = self.shared.slots.lock();
+        let slot = slots.entry(seq).or_insert_with(|| OpSlot::new(kind, p));
+        assert_eq!(slot.kind, kind, "collective op mismatch at seq {seq}");
+        assert!(
+            slot.contributions[self.my_idx].is_none(),
+            "double contribution at seq {seq}"
+        );
+        slot.contributions[self.my_idx] = Some(data);
+        slot.clocks[self.my_idx] = clock_now;
+        slot.arrived += 1;
+        if slot.arrived == p {
+            let results = finish(&slot.contributions);
+            let t_start = slot.clocks.iter().cloned().fold(0.0, f64::max);
+            slot.t_end = t_start + comm_time;
+            slot.results = results;
+            slot.done = true;
+            slot.contributions.iter_mut().for_each(|c| *c = None);
+            self.shared.cv.notify_all();
+        } else {
+            while !slots.get(&seq).map(|s| s.done).unwrap_or(false) {
+                self.shared.cv.wait(&mut slots);
+            }
+        }
+        let slot = slots.get_mut(&seq).expect("slot present until all pick up");
+        let out = slot.results[self.my_idx].take().unwrap_or_default();
+        let t_end = slot.t_end;
+        slot.picked += 1;
+        if slot.picked == p {
+            slots.remove(&seq);
+        }
+        (out, t_end)
+    }
+
+    /// All-gather: every member contributes `shard`; everyone receives the
+    /// concatenation in group-rank order. Charges ring all-gather time.
+    pub fn all_gather(&mut self, clock: &mut SimClock, shard: &[f32]) -> Vec<f32> {
+        self.all_gather_inner(clock, shard, false)
+    }
+
+    /// All-gather whose communication time is queued for overlap with
+    /// subsequent compute (the paper's prefetching optimization). The data
+    /// is still returned immediately — the *time* is what overlaps.
+    pub fn all_gather_prefetched(&mut self, clock: &mut SimClock, shard: &[f32]) -> Vec<f32> {
+        self.all_gather_inner(clock, shard, true)
+    }
+
+    fn all_gather_inner(
+        &mut self,
+        clock: &mut SimClock,
+        shard: &[f32],
+        prefetch: bool,
+    ) -> Vec<f32> {
+        let p = self.size();
+        let t = self.ring_time((p - 1) as f64, shard.len() as f64 * self.wire_bytes);
+        let (out, t_end) = self.exchange(
+            OpKind::AllGather,
+            shard.to_vec(),
+            clock.now(),
+            0.0,
+            |contribs| {
+                let mut full = Vec::new();
+                for c in contribs {
+                    full.extend_from_slice(c.as_ref().expect("missing contribution"));
+                }
+                contribs.iter().map(|_| Some(full.clone())).collect()
+            },
+        );
+        clock.sync_to(t_end);
+        if prefetch {
+            clock.charge_prefetched_comm(t);
+        } else {
+            clock.charge_comm(t);
+        }
+        out
+    }
+
+    /// Reduce-scatter: every member contributes a full-length buffer; the
+    /// element-wise sum is computed and member `i` receives chunk `i` of
+    /// `len / p`. The buffer length must divide evenly by the group size.
+    pub fn reduce_scatter(&mut self, clock: &mut SimClock, full: &[f32]) -> Vec<f32> {
+        let p = self.size();
+        assert_eq!(
+            full.len() % p,
+            0,
+            "reduce_scatter length {} not divisible by group size {p}",
+            full.len()
+        );
+        let chunk = full.len() / p;
+        let t = self.ring_time((p - 1) as f64, chunk as f64 * self.wire_bytes);
+        let (out, t_end) = self.exchange(
+            OpKind::ReduceScatter,
+            full.to_vec(),
+            clock.now(),
+            t,
+            |contribs| {
+                let mut sum = contribs[0].clone().expect("missing contribution");
+                for c in &contribs[1..] {
+                    for (s, v) in sum.iter_mut().zip(c.as_ref().unwrap()) {
+                        *s += v;
+                    }
+                }
+                (0..contribs.len())
+                    .map(|i| Some(sum[i * chunk..(i + 1) * chunk].to_vec()))
+                    .collect()
+            },
+        );
+        clock.sync_to(t_end);
+        out
+    }
+
+    /// All-reduce (sum). Ring cost: `2 (p-1)` steps of `len/p` elements.
+    pub fn all_reduce(&mut self, clock: &mut SimClock, buf: &[f32]) -> Vec<f32> {
+        let p = self.size();
+        let t = self.ring_time(2.0 * (p - 1) as f64, buf.len() as f64 * self.wire_bytes / p as f64);
+        let (out, t_end) = self.exchange(
+            OpKind::AllReduce,
+            buf.to_vec(),
+            clock.now(),
+            t,
+            |contribs| {
+                let mut sum = contribs[0].clone().expect("missing contribution");
+                for c in &contribs[1..] {
+                    for (s, v) in sum.iter_mut().zip(c.as_ref().unwrap()) {
+                        *s += v;
+                    }
+                }
+                contribs.iter().map(|_| Some(sum.clone())).collect()
+            },
+        );
+        clock.sync_to(t_end);
+        out
+    }
+
+    /// All-reduce of a single scalar (loss averaging, grad-norm sync,
+    /// non-finite flags).
+    pub fn all_reduce_scalar(&mut self, clock: &mut SimClock, v: f32) -> f32 {
+        self.all_reduce(clock, &[v])[0]
+    }
+
+    /// Broadcast from group-local `root` to all members.
+    pub fn broadcast(&mut self, clock: &mut SimClock, data: &[f32], root: usize) -> Vec<f32> {
+        let p = self.size();
+        assert!(root < p, "broadcast root {root} out of range");
+        let contribution = if self.my_idx == root {
+            data.to_vec()
+        } else {
+            Vec::new()
+        };
+        let bytes = if self.my_idx == root {
+            data.len() as f64 * self.wire_bytes
+        } else {
+            0.0
+        };
+        // Pipelined broadcast: latency per hop + one full traversal.
+        let t = self.latency * (p - 1) as f64 + bytes / self.bandwidth;
+        let (out, t_end) = self.exchange(
+            OpKind::Broadcast { root },
+            contribution,
+            clock.now(),
+            t,
+            |contribs| {
+                let data = contribs[root].clone().expect("root contribution");
+                contribs.iter().map(|_| Some(data.clone())).collect()
+            },
+        );
+        clock.sync_to(t_end);
+        clock.charge_comm(if self.my_idx == root { t } else { 0.0 });
+        out
+    }
+
+    /// Point-to-point send to group-local rank `dst` (pipeline
+    /// parallelism's stage-boundary transfer). Non-blocking from the
+    /// sender's perspective; time is charged to both endpoints.
+    pub fn send(&mut self, clock: &mut SimClock, dst: usize, data: &[f32]) {
+        assert!(dst < self.size() && dst != self.my_idx, "bad p2p destination");
+        let key = (self.my_idx, dst);
+        let seq = *self.p2p_seq.entry(key).and_modify(|s| *s += 1).or_insert(0);
+        let t = self.latency + data.len() as f64 * self.wire_bytes / self.bandwidth;
+        clock.charge_comm(t);
+        let mut boxes = self.shared.mailboxes.lock();
+        boxes.insert((self.my_idx, dst, seq), (data.to_vec(), clock.now()));
+        self.shared.p2p_cv.notify_all();
+    }
+
+    /// Blocking receive from group-local rank `src`. Messages from one
+    /// sender arrive in send order.
+    pub fn recv(&mut self, clock: &mut SimClock, src: usize) -> Vec<f32> {
+        assert!(src < self.size() && src != self.my_idx, "bad p2p source");
+        let key = (src, self.my_idx);
+        let seq = *self.p2p_seq.entry(key).and_modify(|s| *s += 1).or_insert(0);
+        let mut boxes = self.shared.mailboxes.lock();
+        loop {
+            if let Some((data, t_avail)) = boxes.remove(&(src, self.my_idx, seq)) {
+                clock.sync_to(t_avail);
+                return data;
+            }
+            self.shared.p2p_cv.wait(&mut boxes);
+        }
+    }
+
+    /// Barrier: synchronize clocks and threads.
+    pub fn barrier(&mut self, clock: &mut SimClock) {
+        let t = self.latency * 2.0;
+        let (_, t_end) = self.exchange(OpKind::Barrier, Vec::new(), clock.now(), t, |contribs| {
+            contribs.iter().map(|_| Some(Vec::new())).collect()
+        });
+        clock.sync_to(t_end);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    fn machine() -> FrontierMachine {
+        FrontierMachine::default()
+    }
+
+    /// Run `f(rank)` on `world` threads sharing one engine; return results
+    /// in rank order.
+    fn run_world<R: Send>(world: usize, f: impl Fn(usize, &Engine) -> R + Sync) -> Vec<R> {
+        let engine = Engine::new();
+        let mut out: Vec<Option<R>> = (0..world).map(|_| None).collect();
+        thread::scope(|s| {
+            let handles: Vec<_> = (0..world)
+                .map(|r| {
+                    let engine = &engine;
+                    let f = &f;
+                    s.spawn(move || f(r, engine))
+                })
+                .collect();
+            for (i, h) in handles.into_iter().enumerate() {
+                out[i] = Some(h.join().expect("rank thread panicked"));
+            }
+        });
+        out.into_iter().map(|o| o.unwrap()).collect()
+    }
+
+    #[test]
+    fn all_gather_concatenates_in_rank_order() {
+        let m = machine();
+        let results = run_world(4, |rank, engine| {
+            let mut g = ProcessGroup::new(engine, &m, vec![0, 1, 2, 3], rank);
+            let mut clock = SimClock::new();
+            g.all_gather(&mut clock, &[rank as f32, 10.0 + rank as f32])
+        });
+        for r in results {
+            assert_eq!(r, vec![0.0, 10.0, 1.0, 11.0, 2.0, 12.0, 3.0, 13.0]);
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_sums_and_chunks() {
+        let m = machine();
+        let results = run_world(2, |rank, engine| {
+            let mut g = ProcessGroup::new(engine, &m, vec![0, 1], rank);
+            let mut clock = SimClock::new();
+            // rank 0 contributes [1,2,3,4], rank 1 contributes [10,20,30,40]
+            let base: Vec<f32> = (1..=4).map(|v| v as f32 * (1 + 9 * rank) as f32).collect();
+            g.reduce_scatter(&mut clock, &base)
+        });
+        assert_eq!(results[0], vec![11.0, 22.0]);
+        assert_eq!(results[1], vec![33.0, 44.0]);
+    }
+
+    #[test]
+    fn all_reduce_sums_everywhere() {
+        let m = machine();
+        let results = run_world(3, |rank, engine| {
+            let mut g = ProcessGroup::new(engine, &m, vec![0, 1, 2], rank);
+            let mut clock = SimClock::new();
+            g.all_reduce(&mut clock, &[rank as f32, 1.0])
+        });
+        for r in results {
+            assert_eq!(r, vec![3.0, 3.0]);
+        }
+    }
+
+    #[test]
+    fn broadcast_from_root() {
+        let m = machine();
+        let results = run_world(3, |rank, engine| {
+            let mut g = ProcessGroup::new(engine, &m, vec![0, 1, 2], rank);
+            let mut clock = SimClock::new();
+            let payload = if rank == 1 { vec![7.0, 8.0] } else { vec![] };
+            g.broadcast(&mut clock, &payload, 1)
+        });
+        for r in results {
+            assert_eq!(r, vec![7.0, 8.0]);
+        }
+    }
+
+    #[test]
+    fn subgroup_collectives_are_independent() {
+        // Two disjoint groups {0,1} and {2,3} run concurrently.
+        let m = machine();
+        let results = run_world(4, |rank, engine| {
+            let ranks = if rank < 2 { vec![0, 1] } else { vec![2, 3] };
+            let mut g = ProcessGroup::new(engine, &m, ranks, rank);
+            let mut clock = SimClock::new();
+            g.all_reduce_scalar(&mut clock, 1.0 + rank as f32)
+        });
+        assert_eq!(results, vec![3.0, 3.0, 7.0, 7.0]);
+    }
+
+    #[test]
+    fn sequences_of_collectives_stay_aligned() {
+        let m = machine();
+        let results = run_world(2, |rank, engine| {
+            let mut g = ProcessGroup::new(engine, &m, vec![0, 1], rank);
+            let mut clock = SimClock::new();
+            let mut acc = 0.0;
+            for i in 0..50 {
+                acc += g.all_reduce_scalar(&mut clock, (rank + i) as f32);
+            }
+            acc
+        });
+        // sum over i of (0+i)+(1+i) = 1 + 2i -> total 50 + 2*1225 = 2500.
+        assert_eq!(results[0], 2500.0);
+        assert_eq!(results[0], results[1]);
+    }
+
+    #[test]
+    fn clocks_synchronize_through_collectives() {
+        let m = machine();
+        let results = run_world(2, |rank, engine| {
+            let mut g = ProcessGroup::new(engine, &m, vec![0, 1], rank);
+            let mut clock = SimClock::new();
+            // Rank 1 is "slower" before the collective.
+            if rank == 1 {
+                clock.charge_comm(5.0);
+            }
+            g.barrier(&mut clock);
+            clock.now()
+        });
+        // Both clocks end at >= 5.0: the fast rank waited.
+        assert!(results[0] >= 5.0, "rank 0 clock {}", results[0]);
+        assert!((results[0] - results[1]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn intra_node_group_detected() {
+        let m = machine();
+        let engine = Engine::new();
+        let g = ProcessGroup::new(&engine, &m, vec![0, 1, 2, 3], 0);
+        assert_eq!(g.link(), LinkKind::IntraNode);
+        let g2 = ProcessGroup::new(&engine, &m, vec![0, 8], 0);
+        assert_eq!(g2.link(), LinkKind::InterNode);
+    }
+
+    #[test]
+    fn singleton_group_is_identity() {
+        let m = machine();
+        let engine = Engine::new();
+        let mut g = ProcessGroup::new(&engine, &m, vec![5], 5);
+        let mut clock = SimClock::new();
+        assert_eq!(g.all_reduce(&mut clock, &[3.0]), vec![3.0]);
+        assert_eq!(g.all_gather(&mut clock, &[1.0, 2.0]), vec![1.0, 2.0]);
+        assert_eq!(g.reduce_scatter(&mut clock, &[4.0]), vec![4.0]);
+        assert_eq!(clock.now(), 0.0, "self-communication is free");
+    }
+
+    #[test]
+    fn p2p_send_recv_delivers_in_order() {
+        let m = machine();
+        let results = run_world(2, |rank, engine| {
+            let mut g = ProcessGroup::new(engine, &m, vec![0, 1], rank);
+            let mut clock = SimClock::new();
+            if rank == 0 {
+                g.send(&mut clock, 1, &[1.0, 2.0]);
+                g.send(&mut clock, 1, &[3.0]);
+                Vec::new()
+            } else {
+                let a = g.recv(&mut clock, 0);
+                let b = g.recv(&mut clock, 0);
+                vec![a, b]
+            }
+        });
+        assert_eq!(results[1], vec![vec![1.0, 2.0], vec![3.0]]);
+    }
+
+    #[test]
+    fn p2p_bidirectional_streams_are_independent() {
+        let m = machine();
+        let results = run_world(2, |rank, engine| {
+            let mut g = ProcessGroup::new(engine, &m, vec![0, 1], rank);
+            let mut clock = SimClock::new();
+            let peer = 1 - rank;
+            g.send(&mut clock, peer, &[rank as f32 * 10.0]);
+            g.recv(&mut clock, peer)
+        });
+        assert_eq!(results[0], vec![10.0]);
+        assert_eq!(results[1], vec![0.0]);
+    }
+
+    #[test]
+    fn p2p_receiver_clock_sees_sender_time() {
+        let m = machine();
+        let results = run_world(2, |rank, engine| {
+            let mut g = ProcessGroup::new(engine, &m, vec![0, 1], rank);
+            let mut clock = SimClock::new();
+            if rank == 0 {
+                clock.charge_comm(7.0); // slow sender
+                g.send(&mut clock, 1, &[1.0]);
+                clock.now()
+            } else {
+                let _ = g.recv(&mut clock, 0);
+                clock.now()
+            }
+        });
+        assert!(results[1] >= 7.0, "receiver waited for the message: {}", results[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn reduce_scatter_checks_divisibility() {
+        let m = machine();
+        let engine = Engine::new();
+        let mut g = ProcessGroup::new(&engine, &m, vec![0], 0);
+        let mut clock = SimClock::new();
+        // Group of 1 always divides; use a fake panic via direct assert by
+        // constructing a 2-group... instead check via a 3-length buffer on a
+        // 2-rank group run serially is impossible, so test the assertion
+        // through the public API with group size 2 and a mismatched buffer.
+        drop(g.reduce_scatter(&mut clock, &[1.0]));
+        // Reaching here means group-of-1 passed; now force the panic:
+        let mut g2 = ProcessGroup::new(&engine, &m, vec![0, 1], 0);
+        let _ = g2.reduce_scatter(&mut clock, &[1.0, 2.0, 3.0]);
+    }
+}

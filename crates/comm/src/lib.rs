@@ -1,0 +1,31 @@
+//! # orbit-comm
+//!
+//! A deterministic simulated multi-GPU cluster: the substrate on which
+//! ORBIT-RS executes the paper's parallelism algorithms *for real*.
+//!
+//! One OS thread plays one GPU. Collectives (all-gather, reduce-scatter,
+//! all-reduce, broadcast, barrier) move real data between threads through a
+//! rendezvous engine, with reductions applied in group-rank order so results
+//! are bit-identical run to run. Alongside the real data movement, the
+//! runtime maintains two *simulated* resources per device:
+//!
+//! - a [`memory::Device`] byte tracker (current/peak/capacity) that turns
+//!   the paper's memory arguments (Fig. 2 vs Fig. 3 peak footprints, OOM
+//!   columns of Table I) into observable, testable behaviour, and
+//! - a [`clock::SimClock`] that advances by modeled compute and
+//!   communication times on the Frontier link/throughput constants from
+//!   `orbit-frontier`, so a 16-thread laptop run reports the walltime the
+//!   same schedule would cost on real hardware.
+//!
+//! Entry point: [`cluster::Cluster::run`] spawns the world and hands each
+//! rank a [`cluster::RankCtx`].
+
+pub mod clock;
+pub mod cluster;
+pub mod group;
+pub mod memory;
+
+pub use clock::SimClock;
+pub use cluster::{Cluster, RankCtx};
+pub use group::ProcessGroup;
+pub use memory::{Allocation, Device, OomError};

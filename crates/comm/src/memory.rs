@@ -1,0 +1,190 @@
+//! Per-device memory accounting.
+//!
+//! Every large buffer a training engine materializes on a simulated GPU is
+//! registered here, so the paper's memory claims become testable: vanilla
+//! FSDP's transient full-model gather spikes the peak (Fig. 2), Hybrid-STOP
+//! keeps it flat (Fig. 3), and exceeding capacity raises a simulated OOM
+//! exactly like Table I column 1.
+
+use parking_lot::Mutex;
+use std::fmt;
+use std::sync::Arc;
+
+/// Error returned when an allocation would exceed device capacity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OomError {
+    pub requested: u64,
+    pub in_use: u64,
+    pub capacity: u64,
+}
+
+impl fmt::Display for OomError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "simulated OOM: requested {} bytes with {} in use of {} capacity",
+            self.requested, self.in_use, self.capacity
+        )
+    }
+}
+
+impl std::error::Error for OomError {}
+
+#[derive(Debug, Default)]
+struct DeviceState {
+    current: u64,
+    peak: u64,
+}
+
+/// A simulated GPU's memory tracker. Cheap to clone (shared state).
+#[derive(Debug, Clone)]
+pub struct Device {
+    state: Arc<Mutex<DeviceState>>,
+    capacity: u64,
+}
+
+impl Device {
+    /// A device with the given byte capacity. `u64::MAX` disables OOM.
+    pub fn new(capacity: u64) -> Self {
+        Device {
+            state: Arc::new(Mutex::new(DeviceState::default())),
+            capacity,
+        }
+    }
+
+    /// Device capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently allocated.
+    pub fn in_use(&self) -> u64 {
+        self.state.lock().current
+    }
+
+    /// High-water mark since creation (or last [`Self::reset_peak`]).
+    pub fn peak(&self) -> u64 {
+        self.state.lock().peak
+    }
+
+    /// Reset the peak to the current allocation level.
+    pub fn reset_peak(&self) {
+        let mut s = self.state.lock();
+        s.peak = s.current;
+    }
+
+    /// Allocate `bytes`, returning an RAII guard that frees on drop.
+    pub fn alloc(&self, bytes: u64) -> Result<Allocation, OomError> {
+        let mut s = self.state.lock();
+        if s.current.saturating_add(bytes) > self.capacity {
+            return Err(OomError {
+                requested: bytes,
+                in_use: s.current,
+                capacity: self.capacity,
+            });
+        }
+        s.current += bytes;
+        s.peak = s.peak.max(s.current);
+        Ok(Allocation {
+            state: Arc::clone(&self.state),
+            bytes,
+        })
+    }
+
+    /// Allocate for `n` f32 elements.
+    pub fn alloc_f32(&self, n: usize) -> Result<Allocation, OomError> {
+        self.alloc(n as u64 * 4)
+    }
+}
+
+/// RAII guard for a device allocation.
+#[derive(Debug)]
+pub struct Allocation {
+    state: Arc<Mutex<DeviceState>>,
+    bytes: u64,
+}
+
+impl Allocation {
+    /// Size of this allocation.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+impl Drop for Allocation {
+    fn drop(&mut self) {
+        self.state.lock().current -= self.bytes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_cycle() {
+        let d = Device::new(1000);
+        let a = d.alloc(400).unwrap();
+        assert_eq!(d.in_use(), 400);
+        let b = d.alloc(500).unwrap();
+        assert_eq!(d.in_use(), 900);
+        drop(a);
+        assert_eq!(d.in_use(), 500);
+        drop(b);
+        assert_eq!(d.in_use(), 0);
+        assert_eq!(d.peak(), 900, "peak survives frees");
+    }
+
+    #[test]
+    fn oom_when_over_capacity() {
+        let d = Device::new(100);
+        let _a = d.alloc(80).unwrap();
+        let err = d.alloc(30).unwrap_err();
+        assert_eq!(err.requested, 30);
+        assert_eq!(err.in_use, 80);
+        assert_eq!(err.capacity, 100);
+        assert!(err.to_string().contains("simulated OOM"));
+    }
+
+    #[test]
+    fn failed_alloc_does_not_leak() {
+        let d = Device::new(100);
+        let _a = d.alloc(80).unwrap();
+        let _ = d.alloc(999);
+        assert_eq!(d.in_use(), 80);
+        // After freeing we can allocate again.
+        drop(_a);
+        assert!(d.alloc(100).is_ok());
+    }
+
+    #[test]
+    fn reset_peak() {
+        let d = Device::new(1000);
+        {
+            let _a = d.alloc(800).unwrap();
+        }
+        assert_eq!(d.peak(), 800);
+        d.reset_peak();
+        assert_eq!(d.peak(), 0);
+    }
+
+    #[test]
+    fn peak_reflects_transient_spike() {
+        // The FSDP pathology in miniature: persistent shard + transient
+        // full gather -> peak is their sum even though the gather is freed.
+        let d = Device::new(u64::MAX);
+        let _persistent = d.alloc(10).unwrap();
+        {
+            let _gather = d.alloc(90).unwrap();
+        }
+        assert_eq!(d.in_use(), 10);
+        assert_eq!(d.peak(), 100);
+    }
+
+    #[test]
+    fn f32_helper() {
+        let d = Device::new(1024);
+        let a = d.alloc_f32(16).unwrap();
+        assert_eq!(a.bytes(), 64);
+    }
+}

@@ -1,0 +1,234 @@
+//! Distributed Data Parallelism: replicated model, partitioned data,
+//! gradient all-reduce (paper Sec. III-B, "Hierarchical Parallelism" —
+//! the outermost, least-communication level).
+
+use crate::scaler::GradScaler;
+use crate::stats::StepStats;
+use orbit_comm::{Allocation, ProcessGroup, RankCtx};
+use orbit_frontier::TrainOptions;
+use orbit_tensor::kernels::{AdamState, AdamW};
+use orbit_tensor::Precision;
+use orbit_vit::loss::{lat_weights, weighted_mse, weighted_mse_grad};
+use orbit_vit::{Batch, VitConfig, VitModel};
+
+use super::{local_batch, sustained_flops};
+use super::single::norm;
+
+/// DDP over an explicit process group (usually the world).
+pub struct DdpEngine {
+    pub model: VitModel,
+    group: ProcessGroup,
+    state: AdamState,
+    opt: AdamW,
+    opts: TrainOptions,
+    lat_w: Vec<f32>,
+    scaler: GradScaler,
+    replica_id: usize,
+    n_replicas: usize,
+    _persistent: Allocation,
+}
+
+impl DdpEngine {
+    /// Build a replica on the calling rank. Every rank must use the same
+    /// `seed` so replicas start identical.
+    pub fn new(
+        ctx: &RankCtx,
+        mut cfg: VitConfig,
+        opt: AdamW,
+        opts: TrainOptions,
+        seed: u64,
+    ) -> Result<Self, orbit_comm::OomError> {
+        if opts.mixed_precision {
+            cfg.precision = Precision::BF16Mixed;
+        }
+        let mut model = VitModel::init(cfg, seed);
+        let n = model.param_count() as u64;
+        // Full replica: weights + grads + Adam moments on every GPU.
+        let persistent = ctx.device.alloc(16 * n)?;
+        let state = model.init_adam_state();
+        let mut group = ctx.world_group();
+        if opts.mixed_precision {
+            group.set_wire_bytes(2.0);
+        }
+        Ok(DdpEngine {
+            group,
+            lat_w: lat_weights(cfg.dims.img_h),
+            model,
+            state,
+            opt,
+            opts,
+            scaler: GradScaler::default(),
+            replica_id: ctx.rank,
+            n_replicas: ctx.world,
+            _persistent: persistent,
+        })
+    }
+
+    /// One training step over the *global* batch: each replica trains on
+    /// its round-robin slice, then gradients are all-reduced. Returns
+    /// globally-synchronized stats.
+    pub fn train_step(
+        &mut self,
+        ctx: &mut RankCtx,
+        global: &Batch,
+    ) -> Result<StepStats, orbit_comm::OomError> {
+        let global_n = global.len();
+        assert_eq!(
+            global_n % self.n_replicas,
+            0,
+            "global batch {global_n} must divide by {} replicas",
+            self.n_replicas
+        );
+        let local = local_batch(global, self.replica_id, self.n_replicas);
+        let dims = self.model.cfg.dims;
+        let act_floats = if self.opts.activation_checkpointing {
+            dims.tokens() * dims.embed * (dims.layers + 2)
+        } else {
+            dims.tokens() * dims.embed * (8 * dims.layers + dims.channels)
+        };
+        let _act = ctx.device.alloc((local.len() * act_floats) as u64 * 4)?;
+
+        let t0 = ctx.clock.now();
+        self.model.zero_grads();
+        let scale = 1.0 / global_n as f32;
+        let loss_scale = if self.opts.mixed_precision {
+            self.scaler.scale()
+        } else {
+            1.0
+        };
+        let mut local_loss = 0.0f32;
+        for (images, targets) in local.inputs.iter().zip(&local.targets) {
+            if self.opts.activation_checkpointing {
+                let (preds, boundaries) = self.model.forward_ckpt(images);
+                local_loss += weighted_mse(&preds, targets, &self.lat_w) * scale;
+                let mut d = weighted_mse_grad(&preds, targets, &self.lat_w);
+                for g in &mut d {
+                    g.scale(scale * loss_scale);
+                }
+                self.model.backward_ckpt(images, &boundaries, &d);
+            } else {
+                let fwd = self.model.forward(images);
+                local_loss += weighted_mse(&fwd.preds, targets, &self.lat_w) * scale;
+                let mut d = weighted_mse_grad(&fwd.preds, targets, &self.lat_w);
+                for g in &mut d {
+                    g.scale(scale * loss_scale);
+                }
+                self.model.backward(&fwd, &d);
+            }
+        }
+        let per_obs = dims.train_flops() as f64
+            * if self.opts.activation_checkpointing { 4.0 / 3.0 } else { 1.0 };
+        ctx.clock.charge_compute(
+            local.len() as f64 * per_obs,
+            sustained_flops(ctx.machine(), self.opts.mixed_precision),
+        );
+
+        // Gradient synchronization: per-sample grads are already scaled by
+        // 1/global_batch, so a plain sum yields the global-mean gradient.
+        let grads = self.model.flatten_grads();
+        let mut synced = self.group.all_reduce(&mut ctx.clock, &grads);
+
+        let mut applied = true;
+        if self.opts.mixed_precision {
+            // Finiteness must be agreed globally; the all-reduced gradient
+            // is identical on every rank, so local inspection agrees.
+            applied = self.scaler.unscale_and_check(&mut synced);
+        }
+        let grad_norm = norm(&synced);
+        if applied {
+            self.model.load_flat_grads(&synced);
+            self.model.adam_step(&self.opt, &mut self.state);
+        }
+        let loss = self.group.all_reduce_scalar(&mut ctx.clock, local_loss);
+        Ok(StepStats {
+            loss,
+            grad_norm,
+            sim_time: ctx.clock.now() - t0,
+            peak_mem: ctx.device.peak(),
+            applied,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orbit_comm::Cluster;
+    use orbit_tensor::init::Rng;
+
+    fn make_batch(cfg: &VitConfig, n: usize, seed: u64) -> Batch {
+        let mut rng = Rng::seed(seed);
+        Batch {
+            inputs: (0..n)
+                .map(|_| {
+                    (0..cfg.dims.channels)
+                        .map(|_| rng.normal_tensor(cfg.dims.img_h, cfg.dims.img_w, 1.0))
+                        .collect()
+                })
+                .collect(),
+            targets: (0..n)
+                .map(|_| {
+                    (0..cfg.dims.out_channels)
+                        .map(|_| rng.normal_tensor(cfg.dims.img_h, cfg.dims.img_w, 1.0))
+                        .collect()
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn ddp_matches_single_device_losses() {
+        let cfg = VitConfig::test_tiny();
+        let batch = make_batch(&cfg, 4, 7);
+        let opt = AdamW::default();
+        let w = lat_weights(cfg.dims.img_h);
+
+        let mut reference = VitModel::init(cfg, 42);
+        let mut state = reference.init_adam_state();
+        let ref_losses: Vec<f32> = (0..3)
+            .map(|_| reference.train_step(&batch, &w, &opt, &mut state))
+            .collect();
+
+        for world in [1usize, 2, 4] {
+            let results = Cluster::frontier().run(world, |ctx| {
+                let mut e = DdpEngine::new(ctx, cfg, opt, TrainOptions::none(), 42).unwrap();
+                (0..3)
+                    .map(|_| e.train_step(ctx, &batch).unwrap().loss)
+                    .collect::<Vec<_>>()
+            });
+            for losses in &results {
+                for (a, b) in losses.iter().zip(&ref_losses) {
+                    assert!(
+                        (a - b).abs() < 5e-4 * b.abs().max(1.0),
+                        "world={world}: {a} vs {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn replicas_stay_in_sync() {
+        let cfg = VitConfig::test_tiny();
+        let batch = make_batch(&cfg, 2, 9);
+        let results = Cluster::frontier().run(2, |ctx| {
+            let mut e = DdpEngine::new(ctx, cfg, AdamW::default(), TrainOptions::none(), 1).unwrap();
+            for _ in 0..2 {
+                e.train_step(ctx, &batch).unwrap();
+            }
+            e.model.flatten_params()
+        });
+        assert_eq!(results[0], results[1], "replicas must remain bit-identical");
+    }
+
+    #[test]
+    #[should_panic(expected = "rank thread panicked")]
+    fn rejects_undividable_batch() {
+        let cfg = VitConfig::test_tiny();
+        let batch = make_batch(&cfg, 3, 9);
+        Cluster::frontier().run(2, |ctx| {
+            let mut e = DdpEngine::new(ctx, cfg, AdamW::default(), TrainOptions::none(), 1).unwrap();
+            let _ = e.train_step(ctx, &batch);
+        });
+    }
+}

@@ -1,0 +1,87 @@
+//! Distributed training engines.
+//!
+//! Each engine is constructed *inside* a cluster rank closure (see
+//! [`orbit_comm::Cluster::run`]) and drives the same ViT math as the
+//! single-device reference, differing only in where parameters live and
+//! which collectives synchronize them:
+//!
+//! | engine | parameters | gradients | data |
+//! |---|---|---|---|
+//! | [`SingleDeviceEngine`] | local | local | whole batch |
+//! | [`DdpEngine`] | replicated | all-reduce | partitioned |
+//! | [`FsdpEngine`] (vanilla) | flat-sharded 1/N, **full-model gather** per step | reduce-scatter | partitioned |
+//! | [`TensorParallelEngine`] | column/row shards, never gathered | local to shard | replicated |
+//! | [`HybridStopEngine`] | TP shards, FSDP-sharded, gathered **one layer at a time** | reduce-scatter + DDP all-reduce | partitioned across FSDP x DDP |
+
+mod ddp;
+mod fsdp;
+mod hybrid_stop;
+mod pipeline;
+mod single;
+mod tp;
+
+pub use ddp::DdpEngine;
+pub use fsdp::FsdpEngine;
+pub use hybrid_stop::HybridStopEngine;
+pub use pipeline::PipelineEngine;
+pub use single::SingleDeviceEngine;
+pub use tp::TensorParallelEngine;
+
+use orbit_frontier::perfmodel::Calibration;
+use orbit_vit::Batch;
+
+/// Sustained per-GPU throughput used for simulated compute time.
+pub(crate) fn sustained_flops(machine: &orbit_frontier::FrontierMachine, mixed: bool) -> f64 {
+    let calib = Calibration::default();
+    if mixed {
+        machine.peak_bf16 * calib.mfu_bf16
+    } else {
+        machine.peak_fp32 * calib.mfu_fp32
+    }
+}
+
+/// Slice a global batch into the local batch for data replica
+/// `replica_id` of `n_replicas` (round-robin by sample index, so every
+/// replica sees the same number of samples when the batch divides evenly).
+pub fn local_batch(global: &Batch, replica_id: usize, n_replicas: usize) -> Batch {
+    assert!(replica_id < n_replicas);
+    let mut out = Batch::default();
+    for (s, (inp, tgt)) in global.inputs.iter().zip(&global.targets).enumerate() {
+        if s % n_replicas == replica_id {
+            out.inputs.push(inp.clone());
+            out.targets.push(tgt.clone());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orbit_tensor::Tensor;
+
+    fn batch(n: usize) -> Batch {
+        Batch {
+            inputs: (0..n).map(|s| vec![Tensor::full(2, 2, s as f32)]).collect(),
+            targets: (0..n).map(|s| vec![Tensor::full(2, 2, s as f32)]).collect(),
+        }
+    }
+
+    #[test]
+    fn local_batches_partition_global() {
+        let g = batch(6);
+        let parts: Vec<Batch> = (0..3).map(|r| local_batch(&g, r, 3)).collect();
+        assert!(parts.iter().all(|p| p.len() == 2));
+        // Sample 0 goes to replica 0, sample 1 to replica 1, etc.
+        assert_eq!(parts[0].inputs[0][0].get(0, 0), 0.0);
+        assert_eq!(parts[1].inputs[0][0].get(0, 0), 1.0);
+        assert_eq!(parts[2].inputs[1][0].get(0, 0), 5.0);
+    }
+
+    #[test]
+    fn single_replica_gets_everything() {
+        let g = batch(4);
+        let l = local_batch(&g, 0, 1);
+        assert_eq!(l.len(), 4);
+    }
+}

@@ -1,0 +1,332 @@
+//! Megatron-style tensor parallelism (the paper's Sec. II baseline).
+//!
+//! Block weights are permanently sharded across the tensor-parallel group
+//! (columns of Wq/Wk/Wv/W1 — i.e. a slice of heads and MLP hidden units —
+//! rows of Wo/W2); activations are summed by all-reduce every sub-layer.
+//! All ranks process the *same* data (one model replica). Scalability is
+//! capped by the attention head count — the limitation Hybrid-STOP removes.
+
+use crate::scaler::GradScaler;
+use crate::stats::StepStats;
+use crate::tp_block::TpBlock;
+use orbit_comm::{Allocation, ProcessGroup, RankCtx};
+use orbit_frontier::TrainOptions;
+use orbit_tensor::kernels::{AdamState, AdamW};
+use orbit_tensor::Precision;
+use orbit_vit::block::Param;
+use orbit_vit::loss::{lat_weights, weighted_mse, weighted_mse_grad};
+use orbit_vit::{Batch, VitConfig, VitModel};
+
+use super::single::norm;
+use super::sustained_flops;
+
+/// Flatten a TpBlock's parameter values in visit order.
+pub(crate) fn tp_flatten(block: &mut TpBlock) -> Vec<f32> {
+    let mut out = Vec::new();
+    block.visit_params("", &mut |_, p: &mut Param| out.extend_from_slice(p.value.data()));
+    out
+}
+
+/// Flatten a TpBlock's gradients in visit order.
+pub(crate) fn tp_flatten_grads(block: &mut TpBlock) -> Vec<f32> {
+    let mut out = Vec::new();
+    block.visit_params("", &mut |_, p: &mut Param| out.extend_from_slice(p.grad.data()));
+    out
+}
+
+/// Load a TpBlock's parameter values from a flat vector in visit order.
+pub(crate) fn tp_load(block: &mut TpBlock, flat: &[f32]) {
+    let mut off = 0;
+    block.visit_params("", &mut |_, p: &mut Param| {
+        let n = p.len();
+        p.value.data_mut().copy_from_slice(&flat[off..off + n]);
+        off += n;
+    });
+    assert_eq!(off, flat.len(), "flat length mismatch");
+}
+
+/// Load a TpBlock's gradients from a flat vector in visit order.
+pub(crate) fn tp_load_grads(block: &mut TpBlock, flat: &[f32]) {
+    let mut off = 0;
+    block.visit_params("", &mut |_, p: &mut Param| {
+        let n = p.len();
+        p.grad.data_mut().copy_from_slice(&flat[off..off + n]);
+        off += n;
+    });
+    assert_eq!(off, flat.len(), "flat length mismatch");
+}
+
+/// All-reduce the QK-norm parameter gradients across the tensor-parallel
+/// group: each rank only saw its local heads, and the parameters are
+/// shared across heads.
+pub(crate) fn sync_qk_grads(
+    block: &mut TpBlock,
+    tp_group: &mut ProcessGroup,
+    clock: &mut orbit_comm::SimClock,
+) {
+    if tp_group.size() <= 1 {
+        return;
+    }
+    if let Some(qk) = block.qk.as_mut() {
+        for p in qk.iter_mut() {
+            let summed = tp_group.all_reduce(clock, p.grad.data());
+            p.grad.data_mut().copy_from_slice(&summed);
+        }
+    }
+}
+
+/// Pure tensor parallelism over the world group (one model replica).
+pub struct TensorParallelEngine {
+    /// Front-end + head (replicated on every rank; `blocks` is empty).
+    pub front: VitModel,
+    /// This rank's tensor-parallel block shards.
+    pub blocks: Vec<TpBlock>,
+    tp_group: ProcessGroup,
+    state: AdamState,
+    opt: AdamW,
+    opts: TrainOptions,
+    lat_w: Vec<f32>,
+    scaler: GradScaler,
+    tp: usize,
+    _persistent: Allocation,
+}
+
+impl TensorParallelEngine {
+    /// Build rank `ctx.rank`'s shard; the whole world is one TP group.
+    /// Requires `world` to divide the head count.
+    pub fn new(
+        ctx: &RankCtx,
+        mut cfg: VitConfig,
+        opt: AdamW,
+        opts: TrainOptions,
+        seed: u64,
+    ) -> Result<Self, orbit_comm::OomError> {
+        if opts.mixed_precision {
+            cfg.precision = Precision::BF16Mixed;
+        }
+        let tp = ctx.world;
+        let reference = VitModel::init(cfg, seed);
+        let blocks: Vec<TpBlock> = reference
+            .blocks
+            .iter()
+            .map(|b| TpBlock::from_reference(b, tp, ctx.rank))
+            .collect();
+        let mut front = reference;
+        front.blocks = Vec::new();
+        let mut n = front.param_count() as u64;
+        for b in &blocks {
+            let mut b = b.clone();
+            n += tp_flatten(&mut b).len() as u64;
+        }
+        let persistent = ctx.device.alloc(16 * n)?;
+        let state = AdamState::new(n as usize);
+        let mut tp_group = ctx.world_group();
+        if opts.mixed_precision {
+            tp_group.set_wire_bytes(2.0);
+        }
+        Ok(TensorParallelEngine {
+            tp_group,
+            lat_w: lat_weights(cfg.dims.img_h),
+            front,
+            blocks,
+            state,
+            opt,
+            opts,
+            scaler: GradScaler::default(),
+            tp,
+            _persistent: persistent,
+        })
+    }
+
+    fn flatten_all(&mut self) -> (Vec<f32>, Vec<f32>) {
+        let mut params = self.front.flatten_params();
+        let mut grads = self.front.flatten_grads();
+        for b in &mut self.blocks {
+            params.extend(tp_flatten(b));
+            grads.extend(tp_flatten_grads(b));
+        }
+        (params, grads)
+    }
+
+    fn load_all(&mut self, params: &[f32]) {
+        let front_len = {
+            let mut n = 0;
+            self.front.visit_params(&mut |_, p| n += p.len());
+            n
+        };
+        self.front.load_flat_params(&params[..front_len]);
+        let mut off = front_len;
+        for b in &mut self.blocks {
+            let len = {
+                let mut n = 0;
+                b.visit_params("", &mut |_, p: &mut Param| n += p.len());
+                n
+            };
+            tp_load(b, &params[off..off + len]);
+            off += len;
+        }
+    }
+
+    /// One training step; every rank receives the same (whole) batch.
+    pub fn train_step(
+        &mut self,
+        ctx: &mut RankCtx,
+        batch: &Batch,
+    ) -> Result<StepStats, orbit_comm::OomError> {
+        assert!(!batch.is_empty());
+        let dims = self.front.cfg.dims;
+        let t0 = ctx.clock.now();
+        // Activations: wide intermediates sharded /tp, residual replicated.
+        let act_floats = dims.tokens() * dims.embed
+            * (6 * dims.layers / self.tp + 2 * dims.layers + dims.channels);
+        let _act = ctx.device.alloc((batch.len() * act_floats) as u64 * 4)?;
+
+        self.front.zero_grads();
+        for b in &mut self.blocks {
+            b.zero_grads();
+        }
+        let scale = 1.0 / batch.len() as f32;
+        let loss_scale = if self.opts.mixed_precision {
+            self.scaler.scale()
+        } else {
+            1.0
+        };
+        let mut loss = 0.0f32;
+        for (images, targets) in batch.inputs.iter().zip(&batch.targets) {
+            let (x0, front_cache) = self.front.front_forward(images);
+            let mut x = x0;
+            let mut caches = Vec::with_capacity(self.blocks.len());
+            for b in &self.blocks {
+                let (y, c) = b.forward(&x, &mut self.tp_group, &mut ctx.clock);
+                caches.push(c);
+                x = y;
+            }
+            let preds = self.front.head_forward(&x);
+            loss += weighted_mse(&preds, targets, &self.lat_w) * scale;
+            let mut d = weighted_mse_grad(&preds, targets, &self.lat_w);
+            for g in &mut d {
+                g.scale(scale * loss_scale);
+            }
+            let mut dy = self.front.head_backward(&x, &d);
+            for (b, c) in self.blocks.iter_mut().zip(caches.iter()).rev() {
+                dy = b.backward(c, &dy, &mut self.tp_group, &mut ctx.clock);
+            }
+            self.front.front_backward(&front_cache, &dy);
+        }
+        // QK-norm grads are partial per head slice: sum across the group.
+        for b in &mut self.blocks {
+            sync_qk_grads(b, &mut self.tp_group, &mut ctx.clock);
+        }
+        // Compute: this rank executed ~1/tp of the block FLOPs plus the
+        // replicated front-end.
+        let per_obs = dims.train_flops() as f64 / self.tp as f64;
+        ctx.clock.charge_compute(
+            batch.len() as f64 * per_obs,
+            sustained_flops(ctx.machine(), self.opts.mixed_precision),
+        );
+
+        let (mut params, mut grads) = self.flatten_all();
+        let mut applied = true;
+        if self.opts.mixed_precision {
+            let inv = 1.0 / self.scaler.scale();
+            let mut nonfinite = 0.0f32;
+            for g in grads.iter_mut() {
+                *g *= inv;
+                if !g.is_finite() {
+                    nonfinite = 1.0;
+                }
+            }
+            let total = self.tp_group.all_reduce_scalar(&mut ctx.clock, nonfinite);
+            applied = total == 0.0;
+            self.scaler.update(applied);
+        }
+        let grad_norm = norm(&grads);
+        if applied {
+            self.opt.step(&mut self.state, &mut params, &grads);
+            self.load_all(&params);
+        }
+        Ok(StepStats {
+            loss,
+            grad_norm,
+            sim_time: ctx.clock.now() - t0,
+            peak_mem: ctx.device.peak(),
+            applied,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orbit_comm::Cluster;
+    use orbit_tensor::init::Rng;
+
+    fn make_batch(cfg: &VitConfig, n: usize, seed: u64) -> Batch {
+        let mut rng = Rng::seed(seed);
+        Batch {
+            inputs: (0..n)
+                .map(|_| {
+                    (0..cfg.dims.channels)
+                        .map(|_| rng.normal_tensor(cfg.dims.img_h, cfg.dims.img_w, 1.0))
+                        .collect()
+                })
+                .collect(),
+            targets: (0..n)
+                .map(|_| {
+                    (0..cfg.dims.out_channels)
+                        .map(|_| rng.normal_tensor(cfg.dims.img_h, cfg.dims.img_w, 1.0))
+                        .collect()
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn tp_matches_single_device_losses() {
+        let cfg = VitConfig::test_tiny(); // 2 heads -> tp up to 2
+        let batch = make_batch(&cfg, 2, 13);
+        let opt = AdamW::default();
+        let w = lat_weights(cfg.dims.img_h);
+        let mut reference = VitModel::init(cfg, 42);
+        let mut state = reference.init_adam_state();
+        let ref_losses: Vec<f32> = (0..3)
+            .map(|_| reference.train_step(&batch, &w, &opt, &mut state))
+            .collect();
+        for tp in [1usize, 2] {
+            let results = Cluster::frontier().run(tp, |ctx| {
+                let mut e =
+                    TensorParallelEngine::new(ctx, cfg, opt, TrainOptions::none(), 42).unwrap();
+                (0..3)
+                    .map(|_| e.train_step(ctx, &batch).unwrap().loss)
+                    .collect::<Vec<_>>()
+            });
+            for losses in &results {
+                for (a, b) in losses.iter().zip(&ref_losses) {
+                    assert!(
+                        (a - b).abs() < 5e-4 * b.abs().max(1.0),
+                        "tp={tp}: {a} vs {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tp_shards_reduce_persistent_memory() {
+        let cfg = VitConfig::test_tiny();
+        let persistent_1 = Cluster::frontier().run(1, |ctx| {
+            let _e = TensorParallelEngine::new(ctx, cfg, AdamW::default(), TrainOptions::none(), 1)
+                .unwrap();
+            ctx.device.in_use()
+        })[0];
+        let persistent_2 = Cluster::frontier().run(2, |ctx| {
+            let _e = TensorParallelEngine::new(ctx, cfg, AdamW::default(), TrainOptions::none(), 1)
+                .unwrap();
+            ctx.device.in_use()
+        })[0];
+        assert!(
+            persistent_2 < persistent_1,
+            "sharding must shrink per-rank state: {persistent_2} !< {persistent_1}"
+        );
+    }
+}

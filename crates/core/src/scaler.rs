@@ -1,0 +1,144 @@
+//! Dynamic gradient scaling for BF16 mixed precision (paper Sec. III-B).
+//!
+//! Gradients too small for bfloat16 flush to zero and gradients too large
+//! overflow to infinity. The scaler multiplies the loss gradient by a large
+//! factor before the backward pass, un-scales before the optimizer step,
+//! and adapts: halve on non-finite gradients (and skip the step), double
+//! after a run of clean steps — mirroring `torch.cuda.amp.GradScaler`.
+
+use serde::{Deserialize, Serialize};
+
+/// Dynamic loss/gradient scaler.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GradScaler {
+    scale: f32,
+    growth_factor: f32,
+    backoff_factor: f32,
+    growth_interval: u32,
+    clean_steps: u32,
+    /// Total steps skipped due to non-finite gradients.
+    pub skipped_steps: u64,
+}
+
+impl Default for GradScaler {
+    fn default() -> Self {
+        GradScaler {
+            scale: 65536.0,
+            growth_factor: 2.0,
+            backoff_factor: 0.5,
+            growth_interval: 200,
+            clean_steps: 0,
+            skipped_steps: 0,
+        }
+    }
+}
+
+impl GradScaler {
+    /// Scaler with an explicit initial scale.
+    pub fn with_scale(scale: f32) -> Self {
+        GradScaler {
+            scale,
+            ..GradScaler::default()
+        }
+    }
+
+    /// Current scale factor to apply to the loss gradient.
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// Un-scale gradients in place and decide whether the optimizer step
+    /// should run. Returns `true` if gradients are finite (step proceeds);
+    /// on `false` the step must be skipped and the scale has been backed
+    /// off.
+    pub fn unscale_and_check(&mut self, grads: &mut [f32]) -> bool {
+        let inv = 1.0 / self.scale;
+        let mut finite = true;
+        for g in grads.iter_mut() {
+            *g *= inv;
+            if !g.is_finite() {
+                finite = false;
+            }
+        }
+        self.update(finite);
+        finite
+    }
+
+    /// Record the outcome of a step whose finiteness was established
+    /// externally (e.g. via a collective across ranks). Adjusts the scale.
+    pub fn update(&mut self, finite: bool) {
+        if finite {
+            self.clean_steps += 1;
+            if self.clean_steps >= self.growth_interval {
+                self.scale *= self.growth_factor;
+                self.clean_steps = 0;
+            }
+        } else {
+            self.scale = (self.scale * self.backoff_factor).max(1.0);
+            self.clean_steps = 0;
+            self.skipped_steps += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_steps_grow_scale() {
+        let mut s = GradScaler {
+            growth_interval: 3,
+            ..GradScaler::with_scale(8.0)
+        };
+        let g = vec![8.0f32, 16.0];
+        for _ in 0..3 {
+            assert!(s.unscale_and_check(&mut g.clone()));
+        }
+        assert_eq!(s.scale(), 16.0, "doubled after 3 clean steps");
+        assert_eq!(s.skipped_steps, 0);
+    }
+
+    #[test]
+    fn non_finite_backs_off_and_skips() {
+        let mut s = GradScaler::with_scale(1024.0);
+        let mut g = vec![1.0f32, f32::INFINITY];
+        assert!(!s.unscale_and_check(&mut g));
+        assert_eq!(s.scale(), 512.0);
+        assert_eq!(s.skipped_steps, 1);
+        // NaN also triggers.
+        let mut g2 = vec![f32::NAN];
+        assert!(!s.unscale_and_check(&mut g2));
+        assert_eq!(s.scale(), 256.0);
+    }
+
+    #[test]
+    fn unscale_divides_by_scale() {
+        let mut s = GradScaler::with_scale(4.0);
+        let mut g = vec![8.0f32, -2.0];
+        assert!(s.unscale_and_check(&mut g));
+        assert_eq!(g, vec![2.0, -0.5]);
+    }
+
+    #[test]
+    fn scale_never_below_one() {
+        let mut s = GradScaler::with_scale(1.0);
+        s.update(false);
+        s.update(false);
+        assert!(s.scale() >= 1.0);
+    }
+
+    #[test]
+    fn growth_counter_resets_on_backoff() {
+        let mut s = GradScaler {
+            growth_interval: 2,
+            ..GradScaler::with_scale(8.0)
+        };
+        s.update(true);
+        s.update(false); // resets clean streak, scale 4
+        s.update(true);
+        assert_eq!(s.scale(), 4.0, "one clean step after backoff is not enough to grow");
+        s.update(true);
+        assert_eq!(s.scale(), 8.0, "second clean step grows");
+    }
+}

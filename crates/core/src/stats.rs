@@ -1,0 +1,41 @@
+//! Per-step observability shared by all engines.
+
+use serde::{Deserialize, Serialize};
+
+/// What one training step cost on one rank.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct StepStats {
+    /// Global-batch training loss (identical on every rank after sync).
+    pub loss: f32,
+    /// L2 norm of the rank's owned (sharded) gradient.
+    pub grad_norm: f32,
+    /// Simulated walltime consumed by this step, seconds.
+    pub sim_time: f64,
+    /// Simulated peak device memory observed so far, bytes.
+    pub peak_mem: u64,
+    /// Whether the optimizer step ran (false = skipped by the grad scaler).
+    pub applied: bool,
+}
+
+impl StepStats {
+    /// Walltime per observation given how many observations the whole
+    /// job processed this step.
+    pub fn time_per_obs(&self, global_batch: usize) -> f64 {
+        self.sim_time / global_batch.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_per_obs_divides() {
+        let s = StepStats {
+            sim_time: 1.0,
+            ..StepStats::default()
+        };
+        assert!((s.time_per_obs(4) - 0.25).abs() < 1e-12);
+        assert_eq!(StepStats::default().time_per_obs(0), 0.0);
+    }
+}

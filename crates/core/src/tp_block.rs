@@ -1,0 +1,394 @@
+//! Tensor-parallel transformer block: the executable form of paper
+//! Eqns. (2)/(3) and Fig. 3.
+//!
+//! Per block, each tensor-parallel rank holds:
+//!
+//! - **column shards** of the chain's `A` matrices — `Wq`, `Wk`, `Wv`
+//!   (a contiguous slice of attention heads) and the MLP's `W1`;
+//! - **row shards** of the chain's `B` matrices — `Wo` and `W2`;
+//! - replicated copies of the small vectors (layernorm scales, the
+//!   row-sharded layers' biases, QK-norm parameters).
+//!
+//! The forward computes each rank's partial `x A_{*,k} B_{k,*}` and sums
+//! partials with a tensor-parallel all-reduce (Eqn. (2)); the backward
+//! computes each rank's `dY B_{k,*}^T A_{*,k}^T` contribution to `dX` and
+//! all-reduces those (Eqn. (3)). Weight gradients stay local to the shard.
+
+use orbit_comm::{ProcessGroup, SimClock};
+use orbit_tensor::kernels::attention::{mha_backward, mha_forward, MhaCache, QkNorm};
+use orbit_tensor::kernels::{
+    gelu, gelu_backward, layernorm, layernorm_backward, linear, linear_backward, LayerNormCache,
+};
+use orbit_tensor::{Precision, Tensor};
+use orbit_vit::block::{Param, TransformerBlock};
+
+use crate::sharding::{shard_columns, shard_rows};
+
+/// One rank's tensor-parallel shard of a transformer block.
+#[derive(Debug, Clone)]
+pub struct TpBlock {
+    pub ln1_gamma: Param,
+    pub ln1_beta: Param,
+    pub wq: Param,
+    pub bq: Param,
+    pub wk: Param,
+    pub bk: Param,
+    pub wv: Param,
+    pub bv: Param,
+    pub wo: Param,
+    pub bo: Param,
+    pub ln2_gamma: Param,
+    pub ln2_beta: Param,
+    pub w1: Param,
+    pub b1: Param,
+    pub w2: Param,
+    pub b2: Param,
+    pub qk: Option<[Param; 4]>,
+    pub heads_local: usize,
+    pub tp: usize,
+    pub precision: Precision,
+}
+
+/// Forward cache for [`TpBlock::backward`].
+pub struct TpBlockCache {
+    ln1: LayerNormCache,
+    z1: Tensor,
+    mha: MhaCache,
+    a_loc: Tensor,
+    dh_source: Tensor, // h (post-attention residual)
+    ln2: LayerNormCache,
+    z2: Tensor,
+    u_loc: Tensor,
+    g_loc: Tensor,
+}
+
+impl TpBlock {
+    /// Slice rank `tp_idx`'s shard out of a full reference block. The head
+    /// count must divide evenly by `tp` so column shards align with head
+    /// boundaries.
+    pub fn from_reference(full: &TransformerBlock, tp: usize, tp_idx: usize) -> Self {
+        assert_eq!(
+            full.heads % tp,
+            0,
+            "tensor parallelism {tp} must divide head count {}",
+            full.heads
+        );
+        let shard_p_cols = |p: &Param| Param::new(shard_columns(&p.value, tp, tp_idx));
+        let shard_p_rows = |p: &Param| Param::new(shard_rows(&p.value, tp, tp_idx));
+        let repl = |p: &Param| Param::new(p.value.clone());
+        TpBlock {
+            ln1_gamma: repl(&full.ln1_gamma),
+            ln1_beta: repl(&full.ln1_beta),
+            wq: shard_p_cols(&full.wq),
+            bq: shard_p_cols(&full.bq),
+            wk: shard_p_cols(&full.wk),
+            bk: shard_p_cols(&full.bk),
+            wv: shard_p_cols(&full.wv),
+            bv: shard_p_cols(&full.bv),
+            wo: shard_p_rows(&full.wo),
+            bo: repl(&full.bo),
+            ln2_gamma: repl(&full.ln2_gamma),
+            ln2_beta: repl(&full.ln2_beta),
+            w1: shard_p_cols(&full.w1),
+            b1: shard_p_cols(&full.b1),
+            w2: shard_p_rows(&full.w2),
+            b2: repl(&full.b2),
+            qk: full.qk.as_ref().map(|qk| {
+                [repl(&qk[0]), repl(&qk[1]), repl(&qk[2]), repl(&qk[3])]
+            }),
+            heads_local: full.heads / tp,
+            tp,
+            precision: full.precision,
+        }
+    }
+
+    fn qk_norm_ref(&self) -> Option<QkNorm> {
+        self.qk.as_ref().map(|[gq, bq, gk, bk]| QkNorm {
+            gamma_q: gq.value.clone(),
+            beta_q: bq.value.clone(),
+            gamma_k: gk.value.clone(),
+            beta_k: bk.value.clone(),
+        })
+    }
+
+    /// Forward for one sequence; `tp_group` sums the partial activations.
+    pub fn forward(
+        &self,
+        x: &Tensor,
+        tp_group: &mut ProcessGroup,
+        clock: &mut SimClock,
+    ) -> (Tensor, TpBlockCache) {
+        let p = self.precision;
+        let (tokens, d) = x.shape();
+        let (z1, ln1) = layernorm(x, &self.ln1_gamma.value, &self.ln1_beta.value);
+        // Column-sharded projections: this rank computes its heads only.
+        let q = linear(&z1, &self.wq.value, Some(&self.bq.value), p);
+        let k = linear(&z1, &self.wk.value, Some(&self.bk.value), p);
+        let v = linear(&z1, &self.wv.value, Some(&self.bv.value), p);
+        let norm = self.qk_norm_ref();
+        let (a_loc, mha) = mha_forward(&q, &k, &v, self.heads_local, norm.as_ref());
+        // Row-sharded output projection -> partial sum -> all-reduce
+        // (Eqn. (2): sum_k x A_{*,k} B_{k,*}).
+        let o_part = linear(&a_loc, &self.wo.value, None, p);
+        let o_sum = Tensor::from_vec(
+            tokens,
+            d,
+            tp_group.all_reduce(clock, o_part.data()),
+        );
+        let mut attn_out = o_sum;
+        for r in 0..tokens {
+            for (vv, &b) in attn_out.row_mut(r).iter_mut().zip(self.bo.value.row(0)) {
+                *vv += b;
+            }
+        }
+        let h = x.add(&attn_out);
+        let (z2, ln2) = layernorm(&h, &self.ln2_gamma.value, &self.ln2_beta.value);
+        let u_loc = linear(&z2, &self.w1.value, Some(&self.b1.value), p);
+        let g_loc = gelu(&u_loc);
+        let m_part = linear(&g_loc, &self.w2.value, None, p);
+        let m_sum = Tensor::from_vec(tokens, d, tp_group.all_reduce(clock, m_part.data()));
+        let mut mlp_out = m_sum;
+        for r in 0..tokens {
+            for (vv, &b) in mlp_out.row_mut(r).iter_mut().zip(self.b2.value.row(0)) {
+                *vv += b;
+            }
+        }
+        let y = h.add(&mlp_out);
+        (
+            y,
+            TpBlockCache {
+                ln1,
+                z1,
+                mha,
+                a_loc,
+                dh_source: h,
+                ln2,
+                z2,
+                u_loc,
+                g_loc,
+            },
+        )
+    }
+
+    /// Backward for one sequence. Accumulates this rank's shard gradients
+    /// and returns the full `dL/dx` (identical on every tensor-parallel
+    /// rank after the Eqn. (3) all-reduces).
+    pub fn backward(
+        &mut self,
+        cache: &TpBlockCache,
+        dy: &Tensor,
+        tp_group: &mut ProcessGroup,
+        clock: &mut SimClock,
+    ) -> Tensor {
+        let (tokens, d) = dy.shape();
+        let _ = &cache.dh_source;
+        // MLP: y = h + (g_loc W2_loc summed) + b2.
+        let g2 = linear_backward(&cache.g_loc, &self.w2.value, dy, false);
+        self.w2.accumulate(&g2.dw);
+        // b2 is replicated: every rank computes the identical row-sum grad.
+        let mut db2 = Tensor::zeros(1, d);
+        for r in 0..tokens {
+            for (acc, &v) in db2.row_mut(0).iter_mut().zip(dy.row(r)) {
+                *acc += v;
+            }
+        }
+        self.b2.accumulate(&db2);
+        let du = gelu_backward(&cache.u_loc, &g2.dx);
+        let g1 = linear_backward(&cache.z2, &self.w1.value, &du, true);
+        self.w1.accumulate(&g1.dw);
+        self.b1.accumulate(&g1.db.expect("bias grad"));
+        // dz2 partials sum across the group (Eqn. (3)).
+        let dz2 = Tensor::from_vec(tokens, d, tp_group.all_reduce(clock, g1.dx.data()));
+        let ln2g = layernorm_backward(&cache.ln2, &self.ln2_gamma.value, &dz2);
+        self.ln2_gamma.accumulate(&ln2g.dgamma);
+        self.ln2_beta.accumulate(&ln2g.dbeta);
+        let mut dh = dy.clone();
+        dh.add_assign(&ln2g.dx);
+
+        // Attention: h = x + (a_loc Wo_loc summed) + bo.
+        let go = linear_backward(&cache.a_loc, &self.wo.value, &dh, false);
+        self.wo.accumulate(&go.dw);
+        let mut dbo = Tensor::zeros(1, d);
+        for r in 0..tokens {
+            for (acc, &v) in dbo.row_mut(0).iter_mut().zip(dh.row(r)) {
+                *acc += v;
+            }
+        }
+        self.bo.accumulate(&dbo);
+        let norm = self.qk_norm_ref();
+        let mg = mha_backward(&cache.mha, norm.as_ref(), &go.dx);
+        if let (Some(qk), Some((dgq, dbq, dgk, dbk))) = (self.qk.as_mut(), mg.dqk_norm) {
+            // QK-norm params are shared across heads; this rank only saw
+            // its local heads, so these grads are partial. The engine
+            // all-reduces them across the tensor-parallel group at step end.
+            qk[0].accumulate(&dgq);
+            qk[1].accumulate(&dbq);
+            qk[2].accumulate(&dgk);
+            qk[3].accumulate(&dbk);
+        }
+        let gq = linear_backward(&cache.z1, &self.wq.value, &mg.dq, true);
+        self.wq.accumulate(&gq.dw);
+        self.bq.accumulate(&gq.db.expect("bias grad"));
+        let gk = linear_backward(&cache.z1, &self.wk.value, &mg.dk, true);
+        self.wk.accumulate(&gk.dw);
+        self.bk.accumulate(&gk.db.expect("bias grad"));
+        let gv = linear_backward(&cache.z1, &self.wv.value, &mg.dv, true);
+        self.wv.accumulate(&gv.dw);
+        self.bv.accumulate(&gv.db.expect("bias grad"));
+        let mut dz1_part = gq.dx;
+        dz1_part.add_assign(&gk.dx);
+        dz1_part.add_assign(&gv.dx);
+        let dz1 = Tensor::from_vec(tokens, d, tp_group.all_reduce(clock, dz1_part.data()));
+        let ln1g = layernorm_backward(&cache.ln1, &self.ln1_gamma.value, &dz1);
+        self.ln1_gamma.accumulate(&ln1g.dgamma);
+        self.ln1_beta.accumulate(&ln1g.dbeta);
+        let mut dx = dh;
+        dx.add_assign(&ln1g.dx);
+        dx
+    }
+
+    /// Visit this shard's parameters in the same deterministic order as
+    /// [`TransformerBlock::visit_params`] (shapes differ, order matches —
+    /// the invariant the FSDP flattening relies on).
+    pub fn visit_params(&mut self, prefix: &str, v: &mut dyn FnMut(&str, &mut Param)) {
+        let mut emit = |name: &str, p: &mut Param| v(&format!("{prefix}.{name}"), p);
+        emit("ln1_gamma", &mut self.ln1_gamma);
+        emit("ln1_beta", &mut self.ln1_beta);
+        emit("wq", &mut self.wq);
+        emit("bq", &mut self.bq);
+        emit("wk", &mut self.wk);
+        emit("bk", &mut self.bk);
+        emit("wv", &mut self.wv);
+        emit("bv", &mut self.bv);
+        emit("wo", &mut self.wo);
+        emit("bo", &mut self.bo);
+        emit("ln2_gamma", &mut self.ln2_gamma);
+        emit("ln2_beta", &mut self.ln2_beta);
+        emit("w1", &mut self.w1);
+        emit("b1", &mut self.b1);
+        emit("w2", &mut self.w2);
+        emit("b2", &mut self.b2);
+        if let Some(qk) = self.qk.as_mut() {
+            let names = ["qk_gamma_q", "qk_beta_q", "qk_gamma_k", "qk_beta_k"];
+            for (n, p) in names.iter().zip(qk.iter_mut()) {
+                emit(n, p);
+            }
+        }
+    }
+
+    /// Zero all gradient accumulators.
+    pub fn zero_grads(&mut self) {
+        self.visit_params("", &mut |_, p| p.zero_grad());
+    }
+
+    /// Which parameters are replicated across the tensor-parallel group
+    /// (by suffix name), used by engines to decide gradient handling.
+    pub fn is_replicated(name: &str) -> bool {
+        name.ends_with("ln1_gamma")
+            || name.ends_with("ln1_beta")
+            || name.ends_with("ln2_gamma")
+            || name.ends_with("ln2_beta")
+            || name.ends_with("bo")
+            || name.ends_with("b2")
+            || name.contains("qk_")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orbit_comm::Cluster;
+    use orbit_tensor::init::Rng;
+    use orbit_vit::config::VitConfig;
+
+    /// Distributed forward+backward must match the reference block exactly
+    /// (up to f32 reduction order).
+    #[test]
+    fn tp_block_matches_reference() {
+        let cfg = VitConfig::test_tiny();
+        let mut rng = Rng::seed(42);
+        let mut reference = TransformerBlock::init(&cfg, &mut rng);
+        let x = rng.normal_tensor(cfg.tokens(), cfg.dims.embed, 1.0);
+        let dy = rng.normal_tensor(cfg.tokens(), cfg.dims.embed, 1.0);
+        let (y_ref, cache_ref) = reference.forward(&x);
+        let dx_ref = reference.backward(&cache_ref, &dy);
+
+        for tp in [1usize, 2] {
+            let results = Cluster::frontier().run(tp, |ctx| {
+                let mut block = TpBlock::from_reference(&reference, tp, ctx.rank);
+                let mut group = ctx.world_group();
+                let mut clock = SimClock::new();
+                let (y, cache) = block.forward(&x, &mut group, &mut clock);
+                let dx = block.backward(&cache, &dy, &mut group, &mut clock);
+                (y, dx, block.w1.grad.clone(), block.w2.grad.clone())
+            });
+            for (rank, (y, dx, dw1, dw2)) in results.iter().enumerate() {
+                assert!(y.allclose(&y_ref, 1e-4, 1e-5), "tp={tp} rank={rank} forward");
+                assert!(dx.allclose(&dx_ref, 1e-4, 1e-5), "tp={tp} rank={rank} dx");
+                // Shard grads equal the corresponding slices of the
+                // reference grads.
+                let w1_ref = shard_columns(&reference.w1.grad, tp, rank);
+                let w2_ref = shard_rows(&reference.w2.grad, tp, rank);
+                assert!(dw1.allclose(&w1_ref, 1e-4, 1e-5), "tp={tp} rank={rank} dw1");
+                assert!(dw2.allclose(&w2_ref, 1e-4, 1e-5), "tp={tp} rank={rank} dw2");
+            }
+        }
+    }
+
+    #[test]
+    fn qk_norm_grads_sum_to_reference_across_ranks() {
+        let cfg = VitConfig::test_tiny();
+        let mut rng = Rng::seed(7);
+        let mut reference = TransformerBlock::init(&cfg, &mut rng);
+        let x = rng.normal_tensor(cfg.tokens(), cfg.dims.embed, 1.0);
+        let dy = rng.normal_tensor(cfg.tokens(), cfg.dims.embed, 1.0);
+        let (_, cache_ref) = reference.forward(&x);
+        let _ = reference.backward(&cache_ref, &dy);
+        let ref_qk_grad = reference.qk.as_ref().unwrap()[0].grad.clone();
+
+        let tp = 2;
+        let results = Cluster::frontier().run(tp, |ctx| {
+            let mut block = TpBlock::from_reference(&reference, tp, ctx.rank);
+            let mut group = ctx.world_group();
+            let mut clock = SimClock::new();
+            let (_, cache) = block.forward(&x, &mut group, &mut clock);
+            let _ = block.backward(&cache, &dy, &mut group, &mut clock);
+            block.qk.as_ref().unwrap()[0].grad.clone()
+        });
+        let summed = results[0].add(&results[1]);
+        assert!(summed.allclose(&ref_qk_grad, 1e-4, 1e-5));
+    }
+
+    #[test]
+    fn visit_order_matches_reference_block() {
+        let cfg = VitConfig::test_tiny();
+        let mut rng = Rng::seed(9);
+        let mut reference = TransformerBlock::init(&cfg, &mut rng);
+        let mut tp = TpBlock::from_reference(&reference, 2, 0);
+        let mut ref_names = Vec::new();
+        reference.visit_params("b", &mut |n: &str, _: &mut Param| ref_names.push(n.to_string()));
+        let mut tp_names = Vec::new();
+        tp.visit_params("b", &mut |n, _| tp_names.push(n.to_string()));
+        assert_eq!(ref_names, tp_names);
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn rejects_tp_beyond_heads() {
+        let cfg = VitConfig::test_tiny(); // 2 heads
+        let mut rng = Rng::seed(1);
+        let reference = TransformerBlock::init(&cfg, &mut rng);
+        let _ = TpBlock::from_reference(&reference, 4, 0);
+    }
+
+    #[test]
+    fn replicated_name_classification() {
+        assert!(TpBlock::is_replicated("b.ln1_gamma"));
+        assert!(TpBlock::is_replicated("b.qk_gamma_q"));
+        assert!(TpBlock::is_replicated("b.bo"));
+        assert!(!TpBlock::is_replicated("b.wq"));
+        assert!(!TpBlock::is_replicated("b.w2"));
+        // bq (sharded) must not be confused with bo/b2 (replicated).
+        assert!(!TpBlock::is_replicated("b.bq"));
+    }
+}

@@ -1,0 +1,228 @@
+//! The ORBIT variable taxonomy (paper Sec. IV, "Pre-training Dataset"):
+//! 91 variables = 3 static + 3 surface + 85 atmospheric (5 fields x 17
+//! pressure levels), plus the 48-variable ClimaX subset.
+
+use serde::{Deserialize, Serialize};
+
+/// The 17 pressure levels (hPa) used for atmospheric variables.
+pub const PRESSURE_LEVELS: [u32; 17] = [
+    10, 20, 30, 50, 70, 100, 150, 200, 250, 300, 400, 500, 600, 700, 850, 925, 1000,
+];
+
+/// ClimaX's 7-level subset (48-variable configuration).
+pub const CLIMAX_LEVELS: [u32; 7] = [50, 250, 500, 600, 700, 850, 925];
+
+/// The five atmospheric field families.
+pub const ATMO_FIELDS: [&str; 5] = ["z", "t", "u", "v", "q"];
+
+/// Kind of climate variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum VarKind {
+    /// Time-invariant (orography, land-sea mask, soil type).
+    Static,
+    /// Surface variable (t2m, u10, v10).
+    Surface,
+    /// Atmospheric variable at a pressure level.
+    Atmospheric { level_hpa: u32 },
+}
+
+/// One catalog entry.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Variable {
+    /// Short name, e.g. `"t_850"` or `"t2m"`.
+    pub name: String,
+    pub kind: VarKind,
+}
+
+/// The ordered variable list a model trains on.
+#[derive(Debug, Clone)]
+pub struct VariableCatalog {
+    vars: Vec<Variable>,
+}
+
+impl VariableCatalog {
+    /// The full 91-variable ORBIT catalog.
+    pub fn orbit_91() -> Self {
+        let mut vars = Vec::with_capacity(91);
+        for name in ["orography", "land_sea_mask", "soil_type"] {
+            vars.push(Variable {
+                name: name.to_string(),
+                kind: VarKind::Static,
+            });
+        }
+        for name in ["t2m", "u10", "v10"] {
+            vars.push(Variable {
+                name: name.to_string(),
+                kind: VarKind::Surface,
+            });
+        }
+        for field in ATMO_FIELDS {
+            for level in PRESSURE_LEVELS {
+                vars.push(Variable {
+                    name: format!("{field}_{level}"),
+                    kind: VarKind::Atmospheric { level_hpa: level },
+                });
+            }
+        }
+        VariableCatalog { vars }
+    }
+
+    /// The 48-variable ClimaX-style subset: statics + surface + 5 fields
+    /// on 7 levels + extra near-surface levels of temperature and winds.
+    pub fn climax_48() -> Self {
+        let mut vars = Vec::with_capacity(48);
+        for name in ["orography", "land_sea_mask", "soil_type"] {
+            vars.push(Variable {
+                name: name.to_string(),
+                kind: VarKind::Static,
+            });
+        }
+        for name in ["t2m", "u10", "v10"] {
+            vars.push(Variable {
+                name: name.to_string(),
+                kind: VarKind::Surface,
+            });
+        }
+        for field in ATMO_FIELDS {
+            for level in CLIMAX_LEVELS {
+                vars.push(Variable {
+                    name: format!("{field}_{level}"),
+                    kind: VarKind::Atmospheric { level_hpa: level },
+                });
+            }
+        }
+        // 3 + 3 + 35 = 41 so far; ClimaX rounds out with additional levels
+        // of geopotential and humidity.
+        for level in [100u32, 150, 200, 300, 400, 1000, 10] {
+            vars.push(Variable {
+                name: format!("z_{level}"),
+                kind: VarKind::Atmospheric { level_hpa: level },
+            });
+        }
+        VariableCatalog { vars }
+    }
+
+    /// The 8-variable laptop-scale catalog used by the scaled-down
+    /// executable experiments: includes all four output variables.
+    pub fn laptop_8() -> Self {
+        let full = VariableCatalog::orbit_91();
+        let names = ["orography", "land_sea_mask", "t2m", "u10", "v10", "z_500", "t_850", "q_700"];
+        VariableCatalog {
+            vars: names
+                .iter()
+                .map(|n| {
+                    full.vars[full.index_of(n).expect("known variable")].clone()
+                })
+                .collect(),
+        }
+    }
+
+    /// First `n` variables (laptop-scale subset used by examples/tests).
+    pub fn subset(&self, n: usize) -> VariableCatalog {
+        assert!(n <= self.vars.len());
+        VariableCatalog {
+            vars: self.vars[..n].to_vec(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.vars.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.vars.is_empty()
+    }
+
+    pub fn variables(&self) -> &[Variable] {
+        &self.vars
+    }
+
+    /// Index of a variable by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.vars.iter().position(|v| v.name == name)
+    }
+
+    /// The paper's four output variables: z500, t850, t2m, u10. Returns
+    /// their indices in this catalog (panics if absent).
+    pub fn output_indices(&self) -> [usize; 4] {
+        [
+            self.index_of("z_500").expect("z_500 in catalog"),
+            self.index_of("t_850").expect("t_850 in catalog"),
+            self.index_of("t2m").expect("t2m in catalog"),
+            self.index_of("u10").expect("u10 in catalog"),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orbit_catalog_has_91_vars() {
+        let c = VariableCatalog::orbit_91();
+        assert_eq!(c.len(), 91);
+        let statics = c.variables().iter().filter(|v| v.kind == VarKind::Static).count();
+        let surface = c.variables().iter().filter(|v| v.kind == VarKind::Surface).count();
+        assert_eq!(statics, 3);
+        assert_eq!(surface, 3);
+        assert_eq!(91 - statics - surface, 85, "85 atmospheric variables");
+    }
+
+    #[test]
+    fn climax_catalog_has_48_vars() {
+        assert_eq!(VariableCatalog::climax_48().len(), 48);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        for c in [VariableCatalog::orbit_91(), VariableCatalog::climax_48()] {
+            let mut names: Vec<&str> = c.variables().iter().map(|v| v.name.as_str()).collect();
+            names.sort();
+            let before = names.len();
+            names.dedup();
+            assert_eq!(names.len(), before, "duplicate variable names");
+        }
+    }
+
+    #[test]
+    fn output_variables_present_in_both() {
+        for c in [VariableCatalog::orbit_91(), VariableCatalog::climax_48()] {
+            let idx = c.output_indices();
+            assert_eq!(c.variables()[idx[2]].name, "t2m");
+            assert_eq!(c.variables()[idx[0]].name, "z_500");
+        }
+    }
+
+    #[test]
+    fn atmospheric_levels_cover_17() {
+        let c = VariableCatalog::orbit_91();
+        let t_levels: Vec<u32> = c
+            .variables()
+            .iter()
+            .filter_map(|v| match v.kind {
+                VarKind::Atmospheric { level_hpa } if v.name.starts_with("t_") => Some(level_hpa),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(t_levels.len(), 17);
+        assert_eq!(t_levels[0], 10);
+        assert_eq!(t_levels[16], 1000);
+    }
+
+    #[test]
+    fn laptop_catalog_supports_outputs() {
+        let c = VariableCatalog::laptop_8();
+        assert_eq!(c.len(), 8);
+        let idx = c.output_indices();
+        assert_eq!(c.variables()[idx[1]].name, "t_850");
+    }
+
+    #[test]
+    fn subset_preserves_prefix() {
+        let c = VariableCatalog::orbit_91().subset(8);
+        assert_eq!(c.len(), 8);
+        assert_eq!(c.variables()[0].name, "orography");
+        assert_eq!(c.variables()[3].name, "t2m");
+    }
+}

@@ -1,0 +1,30 @@
+//! # orbit-data
+//!
+//! Synthetic Earth-system data: the stand-in for the CMIP6 pre-training
+//! archive and the ERA5 fine-tuning reanalysis that the paper trains on
+//! (both are multi-terabyte external datasets we cannot ship).
+//!
+//! The generator produces *statistically structured, learnable* fields
+//! rather than white noise: each variable has a latitude-dependent
+//! climatological base state, a set of planetary waves that advect in time
+//! (so the future is predictable from the present), and an unpredictable
+//! high-frequency "weather noise" floor. Ten "CMIP6 model sources" differ
+//! in wave amplitudes/speeds (inter-model spread), and an "ERA5-like"
+//! reanalysis source adds observation noise — preserving exactly the
+//! pre-train-on-models / fine-tune-on-reanalysis structure of the paper.
+//!
+//! - [`catalog`]: the 91-variable taxonomy (3 static, 3 surface, 85
+//!   atmospheric across 17 pressure levels) and the 48-variable ClimaX
+//!   subset.
+//! - [`generator`]: deterministic random-access field synthesis.
+//! - [`loader`]: batched sampling with 6-hour cadence and lead-time pairs.
+//! - [`metrics`]: latitude-weighted anomaly correlation (wACC) and RMSE.
+
+pub mod catalog;
+pub mod generator;
+pub mod loader;
+pub mod metrics;
+
+pub use catalog::VariableCatalog;
+pub use generator::ClimateGenerator;
+pub use loader::DataLoader;

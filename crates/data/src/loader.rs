@@ -1,0 +1,222 @@
+//! Batched sampling: pre-training across CMIP6 sources, fine-tuning and
+//! evaluation on the ERA5-like reanalysis with a year-based split
+//! (paper Sec. IV: 1979-2018 train, 2019 validation, 2020 test).
+
+use crate::catalog::VariableCatalog;
+use crate::generator::{ClimateGenerator, CMIP6_SOURCES, ERA5_SOURCE, STEPS_PER_YEAR};
+use orbit_tensor::init::Rng;
+use orbit_vit::Batch;
+
+/// Sampler producing (input @ t, target @ t + lead) pairs.
+#[derive(Debug, Clone)]
+pub struct DataLoader {
+    pub generator: ClimateGenerator,
+    /// Forecast lead in 6-hour steps (4 = 1 day, 56 = 14 days, 120 = 30 days).
+    pub lead_steps: usize,
+    /// Steps of simulated record per source available for pre-training.
+    pub pretrain_steps: usize,
+    /// Train/val/test years for the reanalysis split.
+    pub train_years: std::ops::Range<usize>,
+    pub val_year: usize,
+    pub test_year: usize,
+}
+
+impl DataLoader {
+    /// Loader over the given generator with a 1-day default lead.
+    pub fn new(generator: ClimateGenerator) -> Self {
+        DataLoader {
+            generator,
+            lead_steps: 4,
+            pretrain_steps: 8 * STEPS_PER_YEAR,
+            train_years: 0..4,
+            val_year: 4,
+            test_year: 5,
+        }
+    }
+
+    /// Change the forecast lead (in 6-hour steps).
+    pub fn with_lead(mut self, lead_steps: usize) -> Self {
+        self.lead_steps = lead_steps;
+        self
+    }
+
+    fn sample_pair(&self, source: usize, t: usize) -> (Vec<orbit_tensor::Tensor>, Vec<orbit_tensor::Tensor>) {
+        let inputs = self.generator.observation(source, t);
+        let out_idx = self.generator.catalog().output_indices();
+        let targets = out_idx
+            .iter()
+            .map(|&v| self.generator.field(source, v, t + self.lead_steps))
+            .collect();
+        (inputs, targets)
+    }
+
+    /// A pre-training batch: random CMIP6 source and time per sample.
+    pub fn pretrain_batch(&self, rng: &mut Rng, n: usize) -> Batch {
+        self.pretrain_batch_sources(rng, n, CMIP6_SOURCES.len())
+    }
+
+    /// A pre-training batch restricted to the first `n_sources` CMIP6
+    /// sources (ClimaX pre-trained on 5 of the 10; paper Sec. I).
+    pub fn pretrain_batch_sources(&self, rng: &mut Rng, n: usize, n_sources: usize) -> Batch {
+        assert!(n_sources >= 1 && n_sources <= CMIP6_SOURCES.len());
+        let mut batch = Batch::default();
+        for _ in 0..n {
+            let source = rng.index(n_sources);
+            let t = rng.index(self.pretrain_steps - self.lead_steps);
+            let (i, o) = self.sample_pair(source, t);
+            batch.inputs.push(i);
+            batch.targets.push(o);
+        }
+        batch
+    }
+
+    /// A fine-tuning batch whose targets are the **full state** (all input
+    /// channels) at `t + lead` — used to train autoregressive rollout
+    /// baselines (Stormer-like, FourCastNet-like).
+    pub fn finetune_batch_full_state(&self, rng: &mut Rng, n: usize) -> Batch {
+        let lo = self.train_years.start * STEPS_PER_YEAR;
+        let hi = self.train_years.end * STEPS_PER_YEAR - self.lead_steps;
+        let mut batch = Batch::default();
+        for _ in 0..n {
+            let t = lo + rng.index(hi - lo);
+            batch.inputs.push(self.generator.observation(ERA5_SOURCE, t));
+            batch
+                .targets
+                .push(self.generator.observation(ERA5_SOURCE, t + self.lead_steps));
+        }
+        batch
+    }
+
+    /// A fine-tuning batch from the reanalysis training years.
+    pub fn finetune_batch(&self, rng: &mut Rng, n: usize) -> Batch {
+        let lo = self.train_years.start * STEPS_PER_YEAR;
+        let hi = self.train_years.end * STEPS_PER_YEAR - self.lead_steps;
+        let mut batch = Batch::default();
+        for _ in 0..n {
+            let t = lo + rng.index(hi - lo);
+            let (i, o) = self.sample_pair(ERA5_SOURCE, t);
+            batch.inputs.push(i);
+            batch.targets.push(o);
+        }
+        batch
+    }
+
+    /// Evenly-spaced evaluation samples from the held-out test year.
+    pub fn eval_batch(&self, n: usize) -> Batch {
+        let lo = self.test_year * STEPS_PER_YEAR;
+        let span = STEPS_PER_YEAR - self.lead_steps;
+        let mut batch = Batch::default();
+        for k in 0..n {
+            let t = lo + k * span / n;
+            let (i, o) = self.sample_pair(ERA5_SOURCE, t);
+            batch.inputs.push(i);
+            batch.targets.push(o);
+        }
+        batch
+    }
+
+    /// Validation samples from the validation year.
+    pub fn val_batch(&self, n: usize) -> Batch {
+        let lo = self.val_year * STEPS_PER_YEAR;
+        let span = STEPS_PER_YEAR - self.lead_steps;
+        let mut batch = Batch::default();
+        for k in 0..n {
+            let t = lo + k * span / n;
+            let (i, o) = self.sample_pair(ERA5_SOURCE, t);
+            batch.inputs.push(i);
+            batch.targets.push(o);
+        }
+        batch
+    }
+
+    /// Per-output-variable climatologies (for wACC).
+    pub fn output_climatologies(&self) -> Vec<orbit_tensor::Tensor> {
+        self.generator
+            .catalog()
+            .output_indices()
+            .iter()
+            .map(|&v| self.generator.climatology(v))
+            .collect()
+    }
+}
+
+/// Standard loader for the laptop-scale experiments: 8 variables on a
+/// 32 x 64 grid.
+pub fn laptop_loader(seed: u64) -> DataLoader {
+    DataLoader::new(ClimateGenerator::new(
+        32,
+        64,
+        VariableCatalog::laptop_8(),
+        seed,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn loader() -> DataLoader {
+        DataLoader::new(ClimateGenerator::new(8, 16, VariableCatalog::laptop_8(), 3))
+    }
+
+    #[test]
+    fn batch_shapes() {
+        let l = loader();
+        let mut rng = Rng::seed(1);
+        let b = l.pretrain_batch(&mut rng, 3);
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.inputs[0].len(), 8, "8 input channels");
+        assert_eq!(b.targets[0].len(), 4, "4 output variables");
+        assert_eq!(b.inputs[0][0].shape(), (8, 16));
+    }
+
+    #[test]
+    fn eval_and_train_come_from_disjoint_years() {
+        let l = loader();
+        let mut rng = Rng::seed(2);
+        let train = l.finetune_batch(&mut rng, 2);
+        let eval = l.eval_batch(2);
+        // Different times => different dynamic fields. Compare a dynamic
+        // channel (index 5 = z_500).
+        assert_ne!(train.inputs[0][5], eval.inputs[0][5]);
+    }
+
+    #[test]
+    fn eval_batches_are_deterministic() {
+        let l = loader();
+        let a = l.eval_batch(3);
+        let b = l.eval_batch(3);
+        assert_eq!(a.inputs[0][5], b.inputs[0][5]);
+        assert_eq!(a.targets[2][1], b.targets[2][1]);
+    }
+
+    #[test]
+    fn targets_are_future_fields_of_output_vars() {
+        let l = loader();
+        let b = l.eval_batch(1);
+        let out_idx = l.generator.catalog().output_indices();
+        let t0 = l.test_year * STEPS_PER_YEAR;
+        let expect = l.generator.field(ERA5_SOURCE, out_idx[0], t0 + l.lead_steps);
+        assert_eq!(b.targets[0][0], expect);
+    }
+
+    #[test]
+    fn lead_configurable() {
+        let short = loader().with_lead(1);
+        let long = loader().with_lead(60);
+        let bs = short.eval_batch(1);
+        let bl = long.eval_batch(1);
+        // Same input time, different target times.
+        assert_eq!(bs.inputs[0][5], bl.inputs[0][5]);
+        assert_ne!(bs.targets[0][0], bl.targets[0][0]);
+    }
+
+    #[test]
+    fn climatologies_match_generator() {
+        let l = loader();
+        let clims = l.output_climatologies();
+        assert_eq!(clims.len(), 4);
+        let out_idx = l.generator.catalog().output_indices();
+        assert_eq!(clims[0], l.generator.climatology(out_idx[0]));
+    }
+}

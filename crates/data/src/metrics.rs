@@ -1,0 +1,149 @@
+//! Evaluation metrics (paper Sec. IV, "Performance Metrics").
+//!
+//! The headline fine-tuning metric is the latitude-weighted Anomaly
+//! Correlation Coefficient (wACC): the Pearson correlation between
+//! predicted and observed *anomalies* (departures from climatology),
+//! weighted by `cos(latitude)`. 1 = perfect, 0 = no better than
+//! climatology, negative = anti-correlated.
+
+use orbit_tensor::Tensor;
+pub use orbit_vit::loss::lat_weights;
+
+/// Latitude-weighted anomaly correlation coefficient between a prediction
+/// and the truth, given the variable's climatology.
+pub fn wacc(pred: &Tensor, truth: &Tensor, climatology: &Tensor, weights: &[f32]) -> f32 {
+    assert_eq!(pred.shape(), truth.shape());
+    assert_eq!(pred.shape(), climatology.shape());
+    let (h, w) = pred.shape();
+    assert_eq!(weights.len(), h);
+    // Anomalies and their weighted means.
+    let mut sum_w = 0.0f64;
+    let mut mean_p = 0.0f64;
+    let mut mean_t = 0.0f64;
+    for r in 0..h {
+        let wr = weights[r] as f64;
+        for c in 0..w {
+            let pa = (pred.get(r, c) - climatology.get(r, c)) as f64;
+            let ta = (truth.get(r, c) - climatology.get(r, c)) as f64;
+            mean_p += wr * pa;
+            mean_t += wr * ta;
+            sum_w += wr;
+        }
+    }
+    mean_p /= sum_w;
+    mean_t /= sum_w;
+    let mut cov = 0.0f64;
+    let mut var_p = 0.0f64;
+    let mut var_t = 0.0f64;
+    for r in 0..h {
+        let wr = weights[r] as f64;
+        for c in 0..w {
+            let pa = (pred.get(r, c) - climatology.get(r, c)) as f64 - mean_p;
+            let ta = (truth.get(r, c) - climatology.get(r, c)) as f64 - mean_t;
+            cov += wr * pa * ta;
+            var_p += wr * pa * pa;
+            var_t += wr * ta * ta;
+        }
+    }
+    if var_p <= 0.0 || var_t <= 0.0 {
+        return 0.0;
+    }
+    (cov / (var_p.sqrt() * var_t.sqrt())) as f32
+}
+
+/// Latitude-weighted root-mean-square error.
+pub fn wrmse(pred: &Tensor, truth: &Tensor, weights: &[f32]) -> f32 {
+    let (h, w) = pred.shape();
+    assert_eq!(truth.shape(), (h, w));
+    assert_eq!(weights.len(), h);
+    let mut total = 0.0f64;
+    let mut sum_w = 0.0f64;
+    for r in 0..h {
+        let wr = weights[r] as f64;
+        for c in 0..w {
+            let d = (pred.get(r, c) - truth.get(r, c)) as f64;
+            total += wr * d * d;
+            sum_w += wr;
+        }
+    }
+    ((total / sum_w) as f32).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orbit_tensor::init::Rng;
+
+    #[test]
+    fn perfect_prediction_has_wacc_one() {
+        let mut rng = Rng::seed(1);
+        let truth = rng.normal_tensor(8, 16, 1.0);
+        let clim = rng.normal_tensor(8, 16, 0.5);
+        let w = lat_weights(8);
+        let a = wacc(&truth.clone(), &truth, &clim, &w);
+        assert!((a - 1.0).abs() < 1e-5, "wacc {a}");
+    }
+
+    #[test]
+    fn anti_correlated_prediction_has_wacc_minus_one() {
+        let mut rng = Rng::seed(2);
+        let clim = Tensor::zeros(8, 16);
+        let truth = rng.normal_tensor(8, 16, 1.0);
+        let mut pred = truth.clone();
+        pred.scale(-1.0);
+        let w = lat_weights(8);
+        let a = wacc(&pred, &truth, &clim, &w);
+        assert!((a + 1.0).abs() < 1e-5, "wacc {a}");
+    }
+
+    #[test]
+    fn climatology_prediction_scores_zero() {
+        let mut rng = Rng::seed(3);
+        let clim = rng.normal_tensor(8, 16, 1.0);
+        let truth = rng.normal_tensor(8, 16, 1.0);
+        let w = lat_weights(8);
+        // Predicting exactly the climatology gives zero anomaly variance.
+        let a = wacc(&clim.clone(), &truth, &clim, &w);
+        assert_eq!(a, 0.0);
+    }
+
+    #[test]
+    fn wacc_is_scale_invariant_in_anomaly_amplitude() {
+        let mut rng = Rng::seed(4);
+        let clim = Tensor::zeros(8, 16);
+        let truth = rng.normal_tensor(8, 16, 1.0);
+        let mut half = truth.clone();
+        half.scale(0.5);
+        let w = lat_weights(8);
+        let a = wacc(&half, &truth, &clim, &w);
+        assert!((a - 1.0).abs() < 1e-5, "correlation ignores amplitude: {a}");
+    }
+
+    #[test]
+    fn wacc_bounded() {
+        let mut rng = Rng::seed(5);
+        let clim = rng.normal_tensor(8, 16, 1.0);
+        let w = lat_weights(8);
+        for i in 0..10 {
+            let p = rng.normal_tensor(8, 16, 1.0 + i as f32 * 0.3);
+            let t = rng.normal_tensor(8, 16, 1.0);
+            let a = wacc(&p, &t, &clim, &w);
+            assert!((-1.0..=1.0).contains(&a), "wacc {a} out of range");
+        }
+    }
+
+    #[test]
+    fn wrmse_zero_iff_equal_and_monotone() {
+        let mut rng = Rng::seed(6);
+        let t = rng.normal_tensor(8, 16, 1.0);
+        let w = lat_weights(8);
+        assert_eq!(wrmse(&t.clone(), &t, &w), 0.0);
+        let mut near = t.clone();
+        near.data_mut()[0] += 0.1;
+        let mut far = t.clone();
+        for v in far.data_mut() {
+            *v += 1.0;
+        }
+        assert!(wrmse(&near, &t, &w) < wrmse(&far, &t, &w));
+    }
+}

@@ -1,0 +1,232 @@
+//! Model dimension arithmetic: parameter counts, token counts, FLOPs.
+//!
+//! These closed forms are shared between the analytic performance model and
+//! the executable ViT (whose actual parameter tensors are counted in tests
+//! against [`ModelDims::param_count`] to keep the two in sync).
+
+use serde::{Deserialize, Serialize};
+
+/// Architectural dimensions of an ORBIT/ClimaX vision transformer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ModelDims {
+    /// Embedding (model) dimension `d`.
+    pub embed: usize,
+    /// Number of transformer layers.
+    pub layers: usize,
+    /// Attention heads per layer.
+    pub heads: usize,
+    /// Number of input variable channels (48 or 91 in the paper).
+    pub channels: usize,
+    /// Square patch edge in pixels.
+    pub patch: usize,
+    /// Image height in pixels (128 at 1.40625 degrees).
+    pub img_h: usize,
+    /// Image width in pixels (256 at 1.40625 degrees).
+    pub img_w: usize,
+    /// Number of output variables predicted by the head.
+    pub out_channels: usize,
+}
+
+impl ModelDims {
+    /// The paper's 115 M-parameter configuration
+    /// (1024 embedding, 8 layers, 16 heads).
+    pub fn orbit_115m(channels: usize) -> Self {
+        ModelDims::paper(1024, 8, 16, channels)
+    }
+
+    /// The paper's 1 B configuration (3072 embedding, 8 layers, 16 heads).
+    pub fn orbit_1b(channels: usize) -> Self {
+        ModelDims::paper(3072, 8, 16, channels)
+    }
+
+    /// The paper's 10 B configuration (8192 embedding, 11 layers, 32 heads).
+    pub fn orbit_10b(channels: usize) -> Self {
+        ModelDims::paper(8192, 11, 32, channels)
+    }
+
+    /// The paper's 113 B configuration (12288 embedding, 56 layers, 64 heads).
+    pub fn orbit_113b(channels: usize) -> Self {
+        ModelDims::paper(12288, 56, 64, channels)
+    }
+
+    /// A paper-scale config at full 1.40625-degree resolution with ClimaX's
+    /// patch size 4 (128x256 image -> 32x64 = 2048 tokens).
+    pub fn paper(embed: usize, layers: usize, heads: usize, channels: usize) -> Self {
+        ModelDims {
+            embed,
+            layers,
+            heads,
+            channels,
+            patch: 4,
+            img_h: 128,
+            img_w: 256,
+            out_channels: 4,
+        }
+    }
+
+    /// Number of spatial tokens after patchification.
+    pub fn tokens(&self) -> usize {
+        (self.img_h / self.patch) * (self.img_w / self.patch)
+    }
+
+    /// Per-head feature dimension.
+    pub fn head_dim(&self) -> usize {
+        self.embed / self.heads
+    }
+
+    /// Parameters of the per-variable tokenizer (one patch-embedding per
+    /// channel, weight + bias).
+    pub fn tokenizer_params(&self) -> u64 {
+        let per_var = (self.patch * self.patch * self.embed + self.embed) as u64;
+        per_var * self.channels as u64
+    }
+
+    /// Parameters of the channel cross-attention aggregation: learnable
+    /// query + bias-free Q/K/V/O projections.
+    pub fn aggregation_params(&self) -> u64 {
+        let d = self.embed as u64;
+        d + 4 * d * d
+    }
+
+    /// Positional embedding parameters.
+    pub fn pos_embed_params(&self) -> u64 {
+        (self.tokens() * self.embed) as u64
+    }
+
+    /// Parameters of one transformer block: QKV + output projection, 2-layer
+    /// MLP with 4x expansion, two layernorms, QK layernorms.
+    pub fn block_params(&self) -> u64 {
+        let d = self.embed as u64;
+        let attn = 4 * d * d + 4 * d; // Wq,Wk,Wv,Wo + biases
+        let mlp = d * 4 * d + 4 * d + 4 * d * d + d; // d->4d, 4d->d
+        let norms = 2 * 2 * d; // two pre-norms (gamma+beta)
+        let qk_norm = 4 * (d / self.heads as u64); // gamma/beta for q and k
+        attn + mlp + norms + qk_norm
+    }
+
+    /// Prediction-head parameters (embedding -> out_channels * patch^2).
+    pub fn head_params(&self) -> u64 {
+        let out = (self.out_channels * self.patch * self.patch) as u64;
+        self.embed as u64 * out + out
+    }
+
+    /// Total parameter count.
+    pub fn param_count(&self) -> u64 {
+        self.tokenizer_params()
+            + self.aggregation_params()
+            + self.pos_embed_params()
+            + self.block_params() * self.layers as u64
+            + self.head_params()
+    }
+
+    /// Parameters of the largest single layer-wrapped unit (one transformer
+    /// block) — the gather granularity under layer wrapping.
+    pub fn max_layer_params(&self) -> u64 {
+        self.block_params()
+            .max(self.tokenizer_params())
+            .max(self.aggregation_params())
+    }
+
+    /// Forward-pass FLOPs for one observation (one C x H x W sample).
+    ///
+    /// Matmul-dominated terms: each weight matrix contributes `2 * m * n`
+    /// FLOPs per token it processes; attention adds the `T^2 d` score and
+    /// value terms per layer.
+    pub fn forward_flops(&self) -> u64 {
+        let t = self.tokens() as u64;
+        let d = self.embed as u64;
+        let c = self.channels as u64;
+        // Tokenizer: every channel embeds every token.
+        let tok = 2 * c * t * (self.patch * self.patch) as u64 * d;
+        // Aggregation: K/V projections over all C*T channel embeddings,
+        // a query projection + output projection per spatial token, then a
+        // 1-query cross-attention over C channels per token.
+        let agg = 4 * c * t * d * d // K,V: 2 FLOPs * C*T rows * 2 d^2 mats
+            + 4 * t * d * d // Q and O projections on T tokens
+            + 4 * t * c * d; // scores + weighted value sum
+        // Transformer blocks: weights 2*block_params*T + attention 4*T^2*d.
+        let blocks = self.layers as u64 * (2 * self.block_params() * t + 4 * t * t * d);
+        let head = 2 * t * self.head_params();
+        tok + agg + blocks + head
+    }
+
+    /// Training FLOPs per observation: backward is 2x forward; activation
+    /// checkpointing re-runs the forward (x4/3 total -> modeled at call
+    /// sites via [`crate::perfmodel::TrainOptions`]).
+    pub fn train_flops(&self) -> u64 {
+        3 * self.forward_flops()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_param_counts_match_reported_sizes() {
+        // The paper reports 115 M / 1 B / 10 B / 113 B. Our closed form
+        // should land within ~15% of each label (the paper rounds).
+        let cases = [
+            (ModelDims::orbit_115m(48), 115e6),
+            (ModelDims::orbit_1b(48), 1e9),
+            (ModelDims::orbit_10b(48), 10e9),
+            (ModelDims::orbit_113b(48), 113e9),
+        ];
+        for (dims, expect) in cases {
+            let p = dims.param_count() as f64;
+            let ratio = p / expect;
+            assert!(
+                (0.8..1.25).contains(&ratio),
+                "{}-emb model: {p:.3e} params vs expected {expect:.1e} (ratio {ratio:.2})",
+                dims.embed
+            );
+        }
+    }
+
+    #[test]
+    fn tokens_at_paper_resolution() {
+        let d = ModelDims::orbit_115m(48);
+        assert_eq!(d.tokens(), 32 * 64);
+        assert_eq!(d.head_dim(), 64);
+    }
+
+    #[test]
+    fn params_grow_with_channels() {
+        let a = ModelDims::orbit_115m(48);
+        let b = ModelDims::orbit_115m(91);
+        assert!(b.param_count() > a.param_count());
+        // Only the tokenizer depends on channel count.
+        assert_eq!(
+            b.param_count() - a.param_count(),
+            b.tokenizer_params() - a.tokenizer_params()
+        );
+    }
+
+    #[test]
+    fn block_params_dominated_by_12_d_squared() {
+        let d = ModelDims::orbit_113b(48);
+        let twelve_d2 = 12 * (d.embed as u64) * (d.embed as u64);
+        let ratio = d.block_params() as f64 / twelve_d2 as f64;
+        assert!((0.99..1.01).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn flops_scale_superlinearly_in_embed() {
+        let small = ModelDims::paper(256, 4, 4, 8).forward_flops();
+        let big = ModelDims::paper(512, 4, 4, 8).forward_flops();
+        assert!(big > 3 * small, "doubling embed ~4x matmul flops");
+    }
+
+    #[test]
+    fn train_flops_is_three_forwards() {
+        let d = ModelDims::orbit_115m(48);
+        assert_eq!(d.train_flops(), 3 * d.forward_flops());
+    }
+
+    #[test]
+    fn max_layer_is_the_block_for_paper_models() {
+        for dims in [ModelDims::orbit_1b(48), ModelDims::orbit_113b(91)] {
+            assert_eq!(dims.max_layer_params(), dims.block_params());
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! # orbit-frontier
+//!
+//! A machine model of the Frontier supercomputer (OLCF) and an analytic
+//! performance model for training ORBIT-class vision transformers on it.
+//!
+//! The real evaluation in the paper ran on up to 49,152 MI250X GCDs — scale
+//! we cannot execute. This crate provides the pieces that let ORBIT-RS
+//! reproduce the paper's at-scale numbers honestly:
+//!
+//! 1. [`machine`]: hardware constants (node topology, memory capacity, link
+//!    bandwidths, peak throughput) taken from the paper's "System Details".
+//! 2. [`mapping`]: the hierarchical rank-to-hardware placement of paper
+//!    Fig. 4 (tensor-parallel groups inside a node, FSDP groups across
+//!    nodes, DDP groups across sub-clusters).
+//! 3. [`dims`] + [`perfmodel`]: closed-form parameter counts, memory
+//!    footprints, FLOP counts, communication volumes and walltimes for every
+//!    parallelism strategy and optimization combination the paper ablates.
+//!
+//! The executable simulator in `orbit-comm` uses the same constants, and the
+//! integration tests cross-validate the closed forms against simulated runs
+//! at small scale.
+
+pub mod dims;
+pub mod machine;
+pub mod mapping;
+pub mod perfmodel;
+
+pub use dims::ModelDims;
+pub use machine::{FrontierMachine, LinkKind};
+pub use mapping::{ParallelLayout, RankMapping};
+pub use perfmodel::{MemoryBreakdown, PerfModel, Strategy, TrainOptions};

@@ -1,0 +1,207 @@
+//! Frontier hardware constants (paper Sec. IV, "System Details").
+//!
+//! Each Frontier node has one 64-core EPYC CPU and 4 MI250X cards; every
+//! card exposes 2 GCDs ("GPUs" throughout the paper), so a node has 8 GPUs
+//! with 64 GB HBM each. GPUs within a node talk over Infinity Fabric
+//! (50 GB/s); nodes talk over Slingshot-11 (100 GB/s per node, shared by
+//! its GPUs).
+
+use serde::{Deserialize, Serialize};
+
+/// Which physical link a communication crosses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LinkKind {
+    /// GPU-to-GPU within one node (Infinity Fabric).
+    IntraNode,
+    /// Node-to-node (Slingshot-11).
+    InterNode,
+}
+
+/// Machine description used by both the simulator and the analytic model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FrontierMachine {
+    /// GPUs (MI250X GCDs) per node.
+    pub gpus_per_node: usize,
+    /// HBM capacity per GPU, bytes.
+    pub mem_per_gpu: u64,
+    /// Intra-node GPU-GPU bandwidth, bytes/s.
+    pub intra_node_bw: f64,
+    /// Inter-node injection bandwidth per node, bytes/s.
+    pub inter_node_bw: f64,
+    /// Per-message latency for intra-node transfers, seconds.
+    pub intra_node_latency: f64,
+    /// Per-message latency for inter-node transfers, seconds.
+    pub inter_node_latency: f64,
+    /// Peak BF16 throughput per GPU, FLOP/s.
+    pub peak_bf16: f64,
+    /// Peak FP32 throughput per GPU, FLOP/s.
+    pub peak_fp32: f64,
+    /// Sustained model-FLOPs utilization achieved by dense transformer
+    /// training at healthy local batch sizes (calibrated so the analytic
+    /// model lands near the paper's reported walltimes).
+    pub mfu: f64,
+    /// Fraction of GPU memory usable by the framework (the rest is
+    /// runtime/allocator overhead).
+    pub usable_mem_fraction: f64,
+}
+
+impl Default for FrontierMachine {
+    fn default() -> Self {
+        FrontierMachine {
+            gpus_per_node: 8,
+            mem_per_gpu: 64 * (1 << 30),
+            intra_node_bw: 50e9,
+            inter_node_bw: 100e9 / 8.0, // Slingshot 100 GB/s shared by 8 GPUs
+            intra_node_latency: 5e-6,
+            inter_node_latency: 20e-6,
+            peak_bf16: 191.5e12, // MI250X GCD matrix BF16 peak
+            peak_fp32: 47.9e12,  // MI250X GCD packed-FP32 peak
+            mfu: 0.12,
+            usable_mem_fraction: 0.9,
+        }
+    }
+}
+
+impl FrontierMachine {
+    /// Node index that hosts a given GPU rank under block placement.
+    pub fn node_of(&self, rank: usize) -> usize {
+        rank / self.gpus_per_node
+    }
+
+    /// Link crossed by communication between two ranks.
+    pub fn link_between(&self, a: usize, b: usize) -> LinkKind {
+        if self.node_of(a) == self.node_of(b) {
+            LinkKind::IntraNode
+        } else {
+            LinkKind::InterNode
+        }
+    }
+
+    /// Bandwidth (bytes/s) of a link kind.
+    pub fn bandwidth(&self, link: LinkKind) -> f64 {
+        match link {
+            LinkKind::IntraNode => self.intra_node_bw,
+            LinkKind::InterNode => self.inter_node_bw,
+        }
+    }
+
+    /// Latency (seconds) of a link kind.
+    pub fn latency(&self, link: LinkKind) -> f64 {
+        match link {
+            LinkKind::IntraNode => self.intra_node_latency,
+            LinkKind::InterNode => self.inter_node_latency,
+        }
+    }
+
+    /// Usable memory per GPU after runtime overhead.
+    pub fn usable_mem(&self) -> u64 {
+        (self.mem_per_gpu as f64 * self.usable_mem_fraction) as u64
+    }
+
+    /// Time for a ring all-gather where each of `p` ranks contributes
+    /// `shard_bytes`, over a link of the given kind: `(p-1)` steps each
+    /// moving `shard_bytes`.
+    pub fn all_gather_time(&self, p: usize, shard_bytes: u64, link: LinkKind) -> f64 {
+        if p <= 1 {
+            return 0.0;
+        }
+        let steps = (p - 1) as f64;
+        steps * (self.latency(link) + shard_bytes as f64 / self.bandwidth(link))
+    }
+
+    /// Time for a ring reduce-scatter of a `total_bytes` buffer across `p`
+    /// ranks: `(p-1)` steps each moving `total_bytes / p`.
+    pub fn reduce_scatter_time(&self, p: usize, total_bytes: u64, link: LinkKind) -> f64 {
+        if p <= 1 {
+            return 0.0;
+        }
+        let steps = (p - 1) as f64;
+        steps * (self.latency(link) + total_bytes as f64 / p as f64 / self.bandwidth(link))
+    }
+
+    /// Time for an all-reduce of `total_bytes` across `p` ranks: ring
+    /// bandwidth term (`2 (p-1)/p * total` on the wire) plus
+    /// tree-logarithmic latency (large groups switch to tree algorithms,
+    /// so latency does not grow linearly in `p` — essential for the DDP
+    /// reductions across thousands of replicas in Fig. 7).
+    pub fn all_reduce_time(&self, p: usize, total_bytes: u64, link: LinkKind) -> f64 {
+        if p <= 1 {
+            return 0.0;
+        }
+        let bw_term = 2.0 * (p - 1) as f64 / p as f64 * total_bytes as f64 / self.bandwidth(link);
+        let lat_term = 2.0 * (p as f64).log2().ceil() * self.latency(link);
+        bw_term + lat_term
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topology_placement() {
+        let m = FrontierMachine::default();
+        assert_eq!(m.node_of(0), 0);
+        assert_eq!(m.node_of(7), 0);
+        assert_eq!(m.node_of(8), 1);
+        assert_eq!(m.link_between(0, 7), LinkKind::IntraNode);
+        assert_eq!(m.link_between(0, 8), LinkKind::InterNode);
+    }
+
+    #[test]
+    fn intra_node_is_faster() {
+        let m = FrontierMachine::default();
+        assert!(m.bandwidth(LinkKind::IntraNode) > m.bandwidth(LinkKind::InterNode));
+        assert!(m.latency(LinkKind::IntraNode) < m.latency(LinkKind::InterNode));
+    }
+
+    #[test]
+    fn collective_times_scale_with_size() {
+        let m = FrontierMachine::default();
+        let t1 = m.all_reduce_time(8, 1 << 26, LinkKind::IntraNode);
+        let t2 = m.all_reduce_time(8, 1 << 30, LinkKind::IntraNode);
+        // Large messages are bandwidth-bound, so 16x bytes ~ 16x time.
+        assert!(t2 > t1 * 12.0, "16x bytes should be ~16x time: {t1} vs {t2}");
+    }
+
+    #[test]
+    fn single_rank_collectives_are_free() {
+        let m = FrontierMachine::default();
+        assert_eq!(m.all_gather_time(1, 1 << 20, LinkKind::InterNode), 0.0);
+        assert_eq!(m.all_reduce_time(1, 1 << 20, LinkKind::InterNode), 0.0);
+        assert_eq!(m.reduce_scatter_time(1, 1 << 20, LinkKind::InterNode), 0.0);
+    }
+
+    #[test]
+    fn all_reduce_at_most_gather_plus_scatter() {
+        // All-reduce uses tree latency, so it can only beat the naive
+        // reduce-scatter + all-gather composition; its bandwidth term
+        // still dominates for large messages.
+        let m = FrontierMachine::default();
+        let p = 16;
+        let bytes = 1u64 << 26;
+        let ar = m.all_reduce_time(p, bytes, LinkKind::InterNode);
+        let rs = m.reduce_scatter_time(p, bytes, LinkKind::InterNode);
+        let ag = m.all_gather_time(p, bytes / p as u64, LinkKind::InterNode);
+        assert!(ar <= rs + ag + 1e-9, "{ar} vs {}", rs + ag);
+        let wire = 2.0 * (p - 1) as f64 / p as f64 * bytes as f64;
+        assert!(ar >= wire / m.bandwidth(LinkKind::InterNode), "bandwidth bound");
+    }
+
+    #[test]
+    fn all_reduce_latency_grows_logarithmically() {
+        let m = FrontierMachine::default();
+        // Tiny message: latency-dominated; 4096 ranks should cost ~2x of
+        // 64 ranks (log ratio 12/6), not 64x.
+        let t64 = m.all_reduce_time(64, 4, LinkKind::InterNode);
+        let t4096 = m.all_reduce_time(4096, 4, LinkKind::InterNode);
+        assert!(t4096 < 3.0 * t64, "{t4096} vs {t64}");
+    }
+
+    #[test]
+    fn usable_memory_below_capacity() {
+        let m = FrontierMachine::default();
+        assert!(m.usable_mem() < m.mem_per_gpu);
+        assert!(m.usable_mem() > m.mem_per_gpu / 2);
+    }
+}

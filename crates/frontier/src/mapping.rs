@@ -1,0 +1,213 @@
+//! Hierarchical rank placement (paper Fig. 4).
+//!
+//! Hybrid-STOP uses three orthogonal parallel group kinds with very
+//! different communication profiles, so they are mapped to the machine
+//! hierarchy by communication intensity:
+//!
+//! - **Tensor-parallel groups** reduce activations every layer (fine-grain,
+//!   frequent) — mapped to GPUs *within one node* (Infinity Fabric).
+//! - **FSDP groups** gather/reduce-scatter parameter shards once per layer
+//!   (coarser) — mapped *across nodes*.
+//! - **DDP groups** reduce gradients once per global batch — mapped across
+//!   *sub-clusters*.
+//!
+//! The world is factored as `world = tp * fsdp * ddp`. Rank `r` decomposes
+//! with `tp` fastest-varying (so consecutive ranks — which share a node —
+//! form the tensor-parallel group), then `fsdp`, then `ddp`:
+//! `r = ddp_idx * (fsdp * tp) + fsdp_idx * tp + tp_idx`.
+
+use crate::machine::FrontierMachine;
+use serde::{Deserialize, Serialize};
+
+/// Sizes of the three orthogonal parallel group kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ParallelLayout {
+    /// Tensor-parallel group size (intra-node).
+    pub tp: usize,
+    /// FSDP group size (across nodes).
+    pub fsdp: usize,
+    /// DDP group count dimension (across sub-clusters).
+    pub ddp: usize,
+}
+
+impl ParallelLayout {
+    pub fn new(tp: usize, fsdp: usize, ddp: usize) -> Self {
+        assert!(tp >= 1 && fsdp >= 1 && ddp >= 1, "group sizes must be >= 1");
+        ParallelLayout { tp, fsdp, ddp }
+    }
+
+    /// Total world size `tp * fsdp * ddp`.
+    pub fn world(&self) -> usize {
+        self.tp * self.fsdp * self.ddp
+    }
+
+    /// Model parameters are sharded over `tp * fsdp` ranks.
+    pub fn model_shards(&self) -> usize {
+        self.tp * self.fsdp
+    }
+}
+
+/// Decomposed coordinates of one rank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RankCoords {
+    pub tp_idx: usize,
+    pub fsdp_idx: usize,
+    pub ddp_idx: usize,
+}
+
+/// Placement of a [`ParallelLayout`] onto a machine.
+#[derive(Debug, Clone)]
+pub struct RankMapping {
+    layout: ParallelLayout,
+}
+
+impl RankMapping {
+    pub fn new(layout: ParallelLayout) -> Self {
+        RankMapping { layout }
+    }
+
+    pub fn layout(&self) -> ParallelLayout {
+        self.layout
+    }
+
+    /// Decompose a flat rank into (tp, fsdp, ddp) coordinates.
+    pub fn coords(&self, rank: usize) -> RankCoords {
+        assert!(rank < self.layout.world(), "rank {rank} out of range");
+        let tp_idx = rank % self.layout.tp;
+        let fsdp_idx = (rank / self.layout.tp) % self.layout.fsdp;
+        let ddp_idx = rank / (self.layout.tp * self.layout.fsdp);
+        RankCoords {
+            tp_idx,
+            fsdp_idx,
+            ddp_idx,
+        }
+    }
+
+    /// Flat rank from coordinates (inverse of [`Self::coords`]).
+    pub fn rank_of(&self, c: RankCoords) -> usize {
+        c.ddp_idx * self.layout.tp * self.layout.fsdp + c.fsdp_idx * self.layout.tp + c.tp_idx
+    }
+
+    /// Ranks in the same tensor-parallel group as `rank` (including it),
+    /// in tp-index order.
+    pub fn tp_group(&self, rank: usize) -> Vec<usize> {
+        let c = self.coords(rank);
+        (0..self.layout.tp)
+            .map(|t| self.rank_of(RankCoords { tp_idx: t, ..c }))
+            .collect()
+    }
+
+    /// Ranks in the same FSDP group as `rank`, in fsdp-index order.
+    pub fn fsdp_group(&self, rank: usize) -> Vec<usize> {
+        let c = self.coords(rank);
+        (0..self.layout.fsdp)
+            .map(|f| self.rank_of(RankCoords { fsdp_idx: f, ..c }))
+            .collect()
+    }
+
+    /// Ranks in the same DDP (data-replica) group as `rank` — ranks holding
+    /// the *same* model shard in different data replicas.
+    pub fn ddp_group(&self, rank: usize) -> Vec<usize> {
+        let c = self.coords(rank);
+        (0..self.layout.ddp)
+            .map(|d| self.rank_of(RankCoords { ddp_idx: d, ..c }))
+            .collect()
+    }
+
+    /// True if every tensor-parallel group fits inside one node of the
+    /// machine — the paper's placement requirement.
+    pub fn tp_groups_intra_node(&self, machine: &FrontierMachine) -> bool {
+        if self.layout.tp > machine.gpus_per_node {
+            return false;
+        }
+        (0..self.layout.world()).all(|r| {
+            let group = self.tp_group(r);
+            let node = machine.node_of(group[0]);
+            group.iter().all(|&g| machine.node_of(g) == node)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coords_roundtrip() {
+        let m = RankMapping::new(ParallelLayout::new(4, 2, 3));
+        for r in 0..24 {
+            assert_eq!(m.rank_of(m.coords(r)), r);
+        }
+    }
+
+    #[test]
+    fn fig4_example_groups() {
+        // Paper Fig. 4: 16 GPUs, tp=4, fsdp=2, ddp=2 (two nodes per DDP
+        // group of 8 GPUs). GPUs 1 and 5 (0-indexed: 0 and 4) are an FSDP
+        // pair with our tp-fastest layout of tp=4.
+        let m = RankMapping::new(ParallelLayout::new(4, 2, 2));
+        assert_eq!(m.tp_group(0), vec![0, 1, 2, 3]);
+        assert_eq!(m.fsdp_group(0), vec![0, 4]);
+        assert_eq!(m.ddp_group(0), vec![0, 8]);
+        assert_eq!(m.tp_group(5), vec![4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn groups_partition_the_world() {
+        let m = RankMapping::new(ParallelLayout::new(2, 4, 2));
+        // Every rank appears in exactly one tp group.
+        let mut seen = vec![0usize; 16];
+        for r in 0..16 {
+            if m.coords(r).tp_idx == 0 {
+                for &g in &m.tp_group(r) {
+                    seen[g] += 1;
+                }
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1), "{seen:?}");
+    }
+
+    #[test]
+    fn groups_are_mutually_orthogonal() {
+        // A rank's tp, fsdp and ddp groups intersect pairwise exactly at
+        // that rank — the "orthogonal" in Hybrid-STOP.
+        let m = RankMapping::new(ParallelLayout::new(4, 4, 2));
+        for r in [0usize, 5, 13, 31] {
+            let tp: Vec<_> = m.tp_group(r);
+            let fsdp: Vec<_> = m.fsdp_group(r);
+            let ddp: Vec<_> = m.ddp_group(r);
+            let inter = |a: &[usize], b: &[usize]| {
+                a.iter().filter(|x| b.contains(x)).count()
+            };
+            assert_eq!(inter(&tp, &fsdp), 1);
+            assert_eq!(inter(&tp, &ddp), 1);
+            assert_eq!(inter(&fsdp, &ddp), 1);
+        }
+    }
+
+    #[test]
+    fn tp_maps_intra_node_when_it_divides_node_size() {
+        let machine = FrontierMachine::default();
+        for tp in [1usize, 2, 4, 8] {
+            let m = RankMapping::new(ParallelLayout::new(tp, 4, 2));
+            assert!(m.tp_groups_intra_node(&machine), "tp={tp}");
+        }
+        // tp larger than a node can never be intra-node.
+        let m = RankMapping::new(ParallelLayout::new(16, 2, 1));
+        assert!(!m.tp_groups_intra_node(&machine));
+    }
+
+    #[test]
+    fn world_and_shard_counts() {
+        let l = ParallelLayout::new(8, 64, 12);
+        assert_eq!(l.world(), 6144);
+        assert_eq!(l.model_shards(), 512);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_rank() {
+        let m = RankMapping::new(ParallelLayout::new(2, 2, 2));
+        let _ = m.coords(8);
+    }
+}

@@ -1,0 +1,811 @@
+//! Analytic performance model: memory, FLOPs, communication, walltime.
+//!
+//! Every quantity is derived from first principles (parameter counts,
+//! collective volumes, ring-algorithm costs on the Frontier link speeds)
+//! with a small set of named calibration constants. The model is
+//! cross-validated against the executable simulator in `orbit-comm` at
+//! small scale (see the workspace integration tests), then extrapolated to
+//! the paper's 512-49,152 GPU range to regenerate Table I and Figs. 5-7.
+//!
+//! # What each strategy costs
+//!
+//! | strategy       | persistent state | transient gather            | grad sync |
+//! |----------------|------------------|-----------------------------|-----------|
+//! | single / DDP   | `16 P`           | none                        | all-reduce `4P` (DDP) |
+//! | vanilla FSDP   | `16 P / N`       | **full model** (Fig. 2 peak)| reduce-scatter |
+//! | Megatron TP    | `16 P / tp`      | none (activations reduced)  | within-replica none |
+//! | Hybrid-STOP    | `16 P / (tp*fsdp)`| one *layer shard* `/tp`    | reduce-scatter in FSDP group |
+//!
+//! The `16 P` persistent bytes are: bf16 weights (2) + bf16 grads (2) +
+//! fp32 master weights (4) + Adam moments (8) under mixed precision, or
+//! fp32 weights (4) + grads (4) + moments (8) without.
+
+use crate::dims::ModelDims;
+use crate::machine::{FrontierMachine, LinkKind};
+use crate::mapping::ParallelLayout;
+use serde::{Deserialize, Serialize};
+
+/// Parallelism strategy being modeled (paper Figs. 2, 3, 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Strategy {
+    /// One GPU, no parallelism.
+    SingleDevice,
+    /// Distributed data parallel: replicated model, gradient all-reduce.
+    Ddp,
+    /// Vanilla fully-sharded data parallel (full-model gather, Fig. 2).
+    Fsdp,
+    /// Megatron-style tensor parallelism (limited by attention heads).
+    TensorParallel,
+    /// The paper's Hybrid-STOP (Fig. 3) with optional DDP level (Fig. 4).
+    HybridStop,
+}
+
+/// The four engineering optimizations ablated in Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrainOptions {
+    /// Shard/gather parameters one transformer block at a time.
+    pub layer_wrapping: bool,
+    /// BF16 mixed precision with dynamic gradient scaling.
+    pub mixed_precision: bool,
+    /// Prefetch the next shard gather during compute (hides FSDP comm).
+    pub prefetch: bool,
+    /// Recompute activations in the backward pass instead of storing them.
+    pub activation_checkpointing: bool,
+}
+
+impl TrainOptions {
+    /// All optimizations enabled (the paper's production configuration).
+    pub fn all_on() -> Self {
+        TrainOptions {
+            layer_wrapping: true,
+            mixed_precision: true,
+            prefetch: true,
+            activation_checkpointing: true,
+        }
+    }
+
+    /// No optimizations (Table I column 1).
+    pub fn none() -> Self {
+        TrainOptions {
+            layer_wrapping: false,
+            mixed_precision: false,
+            prefetch: false,
+            activation_checkpointing: false,
+        }
+    }
+}
+
+/// Calibration constants: the handful of empirical knobs the first-principles
+/// formulas need. Defaults are tuned so the modeled Table I column and the
+/// Fig. 5/7 endpoints land near the paper's reported values; every other
+/// number is derived.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Calibration {
+    /// Sustained fraction of FP32 peak for transformer training kernels.
+    /// NOTE: mfu_fp32/mfu_bf16 are *calibration* constants fitted to the
+    /// paper's Table I columns 2-3, not datasheet claims: on MI250X the
+    /// sustained BF16:FP32 ratio for these kernels is ~2x (the paper's
+    /// 0.97 s -> 0.49 s step), far below the 8x peak ratio.
+    pub mfu_fp32: f64,
+    /// Sustained fraction of BF16 matrix peak (see `mfu_fp32` note).
+    pub mfu_bf16: f64,
+    /// Stored activation floats per token-feature per transformer layer
+    /// without checkpointing.
+    pub act_floats_per_layer: f64,
+    /// Stored boundary floats per token-feature per layer *with*
+    /// checkpointing (layer inputs kept for recompute).
+    pub ckpt_boundary_floats: f64,
+    /// Fraction of tensor-parallel all-reduce time hidden under compute.
+    pub tp_overlap: f64,
+    /// Exposed fraction of FSDP gather/reduce-scatter time *without*
+    /// explicit prefetching (PyTorch FSDP already overlaps the next
+    /// layer's forward gather implicitly).
+    pub fsdp_exposure: f64,
+    /// Exposed fraction with the paper's backward-prefetching enabled.
+    pub fsdp_exposure_prefetch: f64,
+    /// Per-layer allocator/workspace overhead bytes (fragmentation, RCCL
+    /// buffers, kernel workspaces).
+    pub workspace_per_layer: u64,
+    /// Effective MFU penalty when activations exceed this fraction of
+    /// usable memory (allocator thrash near the OOM cliff; reproduces the
+    /// Table I speedup from enabling activation checkpointing).
+    pub mem_pressure_threshold: f64,
+    /// Throughput multiplier applied under memory pressure.
+    pub mem_pressure_penalty: f64,
+    /// Straggler/jitter amplification per log2(world): at scale, OS noise,
+    /// network contention and load imbalance stretch every step by a
+    /// factor `1 + c * log2(world)` (calibrated to the paper's 113 B
+    /// strong-scaling efficiency at 49,152 GPUs).
+    pub straggler_per_log2_world: f64,
+}
+
+impl Default for Calibration {
+    fn default() -> Self {
+        Calibration {
+            mfu_fp32: 0.595,
+            mfu_bf16: 0.295,
+            act_floats_per_layer: 16.0,
+            ckpt_boundary_floats: 2.0,
+            tp_overlap: 0.7,
+            fsdp_exposure: 0.25,
+            fsdp_exposure_prefetch: 0.02,
+            workspace_per_layer: 200 << 20,
+            mem_pressure_threshold: 0.25,
+            mem_pressure_penalty: 0.3,
+            straggler_per_log2_world: 0.027,
+        }
+    }
+}
+
+/// Per-GPU memory footprint decomposition, bytes.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct MemoryBreakdown {
+    /// Sharded weights + grads + master copy + Adam moments.
+    pub persistent: u64,
+    /// Peak transient gather buffer (full model for vanilla FSDP; one layer
+    /// shard for layer-wrapped Hybrid-STOP; zero for TP/DDP).
+    pub gather: u64,
+    /// Stored activations at peak.
+    pub activations: u64,
+    /// Allocator/workspace overhead.
+    pub workspace: u64,
+}
+
+impl MemoryBreakdown {
+    /// Total peak bytes.
+    pub fn total(&self) -> u64 {
+        self.persistent + self.gather + self.activations + self.workspace
+    }
+}
+
+/// Per-step time decomposition, seconds.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct TimeBreakdown {
+    pub compute: f64,
+    /// Exposed (non-overlapped) tensor-parallel activation reductions.
+    pub tp_comm: f64,
+    /// Exposed FSDP shard gather/reduce-scatter time.
+    pub fsdp_comm: f64,
+    /// Exposed DDP gradient all-reduce time.
+    pub ddp_comm: f64,
+}
+
+impl TimeBreakdown {
+    /// Total step walltime.
+    pub fn total(&self) -> f64 {
+        self.compute + self.tp_comm + self.fsdp_comm + self.ddp_comm
+    }
+}
+
+/// The analytic performance model.
+#[derive(Debug, Clone, Default)]
+pub struct PerfModel {
+    pub machine: FrontierMachine,
+    pub calib: Calibration,
+}
+
+impl PerfModel {
+    pub fn new(machine: FrontierMachine) -> Self {
+        PerfModel {
+            machine,
+            calib: Calibration::default(),
+        }
+    }
+
+    /// Number of ways the persistent parameter state is sharded.
+    fn shard_ways(&self, layout: &ParallelLayout, strategy: Strategy) -> usize {
+        match strategy {
+            Strategy::SingleDevice | Strategy::Ddp => 1,
+            Strategy::Fsdp => layout.fsdp,
+            Strategy::TensorParallel => layout.tp,
+            Strategy::HybridStop => layout.tp * layout.fsdp,
+        }
+    }
+
+    /// Bytes per parameter of the compute-precision working copy.
+    fn compute_bytes(&self, opts: &TrainOptions) -> u64 {
+        if opts.mixed_precision {
+            2
+        } else {
+            4
+        }
+    }
+
+    /// Peak per-GPU memory for one training step.
+    pub fn memory(
+        &self,
+        dims: &ModelDims,
+        layout: &ParallelLayout,
+        strategy: Strategy,
+        opts: &TrainOptions,
+        local_batch: usize,
+    ) -> MemoryBreakdown {
+        let p = dims.param_count();
+        let ways = self.shard_ways(layout, strategy) as u64;
+        let persistent = 16 * p / ways;
+        let cb = self.compute_bytes(opts);
+
+        // Transient gather: the Fig. 2 vs Fig. 3 distinction. Vanilla FSDP
+        // temporarily materializes the FULL model (its scaling ceiling);
+        // Hybrid-STOP gathers only its tensor-parallel shard, one layer at
+        // a time under layer wrapping. A same-sized transient exists for
+        // gradient reduce-scatter staging, hence the factor 2.
+        let gather = match strategy {
+            Strategy::SingleDevice | Strategy::Ddp | Strategy::TensorParallel => 0,
+            Strategy::Fsdp => {
+                let unit = if opts.layer_wrapping {
+                    dims.max_layer_params()
+                } else {
+                    p
+                };
+                cb * unit
+            }
+            Strategy::HybridStop => {
+                let unit = if opts.layer_wrapping {
+                    dims.max_layer_params()
+                } else {
+                    p
+                };
+                cb * unit / layout.tp as u64
+            }
+        };
+
+        let activations = self.activation_bytes(dims, layout, strategy, opts, local_batch);
+        let workspace = self.calib.workspace_per_layer * dims.layers as u64;
+        MemoryBreakdown {
+            persistent,
+            gather,
+            activations,
+            workspace,
+        }
+    }
+
+    /// Stored activation bytes at peak for a local batch.
+    fn activation_bytes(
+        &self,
+        dims: &ModelDims,
+        layout: &ParallelLayout,
+        strategy: Strategy,
+        opts: &TrainOptions,
+        local_batch: usize,
+    ) -> u64 {
+        // Gradient accumulation caps the *live* activation footprint at a
+        // fixed microbatch regardless of the per-step local batch.
+        let b = (local_batch.min(4)) as f64;
+        let t = dims.tokens() as f64;
+        let d = dims.embed as f64;
+        let l = dims.layers as f64;
+        let cb = self.compute_bytes(opts) as f64;
+        // Tensor parallelism shards the wide intermediate activations
+        // (per-head attention, 4d MLP hidden); the residual stream and
+        // layer inputs stay replicated.
+        let tp_shard = match strategy {
+            Strategy::TensorParallel | Strategy::HybridStop => layout.tp as f64,
+            _ => 1.0,
+        };
+        let per_layer = if opts.activation_checkpointing {
+            // Boundary activations replicated, stored in fp32 so the
+            // recompute is re-entrant regardless of compute precision.
+            b * t * d * self.calib.ckpt_boundary_floats * 4.0
+        } else {
+            // Most stored activations are the wide intermediates that
+            // tensor parallelism shards (QKV, attention probs, 4d MLP
+            // hidden); only the residual stream stays replicated.
+            let sharded = 0.875 * self.calib.act_floats_per_layer / tp_shard;
+            let replicated = 0.125 * self.calib.act_floats_per_layer;
+            b * t * d * (sharded + replicated) * cb
+        };
+        // Tokenizer/aggregation activations: C channel embeddings per token
+        // before aggregation (dominant at 91 channels). Checkpointing also
+        // covers the tokenizer — only the aggregated embedding is stored.
+        let tokenizer = if opts.activation_checkpointing {
+            b * t * d * cb
+        } else {
+            b * t * d * dims.channels as f64 * cb / tp_shard
+        };
+        // One live (recompute) layer when checkpointing.
+        let live = if opts.activation_checkpointing {
+            b * t * d * self.calib.act_floats_per_layer * cb / tp_shard
+        } else {
+            0.0
+        };
+        (per_layer * l + tokenizer + live) as u64
+    }
+
+    /// True if the configuration fits in GPU memory.
+    pub fn fits(
+        &self,
+        dims: &ModelDims,
+        layout: &ParallelLayout,
+        strategy: Strategy,
+        opts: &TrainOptions,
+        local_batch: usize,
+    ) -> bool {
+        // Megatron tensor parallelism cannot exceed the head count
+        // (paper Sec. II); Hybrid-STOP has no such limit.
+        if strategy == Strategy::TensorParallel && layout.tp > dims.heads {
+            return false;
+        }
+        self.memory(dims, layout, strategy, opts, local_batch).total() <= self.machine.usable_mem()
+    }
+
+    /// Sustained effective FLOP/s per GPU in the given precision, adjusted
+    /// for memory pressure.
+    fn effective_flops(&self, opts: &TrainOptions, mem: &MemoryBreakdown) -> f64 {
+        let base = if opts.mixed_precision {
+            self.machine.peak_bf16 * self.calib.mfu_bf16
+        } else {
+            self.machine.peak_fp32 * self.calib.mfu_fp32
+        };
+        // Activation checkpointing relieves allocator pressure (the
+        // mechanism behind Table I's 0.40 s -> 0.17 s speedup): only
+        // non-checkpointed runs carry the full activation footprint in the
+        // allocator's hot path.
+        let act = if opts.activation_checkpointing {
+            0
+        } else {
+            mem.activations
+        };
+        let pressure = (act + mem.gather) as f64 / self.machine.usable_mem() as f64;
+        if pressure > self.calib.mem_pressure_threshold {
+            base * self.calib.mem_pressure_penalty
+        } else {
+            base
+        }
+    }
+
+    /// Training FLOPs per observation including checkpoint recompute.
+    pub fn flops_per_obs(&self, dims: &ModelDims, opts: &TrainOptions) -> f64 {
+        let base = dims.train_flops() as f64;
+        if opts.activation_checkpointing {
+            base * 4.0 / 3.0
+        } else {
+            base
+        }
+    }
+
+    /// Walltime decomposition for one optimizer step in which each model
+    /// replica processes `local_batch` observations.
+    pub fn step_time(
+        &self,
+        dims: &ModelDims,
+        layout: &ParallelLayout,
+        strategy: Strategy,
+        opts: &TrainOptions,
+        local_batch: usize,
+    ) -> TimeBreakdown {
+        let m = &self.machine;
+        let mem = self.memory(dims, layout, strategy, opts, local_batch);
+        let p = dims.param_count();
+        let cb = self.compute_bytes(opts);
+        let model_shards = self.shard_ways(layout, strategy).max(1) as f64;
+
+        // Compute: the replica's FLOPs divided over the GPUs that share the
+        // model (tp*fsdp for Hybrid-STOP; tp for TP; fsdp for FSDP; 1 for
+        // DDP/single).
+        let replica_gpus = match strategy {
+            Strategy::SingleDevice | Strategy::Ddp => 1.0,
+            Strategy::Fsdp => layout.fsdp as f64,
+            Strategy::TensorParallel => layout.tp as f64,
+            Strategy::HybridStop => (layout.tp * layout.fsdp) as f64,
+        };
+        let flops = local_batch as f64 * self.flops_per_obs(dims, opts);
+        let compute = flops / (replica_gpus * self.effective_flops(opts, &mem));
+
+        // Tensor-parallel activation all-reduces: 4 per layer per
+        // micro-batch (2 sub-layers, forward + backward). Intra-node when
+        // the TP group fits in a node (the Fig. 4 placement); a TP group
+        // spilling across nodes pays Slingshot cost with full crowding —
+        // the penalty behind Fig. 6's slow large-TP configurations.
+        let tp_comm_raw = if matches!(strategy, Strategy::TensorParallel | Strategy::HybridStop)
+            && layout.tp > 1
+        {
+            let act_bytes = (local_batch * dims.tokens() * dims.embed) as u64 * cb;
+            let link = if layout.tp <= m.gpus_per_node {
+                LinkKind::IntraNode
+            } else {
+                LinkKind::InterNode
+            };
+            4.0 * dims.layers as f64 * m.all_reduce_time(layout.tp, act_bytes, link)
+        } else {
+            0.0
+        };
+        // Compute/communication overlap for TP reductions is only
+        // achievable over the in-node fabric; a TP group spilling across
+        // nodes is fully exposed.
+        let tp_overlap = if layout.tp <= m.gpus_per_node {
+            self.calib.tp_overlap
+        } else {
+            0.0
+        };
+        let tp_comm = tp_comm_raw * (1.0 - tp_overlap);
+
+        // FSDP shard traffic: per wrapped unit, 2 all-gathers (fwd + bwd)
+        // and 1 reduce-scatter, across the FSDP group. Because FSDP group
+        // members sit on *different nodes* (Fig. 4 mapping), each member
+        // enjoys the full node injection bandwidth.
+        let fsdp_comm_raw = if matches!(strategy, Strategy::Fsdp | Strategy::HybridStop)
+            && layout.fsdp > 1
+        {
+            let tp_div = if strategy == Strategy::HybridStop {
+                layout.tp as u64
+            } else {
+                1
+            };
+            let units: u64 = if opts.layer_wrapping {
+                dims.layers as u64
+            } else {
+                1
+            };
+            let unit_params = if opts.layer_wrapping {
+                p / units
+            } else {
+                p
+            };
+            // FSDP members are spaced `tp` ranks apart, so a node hosts
+            // `gpus_per_node / tp` members of the same FSDP group, which
+            // share its injection bandwidth (full bandwidth at tp = 8).
+            let crowding =
+                (m.gpus_per_node as f64 / layout.tp.min(m.gpus_per_node) as f64).max(1.0);
+            let node_bw = m.inter_node_bw * m.gpus_per_node as f64 / crowding;
+            let shard_bytes = (unit_params / tp_div / layout.fsdp as u64) * cb;
+            let steps = (layout.fsdp - 1) as f64;
+            let ag = steps * (m.inter_node_latency + shard_bytes as f64 / node_bw);
+            units as f64 * 3.0 * ag
+        } else {
+            0.0
+        };
+        let fsdp_comm = fsdp_comm_raw
+            * if opts.prefetch {
+                self.calib.fsdp_exposure_prefetch
+            } else {
+                self.calib.fsdp_exposure
+            };
+
+        // DDP gradient all-reduce: once per step over each rank's owned
+        // grad shard, across sub-clusters (inter-node, shared injection).
+        let ddp_size = match strategy {
+            Strategy::Ddp => layout.world(),
+            Strategy::HybridStop => layout.ddp,
+            _ => 1,
+        };
+        let ddp_comm = if ddp_size > 1 {
+            let grad_bytes = (p as f64 / model_shards * cb as f64) as u64;
+            m.all_reduce_time(ddp_size, grad_bytes, LinkKind::InterNode)
+        } else {
+            0.0
+        };
+
+        TimeBreakdown {
+            compute,
+            tp_comm,
+            fsdp_comm,
+            ddp_comm,
+        }
+    }
+
+    /// Average walltime to process one observation on the whole machine:
+    /// step time divided by the observations processed per step
+    /// (`local_batch * number of data-parallel replicas`).
+    pub fn time_per_obs(
+        &self,
+        dims: &ModelDims,
+        layout: &ParallelLayout,
+        strategy: Strategy,
+        opts: &TrainOptions,
+        local_batch: usize,
+    ) -> f64 {
+        let replicas = match strategy {
+            Strategy::Ddp => layout.world(),
+            Strategy::HybridStop => layout.ddp,
+            _ => 1,
+        };
+        self.step_time(dims, layout, strategy, opts, local_batch).total()
+            * self.straggler_factor(layout.world())
+            / (local_batch * replicas) as f64
+    }
+
+    /// Step-stretch factor from stragglers/jitter at a given world size.
+    pub fn straggler_factor(&self, world: usize) -> f64 {
+        1.0 + self.calib.straggler_per_log2_world * (world.max(1) as f64).log2()
+    }
+
+    /// Number of independent data replicas under a strategy.
+    fn replicas(&self, layout: &ParallelLayout, strategy: Strategy) -> usize {
+        match strategy {
+            Strategy::Ddp => layout.world(),
+            Strategy::HybridStop => layout.ddp,
+            _ => 1,
+        }
+    }
+
+    /// Sustained FLOP/s of the whole machine for this configuration.
+    pub fn sustained_flops(
+        &self,
+        dims: &ModelDims,
+        layout: &ParallelLayout,
+        strategy: Strategy,
+        opts: &TrainOptions,
+        local_batch: usize,
+    ) -> f64 {
+        self.flops_per_obs(dims, opts)
+            / self.time_per_obs(dims, layout, strategy, opts, local_batch)
+    }
+
+    /// Strong-scaling efficiency of `layout` relative to `base_layout`
+    /// with a fixed global batch (paper Fig. 7 definition: speedup per
+    /// added GPU relative to the 512-GPU baseline).
+    pub fn scaling_efficiency(
+        &self,
+        dims: &ModelDims,
+        base_layout: &ParallelLayout,
+        layout: &ParallelLayout,
+        strategy: Strategy,
+        opts: &TrainOptions,
+        global_batch: usize,
+    ) -> f64 {
+        let t_base = self.epoch_relative_time(dims, base_layout, strategy, opts, global_batch);
+        let t = self.epoch_relative_time(dims, layout, strategy, opts, global_batch);
+        let speedup = t_base / t;
+        let gpu_ratio = layout.world() as f64 / base_layout.world() as f64;
+        speedup / gpu_ratio
+    }
+
+    /// Time for one global batch (proxy for epoch time at fixed batch).
+    ///
+    /// Built from a unit step: compute and tensor-parallel reductions scale
+    /// with the observations each *active* replica processes (fractional —
+    /// replicas beyond the global batch size sit idle, which is what caps
+    /// strong scaling for the small models in Fig. 7); the FSDP gathers and
+    /// the DDP gradient reduction are paid once per optimizer step.
+    pub fn epoch_relative_time(
+        &self,
+        dims: &ModelDims,
+        layout: &ParallelLayout,
+        strategy: Strategy,
+        opts: &TrainOptions,
+        global_batch: usize,
+    ) -> f64 {
+        let replicas = self.replicas(layout, strategy);
+        let active = replicas.min(global_batch).max(1);
+        let obs_per_active = global_batch as f64 / active as f64;
+        let unit = self.step_time(dims, layout, strategy, opts, 1);
+        ((unit.compute + unit.tp_comm) * obs_per_active + unit.fsdp_comm + unit.ddp_comm)
+            * self.straggler_factor(layout.world())
+    }
+
+    /// Machine-wide walltime per observation at a fixed global batch,
+    /// accounting for idle replicas (the Fig. 7 "T" metric).
+    pub fn time_per_obs_at_global_batch(
+        &self,
+        dims: &ModelDims,
+        layout: &ParallelLayout,
+        strategy: Strategy,
+        opts: &TrainOptions,
+        global_batch: usize,
+    ) -> f64 {
+        self.epoch_relative_time(dims, layout, strategy, opts, global_batch) / global_batch as f64
+    }
+
+    /// The model family searched in Fig. 5: interpolates the paper's four
+    /// presets by embedding width, then keeps growing depth past the 113 B
+    /// config. Returns the dims at a scale index (monotone in parameters).
+    pub fn family(scale: usize, channels: usize) -> ModelDims {
+        // Embedding grows in steps of 512 from 512 to 12288, then layers
+        // grow. Heads follow the paper's presets.
+        let max_embed_steps = (12288 - 512) / 512;
+        if scale <= max_embed_steps {
+            let embed = 512 + 512 * scale;
+            // The searched family caps at 32 heads: the paper's Fig. 5
+            // tensor-parallel line saturating at 73 B is consistent with a
+            // 32-way head limit in the searched configurations.
+            let heads = if embed <= 3072 { 16 } else { 32 };
+            // Depth ramps from 8 to 56 across the embed range, roughly
+            // matching the presets (8 @ 1024-3072, 11 @ 8192, 56 @ 12288).
+            let layers = if embed <= 3072 {
+                8
+            } else if embed <= 8192 {
+                8 + (embed - 3072) / 1024
+            } else {
+                13 + (embed - 8192) * 43 / 4096
+            };
+            ModelDims::paper(embed, layers, heads, channels)
+        } else {
+            let extra = scale - max_embed_steps;
+            ModelDims::paper(12288, 56 + 4 * extra, 32, channels)
+        }
+    }
+
+    /// Largest model (by parameter count) of [`Self::family`] that fits on
+    /// `gpus` GPUs under `strategy` — the Fig. 5 search. Returns the dims
+    /// and its parameter count.
+    pub fn max_model(
+        &self,
+        strategy: Strategy,
+        gpus: usize,
+        opts: &TrainOptions,
+        local_batch: usize,
+        channels: usize,
+    ) -> (ModelDims, u64) {
+        let mut best: Option<(ModelDims, u64)> = None;
+        for scale in 0..200 {
+            let dims = Self::family(scale, channels);
+            let layout = self.best_layout_for(strategy, gpus, &dims);
+            if self.fits(&dims, &layout, strategy, opts, local_batch) {
+                let p = dims.param_count();
+                if best.map(|(_, bp)| p > bp).unwrap_or(true) {
+                    best = Some((dims, p));
+                }
+            }
+        }
+        best.unwrap_or((Self::family(0, channels), Self::family(0, channels).param_count()))
+    }
+
+    /// Canonical layout a strategy uses on `gpus` GPUs for the Fig. 5
+    /// search: FSDP shards over everything, TP is capped by head count,
+    /// Hybrid-STOP puts a node-sized TP group inside and FSDP across.
+    pub fn best_layout_for(&self, strategy: Strategy, gpus: usize, dims: &ModelDims) -> ParallelLayout {
+        match strategy {
+            Strategy::SingleDevice => ParallelLayout::new(1, 1, 1),
+            Strategy::Ddp => ParallelLayout::new(1, 1, gpus),
+            Strategy::Fsdp => ParallelLayout::new(1, gpus, 1),
+            Strategy::TensorParallel => {
+                ParallelLayout::new(gpus.min(dims.heads), 1, 1)
+            }
+            Strategy::HybridStop => {
+                let tp = gpus.min(self.machine.gpus_per_node);
+                ParallelLayout::new(tp, (gpus / tp).max(1), 1)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> PerfModel {
+        PerfModel::default()
+    }
+
+    #[test]
+    fn fsdp_peaks_above_hybrid_stop() {
+        // The central memory claim of the paper (Figs. 2 vs 3): vanilla
+        // FSDP's transient full-model gather dwarfs Hybrid-STOP's
+        // layer-shard gather.
+        let m = model();
+        let dims = ModelDims::orbit_113b(48);
+        let opts = TrainOptions::all_on();
+        // Vanilla FSDP means no layer wrapping: the full model is gathered.
+        let opts_vanilla = TrainOptions {
+            layer_wrapping: false,
+            ..opts
+        };
+        let fsdp = m.memory(&dims, &ParallelLayout::new(1, 512, 1), Strategy::Fsdp, &opts_vanilla, 2);
+        let hs = m.memory(&dims, &ParallelLayout::new(8, 64, 1), Strategy::HybridStop, &opts, 2);
+        assert!(fsdp.gather > 50 * hs.gather, "{} vs {}", fsdp.gather, hs.gather);
+        assert!(fsdp.total() > hs.total());
+    }
+
+    #[test]
+    fn layer_wrapping_cuts_gather_memory() {
+        let m = model();
+        let dims = ModelDims::orbit_113b(48);
+        let mut opts = TrainOptions::all_on();
+        let layout = ParallelLayout::new(8, 64, 1);
+        let wrapped = m.memory(&dims, &layout, Strategy::HybridStop, &opts, 2);
+        opts.layer_wrapping = false;
+        let unwrapped = m.memory(&dims, &layout, Strategy::HybridStop, &opts, 2);
+        assert!(unwrapped.gather > 40 * wrapped.gather);
+    }
+
+    #[test]
+    fn checkpointing_cuts_activation_memory() {
+        let m = model();
+        let dims = ModelDims::orbit_10b(48);
+        // Without tensor parallelism the full activation stack is stored,
+        // so checkpointing saves the most there.
+        let layout = ParallelLayout::new(1, 64, 1);
+        let mut opts = TrainOptions::all_on();
+        let with = m.memory(&dims, &layout, Strategy::HybridStop, &opts, 2);
+        opts.activation_checkpointing = false;
+        let without = m.memory(&dims, &layout, Strategy::HybridStop, &opts, 2);
+        assert!(
+            without.activations > 2 * with.activations,
+            "{} !> 2x {}",
+            without.activations,
+            with.activations
+        );
+    }
+
+    #[test]
+    fn tp_cannot_exceed_heads_but_hybrid_can() {
+        let m = model();
+        let dims = ModelDims::paper(1024, 8, 4, 48); // only 4 heads
+        let layout = ParallelLayout::new(8, 1, 1);
+        let opts = TrainOptions::all_on();
+        assert!(!m.fits(&dims, &layout, Strategy::TensorParallel, &opts, 2));
+        assert!(m.fits(&dims, &ParallelLayout::new(8, 1, 1), Strategy::HybridStop, &opts, 2));
+    }
+
+    #[test]
+    fn table1_unwrapped_113b_ooms() {
+        // Table I column 1: no optimizations => OOM on 512 GPUs.
+        let m = model();
+        let dims = ModelDims::orbit_113b(48);
+        let layout = ParallelLayout::new(8, 64, 1);
+        assert!(!m.fits(&dims, &layout, Strategy::HybridStop, &TrainOptions::none(), 2));
+        // With all optimizations it fits.
+        assert!(m.fits(&dims, &layout, Strategy::HybridStop, &TrainOptions::all_on(), 2));
+    }
+
+    #[test]
+    fn mixed_precision_speeds_up_compute() {
+        let m = model();
+        let dims = ModelDims::orbit_113b(48);
+        let layout = ParallelLayout::new(8, 64, 1);
+        let mut opts = TrainOptions::all_on();
+        let fast = m.step_time(&dims, &layout, Strategy::HybridStop, &opts, 2);
+        opts.mixed_precision = false;
+        let slow = m.step_time(&dims, &layout, Strategy::HybridStop, &opts, 2);
+        assert!(slow.compute > 1.5 * fast.compute);
+    }
+
+    #[test]
+    fn prefetch_hides_fsdp_comm() {
+        let m = model();
+        let dims = ModelDims::orbit_113b(48);
+        let layout = ParallelLayout::new(8, 64, 1);
+        let mut opts = TrainOptions::all_on();
+        opts.prefetch = false;
+        let exposed = m.step_time(&dims, &layout, Strategy::HybridStop, &opts, 2);
+        opts.prefetch = true;
+        let hidden = m.step_time(&dims, &layout, Strategy::HybridStop, &opts, 2);
+        assert!(hidden.fsdp_comm < exposed.fsdp_comm);
+    }
+
+    #[test]
+    fn family_is_monotone_in_params() {
+        let mut prev = 0;
+        for scale in 0..60 {
+            let p = PerfModel::family(scale, 48).param_count();
+            assert!(p > prev, "family not monotone at scale {scale}");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn fig5_ordering_fsdp_lt_tp_lt_hybrid() {
+        // The paper's Fig. 5 headline at 512 GPUs: FSDP < TP < Hybrid-STOP.
+        let m = model();
+        let opts_hs = TrainOptions::all_on();
+        // Vanilla FSDP: no layer wrapping (that is what makes it vanilla).
+        let opts_fsdp = TrainOptions {
+            layer_wrapping: false,
+            ..TrainOptions::all_on()
+        };
+        // Megatron TP traditionally runs without full checkpointing.
+        let opts_tp = TrainOptions {
+            activation_checkpointing: false,
+            ..TrainOptions::all_on()
+        };
+        let (_, p_fsdp) = m.max_model(Strategy::Fsdp, 512, &opts_fsdp, 2, 48);
+        let (_, p_tp) = m.max_model(Strategy::TensorParallel, 512, &opts_tp, 2, 48);
+        let (_, p_hs) = m.max_model(Strategy::HybridStop, 512, &opts_hs, 2, 48);
+        assert!(p_fsdp < p_tp, "FSDP {p_fsdp} !< TP {p_tp}");
+        assert!(p_tp < p_hs, "TP {p_tp} !< Hybrid-STOP {p_hs}");
+        // Hybrid-STOP should exceed the 113 B production model.
+        assert!(p_hs > 113_000_000_000, "Hybrid-STOP max {p_hs}");
+    }
+
+    #[test]
+    fn efficiency_decreases_with_scale_but_stays_reasonable() {
+        let m = model();
+        let dims = ModelDims::orbit_113b(48);
+        let opts = TrainOptions::all_on();
+        let base = ParallelLayout::new(8, 64, 1);
+        let big = ParallelLayout::new(8, 64, 96); // 49,152 GPUs
+        let eff = m.scaling_efficiency(&dims, &base, &big, Strategy::HybridStop, &opts, 2880);
+        assert!(eff > 0.3 && eff <= 1.05, "efficiency {eff}");
+    }
+}

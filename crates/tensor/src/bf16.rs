@@ -1,0 +1,145 @@
+//! Software bfloat16.
+//!
+//! Frontier's MI250X GPUs execute ORBIT's matmuls in BF16 with F32
+//! accumulation (paper Sec. III-B, "Mixed-Precision"). We emulate exactly
+//! that: values are rounded to the nearest representable bfloat16 before a
+//! kernel consumes them, while accumulation stays in f32. This reproduces the
+//! numerical behaviour that motivates the paper's dynamic gradient scaling
+//! (small gradients flush to zero in BF16; large ones overflow).
+
+use serde::{Deserialize, Serialize};
+
+/// Numeric precision mode for compute kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Precision {
+    /// Plain IEEE f32 throughout.
+    #[default]
+    F32,
+    /// BF16 inputs with f32 accumulation — the paper's mixed-precision mode.
+    BF16Mixed,
+}
+
+impl Precision {
+    /// Bytes used to store one activation/parameter element in this mode.
+    #[inline]
+    pub fn bytes_per_element(self) -> usize {
+        match self {
+            Precision::F32 => 4,
+            Precision::BF16Mixed => 2,
+        }
+    }
+}
+
+/// Convert an `f32` to its bfloat16 bit pattern using round-to-nearest-even.
+///
+/// NaN payloads are canonicalized so a NaN never rounds to infinity.
+#[inline]
+pub fn f32_to_bf16(x: f32) -> u16 {
+    let bits = x.to_bits();
+    if x.is_nan() {
+        // Canonical quiet NaN, preserving the sign bit.
+        return ((bits >> 16) as u16 & 0x8000) | 0x7FC1;
+    }
+    // Round to nearest even: add half of the dropped ulp, plus the parity bit.
+    let round_bit = (bits >> 16) & 1;
+    let rounded = bits.wrapping_add(0x7FFF + round_bit);
+    (rounded >> 16) as u16
+}
+
+/// Convert a bfloat16 bit pattern back to `f32` (exact).
+#[inline]
+pub fn bf16_to_f32(h: u16) -> f32 {
+    f32::from_bits((h as u32) << 16)
+}
+
+/// Round an `f32` through bfloat16 (the value a BF16 kernel would consume).
+#[inline]
+pub fn round_bf16(x: f32) -> f32 {
+    bf16_to_f32(f32_to_bf16(x))
+}
+
+/// Smallest positive *normal* bfloat16 value. Gradients below roughly this
+/// magnitude are at risk of flushing to zero — the pathology the paper's
+/// dynamic gradient scaler exists to avoid.
+pub const BF16_MIN_NORMAL: f32 = 1.175_494_4e-38;
+
+/// Largest finite bfloat16 value; values above overflow to infinity.
+pub const BF16_MAX: f32 = 3.389_531_4e38;
+
+/// Machine epsilon of bfloat16 (8 explicit mantissa bits).
+pub const BF16_EPSILON: f32 = 0.007_812_5;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_values_round_trip() {
+        for &v in &[0.0f32, -0.0, 1.0, -1.0, 0.5, 2.0, -4.0, 0.25, 65280.0] {
+            assert_eq!(round_bf16(v), v, "{v} should be exactly representable");
+        }
+    }
+
+    #[test]
+    fn round_to_nearest_even_ties() {
+        // 1.0 + 2^-9 is exactly halfway between 1.0 and 1.0 + 2^-8: ties go
+        // to the even mantissa, i.e. 1.0.
+        let halfway = 1.0 + 2f32.powi(-9);
+        assert_eq!(round_bf16(halfway), 1.0);
+        // 1.0 + 3*2^-9 is halfway between 1 + 2^-8 and 1 + 2^-7; even is the
+        // latter.
+        let halfway_up = 1.0 + 3.0 * 2f32.powi(-9);
+        assert_eq!(round_bf16(halfway_up), 1.0 + 2f32.powi(-7));
+    }
+
+    #[test]
+    fn rounding_error_is_bounded_by_epsilon() {
+        let mut x = 1e-30f32;
+        while x < 1e30 {
+            let r = round_bf16(x);
+            assert!(
+                (r - x).abs() <= x.abs() * BF16_EPSILON,
+                "|{r} - {x}| too large"
+            );
+            x *= 1.7;
+        }
+    }
+
+    #[test]
+    fn infinities_and_nan() {
+        assert_eq!(round_bf16(f32::INFINITY), f32::INFINITY);
+        assert_eq!(round_bf16(f32::NEG_INFINITY), f32::NEG_INFINITY);
+        assert!(round_bf16(f32::NAN).is_nan());
+        // Overflow beyond BF16_MAX becomes infinity: the largest finite f32
+        // is not representable in bf16 and rounds up.
+        assert_eq!(round_bf16(f32::MAX), f32::INFINITY);
+    }
+
+    #[test]
+    fn tiny_values_flush_toward_zero_region() {
+        // Values far below the normal range lose precision; the scaler's
+        // existence depends on this behaviour being real.
+        let tiny = 1e-45f32;
+        let r = round_bf16(tiny);
+        assert!(r.abs() < BF16_MIN_NORMAL);
+    }
+
+    #[test]
+    fn sign_preserved() {
+        assert!(round_bf16(-std::f32::consts::PI).is_sign_negative());
+        assert!(round_bf16(std::f32::consts::PI).is_sign_positive());
+        assert!(round_bf16(-0.0).is_sign_negative());
+    }
+
+    #[test]
+    fn precision_bytes() {
+        assert_eq!(Precision::F32.bytes_per_element(), 4);
+        assert_eq!(Precision::BF16Mixed.bytes_per_element(), 2);
+    }
+
+    #[test]
+    fn max_value_is_finite_in_bf16() {
+        assert_eq!(round_bf16(BF16_MAX), BF16_MAX);
+        assert!(round_bf16(BF16_MAX).is_finite());
+    }
+}

@@ -1,0 +1,185 @@
+//! Deterministic parameter initialization.
+//!
+//! Every stochastic choice in ORBIT-RS flows through a seeded [`Rng`] so that
+//! single-device and distributed runs can be initialized identically — a
+//! precondition for the gradient-equivalence tests that validate Hybrid-STOP.
+
+use crate::tensor::Tensor;
+use rand::distributions::Distribution;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rand_distr_shim::Normal;
+
+/// Minimal normal-distribution sampler (Box-Muller) so we do not need the
+/// `rand_distr` crate: `rand` itself only ships uniform distributions.
+mod rand_distr_shim {
+    use rand::Rng;
+
+    /// Normal distribution via the Box-Muller transform.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Normal {
+        pub mean: f32,
+        pub std: f32,
+    }
+
+    impl Normal {
+        pub fn new(mean: f32, std: f32) -> Self {
+            Normal { mean, std }
+        }
+    }
+
+    impl rand::distributions::Distribution<f32> for Normal {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+            // Box-Muller: two uniforms -> one standard normal.
+            let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+            let u2: f32 = rng.gen_range(0.0..1.0);
+            let z = (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos();
+            self.mean + self.std * z
+        }
+    }
+}
+
+/// Seeded RNG for deterministic initialization and data generation.
+pub struct Rng {
+    inner: StdRng,
+    /// Root seed retained so derived streams depend on it.
+    stream_seed: u64,
+}
+
+impl Rng {
+    /// Construct from a fixed seed.
+    pub fn seed(seed: u64) -> Self {
+        Rng {
+            inner: StdRng::seed_from_u64(seed),
+            stream_seed: seed,
+        }
+    }
+
+    /// Derive an independent stream for a sub-component (`label` mixes the
+    /// stream so layers get uncorrelated parameters from one master seed,
+    /// while different master seeds give entirely different streams).
+    pub fn derive(&self, label: u64) -> Rng {
+        // SplitMix-style mixing of (seed, label) into a new seed.
+        let mut z = self
+            .stream_seed
+            .rotate_left(17)
+            .wrapping_add(label)
+            .wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        Rng::seed(z ^ (z >> 31))
+    }
+
+    /// One standard-normal sample scaled by `std`.
+    pub fn normal(&mut self, std: f32) -> f32 {
+        Normal::new(0.0, std).sample(&mut self.inner)
+    }
+
+    /// Uniform sample in `[lo, hi)`.
+    pub fn uniform(&mut self, lo: f32, hi: f32) -> f32 {
+        use rand::Rng as _;
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Uniform integer in `[0, n)`.
+    pub fn index(&mut self, n: usize) -> usize {
+        use rand::Rng as _;
+        self.inner.gen_range(0..n)
+    }
+
+    /// `rows x cols` tensor of N(0, std^2) samples.
+    pub fn normal_tensor(&mut self, rows: usize, cols: usize, std: f32) -> Tensor {
+        let dist = Normal::new(0.0, std);
+        let data = (0..rows * cols).map(|_| dist.sample(&mut self.inner)).collect();
+        Tensor::from_vec(rows, cols, data)
+    }
+
+    /// Truncated-normal init (|z| <= 2 std), the ViT convention for
+    /// embeddings and attention projections.
+    pub fn trunc_normal_tensor(&mut self, rows: usize, cols: usize, std: f32) -> Tensor {
+        let dist = Normal::new(0.0, std);
+        let data = (0..rows * cols)
+            .map(|_| loop {
+                let v = dist.sample(&mut self.inner);
+                if v.abs() <= 2.0 * std {
+                    break v;
+                }
+            })
+            .collect();
+        Tensor::from_vec(rows, cols, data)
+    }
+
+    /// Xavier/Glorot-uniform init for linear layers.
+    pub fn xavier_tensor(&mut self, fan_in: usize, fan_out: usize) -> Tensor {
+        let bound = (6.0 / (fan_in + fan_out) as f32).sqrt();
+        let data = (0..fan_in * fan_out).map(|_| self.uniform(-bound, bound)).collect();
+        Tensor::from_vec(fan_in, fan_out, data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Rng::seed(42);
+        let mut b = Rng::seed(42);
+        let ta = a.normal_tensor(4, 4, 1.0);
+        let tb = b.normal_tensor(4, 4, 1.0);
+        assert_eq!(ta, tb);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Rng::seed(1);
+        let mut b = Rng::seed(2);
+        assert_ne!(a.normal_tensor(4, 4, 1.0), b.normal_tensor(4, 4, 1.0));
+    }
+
+    #[test]
+    fn derive_is_deterministic_and_distinct() {
+        let base = Rng::seed(7);
+        let mut d1 = base.derive(1);
+        let mut d1b = Rng::seed(7).derive(1);
+        let mut d2 = base.derive(2);
+        let t1 = d1.normal_tensor(2, 2, 1.0);
+        assert_eq!(t1, d1b.normal_tensor(2, 2, 1.0));
+        assert_ne!(t1, d2.normal_tensor(2, 2, 1.0));
+    }
+
+    #[test]
+    fn normal_moments_roughly_correct() {
+        let mut rng = Rng::seed(99);
+        let t = rng.normal_tensor(200, 200, 2.0);
+        assert!(t.mean().abs() < 0.05, "mean {}", t.mean());
+        let var = t.data().iter().map(|v| v * v).sum::<f32>() / t.len() as f32;
+        assert!((var - 4.0).abs() < 0.2, "var {var}");
+    }
+
+    #[test]
+    fn trunc_normal_is_truncated() {
+        let mut rng = Rng::seed(5);
+        let t = rng.trunc_normal_tensor(100, 100, 0.5);
+        assert!(t.max_abs() <= 1.0 + 1e-6);
+    }
+
+    #[test]
+    fn xavier_bound_respected() {
+        let mut rng = Rng::seed(5);
+        let t = rng.xavier_tensor(64, 32);
+        let bound = (6.0f32 / 96.0).sqrt();
+        assert!(t.max_abs() <= bound + 1e-6);
+        assert_eq!(t.shape(), (64, 32));
+    }
+
+    #[test]
+    fn uniform_range_and_index() {
+        let mut rng = Rng::seed(8);
+        for _ in 0..100 {
+            let v = rng.uniform(-3.0, 5.0);
+            assert!((-3.0..5.0).contains(&v));
+            assert!(rng.index(10) < 10);
+        }
+    }
+}

@@ -1,0 +1,327 @@
+//! Multi-head scaled dot-product attention with optional QK layer
+//! normalization.
+//!
+//! The kernel takes *already projected* Q, K, V (the projections are plain
+//! [`crate::kernels::linear`] layers, which is exactly where the Hybrid-STOP
+//! column/row shards land), splits heads, and computes
+//! `softmax(norm(Q_h) norm(K_h)^T / sqrt(d_h)) V_h` per head.
+//!
+//! QK layer normalization is the paper's "Architecture Optimization"
+//! (Sec. III-B): it bounds attention-logit growth and prevents the training
+//! divergence reported for the 22 B ViT.
+
+use crate::kernels::activation::{softmax_rows, softmax_rows_backward};
+use crate::kernels::norm::{layernorm, layernorm_backward, LayerNormCache};
+use crate::tensor::Tensor;
+use crate::matmul::{matmul, matmul_nt, matmul_tn};
+
+/// Optional QK-normalization parameters (shared across heads; `1 x d_head`).
+#[derive(Debug, Clone)]
+pub struct QkNorm {
+    pub gamma_q: Tensor,
+    pub beta_q: Tensor,
+    pub gamma_k: Tensor,
+    pub beta_k: Tensor,
+}
+
+impl QkNorm {
+    /// Identity-initialized QK normalization for `d_head` features.
+    pub fn identity(d_head: usize) -> Self {
+        QkNorm {
+            gamma_q: Tensor::full(1, d_head, 1.0),
+            beta_q: Tensor::zeros(1, d_head),
+            gamma_k: Tensor::full(1, d_head, 1.0),
+            beta_k: Tensor::zeros(1, d_head),
+        }
+    }
+}
+
+/// Per-head state cached for the backward pass.
+struct HeadCache {
+    q_raw: Tensor,
+    k_raw: Tensor,
+    q: Tensor,
+    k: Tensor,
+    v: Tensor,
+    probs: Tensor,
+    ln_q: Option<LayerNormCache>,
+    ln_k: Option<LayerNormCache>,
+}
+
+/// Cache returned by [`mha_forward`].
+pub struct MhaCache {
+    heads: Vec<HeadCache>,
+    d_head: usize,
+    qk_norm: bool,
+}
+
+/// Gradients returned by [`mha_backward`].
+pub struct MhaGrads {
+    pub dq: Tensor,
+    pub dk: Tensor,
+    pub dv: Tensor,
+    /// QK-norm parameter grads, present iff QK norm was used:
+    /// (dgamma_q, dbeta_q, dgamma_k, dbeta_k).
+    pub dqk_norm: Option<(Tensor, Tensor, Tensor, Tensor)>,
+}
+
+/// Multi-head attention forward. `q`, `k`, `v` are `tokens x d_model`;
+/// `d_model` must divide evenly into `heads`.
+pub fn mha_forward(
+    q: &Tensor,
+    k: &Tensor,
+    v: &Tensor,
+    heads: usize,
+    qk_norm: Option<&QkNorm>,
+) -> (Tensor, MhaCache) {
+    let (tokens, d_model) = q.shape();
+    assert_eq!(k.shape(), (k.rows(), d_model));
+    assert_eq!(v.shape(), (k.rows(), d_model));
+    assert_eq!(d_model % heads, 0, "heads must divide d_model");
+    let d_head = d_model / heads;
+    let scale = 1.0 / (d_head as f32).sqrt();
+
+    let mut outs = Vec::with_capacity(heads);
+    let mut caches = Vec::with_capacity(heads);
+    for h in 0..heads {
+        let c0 = h * d_head;
+        let c1 = c0 + d_head;
+        let q_raw = q.slice_cols(c0, c1);
+        let k_raw = k.slice_cols(c0, c1);
+        let v_h = v.slice_cols(c0, c1);
+        let (q_h, ln_q, k_h, ln_k) = match qk_norm {
+            Some(n) => {
+                let (qn, cq) = layernorm(&q_raw, &n.gamma_q, &n.beta_q);
+                let (kn, ck) = layernorm(&k_raw, &n.gamma_k, &n.beta_k);
+                (qn, Some(cq), kn, Some(ck))
+            }
+            None => (q_raw.clone(), None, k_raw.clone(), None),
+        };
+        let mut scores = matmul_nt(&q_h, &k_h);
+        scores.scale(scale);
+        let probs = softmax_rows(&scores);
+        let o_h = matmul(&probs, &v_h);
+        outs.push(o_h);
+        caches.push(HeadCache {
+            q_raw,
+            k_raw,
+            q: q_h,
+            k: k_h,
+            v: v_h,
+            probs,
+            ln_q,
+            ln_k,
+        });
+    }
+    let out = Tensor::concat_cols(&outs.iter().collect::<Vec<_>>());
+    debug_assert_eq!(out.shape(), (tokens, d_model));
+    (
+        out,
+        MhaCache {
+            heads: caches,
+            d_head,
+            qk_norm: qk_norm.is_some(),
+        },
+    )
+}
+
+/// Backward of [`mha_forward`]. `qk_norm` must be the same parameters that
+/// were passed to the forward call.
+pub fn mha_backward(cache: &MhaCache, qk_norm: Option<&QkNorm>, dy: &Tensor) -> MhaGrads {
+    assert_eq!(cache.qk_norm, qk_norm.is_some(), "qk_norm presence mismatch");
+    let d_head = cache.d_head;
+    let heads = cache.heads.len();
+    let scale = 1.0 / (d_head as f32).sqrt();
+    let tokens = dy.rows();
+    let kv_tokens = cache.heads[0].k.rows();
+
+    let mut dq = Tensor::zeros(tokens, heads * d_head);
+    let mut dk = Tensor::zeros(kv_tokens, heads * d_head);
+    let mut dv = Tensor::zeros(kv_tokens, heads * d_head);
+    let mut dnorm = qk_norm.map(|_| {
+        (
+            Tensor::zeros(1, d_head),
+            Tensor::zeros(1, d_head),
+            Tensor::zeros(1, d_head),
+            Tensor::zeros(1, d_head),
+        )
+    });
+
+    for (h, hc) in cache.heads.iter().enumerate() {
+        let c0 = h * d_head;
+        let d_oh = dy.slice_cols(c0, c0 + d_head);
+        // o = probs @ v
+        let d_probs = matmul_nt(&d_oh, &hc.v);
+        let d_vh = matmul_tn(&hc.probs, &d_oh);
+        // probs = softmax(scores), scores = scale * q k^T
+        let mut d_scores = softmax_rows_backward(&hc.probs, &d_probs);
+        d_scores.scale(scale);
+        let d_qh_n = matmul(&d_scores, &hc.k);
+        let d_kh_n = matmul_tn(&d_scores, &hc.q);
+
+        let (d_qh, d_kh) = match (qk_norm, &hc.ln_q, &hc.ln_k) {
+            (Some(n), Some(cq), Some(ck)) => {
+                let gq = layernorm_backward(cq, &n.gamma_q, &d_qh_n);
+                let gk = layernorm_backward(ck, &n.gamma_k, &d_kh_n);
+                let acc = dnorm.as_mut().expect("dnorm allocated when qk_norm set");
+                acc.0.add_assign(&gq.dgamma);
+                acc.1.add_assign(&gq.dbeta);
+                acc.2.add_assign(&gk.dgamma);
+                acc.3.add_assign(&gk.dbeta);
+                (gq.dx, gk.dx)
+            }
+            _ => (d_qh_n, d_kh_n),
+        };
+        // Scatter head grads back to the full-width tensors.
+        for r in 0..tokens {
+            dq.row_mut(r)[c0..c0 + d_head].copy_from_slice(d_qh.row(r));
+        }
+        for r in 0..kv_tokens {
+            dk.row_mut(r)[c0..c0 + d_head].copy_from_slice(d_kh.row(r));
+            dv.row_mut(r)[c0..c0 + d_head].copy_from_slice(d_vh.row(r));
+        }
+        // Silence unused warnings for raw activations kept for checkpoint
+        // recomputation paths.
+        let _ = (&hc.q_raw, &hc.k_raw);
+    }
+    MhaGrads {
+        dq,
+        dk,
+        dv,
+        dqk_norm: dnorm,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::Rng;
+    use crate::kernels::fd::{assert_grad_close, numerical_grad};
+
+    fn loss(
+        q: &Tensor,
+        k: &Tensor,
+        v: &Tensor,
+        heads: usize,
+        norm: Option<&QkNorm>,
+        m: &Tensor,
+    ) -> f32 {
+        mha_forward(q, k, v, heads, norm).0.hadamard(m).sum()
+    }
+
+    #[test]
+    fn shapes_and_determinism() {
+        let mut rng = Rng::seed(61);
+        let q = rng.normal_tensor(6, 8, 1.0);
+        let k = rng.normal_tensor(6, 8, 1.0);
+        let v = rng.normal_tensor(6, 8, 1.0);
+        let (y1, _) = mha_forward(&q, &k, &v, 2, None);
+        let (y2, _) = mha_forward(&q, &k, &v, 2, None);
+        assert_eq!(y1.shape(), (6, 8));
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn single_head_uniform_attention_averages_values() {
+        // With q=0 all scores are equal, so output = mean of value rows.
+        let q = Tensor::zeros(2, 4);
+        let mut rng = Rng::seed(63);
+        let k = rng.normal_tensor(3, 4, 1.0);
+        let v = rng.normal_tensor(3, 4, 1.0);
+        let (y, _) = mha_forward(&q, &k, &v, 1, None);
+        let mut mean = Tensor::zeros(1, 4);
+        for r in 0..3 {
+            for c in 0..4 {
+                mean.set(0, c, mean.get(0, c) + v.get(r, c) / 3.0);
+            }
+        }
+        for r in 0..2 {
+            for c in 0..4 {
+                assert!((y.get(r, c) - mean.get(0, c)).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn grads_match_fd_no_norm() {
+        let mut rng = Rng::seed(67);
+        let q = rng.normal_tensor(4, 6, 0.7);
+        let k = rng.normal_tensor(4, 6, 0.7);
+        let v = rng.normal_tensor(4, 6, 0.7);
+        let m = rng.normal_tensor(4, 6, 1.0);
+        let (_, cache) = mha_forward(&q, &k, &v, 2, None);
+        let g = mha_backward(&cache, None, &m);
+        assert_grad_close(&g.dq, &numerical_grad(&q, |q_| loss(q_, &k, &v, 2, None, &m), 1e-3), 3e-2);
+        assert_grad_close(&g.dk, &numerical_grad(&k, |k_| loss(&q, k_, &v, 2, None, &m), 1e-3), 3e-2);
+        assert_grad_close(&g.dv, &numerical_grad(&v, |v_| loss(&q, &k, v_, 2, None, &m), 1e-3), 3e-2);
+        assert!(g.dqk_norm.is_none());
+    }
+
+    #[test]
+    fn grads_match_fd_with_qk_norm() {
+        let mut rng = Rng::seed(71);
+        let q = rng.normal_tensor(3, 4, 0.8);
+        let k = rng.normal_tensor(3, 4, 0.8);
+        let v = rng.normal_tensor(3, 4, 0.8);
+        let m = rng.normal_tensor(3, 4, 1.0);
+        let mut norm = QkNorm::identity(2);
+        norm.gamma_q = rng.normal_tensor(1, 2, 0.2).add(&Tensor::full(1, 2, 1.0));
+        norm.gamma_k = rng.normal_tensor(1, 2, 0.2).add(&Tensor::full(1, 2, 1.0));
+        let (_, cache) = mha_forward(&q, &k, &v, 2, Some(&norm));
+        let g = mha_backward(&cache, Some(&norm), &m);
+        let n = Some(&norm);
+        assert_grad_close(&g.dq, &numerical_grad(&q, |q_| loss(q_, &k, &v, 2, n, &m), 1e-3), 4e-2);
+        assert_grad_close(&g.dk, &numerical_grad(&k, |k_| loss(&q, k_, &v, 2, n, &m), 1e-3), 4e-2);
+        assert_grad_close(&g.dv, &numerical_grad(&v, |v_| loss(&q, &k, v_, 2, n, &m), 1e-3), 4e-2);
+        let (dgq, dbq, _dgk, _dbk) = g.dqk_norm.expect("norm grads present");
+        let ngq = numerical_grad(&norm.gamma_q, |g_| {
+            let mut n2 = norm.clone();
+            n2.gamma_q = g_.clone();
+            loss(&q, &k, &v, 2, Some(&n2), &m)
+        }, 1e-3);
+        assert_grad_close(&dgq, &ngq, 4e-2);
+        let nbq = numerical_grad(&norm.beta_q, |b_| {
+            let mut n2 = norm.clone();
+            n2.beta_q = b_.clone();
+            loss(&q, &k, &v, 2, Some(&n2), &m)
+        }, 1e-3);
+        assert_grad_close(&dbq, &nbq, 4e-2);
+    }
+
+    #[test]
+    fn cross_attention_supports_different_kv_length() {
+        // Query length 1, kv length 5 — the ClimaX variable-aggregation
+        // pattern (one learnable query pooling C channel embeddings).
+        let mut rng = Rng::seed(73);
+        let q = rng.normal_tensor(1, 8, 1.0);
+        let k = rng.normal_tensor(5, 8, 1.0);
+        let v = rng.normal_tensor(5, 8, 1.0);
+        let (y, cache) = mha_forward(&q, &k, &v, 2, None);
+        assert_eq!(y.shape(), (1, 8));
+        let g = mha_backward(&cache, None, &Tensor::full(1, 8, 1.0));
+        assert_eq!(g.dq.shape(), (1, 8));
+        assert_eq!(g.dk.shape(), (5, 8));
+        assert_eq!(g.dv.shape(), (5, 8));
+    }
+
+    #[test]
+    fn heads_partition_matches_manual_two_head() {
+        // Running 2-head attention equals running each half separately.
+        let mut rng = Rng::seed(79);
+        let q = rng.normal_tensor(4, 8, 1.0);
+        let k = rng.normal_tensor(4, 8, 1.0);
+        let v = rng.normal_tensor(4, 8, 1.0);
+        let (y, _) = mha_forward(&q, &k, &v, 2, None);
+        for h in 0..2 {
+            let (c0, c1) = (h * 4, h * 4 + 4);
+            let (yh, _) = mha_forward(
+                &q.slice_cols(c0, c1),
+                &k.slice_cols(c0, c1),
+                &v.slice_cols(c0, c1),
+                1,
+                None,
+            );
+            assert!(y.slice_cols(c0, c1).allclose(&yh, 1e-5, 1e-6), "head {h}");
+        }
+    }
+}

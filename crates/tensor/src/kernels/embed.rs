@@ -1,0 +1,99 @@
+//! Patch tokenization: unfold an image into flattened patches and fold
+//! patch gradients back.
+//!
+//! ClimaX/ORBIT tokenize *each climate variable independently* (paper
+//! Fig. 1): an `H x W` field becomes `(H/p)*(W/p)` tokens of `p*p` pixels,
+//! which a per-variable linear layer then embeds. Unfold/fold are exact
+//! inverses, so the patch-embedding backward is `fold(unfold-grad)`.
+
+use crate::tensor::Tensor;
+
+/// Unfold an `H x W` image into `(H/p * W/p) x (p*p)` patch rows.
+/// Patches are ordered row-major over the patch grid; pixels within a patch
+/// are row-major too.
+pub fn unfold_patches(img: &Tensor, p: usize) -> Tensor {
+    let (h, w) = img.shape();
+    assert!(p > 0 && h % p == 0 && w % p == 0, "patch {p} must divide {h}x{w}");
+    let gh = h / p;
+    let gw = w / p;
+    let mut out = Tensor::zeros(gh * gw, p * p);
+    for gy in 0..gh {
+        for gx in 0..gw {
+            let row = gy * gw + gx;
+            for py in 0..p {
+                let src = &img.row(gy * p + py)[gx * p..gx * p + p];
+                out.row_mut(row)[py * p..py * p + p].copy_from_slice(src);
+            }
+        }
+    }
+    out
+}
+
+/// Inverse of [`unfold_patches`]: fold `(gh*gw) x (p*p)` patch rows back
+/// into an `h x w` image. Used to reconstruct prediction images and to
+/// backpropagate patch gradients onto pixel gradients.
+pub fn fold_patches(patches: &Tensor, p: usize, h: usize, w: usize) -> Tensor {
+    assert!(h % p == 0 && w % p == 0);
+    let gh = h / p;
+    let gw = w / p;
+    assert_eq!(patches.shape(), (gh * gw, p * p), "fold_patches shape");
+    let mut img = Tensor::zeros(h, w);
+    for gy in 0..gh {
+        for gx in 0..gw {
+            let row = gy * gw + gx;
+            for py in 0..p {
+                let dst = &mut img.row_mut(gy * p + py)[gx * p..gx * p + p];
+                dst.copy_from_slice(&patches.row(row)[py * p..py * p + p]);
+            }
+        }
+    }
+    img
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::Rng;
+
+    #[test]
+    fn unfold_fold_roundtrip() {
+        let mut rng = Rng::seed(83);
+        for &(h, w, p) in &[(4usize, 8usize, 2usize), (8, 8, 4), (6, 9, 3), (2, 2, 1)] {
+            let img = rng.normal_tensor(h, w, 1.0);
+            let patches = unfold_patches(&img, p);
+            assert_eq!(patches.shape(), ((h / p) * (w / p), p * p));
+            assert_eq!(fold_patches(&patches, p, h, w), img);
+        }
+    }
+
+    #[test]
+    fn patch_layout_is_row_major() {
+        // 4x4 image with values 0..16, patch 2: first patch is the top-left
+        // 2x2 block in row-major order.
+        let img = Tensor::from_vec(4, 4, (0..16).map(|i| i as f32).collect());
+        let p = unfold_patches(&img, 2);
+        assert_eq!(p.row(0), &[0., 1., 4., 5.]);
+        assert_eq!(p.row(1), &[2., 3., 6., 7.]);
+        assert_eq!(p.row(2), &[8., 9., 12., 13.]);
+        assert_eq!(p.row(3), &[10., 11., 14., 15.]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn rejects_nondividing_patch() {
+        let img = Tensor::zeros(5, 4);
+        let _ = unfold_patches(&img, 2);
+    }
+
+    #[test]
+    fn fold_is_linear() {
+        // fold(a + b) = fold(a) + fold(b): required for it to be a valid
+        // gradient router.
+        let mut rng = Rng::seed(89);
+        let a = rng.normal_tensor(4, 4, 1.0);
+        let b = rng.normal_tensor(4, 4, 1.0);
+        let sum = fold_patches(&a.add(&b), 2, 4, 4);
+        let parts = fold_patches(&a, 2, 4, 4).add(&fold_patches(&b, 2, 4, 4));
+        assert_eq!(sum, parts);
+    }
+}

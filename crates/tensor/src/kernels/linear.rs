@@ -1,0 +1,129 @@
+//! Affine transform `y = x W + b` and its gradients.
+//!
+//! This is the `x A` / `(..) B` half of the paper's matrix chain
+//! `y <- x A B`; the sharded engines in `orbit-core` call these exact
+//! functions on their shards.
+
+use crate::bf16::Precision;
+use crate::matmul::{matmul_nt, matmul_p, matmul_tn};
+use crate::tensor::Tensor;
+
+/// Gradients produced by [`linear_backward`].
+#[derive(Debug, Clone)]
+pub struct LinearGrads {
+    /// Gradient w.r.t. the input `x`.
+    pub dx: Tensor,
+    /// Gradient w.r.t. the weight `W` (same shape as `W`: `in x out`).
+    pub dw: Tensor,
+    /// Gradient w.r.t. the bias (1 x out), present iff a bias was used.
+    pub db: Option<Tensor>,
+}
+
+/// `y = x W (+ b)`. `x` is `rows x in`, `w` is `in x out`, `b` is `1 x out`.
+pub fn linear(x: &Tensor, w: &Tensor, b: Option<&Tensor>, prec: Precision) -> Tensor {
+    assert_eq!(x.cols(), w.rows(), "linear: x cols != w rows");
+    let mut y = matmul_p(x, w, prec);
+    if let Some(b) = b {
+        assert_eq!(b.shape(), (1, w.cols()), "linear: bias shape");
+        for r in 0..y.rows() {
+            let row = y.row_mut(r);
+            for (v, &bv) in row.iter_mut().zip(b.row(0)) {
+                *v += bv;
+            }
+        }
+    }
+    y
+}
+
+/// Backward of [`linear`]: given upstream `dy`, return `dx = dy W^T`,
+/// `dw = x^T dy`, and `db = sum_rows(dy)` when `has_bias`.
+pub fn linear_backward(x: &Tensor, w: &Tensor, dy: &Tensor, has_bias: bool) -> LinearGrads {
+    assert_eq!(dy.shape(), (x.rows(), w.cols()), "linear_backward: dy shape");
+    let dx = matmul_nt(dy, w);
+    let dw = matmul_tn(x, dy);
+    let db = has_bias.then(|| {
+        let mut db = Tensor::zeros(1, dy.cols());
+        for r in 0..dy.rows() {
+            for (acc, &v) in db.row_mut(0).iter_mut().zip(dy.row(r)) {
+                *acc += v;
+            }
+        }
+        db
+    });
+    LinearGrads { dx, dw, db }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::Rng;
+    use crate::kernels::fd::{assert_grad_close, numerical_grad};
+
+    #[test]
+    fn forward_matches_manual() {
+        let x = Tensor::from_vec(1, 2, vec![1.0, 2.0]);
+        let w = Tensor::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]);
+        let b = Tensor::from_vec(1, 2, vec![10.0, 20.0]);
+        let y = linear(&x, &w, Some(&b), Precision::F32);
+        assert_eq!(y.data(), &[11.0, 22.0]);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut rng = Rng::seed(21);
+        let x = rng.normal_tensor(3, 4, 1.0);
+        let w = rng.normal_tensor(4, 5, 0.5);
+        let b = rng.normal_tensor(1, 5, 0.5);
+        // Loss = sum(y .* m) for a fixed random mask m makes dy = m.
+        let m = rng.normal_tensor(3, 5, 1.0);
+        let loss = |x_: &Tensor, w_: &Tensor, b_: &Tensor| {
+            linear(x_, w_, Some(b_), Precision::F32).hadamard(&m).sum()
+        };
+        let g = linear_backward(&x, &w, &m, true);
+        let nx = numerical_grad(&x, |x_| loss(x_, &w, &b), 1e-3);
+        let nw = numerical_grad(&w, |w_| loss(&x, w_, &b), 1e-3);
+        let nb = numerical_grad(&b, |b_| loss(&x, &w, b_), 1e-3);
+        assert_grad_close(&g.dx, &nx, 2e-2);
+        assert_grad_close(&g.dw, &nw, 2e-2);
+        assert_grad_close(g.db.as_ref().unwrap(), &nb, 2e-2);
+    }
+
+    #[test]
+    fn no_bias_path() {
+        let mut rng = Rng::seed(2);
+        let x = rng.normal_tensor(2, 3, 1.0);
+        let w = rng.normal_tensor(3, 2, 1.0);
+        let y = linear(&x, &w, None, Precision::F32);
+        let g = linear_backward(&x, &w, &Tensor::full(2, 2, 1.0), false);
+        assert!(g.db.is_none());
+        assert_eq!(y.shape(), (2, 2));
+        assert_eq!(g.dx.shape(), x.shape());
+        assert_eq!(g.dw.shape(), w.shape());
+    }
+
+    #[test]
+    fn column_sharded_linear_concatenates() {
+        // Column-sharding W and concatenating outputs is exact — the TP/
+        // Hybrid-STOP forward identity for the first matrix of the chain.
+        let mut rng = Rng::seed(31);
+        let x = rng.normal_tensor(4, 6, 1.0);
+        let w = rng.normal_tensor(6, 8, 1.0);
+        let full = linear(&x, &w, None, Precision::F32);
+        let y1 = linear(&x, &w.slice_cols(0, 4), None, Precision::F32);
+        let y2 = linear(&x, &w.slice_cols(4, 8), None, Precision::F32);
+        assert!(Tensor::concat_cols(&[&y1, &y2]).allclose(&full, 1e-5, 1e-6));
+    }
+
+    #[test]
+    fn row_sharded_linear_sums() {
+        // Row-sharding W with matching input slices sums to the full output
+        // — the second matrix of the Hybrid-STOP chain (Eqn. (2)).
+        let mut rng = Rng::seed(37);
+        let x = rng.normal_tensor(4, 8, 1.0);
+        let w = rng.normal_tensor(8, 5, 1.0);
+        let full = linear(&x, &w, None, Precision::F32);
+        let p1 = linear(&x.slice_cols(0, 4), &w.slice_rows(0, 4), None, Precision::F32);
+        let p2 = linear(&x.slice_cols(4, 8), &w.slice_rows(4, 8), None, Precision::F32);
+        assert!(p1.add(&p2).allclose(&full, 1e-5, 1e-6));
+    }
+}

@@ -1,0 +1,149 @@
+//! LayerNorm with backward.
+//!
+//! Used both as the standard pre-norm of each transformer sub-layer and as
+//! the paper's *QK layer normalization* (Sec. III-B, "Architecture
+//! Optimization"): normalizing queries and keys before the scaled dot
+//! product bounds the attention-logit growth that made the 22 B ViT of
+//! Dehghani et al. diverge.
+
+use crate::tensor::Tensor;
+
+/// Values cached by [`layernorm`] for the backward pass.
+#[derive(Debug, Clone)]
+pub struct LayerNormCache {
+    /// Normalized activations `x_hat` (before scale/shift).
+    pub xhat: Tensor,
+    /// Per-row reciprocal standard deviation.
+    pub rstd: Vec<f32>,
+}
+
+/// Gradients produced by [`layernorm_backward`].
+#[derive(Debug, Clone)]
+pub struct LayerNormGrads {
+    pub dx: Tensor,
+    /// Gradient for gamma (1 x features).
+    pub dgamma: Tensor,
+    /// Gradient for beta (1 x features).
+    pub dbeta: Tensor,
+}
+
+pub const LN_EPS: f32 = 1e-5;
+
+/// Row-wise layer normalization: `y = gamma * (x - mean)/std + beta`.
+pub fn layernorm(x: &Tensor, gamma: &Tensor, beta: &Tensor) -> (Tensor, LayerNormCache) {
+    let (rows, cols) = x.shape();
+    assert_eq!(gamma.shape(), (1, cols), "layernorm gamma shape");
+    assert_eq!(beta.shape(), (1, cols), "layernorm beta shape");
+    let mut y = Tensor::zeros(rows, cols);
+    let mut xhat = Tensor::zeros(rows, cols);
+    let mut rstd = vec![0.0f32; rows];
+    for r in 0..rows {
+        let row = x.row(r);
+        let mean = row.iter().sum::<f32>() / cols as f32;
+        let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / cols as f32;
+        let rs = 1.0 / (var + LN_EPS).sqrt();
+        rstd[r] = rs;
+        for c in 0..cols {
+            let xh = (row[c] - mean) * rs;
+            xhat.set(r, c, xh);
+            y.set(r, c, gamma.get(0, c) * xh + beta.get(0, c));
+        }
+    }
+    (y, LayerNormCache { xhat, rstd })
+}
+
+/// Backward of [`layernorm`].
+pub fn layernorm_backward(cache: &LayerNormCache, gamma: &Tensor, dy: &Tensor) -> LayerNormGrads {
+    let (rows, cols) = cache.xhat.shape();
+    assert_eq!(dy.shape(), (rows, cols), "layernorm backward dy shape");
+    let mut dx = Tensor::zeros(rows, cols);
+    let mut dgamma = Tensor::zeros(1, cols);
+    let mut dbeta = Tensor::zeros(1, cols);
+    for r in 0..rows {
+        let xh = cache.xhat.row(r);
+        let dyr = dy.row(r);
+        // dL/dxhat = dy * gamma
+        let dxhat: Vec<f32> = (0..cols).map(|c| dyr[c] * gamma.get(0, c)).collect();
+        let sum_dxhat: f32 = dxhat.iter().sum();
+        let sum_dxhat_xhat: f32 = dxhat.iter().zip(xh).map(|(a, b)| a * b).sum();
+        let n = cols as f32;
+        let rs = cache.rstd[r];
+        for c in 0..cols {
+            // Standard fused layernorm backward formula.
+            let v = (n * dxhat[c] - sum_dxhat - xh[c] * sum_dxhat_xhat) * rs / n;
+            dx.set(r, c, v);
+            dgamma.set(0, c, dgamma.get(0, c) + dyr[c] * xh[c]);
+            dbeta.set(0, c, dbeta.get(0, c) + dyr[c]);
+        }
+    }
+    LayerNormGrads { dx, dgamma, dbeta }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::Rng;
+    use crate::kernels::fd::{assert_grad_close, numerical_grad};
+
+    #[test]
+    fn output_is_normalized() {
+        let mut rng = Rng::seed(51);
+        let x = rng.normal_tensor(4, 64, 3.0);
+        let gamma = Tensor::full(1, 64, 1.0);
+        let beta = Tensor::zeros(1, 64);
+        let (y, _) = layernorm(&x, &gamma, &beta);
+        for r in 0..4 {
+            let mean: f32 = y.row(r).iter().sum::<f32>() / 64.0;
+            let var: f32 = y.row(r).iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 64.0;
+            assert!(mean.abs() < 1e-5, "row {r} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-3, "row {r} var {var}");
+        }
+    }
+
+    #[test]
+    fn gamma_beta_applied() {
+        let x = Tensor::from_vec(1, 2, vec![-1.0, 1.0]);
+        let gamma = Tensor::from_vec(1, 2, vec![2.0, 2.0]);
+        let beta = Tensor::from_vec(1, 2, vec![10.0, 10.0]);
+        let (y, _) = layernorm(&x, &gamma, &beta);
+        // x normalizes to (-1, 1) (up to eps), then scale 2 shift 10.
+        assert!((y.get(0, 0) - 8.0).abs() < 1e-2);
+        assert!((y.get(0, 1) - 12.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn grads_match_fd() {
+        let mut rng = Rng::seed(53);
+        let x = rng.normal_tensor(3, 6, 1.0);
+        let gamma = rng.normal_tensor(1, 6, 0.5).add(&Tensor::full(1, 6, 1.0));
+        let beta = rng.normal_tensor(1, 6, 0.5);
+        let m = rng.normal_tensor(3, 6, 1.0);
+        let loss = |x_: &Tensor, g_: &Tensor, b_: &Tensor| {
+            layernorm(x_, g_, b_).0.hadamard(&m).sum()
+        };
+        let (_, cache) = layernorm(&x, &gamma, &beta);
+        let g = layernorm_backward(&cache, &gamma, &m);
+        assert_grad_close(&g.dx, &numerical_grad(&x, |x_| loss(x_, &gamma, &beta), 1e-3), 3e-2);
+        assert_grad_close(&g.dgamma, &numerical_grad(&gamma, |g_| loss(&x, g_, &beta), 1e-3), 3e-2);
+        assert_grad_close(&g.dbeta, &numerical_grad(&beta, |b_| loss(&x, &gamma, b_), 1e-3), 3e-2);
+    }
+
+    #[test]
+    fn qk_norm_bounds_logits() {
+        // The paper's motivation: normalized q,k keep dot products bounded
+        // by the feature count regardless of input scale.
+        let mut rng = Rng::seed(57);
+        let d = 32usize;
+        let gamma = Tensor::full(1, d, 1.0);
+        let beta = Tensor::zeros(1, d);
+        let q_raw = rng.normal_tensor(8, d, 100.0); // exploded activations
+        let k_raw = rng.normal_tensor(8, d, 100.0);
+        let (q, _) = layernorm(&q_raw, &gamma, &beta);
+        let (k, _) = layernorm(&k_raw, &gamma, &beta);
+        let logits = crate::matmul::matmul_nt(&q, &k);
+        // |q_i . k_j| <= |q||k| = d after normalization (Cauchy-Schwarz).
+        assert!(logits.max_abs() <= d as f32 + 1.0);
+        let raw_logits = crate::matmul::matmul_nt(&q_raw, &k_raw);
+        assert!(raw_logits.max_abs() > 10.0 * d as f32, "raw logits should explode");
+    }
+}

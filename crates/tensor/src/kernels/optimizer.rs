@@ -1,0 +1,166 @@
+//! AdamW optimizer operating on flat parameter slices.
+//!
+//! Operating on raw slices (rather than on model structs) is deliberate:
+//! FSDP and Hybrid-STOP keep *shards* of the flat parameter vector, and the
+//! optimizer state must shard identically (each rank owns the Adam moments
+//! of exactly its shard — the memory term the Fig. 5/6 model accounts for).
+
+use serde::{Deserialize, Serialize};
+
+/// AdamW hyperparameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct AdamW {
+    pub lr: f32,
+    pub beta1: f32,
+    pub beta2: f32,
+    pub eps: f32,
+    pub weight_decay: f32,
+}
+
+impl Default for AdamW {
+    fn default() -> Self {
+        AdamW {
+            lr: 5e-4,
+            beta1: 0.9,
+            beta2: 0.95,
+            eps: 1e-8,
+            weight_decay: 1e-5,
+        }
+    }
+}
+
+/// Per-parameter-group Adam moments (same length as the owned shard).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AdamState {
+    pub m: Vec<f32>,
+    pub v: Vec<f32>,
+    pub step: u64,
+}
+
+impl AdamState {
+    /// Zero-initialized state for `n` parameters.
+    pub fn new(n: usize) -> Self {
+        AdamState {
+            m: vec![0.0; n],
+            v: vec![0.0; n],
+            step: 0,
+        }
+    }
+
+    /// Bytes of optimizer state per parameter (two f32 moments) — used by
+    /// the memory model.
+    pub const BYTES_PER_PARAM: usize = 8;
+}
+
+impl AdamW {
+    /// Apply one AdamW update to `params` given `grads`, advancing `state`.
+    ///
+    /// All three slices must be the same length (the rank's owned shard).
+    pub fn step(&self, state: &mut AdamState, params: &mut [f32], grads: &[f32]) {
+        assert_eq!(params.len(), grads.len(), "param/grad length mismatch");
+        assert_eq!(params.len(), state.m.len(), "param/state length mismatch");
+        state.step += 1;
+        let t = state.step as f32;
+        let bc1 = 1.0 - self.beta1.powf(t);
+        let bc2 = 1.0 - self.beta2.powf(t);
+        for i in 0..params.len() {
+            let g = grads[i];
+            state.m[i] = self.beta1 * state.m[i] + (1.0 - self.beta1) * g;
+            state.v[i] = self.beta2 * state.v[i] + (1.0 - self.beta2) * g * g;
+            let m_hat = state.m[i] / bc1;
+            let v_hat = state.v[i] / bc2;
+            // Decoupled weight decay (AdamW).
+            params[i] -= self.lr * (m_hat / (v_hat.sqrt() + self.eps) + self.weight_decay * params[i]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn descends_a_quadratic() {
+        // Minimize f(x) = (x - 3)^2; gradient 2(x-3).
+        let opt = AdamW {
+            lr: 0.1,
+            weight_decay: 0.0,
+            ..AdamW::default()
+        };
+        let mut state = AdamState::new(1);
+        let mut x = vec![0.0f32];
+        for _ in 0..300 {
+            let g = vec![2.0 * (x[0] - 3.0)];
+            opt.step(&mut state, &mut x, &g);
+        }
+        assert!((x[0] - 3.0).abs() < 0.05, "x = {}", x[0]);
+    }
+
+    #[test]
+    fn first_step_is_signed_lr() {
+        // With bias correction, the first Adam step has magnitude ~lr in the
+        // gradient's direction.
+        let opt = AdamW {
+            lr: 0.01,
+            weight_decay: 0.0,
+            ..AdamW::default()
+        };
+        let mut state = AdamState::new(2);
+        let mut x = vec![1.0f32, -1.0];
+        opt.step(&mut state, &mut x, &[0.5, -0.5]);
+        assert!((x[0] - (1.0 - 0.01)).abs() < 1e-4);
+        assert!((x[1] - (-1.0 + 0.01)).abs() < 1e-4);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_params_without_gradient() {
+        let opt = AdamW {
+            lr: 0.1,
+            weight_decay: 0.1,
+            ..AdamW::default()
+        };
+        let mut state = AdamState::new(1);
+        let mut x = vec![10.0f32];
+        for _ in 0..10 {
+            opt.step(&mut state, &mut x, &[0.0]);
+        }
+        assert!(x[0] < 10.0 && x[0] > 8.0, "decay only: {}", x[0]);
+    }
+
+    #[test]
+    fn sharded_update_equals_full_update() {
+        // Running AdamW on two halves independently must equal running it on
+        // the whole vector — the invariant that makes sharded optimizer
+        // state (FSDP / Hybrid-STOP) exact.
+        let opt = AdamW::default();
+        let params: Vec<f32> = (0..8).map(|i| i as f32 * 0.3 - 1.0).collect();
+        let grads: Vec<f32> = (0..8).map(|i| (i as f32).sin()).collect();
+
+        let mut full = params.clone();
+        let mut s_full = AdamState::new(8);
+        opt.step(&mut s_full, &mut full, &grads);
+        opt.step(&mut s_full, &mut full, &grads);
+
+        let mut lo = params[..4].to_vec();
+        let mut hi = params[4..].to_vec();
+        let mut s_lo = AdamState::new(4);
+        let mut s_hi = AdamState::new(4);
+        for _ in 0..2 {
+            opt.step(&mut s_lo, &mut lo, &grads[..4]);
+            opt.step(&mut s_hi, &mut hi, &grads[4..]);
+        }
+        let recombined: Vec<f32> = lo.into_iter().chain(hi).collect();
+        for (a, b) in full.iter().zip(&recombined) {
+            assert!((a - b).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn rejects_mismatched_lengths() {
+        let opt = AdamW::default();
+        let mut state = AdamState::new(2);
+        let mut x = vec![0.0f32; 2];
+        opt.step(&mut state, &mut x, &[0.0]);
+    }
+}

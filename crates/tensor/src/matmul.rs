@@ -1,0 +1,247 @@
+//! Blocked, rayon-parallel GEMM.
+//!
+//! Each simulated GPU executes its shard's matmuls through these kernels.
+//! The loop order is `i-k-j` (output-row outer, reduction middle, output-col
+//! inner) so the innermost loop streams both `B`'s row and `C`'s row — the
+//! cache-friendly order for row-major data — and the output rows are
+//! distributed over the rayon pool.
+
+use crate::bf16::{round_bf16, Precision};
+use crate::tensor::Tensor;
+use rayon::prelude::*;
+
+/// Rows below which the parallel dispatch overhead exceeds the win.
+const PAR_THRESHOLD: usize = 8;
+
+/// `C = A * B` where `A` is `m x k` and `B` is `k x n`.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    matmul_p(a, b, Precision::F32)
+}
+
+/// `C = A * B` with the given precision mode.
+///
+/// In [`Precision::BF16Mixed`], every input element is rounded through
+/// bfloat16 before use while the accumulator stays f32 — matching the
+/// MI250X BF16 MFMA pipeline the paper runs on.
+pub fn matmul_p(a: &Tensor, b: &Tensor, prec: Precision) -> Tensor {
+    let (m, k) = a.shape();
+    let (k2, n) = b.shape();
+    assert_eq!(k, k2, "matmul inner dim mismatch: {k} vs {k2}");
+    let mut c = Tensor::zeros(m, n);
+    let bd = b.data();
+    let ad = a.data();
+
+    let body = |(i, crow): (usize, &mut [f32])| {
+        let arow = &ad[i * k..(i + 1) * k];
+        match prec {
+            Precision::F32 => {
+                for (kk, &av) in arow.iter().enumerate() {
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let brow = &bd[kk * n..(kk + 1) * n];
+                    for (cv, &bv) in crow.iter_mut().zip(brow) {
+                        *cv += av * bv;
+                    }
+                }
+            }
+            Precision::BF16Mixed => {
+                for (kk, &av_raw) in arow.iter().enumerate() {
+                    let av = round_bf16(av_raw);
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let brow = &bd[kk * n..(kk + 1) * n];
+                    for (cv, &bv) in crow.iter_mut().zip(brow) {
+                        *cv += av * round_bf16(bv);
+                    }
+                }
+            }
+        }
+    };
+
+    if m >= PAR_THRESHOLD {
+        c.data_mut().par_chunks_mut(n).enumerate().for_each(body);
+    } else {
+        c.data_mut().chunks_mut(n).enumerate().for_each(body);
+    }
+    c
+}
+
+/// `C = A^T * B` where `A` is `k x m` and `B` is `k x n` (no explicit
+/// transpose materialized). This is the gradient kernel `dW = X^T dY`.
+pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
+    let (k, m) = a.shape();
+    let (k2, n) = b.shape();
+    assert_eq!(k, k2, "matmul_tn inner dim mismatch: {k} vs {k2}");
+    let ad = a.data();
+    let bd = b.data();
+    let mut c = Tensor::zeros(m, n);
+    // Accumulate rank-1 updates serially over k, parallelizing each update's
+    // output rows; serial-k keeps determinism (no atomic float adds).
+    if m >= PAR_THRESHOLD {
+        c.data_mut()
+            .par_chunks_mut(n)
+            .enumerate()
+            .for_each(|(i, crow)| {
+                for kk in 0..k {
+                    let av = ad[kk * m + i];
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let brow = &bd[kk * n..(kk + 1) * n];
+                    for (cv, &bv) in crow.iter_mut().zip(brow) {
+                        *cv += av * bv;
+                    }
+                }
+            });
+    } else {
+        for i in 0..m {
+            let crow = &mut c.data_mut()[i * n..(i + 1) * n];
+            for kk in 0..k {
+                let av = ad[kk * m + i];
+                if av == 0.0 {
+                    continue;
+                }
+                let brow = &bd[kk * n..(kk + 1) * n];
+                for (cv, &bv) in crow.iter_mut().zip(brow) {
+                    *cv += av * bv;
+                }
+            }
+        }
+    }
+    c
+}
+
+/// `C = A * B^T` where `A` is `m x k` and `B` is `n x k`. This is the
+/// gradient kernel `dX = dY W^T` and the attention-score kernel `Q K^T`.
+pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = a.shape();
+    let (n, k2) = b.shape();
+    assert_eq!(k, k2, "matmul_nt inner dim mismatch: {k} vs {k2}");
+    let ad = a.data();
+    let bd = b.data();
+    let mut c = Tensor::zeros(m, n);
+    let body = |(i, crow): (usize, &mut [f32])| {
+        let arow = &ad[i * k..(i + 1) * k];
+        for (j, cv) in crow.iter_mut().enumerate() {
+            let brow = &bd[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&av, &bv) in arow.iter().zip(brow) {
+                acc += av * bv;
+            }
+            *cv = acc;
+        }
+    };
+    if m >= PAR_THRESHOLD {
+        c.data_mut().par_chunks_mut(n).enumerate().for_each(body);
+    } else {
+        c.data_mut().chunks_mut(n).enumerate().for_each(body);
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::Rng;
+
+    fn naive(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = a.shape();
+        let n = b.cols();
+        let mut c = Tensor::zeros(m, n);
+        for i in 0..m {
+            for j in 0..n {
+                let mut s = 0.0;
+                for kk in 0..k {
+                    s += a.get(i, kk) * b.get(kk, j);
+                }
+                c.set(i, j, s);
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn matches_naive_small() {
+        let a = Tensor::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let b = Tensor::from_vec(3, 2, vec![7., 8., 9., 10., 11., 12.]);
+        let c = matmul(&a, &b);
+        assert_eq!(c, naive(&a, &b));
+        assert_eq!(c.get(0, 0), 58.0);
+        assert_eq!(c.get(1, 1), 154.0);
+    }
+
+    #[test]
+    fn matches_naive_random_rectangular() {
+        let mut rng = Rng::seed(7);
+        for &(m, k, n) in &[(5usize, 9usize, 4usize), (17, 3, 23), (32, 32, 32), (1, 64, 1)] {
+            let a = rng.normal_tensor(m, k, 1.0);
+            let b = rng.normal_tensor(k, n, 1.0);
+            let c = matmul(&a, &b);
+            assert!(c.allclose(&naive(&a, &b), 1e-5, 1e-5), "{m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn tn_equals_explicit_transpose() {
+        let mut rng = Rng::seed(11);
+        let a = rng.normal_tensor(6, 5, 1.0);
+        let b = rng.normal_tensor(6, 7, 1.0);
+        let fast = matmul_tn(&a, &b);
+        let slow = matmul(&a.transpose(), &b);
+        assert!(fast.allclose(&slow, 1e-5, 1e-6));
+    }
+
+    #[test]
+    fn nt_equals_explicit_transpose() {
+        let mut rng = Rng::seed(13);
+        let a = rng.normal_tensor(6, 5, 1.0);
+        let b = rng.normal_tensor(7, 5, 1.0);
+        let fast = matmul_nt(&a, &b);
+        let slow = matmul(&a, &b.transpose());
+        assert!(fast.allclose(&slow, 1e-5, 1e-6));
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let mut rng = Rng::seed(3);
+        let a = rng.normal_tensor(9, 9, 1.0);
+        assert!(matmul(&a, &Tensor::eye(9)).allclose(&a, 1e-6, 1e-6));
+        assert!(matmul(&Tensor::eye(9), &a).allclose(&a, 1e-6, 1e-6));
+    }
+
+    #[test]
+    fn bf16_mode_differs_but_stays_close() {
+        let mut rng = Rng::seed(5);
+        let a = rng.normal_tensor(16, 16, 1.0);
+        let b = rng.normal_tensor(16, 16, 1.0);
+        let exact = matmul(&a, &b);
+        let mixed = matmul_p(&a, &b, Precision::BF16Mixed);
+        // bf16 keeps ~2-3 decimal digits; relative error should be small but
+        // generally nonzero.
+        assert!(mixed.allclose(&exact, 0.05, 0.05));
+        assert_ne!(mixed, exact);
+    }
+
+    #[test]
+    fn column_shard_sum_identity_eqn2() {
+        // The heart of Hybrid-STOP (paper Eqn. (2)):
+        //   x A B == sum_k x A_{*,k} B_{k,*}
+        let mut rng = Rng::seed(17);
+        let x = rng.normal_tensor(4, 6, 1.0);
+        let a = rng.normal_tensor(6, 8, 1.0);
+        let b = rng.normal_tensor(8, 5, 1.0);
+        let full = matmul(&matmul(&x, &a), &b);
+        for shards in [1usize, 2, 4, 8] {
+            let mut acc = Tensor::zeros(4, 5);
+            let w = 8 / shards;
+            for s in 0..shards {
+                let ak = a.slice_cols(s * w, (s + 1) * w);
+                let bk = b.slice_rows(s * w, (s + 1) * w);
+                acc.add_assign(&matmul(&matmul(&x, &ak), &bk));
+            }
+            assert!(acc.allclose(&full, 1e-4, 1e-4), "shards={shards}");
+        }
+    }
+}

@@ -1,0 +1,413 @@
+//! The [`Tensor`] matrix type.
+//!
+//! ORBIT's layers all reduce to 2-D matrix algebra over a flattened
+//! `(batch * tokens) x features` layout, so a row-major 2-D matrix is the
+//! only shape this crate needs. Higher-rank views (batch of images, per-head
+//! attention) are carried as explicit loops over row blocks by the kernels.
+
+use crate::bf16::round_bf16;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A dense row-major matrix of `f32`.
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor({}x{})", self.rows, self.cols)?;
+        if self.len() <= 16 {
+            write!(f, " {:?}", self.data)?;
+        }
+        Ok(())
+    }
+}
+
+impl Tensor {
+    /// A `rows x cols` tensor of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Tensor {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// A `rows x cols` tensor filled with `value`.
+    pub fn full(rows: usize, cols: usize, value: f32) -> Self {
+        Tensor {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// Build from a row-major data vector. Panics if the length mismatches.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "data length {} != {rows}x{cols}",
+            data.len()
+        );
+        Tensor { rows, cols, data }
+    }
+
+    /// Identity matrix of size `n`.
+    pub fn eye(n: usize) -> Self {
+        let mut t = Tensor::zeros(n, n);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total element count.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Bytes of storage at f32 precision.
+    #[inline]
+    pub fn bytes(&self) -> usize {
+        self.data.len() * 4
+    }
+
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Raw row-major data.
+    #[inline]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable raw row-major data.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consume into the raw data vector.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Row `r` as a mutable slice.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Reinterpret as a different `rows x cols` with the same element count.
+    pub fn reshape(mut self, rows: usize, cols: usize) -> Self {
+        assert_eq!(self.data.len(), rows * cols, "reshape size mismatch");
+        self.rows = rows;
+        self.cols = cols;
+        self
+    }
+
+    /// Copy of columns `[c0, c1)` — used to build *column shards* of a weight
+    /// matrix `A` (paper Eqn. (2): `A_{*,k}`).
+    pub fn slice_cols(&self, c0: usize, c1: usize) -> Tensor {
+        assert!(c0 <= c1 && c1 <= self.cols, "column slice out of range");
+        let w = c1 - c0;
+        let mut out = Tensor::zeros(self.rows, w);
+        for r in 0..self.rows {
+            out.data[r * w..(r + 1) * w].copy_from_slice(&self.data[r * self.cols + c0..r * self.cols + c1]);
+        }
+        out
+    }
+
+    /// Copy of rows `[r0, r1)` — used to build *row shards* of a weight
+    /// matrix `B` (paper Eqn. (2): `B_{k,*}`).
+    pub fn slice_rows(&self, r0: usize, r1: usize) -> Tensor {
+        assert!(r0 <= r1 && r1 <= self.rows, "row slice out of range");
+        Tensor {
+            rows: r1 - r0,
+            cols: self.cols,
+            data: self.data[r0 * self.cols..r1 * self.cols].to_vec(),
+        }
+    }
+
+    /// Concatenate along columns (all inputs must share the row count).
+    pub fn concat_cols(parts: &[&Tensor]) -> Tensor {
+        assert!(!parts.is_empty());
+        let rows = parts[0].rows;
+        assert!(parts.iter().all(|p| p.rows == rows), "row mismatch in concat_cols");
+        let cols: usize = parts.iter().map(|p| p.cols).sum();
+        let mut out = Tensor::zeros(rows, cols);
+        for r in 0..rows {
+            let mut off = 0;
+            for p in parts {
+                out.data[r * cols + off..r * cols + off + p.cols].copy_from_slice(p.row(r));
+                off += p.cols;
+            }
+        }
+        out
+    }
+
+    /// Concatenate along rows (all inputs must share the column count).
+    pub fn concat_rows(parts: &[&Tensor]) -> Tensor {
+        assert!(!parts.is_empty());
+        let cols = parts[0].cols;
+        assert!(parts.iter().all(|p| p.cols == cols), "col mismatch in concat_rows");
+        let rows: usize = parts.iter().map(|p| p.rows).sum();
+        let mut data = Vec::with_capacity(rows * cols);
+        for p in parts {
+            data.extend_from_slice(&p.data);
+        }
+        Tensor { rows, cols, data }
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Tensor {
+        let mut out = Tensor::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Element-wise `self += other`.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape(), other.shape(), "add_assign shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// Element-wise `self += alpha * other`.
+    pub fn axpy(&mut self, alpha: f32, other: &Tensor) {
+        assert_eq!(self.shape(), other.shape(), "axpy shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Element-wise sum, returning a new tensor.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        let mut out = self.clone();
+        out.add_assign(other);
+        out
+    }
+
+    /// Element-wise difference, returning a new tensor.
+    pub fn sub(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape(), other.shape(), "sub shape mismatch");
+        let data = self.data.iter().zip(&other.data).map(|(a, b)| a - b).collect();
+        Tensor { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// In-place scalar multiply.
+    pub fn scale(&mut self, alpha: f32) {
+        for v in &mut self.data {
+            *v *= alpha;
+        }
+    }
+
+    /// Element-wise product (Hadamard), returning a new tensor.
+    pub fn hadamard(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape(), other.shape(), "hadamard shape mismatch");
+        let data = self.data.iter().zip(&other.data).map(|(a, b)| a * b).collect();
+        Tensor { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Sum of all elements (f64 accumulation for determinism across sizes).
+    pub fn sum(&self) -> f32 {
+        self.data.iter().map(|&v| v as f64).sum::<f64>() as f32
+    }
+
+    /// Mean of all elements.
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f32 {
+        self.data
+            .iter()
+            .map(|&v| (v as f64) * (v as f64))
+            .sum::<f64>()
+            .sqrt() as f32
+    }
+
+    /// Largest absolute element (0 for empty tensors).
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, &v| m.max(v.abs()))
+    }
+
+    /// True if every element is finite.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+
+    /// Round every element through bfloat16 (see [`crate::bf16`]).
+    pub fn to_bf16_precision(&self) -> Tensor {
+        let data = self.data.iter().map(|&v| round_bf16(v)).collect();
+        Tensor { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Maximum absolute element-wise difference to `other`.
+    pub fn max_abs_diff(&self, other: &Tensor) -> f32 {
+        assert_eq!(self.shape(), other.shape(), "max_abs_diff shape mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .fold(0.0f32, |m, (a, b)| m.max((a - b).abs()))
+    }
+
+    /// Relative closeness check used pervasively by the equivalence tests:
+    /// `|a-b| <= atol + rtol * |b|` element-wise.
+    pub fn allclose(&self, other: &Tensor, rtol: f32, atol: f32) -> bool {
+        if self.shape() != other.shape() {
+            return false;
+        }
+        self.data
+            .iter()
+            .zip(&other.data)
+            .all(|(a, b)| (a - b).abs() <= atol + rtol * b.abs())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_indexing() {
+        let t = Tensor::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        assert_eq!(t.shape(), (2, 3));
+        assert_eq!(t.get(0, 0), 1.0);
+        assert_eq!(t.get(1, 2), 6.0);
+        assert_eq!(t.row(1), &[4., 5., 6.]);
+    }
+
+    #[test]
+    #[should_panic(expected = "data length")]
+    fn from_vec_length_checked() {
+        let _ = Tensor::from_vec(2, 2, vec![1.0; 3]);
+    }
+
+    #[test]
+    fn slices_partition_the_matrix() {
+        let t = Tensor::from_vec(2, 4, (0..8).map(|i| i as f32).collect());
+        let left = t.slice_cols(0, 2);
+        let right = t.slice_cols(2, 4);
+        assert_eq!(Tensor::concat_cols(&[&left, &right]), t);
+        let top = t.slice_rows(0, 1);
+        let bottom = t.slice_rows(1, 2);
+        assert_eq!(Tensor::concat_rows(&[&top, &bottom]), t);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let t = Tensor::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        assert_eq!(t.transpose().transpose(), t);
+        assert_eq!(t.transpose().get(2, 1), 6.0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Tensor::from_vec(1, 3, vec![1., 2., 3.]);
+        let b = Tensor::from_vec(1, 3, vec![10., 20., 30.]);
+        assert_eq!(a.add(&b).data(), &[11., 22., 33.]);
+        assert_eq!(b.sub(&a).data(), &[9., 18., 27.]);
+        assert_eq!(a.hadamard(&b).data(), &[10., 40., 90.]);
+        let mut c = a.clone();
+        c.axpy(2.0, &b);
+        assert_eq!(c.data(), &[21., 42., 63.]);
+        assert_eq!(a.sum(), 6.0);
+        assert!((a.norm() - 14f32.sqrt()).abs() < 1e-6);
+        assert_eq!(b.max_abs(), 30.0);
+    }
+
+    #[test]
+    fn eye_is_identity_under_hadamard_sum() {
+        let i = Tensor::eye(4);
+        assert_eq!(i.sum(), 4.0);
+        assert_eq!(i.get(2, 2), 1.0);
+        assert_eq!(i.get(2, 3), 0.0);
+    }
+
+    #[test]
+    fn allclose_tolerances() {
+        let a = Tensor::from_vec(1, 2, vec![1.0, 2.0]);
+        let b = Tensor::from_vec(1, 2, vec![1.0 + 1e-6, 2.0 - 1e-6]);
+        assert!(a.allclose(&b, 1e-5, 1e-5));
+        assert!(!a.allclose(&b, 0.0, 1e-8));
+        let c = Tensor::zeros(2, 1);
+        assert!(!a.allclose(&c, 1.0, 1.0), "shape mismatch is never close");
+    }
+
+    #[test]
+    fn finite_detection() {
+        let mut t = Tensor::zeros(2, 2);
+        assert!(t.all_finite());
+        t.set(1, 1, f32::NAN);
+        assert!(!t.all_finite());
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec(2, 3, (0..6).map(|i| i as f32).collect());
+        let r = t.clone().reshape(3, 2);
+        assert_eq!(r.shape(), (3, 2));
+        assert_eq!(r.data(), t.data());
+    }
+
+    #[test]
+    fn bf16_rounding_applies_elementwise() {
+        let t = Tensor::from_vec(1, 2, vec![1.0 + 2f32.powi(-12), 1.0]);
+        let r = t.to_bf16_precision();
+        assert_eq!(r.get(0, 0), 1.0, "sub-epsilon offset rounds away");
+        assert_eq!(r.get(0, 1), 1.0);
+    }
+}

@@ -1,0 +1,204 @@
+//! Model/optimizer checkpointing.
+//!
+//! Serializes the flat parameter vector plus Adam state with a config
+//! fingerprint, in a simple self-describing binary layout (little-endian
+//! f32s with a JSON-free header), so checkpoints are portable across runs
+//! and across parallelism layouts: a checkpoint written by a Hybrid-STOP
+//! run (via `gather_full_params`) loads into a single-device model and
+//! vice versa.
+
+use crate::config::VitConfig;
+use crate::model::VitModel;
+use orbit_tensor::kernels::AdamState;
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 8] = b"ORBITCK1";
+
+fn write_vec(w: &mut impl Write, v: &[f32]) -> io::Result<()> {
+    w.write_all(&(v.len() as u64).to_le_bytes())?;
+    for x in v {
+        w.write_all(&x.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+fn read_vec(r: &mut impl Read) -> io::Result<Vec<f32>> {
+    let mut len8 = [0u8; 8];
+    r.read_exact(&mut len8)?;
+    let len = u64::from_le_bytes(len8) as usize;
+    let mut out = Vec::with_capacity(len);
+    let mut b4 = [0u8; 4];
+    for _ in 0..len {
+        r.read_exact(&mut b4)?;
+        out.push(f32::from_le_bytes(b4));
+    }
+    Ok(out)
+}
+
+/// A model + optimizer checkpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// Architectural fingerprint: (embed, layers, heads, channels, patch).
+    pub fingerprint: [u64; 5],
+    pub params: Vec<f32>,
+    pub adam_m: Vec<f32>,
+    pub adam_v: Vec<f32>,
+    pub adam_step: u64,
+}
+
+impl Checkpoint {
+    /// Capture the current state of a model and its optimizer.
+    pub fn capture(model: &mut VitModel, state: &AdamState) -> Self {
+        let cfg = model.cfg;
+        Checkpoint {
+            fingerprint: fingerprint(&cfg),
+            params: model.flatten_params(),
+            adam_m: state.m.clone(),
+            adam_v: state.v.clone(),
+            adam_step: state.step,
+        }
+    }
+
+    /// Restore into a model and optimizer state. Fails if the architecture
+    /// fingerprint or parameter count mismatches.
+    pub fn restore(&self, model: &mut VitModel, state: &mut AdamState) -> io::Result<()> {
+        if self.fingerprint != fingerprint(&model.cfg) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "checkpoint architecture fingerprint mismatch",
+            ));
+        }
+        if self.params.len() != model.param_count() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "checkpoint parameter count mismatch",
+            ));
+        }
+        model.load_flat_params(&self.params);
+        state.m = self.adam_m.clone();
+        state.v = self.adam_v.clone();
+        state.step = self.adam_step;
+        Ok(())
+    }
+
+    /// Serialize to any writer.
+    pub fn save(&self, w: &mut impl Write) -> io::Result<()> {
+        w.write_all(MAGIC)?;
+        for f in self.fingerprint {
+            w.write_all(&f.to_le_bytes())?;
+        }
+        w.write_all(&self.adam_step.to_le_bytes())?;
+        write_vec(w, &self.params)?;
+        write_vec(w, &self.adam_m)?;
+        write_vec(w, &self.adam_v)?;
+        Ok(())
+    }
+
+    /// Deserialize from any reader.
+    pub fn load(r: &mut impl Read) -> io::Result<Self> {
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad checkpoint magic"));
+        }
+        let mut fp = [0u64; 5];
+        let mut b8 = [0u8; 8];
+        for f in &mut fp {
+            r.read_exact(&mut b8)?;
+            *f = u64::from_le_bytes(b8);
+        }
+        r.read_exact(&mut b8)?;
+        let adam_step = u64::from_le_bytes(b8);
+        Ok(Checkpoint {
+            fingerprint: fp,
+            params: read_vec(r)?,
+            adam_m: read_vec(r)?,
+            adam_v: read_vec(r)?,
+            adam_step,
+        })
+    }
+}
+
+fn fingerprint(cfg: &VitConfig) -> [u64; 5] {
+    [
+        cfg.dims.embed as u64,
+        cfg.dims.layers as u64,
+        cfg.dims.heads as u64,
+        cfg.dims.channels as u64,
+        cfg.dims.patch as u64,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::lat_weights;
+    use crate::model::Batch;
+    use orbit_tensor::init::Rng;
+    use orbit_tensor::kernels::AdamW;
+
+    fn trained_model() -> (VitModel, AdamState, Batch, Vec<f32>) {
+        let cfg = VitConfig::test_tiny();
+        let mut model = VitModel::init(cfg, 42);
+        let mut state = model.init_adam_state();
+        let mut rng = Rng::seed(1);
+        let batch = Batch {
+            inputs: vec![(0..cfg.dims.channels)
+                .map(|_| rng.normal_tensor(cfg.dims.img_h, cfg.dims.img_w, 1.0))
+                .collect()],
+            targets: vec![(0..cfg.dims.out_channels)
+                .map(|_| rng.normal_tensor(cfg.dims.img_h, cfg.dims.img_w, 1.0))
+                .collect()],
+        };
+        let w = lat_weights(cfg.dims.img_h);
+        let opt = AdamW::default();
+        for _ in 0..3 {
+            model.train_step(&batch, &w, &opt, &mut state);
+        }
+        (model, state, batch, w)
+    }
+
+    #[test]
+    fn roundtrip_preserves_training_trajectory() {
+        let (mut model, state, batch, w) = trained_model();
+        let ckpt = Checkpoint::capture(&mut model, &state);
+        let mut bytes = Vec::new();
+        ckpt.save(&mut bytes).unwrap();
+        let loaded = Checkpoint::load(&mut bytes.as_slice()).unwrap();
+        assert_eq!(loaded, ckpt);
+
+        // Restoring into a fresh model continues training identically.
+        let cfg = model.cfg;
+        let opt = AdamW::default();
+        let mut resumed = VitModel::init(cfg, 999);
+        let mut resumed_state = resumed.init_adam_state();
+        loaded.restore(&mut resumed, &mut resumed_state).unwrap();
+        let mut original = model;
+        let mut original_state = state;
+        for _ in 0..2 {
+            let a = original.train_step(&batch, &w, &opt, &mut original_state);
+            let b = resumed.train_step(&batch, &w, &opt, &mut resumed_state);
+            assert_eq!(a, b, "resumed trajectory must match");
+        }
+        assert_eq!(original.flatten_params(), resumed.flatten_params());
+    }
+
+    #[test]
+    fn rejects_architecture_mismatch() {
+        let (mut model, state, _, _) = trained_model();
+        let ckpt = Checkpoint::capture(&mut model, &state);
+        let mut other = VitModel::init(VitConfig::ladder(0, 8), 1);
+        let mut other_state = other.init_adam_state();
+        assert!(ckpt.restore(&mut other, &mut other_state).is_err());
+    }
+
+    #[test]
+    fn rejects_corrupt_magic() {
+        let (mut model, state, _, _) = trained_model();
+        let ckpt = Checkpoint::capture(&mut model, &state);
+        let mut bytes = Vec::new();
+        ckpt.save(&mut bytes).unwrap();
+        bytes[0] ^= 0xFF;
+        assert!(Checkpoint::load(&mut bytes.as_slice()).is_err());
+    }
+}

@@ -1,0 +1,36 @@
+//! # orbit-vit
+//!
+//! The ORBIT vision transformer: a from-scratch implementation of the
+//! ClimaX architecture (paper Fig. 1) with the ORBIT modification of
+//! QK layer normalization (paper Sec. III-B).
+//!
+//! Data flow for one observation (a `C x H x W` stack of climate-variable
+//! images):
+//!
+//! 1. [`tokenizer::VariableTokenizer`] — each channel is independently
+//!    patchified and linearly embedded (per-variable weights).
+//! 2. [`tokenizer::VariableAggregation`] — at every spatial token, a
+//!    learnable query cross-attends over the `C` channel embeddings,
+//!    collapsing them into one embedding per token.
+//! 3. A learnable positional embedding is added.
+//! 4. [`block::TransformerBlock`] x L — pre-norm self-attention (with QK
+//!    layernorm) and GeLU MLP, expressed as the `y <- x A B` matrix chains
+//!    that Hybrid-STOP shards.
+//! 5. The prediction head — a linear projection back to patch pixels,
+//!    folded into `out_channels` predicted images.
+//!
+//! [`model::VitModel`] is the single-device reference; the distributed
+//! engines in `orbit-core` execute the same kernels on shards and are
+//! tested for gradient equivalence against it.
+
+pub mod baselines;
+pub mod checkpoint;
+pub mod block;
+pub mod config;
+pub mod loss;
+pub mod model;
+pub mod tokenizer;
+
+pub use block::{TransformerBlock, BlockCache};
+pub use config::VitConfig;
+pub use model::{Batch, Forward, VitModel};

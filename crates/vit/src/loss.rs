@@ -1,0 +1,144 @@
+//! Latitude-weighted mean squared error (the paper's pre-training loss)
+//! and its gradient.
+//!
+//! Grid cells shrink toward the poles, so unweighted MSE over-counts polar
+//! pixels. The standard fix (paper Sec. IV, "Performance Metrics") weights
+//! each row by `cos(latitude)`, normalized to mean 1.
+
+use orbit_tensor::Tensor;
+
+/// `cos(latitude)` weights for `h` equally-spaced latitude rows covering
+/// [-90, 90] degrees (cell centers), normalized so the mean weight is 1.
+pub fn lat_weights(h: usize) -> Vec<f32> {
+    assert!(h > 0);
+    let mut w: Vec<f32> = (0..h)
+        .map(|i| {
+            let lat = -90.0 + 180.0 * (i as f32 + 0.5) / h as f32;
+            lat.to_radians().cos()
+        })
+        .collect();
+    let mean: f32 = w.iter().sum::<f32>() / h as f32;
+    for v in &mut w {
+        *v /= mean;
+    }
+    w
+}
+
+/// Latitude-weighted MSE between predicted and target images (each
+/// `H x W`), averaged over all pixels and channels.
+pub fn weighted_mse(pred: &[Tensor], target: &[Tensor], weights: &[f32]) -> f32 {
+    assert_eq!(pred.len(), target.len(), "channel count mismatch");
+    assert!(!pred.is_empty());
+    let (h, w) = pred[0].shape();
+    assert_eq!(weights.len(), h, "one weight per latitude row");
+    let mut total = 0.0f64;
+    for (p, t) in pred.iter().zip(target) {
+        assert_eq!(p.shape(), (h, w));
+        assert_eq!(t.shape(), (h, w));
+        for r in 0..h {
+            let wr = weights[r] as f64;
+            for (pv, tv) in p.row(r).iter().zip(t.row(r)) {
+                let d = (*pv - *tv) as f64;
+                total += wr * d * d;
+            }
+        }
+    }
+    (total / (pred.len() * h * w) as f64) as f32
+}
+
+/// Gradient of [`weighted_mse`] w.r.t. the predictions:
+/// `d/dp = 2 w_r (p - t) / (C H W)`.
+pub fn weighted_mse_grad(pred: &[Tensor], target: &[Tensor], weights: &[f32]) -> Vec<Tensor> {
+    let (h, w) = pred[0].shape();
+    let n = (pred.len() * h * w) as f32;
+    pred.iter()
+        .zip(target)
+        .map(|(p, t)| {
+            let mut g = Tensor::zeros(h, w);
+            for r in 0..h {
+                let wr = weights[r];
+                for c in 0..w {
+                    g.set(r, c, 2.0 * wr * (p.get(r, c) - t.get(r, c)) / n);
+                }
+            }
+            g
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orbit_tensor::init::Rng;
+
+    #[test]
+    fn weights_mean_one_and_equator_heavy() {
+        let w = lat_weights(32);
+        let mean: f32 = w.iter().sum::<f32>() / 32.0;
+        assert!((mean - 1.0).abs() < 1e-5);
+        // Equator rows (middle) outweigh polar rows (ends).
+        assert!(w[16] > w[0]);
+        assert!(w[15] > w[31]);
+        assert!(w[0] > 0.0, "weights stay positive");
+    }
+
+    #[test]
+    fn zero_error_zero_loss() {
+        let img = Tensor::full(4, 8, 3.0);
+        let w = lat_weights(4);
+        assert_eq!(weighted_mse(&[img.clone()], &[img], &w), 0.0);
+    }
+
+    #[test]
+    fn uniform_weights_reduce_to_plain_mse() {
+        let mut rng = Rng::seed(21);
+        let p = rng.normal_tensor(4, 4, 1.0);
+        let t = rng.normal_tensor(4, 4, 1.0);
+        let w = vec![1.0f32; 4];
+        let ours = weighted_mse(&[p.clone()], &[t.clone()], &w);
+        let plain: f32 = p
+            .data()
+            .iter()
+            .zip(t.data())
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f32>()
+            / 16.0;
+        assert!((ours - plain).abs() < 1e-6);
+    }
+
+    #[test]
+    fn grad_matches_fd() {
+        let mut rng = Rng::seed(22);
+        let p = rng.normal_tensor(4, 4, 1.0);
+        let t = rng.normal_tensor(4, 4, 1.0);
+        let w = lat_weights(4);
+        let g = weighted_mse_grad(&[p.clone()], &[t.clone()], &w);
+        let eps = 1e-3;
+        for r in 0..4 {
+            for c in 0..4 {
+                let mut pp = p.clone();
+                pp.set(r, c, p.get(r, c) + eps);
+                let mut pm = p.clone();
+                pm.set(r, c, p.get(r, c) - eps);
+                let fd = (weighted_mse(&[pp], &[t.clone()], &w)
+                    - weighted_mse(&[pm], &[t.clone()], &w))
+                    / (2.0 * eps);
+                assert!((g[0].get(r, c) - fd).abs() < 1e-4, "({r},{c})");
+            }
+        }
+    }
+
+    #[test]
+    fn polar_errors_cost_less() {
+        let h = 8;
+        let w = lat_weights(h);
+        let target = Tensor::zeros(h, 4);
+        let mut polar = Tensor::zeros(h, 4);
+        polar.set(0, 0, 1.0); // near the pole
+        let mut equatorial = Tensor::zeros(h, 4);
+        equatorial.set(h / 2, 0, 1.0); // near the equator
+        let lp = weighted_mse(&[polar], &[target.clone()], &w);
+        let le = weighted_mse(&[equatorial], &[target], &w);
+        assert!(le > lp, "equatorial error {le} should exceed polar {lp}");
+    }
+}

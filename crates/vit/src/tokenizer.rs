@@ -1,0 +1,337 @@
+//! Variable tokenization and cross-attention aggregation (paper Fig. 1).
+//!
+//! Each climate variable's `H x W` field is independently patchified and
+//! embedded with its own weights; then, per spatial token, a learnable
+//! query cross-attends over the `C` channel embeddings to produce a single
+//! embedding per token. This is the ClimaX front-end that lets one model
+//! consume heterogeneous variable sets.
+
+use crate::block::Param;
+use crate::config::VitConfig;
+use orbit_tensor::init::Rng;
+use orbit_tensor::kernels::attention::{mha_backward, mha_forward, MhaCache};
+use orbit_tensor::kernels::{linear, linear_backward, unfold_patches};
+use orbit_tensor::{Precision, Tensor};
+
+/// Per-variable patch embedding.
+#[derive(Debug, Clone)]
+pub struct VariableTokenizer {
+    /// One `(p*p) x d` weight per channel.
+    pub weights: Vec<Param>,
+    /// One `1 x d` bias per channel.
+    pub biases: Vec<Param>,
+    pub patch: usize,
+    pub precision: Precision,
+}
+
+/// Cache for the tokenizer backward: the unfolded patches per channel.
+pub struct TokenizerCache {
+    patches: Vec<Tensor>,
+}
+
+impl VariableTokenizer {
+    pub fn init(cfg: &VitConfig, rng: &mut Rng) -> Self {
+        let d = cfg.dims.embed;
+        let pp = cfg.dims.patch * cfg.dims.patch;
+        let weights = (0..cfg.dims.channels)
+            .map(|i| {
+                let mut r = rng.derive(1000 + i as u64);
+                Param::new(r.trunc_normal_tensor(pp, d, cfg.init_std))
+            })
+            .collect();
+        let biases = (0..cfg.dims.channels)
+            .map(|_| Param::new(Tensor::zeros(1, d)))
+            .collect();
+        VariableTokenizer {
+            weights,
+            biases,
+            patch: cfg.dims.patch,
+            precision: cfg.precision,
+        }
+    }
+
+    /// Embed one observation: `channels` images of `H x W` -> per-channel
+    /// token embeddings (`tokens x d` each).
+    pub fn forward(&self, images: &[Tensor]) -> (Vec<Tensor>, TokenizerCache) {
+        assert_eq!(images.len(), self.weights.len(), "channel count mismatch");
+        let mut embeddings = Vec::with_capacity(images.len());
+        let mut patches = Vec::with_capacity(images.len());
+        for (i, img) in images.iter().enumerate() {
+            let p = unfold_patches(img, self.patch);
+            let e = linear(&p, &self.weights[i].value, Some(&self.biases[i].value), self.precision);
+            embeddings.push(e);
+            patches.push(p);
+        }
+        (embeddings, TokenizerCache { patches })
+    }
+
+    /// Backward: accumulate per-variable weight grads. Input-image grads
+    /// are not needed (images are data), so they are dropped.
+    pub fn backward(&mut self, cache: &TokenizerCache, d_embeddings: &[Tensor]) {
+        assert_eq!(d_embeddings.len(), self.weights.len());
+        for i in 0..self.weights.len() {
+            let g = linear_backward(&cache.patches[i], &self.weights[i].value, &d_embeddings[i], true);
+            self.weights[i].accumulate(&g.dw);
+            self.biases[i].accumulate(&g.db.expect("bias grad"));
+        }
+    }
+
+    pub fn visit_params(&mut self, v: &mut dyn FnMut(&str, &mut Param)) {
+        for (i, p) in self.weights.iter_mut().enumerate() {
+            v(&format!("tokenizer.w{i}"), p);
+        }
+        for (i, p) in self.biases.iter_mut().enumerate() {
+            v(&format!("tokenizer.b{i}"), p);
+        }
+    }
+}
+
+/// Cross-attention channel aggregation: a learnable query pools the C
+/// channel embeddings at each spatial token.
+#[derive(Debug, Clone)]
+pub struct VariableAggregation {
+    /// Learnable query, `1 x d`.
+    pub query: Param,
+    pub wq: Param,
+    pub wk: Param,
+    pub wv: Param,
+    pub wo: Param,
+    pub heads: usize,
+    pub precision: Precision,
+}
+
+/// Cache for the aggregation backward: per-token projected tensors and
+/// attention caches.
+pub struct AggregationCache {
+    /// Stacked channel embeddings, `(C * tokens) x d`, channel-major.
+    stacked: Tensor,
+    /// Projected keys/values for the full stack.
+    k: Tensor,
+    v: Tensor,
+    /// Projected query (shared across tokens).
+    q: Tensor,
+    /// Per-token attention caches.
+    mha: Vec<MhaCache>,
+    /// Per-token attention outputs (inputs to Wo).
+    attn_out: Vec<Tensor>,
+    channels: usize,
+    tokens: usize,
+}
+
+impl VariableAggregation {
+    pub fn init(cfg: &VitConfig, rng: &mut Rng) -> Self {
+        let d = cfg.dims.embed;
+        let std = cfg.init_std;
+        VariableAggregation {
+            query: Param::new(rng.trunc_normal_tensor(1, d, std)),
+            wq: Param::new(rng.trunc_normal_tensor(d, d, std)),
+            wk: Param::new(rng.trunc_normal_tensor(d, d, std)),
+            wv: Param::new(rng.trunc_normal_tensor(d, d, std)),
+            wo: Param::new(rng.trunc_normal_tensor(d, d, std)),
+            heads: cfg.dims.heads,
+            precision: cfg.precision,
+        }
+    }
+
+    /// Aggregate per-channel embeddings (`C` tensors of `tokens x d`) into
+    /// one `tokens x d` embedding.
+    pub fn forward(&self, embeddings: &[Tensor]) -> (Tensor, AggregationCache) {
+        let channels = embeddings.len();
+        let tokens = embeddings[0].rows();
+        let d = embeddings[0].cols();
+        let stacked = Tensor::concat_rows(&embeddings.iter().collect::<Vec<_>>());
+        let k = linear(&stacked, &self.wk.value, None, self.precision);
+        let v = linear(&stacked, &self.wv.value, None, self.precision);
+        let q = linear(&self.query.value, &self.wq.value, None, self.precision);
+        let mut out = Tensor::zeros(tokens, d);
+        let mut mha_caches = Vec::with_capacity(tokens);
+        let mut attn_outs = Vec::with_capacity(tokens);
+        for t in 0..tokens {
+            // Gather the C rows for token t (channel-major stacking).
+            let mut kt = Tensor::zeros(channels, d);
+            let mut vt = Tensor::zeros(channels, d);
+            for c in 0..channels {
+                kt.row_mut(c).copy_from_slice(k.row(c * tokens + t));
+                vt.row_mut(c).copy_from_slice(v.row(c * tokens + t));
+            }
+            let (a, cache) = mha_forward(&q, &kt, &vt, self.heads, None);
+            let o = linear(&a, &self.wo.value, None, self.precision);
+            out.row_mut(t).copy_from_slice(o.row(0));
+            mha_caches.push(cache);
+            attn_outs.push(a);
+        }
+        (
+            out,
+            AggregationCache {
+                stacked,
+                k,
+                v,
+                q,
+                mha: mha_caches,
+                attn_out: attn_outs,
+                channels,
+                tokens,
+            },
+        )
+    }
+
+    /// Backward: returns gradients for the per-channel embeddings.
+    pub fn backward(&mut self, cache: &AggregationCache, dy: &Tensor) -> Vec<Tensor> {
+        let (channels, tokens) = (cache.channels, cache.tokens);
+        let d = dy.cols();
+        let mut dk_full = Tensor::zeros(channels * tokens, d);
+        let mut dv_full = Tensor::zeros(channels * tokens, d);
+        let mut dq_total = Tensor::zeros(1, d);
+        for t in 0..tokens {
+            let dy_t = dy.slice_rows(t, t + 1);
+            let go = linear_backward(&cache.attn_out[t], &self.wo.value, &dy_t, false);
+            self.wo.accumulate(&go.dw);
+            let mg = mha_backward(&cache.mha[t], None, &go.dx);
+            dq_total.add_assign(&mg.dq);
+            for c in 0..channels {
+                dk_full
+                    .row_mut(c * tokens + t)
+                    .copy_from_slice(mg.dk.row(c));
+                dv_full
+                    .row_mut(c * tokens + t)
+                    .copy_from_slice(mg.dv.row(c));
+            }
+        }
+        let gq = linear_backward(&self.query.value, &self.wq.value, &dq_total, false);
+        self.wq.accumulate(&gq.dw);
+        self.query.accumulate(&gq.dx);
+        let gk = linear_backward(&cache.stacked, &self.wk.value, &dk_full, false);
+        self.wk.accumulate(&gk.dw);
+        let gv = linear_backward(&cache.stacked, &self.wv.value, &dv_full, false);
+        self.wv.accumulate(&gv.dw);
+        let mut d_stacked = gk.dx;
+        d_stacked.add_assign(&gv.dx);
+        // Unstack back into per-channel gradients.
+        (0..channels)
+            .map(|c| d_stacked.slice_rows(c * tokens, (c + 1) * tokens))
+            .collect()
+    }
+
+    pub fn visit_params(&mut self, v: &mut dyn FnMut(&str, &mut Param)) {
+        v("agg.query", &mut self.query);
+        v("agg.wq", &mut self.wq);
+        v("agg.wk", &mut self.wk);
+        v("agg.wv", &mut self.wv);
+        v("agg.wo", &mut self.wo);
+    }
+
+    /// Silence dead-code analysis for cached tensors used only in tests.
+    #[doc(hidden)]
+    pub fn _cache_probe(cache: &AggregationCache) -> (usize, usize) {
+        let _ = (&cache.k, &cache.v, &cache.q);
+        (cache.channels, cache.tokens)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orbit_tensor::kernels::fd::{assert_grad_close, numerical_grad};
+
+    fn cfg() -> VitConfig {
+        VitConfig::test_tiny()
+    }
+
+    fn images(rng: &mut Rng, cfg: &VitConfig) -> Vec<Tensor> {
+        (0..cfg.dims.channels)
+            .map(|_| rng.normal_tensor(cfg.dims.img_h, cfg.dims.img_w, 1.0))
+            .collect()
+    }
+
+    #[test]
+    fn tokenizer_shapes() {
+        let c = cfg();
+        let mut rng = Rng::seed(11);
+        let tok = VariableTokenizer::init(&c, &mut rng);
+        let imgs = images(&mut rng, &c);
+        let (embs, _) = tok.forward(&imgs);
+        assert_eq!(embs.len(), c.dims.channels);
+        for e in &embs {
+            assert_eq!(e.shape(), (c.tokens(), c.dims.embed));
+        }
+    }
+
+    #[test]
+    fn tokenizer_per_variable_weights_are_independent() {
+        let c = cfg();
+        let mut rng = Rng::seed(12);
+        let tok = VariableTokenizer::init(&c, &mut rng);
+        assert_ne!(tok.weights[0].value, tok.weights[1].value);
+    }
+
+    #[test]
+    fn tokenizer_grads_match_fd() {
+        let c = cfg();
+        let mut rng = Rng::seed(13);
+        let mut tok = VariableTokenizer::init(&c, &mut rng);
+        let imgs = images(&mut rng, &c);
+        let masks: Vec<Tensor> = (0..c.dims.channels)
+            .map(|_| rng.normal_tensor(c.tokens(), c.dims.embed, 1.0))
+            .collect();
+        let (_, cache) = tok.forward(&imgs);
+        tok.backward(&cache, &masks);
+        let analytic = tok.weights[1].grad.clone();
+        let base = tok.weights[1].value.clone();
+        let numerical = numerical_grad(&base, |w_| {
+            let mut t2 = tok.clone();
+            t2.weights[1].value = w_.clone();
+            let (embs, _) = t2.forward(&imgs);
+            embs.iter().zip(&masks).map(|(e, m)| e.hadamard(m).sum()).sum()
+        }, 1e-3);
+        assert_grad_close(&analytic, &numerical, 3e-2);
+    }
+
+    #[test]
+    fn aggregation_shapes_and_grads() {
+        let c = cfg();
+        let mut rng = Rng::seed(14);
+        let mut agg = VariableAggregation::init(&c, &mut rng);
+        let embs: Vec<Tensor> = (0..c.dims.channels)
+            .map(|_| rng.normal_tensor(c.tokens(), c.dims.embed, 1.0))
+            .collect();
+        let m = rng.normal_tensor(c.tokens(), c.dims.embed, 1.0);
+        let (y, cache) = agg.forward(&embs);
+        assert_eq!(y.shape(), (c.tokens(), c.dims.embed));
+        let d_embs = agg.backward(&cache, &m);
+        assert_eq!(d_embs.len(), c.dims.channels);
+
+        // FD check on the embedding gradient of channel 0.
+        let numerical = numerical_grad(&embs[0], |e_| {
+            let mut e2: Vec<Tensor> = embs.clone();
+            e2[0] = e_.clone();
+            agg.forward(&e2).0.hadamard(&m).sum()
+        }, 1e-3);
+        assert_grad_close(&d_embs[0], &numerical, 4e-2);
+
+        // FD check on the learnable query gradient.
+        let analytic_q = agg.query.grad.clone();
+        let numerical_q = numerical_grad(&agg.query.value.clone(), |q_| {
+            let mut a2 = agg.clone();
+            a2.query.value = q_.clone();
+            a2.forward(&embs).0.hadamard(&m).sum()
+        }, 1e-3);
+        assert_grad_close(&analytic_q, &numerical_q, 4e-2);
+    }
+
+    #[test]
+    fn aggregation_is_permutation_sensitive_via_weights_only() {
+        // Cross-attention is permutation-equivariant over channels when
+        // keys/values are permuted together: output must be identical.
+        let c = cfg();
+        let mut rng = Rng::seed(15);
+        let agg = VariableAggregation::init(&c, &mut rng);
+        let embs: Vec<Tensor> = (0..c.dims.channels)
+            .map(|_| rng.normal_tensor(c.tokens(), c.dims.embed, 1.0))
+            .collect();
+        let (y1, _) = agg.forward(&embs);
+        let mut shuffled = embs.clone();
+        shuffled.rotate_left(1);
+        let (y2, _) = agg.forward(&shuffled);
+        assert!(y1.allclose(&y2, 1e-4, 1e-5), "channel pooling is order-invariant");
+    }
+}

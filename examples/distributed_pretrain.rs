@@ -1,0 +1,78 @@
+//! Distributed pre-training end to end: Hybrid-STOP on 8 simulated GPUs
+//! consuming the synthetic CMIP6 archive — the full paper pipeline in one
+//! binary (cluster + parallelism + model + data).
+//!
+//! ```text
+//! cargo run --release --example distributed_pretrain
+//! ```
+
+use orbit::comm::Cluster;
+use orbit::core::{HybridStopEngine, ParallelLayout, TrainOptions};
+use orbit::data::loader::laptop_loader;
+use orbit::tensor::init::Rng;
+use orbit::tensor::kernels::AdamW;
+use orbit::vit::VitConfig;
+
+fn main() {
+    let cfg = VitConfig::ladder(0, 8);
+    let layout = ParallelLayout::new(2, 2, 2); // all three levels of Fig. 4
+    let loader = laptop_loader(123).with_lead(4);
+    let steps = 12;
+    let global_batch = 8;
+
+    // Pre-generate the batch schedule so every rank sees the same data
+    // (the loader is deterministic, so this is cheap and exact).
+    let mut rng = Rng::seed(55);
+    let batches: Vec<_> = (0..steps)
+        .map(|_| loader.pretrain_batch(&mut rng, global_batch))
+        .collect();
+
+    println!(
+        "pre-training a {}-param ORBIT ViT on {} simulated GPUs (tp=2, fsdp=2, ddp=2)",
+        cfg.dims.param_count(),
+        layout.world()
+    );
+    let results = Cluster::frontier().run(layout.world(), |ctx| {
+        let opts = TrainOptions::all_on();
+        let mut engine = HybridStopEngine::new(
+            ctx,
+            layout,
+            cfg,
+            AdamW {
+                lr: 1e-3,
+                ..AdamW::default()
+            },
+            opts,
+            42,
+        )
+        .expect("engine fits");
+        let mut losses = Vec::new();
+        for batch in &batches {
+            let stats = engine.train_step(ctx, batch).expect("step");
+            losses.push(stats.loss);
+        }
+        (
+            losses,
+            ctx.device.peak(),
+            ctx.clock.now(),
+            ctx.clock.comm_seconds(),
+        )
+    });
+
+    let (losses, peak, sim_t, comm_t) = &results[0];
+    println!("\nstep  wMSE (global batch {global_batch}, BF16 mixed precision, ckpt, prefetch)");
+    for (i, l) in losses.iter().enumerate() {
+        println!("{i:4}  {l:.4}");
+    }
+    println!(
+        "\nper-GPU peak memory {:.2} MB | simulated Frontier time {:.3} s ({:.0}% comm)",
+        *peak as f64 / 1e6,
+        sim_t,
+        100.0 * comm_t / sim_t.max(1e-12),
+    );
+    assert!(
+        losses.last().unwrap() < losses.first().unwrap(),
+        "distributed pre-training must reduce the loss"
+    );
+    println!("loss decreased across distributed training — pipeline verified");
+}

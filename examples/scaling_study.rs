@@ -1,0 +1,68 @@
+//! Frontier scaling study with the analytic performance model: what the
+//! paper's Figs. 5-7 compute, as a library call.
+//!
+//! ```text
+//! cargo run --release --example scaling_study
+//! ```
+
+use orbit::frontier::{ModelDims, ParallelLayout, PerfModel, Strategy, TrainOptions};
+
+fn main() {
+    let model = PerfModel::default();
+    let opts = TrainOptions::all_on();
+
+    println!("=== Max trainable model size at 512 Frontier GPUs ===");
+    for (name, strategy, opts) in [
+        (
+            "vanilla FSDP",
+            Strategy::Fsdp,
+            TrainOptions {
+                layer_wrapping: false,
+                ..opts
+            },
+        ),
+        (
+            "tensor parallelism",
+            Strategy::TensorParallel,
+            TrainOptions {
+                activation_checkpointing: false,
+                ..opts
+            },
+        ),
+        ("Hybrid-STOP", Strategy::HybridStop, opts),
+    ] {
+        let (dims, p) = model.max_model(strategy, 512, &opts, 2, 48);
+        println!(
+            "  {name:20} {:6.1} B params  ({} embed x {} layers)",
+            p as f64 / 1e9,
+            dims.embed,
+            dims.layers
+        );
+    }
+
+    println!("\n=== 113 B model across the machine (48 channels, batch 2880) ===");
+    let dims = ModelDims::orbit_113b(48);
+    let base = ParallelLayout::new(8, 64, 1);
+    for ddp in [1usize, 4, 16, 48, 96] {
+        let layout = ParallelLayout::new(8, 64, ddp);
+        let t = model.time_per_obs_at_global_batch(&dims, &layout, Strategy::HybridStop, &opts, 2880);
+        let eff =
+            model.scaling_efficiency(&dims, &base, &layout, Strategy::HybridStop, &opts, 2880);
+        let pflops = model.flops_per_obs(&dims, &opts) / t / 1e15;
+        println!(
+            "  {:6} GPUs: {:>9.2e} s/obs, efficiency {:4.0}%, sustained {:5.0} PFLOPS",
+            layout.world(),
+            t,
+            eff * 100.0,
+            pflops
+        );
+    }
+
+    println!("\n=== Memory anatomy of the 113 B model on 512 GPUs ===");
+    let mem = model.memory(&dims, &base, Strategy::HybridStop, &opts, 2);
+    println!("  persistent (sharded weights+grads+Adam): {:6.2} GB", mem.persistent as f64 / 1e9);
+    println!("  transient layer-shard gather:            {:6.2} GB", mem.gather as f64 / 1e9);
+    println!("  activations (checkpointed):              {:6.2} GB", mem.activations as f64 / 1e9);
+    println!("  workspace:                               {:6.2} GB", mem.workspace as f64 / 1e9);
+    println!("  total of 64 GB capacity:                 {:6.2} GB", mem.total() as f64 / 1e9);
+}

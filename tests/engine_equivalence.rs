@@ -1,0 +1,196 @@
+//! The paper's correctness claim, tested across the whole engine zoo:
+//! every parallelism strategy trains *exactly* like the single-device
+//! reference (same losses, same parameters), for multiple steps, on a
+//! non-trivial model.
+
+use orbit::comm::Cluster;
+use orbit::core::{
+    DdpEngine, FsdpEngine, HybridStopEngine, ParallelLayout, TensorParallelEngine, TrainOptions,
+};
+use orbit::tensor::init::Rng;
+use orbit::tensor::kernels::AdamW;
+use orbit::vit::loss::lat_weights;
+use orbit::vit::{Batch, VitConfig, VitModel};
+
+fn make_batch(cfg: &VitConfig, n: usize, seed: u64) -> Batch {
+    let mut rng = Rng::seed(seed);
+    Batch {
+        inputs: (0..n)
+            .map(|_| {
+                (0..cfg.dims.channels)
+                    .map(|_| rng.normal_tensor(cfg.dims.img_h, cfg.dims.img_w, 1.0))
+                    .collect()
+            })
+            .collect(),
+        targets: (0..n)
+            .map(|_| {
+                (0..cfg.dims.out_channels)
+                    .map(|_| rng.normal_tensor(cfg.dims.img_h, cfg.dims.img_w, 1.0))
+                    .collect()
+            })
+            .collect(),
+    }
+}
+
+fn reference_losses(cfg: VitConfig, batch: &Batch, steps: usize) -> Vec<f32> {
+    let w = lat_weights(cfg.dims.img_h);
+    let opt = AdamW::default();
+    let mut model = VitModel::init(cfg, 42);
+    let mut state = model.init_adam_state();
+    (0..steps)
+        .map(|_| model.train_step(batch, &w, &opt, &mut state))
+        .collect()
+}
+
+fn assert_close(label: &str, got: &[f32], want: &[f32], tol: f32) {
+    for (i, (a, b)) in got.iter().zip(want).enumerate() {
+        assert!(
+            (a - b).abs() <= tol * b.abs().max(1.0),
+            "{label}: step {i}: {a} vs {b}"
+        );
+    }
+}
+
+/// A slightly larger model than the unit tests use, so head-count and
+/// layer-count asymmetries are exercised.
+fn cfg() -> VitConfig {
+    let mut c = VitConfig::ladder(0, 8);
+    c.dims.img_h = 16;
+    c.dims.img_w = 32;
+    c.dims.patch = 4; // 4x8 = 32 tokens
+    c
+}
+
+#[test]
+fn all_engines_match_reference() {
+    let cfg = cfg();
+    let batch = make_batch(&cfg, 4, 3);
+    let steps = 2;
+    let want = reference_losses(cfg, &batch, steps);
+    let opt = AdamW::default();
+    let opts = TrainOptions::none();
+
+    // DDP, world 4.
+    let ddp = Cluster::frontier().run(4, |ctx| {
+        let mut e = DdpEngine::new(ctx, cfg, opt, opts, 42).unwrap();
+        (0..steps)
+            .map(|_| e.train_step(ctx, &batch).unwrap().loss)
+            .collect::<Vec<_>>()
+    });
+    assert_close("ddp", &ddp[0], &want, 1e-3);
+
+    // Vanilla FSDP, world 4.
+    let fsdp = Cluster::frontier().run(4, |ctx| {
+        let mut e = FsdpEngine::new(ctx, cfg, opt, opts, 42).unwrap();
+        (0..steps)
+            .map(|_| e.train_step(ctx, &batch).unwrap().loss)
+            .collect::<Vec<_>>()
+    });
+    assert_close("fsdp", &fsdp[0], &want, 1e-3);
+
+    // Pure tensor parallelism, world 4 (4 heads).
+    let tp = Cluster::frontier().run(4, |ctx| {
+        let mut e = TensorParallelEngine::new(ctx, cfg, opt, opts, 42).unwrap();
+        (0..steps)
+            .map(|_| e.train_step(ctx, &batch).unwrap().loss)
+            .collect::<Vec<_>>()
+    });
+    assert_close("tp", &tp[0], &want, 1e-3);
+
+    // Hybrid-STOP with all three levels active, world 8.
+    let layout = ParallelLayout::new(2, 2, 2);
+    let hs = Cluster::frontier().run(8, |ctx| {
+        let mut e = HybridStopEngine::new(ctx, layout, cfg, opt, opts, 42).unwrap();
+        (0..steps)
+            .map(|_| e.train_step(ctx, &batch).unwrap().loss)
+            .collect::<Vec<_>>()
+    });
+    for ranks in &hs {
+        assert_close("hybrid-stop", ranks, &want, 1e-3);
+    }
+}
+
+#[test]
+fn hybrid_stop_final_params_match_reference() {
+    let cfg = cfg();
+    let batch = make_batch(&cfg, 4, 5);
+    let w = lat_weights(cfg.dims.img_h);
+    let opt = AdamW::default();
+    let mut reference = VitModel::init(cfg, 42);
+    let mut state = reference.init_adam_state();
+    for _ in 0..2 {
+        reference.train_step(&batch, &w, &opt, &mut state);
+    }
+    let want = reference.flatten_params();
+
+    let layout = ParallelLayout::new(4, 2, 1);
+    let results = Cluster::frontier().run(8, |ctx| {
+        let mut e =
+            HybridStopEngine::new(ctx, layout, cfg, opt, TrainOptions::none(), 42).unwrap();
+        for _ in 0..2 {
+            e.train_step(ctx, &batch).unwrap();
+        }
+        e.gather_full_params(ctx)
+    });
+    for params in &results {
+        assert_eq!(params.len(), want.len());
+        let max_err = params
+            .iter()
+            .zip(&want)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        assert!(max_err < 1e-3, "max param error {max_err}");
+    }
+}
+
+#[test]
+fn hybrid_stop_tp1_fsdp_n_equals_layer_wrapped_fsdp() {
+    // Hybrid-STOP degenerates to layer-wrapped FSDP at tp=1: its losses
+    // must match vanilla FSDP's (same math, different gather granularity).
+    let cfg = cfg();
+    let batch = make_batch(&cfg, 4, 7);
+    let opt = AdamW::default();
+    let fsdp = Cluster::frontier().run(4, |ctx| {
+        let mut e = FsdpEngine::new(ctx, cfg, opt, TrainOptions::none(), 42).unwrap();
+        (0..2)
+            .map(|_| e.train_step(ctx, &batch).unwrap().loss)
+            .collect::<Vec<_>>()
+    });
+    let hs = Cluster::frontier().run(4, |ctx| {
+        let layout = ParallelLayout::new(1, 4, 1);
+        let opts = TrainOptions {
+            layer_wrapping: true,
+            ..TrainOptions::none()
+        };
+        let mut e = HybridStopEngine::new(ctx, layout, cfg, opt, opts, 42).unwrap();
+        (0..2)
+            .map(|_| e.train_step(ctx, &batch).unwrap().loss)
+            .collect::<Vec<_>>()
+    });
+    assert_close("hs(tp=1) vs fsdp", &hs[0], &fsdp[0], 1e-3);
+}
+
+#[test]
+fn checkpointed_hybrid_stop_matches_uncheckpointed() {
+    let cfg = cfg();
+    let batch = make_batch(&cfg, 2, 11);
+    let opt = AdamW::default();
+    let layout = ParallelLayout::new(2, 2, 1);
+    let run = |ckpt: bool| {
+        Cluster::frontier().run(4, |ctx| {
+            let opts = TrainOptions {
+                activation_checkpointing: ckpt,
+                layer_wrapping: true,
+                prefetch: false,
+                mixed_precision: false,
+            };
+            let mut e = HybridStopEngine::new(ctx, layout, cfg, opt, opts, 42).unwrap();
+            (0..2)
+                .map(|_| e.train_step(ctx, &batch).unwrap().loss)
+                .collect::<Vec<_>>()
+        })
+    };
+    let with = run(true);
+    let without = run(false);
+    assert_close("ckpt", &with[0], &without[0], 1e-4);
+}

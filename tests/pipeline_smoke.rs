@@ -1,0 +1,150 @@
+//! End-to-end pipeline: synthetic archive -> pre-train -> fine-tune ->
+//! forecast skill, and the baseline zoo — the Figs. 8-10 machinery at
+//! smoke-test size.
+
+use orbit::data::loader::laptop_loader;
+use orbit::data::metrics::{lat_weights, wacc};
+use orbit::tensor::init::Rng;
+use orbit::tensor::kernels::AdamW;
+use orbit::vit::baselines::{damped_persistence, SpectralOperator};
+use orbit::vit::{VitConfig, VitModel};
+
+#[test]
+fn pretrain_finetune_beats_climatology_at_one_day() {
+    let loader = laptop_loader(99).with_lead(4);
+    let cfg = VitConfig::ladder(0, 8);
+    let w = lat_weights(cfg.dims.img_h);
+    let opt = AdamW {
+        lr: 1.5e-3,
+        ..AdamW::default()
+    };
+    let mut model = VitModel::init(cfg, 42);
+    let mut rng = Rng::seed(1);
+    let mut state = model.init_adam_state();
+    for _ in 0..50 {
+        let b = loader.pretrain_batch(&mut rng, 8);
+        model.train_step(&b, &w, &opt, &mut state);
+    }
+    let mut ft_state = model.init_adam_state();
+    for _ in 0..30 {
+        let b = loader.finetune_batch(&mut rng, 8);
+        model.train_step(&b, &w, &opt, &mut ft_state);
+    }
+    let eval = loader.eval_batch(8);
+    let clims = loader.output_climatologies();
+    let mut mean_acc = 0.0;
+    for (inputs, targets) in eval.inputs.iter().zip(&eval.targets) {
+        let preds = model.predict(inputs);
+        for v in 0..4 {
+            mean_acc += wacc(&preds[v], &targets[v], &clims[v], &w) / (4.0 * eval.len() as f32);
+        }
+    }
+    // Climatology scores 0; a trained 1-day forecast must show real skill.
+    assert!(mean_acc > 0.15, "mean wACC {mean_acc} should beat climatology clearly");
+}
+
+#[test]
+fn skill_decays_with_lead_time() {
+    // Persistence skill must decay monotonically-ish with lead: the
+    // predictability-horizon structure the Fig. 9 comparisons rely on.
+    let loader = laptop_loader(77);
+    let w = lat_weights(32);
+    let clims = loader.output_climatologies();
+    let out_idx = loader.generator.catalog().output_indices();
+    let mut accs = Vec::new();
+    for lead in [1usize, 4, 120] {
+        let l = loader.clone().with_lead(lead);
+        let eval = l.eval_batch(6);
+        let mut acc = 0.0;
+        for (inputs, targets) in eval.inputs.iter().zip(&eval.targets) {
+            for v in 0..4 {
+                let p = damped_persistence(&inputs[out_idx[v]], &clims[v], lead, 1.0);
+                acc += wacc(&p, &targets[v], &clims[v], &w) / (4.0 * eval.len() as f32);
+            }
+        }
+        accs.push(acc);
+    }
+    // Wave autocorrelation oscillates at long leads, so we assert decay
+    // in magnitude rather than strict monotonicity: near-perfect at one
+    // step, clearly degraded at one day, near zero at a month.
+    assert!(accs[0] > 0.9, "1-step persistence near-perfect: {}", accs[0]);
+    assert!(accs[1] < accs[0], "1-day {} !< 1-step {}", accs[1], accs[0]);
+    assert!(
+        accs[2].abs() < accs[0],
+        "30-day skill {} should be far below 1-step {}",
+        accs[2],
+        accs[0]
+    );
+}
+
+#[test]
+fn nwp_proxy_beats_persistence_at_two_weeks() {
+    // The IFS-like proxy integrates the dynamics (with model error); raw
+    // persistence freezes them. At 14 days the proxy must win.
+    let loader = laptop_loader(55);
+    let lead = 56;
+    let l = loader.clone().with_lead(lead);
+    let w = lat_weights(32);
+    let clims = l.output_climatologies();
+    let out_idx = l.generator.catalog().output_indices();
+    let eval = l.eval_batch(6);
+    let span = orbit::data::generator::STEPS_PER_YEAR - lead;
+    let mut nwp = 0.0;
+    let mut persist = 0.0;
+    for (k, (inputs, targets)) in eval.inputs.iter().zip(&eval.targets).enumerate() {
+        let t = l.test_year * orbit::data::generator::STEPS_PER_YEAR + k * span / eval.len();
+        for v in 0..4 {
+            let f = l.generator.nwp_forecast(out_idx[v], t, lead, 0.08);
+            nwp += wacc(&f, &targets[v], &clims[v], &w) / (4.0 * eval.len() as f32);
+            let p = damped_persistence(&inputs[out_idx[v]], &clims[v], lead, 1.0);
+            persist += wacc(&p, &targets[v], &clims[v], &w) / (4.0 * eval.len() as f32);
+        }
+    }
+    assert!(nwp > persist, "NWP proxy {nwp} should beat persistence {persist} at 14 days");
+}
+
+#[test]
+fn spectral_operator_learns_one_day_forecast() {
+    let loader = laptop_loader(33).with_lead(4);
+    let dims = VitConfig::ladder(0, 8).dims;
+    let mut fcn = SpectralOperator::new(dims.img_h, dims.img_w, dims.channels, dims.channels, 10, 20, 5);
+    let opt = AdamW {
+        lr: 3e-3,
+        ..AdamW::default()
+    };
+    let mut state = fcn.init_adam_state();
+    let mut rng = Rng::seed(2);
+    let mut losses = Vec::new();
+    for _ in 0..400 {
+        let b = loader.finetune_batch_full_state(&mut rng, 1);
+        losses.push(fcn.train_step(&b.inputs[0], &b.targets[0], &opt, &mut state));
+    }
+    // Per-sample losses are noisy and the DCT-truncated operator has a
+    // substantial irreducible floor (it cannot represent phase shifts
+    // exactly — the FourCastNet-proxy's characteristic weakness), so
+    // assert a clear absolute improvement between window averages.
+    let head: f32 = losses[..40].iter().sum::<f32>() / 40.0;
+    let tail: f32 = losses[losses.len() - 40..].iter().sum::<f32>() / 40.0;
+    assert!(
+        tail < head - 0.08,
+        "spectral training should reduce loss: {head} -> {tail}"
+    );
+}
+
+#[test]
+fn rollout_preserves_shapes_and_finiteness() {
+    let loader = laptop_loader(44).with_lead(4);
+    let mut cfg = VitConfig::ladder(0, 8);
+    cfg.dims.out_channels = cfg.dims.channels;
+    let model = VitModel::init(cfg, 42);
+    let eval = loader.eval_batch(1);
+    let mut state = eval.inputs[0].clone();
+    for _ in 0..5 {
+        state = model.predict(&state);
+        assert_eq!(state.len(), cfg.dims.channels);
+        for img in &state {
+            assert_eq!(img.shape(), (cfg.dims.img_h, cfg.dims.img_w));
+            assert!(img.all_finite());
+        }
+    }
+}

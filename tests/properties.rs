@@ -1,0 +1,147 @@
+//! Property-based tests (proptest) on the core mathematical invariants:
+//! the Hybrid-STOP chain identities (paper Eqns. (2)/(3)), collective
+//! semantics, shard partitioning, BF16 rounding, and metric bounds.
+
+use orbit::comm::Cluster;
+use orbit::core::sharding::{flat_shard, flat_unshard, shard_columns, shard_rows};
+use orbit::data::metrics::{lat_weights, wacc};
+use orbit::tensor::bf16::{bf16_to_f32, f32_to_bf16, round_bf16};
+use orbit::tensor::{matmul, matmul_nt, matmul_tn, Tensor};
+use proptest::prelude::*;
+
+fn tensor_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
+    proptest::collection::vec(-3.0f32..3.0, rows * cols)
+        .prop_map(move |v| Tensor::from_vec(rows, cols, v))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Paper Eqn. (2): x A B == sum_k (x A_{*,k})(B_{k,*}) for any shard
+    /// count dividing the inner dimension.
+    #[test]
+    fn eqn2_chain_identity(
+        x in tensor_strategy(3, 4),
+        a in tensor_strategy(4, 8),
+        b in tensor_strategy(8, 5),
+        shards in prop::sample::select(vec![1usize, 2, 4, 8]),
+    ) {
+        let full = matmul(&matmul(&x, &a), &b);
+        let mut acc = Tensor::zeros(3, 5);
+        for k in 0..shards {
+            let ak = shard_columns(&a, shards, k);
+            let bk = shard_rows(&b, shards, k);
+            acc.add_assign(&matmul(&matmul(&x, &ak), &bk));
+        }
+        prop_assert!(acc.allclose(&full, 1e-3, 1e-3));
+    }
+
+    /// Paper Eqn. (3): the gradient through the chain decomposes over the
+    /// same shards: dX = sum_k dY B_{k,*}^T A_{*,k}^T.
+    #[test]
+    fn eqn3_gradient_identity(
+        dy in tensor_strategy(3, 5),
+        a in tensor_strategy(4, 8),
+        b in tensor_strategy(8, 5),
+        shards in prop::sample::select(vec![1usize, 2, 4]),
+    ) {
+        // Full: dX = dY B^T A^T.
+        let full = matmul_nt(&matmul_nt(&dy, &b), &a);
+        let mut acc = Tensor::zeros(3, 4);
+        for k in 0..shards {
+            let ak = shard_columns(&a, shards, k);
+            let bk = shard_rows(&b, shards, k);
+            acc.add_assign(&matmul_nt(&matmul_nt(&dy, &bk), &ak));
+        }
+        prop_assert!(acc.allclose(&full, 1e-3, 1e-3));
+    }
+
+    /// Flat sharding is a partition: unshard(concat(shards)) == original.
+    #[test]
+    fn flat_shard_partition(
+        data in proptest::collection::vec(-10.0f32..10.0, 1..80),
+        shards in 1usize..6,
+    ) {
+        let parts: Vec<Vec<f32>> = (0..shards).map(|k| flat_shard(&data, shards, k)).collect();
+        // All shards equal length.
+        for p in &parts {
+            prop_assert_eq!(p.len(), parts[0].len());
+        }
+        let concat: Vec<f32> = parts.concat();
+        prop_assert_eq!(flat_unshard(&concat, data.len()), data);
+    }
+
+    /// BF16 round-trip is idempotent and monotone.
+    #[test]
+    fn bf16_idempotent_and_monotone(a in -1e30f32..1e30, b in -1e30f32..1e30) {
+        let ra = round_bf16(a);
+        prop_assert_eq!(round_bf16(ra), ra, "idempotent");
+        prop_assert_eq!(bf16_to_f32(f32_to_bf16(ra)), ra);
+        let rb = round_bf16(b);
+        if a <= b {
+            prop_assert!(ra <= rb, "monotone: {} -> {}, {} -> {}", a, ra, b, rb);
+        }
+    }
+
+    /// wACC is always within [-1, 1].
+    #[test]
+    fn wacc_bounded(
+        p in tensor_strategy(6, 8),
+        t in tensor_strategy(6, 8),
+        c in tensor_strategy(6, 8),
+    ) {
+        let w = lat_weights(6);
+        let a = wacc(&p, &t, &c, &w);
+        prop_assert!((-1.0..=1.0).contains(&a) || a == 0.0, "wacc {}", a);
+    }
+
+    /// matmul transpose variants agree with explicit transposition.
+    #[test]
+    fn matmul_variants_consistent(
+        a in tensor_strategy(3, 5),
+        b in tensor_strategy(3, 4),
+    ) {
+        // A^T B via matmul_tn == transpose-then-multiply.
+        let fast = matmul_tn(&a, &b);
+        let slow = matmul(&a.transpose(), &b);
+        prop_assert!(fast.allclose(&slow, 1e-4, 1e-4));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Collective semantics on the real threaded cluster: all-gather of
+    /// random shards concatenates in rank order; reduce-scatter sums.
+    #[test]
+    fn collectives_random_sizes(
+        world in prop::sample::select(vec![2usize, 3, 4]),
+        chunk in 1usize..20,
+    ) {
+        let results = Cluster::frontier().run(world, |ctx| {
+            let mut g = ctx.world_group();
+            let mut clock = std::mem::take(&mut ctx.clock);
+            let mine: Vec<f32> = (0..chunk).map(|i| (ctx.rank * 100 + i) as f32).collect();
+            let gathered = g.all_gather(&mut clock, &mine);
+            let summed = g.all_reduce(&mut clock, &mine);
+            (gathered, summed)
+        });
+        let (gathered, _) = &results[0];
+        prop_assert_eq!(gathered.len(), world * chunk);
+        for r in 0..world {
+            for i in 0..chunk {
+                prop_assert_eq!(gathered[r * chunk + i], (r * 100 + i) as f32);
+            }
+        }
+        // all_reduce sums rank-wise: element i = sum_r (r*100 + i).
+        let (_, summed) = &results[0];
+        for i in 0..chunk {
+            let expect: f32 = (0..world).map(|r| (r * 100 + i) as f32).sum();
+            prop_assert_eq!(summed[i], expect);
+        }
+        // Every rank sees identical results.
+        for r in &results[1..] {
+            prop_assert_eq!(&r.0, gathered);
+        }
+    }
+}
