@@ -5,8 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use orbit_comm::Cluster;
 use orbit_core::{
-    DdpEngine, FsdpEngine, HybridStopEngine, ParallelLayout, SingleDeviceEngine,
-    TensorParallelEngine, TrainOptions,
+    build_engine, Engine, EngineSpec, HybridStopEngine, ParallelLayout, TrainOptions,
 };
 use orbit_tensor::init::Rng;
 use orbit_tensor::kernels::AdamW;
@@ -39,68 +38,58 @@ fn bench_engines(c: &mut Criterion) {
     let opts = TrainOptions::none();
     let mut group = c.benchmark_group("train_step");
 
-    group.bench_function("single_device", |b| {
-        b.iter(|| {
-            Cluster::frontier().run(1, |ctx| {
-                let mut e = SingleDeviceEngine::new(ctx, cfg, opt, opts, 42).unwrap();
-                e.train_step(ctx, &batch).unwrap().loss
+    // One generic body for the whole zoo: each case is a spec + world size.
+    let cases: [(&str, EngineSpec, usize); 5] = [
+        ("single_device", EngineSpec::Single, 1),
+        ("ddp_w4", EngineSpec::Ddp, 4),
+        ("fsdp_w4", EngineSpec::Fsdp, 4),
+        ("tp_w2", EngineSpec::TensorParallel, 2),
+        (
+            "hybrid_stop_2x2",
+            EngineSpec::HybridStop(ParallelLayout::new(2, 2, 1)),
+            4,
+        ),
+    ];
+    for (name, spec, world) in cases {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                Cluster::frontier().run(world, |ctx| {
+                    let mut e = build_engine(ctx, spec, cfg, opt, opts, 42).unwrap();
+                    e.train_step(ctx, &batch).unwrap().loss
+                })
             })
-        })
-    });
-    group.bench_function("ddp_w4", |b| {
-        b.iter(|| {
-            Cluster::frontier().run(4, |ctx| {
-                let mut e = DdpEngine::new(ctx, cfg, opt, opts, 42).unwrap();
-                e.train_step(ctx, &batch).unwrap().loss
-            })
-        })
-    });
-    group.bench_function("fsdp_w4", |b| {
-        b.iter(|| {
-            Cluster::frontier().run(4, |ctx| {
-                let mut e = FsdpEngine::new(ctx, cfg, opt, opts, 42).unwrap();
-                e.train_step(ctx, &batch).unwrap().loss
-            })
-        })
-    });
-    group.bench_function("tp_w2", |b| {
-        b.iter(|| {
-            Cluster::frontier().run(2, |ctx| {
-                let mut e = TensorParallelEngine::new(ctx, cfg, opt, opts, 42).unwrap();
-                e.train_step(ctx, &batch).unwrap().loss
-            })
-        })
-    });
-    group.bench_function("hybrid_stop_2x2", |b| {
-        b.iter(|| {
-            Cluster::frontier().run(4, |ctx| {
-                let layout = ParallelLayout::new(2, 2, 1);
-                let mut e = HybridStopEngine::new(ctx, layout, cfg, opt, opts, 42).unwrap();
-                e.train_step(ctx, &batch).unwrap().loss
-            })
-        })
-    });
+        });
+    }
     group.finish();
 
     // Ablation: each Table I optimization toggled on the Hybrid-STOP
     // engine at executable scale.
     let mut ablation = c.benchmark_group("hybrid_stop_ablation");
     let columns: [(&str, TrainOptions); 4] = [
-        ("wrap_only", TrainOptions {
-            layer_wrapping: true,
-            ..TrainOptions::none()
-        }),
-        ("wrap_mixed", TrainOptions {
-            layer_wrapping: true,
-            mixed_precision: true,
-            ..TrainOptions::none()
-        }),
-        ("wrap_mixed_prefetch", TrainOptions {
-            layer_wrapping: true,
-            mixed_precision: true,
-            prefetch: true,
-            ..TrainOptions::none()
-        }),
+        (
+            "wrap_only",
+            TrainOptions {
+                layer_wrapping: true,
+                ..TrainOptions::none()
+            },
+        ),
+        (
+            "wrap_mixed",
+            TrainOptions {
+                layer_wrapping: true,
+                mixed_precision: true,
+                ..TrainOptions::none()
+            },
+        ),
+        (
+            "wrap_mixed_prefetch",
+            TrainOptions {
+                layer_wrapping: true,
+                mixed_precision: true,
+                prefetch: true,
+                ..TrainOptions::none()
+            },
+        ),
         ("all_on", TrainOptions::all_on()),
     ];
     for (name, col_opts) in columns {

@@ -37,7 +37,9 @@ fn bench_layer_kernels(c: &mut Criterion) {
     c.bench_function("linear_128x256", |b| {
         b.iter(|| linear(&x, &w, Some(&bias), Precision::F32))
     });
-    c.bench_function("layernorm_128x256", |b| b.iter(|| layernorm(&x, &gamma, &beta)));
+    c.bench_function("layernorm_128x256", |b| {
+        b.iter(|| layernorm(&x, &gamma, &beta))
+    });
     c.bench_function("gelu_128x256", |b| b.iter(|| gelu(&x)));
     c.bench_function("softmax_128x256", |b| b.iter(|| softmax_rows(&x)));
     let q = rng.normal_tensor(tokens, d, 1.0);

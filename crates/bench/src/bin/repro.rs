@@ -13,9 +13,22 @@ use orbit_bench::experiments::{fig10, fig5, fig6, fig7, fig8, fig9, qk_ablation,
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let which: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
+    let which: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|s| s.as_str())
+        .collect();
     let which = if which.is_empty() || which.contains(&"all") {
-        vec!["table1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "qk_ablation"]
+        vec![
+            "table1",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10",
+            "qk_ablation",
+        ]
     } else {
         which
     };

@@ -153,7 +153,12 @@ pub fn eval_wacc_rollout(
 }
 
 /// Mean wACC of the IFS-like NWP proxy at `lead` steps.
-pub fn eval_wacc_nwp(loader: &DataLoader, lead: usize, speed_error: f32, n_eval: usize) -> [f32; 4] {
+pub fn eval_wacc_nwp(
+    loader: &DataLoader,
+    lead: usize,
+    speed_error: f32,
+    n_eval: usize,
+) -> [f32; 4] {
     let l = loader.clone().with_lead(lead);
     let clims = l.output_climatologies();
     let out_idx = l.generator.catalog().output_indices();
@@ -181,7 +186,12 @@ pub fn eval_wacc_persistence(loader: &DataLoader, lead: usize, n_eval: usize) ->
     let mut acc = [0.0f32; 4];
     for (images, targets) in batch.inputs.iter().zip(&batch.targets) {
         for v in 0..4 {
-            let fc = orbit_vit::baselines::damped_persistence(&images[out_idx[v]], &clims[v], lead, 0.99);
+            let fc = orbit_vit::baselines::damped_persistence(
+                &images[out_idx[v]],
+                &clims[v],
+                lead,
+                0.99,
+            );
             acc[v] += wacc(&fc, &targets[v], &clims[v], &w) / n_eval as f32;
         }
     }

@@ -24,7 +24,7 @@ pub fn run(quick: bool) -> serde_json::Value {
     // Fine-tune each model in chunks (one persistent optimizer state),
     // tracking the eval wACC curve.
     let mut curves: Vec<Vec<(usize, f32)>> = Vec::new();
-    for rung in 0..3 {
+    for (rung, name) in names.iter().enumerate() {
         let mut model = VitModel::init(orbit_cfg(rung), 42 + rung as u64);
         pretrain(&mut model, &l, pre_n, batch, 10, 500 + rung as u64);
         let o = super::common::opt();
@@ -46,8 +46,11 @@ pub fn run(quick: bool) -> serde_json::Value {
         }
         println!(
             "[fig10] {}: wACC curve {:?}",
-            names[rung],
-            curve.iter().map(|(s, a)| format!("{s}:{a:.3}")).collect::<Vec<_>>()
+            name,
+            curve
+                .iter()
+                .map(|(s, a)| format!("{s}:{a:.3}"))
+                .collect::<Vec<_>>()
         );
         curves.push(curve);
     }
@@ -68,7 +71,9 @@ pub fn run(quick: bool) -> serde_json::Value {
         rows.push(vec![
             name.to_string(),
             paper[i].to_string(),
-            converge_at[i].map(|s| s.to_string()).unwrap_or("n/a".into()),
+            converge_at[i]
+                .map(|s| s.to_string())
+                .unwrap_or("n/a".into()),
             format!("{:.3}", plateaus[i]),
         ]);
         artifacts.push(json!({

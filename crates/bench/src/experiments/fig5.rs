@@ -76,7 +76,10 @@ mod tests {
             let opts = strategy_opts(strategy);
             let (_, p) = model.max_model(strategy, 512, &opts, 2, 48);
             let ratio = p as f64 / paper;
-            assert!((0.6..1.6).contains(&ratio), "{strategy:?}: {p} vs {paper} ({ratio:.2})");
+            assert!(
+                (0.6..1.6).contains(&ratio),
+                "{strategy:?}: {p} vs {paper} ({ratio:.2})"
+            );
         }
     }
 

@@ -28,7 +28,7 @@ pub fn layout_for(dims: &ModelDims, gpus: usize, model: &PerfModel) -> Option<Pa
     };
     let tp = 8;
     let shards = tp * fsdp;
-    if gpus % shards != 0 || gpus < shards {
+    if !gpus.is_multiple_of(shards) || gpus < shards {
         return None;
     }
     let layout = ParallelLayout::new(tp, fsdp, gpus / shards);
@@ -42,7 +42,8 @@ pub fn run(_quick: bool) -> serde_json::Value {
     let opts = TrainOptions::all_on();
     let global_batch = 2880usize;
     let gpu_counts = [512usize, 1024, 2048, 4096, 8192, 16384, 24576, 49152];
-    let sizes: [(&str, fn(usize) -> ModelDims); 4] = [
+    type DimsFn = fn(usize) -> ModelDims;
+    let sizes: [(&str, DimsFn); 4] = [
         ("115M", ModelDims::orbit_115m),
         ("1B", ModelDims::orbit_1b),
         ("10B", ModelDims::orbit_10b),

@@ -16,13 +16,13 @@ pub fn run(quick: bool) -> serde_json::Value {
     let names = ["115M-proxy", "1B-proxy", "10B-proxy", "113B-proxy"];
     let l = loader();
     let mut curves = Vec::new();
-    for rung in 0..4 {
+    for (rung, name) in names.iter().enumerate() {
         let cfg = orbit_cfg(rung);
         let mut model = VitModel::init(cfg, 42 + rung as u64);
         let curve = pretrain(&mut model, &l, n_samples, batch, 10, 7 + rung as u64);
         println!(
             "[fig8] {} ({} params): first loss {:.4}, final loss {:.4}",
-            names[rung],
+            name,
             cfg.dims.param_count(),
             curve.first().map(|c| c.1).unwrap_or(0.0),
             curve.last().map(|c| c.1).unwrap_or(0.0),

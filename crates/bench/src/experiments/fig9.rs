@@ -19,8 +19,8 @@ use super::common::{
 };
 use crate::report::{print_table, write_json};
 use orbit_data::metrics::{lat_weights, wacc};
-use orbit_tensor::kernels::AdamW;
 use orbit_tensor::init::Rng;
+use orbit_tensor::kernels::AdamW;
 use orbit_vit::baselines::SpectralOperator;
 use orbit_vit::VitModel;
 use serde_json::json;
@@ -28,7 +28,11 @@ use serde_json::json;
 const VARS: [&str; 4] = ["z500", "t850", "t2m", "u10"];
 
 pub fn run(quick: bool) -> serde_json::Value {
-    let (pre_n, ft_n, n_eval) = if quick { (256, 192, 8) } else { (4096, 2048, 24) };
+    let (pre_n, ft_n, n_eval) = if quick {
+        (256, 192, 8)
+    } else {
+        (4096, 2048, 24)
+    };
     let batch = 8;
     let l = loader();
     let leads_days = [1usize, 14, 30];
@@ -71,7 +75,15 @@ pub fn run(quick: bool) -> serde_json::Value {
 
     // ---- FourCastNet-like: spectral operator, 1-day direct. ----
     let dims = orbit_cfg(0).dims;
-    let mut fcn = SpectralOperator::new(dims.img_h, dims.img_w, dims.channels, dims.channels, 12, 24, 45);
+    let mut fcn = SpectralOperator::new(
+        dims.img_h,
+        dims.img_w,
+        dims.channels,
+        dims.channels,
+        12,
+        24,
+        45,
+    );
     {
         let o = AdamW {
             lr: 5e-3,
@@ -129,7 +141,9 @@ pub fn run(quick: bool) -> serde_json::Value {
             .find(|(name, days, _)| name == m && *days == d)
             .map(|(_, _, a)| mean4(*a))
     };
-    if let (Some(o14), Some(i14), Some(s14)) = (get("ORBIT", 14), get("IFS", 14), get("Stormer", 14)) {
+    if let (Some(o14), Some(i14), Some(s14)) =
+        (get("ORBIT", 14), get("IFS", 14), get("Stormer", 14))
+    {
         println!(
             "14-day: ORBIT {o14:.3} vs IFS {i14:.3} (paper: ORBIT up to +52%) vs Stormer {s14:.3} (paper: +166%)"
         );

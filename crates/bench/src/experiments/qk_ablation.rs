@@ -88,7 +88,11 @@ pub fn run(quick: bool) -> serde_json::Value {
 
     // Part 2: learning-rate sweep.
     let seeds: Vec<u64> = if quick { vec![1, 2] } else { vec![1, 2, 3] };
-    let lrs: Vec<f32> = if quick { vec![1e-2] } else { vec![3e-3, 1e-2, 3e-2] };
+    let lrs: Vec<f32> = if quick {
+        vec![1e-2]
+    } else {
+        vec![3e-3, 1e-2, 3e-2]
+    };
     let mut sweep_rows = Vec::new();
     let mut runs = Vec::new();
     for &lr in &lrs {
@@ -139,6 +143,9 @@ mod tests {
         let (raw_big, norm_big) = logit_growth(100.0);
         assert!(raw_big > 100.0 * raw_small, "raw logits track scale^2");
         // Normalized logits bounded by d regardless of scale.
-        assert!(norm_small <= 33.0 && norm_big <= 33.0, "{norm_small} {norm_big}");
+        assert!(
+            norm_small <= 33.0 && norm_big <= 33.0,
+            "{norm_small} {norm_big}"
+        );
     }
 }

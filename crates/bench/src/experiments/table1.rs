@@ -93,7 +93,10 @@ mod tests {
             .collect();
         assert!(times[0].is_infinite(), "no optimizations => OOM");
         for w in times[1..].windows(2) {
-            assert!(w[1] < w[0], "each added optimization must reduce walltime: {w:?}");
+            assert!(
+                w[1] < w[0],
+                "each added optimization must reduce walltime: {w:?}"
+            );
         }
     }
 
@@ -103,10 +106,7 @@ mod tests {
         let paper = [0.97, 0.49, 0.40, 0.17];
         for ((_, opts), p) in columns().into_iter().skip(1).zip(paper) {
             let t = modeled_walltime(&model, &opts);
-            assert!(
-                (0.5..2.0).contains(&(t / p)),
-                "modeled {t} vs paper {p}"
-            );
+            assert!((0.5..2.0).contains(&(t / p)), "modeled {t} vs paper {p}");
         }
     }
 }

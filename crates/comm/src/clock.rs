@@ -6,6 +6,7 @@
 //! synchronize the clocks of all participants to
 //! `max(participant clocks) + modeled collective time`.
 
+use crate::trace::{CommEvent, TraceEvent};
 use orbit_frontier::machine::FrontierMachine;
 
 /// A rank's simulated wall clock, in seconds.
@@ -21,6 +22,9 @@ pub struct SimClock {
     /// Pending prefetched communication time that will be overlapped with
     /// upcoming compute (paper Sec. III-B, "Prefetching").
     prefetched: f64,
+    /// Per-rank event log: every collective and compute interval, in
+    /// program order (see [`crate::trace`]).
+    events: Vec<TraceEvent>,
 }
 
 impl Default for SimClock {
@@ -37,6 +41,7 @@ impl SimClock {
             comm_time: 0.0,
             flops: 0.0,
             prefetched: 0.0,
+            events: Vec::new(),
         }
     }
 
@@ -67,6 +72,11 @@ impl SimClock {
     pub fn charge_compute(&mut self, flops: f64, sustained_flops: f64) {
         assert!(sustained_flops > 0.0, "throughput must be positive");
         let t = flops / sustained_flops;
+        self.events.push(TraceEvent::Compute {
+            t_start: self.now,
+            dur: t,
+            flops,
+        });
         self.flops += flops;
         self.compute_time += t;
         if self.prefetched > 0.0 {
@@ -114,6 +124,25 @@ impl SimClock {
         }
     }
 
+    /// Append a communication event to this rank's log. Called by
+    /// [`crate::ProcessGroup`] from every collective; callers normally only
+    /// read the log via [`Self::events`].
+    pub fn record_comm(&mut self, event: CommEvent) {
+        self.events.push(TraceEvent::Comm(event));
+    }
+
+    /// This rank's event log (collectives and compute intervals, in program
+    /// order).
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Drain and return the event log (e.g. to return it from a
+    /// [`crate::Cluster::run`] closure without cloning).
+    pub fn take_events(&mut self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.events)
+    }
+
     /// Sustained throughput for the given precision on a machine, without
     /// memory-pressure adjustments (the simulator tracks memory exactly, so
     /// pressure penalties are applied by callers who observe it).
@@ -152,7 +181,10 @@ mod tests {
         let mut c = SimClock::new();
         c.charge_prefetched_comm(0.3);
         c.charge_compute(1e12, 1e12); // 1 s window
-        assert!((c.now() - 1.0).abs() < 1e-12, "0.3 s hidden under 1 s compute");
+        assert!(
+            (c.now() - 1.0).abs() < 1e-12,
+            "0.3 s hidden under 1 s compute"
+        );
         assert_eq!(c.flush_prefetch(), 0.0);
     }
 
@@ -183,6 +215,9 @@ mod tests {
         let m = FrontierMachine::default();
         let bf = SimClock::sustained_flops(&m, true, 0.295);
         let fp = SimClock::sustained_flops(&m, false, 0.595);
-        assert!(bf > 1.5 * fp, "sustained bf16 should be ~2x fp32: {bf} vs {fp}");
+        assert!(
+            bf > 1.5 * fp,
+            "sustained bf16 should be ~2x fp32: {bf} vs {fp}"
+        );
     }
 }

@@ -161,7 +161,11 @@ mod tests {
         // groups {0,2},{1,3}. Reduce in tp then gather in fsdp.
         let results = Cluster::frontier().run(4, |ctx| {
             let tp_ranks = if ctx.rank < 2 { vec![0, 1] } else { vec![2, 3] };
-            let fsdp_ranks = if ctx.rank % 2 == 0 { vec![0, 2] } else { vec![1, 3] };
+            let fsdp_ranks = if ctx.rank % 2 == 0 {
+                vec![0, 2]
+            } else {
+                vec![1, 3]
+            };
             let mut tp = ctx.group(tp_ranks);
             let mut fsdp = ctx.group(fsdp_ranks);
             let mut clock = std::mem::take(&mut ctx.clock);

@@ -9,6 +9,7 @@
 //! paper's Fig. 4 hierarchical placement).
 
 use crate::clock::SimClock;
+use crate::trace::{CommEvent, CommOp};
 use orbit_frontier::machine::{FrontierMachine, LinkKind};
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
@@ -51,13 +52,16 @@ impl OpSlot {
     }
 }
 
+/// Mailbox key: (src_local, dst_local, seq); value: payload plus the
+/// sender's clock at send time.
+type Mailboxes = Mutex<HashMap<(usize, usize, u64), (Vec<f32>, f64)>>;
+
 struct GroupShared {
     ranks: Vec<usize>,
     slots: Mutex<HashMap<u64, OpSlot>>,
     cv: Condvar,
-    /// Point-to-point mailboxes keyed by (src_local, dst_local, seq):
-    /// payload plus the sender's clock at send time.
-    mailboxes: Mutex<HashMap<(usize, usize, u64), (Vec<f32>, f64)>>,
+    /// Point-to-point mailboxes (see [`Mailboxes`]).
+    mailboxes: Mailboxes,
     p2p_cv: Condvar,
 }
 
@@ -189,6 +193,30 @@ impl ProcessGroup {
         steps * (self.latency + bytes_per_step / self.bandwidth)
     }
 
+    /// Record a [`CommEvent`] for an op this rank just completed.
+    #[allow(clippy::too_many_arguments)]
+    fn record(
+        &self,
+        clock: &mut SimClock,
+        op: CommOp,
+        wire_bytes: f64,
+        elements: usize,
+        t_start: f64,
+        dur: f64,
+        prefetched: bool,
+    ) {
+        clock.record_comm(CommEvent {
+            op,
+            ranks: self.shared.ranks.clone(),
+            link: self.link,
+            wire_bytes,
+            elements,
+            t_start,
+            dur,
+            prefetched,
+        });
+    }
+
     /// Run one rendezvous: deposit `data`, wait for all members, pick up
     /// this rank's result. `finish` is executed exactly once by the last
     /// arriver to compute all members' results.
@@ -276,11 +304,21 @@ impl ProcessGroup {
             },
         );
         clock.sync_to(t_end);
+        let t_start = clock.now();
         if prefetch {
             clock.charge_prefetched_comm(t);
         } else {
             clock.charge_comm(t);
         }
+        self.record(
+            clock,
+            CommOp::AllGather,
+            (p - 1) as f64 * shard.len() as f64 * self.wire_bytes,
+            shard.len(),
+            t_start,
+            t,
+            prefetch,
+        );
         out
     }
 
@@ -315,13 +353,25 @@ impl ProcessGroup {
             },
         );
         clock.sync_to(t_end);
+        self.record(
+            clock,
+            CommOp::ReduceScatter,
+            (p - 1) as f64 * chunk as f64 * self.wire_bytes,
+            full.len(),
+            t_end - t,
+            t,
+            false,
+        );
         out
     }
 
     /// All-reduce (sum). Ring cost: `2 (p-1)` steps of `len/p` elements.
     pub fn all_reduce(&mut self, clock: &mut SimClock, buf: &[f32]) -> Vec<f32> {
         let p = self.size();
-        let t = self.ring_time(2.0 * (p - 1) as f64, buf.len() as f64 * self.wire_bytes / p as f64);
+        let t = self.ring_time(
+            2.0 * (p - 1) as f64,
+            buf.len() as f64 * self.wire_bytes / p as f64,
+        );
         let (out, t_end) = self.exchange(
             OpKind::AllReduce,
             buf.to_vec(),
@@ -338,6 +388,15 @@ impl ProcessGroup {
             },
         );
         clock.sync_to(t_end);
+        self.record(
+            clock,
+            CommOp::AllReduce,
+            2.0 * (p - 1) as f64 * buf.len() as f64 * self.wire_bytes / p as f64,
+            buf.len(),
+            t_end - t,
+            t,
+            false,
+        );
         out
     }
 
@@ -375,6 +434,15 @@ impl ProcessGroup {
         );
         clock.sync_to(t_end);
         clock.charge_comm(if self.my_idx == root { t } else { 0.0 });
+        self.record(
+            clock,
+            CommOp::Broadcast,
+            out.len() as f64 * self.wire_bytes,
+            out.len(),
+            t_end - t,
+            t,
+            false,
+        );
         out
     }
 
@@ -382,11 +450,24 @@ impl ProcessGroup {
     /// parallelism's stage-boundary transfer). Non-blocking from the
     /// sender's perspective; time is charged to both endpoints.
     pub fn send(&mut self, clock: &mut SimClock, dst: usize, data: &[f32]) {
-        assert!(dst < self.size() && dst != self.my_idx, "bad p2p destination");
+        assert!(
+            dst < self.size() && dst != self.my_idx,
+            "bad p2p destination"
+        );
         let key = (self.my_idx, dst);
         let seq = *self.p2p_seq.entry(key).and_modify(|s| *s += 1).or_insert(0);
         let t = self.latency + data.len() as f64 * self.wire_bytes / self.bandwidth;
+        let t_start = clock.now();
         clock.charge_comm(t);
+        self.record(
+            clock,
+            CommOp::Send,
+            data.len() as f64 * self.wire_bytes,
+            data.len(),
+            t_start,
+            t,
+            false,
+        );
         let mut boxes = self.shared.mailboxes.lock();
         boxes.insert((self.my_idx, dst, seq), (data.to_vec(), clock.now()));
         self.shared.p2p_cv.notify_all();
@@ -401,7 +482,18 @@ impl ProcessGroup {
         let mut boxes = self.shared.mailboxes.lock();
         loop {
             if let Some((data, t_avail)) = boxes.remove(&(src, self.my_idx, seq)) {
+                let t_start = clock.now();
                 clock.sync_to(t_avail);
+                drop(boxes);
+                self.record(
+                    clock,
+                    CommOp::Recv,
+                    data.len() as f64 * self.wire_bytes,
+                    data.len(),
+                    t_start,
+                    (t_avail - t_start).max(0.0),
+                    false,
+                );
                 return data;
             }
             self.shared.p2p_cv.wait(&mut boxes);
@@ -415,6 +507,7 @@ impl ProcessGroup {
             contribs.iter().map(|_| Some(Vec::new())).collect()
         });
         clock.sync_to(t_end);
+        self.record(clock, CommOp::Barrier, 0.0, 0, t_end - t, t, false);
     }
 }
 
@@ -619,7 +712,11 @@ mod tests {
                 clock.now()
             }
         });
-        assert!(results[1] >= 7.0, "receiver waited for the message: {}", results[1]);
+        assert!(
+            results[1] >= 7.0,
+            "receiver waited for the message: {}",
+            results[1]
+        );
     }
 
     #[test]

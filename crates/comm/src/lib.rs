@@ -24,8 +24,10 @@ pub mod clock;
 pub mod cluster;
 pub mod group;
 pub mod memory;
+pub mod trace;
 
 pub use clock::SimClock;
 pub use cluster::{Cluster, RankCtx};
 pub use group::ProcessGroup;
 pub use memory::{Allocation, Device, OomError};
+pub use trace::{chrome_trace, CommEvent, CommOp, TraceEvent};

@@ -1,0 +1,232 @@
+//! Structured event tracing for the simulated cluster.
+//!
+//! Every [`crate::ProcessGroup`] collective records a [`CommEvent`] into the
+//! caller's [`crate::SimClock`], and every compute charge records a compute
+//! interval alongside. The per-rank event logs make the simulator's
+//! communication schedule *observable*: tests can assert on per-step
+//! collective counts (e.g. DDP issues exactly one gradient all-reduce), and
+//! [`chrome_trace`] serializes a whole run into Chrome trace-event JSON that
+//! `chrome://tracing` or Perfetto render as a per-rank timeline — the
+//! simulated analogue of the profiler timelines behind the paper's
+//! overlap/prefetch discussion (Sec. III-B).
+
+use orbit_frontier::machine::LinkKind;
+
+/// Which collective (or point-to-point op) a [`CommEvent`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommOp {
+    AllGather,
+    ReduceScatter,
+    AllReduce,
+    Broadcast,
+    Send,
+    Recv,
+    Barrier,
+}
+
+impl CommOp {
+    /// Stable snake_case name (used as the Chrome-trace event name).
+    pub fn name(self) -> &'static str {
+        match self {
+            CommOp::AllGather => "all_gather",
+            CommOp::ReduceScatter => "reduce_scatter",
+            CommOp::AllReduce => "all_reduce",
+            CommOp::Broadcast => "broadcast",
+            CommOp::Send => "send",
+            CommOp::Recv => "recv",
+            CommOp::Barrier => "barrier",
+        }
+    }
+}
+
+/// One collective as observed by one rank.
+#[derive(Debug, Clone)]
+pub struct CommEvent {
+    /// The operation.
+    pub op: CommOp,
+    /// Global ranks of the communicator, in group order.
+    pub ranks: Vec<usize>,
+    /// Link kind the group spans.
+    pub link: LinkKind,
+    /// Modeled bytes this rank moves on the wire (ring-algorithm cost, so
+    /// e.g. an all-gather moves `(p-1) * shard_bytes` per member).
+    pub wire_bytes: f64,
+    /// Payload elements contributed by this rank.
+    pub elements: usize,
+    /// Simulated start time, seconds.
+    pub t_start: f64,
+    /// Simulated duration, seconds.
+    pub dur: f64,
+    /// True when the time was queued for overlap with later compute
+    /// (prefetched all-gather) rather than exposed immediately.
+    pub prefetched: bool,
+}
+
+/// One entry in a rank's event log: a collective or a compute interval.
+#[derive(Debug, Clone)]
+pub enum TraceEvent {
+    /// A collective recorded by a [`crate::ProcessGroup`].
+    Comm(CommEvent),
+    /// A compute phase recorded by [`crate::SimClock::charge_compute`].
+    Compute { t_start: f64, dur: f64, flops: f64 },
+}
+
+impl TraceEvent {
+    /// Simulated start time of the event, seconds.
+    pub fn t_start(&self) -> f64 {
+        match self {
+            TraceEvent::Comm(e) => e.t_start,
+            TraceEvent::Compute { t_start, .. } => *t_start,
+        }
+    }
+
+    /// The communication event, if this is one.
+    pub fn comm(&self) -> Option<&CommEvent> {
+        match self {
+            TraceEvent::Comm(e) => Some(e),
+            TraceEvent::Compute { .. } => None,
+        }
+    }
+}
+
+/// Format a finite float as a JSON number (always with a decimal point so
+/// integers and floats stay distinguishable after a round-trip).
+fn json_num(v: f64) -> String {
+    if !v.is_finite() {
+        return "0.0".to_string();
+    }
+    let s = format!("{v}");
+    if s.contains('.') || s.contains('e') || s.contains('E') {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+fn push_event_json(out: &mut String, rank: usize, ev: &TraceEvent) {
+    // Chrome trace "complete" events: ts/dur in microseconds.
+    const US: f64 = 1e6;
+    match ev {
+        TraceEvent::Comm(e) => {
+            let link = match e.link {
+                LinkKind::IntraNode => "intra_node",
+                LinkKind::InterNode => "inter_node",
+            };
+            let ranks = e
+                .ranks
+                .iter()
+                .map(|r| r.to_string())
+                .collect::<Vec<_>>()
+                .join(",");
+            out.push_str(&format!(
+                concat!(
+                    "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",",
+                    "\"ts\":{},\"dur\":{},\"pid\":0,\"tid\":{},",
+                    "\"args\":{{\"ranks\":[{}],\"link\":\"{}\",",
+                    "\"wire_bytes\":{},\"elements\":{},\"prefetched\":{}}}}}"
+                ),
+                e.op.name(),
+                if e.prefetched {
+                    "comm.prefetch"
+                } else {
+                    "comm"
+                },
+                json_num(e.t_start * US),
+                json_num(e.dur * US),
+                rank,
+                ranks,
+                link,
+                json_num(e.wire_bytes),
+                e.elements,
+                e.prefetched,
+            ));
+        }
+        TraceEvent::Compute {
+            t_start,
+            dur,
+            flops,
+        } => {
+            out.push_str(&format!(
+                concat!(
+                    "{{\"name\":\"compute\",\"cat\":\"compute\",\"ph\":\"X\",",
+                    "\"ts\":{},\"dur\":{},\"pid\":0,\"tid\":{},",
+                    "\"args\":{{\"flops\":{}}}}}"
+                ),
+                json_num(t_start * US),
+                json_num(dur * US),
+                rank,
+                json_num(*flops),
+            ));
+        }
+    }
+}
+
+/// Serialize one run's per-rank event logs (index = rank id) into Chrome
+/// trace-event JSON. Load the result in `chrome://tracing` or Perfetto;
+/// each rank appears as one thread track.
+pub fn chrome_trace(per_rank: &[Vec<TraceEvent>]) -> String {
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+    for (rank, events) in per_rank.iter().enumerate() {
+        for ev in events {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            push_event_json(&mut out, rank, ev);
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::Compute {
+                t_start: 0.0,
+                dur: 1.5e-3,
+                flops: 2e9,
+            },
+            TraceEvent::Comm(CommEvent {
+                op: CommOp::AllReduce,
+                ranks: vec![0, 1],
+                link: LinkKind::IntraNode,
+                wire_bytes: 4096.0,
+                elements: 1024,
+                t_start: 1.5e-3,
+                dur: 2e-4,
+                prefetched: false,
+            }),
+        ]
+    }
+
+    #[test]
+    fn chrome_trace_has_expected_shape() {
+        let s = chrome_trace(&[sample_events(), Vec::new()]);
+        assert!(s.starts_with('{') && s.ends_with('}'));
+        assert!(s.contains("\"traceEvents\":["));
+        assert!(s.contains("\"name\":\"all_reduce\""));
+        assert!(s.contains("\"name\":\"compute\""));
+        assert!(s.contains("\"ranks\":[0,1]"));
+        assert!(s.contains("\"link\":\"intra_node\""));
+        // ts is microseconds: 1.5e-3 s -> 1500 us.
+        assert!(s.contains("\"ts\":1500.0"), "{s}");
+    }
+
+    #[test]
+    fn numbers_always_carry_a_decimal_point() {
+        assert_eq!(json_num(3.0), "3.0");
+        assert_eq!(json_num(0.25), "0.25");
+        assert_eq!(json_num(f64::NAN), "0.0");
+    }
+
+    #[test]
+    fn empty_trace_is_valid() {
+        let s = chrome_trace(&[]);
+        assert_eq!(s, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}");
+    }
+}

@@ -2,29 +2,21 @@
 //! gradient all-reduce (paper Sec. III-B, "Hierarchical Parallelism" —
 //! the outermost, least-communication level).
 
-use crate::scaler::GradScaler;
 use crate::stats::StepStats;
 use orbit_comm::{Allocation, ProcessGroup, RankCtx};
 use orbit_frontier::TrainOptions;
 use orbit_tensor::kernels::{AdamState, AdamW};
-use orbit_tensor::Precision;
-use orbit_vit::loss::{lat_weights, weighted_mse, weighted_mse_grad};
 use orbit_vit::{Batch, VitConfig, VitModel};
 
-use super::{local_batch, sustained_flops};
-use super::single::norm;
+use super::trainer::{configure_precision, Trainer};
+use super::Engine;
 
 /// DDP over an explicit process group (usually the world).
 pub struct DdpEngine {
     pub model: VitModel,
     group: ProcessGroup,
     state: AdamState,
-    opt: AdamW,
-    opts: TrainOptions,
-    lat_w: Vec<f32>,
-    scaler: GradScaler,
-    replica_id: usize,
-    n_replicas: usize,
+    trainer: Trainer,
     _persistent: Allocation,
 }
 
@@ -38,9 +30,7 @@ impl DdpEngine {
         opts: TrainOptions,
         seed: u64,
     ) -> Result<Self, orbit_comm::OomError> {
-        if opts.mixed_precision {
-            cfg.precision = Precision::BF16Mixed;
-        }
+        configure_precision(&mut cfg, &opts);
         let mut model = VitModel::init(cfg, seed);
         let n = model.param_count() as u64;
         // Full replica: weights + grads + Adam moments on every GPU.
@@ -52,101 +42,53 @@ impl DdpEngine {
         }
         Ok(DdpEngine {
             group,
-            lat_w: lat_weights(cfg.dims.img_h),
+            trainer: Trainer::with_replicas(&cfg, opt, opts, ctx.rank, ctx.world),
             model,
             state,
-            opt,
-            opts,
-            scaler: GradScaler::default(),
-            replica_id: ctx.rank,
-            n_replicas: ctx.world,
             _persistent: persistent,
         })
     }
+}
 
+impl Engine for DdpEngine {
     /// One training step over the *global* batch: each replica trains on
-    /// its round-robin slice, then gradients are all-reduced. Returns
-    /// globally-synchronized stats.
-    pub fn train_step(
+    /// its round-robin slice, then gradients are all-reduced — exactly one
+    /// gradient all-reduce per step. Returns globally-synchronized stats.
+    fn train_step(
         &mut self,
         ctx: &mut RankCtx,
         global: &Batch,
     ) -> Result<StepStats, orbit_comm::OomError> {
-        let global_n = global.len();
-        assert_eq!(
-            global_n % self.n_replicas,
-            0,
-            "global batch {global_n} must divide by {} replicas",
-            self.n_replicas
-        );
-        let local = local_batch(global, self.replica_id, self.n_replicas);
+        let local = self.trainer.partition(global);
         let dims = self.model.cfg.dims;
-        let act_floats = if self.opts.activation_checkpointing {
-            dims.tokens() * dims.embed * (dims.layers + 2)
-        } else {
-            dims.tokens() * dims.embed * (8 * dims.layers + dims.channels)
-        };
-        let _act = ctx.device.alloc((local.len() * act_floats) as u64 * 4)?;
+        let _act = self.trainer.alloc_activations(ctx, &dims, local.len())?;
 
         let t0 = ctx.clock.now();
-        self.model.zero_grads();
-        let scale = 1.0 / global_n as f32;
-        let loss_scale = if self.opts.mixed_precision {
-            self.scaler.scale()
-        } else {
-            1.0
-        };
-        let mut local_loss = 0.0f32;
-        for (images, targets) in local.inputs.iter().zip(&local.targets) {
-            if self.opts.activation_checkpointing {
-                let (preds, boundaries) = self.model.forward_ckpt(images);
-                local_loss += weighted_mse(&preds, targets, &self.lat_w) * scale;
-                let mut d = weighted_mse_grad(&preds, targets, &self.lat_w);
-                for g in &mut d {
-                    g.scale(scale * loss_scale);
-                }
-                self.model.backward_ckpt(images, &boundaries, &d);
-            } else {
-                let fwd = self.model.forward(images);
-                local_loss += weighted_mse(&fwd.preds, targets, &self.lat_w) * scale;
-                let mut d = weighted_mse_grad(&fwd.preds, targets, &self.lat_w);
-                for g in &mut d {
-                    g.scale(scale * loss_scale);
-                }
-                self.model.backward(&fwd, &d);
-            }
-        }
-        let per_obs = dims.train_flops() as f64
-            * if self.opts.activation_checkpointing { 4.0 / 3.0 } else { 1.0 };
-        ctx.clock.charge_compute(
-            local.len() as f64 * per_obs,
-            sustained_flops(ctx.machine(), self.opts.mixed_precision),
-        );
+        let local_loss = self
+            .trainer
+            .microbatch_pass(&mut self.model, &local, global.len());
+        self.trainer
+            .charge_compute(ctx, local.len(), self.trainer.dense_flops_per_obs(&dims));
 
         // Gradient synchronization: per-sample grads are already scaled by
         // 1/global_batch, so a plain sum yields the global-mean gradient.
         let grads = self.model.flatten_grads();
         let mut synced = self.group.all_reduce(&mut ctx.clock, &grads);
 
-        let mut applied = true;
-        if self.opts.mixed_precision {
-            // Finiteness must be agreed globally; the all-reduced gradient
-            // is identical on every rank, so local inspection agrees.
-            applied = self.scaler.unscale_and_check(&mut synced);
-        }
-        let grad_norm = norm(&synced);
+        // Finiteness must be agreed globally; the all-reduced gradient is
+        // identical on every rank, so local inspection agrees.
+        let applied = self.trainer.unscale_local(&mut synced);
+        let grad_norm = self.trainer.clip_and_norm(&mut synced);
         if applied {
             self.model.load_flat_grads(&synced);
-            self.model.adam_step(&self.opt, &mut self.state);
+            self.model.adam_step(&self.trainer.opt, &mut self.state);
         }
         let loss = self.group.all_reduce_scalar(&mut ctx.clock, local_loss);
-        Ok(StepStats {
-            loss,
-            grad_norm,
-            sim_time: ctx.clock.now() - t0,
-            peak_mem: ctx.device.peak(),
-            applied,
-        })
+        Ok(self.trainer.finish_step(ctx, t0, loss, grad_norm, applied))
+    }
+
+    fn name(&self) -> &str {
+        "ddp"
     }
 }
 
@@ -155,6 +97,7 @@ mod tests {
     use super::*;
     use orbit_comm::Cluster;
     use orbit_tensor::init::Rng;
+    use orbit_vit::loss::lat_weights;
 
     fn make_batch(cfg: &VitConfig, n: usize, seed: u64) -> Batch {
         let mut rng = Rng::seed(seed);
@@ -212,7 +155,8 @@ mod tests {
         let cfg = VitConfig::test_tiny();
         let batch = make_batch(&cfg, 2, 9);
         let results = Cluster::frontier().run(2, |ctx| {
-            let mut e = DdpEngine::new(ctx, cfg, AdamW::default(), TrainOptions::none(), 1).unwrap();
+            let mut e =
+                DdpEngine::new(ctx, cfg, AdamW::default(), TrainOptions::none(), 1).unwrap();
             for _ in 0..2 {
                 e.train_step(ctx, &batch).unwrap();
             }
@@ -227,7 +171,8 @@ mod tests {
         let cfg = VitConfig::test_tiny();
         let batch = make_batch(&cfg, 3, 9);
         Cluster::frontier().run(2, |ctx| {
-            let mut e = DdpEngine::new(ctx, cfg, AdamW::default(), TrainOptions::none(), 1).unwrap();
+            let mut e =
+                DdpEngine::new(ctx, cfg, AdamW::default(), TrainOptions::none(), 1).unwrap();
             let _ = e.train_step(ctx, &batch);
         });
     }

@@ -6,18 +6,15 @@
 //! the paper's Fig. 5 — then gradients are reduce-scattered so each rank
 //! updates only its own shard.
 
-use crate::scaler::GradScaler;
 use crate::sharding::{flat_shard, flat_unshard, padded_len};
 use crate::stats::StepStats;
 use orbit_comm::{Allocation, ProcessGroup, RankCtx};
 use orbit_frontier::TrainOptions;
 use orbit_tensor::kernels::{AdamState, AdamW};
-use orbit_tensor::Precision;
-use orbit_vit::loss::{lat_weights, weighted_mse, weighted_mse_grad};
 use orbit_vit::{Batch, VitConfig, VitModel};
 
-use super::single::norm;
-use super::{local_batch, sustained_flops};
+use super::trainer::{configure_precision, Trainer};
+use super::Engine;
 
 /// Vanilla FSDP over the world group.
 pub struct FsdpEngine {
@@ -28,12 +25,7 @@ pub struct FsdpEngine {
     shard: Vec<f32>,
     state: AdamState,
     group: ProcessGroup,
-    opt: AdamW,
-    opts: TrainOptions,
-    lat_w: Vec<f32>,
-    scaler: GradScaler,
-    replica_id: usize,
-    n_replicas: usize,
+    trainer: Trainer,
     param_len: usize,
     _persistent: Allocation,
 }
@@ -47,9 +39,7 @@ impl FsdpEngine {
         opts: TrainOptions,
         seed: u64,
     ) -> Result<Self, orbit_comm::OomError> {
-        if opts.mixed_precision {
-            cfg.precision = Precision::BF16Mixed;
-        }
+        configure_precision(&mut cfg, &opts);
         let mut model = VitModel::init(cfg, seed);
         let flat = model.flatten_params();
         let param_len = flat.len();
@@ -63,128 +53,12 @@ impl FsdpEngine {
         }
         Ok(FsdpEngine {
             group,
-            lat_w: lat_weights(cfg.dims.img_h),
+            trainer: Trainer::with_replicas(&cfg, opt, opts, ctx.rank, ctx.world),
             model,
             shard,
             state,
-            opt,
-            opts,
-            scaler: GradScaler::default(),
-            replica_id: ctx.rank,
-            n_replicas: ctx.world,
             param_len,
             _persistent: persistent,
-        })
-    }
-
-    /// One training step over the global batch.
-    pub fn train_step(
-        &mut self,
-        ctx: &mut RankCtx,
-        global: &Batch,
-    ) -> Result<StepStats, orbit_comm::OomError> {
-        let global_n = global.len();
-        assert_eq!(
-            global_n % self.n_replicas,
-            0,
-            "global batch {global_n} must divide by {} replicas",
-            self.n_replicas
-        );
-        let local = local_batch(global, self.replica_id, self.n_replicas);
-        let t0 = ctx.clock.now();
-
-        // ---- The vanilla-FSDP signature move: gather the FULL model. ----
-        // A transient allocation the size of the whole model (parameters
-        // now, matching gradients later) spikes the peak (Fig. 2).
-        let full_padded = padded_len(self.param_len, self.n_replicas);
-        let bytes_per = if self.opts.mixed_precision { 2 } else { 4 };
-        let _gather_alloc = ctx.device.alloc(full_padded as u64 * bytes_per)?;
-        let full = if self.opts.prefetch {
-            self.group.all_gather_prefetched(&mut ctx.clock, &self.shard)
-        } else {
-            self.group.all_gather(&mut ctx.clock, &self.shard)
-        };
-        self.model.load_flat_params(&flat_unshard(&full, self.param_len));
-        drop(full);
-
-        let dims = self.model.cfg.dims;
-        let act_floats = if self.opts.activation_checkpointing {
-            dims.tokens() * dims.embed * (dims.layers + 2)
-        } else {
-            dims.tokens() * dims.embed * (8 * dims.layers + dims.channels)
-        };
-        let _act = ctx.device.alloc((local.len() * act_floats) as u64 * 4)?;
-        // Full-size gradient buffer also lives transiently.
-        let _grad_alloc = ctx.device.alloc(full_padded as u64 * bytes_per)?;
-
-        self.model.zero_grads();
-        let scale = 1.0 / global_n as f32;
-        let loss_scale = if self.opts.mixed_precision {
-            self.scaler.scale()
-        } else {
-            1.0
-        };
-        let mut local_loss = 0.0f32;
-        for (images, targets) in local.inputs.iter().zip(&local.targets) {
-            if self.opts.activation_checkpointing {
-                let (preds, boundaries) = self.model.forward_ckpt(images);
-                local_loss += weighted_mse(&preds, targets, &self.lat_w) * scale;
-                let mut d = weighted_mse_grad(&preds, targets, &self.lat_w);
-                for g in &mut d {
-                    g.scale(scale * loss_scale);
-                }
-                self.model.backward_ckpt(images, &boundaries, &d);
-            } else {
-                let fwd = self.model.forward(images);
-                local_loss += weighted_mse(&fwd.preds, targets, &self.lat_w) * scale;
-                let mut d = weighted_mse_grad(&fwd.preds, targets, &self.lat_w);
-                for g in &mut d {
-                    g.scale(scale * loss_scale);
-                }
-                self.model.backward(&fwd, &d);
-            }
-        }
-        let per_obs = dims.train_flops() as f64
-            * if self.opts.activation_checkpointing { 4.0 / 3.0 } else { 1.0 };
-        ctx.clock.charge_compute(
-            local.len() as f64 * per_obs,
-            sustained_flops(ctx.machine(), self.opts.mixed_precision),
-        );
-        ctx.clock.flush_prefetch();
-
-        // Reduce-scatter: sum of data-parallel gradients, each rank keeps
-        // its own shard.
-        let mut grads = self.model.flatten_grads();
-        grads.resize(full_padded, 0.0);
-        let mut shard_grads = self.group.reduce_scatter(&mut ctx.clock, &grads);
-        drop(grads);
-
-        let mut applied = true;
-        if self.opts.mixed_precision {
-            // Agree on finiteness across ranks: each inspects its shard.
-            let inv = 1.0 / self.scaler.scale();
-            let mut local_nonfinite = 0.0f32;
-            for g in shard_grads.iter_mut() {
-                *g *= inv;
-                if !g.is_finite() {
-                    local_nonfinite = 1.0;
-                }
-            }
-            let total = self.group.all_reduce_scalar(&mut ctx.clock, local_nonfinite);
-            applied = total == 0.0;
-            self.scaler.update(applied);
-        }
-        let grad_norm = norm(&shard_grads);
-        if applied {
-            self.opt.step(&mut self.state, &mut self.shard, &shard_grads);
-        }
-        let loss = self.group.all_reduce_scalar(&mut ctx.clock, local_loss);
-        Ok(StepStats {
-            loss,
-            grad_norm,
-            sim_time: ctx.clock.now() - t0,
-            peak_mem: ctx.device.peak(),
-            applied,
         })
     }
 
@@ -196,11 +70,76 @@ impl FsdpEngine {
     }
 }
 
+impl Engine for FsdpEngine {
+    /// One training step over the global batch.
+    fn train_step(
+        &mut self,
+        ctx: &mut RankCtx,
+        global: &Batch,
+    ) -> Result<StepStats, orbit_comm::OomError> {
+        let local = self.trainer.partition(global);
+        let t0 = ctx.clock.now();
+
+        // ---- The vanilla-FSDP signature move: gather the FULL model. ----
+        // A transient allocation the size of the whole model (parameters
+        // now, matching gradients later) spikes the peak (Fig. 2).
+        let full_padded = padded_len(self.param_len, self.group.size());
+        let _gather_alloc = ctx
+            .device
+            .alloc(full_padded as u64 * self.trainer.param_bytes())?;
+        let full = self
+            .trainer
+            .gather(&mut self.group, &mut ctx.clock, &self.shard, true);
+        self.model
+            .load_flat_params(&flat_unshard(&full, self.param_len));
+        drop(full);
+
+        let dims = self.model.cfg.dims;
+        let _act = self.trainer.alloc_activations(ctx, &dims, local.len())?;
+        // Full-size gradient buffer also lives transiently.
+        let _grad_alloc = ctx
+            .device
+            .alloc(full_padded as u64 * self.trainer.param_bytes())?;
+
+        let local_loss = self
+            .trainer
+            .microbatch_pass(&mut self.model, &local, global.len());
+        self.trainer
+            .charge_compute(ctx, local.len(), self.trainer.dense_flops_per_obs(&dims));
+        ctx.clock.flush_prefetch();
+
+        // Reduce-scatter: sum of data-parallel gradients, each rank keeps
+        // its own shard.
+        let mut grads = self.model.flatten_grads();
+        grads.resize(full_padded, 0.0);
+        let mut shard_grads = self.group.reduce_scatter(&mut ctx.clock, &grads);
+        drop(grads);
+
+        // Agree on finiteness across ranks: each inspects its shard.
+        let applied =
+            self.trainer
+                .unscale_synced(&mut ctx.clock, &mut self.group, &mut [&mut shard_grads]);
+        let grad_norm = self.trainer.clip_and_norm(&mut shard_grads);
+        if applied {
+            self.trainer
+                .opt
+                .step(&mut self.state, &mut self.shard, &shard_grads);
+        }
+        let loss = self.group.all_reduce_scalar(&mut ctx.clock, local_loss);
+        Ok(self.trainer.finish_step(ctx, t0, loss, grad_norm, applied))
+    }
+
+    fn name(&self) -> &str {
+        "fsdp"
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use orbit_comm::Cluster;
     use orbit_tensor::init::Rng;
+    use orbit_vit::loss::lat_weights;
 
     fn make_batch(cfg: &VitConfig, n: usize, seed: u64) -> Batch {
         let mut rng = Rng::seed(seed);
@@ -262,7 +201,8 @@ mod tests {
         let cfg = VitConfig::test_tiny();
         let batch = make_batch(&cfg, 4, 1);
         let results = Cluster::frontier().run(4, |ctx| {
-            let mut e = FsdpEngine::new(ctx, cfg, AdamW::default(), TrainOptions::none(), 1).unwrap();
+            let mut e =
+                FsdpEngine::new(ctx, cfg, AdamW::default(), TrainOptions::none(), 1).unwrap();
             let persistent = ctx.device.in_use();
             let stats = e.train_step(ctx, &batch).unwrap();
             (persistent, stats.peak_mem)

@@ -22,27 +22,24 @@
 //! with compute on the simulated clock), and activation checkpointing
 //! (boundaries only; block caches recomputed in the backward pass).
 
-use crate::scaler::GradScaler;
 use crate::sharding::{flat_shard, flat_unshard, padded_len};
 use crate::stats::StepStats;
 use crate::tp_block::TpBlock;
 use orbit_comm::{Allocation, ProcessGroup, RankCtx};
 use orbit_frontier::{ParallelLayout, RankMapping, TrainOptions};
 use orbit_tensor::kernels::{AdamState, AdamW};
-use orbit_tensor::{Precision, Tensor};
+use orbit_tensor::Tensor;
 use orbit_vit::block::Param;
-use orbit_vit::loss::{lat_weights, weighted_mse, weighted_mse_grad};
+use orbit_vit::loss::weighted_mse;
 use orbit_vit::{Batch, VitConfig, VitModel};
 
-use super::single::norm;
 use super::tp::{sync_qk_grads, tp_flatten, tp_flatten_grads, tp_load, tp_load_grads};
-use super::{local_batch, sustained_flops};
+use super::trainer::{configure_precision, norm, Trainer};
+use super::Engine;
 
 /// The Hybrid-STOP training engine for one rank.
 pub struct HybridStopEngine {
     layout: ParallelLayout,
-    replica_id: usize,
-    n_replicas: usize,
     /// Front-end + head (replicated across TP, FSDP-sharded at rest).
     pub front: VitModel,
     /// This rank's TP block shards (values refreshed by FSDP gathers).
@@ -57,10 +54,7 @@ pub struct HybridStopEngine {
     fsdp_group: ProcessGroup,
     ddp_group: ProcessGroup,
     world_group: ProcessGroup,
-    opt: AdamW,
-    opts: TrainOptions,
-    lat_w: Vec<f32>,
-    scaler: GradScaler,
+    trainer: Trainer,
     _persistent: Allocation,
 }
 
@@ -77,9 +71,7 @@ impl HybridStopEngine {
         seed: u64,
     ) -> Result<Self, orbit_comm::OomError> {
         assert_eq!(layout.world(), ctx.world, "layout/world mismatch");
-        if opts.mixed_precision {
-            cfg.precision = Precision::BF16Mixed;
-        }
+        configure_precision(&mut cfg, &opts);
         let mapping = RankMapping::new(layout);
         let coords = mapping.coords(ctx.rank);
         let reference = VitModel::init(cfg, seed);
@@ -101,7 +93,10 @@ impl HybridStopEngine {
             .iter()
             .map(|f| flat_shard(f, layout.fsdp, coords.fsdp_idx))
             .collect();
-        let states: Vec<AdamState> = unit_shards.iter().map(|s| AdamState::new(s.len())).collect();
+        let states: Vec<AdamState> = unit_shards
+            .iter()
+            .map(|s| AdamState::new(s.len()))
+            .collect();
         let total_shard: u64 = unit_shards.iter().map(|s| s.len() as u64).sum();
         // Persistent: weights + grads + Adam moments of the owned shards
         // only — the Fig. 3 property.
@@ -122,28 +117,20 @@ impl HybridStopEngine {
             ddp_group,
             world_group: ctx.world_group(),
             layout,
-            replica_id: coords.ddp_idx * layout.fsdp + coords.fsdp_idx,
-            n_replicas: layout.fsdp * layout.ddp,
+            trainer: Trainer::with_replicas(
+                &cfg,
+                opt,
+                opts,
+                coords.ddp_idx * layout.fsdp + coords.fsdp_idx,
+                layout.fsdp * layout.ddp,
+            ),
             front,
             blocks,
             unit_shards,
             unit_lens,
             states,
-            opt,
-            opts,
-            lat_w: lat_weights(cfg.dims.img_h),
-            scaler: GradScaler::default(),
             _persistent: persistent,
         })
-    }
-
-    /// Compute-precision bytes per parameter for transient gather buffers.
-    fn gather_bytes_per_param(&self) -> u64 {
-        if self.opts.mixed_precision {
-            2
-        } else {
-            4
-        }
     }
 
     /// All-gather one unit's parameters within the FSDP group and return
@@ -157,31 +144,82 @@ impl HybridStopEngine {
         // Transient buffer: gathered parameters + a same-sized gradient
         // staging buffer for the backward reduce-scatter.
         let full = padded_len(self.unit_lens[unit], self.layout.fsdp) as u64;
-        let alloc = ctx.device.alloc(2 * full * self.gather_bytes_per_param())?;
-        let gathered = if prefetched && self.opts.prefetch {
-            self.fsdp_group
-                .all_gather_prefetched(&mut ctx.clock, &self.unit_shards[unit])
-        } else {
-            self.fsdp_group.all_gather(&mut ctx.clock, &self.unit_shards[unit])
-        };
+        let alloc = ctx.device.alloc(2 * full * self.trainer.param_bytes())?;
+        let gathered = self.trainer.gather(
+            &mut self.fsdp_group,
+            &mut ctx.clock,
+            &self.unit_shards[unit],
+            prefetched,
+        );
         Ok((flat_unshard(&gathered, self.unit_lens[unit]), alloc))
     }
 
+    /// Reconstruct the full (reference-ordered) parameter vector: FSDP
+    /// gather each unit, TP all-gather block shards, and reassemble the
+    /// column/row shards into full matrices. Used by tests and for
+    /// checkpointing.
+    pub fn gather_full_params(&mut self, ctx: &mut RankCtx) -> Vec<f32> {
+        // Unit 0: front flat (identical across TP ranks).
+        let front_full = {
+            let gathered = self
+                .fsdp_group
+                .all_gather(&mut ctx.clock, &self.unit_shards[0]);
+            flat_unshard(&gathered, self.unit_lens[0])
+        };
+        // Front visit order: tokenizer, aggregation, pos_embed, head_w,
+        // head_b. The reference order inserts blocks before the head, so
+        // split the front flat at the head boundary.
+        let head_len = {
+            let d = self.front.cfg.dims;
+            let out = d.out_channels * d.patch * d.patch;
+            d.embed * out + out
+        };
+        let pre_len = front_full.len() - head_len;
+
+        let mut full = Vec::new();
+        full.extend_from_slice(&front_full[..pre_len]);
+        for l in 0..self.blocks.len() {
+            let unit = 1 + l;
+            let gathered = self
+                .fsdp_group
+                .all_gather(&mut ctx.clock, &self.unit_shards[unit]);
+            let my_flat = flat_unshard(&gathered, self.unit_lens[unit]);
+            // Collect every TP rank's shard flat.
+            let all_tp = self.tp_group.all_gather(&mut ctx.clock, &my_flat);
+            let shard_len = my_flat.len();
+            let tp = self.layout.tp;
+            // Load each TP rank's flat into a scratch TpBlock to recover
+            // tensor shapes, then reassemble the full block tensors.
+            let mut scratch: Vec<TpBlock> = (0..tp).map(|_| self.blocks[l].clone()).collect();
+            for (k, s) in scratch.iter_mut().enumerate() {
+                tp_load(s, &all_tp[k * shard_len..(k + 1) * shard_len]);
+            }
+            full.extend(reassemble_block(&mut scratch));
+        }
+        full.extend_from_slice(&front_full[pre_len..]);
+        full
+    }
+
+    /// Expose the gradient flats for diagnostics (test support).
+    pub fn load_grad_shards(&mut self, unit: usize, grads: &[f32]) {
+        if unit == 0 {
+            self.front.load_flat_grads(&grads[..self.unit_lens[0]]);
+        } else {
+            tp_load_grads(&mut self.blocks[unit - 1], &grads[..self.unit_lens[unit]]);
+        }
+    }
+}
+
+impl Engine for HybridStopEngine {
     /// One training step over the global batch. Global batch size must
     /// divide evenly by `fsdp * ddp` data replicas.
-    pub fn train_step(
+    fn train_step(
         &mut self,
         ctx: &mut RankCtx,
         global: &Batch,
     ) -> Result<StepStats, orbit_comm::OomError> {
+        let local = self.trainer.partition(global);
         let global_n = global.len();
-        assert_eq!(
-            global_n % self.n_replicas,
-            0,
-            "global batch {global_n} must divide by {} replicas",
-            self.n_replicas
-        );
-        let local = local_batch(global, self.replica_id, self.n_replicas);
         let b = local.len();
         let dims = self.front.cfg.dims;
         let layers = self.blocks.len();
@@ -189,7 +227,7 @@ impl HybridStopEngine {
 
         // Activation accounting: wide intermediates sharded by tp;
         // boundaries replicated; tokenizer stage checkpointable.
-        let act_floats = if self.opts.activation_checkpointing {
+        let act_floats = if self.trainer.opts.activation_checkpointing {
             dims.tokens() * dims.embed * (layers + 2 + 8 / self.layout.tp)
         } else {
             dims.tokens() * dims.embed * (8 * layers / self.layout.tp + 2 * layers + dims.channels)
@@ -206,7 +244,7 @@ impl HybridStopEngine {
         // are gathered at once and the combined transient allocation is
         // held for the entire step (the Table I column-1 OOM).
         let mut whole_model_allocs: Vec<Allocation> = Vec::new();
-        if !self.opts.layer_wrapping {
+        if !self.trainer.opts.layer_wrapping {
             let mut gathered = Vec::with_capacity(1 + layers);
             for unit in 0..=layers {
                 let (flat, alloc) = self.gather_unit(ctx, unit, false)?;
@@ -220,7 +258,7 @@ impl HybridStopEngine {
         }
 
         // Front-end always needed first and last: gather it (wrapped mode).
-        let front_alloc = if self.opts.layer_wrapping {
+        let front_alloc = if self.trainer.opts.layer_wrapping {
             let (flat, alloc) = self.gather_unit(ctx, 0, true)?;
             self.front.load_flat_params(&flat);
             Some(alloc)
@@ -229,11 +267,6 @@ impl HybridStopEngine {
         };
 
         let scale = 1.0 / global_n as f32;
-        let loss_scale = if self.opts.mixed_precision {
-            self.scaler.scale()
-        } else {
-            1.0
-        };
 
         // Front-end forward for the whole local batch.
         let mut front_caches = Vec::with_capacity(b);
@@ -248,7 +281,7 @@ impl HybridStopEngine {
         // gather serves every sample (paper: "layer wrapping").
         let mut stored_caches: Vec<Vec<crate::tp_block::TpBlockCache>> = Vec::new();
         for l in 0..layers {
-            let _unit_alloc = if self.opts.layer_wrapping {
+            let _unit_alloc = if self.trainer.opts.layer_wrapping {
                 let (flat, alloc) = self.gather_unit(ctx, 1 + l, true)?;
                 tp_load(&mut self.blocks[l], &flat);
                 Some(alloc)
@@ -256,15 +289,15 @@ impl HybridStopEngine {
                 None
             };
             let mut layer_caches = Vec::with_capacity(b);
-            for s in 0..b {
-                let x = boundaries[s].last().expect("boundary present").clone();
+            for boundary in boundaries.iter_mut() {
+                let x = boundary.last().expect("boundary present").clone();
                 let (y, cache) = self.blocks[l].forward(&x, &mut self.tp_group, &mut ctx.clock);
-                boundaries[s].push(y);
-                if !self.opts.activation_checkpointing {
+                boundary.push(y);
+                if !self.trainer.opts.activation_checkpointing {
                     layer_caches.push(cache);
                 }
             }
-            if !self.opts.activation_checkpointing {
+            if !self.trainer.opts.activation_checkpointing {
                 stored_caches.push(layer_caches);
             }
             // `_unit_alloc` drops here: parameters reshard after use.
@@ -273,30 +306,24 @@ impl HybridStopEngine {
         // Head + loss + head backward (front params still resident).
         let mut local_loss = 0.0f32;
         let mut dys: Vec<Tensor> = Vec::with_capacity(b);
-        for s in 0..b {
-            let top = boundaries[s].last().expect("top boundary");
+        for (s, boundary) in boundaries.iter().enumerate() {
+            let top = boundary.last().expect("top boundary");
             let preds = self.front.head_forward(top);
-            local_loss += weighted_mse(&preds, &local.targets[s], &self.lat_w) * scale;
-            let mut d = weighted_mse_grad(&preds, &local.targets[s], &self.lat_w);
-            for g in &mut d {
-                g.scale(scale * loss_scale);
-            }
+            local_loss += weighted_mse(&preds, &local.targets[s], &self.trainer.lat_w) * scale;
+            let d = self.trainer.loss_grad(&preds, &local.targets[s], scale);
             dys.push(self.front.head_backward(top, &d));
         }
 
         // Charge forward+backward compute for this rank's share.
-        let recompute = if self.opts.activation_checkpointing { 4.0 / 3.0 } else { 1.0 };
-        let per_obs = dims.train_flops() as f64 * recompute / self.layout.tp as f64;
-        ctx.clock.charge_compute(
-            b as f64 * per_obs,
-            sustained_flops(ctx.machine(), self.opts.mixed_precision),
-        );
+        let per_obs =
+            dims.train_flops() as f64 * self.trainer.recompute_factor() / self.layout.tp as f64;
+        self.trainer.charge_compute(ctx, b, per_obs);
 
         // ---- Blocks backward (reverse layer order), with re-gather and
         // reduce-scatter per layer. ----
         let mut unit_grad_shards: Vec<Vec<f32>> = vec![Vec::new(); 1 + layers];
         for l in (0..layers).rev() {
-            let _unit_alloc = if self.opts.layer_wrapping {
+            let _unit_alloc = if self.trainer.opts.layer_wrapping {
                 let (flat, alloc) = self.gather_unit(ctx, 1 + l, true)?;
                 tp_load(&mut self.blocks[l], &flat);
                 Some(alloc)
@@ -304,16 +331,20 @@ impl HybridStopEngine {
                 None
             };
             for s in 0..b {
-                let cache = if self.opts.activation_checkpointing {
+                let cache = if self.trainer.opts.activation_checkpointing {
                     // Recompute this block's cache from the boundary
                     // (all ranks re-issue the same collectives).
-                    let (_, cache) =
-                        self.blocks[l].forward(&boundaries[s][l], &mut self.tp_group, &mut ctx.clock);
+                    let (_, cache) = self.blocks[l].forward(
+                        &boundaries[s][l],
+                        &mut self.tp_group,
+                        &mut ctx.clock,
+                    );
                     cache
                 } else {
                     stored_caches[l].remove(0)
                 };
-                dys[s] = self.blocks[l].backward(&cache, &dys[s], &mut self.tp_group, &mut ctx.clock);
+                dys[s] =
+                    self.blocks[l].backward(&cache, &dys[s], &mut self.tp_group, &mut ctx.clock);
             }
             sync_qk_grads(&mut self.blocks[l], &mut self.tp_group, &mut ctx.clock);
             // Reduce-scatter this layer's gradients within the FSDP group.
@@ -341,94 +372,46 @@ impl HybridStopEngine {
         }
 
         // ---- Mixed precision: unscale and agree on finiteness globally.
-        let mut applied = true;
-        if self.opts.mixed_precision {
-            let inv = 1.0 / self.scaler.scale();
-            let mut nonfinite = 0.0f32;
-            for shard in unit_grad_shards.iter_mut() {
-                for g in shard.iter_mut() {
-                    *g *= inv;
-                    if !g.is_finite() {
-                        nonfinite = 1.0;
+        let applied = {
+            let mut shard_refs: Vec<&mut [f32]> = unit_grad_shards
+                .iter_mut()
+                .map(|s| s.as_mut_slice())
+                .collect();
+            self.trainer
+                .unscale_synced(&mut ctx.clock, &mut self.world_group, &mut shard_refs)
+        };
+        let grad_norm = {
+            let n = norm(&unit_grad_shards.concat());
+            if let Some(s) = self.trainer.clip_scale(n) {
+                for shard in unit_grad_shards.iter_mut() {
+                    for g in shard.iter_mut() {
+                        *g *= s;
                     }
                 }
             }
-            let total = self.world_group.all_reduce_scalar(&mut ctx.clock, nonfinite);
-            applied = total == 0.0;
-            self.scaler.update(applied);
-        }
-        let grad_norm = norm(&unit_grad_shards.concat());
+            n
+        };
 
         // ---- Sharded optimizer step: each rank updates only its shards.
         if applied {
             for (unit, grads) in unit_grad_shards.iter().enumerate() {
-                self.opt
+                self.trainer
+                    .opt
                     .step(&mut self.states[unit], &mut self.unit_shards[unit], grads);
             }
         }
 
         // Loss: each TP rank computed the identical local loss, so the
         // world sum over-counts by tp.
-        let loss = self.world_group.all_reduce_scalar(&mut ctx.clock, local_loss)
+        let loss = self
+            .world_group
+            .all_reduce_scalar(&mut ctx.clock, local_loss)
             / self.layout.tp as f32;
-        Ok(StepStats {
-            loss,
-            grad_norm,
-            sim_time: ctx.clock.now() - t0,
-            peak_mem: ctx.device.peak(),
-            applied,
-        })
+        Ok(self.trainer.finish_step(ctx, t0, loss, grad_norm, applied))
     }
 
-    /// Reconstruct the full (reference-ordered) parameter vector: FSDP
-    /// gather each unit, TP all-gather block shards, and reassemble the
-    /// column/row shards into full matrices. Used by tests and for
-    /// checkpointing.
-    pub fn gather_full_params(&mut self, ctx: &mut RankCtx) -> Vec<f32> {
-        // Unit 0: front flat (identical across TP ranks).
-        let front_full = {
-            let gathered = self.fsdp_group.all_gather(&mut ctx.clock, &self.unit_shards[0]);
-            flat_unshard(&gathered, self.unit_lens[0])
-        };
-        // Front visit order: tokenizer, aggregation, pos_embed, head_w,
-        // head_b. The reference order inserts blocks before the head, so
-        // split the front flat at the head boundary.
-        let head_len = {
-            let d = self.front.cfg.dims;
-            let out = d.out_channels * d.patch * d.patch;
-            d.embed * out + out
-        };
-        let pre_len = front_full.len() - head_len;
-
-        let mut full = Vec::new();
-        full.extend_from_slice(&front_full[..pre_len]);
-        for l in 0..self.blocks.len() {
-            let unit = 1 + l;
-            let gathered = self.fsdp_group.all_gather(&mut ctx.clock, &self.unit_shards[unit]);
-            let my_flat = flat_unshard(&gathered, self.unit_lens[unit]);
-            // Collect every TP rank's shard flat.
-            let all_tp = self.tp_group.all_gather(&mut ctx.clock, &my_flat);
-            let shard_len = my_flat.len();
-            let tp = self.layout.tp;
-            // Load each TP rank's flat into a scratch TpBlock to recover
-            // tensor shapes, then reassemble the full block tensors.
-            let mut scratch: Vec<TpBlock> = (0..tp).map(|_| self.blocks[l].clone()).collect();
-            for (k, s) in scratch.iter_mut().enumerate() {
-                tp_load(s, &all_tp[k * shard_len..(k + 1) * shard_len]);
-            }
-            full.extend(reassemble_block(&mut scratch));
-        }
-        full.extend_from_slice(&front_full[pre_len..]);
-        full
-    }
-
-    /// Expose the gradient flats for diagnostics (test support).
-    pub fn load_grad_shards(&mut self, unit: usize, grads: &[f32]) {
-        if unit == 0 {
-            self.front.load_flat_grads(&grads[..self.unit_lens[0]]);
-        } else {
-            tp_load_grads(&mut self.blocks[unit - 1], &grads[..self.unit_lens[unit]]);
-        }
+    fn name(&self) -> &str {
+        "hybrid_stop"
     }
 }
 
@@ -468,6 +451,7 @@ mod tests {
     use super::*;
     use orbit_comm::Cluster;
     use orbit_tensor::init::Rng;
+    use orbit_vit::loss::lat_weights;
 
     fn make_batch(cfg: &VitConfig, n: usize, seed: u64) -> Batch {
         let mut rng = Rng::seed(seed);
@@ -508,7 +492,16 @@ mod tests {
         let batch = make_batch(&cfg, 4, 17);
         let (ref_losses, ref_params) = reference_run(cfg, &batch, 2);
 
-        for (tp, fsdp, ddp) in [(1, 1, 1), (2, 1, 1), (1, 2, 1), (1, 1, 2), (2, 2, 1), (2, 1, 2), (1, 2, 2), (2, 2, 2)] {
+        for (tp, fsdp, ddp) in [
+            (1, 1, 1),
+            (2, 1, 1),
+            (1, 2, 1),
+            (1, 1, 2),
+            (2, 2, 1),
+            (2, 1, 2),
+            (1, 2, 2),
+            (2, 2, 2),
+        ] {
             let layout = ParallelLayout::new(tp, fsdp, ddp);
             let results = Cluster::frontier().run(layout.world(), |ctx| {
                 let mut e = HybridStopEngine::new(
@@ -533,7 +526,11 @@ mod tests {
                         "tp={tp} fsdp={fsdp} ddp={ddp}: loss {a} vs {b}"
                     );
                 }
-                assert_eq!(params.len(), ref_params.len(), "tp={tp} fsdp={fsdp} ddp={ddp}");
+                assert_eq!(
+                    params.len(),
+                    ref_params.len(),
+                    "tp={tp} fsdp={fsdp} ddp={ddp}"
+                );
                 for (i, (a, b)) in params.iter().zip(&ref_params).enumerate() {
                     assert!(
                         (a - b).abs() < 1e-3 * b.abs().max(1e-2),
@@ -607,7 +604,8 @@ mod tests {
         let layout = ParallelLayout::new(2, 2, 1);
         let opts = TrainOptions::all_on();
         let results = Cluster::frontier().run(4, |ctx| {
-            let mut e = HybridStopEngine::new(ctx, layout, cfg, AdamW::default(), opts, 42).unwrap();
+            let mut e =
+                HybridStopEngine::new(ctx, layout, cfg, AdamW::default(), opts, 42).unwrap();
             (0..3)
                 .map(|_| {
                     let s = e.train_step(ctx, &batch).unwrap();

@@ -1,17 +1,26 @@
 //! Distributed training engines.
 //!
-//! Each engine is constructed *inside* a cluster rank closure (see
-//! [`orbit_comm::Cluster::run`]) and drives the same ViT math as the
-//! single-device reference, differing only in where parameters live and
-//! which collectives synchronize them:
+//! Every engine implements the object-safe [`Engine`] trait — one
+//! [`Engine::train_step`] over the global batch — and delegates the shared
+//! scaffold (batch partitioning, the microbatch forward/backward loop,
+//! mixed-precision loss scaling, gradient clipping, simulated compute
+//! charging, stats assembly) to a [`Trainer`]. Each engine file keeps only
+//! its distinct shard layout and collective choreography:
 //!
-//! | engine | parameters | gradients | data |
+//! | engine ([`Engine::name`]) | parameters | gradients | data |
 //! |---|---|---|---|
-//! | [`SingleDeviceEngine`] | local | local | whole batch |
-//! | [`DdpEngine`] | replicated | all-reduce | partitioned |
-//! | [`FsdpEngine`] (vanilla) | flat-sharded 1/N, **full-model gather** per step | reduce-scatter | partitioned |
-//! | [`TensorParallelEngine`] | column/row shards, never gathered | local to shard | replicated |
-//! | [`HybridStopEngine`] | TP shards, FSDP-sharded, gathered **one layer at a time** | reduce-scatter + DDP all-reduce | partitioned across FSDP x DDP |
+//! | [`SingleDeviceEngine`] (`single_device`) | local | local | whole batch |
+//! | [`DdpEngine`] (`ddp`) | replicated | **one all-reduce per step** | partitioned |
+//! | [`FsdpEngine`] (`fsdp`, vanilla) | flat-sharded 1/N, **full-model gather** per step | reduce-scatter | partitioned |
+//! | [`TensorParallelEngine`] (`tensor_parallel`) | column/row shards, never gathered | local to shard | replicated |
+//! | [`PipelineEngine`] (`pipeline`) | layer-partitioned stages | local to stage | whole batch, staged |
+//! | [`HybridStopEngine`] (`hybrid_stop`) | TP shards, FSDP-sharded, gathered **one layer unit at a time** | reduce-scatter + DDP all-reduce | partitioned across FSDP x DDP |
+//!
+//! Engines are constructed *inside* a cluster rank closure (see
+//! [`orbit_comm::Cluster::run`]), either directly by type or generically
+//! through [`EngineSpec`] / [`build_engine`], which return a
+//! `Box<dyn Engine>` so tests, benches, and examples dispatch over all
+//! strategies with one code path.
 
 mod ddp;
 mod fsdp;
@@ -19,6 +28,7 @@ mod hybrid_stop;
 mod pipeline;
 mod single;
 mod tp;
+mod trainer;
 
 pub use ddp::DdpEngine;
 pub use fsdp::FsdpEngine;
@@ -26,13 +36,85 @@ pub use hybrid_stop::HybridStopEngine;
 pub use pipeline::PipelineEngine;
 pub use single::SingleDeviceEngine;
 pub use tp::TensorParallelEngine;
+pub use trainer::Trainer;
 
+use crate::stats::StepStats;
+use orbit_comm::{OomError, RankCtx};
 use orbit_frontier::perfmodel::Calibration;
-use orbit_vit::Batch;
+use orbit_frontier::{FrontierMachine, ParallelLayout, TrainOptions};
+use orbit_tensor::kernels::AdamW;
+use orbit_vit::{Batch, VitConfig};
 
-/// Sustained per-GPU throughput used for simulated compute time.
-pub(crate) fn sustained_flops(machine: &orbit_frontier::FrontierMachine, mixed: bool) -> f64 {
-    let calib = Calibration::default();
+/// A distributed training engine: one parallelism strategy driving the
+/// shared ViT math over the simulated cluster.
+///
+/// The trait is object-safe; generic callers hold a `Box<dyn Engine>` from
+/// [`build_engine`] and stay agnostic of the strategy.
+pub trait Engine {
+    /// One optimizer step over the **global** batch. Every rank of the
+    /// cluster must call this collectively with the same batch; the engine
+    /// partitions data internally according to its data-replica layout.
+    /// Returns globally-synchronized statistics.
+    fn train_step(&mut self, ctx: &mut RankCtx, batch: &Batch) -> Result<StepStats, OomError>;
+
+    /// Stable snake_case strategy name (used in reports and traces).
+    fn name(&self) -> &str;
+}
+
+/// Which engine to build — the generic-dispatch counterpart of the
+/// concrete `*Engine::new` constructors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineSpec {
+    Single,
+    Ddp,
+    Fsdp,
+    TensorParallel,
+    Pipeline,
+    HybridStop(ParallelLayout),
+}
+
+impl EngineSpec {
+    /// The [`Engine::name`] the built engine will report.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EngineSpec::Single => "single_device",
+            EngineSpec::Ddp => "ddp",
+            EngineSpec::Fsdp => "fsdp",
+            EngineSpec::TensorParallel => "tensor_parallel",
+            EngineSpec::Pipeline => "pipeline",
+            EngineSpec::HybridStop(_) => "hybrid_stop",
+        }
+    }
+}
+
+/// Construct the engine `spec` describes on the calling rank. All ranks
+/// must pass the same spec and seed.
+pub fn build_engine(
+    ctx: &RankCtx,
+    spec: EngineSpec,
+    cfg: VitConfig,
+    opt: AdamW,
+    opts: TrainOptions,
+    seed: u64,
+) -> Result<Box<dyn Engine>, OomError> {
+    Ok(match spec {
+        EngineSpec::Single => Box::new(SingleDeviceEngine::new(ctx, cfg, opt, opts, seed)?),
+        EngineSpec::Ddp => Box::new(DdpEngine::new(ctx, cfg, opt, opts, seed)?),
+        EngineSpec::Fsdp => Box::new(FsdpEngine::new(ctx, cfg, opt, opts, seed)?),
+        EngineSpec::TensorParallel => {
+            Box::new(TensorParallelEngine::new(ctx, cfg, opt, opts, seed)?)
+        }
+        EngineSpec::Pipeline => Box::new(PipelineEngine::new(ctx, cfg, opt, opts, seed)?),
+        EngineSpec::HybridStop(layout) => {
+            Box::new(HybridStopEngine::new(ctx, layout, cfg, opt, opts, seed)?)
+        }
+    })
+}
+
+/// Sustained per-GPU throughput used for simulated compute time, under an
+/// explicit calibration (so experiments can sweep calibrations without
+/// recompiling). Engines reach this through [`Trainer::sustained`].
+pub(crate) fn sustained_flops(machine: &FrontierMachine, calib: &Calibration, mixed: bool) -> f64 {
     if mixed {
         machine.peak_bf16 * calib.mfu_bf16
     } else {
@@ -41,8 +123,14 @@ pub(crate) fn sustained_flops(machine: &orbit_frontier::FrontierMachine, mixed: 
 }
 
 /// Slice a global batch into the local batch for data replica
-/// `replica_id` of `n_replicas` (round-robin by sample index, so every
-/// replica sees the same number of samples when the batch divides evenly).
+/// `replica_id` of `n_replicas`, round-robin by sample index.
+///
+/// When the batch divides evenly every replica sees `global.len() /
+/// n_replicas` samples. When it does not, the first `global.len() %
+/// n_replicas` replicas receive one extra sample; **no sample is ever
+/// dropped or duplicated** across the replicas. Engines whose collectives
+/// need every replica in lockstep require the even case and assert it via
+/// [`Trainer::partition`].
 pub fn local_batch(global: &Batch, replica_id: usize, n_replicas: usize) -> Batch {
     assert!(replica_id < n_replicas);
     let mut out = Batch::default();
@@ -83,5 +171,32 @@ mod tests {
         let g = batch(4);
         let l = local_batch(&g, 0, 1);
         assert_eq!(l.len(), 4);
+    }
+
+    #[test]
+    fn uneven_batch_splits_without_dropping_samples() {
+        // 7 samples over 3 replicas: the first 7 % 3 = 1 replica gets an
+        // extra sample.
+        let g = batch(7);
+        let parts: Vec<Batch> = (0..3).map(|r| local_batch(&g, r, 3)).collect();
+        let sizes: Vec<usize> = parts.iter().map(|p| p.len()).collect();
+        assert_eq!(sizes, vec![3, 2, 2], "remainder goes to the first replicas");
+        // Every sample appears exactly once across all replicas.
+        let mut seen: Vec<f32> = parts
+            .iter()
+            .flat_map(|p| p.inputs.iter().map(|t| t[0].get(0, 0)))
+            .collect();
+        seen.sort_by(f32::total_cmp);
+        let expected: Vec<f32> = (0..7).map(|s| s as f32).collect();
+        assert_eq!(seen, expected, "no sample dropped or duplicated");
+    }
+
+    #[test]
+    fn engine_spec_names_are_stable() {
+        assert_eq!(EngineSpec::Ddp.name(), "ddp");
+        assert_eq!(
+            EngineSpec::HybridStop(ParallelLayout::new(2, 2, 1)).name(),
+            "hybrid_stop"
+        );
     }
 }

@@ -19,11 +19,12 @@ use orbit_frontier::TrainOptions;
 use orbit_tensor::kernels::{AdamState, AdamW};
 use orbit_tensor::Tensor;
 use orbit_vit::block::BlockCache;
-use orbit_vit::loss::{lat_weights, weighted_mse, weighted_mse_grad};
+use orbit_vit::loss::{weighted_mse, weighted_mse_grad};
 use orbit_vit::model::FrontCache;
 use orbit_vit::{Batch, VitConfig, VitModel};
 
-use super::sustained_flops;
+use super::trainer::Trainer;
+use super::Engine;
 
 /// One pipeline stage (rank `stage` of `n_stages`).
 pub struct PipelineEngine {
@@ -37,9 +38,7 @@ pub struct PipelineEngine {
     hi: usize,
     group: ProcessGroup,
     state: AdamState,
-    opt: AdamW,
-    opts: TrainOptions,
-    lat_w: Vec<f32>,
+    trainer: Trainer,
     _persistent: Allocation,
 }
 
@@ -87,9 +86,7 @@ impl PipelineEngine {
             hi,
             group: ctx.world_group(),
             state,
-            opt,
-            opts,
-            lat_w: lat_weights(cfg.dims.img_h),
+            trainer: Trainer::new(&cfg, opt, opts),
             _persistent: persistent,
         })
     }
@@ -101,12 +98,14 @@ impl PipelineEngine {
     fn is_last(&self) -> bool {
         self.stage == self.n_stages - 1
     }
+}
 
+impl Engine for PipelineEngine {
     /// One GPipe step: all microbatch forwards, then all backwards, then a
     /// local optimizer step on the owned parameters. Every rank receives
     /// the whole batch; only stage 0 reads the inputs, only the last stage
     /// reads the targets. Returns the global loss on every rank.
-    pub fn train_step(
+    fn train_step(
         &mut self,
         ctx: &mut RankCtx,
         batch: &Batch,
@@ -151,8 +150,10 @@ impl PipelineEngine {
             block_caches.push(caches);
             if self.is_last() {
                 let preds = self.model.head_forward(&x);
-                local_loss += weighted_mse(&preds, &batch.targets[s], &self.lat_w) * scale;
-                let mut dp = weighted_mse_grad(&preds, &batch.targets[s], &self.lat_w);
+                local_loss += weighted_mse(&preds, &batch.targets[s], &self.trainer.lat_w) * scale;
+                // No loss-scaling here: the pipeline baseline runs the
+                // optimizer in full precision.
+                let mut dp = weighted_mse_grad(&preds, &batch.targets[s], &self.trainer.lat_w);
                 for g in &mut dp {
                     g.scale(scale);
                 }
@@ -185,10 +186,8 @@ impl PipelineEngine {
 
         // Compute charge: this stage's share of the FLOPs.
         let share = (self.hi - self.lo) as f64 / dims.layers as f64;
-        ctx.clock.charge_compute(
-            b as f64 * dims.train_flops() as f64 * share,
-            sustained_flops(ctx.machine(), self.opts.mixed_precision),
-        );
+        self.trainer
+            .charge_compute(ctx, b, dims.train_flops() as f64 * share);
 
         // ---- Local optimizer step on owned parameters only ----
         // (Grads of parameters owned by other stages are zero here; apply
@@ -197,7 +196,7 @@ impl PipelineEngine {
         let hi = self.hi;
         let stage_first = self.is_first();
         let stage_last = self.is_last();
-        let opt = self.opt;
+        let opt = self.trainer.opt;
         let state = &mut self.state;
         let mut offset = 0usize;
         let mut grad_sq = 0.0f64;
@@ -228,25 +227,28 @@ impl PipelineEngine {
                 state.m[offset..offset + n].copy_from_slice(&sub.m);
                 state.v[offset..offset + n].copy_from_slice(&sub.v);
                 p.value.data_mut().copy_from_slice(&vals);
-                grad_sq += p.grad.data().iter().map(|&g| (g as f64) * (g as f64)).sum::<f64>();
+                grad_sq += p
+                    .grad
+                    .data()
+                    .iter()
+                    .map(|&g| (g as f64) * (g as f64))
+                    .sum::<f64>();
             }
             offset += n;
         });
         self.state.step += 1;
 
         // Share the loss: broadcast from the last stage.
-        let loss_v = self.group.broadcast(
-            &mut ctx.clock,
-            &[local_loss],
-            self.n_stages - 1,
-        );
-        Ok(StepStats {
-            loss: loss_v[0],
-            grad_norm: (grad_sq.sqrt()) as f32,
-            sim_time: ctx.clock.now() - t0,
-            peak_mem: ctx.device.peak(),
-            applied: true,
-        })
+        let loss_v = self
+            .group
+            .broadcast(&mut ctx.clock, &[local_loss], self.n_stages - 1);
+        Ok(self
+            .trainer
+            .finish_step(ctx, t0, loss_v[0], grad_sq.sqrt() as f32, true))
+    }
+
+    fn name(&self) -> &str {
+        "pipeline"
     }
 }
 
@@ -255,6 +257,7 @@ mod tests {
     use super::*;
     use orbit_comm::Cluster;
     use orbit_tensor::init::Rng;
+    use orbit_vit::loss::lat_weights;
 
     fn make_batch(cfg: &VitConfig, n: usize) -> Batch {
         let mut rng = Rng::seed(31);
@@ -289,8 +292,7 @@ mod tests {
             .collect();
         for stages in [1usize, 2] {
             let results = Cluster::frontier().run(stages, |ctx| {
-                let mut e =
-                    PipelineEngine::new(ctx, cfg, opt, TrainOptions::none(), 42).unwrap();
+                let mut e = PipelineEngine::new(ctx, cfg, opt, TrainOptions::none(), 42).unwrap();
                 (0..3)
                     .map(|_| e.train_step(ctx, &batch).unwrap().loss)
                     .collect::<Vec<_>>()
@@ -319,13 +321,13 @@ mod tests {
     fn stage_memory_smaller_than_whole_model() {
         let cfg = VitConfig::test_tiny();
         let whole = Cluster::frontier().run(1, |ctx| {
-            let _e = PipelineEngine::new(ctx, cfg, AdamW::default(), TrainOptions::none(), 1)
-                .unwrap();
+            let _e =
+                PipelineEngine::new(ctx, cfg, AdamW::default(), TrainOptions::none(), 1).unwrap();
             ctx.device.in_use()
         })[0];
         let staged = Cluster::frontier().run(2, |ctx| {
-            let _e = PipelineEngine::new(ctx, cfg, AdamW::default(), TrainOptions::none(), 1)
-                .unwrap();
+            let _e =
+                PipelineEngine::new(ctx, cfg, AdamW::default(), TrainOptions::none(), 1).unwrap();
             ctx.device.in_use()
         });
         for s in staged {

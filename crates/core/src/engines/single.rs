@@ -1,15 +1,14 @@
 //! Single-device reference engine with simulated accounting.
 
-use crate::scaler::GradScaler;
 use crate::stats::StepStats;
 use orbit_comm::{Allocation, RankCtx};
 use orbit_frontier::TrainOptions;
 use orbit_tensor::kernels::{AdamState, AdamW};
-use orbit_tensor::Precision;
-use orbit_vit::loss::{lat_weights, weighted_mse, weighted_mse_grad};
+use orbit_vit::loss::weighted_mse;
 use orbit_vit::{Batch, VitConfig, VitModel};
 
-use super::sustained_flops;
+use super::trainer::{configure_precision, Trainer};
+use super::Engine;
 
 /// The single-device baseline: all parameters, gradients and optimizer
 /// state on one GPU. Also the reference implementation every distributed
@@ -17,10 +16,7 @@ use super::sustained_flops;
 pub struct SingleDeviceEngine {
     pub model: VitModel,
     state: AdamState,
-    opt: AdamW,
-    opts: TrainOptions,
-    lat_w: Vec<f32>,
-    scaler: GradScaler,
+    trainer: Trainer,
     _persistent: Allocation,
 }
 
@@ -34,91 +30,16 @@ impl SingleDeviceEngine {
         opts: TrainOptions,
         seed: u64,
     ) -> Result<Self, orbit_comm::OomError> {
-        if opts.mixed_precision {
-            cfg.precision = Precision::BF16Mixed;
-        }
+        configure_precision(&mut cfg, &opts);
         let mut model = VitModel::init(cfg, seed);
         let n = model.param_count() as u64;
         let persistent = ctx.device.alloc(16 * n)?;
         let state = model.init_adam_state();
         Ok(SingleDeviceEngine {
-            lat_w: lat_weights(cfg.dims.img_h),
+            trainer: Trainer::new(&cfg, opt, opts),
             model,
             state,
-            opt,
-            opts,
-            scaler: GradScaler::default(),
             _persistent: persistent,
-        })
-    }
-
-    /// One training step over `batch` (which is the whole global batch for
-    /// this engine). Charges simulated compute time and activation memory.
-    pub fn train_step(&mut self, ctx: &mut RankCtx, batch: &Batch) -> Result<StepStats, orbit_comm::OomError> {
-        assert!(!batch.is_empty());
-        let dims = self.model.cfg.dims;
-        // Simulated activation memory for the step.
-        let act_floats = if self.opts.activation_checkpointing {
-            dims.tokens() * dims.embed * (dims.layers + 2)
-        } else {
-            dims.tokens() * dims.embed * (8 * dims.layers + dims.channels)
-        };
-        let _act = ctx.device.alloc((batch.len() * act_floats) as u64 * 4)?;
-
-        self.model.zero_grads();
-        let scale = 1.0 / batch.len() as f32;
-        let loss_scale = if self.opts.mixed_precision {
-            self.scaler.scale()
-        } else {
-            1.0
-        };
-        let mut loss = 0.0;
-        for (images, targets) in batch.inputs.iter().zip(&batch.targets) {
-            if self.opts.activation_checkpointing {
-                let (preds, boundaries) = self.model.forward_ckpt(images);
-                loss += weighted_mse(&preds, targets, &self.lat_w) * scale;
-                let mut d = weighted_mse_grad(&preds, targets, &self.lat_w);
-                for g in &mut d {
-                    g.scale(scale * loss_scale);
-                }
-                self.model.backward_ckpt(images, &boundaries, &d);
-            } else {
-                let fwd = self.model.forward(images);
-                loss += weighted_mse(&fwd.preds, targets, &self.lat_w) * scale;
-                let mut d = weighted_mse_grad(&fwd.preds, targets, &self.lat_w);
-                for g in &mut d {
-                    g.scale(scale * loss_scale);
-                }
-                self.model.backward(&fwd, &d);
-            }
-        }
-        // Charge compute: fwd + bwd (+ recompute under checkpointing).
-        let per_obs = dims.train_flops() as f64
-            * if self.opts.activation_checkpointing { 4.0 / 3.0 } else { 1.0 };
-        let t0 = ctx.clock.now();
-        ctx.clock.charge_compute(
-            batch.len() as f64 * per_obs,
-            sustained_flops(ctx.machine(), self.opts.mixed_precision),
-        );
-
-        let mut applied = true;
-        if self.opts.mixed_precision {
-            let mut grads = self.model.flatten_grads();
-            applied = self.scaler.unscale_and_check(&mut grads);
-            if applied {
-                self.model.load_flat_grads(&grads);
-            }
-        }
-        let grad_norm = norm(&self.model.flatten_grads());
-        if applied {
-            self.model.adam_step(&self.opt, &mut self.state);
-        }
-        Ok(StepStats {
-            loss,
-            grad_norm,
-            sim_time: ctx.clock.now() - t0,
-            peak_mem: ctx.device.peak(),
-            applied,
         })
     }
 
@@ -127,14 +48,44 @@ impl SingleDeviceEngine {
         let mut loss = 0.0;
         for (images, targets) in batch.inputs.iter().zip(&batch.targets) {
             let preds = self.model.predict(images);
-            loss += weighted_mse(&preds, targets, &self.lat_w) / batch.len() as f32;
+            loss += weighted_mse(&preds, targets, &self.trainer.lat_w) / batch.len() as f32;
         }
         loss
     }
 }
 
-pub(crate) fn norm(v: &[f32]) -> f32 {
-    v.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>().sqrt() as f32
+impl Engine for SingleDeviceEngine {
+    /// One training step over `batch` (which is the whole global batch for
+    /// this engine). Charges simulated compute time and activation memory.
+    fn train_step(
+        &mut self,
+        ctx: &mut RankCtx,
+        batch: &Batch,
+    ) -> Result<StepStats, orbit_comm::OomError> {
+        assert!(!batch.is_empty());
+        let dims = self.model.cfg.dims;
+        let _act = self.trainer.alloc_activations(ctx, &dims, batch.len())?;
+
+        let loss = self
+            .trainer
+            .microbatch_pass(&mut self.model, batch, batch.len());
+        let t0 = ctx.clock.now();
+        self.trainer
+            .charge_compute(ctx, batch.len(), self.trainer.dense_flops_per_obs(&dims));
+
+        let mut grads = self.model.flatten_grads();
+        let applied = self.trainer.unscale_local(&mut grads);
+        let grad_norm = self.trainer.clip_and_norm(&mut grads);
+        if applied {
+            self.model.load_flat_grads(&grads);
+            self.model.adam_step(&self.trainer.opt, &mut self.state);
+        }
+        Ok(self.trainer.finish_step(ctx, t0, loss, grad_norm, applied))
+    }
+
+    fn name(&self) -> &str {
+        "single_device"
+    }
 }
 
 #[cfg(test)]
@@ -143,6 +94,7 @@ mod tests {
     use orbit_comm::Cluster;
     use orbit_tensor::init::Rng;
     use orbit_tensor::Tensor;
+    use orbit_vit::loss::lat_weights;
 
     fn make_batch(cfg: &VitConfig, n: usize, seed: u64) -> Batch {
         let mut rng = Rng::seed(seed);
@@ -190,15 +142,19 @@ mod tests {
                     activation_checkpointing: ckpt,
                     ..TrainOptions::none()
                 };
-                let mut e =
-                    SingleDeviceEngine::new(ctx, cfg, AdamW::default(), opts, 42).unwrap();
+                let mut e = SingleDeviceEngine::new(ctx, cfg, AdamW::default(), opts, 42).unwrap();
                 e.train_step(ctx, &batch).unwrap()
             })[0]
         };
         let with = run(true);
         let without = run(false);
         assert!((with.loss - without.loss).abs() < 1e-5);
-        assert!(with.peak_mem < without.peak_mem, "{} !< {}", with.peak_mem, without.peak_mem);
+        assert!(
+            with.peak_mem < without.peak_mem,
+            "{} !< {}",
+            with.peak_mem,
+            without.peak_mem
+        );
         assert!(with.sim_time > without.sim_time, "recompute costs time");
     }
 
@@ -228,13 +184,11 @@ mod tests {
     #[test]
     fn oom_is_reported_not_panicked() {
         let cfg = VitConfig::test_tiny();
-        let result = Cluster::frontier()
-            .with_device_capacity(100)
-            .run(1, |ctx| {
-                SingleDeviceEngine::new(ctx, cfg, AdamW::default(), TrainOptions::none(), 1)
-                    .err()
-                    .map(|e| e.capacity)
-            });
+        let result = Cluster::frontier().with_device_capacity(100).run(1, |ctx| {
+            SingleDeviceEngine::new(ctx, cfg, AdamW::default(), TrainOptions::none(), 1)
+                .err()
+                .map(|e| e.capacity)
+        });
         assert_eq!(result[0], Some(100));
         let _ = Tensor::zeros(1, 1);
     }

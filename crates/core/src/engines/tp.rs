@@ -6,31 +6,33 @@
 //! All ranks process the *same* data (one model replica). Scalability is
 //! capped by the attention head count — the limitation Hybrid-STOP removes.
 
-use crate::scaler::GradScaler;
 use crate::stats::StepStats;
 use crate::tp_block::TpBlock;
 use orbit_comm::{Allocation, ProcessGroup, RankCtx};
 use orbit_frontier::TrainOptions;
 use orbit_tensor::kernels::{AdamState, AdamW};
-use orbit_tensor::Precision;
 use orbit_vit::block::Param;
-use orbit_vit::loss::{lat_weights, weighted_mse, weighted_mse_grad};
+use orbit_vit::loss::weighted_mse;
 use orbit_vit::{Batch, VitConfig, VitModel};
 
-use super::single::norm;
-use super::sustained_flops;
+use super::trainer::{configure_precision, Trainer};
+use super::Engine;
 
 /// Flatten a TpBlock's parameter values in visit order.
 pub(crate) fn tp_flatten(block: &mut TpBlock) -> Vec<f32> {
     let mut out = Vec::new();
-    block.visit_params("", &mut |_, p: &mut Param| out.extend_from_slice(p.value.data()));
+    block.visit_params("", &mut |_, p: &mut Param| {
+        out.extend_from_slice(p.value.data())
+    });
     out
 }
 
 /// Flatten a TpBlock's gradients in visit order.
 pub(crate) fn tp_flatten_grads(block: &mut TpBlock) -> Vec<f32> {
     let mut out = Vec::new();
-    block.visit_params("", &mut |_, p: &mut Param| out.extend_from_slice(p.grad.data()));
+    block.visit_params("", &mut |_, p: &mut Param| {
+        out.extend_from_slice(p.grad.data())
+    });
     out
 }
 
@@ -83,10 +85,7 @@ pub struct TensorParallelEngine {
     pub blocks: Vec<TpBlock>,
     tp_group: ProcessGroup,
     state: AdamState,
-    opt: AdamW,
-    opts: TrainOptions,
-    lat_w: Vec<f32>,
-    scaler: GradScaler,
+    trainer: Trainer,
     tp: usize,
     _persistent: Allocation,
 }
@@ -101,9 +100,7 @@ impl TensorParallelEngine {
         opts: TrainOptions,
         seed: u64,
     ) -> Result<Self, orbit_comm::OomError> {
-        if opts.mixed_precision {
-            cfg.precision = Precision::BF16Mixed;
-        }
+        configure_precision(&mut cfg, &opts);
         let tp = ctx.world;
         let reference = VitModel::init(cfg, seed);
         let blocks: Vec<TpBlock> = reference
@@ -126,13 +123,10 @@ impl TensorParallelEngine {
         }
         Ok(TensorParallelEngine {
             tp_group,
-            lat_w: lat_weights(cfg.dims.img_h),
+            trainer: Trainer::new(&cfg, opt, opts),
             front,
             blocks,
             state,
-            opt,
-            opts,
-            scaler: GradScaler::default(),
             tp,
             _persistent: persistent,
         })
@@ -166,9 +160,11 @@ impl TensorParallelEngine {
             off += len;
         }
     }
+}
 
+impl Engine for TensorParallelEngine {
     /// One training step; every rank receives the same (whole) batch.
-    pub fn train_step(
+    fn train_step(
         &mut self,
         ctx: &mut RankCtx,
         batch: &Batch,
@@ -177,7 +173,8 @@ impl TensorParallelEngine {
         let dims = self.front.cfg.dims;
         let t0 = ctx.clock.now();
         // Activations: wide intermediates sharded /tp, residual replicated.
-        let act_floats = dims.tokens() * dims.embed
+        let act_floats = dims.tokens()
+            * dims.embed
             * (6 * dims.layers / self.tp + 2 * dims.layers + dims.channels);
         let _act = ctx.device.alloc((batch.len() * act_floats) as u64 * 4)?;
 
@@ -186,11 +183,6 @@ impl TensorParallelEngine {
             b.zero_grads();
         }
         let scale = 1.0 / batch.len() as f32;
-        let loss_scale = if self.opts.mixed_precision {
-            self.scaler.scale()
-        } else {
-            1.0
-        };
         let mut loss = 0.0f32;
         for (images, targets) in batch.inputs.iter().zip(&batch.targets) {
             let (x0, front_cache) = self.front.front_forward(images);
@@ -202,11 +194,8 @@ impl TensorParallelEngine {
                 x = y;
             }
             let preds = self.front.head_forward(&x);
-            loss += weighted_mse(&preds, targets, &self.lat_w) * scale;
-            let mut d = weighted_mse_grad(&preds, targets, &self.lat_w);
-            for g in &mut d {
-                g.scale(scale * loss_scale);
-            }
+            loss += weighted_mse(&preds, targets, &self.trainer.lat_w) * scale;
+            let d = self.trainer.loss_grad(&preds, targets, scale);
             let mut dy = self.front.head_backward(&x, &d);
             for (b, c) in self.blocks.iter_mut().zip(caches.iter()).rev() {
                 dy = b.backward(c, &dy, &mut self.tp_group, &mut ctx.clock);
@@ -220,38 +209,22 @@ impl TensorParallelEngine {
         // Compute: this rank executed ~1/tp of the block FLOPs plus the
         // replicated front-end.
         let per_obs = dims.train_flops() as f64 / self.tp as f64;
-        ctx.clock.charge_compute(
-            batch.len() as f64 * per_obs,
-            sustained_flops(ctx.machine(), self.opts.mixed_precision),
-        );
+        self.trainer.charge_compute(ctx, batch.len(), per_obs);
 
         let (mut params, mut grads) = self.flatten_all();
-        let mut applied = true;
-        if self.opts.mixed_precision {
-            let inv = 1.0 / self.scaler.scale();
-            let mut nonfinite = 0.0f32;
-            for g in grads.iter_mut() {
-                *g *= inv;
-                if !g.is_finite() {
-                    nonfinite = 1.0;
-                }
-            }
-            let total = self.tp_group.all_reduce_scalar(&mut ctx.clock, nonfinite);
-            applied = total == 0.0;
-            self.scaler.update(applied);
-        }
-        let grad_norm = norm(&grads);
+        let applied =
+            self.trainer
+                .unscale_synced(&mut ctx.clock, &mut self.tp_group, &mut [&mut grads]);
+        let grad_norm = self.trainer.clip_and_norm(&mut grads);
         if applied {
-            self.opt.step(&mut self.state, &mut params, &grads);
+            self.trainer.opt.step(&mut self.state, &mut params, &grads);
             self.load_all(&params);
         }
-        Ok(StepStats {
-            loss,
-            grad_norm,
-            sim_time: ctx.clock.now() - t0,
-            peak_mem: ctx.device.peak(),
-            applied,
-        })
+        Ok(self.trainer.finish_step(ctx, t0, loss, grad_norm, applied))
+    }
+
+    fn name(&self) -> &str {
+        "tensor_parallel"
     }
 }
 
@@ -260,6 +233,7 @@ mod tests {
     use super::*;
     use orbit_comm::Cluster;
     use orbit_tensor::init::Rng;
+    use orbit_vit::loss::lat_weights;
 
     fn make_batch(cfg: &VitConfig, n: usize, seed: u64) -> Batch {
         let mut rng = Rng::seed(seed);

@@ -25,10 +25,15 @@
 //! single-device reference model in `orbit-vit`: that is the correctness
 //! claim of the paper, reproduced exactly.
 //!
-//! Engines: [`engines::SingleDeviceEngine`], [`engines::DdpEngine`],
+//! Every engine implements the object-safe [`engines::Engine`] trait and
+//! delegates its shared step machinery to an [`engines::Trainer`]; generic
+//! callers construct a `Box<dyn Engine>` via [`engines::build_engine`] with
+//! an [`engines::EngineSpec`]. Concrete engines:
+//! [`engines::SingleDeviceEngine`], [`engines::DdpEngine`],
 //! [`engines::FsdpEngine`] (vanilla, full-model gather — the Fig. 2 peak
 //! memory pathology), [`engines::TensorParallelEngine`] (Megatron-style,
-//! head-limited), [`engines::HybridStopEngine`].
+//! head-limited), [`engines::PipelineEngine`] (GPipe-style),
+//! [`engines::HybridStopEngine`].
 
 pub mod engines;
 pub mod scaler;
@@ -37,8 +42,8 @@ pub mod stats;
 pub mod tp_block;
 
 pub use engines::{
-    DdpEngine, FsdpEngine, HybridStopEngine, PipelineEngine, SingleDeviceEngine,
-    TensorParallelEngine,
+    build_engine, DdpEngine, Engine, EngineSpec, FsdpEngine, HybridStopEngine, PipelineEngine,
+    SingleDeviceEngine, TensorParallelEngine, Trainer,
 };
 pub use scaler::GradScaler;
 pub use stats::StepStats;

@@ -137,7 +137,11 @@ mod tests {
         s.update(true);
         s.update(false); // resets clean streak, scale 4
         s.update(true);
-        assert_eq!(s.scale(), 4.0, "one clean step after backoff is not enough to grow");
+        assert_eq!(
+            s.scale(),
+            4.0,
+            "one clean step after backoff is not enough to grow"
+        );
         s.update(true);
         assert_eq!(s.scale(), 8.0, "second clean step grows");
     }

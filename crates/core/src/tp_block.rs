@@ -93,9 +93,10 @@ impl TpBlock {
             b1: shard_p_cols(&full.b1),
             w2: shard_p_rows(&full.w2),
             b2: repl(&full.b2),
-            qk: full.qk.as_ref().map(|qk| {
-                [repl(&qk[0]), repl(&qk[1]), repl(&qk[2]), repl(&qk[3])]
-            }),
+            qk: full
+                .qk
+                .as_ref()
+                .map(|qk| [repl(&qk[0]), repl(&qk[1]), repl(&qk[2]), repl(&qk[3])]),
             heads_local: full.heads / tp,
             tp,
             precision: full.precision,
@@ -130,11 +131,7 @@ impl TpBlock {
         // Row-sharded output projection -> partial sum -> all-reduce
         // (Eqn. (2): sum_k x A_{*,k} B_{k,*}).
         let o_part = linear(&a_loc, &self.wo.value, None, p);
-        let o_sum = Tensor::from_vec(
-            tokens,
-            d,
-            tp_group.all_reduce(clock, o_part.data()),
-        );
+        let o_sum = Tensor::from_vec(tokens, d, tp_group.all_reduce(clock, o_part.data()));
         let mut attn_out = o_sum;
         for r in 0..tokens {
             for (vv, &b) in attn_out.row_mut(r).iter_mut().zip(self.bo.value.row(0)) {
@@ -323,7 +320,10 @@ mod tests {
                 (y, dx, block.w1.grad.clone(), block.w2.grad.clone())
             });
             for (rank, (y, dx, dw1, dw2)) in results.iter().enumerate() {
-                assert!(y.allclose(&y_ref, 1e-4, 1e-5), "tp={tp} rank={rank} forward");
+                assert!(
+                    y.allclose(&y_ref, 1e-4, 1e-5),
+                    "tp={tp} rank={rank} forward"
+                );
                 assert!(dx.allclose(&dx_ref, 1e-4, 1e-5), "tp={tp} rank={rank} dx");
                 // Shard grads equal the corresponding slices of the
                 // reference grads.
@@ -366,7 +366,9 @@ mod tests {
         let mut reference = TransformerBlock::init(&cfg, &mut rng);
         let mut tp = TpBlock::from_reference(&reference, 2, 0);
         let mut ref_names = Vec::new();
-        reference.visit_params("b", &mut |n: &str, _: &mut Param| ref_names.push(n.to_string()));
+        reference.visit_params("b", &mut |n: &str, _: &mut Param| {
+            ref_names.push(n.to_string())
+        });
         let mut tp_names = Vec::new();
         tp.visit_params("b", &mut |n, _| tp_names.push(n.to_string()));
         assert_eq!(ref_names, tp_names);

@@ -106,13 +106,20 @@ impl VariableCatalog {
     /// executable experiments: includes all four output variables.
     pub fn laptop_8() -> Self {
         let full = VariableCatalog::orbit_91();
-        let names = ["orography", "land_sea_mask", "t2m", "u10", "v10", "z_500", "t_850", "q_700"];
+        let names = [
+            "orography",
+            "land_sea_mask",
+            "t2m",
+            "u10",
+            "v10",
+            "z_500",
+            "t_850",
+            "q_700",
+        ];
         VariableCatalog {
             vars: names
                 .iter()
-                .map(|n| {
-                    full.vars[full.index_of(n).expect("known variable")].clone()
-                })
+                .map(|n| full.vars[full.index_of(n).expect("known variable")].clone())
                 .collect(),
         }
     }
@@ -162,8 +169,16 @@ mod tests {
     fn orbit_catalog_has_91_vars() {
         let c = VariableCatalog::orbit_91();
         assert_eq!(c.len(), 91);
-        let statics = c.variables().iter().filter(|v| v.kind == VarKind::Static).count();
-        let surface = c.variables().iter().filter(|v| v.kind == VarKind::Surface).count();
+        let statics = c
+            .variables()
+            .iter()
+            .filter(|v| v.kind == VarKind::Static)
+            .count();
+        let surface = c
+            .variables()
+            .iter()
+            .filter(|v| v.kind == VarKind::Surface)
+            .count();
         assert_eq!(statics, 3);
         assert_eq!(surface, 3);
         assert_eq!(91 - statics - surface, 85, "85 atmospheric variables");

@@ -69,7 +69,12 @@ struct Wave {
 
 impl ClimateGenerator {
     pub fn new(h: usize, w: usize, catalog: VariableCatalog, seed: u64) -> Self {
-        ClimateGenerator { h, w, catalog, seed }
+        ClimateGenerator {
+            h,
+            w,
+            catalog,
+            seed,
+        }
     }
 
     pub fn catalog(&self) -> &VariableCatalog {
@@ -94,9 +99,7 @@ impl ClimateGenerator {
                 1.2 * lat.cos() - 0.4
             }
             // Zonal wind: mid-latitude jets of opposite sign.
-            _ if self.catalog.variables()[var].name.starts_with('u') => {
-                (2.0 * lat).sin() * 0.9
-            }
+            _ if self.catalog.variables()[var].name.starts_with('u') => (2.0 * lat).sin() * 0.9,
             // Geopotential: monotone pole-to-pole gradient.
             _ if self.catalog.variables()[var].name.starts_with('z') => lat.sin() * 0.8,
             _ => 0.5 * lat.cos(),
@@ -133,8 +136,8 @@ impl ClimateGenerator {
         let n = if predictable { N_WAVES } else { N_NOISE };
         (0..n)
             .map(|j| {
-                let key = self.seed
-                    ^ mix((var as u64) << 20 | (j as u64) << 2 | u64::from(!predictable));
+                let key =
+                    self.seed ^ mix((var as u64) << 20 | (j as u64) << 2 | u64::from(!predictable));
                 let kx = (1 + (mix(key ^ 1) % 5)) as f32;
                 let ky = (mix(key ^ 2) % 3) as f32;
                 if predictable {
@@ -170,7 +173,10 @@ impl ClimateGenerator {
         let (pred, noise) = if kind == VarKind::Static {
             (Vec::new(), Vec::new())
         } else {
-            (self.waves(source, var, true), self.waves(source, var, false))
+            (
+                self.waves(source, var, true),
+                self.waves(source, var, false),
+            )
         };
         let tf = t as f32;
         for y in 0..self.h {
@@ -179,7 +185,8 @@ impl ClimateGenerator {
                 let xs = x as f32 / self.w as f32;
                 let ys = y as f32 / self.h as f32;
                 for wv in pred.iter().chain(&noise) {
-                    v += wv.amp * (TAU * (wv.kx * xs + wv.ky * ys) - wv.omega * tf + wv.phase).cos();
+                    v +=
+                        wv.amp * (TAU * (wv.kx * xs + wv.ky * ys) - wv.omega * tf + wv.phase).cos();
                 }
                 // ERA5 carries observation noise (per-pixel, per-time).
                 if source == ERA5_SOURCE && kind != VarKind::Static {
@@ -220,7 +227,8 @@ impl ClimateGenerator {
                     // Phase error accumulates only over the forecast lead:
                     // the analysis at t is exact.
                     let omega_model = wv.omega * (1.0 + speed_error);
-                    let phase = TAU * (wv.kx * xs + wv.ky * ys) - wv.omega * t as f32
+                    let phase = TAU * (wv.kx * xs + wv.ky * ys)
+                        - wv.omega * t as f32
                         - omega_model * lead as f32
                         + wv.phase;
                     let _ = valid;
@@ -335,7 +343,10 @@ mod tests {
         let fc_56 = g.nwp_forecast(var, t, 56, 0.03);
         let e1 = fc_1.sub(&truth_1).norm();
         let e56 = fc_56.sub(&truth_56).norm();
-        assert!(e1 < e56, "1-step error {e1} should beat 56-step error {e56}");
+        assert!(
+            e1 < e56,
+            "1-step error {e1} should beat 56-step error {e56}"
+        );
     }
 
     #[test]

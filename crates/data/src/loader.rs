@@ -40,7 +40,11 @@ impl DataLoader {
         self
     }
 
-    fn sample_pair(&self, source: usize, t: usize) -> (Vec<orbit_tensor::Tensor>, Vec<orbit_tensor::Tensor>) {
+    fn sample_pair(
+        &self,
+        source: usize,
+        t: usize,
+    ) -> (Vec<orbit_tensor::Tensor>, Vec<orbit_tensor::Tensor>) {
         let inputs = self.generator.observation(source, t);
         let out_idx = self.generator.catalog().output_indices();
         let targets = out_idx
@@ -79,7 +83,9 @@ impl DataLoader {
         let mut batch = Batch::default();
         for _ in 0..n {
             let t = lo + rng.index(hi - lo);
-            batch.inputs.push(self.generator.observation(ERA5_SOURCE, t));
+            batch
+                .inputs
+                .push(self.generator.observation(ERA5_SOURCE, t));
             batch
                 .targets
                 .push(self.generator.observation(ERA5_SOURCE, t + self.lead_steps));
@@ -196,7 +202,9 @@ mod tests {
         let b = l.eval_batch(1);
         let out_idx = l.generator.catalog().output_indices();
         let t0 = l.test_year * STEPS_PER_YEAR;
-        let expect = l.generator.field(ERA5_SOURCE, out_idx[0], t0 + l.lead_steps);
+        let expect = l
+            .generator
+            .field(ERA5_SOURCE, out_idx[0], t0 + l.lead_steps);
         assert_eq!(b.targets[0][0], expect);
     }
 

@@ -20,8 +20,8 @@ pub fn wacc(pred: &Tensor, truth: &Tensor, climatology: &Tensor, weights: &[f32]
     let mut sum_w = 0.0f64;
     let mut mean_p = 0.0f64;
     let mut mean_t = 0.0f64;
-    for r in 0..h {
-        let wr = weights[r] as f64;
+    for (r, &wf) in weights.iter().enumerate() {
+        let wr = wf as f64;
         for c in 0..w {
             let pa = (pred.get(r, c) - climatology.get(r, c)) as f64;
             let ta = (truth.get(r, c) - climatology.get(r, c)) as f64;
@@ -35,8 +35,8 @@ pub fn wacc(pred: &Tensor, truth: &Tensor, climatology: &Tensor, weights: &[f32]
     let mut cov = 0.0f64;
     let mut var_p = 0.0f64;
     let mut var_t = 0.0f64;
-    for r in 0..h {
-        let wr = weights[r] as f64;
+    for (r, &wf) in weights.iter().enumerate() {
+        let wr = wf as f64;
         for c in 0..w {
             let pa = (pred.get(r, c) - climatology.get(r, c)) as f64 - mean_p;
             let ta = (truth.get(r, c) - climatology.get(r, c)) as f64 - mean_t;
@@ -58,8 +58,8 @@ pub fn wrmse(pred: &Tensor, truth: &Tensor, weights: &[f32]) -> f32 {
     assert_eq!(weights.len(), h);
     let mut total = 0.0f64;
     let mut sum_w = 0.0f64;
-    for r in 0..h {
-        let wr = weights[r] as f64;
+    for (r, &wf) in weights.iter().enumerate() {
+        let wr = wf as f64;
         for c in 0..w {
             let d = (pred.get(r, c) - truth.get(r, c)) as f64;
             total += wr * d * d;

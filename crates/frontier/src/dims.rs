@@ -144,7 +144,7 @@ impl ModelDims {
         let agg = 4 * c * t * d * d // K,V: 2 FLOPs * C*T rows * 2 d^2 mats
             + 4 * t * d * d // Q and O projections on T tokens
             + 4 * t * c * d; // scores + weighted value sum
-        // Transformer blocks: weights 2*block_params*T + attention 4*T^2*d.
+                             // Transformer blocks: weights 2*block_params*T + attention 4*T^2*d.
         let blocks = self.layers as u64 * (2 * self.block_params() * t + 4 * t * t * d);
         let head = 2 * t * self.head_params();
         tok + agg + blocks + head

@@ -161,7 +161,10 @@ mod tests {
         let t1 = m.all_reduce_time(8, 1 << 26, LinkKind::IntraNode);
         let t2 = m.all_reduce_time(8, 1 << 30, LinkKind::IntraNode);
         // Large messages are bandwidth-bound, so 16x bytes ~ 16x time.
-        assert!(t2 > t1 * 12.0, "16x bytes should be ~16x time: {t1} vs {t2}");
+        assert!(
+            t2 > t1 * 12.0,
+            "16x bytes should be ~16x time: {t1} vs {t2}"
+        );
     }
 
     #[test]
@@ -185,7 +188,10 @@ mod tests {
         let ag = m.all_gather_time(p, bytes / p as u64, LinkKind::InterNode);
         assert!(ar <= rs + ag + 1e-9, "{ar} vs {}", rs + ag);
         let wire = 2.0 * (p - 1) as f64 / p as f64 * bytes as f64;
-        assert!(ar >= wire / m.bandwidth(LinkKind::InterNode), "bandwidth bound");
+        assert!(
+            ar >= wire / m.bandwidth(LinkKind::InterNode),
+            "bandwidth bound"
+        );
     }
 
     #[test]

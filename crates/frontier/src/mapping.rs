@@ -176,9 +176,7 @@ mod tests {
             let tp: Vec<_> = m.tp_group(r);
             let fsdp: Vec<_> = m.fsdp_group(r);
             let ddp: Vec<_> = m.ddp_group(r);
-            let inter = |a: &[usize], b: &[usize]| {
-                a.iter().filter(|x| b.contains(x)).count()
-            };
+            let inter = |a: &[usize], b: &[usize]| a.iter().filter(|x| b.contains(x)).count();
             assert_eq!(inter(&tp, &fsdp), 1);
             assert_eq!(inter(&tp, &ddp), 1);
             assert_eq!(inter(&fsdp, &ddp), 1);

@@ -326,7 +326,9 @@ impl PerfModel {
         if strategy == Strategy::TensorParallel && layout.tp > dims.heads {
             return false;
         }
-        self.memory(dims, layout, strategy, opts, local_batch).total() <= self.machine.usable_mem()
+        self.memory(dims, layout, strategy, opts, local_batch)
+            .total()
+            <= self.machine.usable_mem()
     }
 
     /// Sustained effective FLOP/s per GPU in the given precision, adjusted
@@ -424,37 +426,32 @@ impl PerfModel {
         // and 1 reduce-scatter, across the FSDP group. Because FSDP group
         // members sit on *different nodes* (Fig. 4 mapping), each member
         // enjoys the full node injection bandwidth.
-        let fsdp_comm_raw = if matches!(strategy, Strategy::Fsdp | Strategy::HybridStop)
-            && layout.fsdp > 1
-        {
-            let tp_div = if strategy == Strategy::HybridStop {
-                layout.tp as u64
+        let fsdp_comm_raw =
+            if matches!(strategy, Strategy::Fsdp | Strategy::HybridStop) && layout.fsdp > 1 {
+                let tp_div = if strategy == Strategy::HybridStop {
+                    layout.tp as u64
+                } else {
+                    1
+                };
+                let units: u64 = if opts.layer_wrapping {
+                    dims.layers as u64
+                } else {
+                    1
+                };
+                let unit_params = if opts.layer_wrapping { p / units } else { p };
+                // FSDP members are spaced `tp` ranks apart, so a node hosts
+                // `gpus_per_node / tp` members of the same FSDP group, which
+                // share its injection bandwidth (full bandwidth at tp = 8).
+                let crowding =
+                    (m.gpus_per_node as f64 / layout.tp.min(m.gpus_per_node) as f64).max(1.0);
+                let node_bw = m.inter_node_bw * m.gpus_per_node as f64 / crowding;
+                let shard_bytes = (unit_params / tp_div / layout.fsdp as u64) * cb;
+                let steps = (layout.fsdp - 1) as f64;
+                let ag = steps * (m.inter_node_latency + shard_bytes as f64 / node_bw);
+                units as f64 * 3.0 * ag
             } else {
-                1
+                0.0
             };
-            let units: u64 = if opts.layer_wrapping {
-                dims.layers as u64
-            } else {
-                1
-            };
-            let unit_params = if opts.layer_wrapping {
-                p / units
-            } else {
-                p
-            };
-            // FSDP members are spaced `tp` ranks apart, so a node hosts
-            // `gpus_per_node / tp` members of the same FSDP group, which
-            // share its injection bandwidth (full bandwidth at tp = 8).
-            let crowding =
-                (m.gpus_per_node as f64 / layout.tp.min(m.gpus_per_node) as f64).max(1.0);
-            let node_bw = m.inter_node_bw * m.gpus_per_node as f64 / crowding;
-            let shard_bytes = (unit_params / tp_div / layout.fsdp as u64) * cb;
-            let steps = (layout.fsdp - 1) as f64;
-            let ag = steps * (m.inter_node_latency + shard_bytes as f64 / node_bw);
-            units as f64 * 3.0 * ag
-        } else {
-            0.0
-        };
         let fsdp_comm = fsdp_comm_raw
             * if opts.prefetch {
                 self.calib.fsdp_exposure_prefetch
@@ -500,7 +497,8 @@ impl PerfModel {
             Strategy::HybridStop => layout.ddp,
             _ => 1,
         };
-        self.step_time(dims, layout, strategy, opts, local_batch).total()
+        self.step_time(dims, layout, strategy, opts, local_batch)
+            .total()
             * self.straggler_factor(layout.world())
             / (local_batch * replicas) as f64
     }
@@ -638,20 +636,26 @@ impl PerfModel {
                 }
             }
         }
-        best.unwrap_or((Self::family(0, channels), Self::family(0, channels).param_count()))
+        best.unwrap_or((
+            Self::family(0, channels),
+            Self::family(0, channels).param_count(),
+        ))
     }
 
     /// Canonical layout a strategy uses on `gpus` GPUs for the Fig. 5
     /// search: FSDP shards over everything, TP is capped by head count,
     /// Hybrid-STOP puts a node-sized TP group inside and FSDP across.
-    pub fn best_layout_for(&self, strategy: Strategy, gpus: usize, dims: &ModelDims) -> ParallelLayout {
+    pub fn best_layout_for(
+        &self,
+        strategy: Strategy,
+        gpus: usize,
+        dims: &ModelDims,
+    ) -> ParallelLayout {
         match strategy {
             Strategy::SingleDevice => ParallelLayout::new(1, 1, 1),
             Strategy::Ddp => ParallelLayout::new(1, 1, gpus),
             Strategy::Fsdp => ParallelLayout::new(1, gpus, 1),
-            Strategy::TensorParallel => {
-                ParallelLayout::new(gpus.min(dims.heads), 1, 1)
-            }
+            Strategy::TensorParallel => ParallelLayout::new(gpus.min(dims.heads), 1, 1),
             Strategy::HybridStop => {
                 let tp = gpus.min(self.machine.gpus_per_node);
                 ParallelLayout::new(tp, (gpus / tp).max(1), 1)
@@ -681,9 +685,26 @@ mod tests {
             layer_wrapping: false,
             ..opts
         };
-        let fsdp = m.memory(&dims, &ParallelLayout::new(1, 512, 1), Strategy::Fsdp, &opts_vanilla, 2);
-        let hs = m.memory(&dims, &ParallelLayout::new(8, 64, 1), Strategy::HybridStop, &opts, 2);
-        assert!(fsdp.gather > 50 * hs.gather, "{} vs {}", fsdp.gather, hs.gather);
+        let fsdp = m.memory(
+            &dims,
+            &ParallelLayout::new(1, 512, 1),
+            Strategy::Fsdp,
+            &opts_vanilla,
+            2,
+        );
+        let hs = m.memory(
+            &dims,
+            &ParallelLayout::new(8, 64, 1),
+            Strategy::HybridStop,
+            &opts,
+            2,
+        );
+        assert!(
+            fsdp.gather > 50 * hs.gather,
+            "{} vs {}",
+            fsdp.gather,
+            hs.gather
+        );
         assert!(fsdp.total() > hs.total());
     }
 
@@ -725,7 +746,13 @@ mod tests {
         let layout = ParallelLayout::new(8, 1, 1);
         let opts = TrainOptions::all_on();
         assert!(!m.fits(&dims, &layout, Strategy::TensorParallel, &opts, 2));
-        assert!(m.fits(&dims, &ParallelLayout::new(8, 1, 1), Strategy::HybridStop, &opts, 2));
+        assert!(m.fits(
+            &dims,
+            &ParallelLayout::new(8, 1, 1),
+            Strategy::HybridStop,
+            &opts,
+            2
+        ));
     }
 
     #[test]
@@ -734,9 +761,21 @@ mod tests {
         let m = model();
         let dims = ModelDims::orbit_113b(48);
         let layout = ParallelLayout::new(8, 64, 1);
-        assert!(!m.fits(&dims, &layout, Strategy::HybridStop, &TrainOptions::none(), 2));
+        assert!(!m.fits(
+            &dims,
+            &layout,
+            Strategy::HybridStop,
+            &TrainOptions::none(),
+            2
+        ));
         // With all optimizations it fits.
-        assert!(m.fits(&dims, &layout, Strategy::HybridStop, &TrainOptions::all_on(), 2));
+        assert!(m.fits(
+            &dims,
+            &layout,
+            Strategy::HybridStop,
+            &TrainOptions::all_on(),
+            2
+        ));
     }
 
     #[test]

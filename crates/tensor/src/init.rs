@@ -90,7 +90,9 @@ impl Rng {
     /// `rows x cols` tensor of N(0, std^2) samples.
     pub fn normal_tensor(&mut self, rows: usize, cols: usize, std: f32) -> Tensor {
         let dist = Normal::new(0.0, std);
-        let data = (0..rows * cols).map(|_| dist.sample(&mut self.inner)).collect();
+        let data = (0..rows * cols)
+            .map(|_| dist.sample(&mut self.inner))
+            .collect();
         Tensor::from_vec(rows, cols, data)
     }
 
@@ -112,7 +114,9 @@ impl Rng {
     /// Xavier/Glorot-uniform init for linear layers.
     pub fn xavier_tensor(&mut self, fan_in: usize, fan_out: usize) -> Tensor {
         let bound = (6.0 / (fan_in + fan_out) as f32).sqrt();
-        let data = (0..fan_in * fan_out).map(|_| self.uniform(-bound, bound)).collect();
+        let data = (0..fan_in * fan_out)
+            .map(|_| self.uniform(-bound, bound))
+            .collect();
         Tensor::from_vec(fan_in, fan_out, data)
     }
 }

@@ -12,8 +12,8 @@
 
 use crate::kernels::activation::{softmax_rows, softmax_rows_backward};
 use crate::kernels::norm::{layernorm, layernorm_backward, LayerNormCache};
-use crate::tensor::Tensor;
 use crate::matmul::{matmul, matmul_nt, matmul_tn};
+use crate::tensor::Tensor;
 
 /// Optional QK-normalization parameters (shared across heads; `1 x d_head`).
 #[derive(Debug, Clone)]
@@ -128,7 +128,11 @@ pub fn mha_forward(
 /// Backward of [`mha_forward`]. `qk_norm` must be the same parameters that
 /// were passed to the forward call.
 pub fn mha_backward(cache: &MhaCache, qk_norm: Option<&QkNorm>, dy: &Tensor) -> MhaGrads {
-    assert_eq!(cache.qk_norm, qk_norm.is_some(), "qk_norm presence mismatch");
+    assert_eq!(
+        cache.qk_norm,
+        qk_norm.is_some(),
+        "qk_norm presence mismatch"
+    );
     let d_head = cache.d_head;
     let heads = cache.heads.len();
     let scale = 1.0 / (d_head as f32).sqrt();
@@ -251,9 +255,21 @@ mod tests {
         let m = rng.normal_tensor(4, 6, 1.0);
         let (_, cache) = mha_forward(&q, &k, &v, 2, None);
         let g = mha_backward(&cache, None, &m);
-        assert_grad_close(&g.dq, &numerical_grad(&q, |q_| loss(q_, &k, &v, 2, None, &m), 1e-3), 3e-2);
-        assert_grad_close(&g.dk, &numerical_grad(&k, |k_| loss(&q, k_, &v, 2, None, &m), 1e-3), 3e-2);
-        assert_grad_close(&g.dv, &numerical_grad(&v, |v_| loss(&q, &k, v_, 2, None, &m), 1e-3), 3e-2);
+        assert_grad_close(
+            &g.dq,
+            &numerical_grad(&q, |q_| loss(q_, &k, &v, 2, None, &m), 1e-3),
+            3e-2,
+        );
+        assert_grad_close(
+            &g.dk,
+            &numerical_grad(&k, |k_| loss(&q, k_, &v, 2, None, &m), 1e-3),
+            3e-2,
+        );
+        assert_grad_close(
+            &g.dv,
+            &numerical_grad(&v, |v_| loss(&q, &k, v_, 2, None, &m), 1e-3),
+            3e-2,
+        );
         assert!(g.dqk_norm.is_none());
     }
 
@@ -270,21 +286,41 @@ mod tests {
         let (_, cache) = mha_forward(&q, &k, &v, 2, Some(&norm));
         let g = mha_backward(&cache, Some(&norm), &m);
         let n = Some(&norm);
-        assert_grad_close(&g.dq, &numerical_grad(&q, |q_| loss(q_, &k, &v, 2, n, &m), 1e-3), 4e-2);
-        assert_grad_close(&g.dk, &numerical_grad(&k, |k_| loss(&q, k_, &v, 2, n, &m), 1e-3), 4e-2);
-        assert_grad_close(&g.dv, &numerical_grad(&v, |v_| loss(&q, &k, v_, 2, n, &m), 1e-3), 4e-2);
+        assert_grad_close(
+            &g.dq,
+            &numerical_grad(&q, |q_| loss(q_, &k, &v, 2, n, &m), 1e-3),
+            4e-2,
+        );
+        assert_grad_close(
+            &g.dk,
+            &numerical_grad(&k, |k_| loss(&q, k_, &v, 2, n, &m), 1e-3),
+            4e-2,
+        );
+        assert_grad_close(
+            &g.dv,
+            &numerical_grad(&v, |v_| loss(&q, &k, v_, 2, n, &m), 1e-3),
+            4e-2,
+        );
         let (dgq, dbq, _dgk, _dbk) = g.dqk_norm.expect("norm grads present");
-        let ngq = numerical_grad(&norm.gamma_q, |g_| {
-            let mut n2 = norm.clone();
-            n2.gamma_q = g_.clone();
-            loss(&q, &k, &v, 2, Some(&n2), &m)
-        }, 1e-3);
+        let ngq = numerical_grad(
+            &norm.gamma_q,
+            |g_| {
+                let mut n2 = norm.clone();
+                n2.gamma_q = g_.clone();
+                loss(&q, &k, &v, 2, Some(&n2), &m)
+            },
+            1e-3,
+        );
         assert_grad_close(&dgq, &ngq, 4e-2);
-        let nbq = numerical_grad(&norm.beta_q, |b_| {
-            let mut n2 = norm.clone();
-            n2.beta_q = b_.clone();
-            loss(&q, &k, &v, 2, Some(&n2), &m)
-        }, 1e-3);
+        let nbq = numerical_grad(
+            &norm.beta_q,
+            |b_| {
+                let mut n2 = norm.clone();
+                n2.beta_q = b_.clone();
+                loss(&q, &k, &v, 2, Some(&n2), &m)
+            },
+            1e-3,
+        );
         assert_grad_close(&dbq, &nbq, 4e-2);
     }
 

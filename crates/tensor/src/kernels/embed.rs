@@ -13,7 +13,10 @@ use crate::tensor::Tensor;
 /// are row-major too.
 pub fn unfold_patches(img: &Tensor, p: usize) -> Tensor {
     let (h, w) = img.shape();
-    assert!(p > 0 && h % p == 0 && w % p == 0, "patch {p} must divide {h}x{w}");
+    assert!(
+        p > 0 && h % p == 0 && w % p == 0,
+        "patch {p} must divide {h}x{w}"
+    );
     let gh = h / p;
     let gw = w / p;
     let mut out = Tensor::zeros(gh * gw, p * p);
@@ -33,7 +36,7 @@ pub fn unfold_patches(img: &Tensor, p: usize) -> Tensor {
 /// into an `h x w` image. Used to reconstruct prediction images and to
 /// backpropagate patch gradients onto pixel gradients.
 pub fn fold_patches(patches: &Tensor, p: usize, h: usize, w: usize) -> Tensor {
-    assert!(h % p == 0 && w % p == 0);
+    assert!(h.is_multiple_of(p) && w.is_multiple_of(p));
     let gh = h / p;
     let gw = w / p;
     assert_eq!(patches.shape(), (gh * gw, p * p), "fold_patches shape");

@@ -38,7 +38,11 @@ pub fn linear(x: &Tensor, w: &Tensor, b: Option<&Tensor>, prec: Precision) -> Te
 /// Backward of [`linear`]: given upstream `dy`, return `dx = dy W^T`,
 /// `dw = x^T dy`, and `db = sum_rows(dy)` when `has_bias`.
 pub fn linear_backward(x: &Tensor, w: &Tensor, dy: &Tensor, has_bias: bool) -> LinearGrads {
-    assert_eq!(dy.shape(), (x.rows(), w.cols()), "linear_backward: dy shape");
+    assert_eq!(
+        dy.shape(),
+        (x.rows(), w.cols()),
+        "linear_backward: dy shape"
+    );
     let dx = matmul_nt(dy, w);
     let dw = matmul_tn(x, dy);
     let db = has_bias.then(|| {
@@ -122,8 +126,18 @@ mod tests {
         let x = rng.normal_tensor(4, 8, 1.0);
         let w = rng.normal_tensor(8, 5, 1.0);
         let full = linear(&x, &w, None, Precision::F32);
-        let p1 = linear(&x.slice_cols(0, 4), &w.slice_rows(0, 4), None, Precision::F32);
-        let p2 = linear(&x.slice_cols(4, 8), &w.slice_rows(4, 8), None, Precision::F32);
+        let p1 = linear(
+            &x.slice_cols(0, 4),
+            &w.slice_rows(0, 4),
+            None,
+            Precision::F32,
+        );
+        let p2 = linear(
+            &x.slice_cols(4, 8),
+            &w.slice_rows(4, 8),
+            None,
+            Precision::F32,
+        );
         assert!(p1.add(&p2).allclose(&full, 1e-5, 1e-6));
     }
 }

@@ -37,14 +37,14 @@ pub fn layernorm(x: &Tensor, gamma: &Tensor, beta: &Tensor) -> (Tensor, LayerNor
     let mut y = Tensor::zeros(rows, cols);
     let mut xhat = Tensor::zeros(rows, cols);
     let mut rstd = vec![0.0f32; rows];
-    for r in 0..rows {
+    for (r, slot) in rstd.iter_mut().enumerate() {
         let row = x.row(r);
         let mean = row.iter().sum::<f32>() / cols as f32;
         let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / cols as f32;
         let rs = 1.0 / (var + LN_EPS).sqrt();
-        rstd[r] = rs;
-        for c in 0..cols {
-            let xh = (row[c] - mean) * rs;
+        *slot = rs;
+        for (c, &xv) in row.iter().enumerate() {
+            let xh = (xv - mean) * rs;
             xhat.set(r, c, xh);
             y.set(r, c, gamma.get(0, c) * xh + beta.get(0, c));
         }
@@ -94,7 +94,12 @@ mod tests {
         let (y, _) = layernorm(&x, &gamma, &beta);
         for r in 0..4 {
             let mean: f32 = y.row(r).iter().sum::<f32>() / 64.0;
-            let var: f32 = y.row(r).iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 64.0;
+            let var: f32 = y
+                .row(r)
+                .iter()
+                .map(|v| (v - mean) * (v - mean))
+                .sum::<f32>()
+                / 64.0;
             assert!(mean.abs() < 1e-5, "row {r} mean {mean}");
             assert!((var - 1.0).abs() < 1e-3, "row {r} var {var}");
         }
@@ -118,14 +123,25 @@ mod tests {
         let gamma = rng.normal_tensor(1, 6, 0.5).add(&Tensor::full(1, 6, 1.0));
         let beta = rng.normal_tensor(1, 6, 0.5);
         let m = rng.normal_tensor(3, 6, 1.0);
-        let loss = |x_: &Tensor, g_: &Tensor, b_: &Tensor| {
-            layernorm(x_, g_, b_).0.hadamard(&m).sum()
-        };
+        let loss =
+            |x_: &Tensor, g_: &Tensor, b_: &Tensor| layernorm(x_, g_, b_).0.hadamard(&m).sum();
         let (_, cache) = layernorm(&x, &gamma, &beta);
         let g = layernorm_backward(&cache, &gamma, &m);
-        assert_grad_close(&g.dx, &numerical_grad(&x, |x_| loss(x_, &gamma, &beta), 1e-3), 3e-2);
-        assert_grad_close(&g.dgamma, &numerical_grad(&gamma, |g_| loss(&x, g_, &beta), 1e-3), 3e-2);
-        assert_grad_close(&g.dbeta, &numerical_grad(&beta, |b_| loss(&x, &gamma, b_), 1e-3), 3e-2);
+        assert_grad_close(
+            &g.dx,
+            &numerical_grad(&x, |x_| loss(x_, &gamma, &beta), 1e-3),
+            3e-2,
+        );
+        assert_grad_close(
+            &g.dgamma,
+            &numerical_grad(&gamma, |g_| loss(&x, g_, &beta), 1e-3),
+            3e-2,
+        );
+        assert_grad_close(
+            &g.dbeta,
+            &numerical_grad(&beta, |b_| loss(&x, &gamma, b_), 1e-3),
+            3e-2,
+        );
     }
 
     #[test]
@@ -144,6 +160,9 @@ mod tests {
         // |q_i . k_j| <= |q||k| = d after normalization (Cauchy-Schwarz).
         assert!(logits.max_abs() <= d as f32 + 1.0);
         let raw_logits = crate::matmul::matmul_nt(&q_raw, &k_raw);
-        assert!(raw_logits.max_abs() > 10.0 * d as f32, "raw logits should explode");
+        assert!(
+            raw_logits.max_abs() > 10.0 * d as f32,
+            "raw logits should explode"
+        );
     }
 }

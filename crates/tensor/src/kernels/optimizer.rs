@@ -70,7 +70,8 @@ impl AdamW {
             let m_hat = state.m[i] / bc1;
             let v_hat = state.v[i] / bc2;
             // Decoupled weight decay (AdamW).
-            params[i] -= self.lr * (m_hat / (v_hat.sqrt() + self.eps) + self.weight_decay * params[i]);
+            params[i] -=
+                self.lr * (m_hat / (v_hat.sqrt() + self.eps) + self.weight_decay * params[i]);
         }
     }
 }

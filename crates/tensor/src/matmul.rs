@@ -175,7 +175,12 @@ mod tests {
     #[test]
     fn matches_naive_random_rectangular() {
         let mut rng = Rng::seed(7);
-        for &(m, k, n) in &[(5usize, 9usize, 4usize), (17, 3, 23), (32, 32, 32), (1, 64, 1)] {
+        for &(m, k, n) in &[
+            (5usize, 9usize, 4usize),
+            (17, 3, 23),
+            (32, 32, 32),
+            (1, 64, 1),
+        ] {
             let a = rng.normal_tensor(m, k, 1.0);
             let b = rng.normal_tensor(k, n, 1.0);
             let c = matmul(&a, &b);

@@ -155,7 +155,8 @@ impl Tensor {
         let w = c1 - c0;
         let mut out = Tensor::zeros(self.rows, w);
         for r in 0..self.rows {
-            out.data[r * w..(r + 1) * w].copy_from_slice(&self.data[r * self.cols + c0..r * self.cols + c1]);
+            out.data[r * w..(r + 1) * w]
+                .copy_from_slice(&self.data[r * self.cols + c0..r * self.cols + c1]);
         }
         out
     }
@@ -175,7 +176,10 @@ impl Tensor {
     pub fn concat_cols(parts: &[&Tensor]) -> Tensor {
         assert!(!parts.is_empty());
         let rows = parts[0].rows;
-        assert!(parts.iter().all(|p| p.rows == rows), "row mismatch in concat_cols");
+        assert!(
+            parts.iter().all(|p| p.rows == rows),
+            "row mismatch in concat_cols"
+        );
         let cols: usize = parts.iter().map(|p| p.cols).sum();
         let mut out = Tensor::zeros(rows, cols);
         for r in 0..rows {
@@ -192,7 +196,10 @@ impl Tensor {
     pub fn concat_rows(parts: &[&Tensor]) -> Tensor {
         assert!(!parts.is_empty());
         let cols = parts[0].cols;
-        assert!(parts.iter().all(|p| p.cols == cols), "col mismatch in concat_rows");
+        assert!(
+            parts.iter().all(|p| p.cols == cols),
+            "col mismatch in concat_rows"
+        );
         let rows: usize = parts.iter().map(|p| p.rows).sum();
         let mut data = Vec::with_capacity(rows * cols);
         for p in parts {
@@ -238,8 +245,17 @@ impl Tensor {
     /// Element-wise difference, returning a new tensor.
     pub fn sub(&self, other: &Tensor) -> Tensor {
         assert_eq!(self.shape(), other.shape(), "sub shape mismatch");
-        let data = self.data.iter().zip(&other.data).map(|(a, b)| a - b).collect();
-        Tensor { rows: self.rows, cols: self.cols, data }
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a - b)
+            .collect();
+        Tensor {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// In-place scalar multiply.
@@ -252,8 +268,17 @@ impl Tensor {
     /// Element-wise product (Hadamard), returning a new tensor.
     pub fn hadamard(&self, other: &Tensor) -> Tensor {
         assert_eq!(self.shape(), other.shape(), "hadamard shape mismatch");
-        let data = self.data.iter().zip(&other.data).map(|(a, b)| a * b).collect();
-        Tensor { rows: self.rows, cols: self.cols, data }
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a * b)
+            .collect();
+        Tensor {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Sum of all elements (f64 accumulation for determinism across sizes).
@@ -292,7 +317,11 @@ impl Tensor {
     /// Round every element through bfloat16 (see [`crate::bf16`]).
     pub fn to_bf16_precision(&self) -> Tensor {
         let data = self.data.iter().map(|&v| round_bf16(v)).collect();
-        Tensor { rows: self.rows, cols: self.cols, data }
+        Tensor {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Maximum absolute element-wise difference to `other`.

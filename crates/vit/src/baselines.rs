@@ -94,10 +94,11 @@ impl SpectralOperator {
     }
 
     /// Rebuild an image from truncated modes.
-    fn from_modes(&self, modes: &[f32]) -> Tensor {
+    fn image_from_modes(&self, modes: &[f32]) -> Tensor {
         let mut xh = Tensor::zeros(self.h, self.w);
         for r in 0..self.modes_h {
-            xh.row_mut(r)[..self.modes_w].copy_from_slice(&modes[r * self.modes_w..(r + 1) * self.modes_w]);
+            xh.row_mut(r)[..self.modes_w]
+                .copy_from_slice(&modes[r * self.modes_w..(r + 1) * self.modes_w]);
         }
         // X = C_h^T X_hat C_w.
         matmul(&matmul_tn(&self.dct_h, &xh), &self.dct_w)
@@ -123,7 +124,7 @@ impl SpectralOperator {
     fn split_outputs(&self, y: &Tensor) -> Vec<Tensor> {
         let m = self.modes_h * self.modes_w;
         (0..self.out_channels)
-            .map(|c| self.from_modes(&y.row(0)[c * m..(c + 1) * m]))
+            .map(|c| self.image_from_modes(&y.row(0)[c * m..(c + 1) * m]))
             .collect()
     }
 
@@ -200,7 +201,7 @@ mod tests {
         let op = SpectralOperator::new(8, 16, 1, 1, 8, 16, 1);
         let mut rng = Rng::seed(2);
         let img = rng.normal_tensor(8, 16, 1.0);
-        let rebuilt = op.from_modes(&op.to_modes(&img));
+        let rebuilt = op.image_from_modes(&op.to_modes(&img));
         assert!(rebuilt.allclose(&img, 1e-3, 1e-3), "full modes = identity");
     }
 
@@ -209,7 +210,7 @@ mod tests {
         let op = SpectralOperator::new(8, 16, 1, 1, 2, 4, 1);
         let mut rng = Rng::seed(3);
         let img = rng.normal_tensor(8, 16, 1.0);
-        let rebuilt = op.from_modes(&op.to_modes(&img));
+        let rebuilt = op.image_from_modes(&op.to_modes(&img));
         // Energy must shrink under truncation.
         assert!(rebuilt.norm() < img.norm());
     }
@@ -230,7 +231,7 @@ mod tests {
         let pool: Vec<(Tensor, Tensor)> = (0..4)
             .map(|_| {
                 let img = rng.normal_tensor(8, 16, 1.0);
-                let target = op.from_modes(&op.to_modes(&img));
+                let target = op.image_from_modes(&op.to_modes(&img));
                 (img, target)
             })
             .collect();
@@ -238,7 +239,12 @@ mod tests {
         let mut last = 0.0;
         for i in 0..400 {
             let (img, target) = &pool[i % pool.len()];
-            last = op.train_step(&[img.clone()], &[target.clone()], &opt, &mut state);
+            last = op.train_step(
+                std::slice::from_ref(img),
+                std::slice::from_ref(target),
+                &opt,
+                &mut state,
+            );
             first.get_or_insert(last);
         }
         let first = first.unwrap();

@@ -335,15 +335,19 @@ mod tests {
                     });
                     val.unwrap()
                 };
-                let numerical = numerical_grad(&value, |w_| {
-                    let mut b2 = base.clone();
-                    b2.visit_params("blk", &mut |n: &str, p: &mut Param| {
-                        if n == format!("blk.{name}") {
-                            p.value = w_.clone();
-                        }
-                    });
-                    b2.forward(&x).0.hadamard(&m).sum()
-                }, 1e-3);
+                let numerical = numerical_grad(
+                    &value,
+                    |w_| {
+                        let mut b2 = base.clone();
+                        b2.visit_params("blk", &mut |n: &str, p: &mut Param| {
+                            if n == format!("blk.{name}") {
+                                p.value = w_.clone();
+                            }
+                        });
+                        b2.forward(&x).0.hadamard(&m).sum()
+                    },
+                    1e-3,
+                );
                 (analytic.unwrap(), numerical)
             };
             assert_grad_close(&analytic, &numerical, 6e-2);
@@ -385,7 +389,8 @@ mod tests {
         // a manual sum.
         let d = c.dims.embed;
         let dh = c.dims.head_dim();
-        let expect = 2 * d + 4 * (d * d + d) + 2 * d + (4 * d * d + 4 * d) + (4 * d * d + d) + 4 * dh;
+        let expect =
+            2 * d + 4 * (d * d + d) + 2 * d + (4 * d * d + 4 * d) + (4 * d * d + d) + 4 * dh;
         assert_eq!(total, expect);
     }
 

@@ -99,7 +99,10 @@ impl Checkpoint {
         let mut magic = [0u8; 8];
         r.read_exact(&mut magic)?;
         if &magic != MAGIC {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad checkpoint magic"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "bad checkpoint magic",
+            ));
         }
         let mut fp = [0u64; 5];
         let mut b8 = [0u8; 8];

@@ -36,10 +36,10 @@ impl VitConfig {
     /// `rung` 0..=3 maps to tiny/small/medium/large.
     pub fn ladder(rung: usize, channels: usize) -> Self {
         let (embed, layers, heads) = match rung {
-            0 => (64, 2, 4),   // "115 M" stand-in
-            1 => (128, 2, 4),  // "1 B" stand-in
-            2 => (192, 3, 8),  // "10 B" stand-in
-            3 => (256, 5, 8),  // "113 B" stand-in
+            0 => (64, 2, 4),  // "115 M" stand-in
+            1 => (128, 2, 4), // "1 B" stand-in
+            2 => (192, 3, 8), // "10 B" stand-in
+            3 => (256, 5, 8), // "113 B" stand-in
             _ => panic!("ladder rung must be 0..=3"),
         };
         VitConfig::new(ModelDims {

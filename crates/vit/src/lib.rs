@@ -24,13 +24,13 @@
 //! tested for gradient equivalence against it.
 
 pub mod baselines;
-pub mod checkpoint;
 pub mod block;
+pub mod checkpoint;
 pub mod config;
 pub mod loss;
 pub mod model;
 pub mod tokenizer;
 
-pub use block::{TransformerBlock, BlockCache};
+pub use block::{BlockCache, TransformerBlock};
 pub use config::VitConfig;
 pub use model::{Batch, Forward, VitModel};

@@ -35,8 +35,8 @@ pub fn weighted_mse(pred: &[Tensor], target: &[Tensor], weights: &[f32]) -> f32 
     for (p, t) in pred.iter().zip(target) {
         assert_eq!(p.shape(), (h, w));
         assert_eq!(t.shape(), (h, w));
-        for r in 0..h {
-            let wr = weights[r] as f64;
+        for (r, &wf) in weights.iter().enumerate() {
+            let wr = wf as f64;
             for (pv, tv) in p.row(r).iter().zip(t.row(r)) {
                 let d = (*pv - *tv) as f64;
                 total += wr * d * d;
@@ -55,8 +55,7 @@ pub fn weighted_mse_grad(pred: &[Tensor], target: &[Tensor], weights: &[f32]) ->
         .zip(target)
         .map(|(p, t)| {
             let mut g = Tensor::zeros(h, w);
-            for r in 0..h {
-                let wr = weights[r];
+            for (r, &wr) in weights.iter().enumerate() {
                 for c in 0..w {
                     g.set(r, c, 2.0 * wr * (p.get(r, c) - t.get(r, c)) / n);
                 }
@@ -86,7 +85,10 @@ mod tests {
     fn zero_error_zero_loss() {
         let img = Tensor::full(4, 8, 3.0);
         let w = lat_weights(4);
-        assert_eq!(weighted_mse(&[img.clone()], &[img], &w), 0.0);
+        assert_eq!(
+            weighted_mse(std::slice::from_ref(&img), std::slice::from_ref(&img), &w),
+            0.0
+        );
     }
 
     #[test]
@@ -95,7 +97,7 @@ mod tests {
         let p = rng.normal_tensor(4, 4, 1.0);
         let t = rng.normal_tensor(4, 4, 1.0);
         let w = vec![1.0f32; 4];
-        let ours = weighted_mse(&[p.clone()], &[t.clone()], &w);
+        let ours = weighted_mse(std::slice::from_ref(&p), std::slice::from_ref(&t), &w);
         let plain: f32 = p
             .data()
             .iter()
@@ -112,7 +114,7 @@ mod tests {
         let p = rng.normal_tensor(4, 4, 1.0);
         let t = rng.normal_tensor(4, 4, 1.0);
         let w = lat_weights(4);
-        let g = weighted_mse_grad(&[p.clone()], &[t.clone()], &w);
+        let g = weighted_mse_grad(std::slice::from_ref(&p), std::slice::from_ref(&t), &w);
         let eps = 1e-3;
         for r in 0..4 {
             for c in 0..4 {
@@ -120,8 +122,8 @@ mod tests {
                 pp.set(r, c, p.get(r, c) + eps);
                 let mut pm = p.clone();
                 pm.set(r, c, p.get(r, c) - eps);
-                let fd = (weighted_mse(&[pp], &[t.clone()], &w)
-                    - weighted_mse(&[pm], &[t.clone()], &w))
+                let fd = (weighted_mse(&[pp], std::slice::from_ref(&t), &w)
+                    - weighted_mse(&[pm], std::slice::from_ref(&t), &w))
                     / (2.0 * eps);
                 assert!((g[0].get(r, c) - fd).abs() < 1e-4, "({r},{c})");
             }
@@ -137,7 +139,7 @@ mod tests {
         polar.set(0, 0, 1.0); // near the pole
         let mut equatorial = Tensor::zeros(h, 4);
         equatorial.set(h / 2, 0, 1.0); // near the equator
-        let lp = weighted_mse(&[polar], &[target.clone()], &w);
+        let lp = weighted_mse(&[polar], std::slice::from_ref(&target), &w);
         let le = weighted_mse(&[equatorial], &[target], &w);
         assert!(le > lp, "equatorial error {le} should exceed polar {lp}");
     }

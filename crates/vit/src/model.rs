@@ -5,7 +5,9 @@ use crate::config::VitConfig;
 use crate::loss::{weighted_mse, weighted_mse_grad};
 use crate::tokenizer::{AggregationCache, TokenizerCache, VariableAggregation, VariableTokenizer};
 use orbit_tensor::init::Rng;
-use orbit_tensor::kernels::{fold_patches, linear, linear_backward, unfold_patches, AdamState, AdamW};
+use orbit_tensor::kernels::{
+    fold_patches, linear, linear_backward, unfold_patches, AdamState, AdamW,
+};
 use orbit_tensor::Tensor;
 
 /// One training batch: per-sample input channel images and target output
@@ -104,12 +106,22 @@ impl VitModel {
 
     /// Head forward: project the final block output to per-channel images.
     pub fn head_forward(&self, top: &Tensor) -> Vec<Tensor> {
-        let out = linear(top, &self.head_w.value, Some(&self.head_b.value), self.cfg.precision);
+        let out = linear(
+            top,
+            &self.head_w.value,
+            Some(&self.head_b.value),
+            self.cfg.precision,
+        );
         let pp = self.cfg.dims.patch * self.cfg.dims.patch;
         (0..self.cfg.dims.out_channels)
             .map(|oc| {
                 let patches = out.slice_cols(oc * pp, (oc + 1) * pp);
-                fold_patches(&patches, self.cfg.dims.patch, self.cfg.dims.img_h, self.cfg.dims.img_w)
+                fold_patches(
+                    &patches,
+                    self.cfg.dims.patch,
+                    self.cfg.dims.img_h,
+                    self.cfg.dims.img_w,
+                )
             })
             .collect()
     }
@@ -235,9 +247,7 @@ impl VitModel {
         let mut off = 0;
         self.visit_params(&mut |_, p| {
             let n = p.len();
-            p.value
-                .data_mut()
-                .copy_from_slice(&flat[off..off + n]);
+            p.value.data_mut().copy_from_slice(&flat[off..off + n]);
             off += n;
         });
         assert_eq!(off, flat.len(), "flat parameter length mismatch");
@@ -365,12 +375,16 @@ mod tests {
         model.backward(&fwd, &d_preds);
         let analytic = model.pos_embed.grad.clone();
         let base = model.pos_embed.value.clone();
-        let numerical = numerical_grad(&base, |pe| {
-            let mut m2 = model.clone();
-            m2.pos_embed.value = pe.clone();
-            let f = m2.forward(&imgs);
-            weighted_mse(&f.preds, &targets, &w)
-        }, 1e-2);
+        let numerical = numerical_grad(
+            &base,
+            |pe| {
+                let mut m2 = model.clone();
+                m2.pos_embed.value = pe.clone();
+                let f = m2.forward(&imgs);
+                weighted_mse(&f.preds, &targets, &w)
+            },
+            1e-2,
+        );
         assert_grad_close(&analytic, &numerical, 5e-2);
     }
 

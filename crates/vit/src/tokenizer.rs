@@ -58,7 +58,12 @@ impl VariableTokenizer {
         let mut patches = Vec::with_capacity(images.len());
         for (i, img) in images.iter().enumerate() {
             let p = unfold_patches(img, self.patch);
-            let e = linear(&p, &self.weights[i].value, Some(&self.biases[i].value), self.precision);
+            let e = linear(
+                &p,
+                &self.weights[i].value,
+                Some(&self.biases[i].value),
+                self.precision,
+            );
             embeddings.push(e);
             patches.push(p);
         }
@@ -69,8 +74,8 @@ impl VariableTokenizer {
     /// are not needed (images are data), so they are dropped.
     pub fn backward(&mut self, cache: &TokenizerCache, d_embeddings: &[Tensor]) {
         assert_eq!(d_embeddings.len(), self.weights.len());
-        for i in 0..self.weights.len() {
-            let g = linear_backward(&cache.patches[i], &self.weights[i].value, &d_embeddings[i], true);
+        for (i, de) in d_embeddings.iter().enumerate() {
+            let g = linear_backward(&cache.patches[i], &self.weights[i].value, de, true);
             self.weights[i].accumulate(&g.dw);
             self.biases[i].accumulate(&g.db.expect("bias grad"));
         }
@@ -277,12 +282,19 @@ mod tests {
         tok.backward(&cache, &masks);
         let analytic = tok.weights[1].grad.clone();
         let base = tok.weights[1].value.clone();
-        let numerical = numerical_grad(&base, |w_| {
-            let mut t2 = tok.clone();
-            t2.weights[1].value = w_.clone();
-            let (embs, _) = t2.forward(&imgs);
-            embs.iter().zip(&masks).map(|(e, m)| e.hadamard(m).sum()).sum()
-        }, 1e-3);
+        let numerical = numerical_grad(
+            &base,
+            |w_| {
+                let mut t2 = tok.clone();
+                t2.weights[1].value = w_.clone();
+                let (embs, _) = t2.forward(&imgs);
+                embs.iter()
+                    .zip(&masks)
+                    .map(|(e, m)| e.hadamard(m).sum())
+                    .sum()
+            },
+            1e-3,
+        );
         assert_grad_close(&analytic, &numerical, 3e-2);
     }
 
@@ -301,20 +313,28 @@ mod tests {
         assert_eq!(d_embs.len(), c.dims.channels);
 
         // FD check on the embedding gradient of channel 0.
-        let numerical = numerical_grad(&embs[0], |e_| {
-            let mut e2: Vec<Tensor> = embs.clone();
-            e2[0] = e_.clone();
-            agg.forward(&e2).0.hadamard(&m).sum()
-        }, 1e-3);
+        let numerical = numerical_grad(
+            &embs[0],
+            |e_| {
+                let mut e2: Vec<Tensor> = embs.clone();
+                e2[0] = e_.clone();
+                agg.forward(&e2).0.hadamard(&m).sum()
+            },
+            1e-3,
+        );
         assert_grad_close(&d_embs[0], &numerical, 4e-2);
 
         // FD check on the learnable query gradient.
         let analytic_q = agg.query.grad.clone();
-        let numerical_q = numerical_grad(&agg.query.value.clone(), |q_| {
-            let mut a2 = agg.clone();
-            a2.query.value = q_.clone();
-            a2.forward(&embs).0.hadamard(&m).sum()
-        }, 1e-3);
+        let numerical_q = numerical_grad(
+            &agg.query.value.clone(),
+            |q_| {
+                let mut a2 = agg.clone();
+                a2.query.value = q_.clone();
+                a2.forward(&embs).0.hadamard(&m).sum()
+            },
+            1e-3,
+        );
         assert_grad_close(&analytic_q, &numerical_q, 4e-2);
     }
 
@@ -332,6 +352,9 @@ mod tests {
         let mut shuffled = embs.clone();
         shuffled.rotate_left(1);
         let (y2, _) = agg.forward(&shuffled);
-        assert!(y1.allclose(&y2, 1e-4, 1e-5), "channel pooling is order-invariant");
+        assert!(
+            y1.allclose(&y2, 1e-4, 1e-5),
+            "channel pooling is order-invariant"
+        );
     }
 }

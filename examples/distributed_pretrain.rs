@@ -7,7 +7,7 @@
 //! ```
 
 use orbit::comm::Cluster;
-use orbit::core::{HybridStopEngine, ParallelLayout, TrainOptions};
+use orbit::core::{Engine, HybridStopEngine, ParallelLayout, TrainOptions};
 use orbit::data::loader::laptop_loader;
 use orbit::tensor::init::Rng;
 use orbit::tensor::kernels::AdamW;

@@ -54,7 +54,10 @@ fn main() {
     let out_idx = loader.generator.catalog().output_indices();
     let names = ["z500", "t850", "t2m", "u10"];
     println!("\n{lead_days}-day forecast wACC on the held-out year:");
-    println!("{:>6}  {:>8}  {:>12}  {:>11}", "var", "ORBIT", "persistence", "climatology");
+    println!(
+        "{:>6}  {:>8}  {:>12}  {:>11}",
+        "var", "ORBIT", "persistence", "climatology"
+    );
     for (v, name) in names.iter().enumerate() {
         let mut orbit_acc = 0.0;
         let mut persist_acc = 0.0;
@@ -65,7 +68,10 @@ fn main() {
             persist_acc += wacc(&p, &targets[v], &clims[v], &weights) / eval.len() as f32;
         }
         // Climatology scores exactly 0 by construction.
-        println!("{name:>6}  {orbit_acc:8.3}  {persist_acc:12.3}  {:11.3}", 0.0);
+        println!(
+            "{name:>6}  {orbit_acc:8.3}  {persist_acc:12.3}  {:11.3}",
+            0.0
+        );
     }
     println!("\n(climatology wACC is 0 by definition; beating persistence at a week's lead");
     println!(" requires actually learning the wave dynamics.)");

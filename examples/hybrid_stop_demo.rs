@@ -12,7 +12,7 @@
 //! ```
 
 use orbit::comm::Cluster;
-use orbit::core::{FsdpEngine, HybridStopEngine, ParallelLayout, TrainOptions};
+use orbit::core::{Engine, FsdpEngine, HybridStopEngine, ParallelLayout, TrainOptions};
 use orbit::tensor::init::Rng;
 use orbit::tensor::kernels::AdamW;
 use orbit::vit::loss::lat_weights;
@@ -57,15 +57,8 @@ fn main() {
     // ddp=2 (sub-clusters) — every level of paper Fig. 4 active at once.
     let layout = ParallelLayout::new(2, 2, 2);
     let results = Cluster::frontier().run(layout.world(), |ctx| {
-        let mut engine = HybridStopEngine::new(
-            ctx,
-            layout,
-            cfg,
-            opt,
-            TrainOptions::none(),
-            42,
-        )
-        .expect("engine fits");
+        let mut engine = HybridStopEngine::new(ctx, layout, cfg, opt, TrainOptions::none(), 42)
+            .expect("engine fits");
         let losses: Vec<f32> = (0..steps)
             .map(|_| engine.train_step(ctx, &batch).expect("step").loss)
             .collect();
@@ -73,9 +66,16 @@ fn main() {
     });
     let (hs_losses, hs_peak, sim_t) = &results[0];
     println!("hybrid-STOP (tp=2,fsdp=2,ddp=2)     : {hs_losses:?}");
-    println!("  per-GPU peak memory: {:.2} MB, simulated time: {:.3} s", *hs_peak as f64 / 1e6, sim_t);
+    println!(
+        "  per-GPU peak memory: {:.2} MB, simulated time: {:.3} s",
+        *hs_peak as f64 / 1e6,
+        sim_t
+    );
     for (a, b) in hs_losses.iter().zip(&ref_losses) {
-        assert!((a - b).abs() < 1e-3 * b.abs().max(1.0), "distributed != reference");
+        assert!(
+            (a - b).abs() < 1e-3 * b.abs().max(1.0),
+            "distributed != reference"
+        );
     }
     println!("  losses match the reference (paper Eqns. (2)/(3) verified)");
 
@@ -103,6 +103,9 @@ fn main() {
         fsdp_peak as f64 / 1e6,
         hs4_peak as f64 / 1e6
     );
-    assert!(hs4_peak < fsdp_peak, "Hybrid-STOP must beat vanilla FSDP's peak");
+    assert!(
+        hs4_peak < fsdp_peak,
+        "Hybrid-STOP must beat vanilla FSDP's peak"
+    );
     println!("Hybrid-STOP avoids the full-model gather: lower peak, as in paper Fig. 3");
 }

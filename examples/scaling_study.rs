@@ -45,7 +45,8 @@ fn main() {
     let base = ParallelLayout::new(8, 64, 1);
     for ddp in [1usize, 4, 16, 48, 96] {
         let layout = ParallelLayout::new(8, 64, ddp);
-        let t = model.time_per_obs_at_global_batch(&dims, &layout, Strategy::HybridStop, &opts, 2880);
+        let t =
+            model.time_per_obs_at_global_batch(&dims, &layout, Strategy::HybridStop, &opts, 2880);
         let eff =
             model.scaling_efficiency(&dims, &base, &layout, Strategy::HybridStop, &opts, 2880);
         let pflops = model.flops_per_obs(&dims, &opts) / t / 1e15;
@@ -60,9 +61,24 @@ fn main() {
 
     println!("\n=== Memory anatomy of the 113 B model on 512 GPUs ===");
     let mem = model.memory(&dims, &base, Strategy::HybridStop, &opts, 2);
-    println!("  persistent (sharded weights+grads+Adam): {:6.2} GB", mem.persistent as f64 / 1e9);
-    println!("  transient layer-shard gather:            {:6.2} GB", mem.gather as f64 / 1e9);
-    println!("  activations (checkpointed):              {:6.2} GB", mem.activations as f64 / 1e9);
-    println!("  workspace:                               {:6.2} GB", mem.workspace as f64 / 1e9);
-    println!("  total of 64 GB capacity:                 {:6.2} GB", mem.total() as f64 / 1e9);
+    println!(
+        "  persistent (sharded weights+grads+Adam): {:6.2} GB",
+        mem.persistent as f64 / 1e9
+    );
+    println!(
+        "  transient layer-shard gather:            {:6.2} GB",
+        mem.gather as f64 / 1e9
+    );
+    println!(
+        "  activations (checkpointed):              {:6.2} GB",
+        mem.activations as f64 / 1e9
+    );
+    println!(
+        "  workspace:                               {:6.2} GB",
+        mem.workspace as f64 / 1e9
+    );
+    println!(
+        "  total of 64 GB capacity:                 {:6.2} GB",
+        mem.total() as f64 / 1e9
+    );
 }

@@ -1,0 +1,159 @@
+//! Per-step collective schedules, asserted from the comm event log.
+//!
+//! Every `ProcessGroup` collective records a `CommEvent` into its caller's
+//! `SimClock`, so the communication *choreography* of each engine is
+//! directly testable: DDP issues exactly one gradient all-reduce per step,
+//! vanilla FSDP gathers the full model in one all-gather, and Hybrid-STOP
+//! gathers one layer unit at a time (paper Fig. 2 vs 3).
+
+use orbit::comm::{Cluster, CommOp, TraceEvent};
+use orbit::core::{build_engine, EngineSpec, ParallelLayout, TrainOptions};
+use orbit::tensor::init::Rng;
+use orbit::tensor::kernels::AdamW;
+use orbit::vit::{Batch, VitConfig, VitModel};
+
+fn make_batch(cfg: &VitConfig, n: usize) -> Batch {
+    let mut rng = Rng::seed(41);
+    Batch {
+        inputs: (0..n)
+            .map(|_| {
+                (0..cfg.dims.channels)
+                    .map(|_| rng.normal_tensor(cfg.dims.img_h, cfg.dims.img_w, 1.0))
+                    .collect()
+            })
+            .collect(),
+        targets: (0..n)
+            .map(|_| {
+                (0..cfg.dims.out_channels)
+                    .map(|_| rng.normal_tensor(cfg.dims.img_h, cfg.dims.img_w, 1.0))
+                    .collect()
+            })
+            .collect(),
+    }
+}
+
+/// Run `spec` for `steps` steps on `world` ranks and return rank 0's
+/// comm events (compute intervals filtered out).
+fn comm_events(
+    spec: EngineSpec,
+    world: usize,
+    opts: TrainOptions,
+    steps: usize,
+) -> Vec<orbit::comm::CommEvent> {
+    let cfg = VitConfig::test_tiny();
+    let batch = make_batch(&cfg, 4);
+    let mut logs = Cluster::frontier().run(world, |ctx| {
+        let mut e = build_engine(ctx, spec, cfg, AdamW::default(), opts, 42).unwrap();
+        for _ in 0..steps {
+            e.train_step(ctx, &batch).unwrap();
+        }
+        ctx.clock.take_events()
+    });
+    logs.remove(0)
+        .into_iter()
+        .filter_map(|ev| match ev {
+            TraceEvent::Comm(c) => Some(c),
+            TraceEvent::Compute { .. } => None,
+        })
+        .collect()
+}
+
+#[test]
+fn ddp_issues_exactly_one_gradient_all_reduce_per_step() {
+    let steps = 3;
+    let events = comm_events(EngineSpec::Ddp, 4, TrainOptions::none(), steps);
+    // The gradient all-reduce carries the whole flat gradient; the only
+    // other all-reduce is the scalar loss average (one element).
+    let grad_reduces: Vec<_> = events
+        .iter()
+        .filter(|e| e.op == CommOp::AllReduce && e.elements > 1)
+        .collect();
+    assert_eq!(
+        grad_reduces.len(),
+        steps,
+        "DDP must issue exactly one gradient all-reduce per step"
+    );
+    let param_count = VitModel::init(VitConfig::test_tiny(), 42).param_count();
+    for e in &grad_reduces {
+        assert!(
+            e.elements >= param_count,
+            "gradient all-reduce covers the full model: {} !>= {param_count}",
+            e.elements
+        );
+    }
+    // No all-gathers at all: DDP replicates parameters.
+    assert!(
+        events.iter().all(|e| e.op != CommOp::AllGather),
+        "DDP never gathers parameters"
+    );
+}
+
+#[test]
+fn fsdp_gathers_the_full_model_in_one_all_gather_per_step() {
+    let steps = 2;
+    let world = 4;
+    let events = comm_events(EngineSpec::Fsdp, world, TrainOptions::none(), steps);
+    let gathers: Vec<_> = events
+        .iter()
+        .filter(|e| e.op == CommOp::AllGather)
+        .collect();
+    assert_eq!(
+        gathers.len(),
+        steps,
+        "vanilla FSDP does one (full-model) all-gather per step"
+    );
+    // Each rank contributes its 1/N shard of the entire model.
+    let param_count = VitModel::init(VitConfig::test_tiny(), 42).param_count();
+    for g in &gathers {
+        assert!(
+            g.elements * world >= param_count,
+            "the single gather spans the whole model: {} * {world} !>= {param_count}",
+            g.elements
+        );
+    }
+    // And one gradient reduce-scatter per step.
+    let scatters = events
+        .iter()
+        .filter(|e| e.op == CommOp::ReduceScatter)
+        .count();
+    assert_eq!(scatters, steps);
+}
+
+#[test]
+fn hybrid_stop_gathers_one_layer_unit_at_a_time() {
+    let steps = 1;
+    let world = 4;
+    let layers = VitConfig::test_tiny().dims.layers;
+    let opts = TrainOptions {
+        layer_wrapping: true,
+        ..TrainOptions::none()
+    };
+    let spec = EngineSpec::HybridStop(ParallelLayout::new(1, world, 1));
+    let events = comm_events(spec, world, opts, steps);
+
+    let gathers: Vec<_> = events
+        .iter()
+        .filter(|e| e.op == CommOp::AllGather)
+        .collect();
+    // Forward: front unit + each block unit; backward: each block unit
+    // re-gathered. Never the whole model at once.
+    assert_eq!(
+        gathers.len(),
+        1 + 2 * layers,
+        "layer wrapping gathers per unit (front + {layers} blocks fwd + {layers} bwd)"
+    );
+    let param_count = VitModel::init(VitConfig::test_tiny(), 42).param_count();
+    for g in &gathers {
+        assert!(
+            g.elements * world < param_count,
+            "every Hybrid-STOP gather is a strict subset of the model: {} * {world} !< {param_count}",
+            g.elements
+        );
+    }
+    // Gradients leave by per-unit reduce-scatter (front + each block).
+    let scatters = events
+        .iter()
+        .filter(|e| e.op == CommOp::ReduceScatter)
+        .count();
+    assert_eq!(scatters, 1 + layers);
+}

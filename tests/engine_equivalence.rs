@@ -5,7 +5,7 @@
 
 use orbit::comm::Cluster;
 use orbit::core::{
-    DdpEngine, FsdpEngine, HybridStopEngine, ParallelLayout, TensorParallelEngine, TrainOptions,
+    build_engine, Engine, EngineSpec, FsdpEngine, HybridStopEngine, ParallelLayout, TrainOptions,
 };
 use orbit::tensor::init::Rng;
 use orbit::tensor::kernels::AdamW;
@@ -70,43 +70,28 @@ fn all_engines_match_reference() {
     let opt = AdamW::default();
     let opts = TrainOptions::none();
 
-    // DDP, world 4.
-    let ddp = Cluster::frontier().run(4, |ctx| {
-        let mut e = DdpEngine::new(ctx, cfg, opt, opts, 42).unwrap();
-        (0..steps)
-            .map(|_| e.train_step(ctx, &batch).unwrap().loss)
-            .collect::<Vec<_>>()
-    });
-    assert_close("ddp", &ddp[0], &want, 1e-3);
-
-    // Vanilla FSDP, world 4.
-    let fsdp = Cluster::frontier().run(4, |ctx| {
-        let mut e = FsdpEngine::new(ctx, cfg, opt, opts, 42).unwrap();
-        (0..steps)
-            .map(|_| e.train_step(ctx, &batch).unwrap().loss)
-            .collect::<Vec<_>>()
-    });
-    assert_close("fsdp", &fsdp[0], &want, 1e-3);
-
-    // Pure tensor parallelism, world 4 (4 heads).
-    let tp = Cluster::frontier().run(4, |ctx| {
-        let mut e = TensorParallelEngine::new(ctx, cfg, opt, opts, 42).unwrap();
-        (0..steps)
-            .map(|_| e.train_step(ctx, &batch).unwrap().loss)
-            .collect::<Vec<_>>()
-    });
-    assert_close("tp", &tp[0], &want, 1e-3);
-
-    // Hybrid-STOP with all three levels active, world 8.
-    let layout = ParallelLayout::new(2, 2, 2);
-    let hs = Cluster::frontier().run(8, |ctx| {
-        let mut e = HybridStopEngine::new(ctx, layout, cfg, opt, opts, 42).unwrap();
-        (0..steps)
-            .map(|_| e.train_step(ctx, &batch).unwrap().loss)
-            .collect::<Vec<_>>()
-    });
-    for ranks in &hs {
-        assert_close("hybrid-stop", ranks, &want, 1e-3);
+    // The whole engine zoo behind one generic driver: each case is just a
+    // strategy spec and the world size it runs at. Hybrid-STOP activates
+    // all three orthogonal levels (2 tensor x 2 shard x 2 data).
+    let cases: [(EngineSpec, usize); 6] = [
+        (EngineSpec::Single, 1),
+        (EngineSpec::Ddp, 4),
+        (EngineSpec::Fsdp, 4),
+        (EngineSpec::TensorParallel, 4), // 4 heads
+        (EngineSpec::Pipeline, 2),       // 2 layers -> 1 per stage
+        (EngineSpec::HybridStop(ParallelLayout::new(2, 2, 2)), 8),
+    ];
+    for (spec, world) in cases {
+        let results = Cluster::frontier().run(world, |ctx| {
+            let mut e: Box<dyn Engine> = build_engine(ctx, spec, cfg, opt, opts, 42).unwrap();
+            (0..steps)
+                .map(|_| e.train_step(ctx, &batch).unwrap().loss)
+                .collect::<Vec<_>>()
+        });
+        // Every engine reports the same (global) loss on every rank.
+        for ranks in &results {
+            assert_close(spec.name(), ranks, &want, 1e-3);
+        }
     }
 }
 
@@ -125,8 +110,7 @@ fn hybrid_stop_final_params_match_reference() {
 
     let layout = ParallelLayout::new(4, 2, 1);
     let results = Cluster::frontier().run(8, |ctx| {
-        let mut e =
-            HybridStopEngine::new(ctx, layout, cfg, opt, TrainOptions::none(), 42).unwrap();
+        let mut e = HybridStopEngine::new(ctx, layout, cfg, opt, TrainOptions::none(), 42).unwrap();
         for _ in 0..2 {
             e.train_step(ctx, &batch).unwrap();
         }

@@ -3,7 +3,9 @@
 //! non-finite gradients, then recovers — the paper's BF16 safety net.
 
 use orbit::comm::Cluster;
-use orbit::core::{GradScaler, HybridStopEngine, ParallelLayout, SingleDeviceEngine, TrainOptions};
+use orbit::core::{
+    Engine, GradScaler, HybridStopEngine, ParallelLayout, SingleDeviceEngine, TrainOptions,
+};
 use orbit::tensor::init::Rng;
 use orbit::tensor::kernels::AdamW;
 use orbit::vit::{Batch, VitConfig, VitModel};
@@ -31,10 +33,12 @@ fn make_batch(cfg: &VitConfig, n: usize, scale: f32) -> Batch {
 #[test]
 fn oom_at_construction_is_a_typed_error_on_every_rank() {
     let cfg = VitConfig::test_tiny();
-    let results = Cluster::frontier().with_device_capacity(1024).run(4, |ctx| {
-        let layout = ParallelLayout::new(2, 2, 1);
-        HybridStopEngine::new(ctx, layout, cfg, AdamW::default(), TrainOptions::none(), 1).err()
-    });
+    let results = Cluster::frontier()
+        .with_device_capacity(1024)
+        .run(4, |ctx| {
+            let layout = ParallelLayout::new(2, 2, 1);
+            HybridStopEngine::new(ctx, layout, cfg, AdamW::default(), TrainOptions::none(), 1).err()
+        });
     for err in results {
         let err = err.expect("tiny capacity must OOM");
         assert_eq!(err.capacity, 1024);
@@ -116,14 +120,16 @@ fn mixed_precision_training_survives_extreme_inputs() {
 #[test]
 fn allocation_guard_frees_on_early_exit() {
     // An error path mid-step must not leak simulated memory.
-    let results = Cluster::frontier().with_device_capacity(10_000).run(1, |ctx| {
-        let before = ctx.device.in_use();
-        {
-            let _a = ctx.device.alloc(5000).unwrap();
-            let err = ctx.device.alloc(8000);
-            assert!(err.is_err());
-        } // guard drops here
-        ctx.device.in_use() == before
-    });
+    let results = Cluster::frontier()
+        .with_device_capacity(10_000)
+        .run(1, |ctx| {
+            let before = ctx.device.in_use();
+            {
+                let _a = ctx.device.alloc(5000).unwrap();
+                let err = ctx.device.alloc(8000);
+                assert!(err.is_err());
+            } // guard drops here
+            ctx.device.in_use() == before
+        });
     assert!(results[0]);
 }

@@ -4,7 +4,7 @@
 //! agree on its *direction*.
 
 use orbit::comm::Cluster;
-use orbit::core::{FsdpEngine, HybridStopEngine, ParallelLayout, TrainOptions};
+use orbit::core::{Engine, FsdpEngine, HybridStopEngine, ParallelLayout, TrainOptions};
 use orbit::frontier::{PerfModel, Strategy};
 use orbit::tensor::init::Rng;
 use orbit::tensor::kernels::AdamW;
@@ -55,7 +55,10 @@ fn both_agree_layer_wrapping_reduces_peak_memory() {
     // Simulator.
     let (peak_wrapped, _) = run_hs(layout, wrapped_opts, &batch);
     let (peak_unwrapped, _) = run_hs(layout, TrainOptions::none(), &batch);
-    assert!(peak_wrapped < peak_unwrapped, "simulator: {peak_wrapped} !< {peak_unwrapped}");
+    assert!(
+        peak_wrapped < peak_unwrapped,
+        "simulator: {peak_wrapped} !< {peak_unwrapped}"
+    );
     // Analytic model (at paper scale).
     let pm = PerfModel::default();
     let dims = orbit::frontier::ModelDims::orbit_113b(48);
@@ -70,7 +73,8 @@ fn both_agree_hybrid_stop_beats_fsdp_peak() {
     let batch = make_batch(&cfg(), 4);
     // Simulator at world 4.
     let fsdp_peak = Cluster::frontier().run(4, |ctx| {
-        let mut e = FsdpEngine::new(ctx, cfg(), AdamW::default(), TrainOptions::none(), 42).unwrap();
+        let mut e =
+            FsdpEngine::new(ctx, cfg(), AdamW::default(), TrainOptions::none(), 42).unwrap();
         e.train_step(ctx, &batch).unwrap().peak_mem
     })[0];
     let (hs_peak, _) = run_hs(
@@ -90,8 +94,20 @@ fn both_agree_hybrid_stop_beats_fsdp_peak() {
         layer_wrapping: false,
         ..opts
     };
-    let m_fsdp = pm.memory(&dims, &ParallelLayout::new(1, 512, 1), Strategy::Fsdp, &vanilla, 2);
-    let m_hs = pm.memory(&dims, &ParallelLayout::new(8, 64, 1), Strategy::HybridStop, &opts, 2);
+    let m_fsdp = pm.memory(
+        &dims,
+        &ParallelLayout::new(1, 512, 1),
+        Strategy::Fsdp,
+        &vanilla,
+        2,
+    );
+    let m_hs = pm.memory(
+        &dims,
+        &ParallelLayout::new(8, 64, 1),
+        Strategy::HybridStop,
+        &opts,
+        2,
+    );
     assert!(m_hs.total() < m_fsdp.total());
 }
 
@@ -121,7 +137,10 @@ fn both_agree_mixed_precision_cuts_compute_and_comm() {
     };
     let (c_mixed, m_mixed) = run_parts(mixed);
     let (c_plain, m_plain) = run_parts(plain);
-    assert!(c_mixed < 0.6 * c_plain, "simulator compute: {c_mixed} !< {c_plain}");
+    assert!(
+        c_mixed < 0.6 * c_plain,
+        "simulator compute: {c_mixed} !< {c_plain}"
+    );
     assert!(m_mixed < m_plain, "simulator comm: {m_mixed} !< {m_plain}");
     // Analytic model at paper scale agrees.
     let pm = PerfModel::default();
@@ -144,10 +163,25 @@ fn both_agree_sharding_reduces_persistent_memory_proportionally() {
     assert!(p4 < p2, "simulator: {p4} !< {p2}");
     let pm = PerfModel::default();
     let dims = orbit::frontier::ModelDims::orbit_113b(48);
-    let m2 = pm.memory(&dims, &ParallelLayout::new(8, 32, 1), Strategy::HybridStop, &TrainOptions::all_on(), 2);
-    let m4 = pm.memory(&dims, &ParallelLayout::new(8, 64, 1), Strategy::HybridStop, &TrainOptions::all_on(), 2);
+    let m2 = pm.memory(
+        &dims,
+        &ParallelLayout::new(8, 32, 1),
+        Strategy::HybridStop,
+        &TrainOptions::all_on(),
+        2,
+    );
+    let m4 = pm.memory(
+        &dims,
+        &ParallelLayout::new(8, 64, 1),
+        Strategy::HybridStop,
+        &TrainOptions::all_on(),
+        2,
+    );
     let ratio = m2.persistent as f64 / m4.persistent as f64;
-    assert!((ratio - 2.0).abs() < 0.05, "analytic persistent ratio {ratio}");
+    assert!(
+        (ratio - 2.0).abs() < 0.05,
+        "analytic persistent ratio {ratio}"
+    );
 }
 
 #[test]

@@ -40,7 +40,10 @@ fn pretrain_finetune_beats_climatology_at_one_day() {
         }
     }
     // Climatology scores 0; a trained 1-day forecast must show real skill.
-    assert!(mean_acc > 0.15, "mean wACC {mean_acc} should beat climatology clearly");
+    assert!(
+        mean_acc > 0.15,
+        "mean wACC {mean_acc} should beat climatology clearly"
+    );
 }
 
 #[test]
@@ -67,7 +70,11 @@ fn skill_decays_with_lead_time() {
     // Wave autocorrelation oscillates at long leads, so we assert decay
     // in magnitude rather than strict monotonicity: near-perfect at one
     // step, clearly degraded at one day, near zero at a month.
-    assert!(accs[0] > 0.9, "1-step persistence near-perfect: {}", accs[0]);
+    assert!(
+        accs[0] > 0.9,
+        "1-step persistence near-perfect: {}",
+        accs[0]
+    );
     assert!(accs[1] < accs[0], "1-day {} !< 1-step {}", accs[1], accs[0]);
     assert!(
         accs[2].abs() < accs[0],
@@ -100,14 +107,25 @@ fn nwp_proxy_beats_persistence_at_two_weeks() {
             persist += wacc(&p, &targets[v], &clims[v], &w) / (4.0 * eval.len() as f32);
         }
     }
-    assert!(nwp > persist, "NWP proxy {nwp} should beat persistence {persist} at 14 days");
+    assert!(
+        nwp > persist,
+        "NWP proxy {nwp} should beat persistence {persist} at 14 days"
+    );
 }
 
 #[test]
 fn spectral_operator_learns_one_day_forecast() {
     let loader = laptop_loader(33).with_lead(4);
     let dims = VitConfig::ladder(0, 8).dims;
-    let mut fcn = SpectralOperator::new(dims.img_h, dims.img_w, dims.channels, dims.channels, 10, 20, 5);
+    let mut fcn = SpectralOperator::new(
+        dims.img_h,
+        dims.img_w,
+        dims.channels,
+        dims.channels,
+        10,
+        20,
+        5,
+    );
     let opt = AdamW {
         lr: 3e-3,
         ..AdamW::default()
