@@ -19,7 +19,7 @@ fn bench_collectives(c: &mut Criterion) {
                             let mut g = ctx.world_group();
                             let mut clock = std::mem::take(&mut ctx.clock);
                             let buf = vec![ctx.rank as f32; len];
-                            let out = g.all_reduce(&mut clock, &buf);
+                            let out = g.all_reduce(&mut clock, &buf).unwrap();
                             out[0]
                         })
                     })
@@ -35,7 +35,7 @@ fn bench_collectives(c: &mut Criterion) {
                             let mut g = ctx.world_group();
                             let mut clock = std::mem::take(&mut ctx.clock);
                             let buf = vec![ctx.rank as f32; len / world];
-                            g.all_gather(&mut clock, &buf).len()
+                            g.all_gather(&mut clock, &buf).unwrap().len()
                         })
                     })
                 },
@@ -50,7 +50,7 @@ fn bench_collectives(c: &mut Criterion) {
                             let mut g = ctx.world_group();
                             let mut clock = std::mem::take(&mut ctx.clock);
                             let buf = vec![1.0f32; len];
-                            g.reduce_scatter(&mut clock, &buf).len()
+                            g.reduce_scatter(&mut clock, &buf).unwrap().len()
                         })
                     })
                 },

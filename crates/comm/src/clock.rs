@@ -22,6 +22,10 @@ pub struct SimClock {
     /// Pending prefetched communication time that will be overlapped with
     /// upcoming compute (paper Sec. III-B, "Prefetching").
     prefetched: f64,
+    /// Compute slowdown multiplier (1.0 = healthy). Set above 1 by a
+    /// straggler fault ([`crate::FaultKind::Slow`]); every compute charge
+    /// takes `slowdown` times longer from then on.
+    slowdown: f64,
     /// Per-rank event log: every collective and compute interval, in
     /// program order (see [`crate::trace`]).
     events: Vec<TraceEvent>,
@@ -41,6 +45,7 @@ impl SimClock {
             comm_time: 0.0,
             flops: 0.0,
             prefetched: 0.0,
+            slowdown: 1.0,
             events: Vec::new(),
         }
     }
@@ -71,7 +76,7 @@ impl SimClock {
     /// compute) delays the clock.
     pub fn charge_compute(&mut self, flops: f64, sustained_flops: f64) {
         assert!(sustained_flops > 0.0, "throughput must be positive");
-        let t = flops / sustained_flops;
+        let t = flops / sustained_flops * self.slowdown;
         self.events.push(TraceEvent::Compute {
             t_start: self.now,
             dur: t,
@@ -115,6 +120,25 @@ impl SimClock {
         self.prefetched = 0.0;
         self.now += exposed;
         exposed
+    }
+
+    /// Straggler injection: make all future compute run `factor`x slower.
+    pub fn set_slowdown(&mut self, factor: f64) {
+        assert!(factor >= 1.0, "slowdown factor must be >= 1");
+        self.slowdown = factor;
+    }
+
+    /// Current compute slowdown multiplier (1.0 when healthy).
+    pub fn slowdown(&self) -> f64 {
+        self.slowdown
+    }
+
+    /// Record a fault (or recovery) instant into this rank's event log.
+    pub fn record_fault(&mut self, label: impl Into<String>) {
+        self.events.push(TraceEvent::Fault {
+            t: self.now,
+            label: label.into(),
+        });
     }
 
     /// Jump this clock forward to `t` if `t` is later (collective sync).
@@ -206,6 +230,29 @@ mod tests {
         assert_eq!(c.now(), 1.0);
         c.sync_to(2.0);
         assert_eq!(c.now(), 2.0);
+    }
+
+    #[test]
+    fn slowdown_scales_compute_time() {
+        let mut c = SimClock::new();
+        c.set_slowdown(3.0);
+        c.charge_compute(1e12, 1e12);
+        assert!((c.now() - 3.0).abs() < 1e-12, "straggler runs 3x slower");
+        assert_eq!(c.flops(), 1e12, "flops are unchanged, only time stretches");
+    }
+
+    #[test]
+    fn fault_instants_are_logged() {
+        let mut c = SimClock::new();
+        c.charge_comm(0.25);
+        c.record_fault("kill rank 2");
+        match c.events().last().unwrap() {
+            TraceEvent::Fault { t, label } => {
+                assert_eq!(*t, 0.25);
+                assert_eq!(label, "kill rank 2");
+            }
+            other => panic!("expected fault event, got {other:?}"),
+        }
     }
 
     #[test]

@@ -1,10 +1,22 @@
 //! Cluster runtime: one thread per simulated GPU.
+//!
+//! Two launch modes: [`Cluster::run`] for programs where any failure is a
+//! bug (panics propagate), and [`Cluster::try_run`] for fault-tolerant
+//! programs — each rank returns `Result<R, SimError>`, failures poison the
+//! rendezvous engine so surviving ranks unblock with
+//! [`CommError::PeerFailure`](crate::CommError::PeerFailure), and the
+//! launch reports a per-rank [`RankOutcome`] instead of panicking.
 
 use crate::clock::SimClock;
-use crate::group::{Engine, ProcessGroup};
+use crate::fault::{FailureCause, FaultKind, FaultPlan, FaultPlanState, RankOutcome, SimError};
+use crate::group::{Engine, ProcessGroup, DEFAULT_OP_TIMEOUT};
 use crate::memory::Device;
+use crate::CommError;
 use orbit_frontier::machine::FrontierMachine;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Handle to the simulated cluster, used to launch SPMD programs.
 pub struct Cluster {
@@ -12,6 +24,15 @@ pub struct Cluster {
     /// Device capacity override for laptop-scale experiments (`None` uses
     /// the machine's real 64 GB, which tiny test tensors never exhaust).
     device_capacity: Option<u64>,
+    /// Fault schedule shared across launches of this cluster: fired events
+    /// stay fired, so a checkpoint/restart relaunch does not replay a kill
+    /// (the failed node is modeled as replaced).
+    fault_plan: Option<Arc<FaultPlanState>>,
+    /// Wall-clock rendezvous timeout for collective/p2p ops. Simulated
+    /// time cannot advance while a thread is OS-blocked in a rendezvous,
+    /// so the deadlock backstop is necessarily wall-clock: it bounds how
+    /// long a *real* thread waits, independent of the modeled timeline.
+    op_timeout: Duration,
 }
 
 impl Cluster {
@@ -20,6 +41,8 @@ impl Cluster {
         Cluster {
             machine,
             device_capacity: None,
+            fault_plan: None,
+            op_timeout: DEFAULT_OP_TIMEOUT,
         }
     }
 
@@ -34,27 +57,70 @@ impl Cluster {
         self
     }
 
+    /// Install a deterministic fault schedule. Events fire at step
+    /// boundaries ([`RankCtx::begin_step`]) and each fires at most once
+    /// across every launch of this cluster.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(Arc::new(FaultPlanState::new(plan)));
+        self
+    }
+
+    /// Set the wall-clock rendezvous timeout (default 60 s). Ops that
+    /// cannot complete — e.g. a peer skipped a collective — fail with
+    /// [`CommError::Timeout`] instead of hanging forever.
+    pub fn with_op_timeout(mut self, timeout: Duration) -> Self {
+        self.op_timeout = timeout;
+        self
+    }
+
     /// Run an SPMD function on `world` ranks; returns each rank's result in
     /// rank order. The closure receives a [`RankCtx`] with the rank id, a
     /// memory-tracked device, a simulated clock, and a group factory.
     ///
     /// Panics in any rank propagate (they indicate a bug in the program,
     /// not a simulated failure; simulated failures like OOM are `Result`s).
+    /// Fault-tolerant programs should use [`Cluster::try_run`] instead.
     pub fn run<R, F>(&self, world: usize, f: F) -> Vec<R>
     where
         R: Send,
         F: Fn(&mut RankCtx) -> R + Sync,
     {
+        let outcomes = self.try_run(world, |ctx| Ok(f(ctx)));
+        outcomes
+            .into_iter()
+            .map(|o| match o {
+                RankOutcome::Ok(r) => r,
+                RankOutcome::Failed(cause) => panic!("rank thread panicked: {cause}"),
+            })
+            .collect()
+    }
+
+    /// Run a fault-tolerant SPMD function on `world` ranks. Each rank
+    /// returns `Result<R, SimError>`; an `Err` (or a panic) marks the rank
+    /// failed in the shared rendezvous engine, so every peer blocked in a
+    /// collective or p2p wait unblocks with
+    /// [`CommError::PeerFailure`](crate::CommError::PeerFailure) instead of
+    /// deadlocking. Returns a [`RankOutcome`] per rank; never panics on
+    /// rank failure.
+    pub fn try_run<R, F>(&self, world: usize, f: F) -> Vec<RankOutcome<R>>
+    where
+        R: Send,
+        F: Fn(&mut RankCtx) -> Result<R, SimError> + Sync,
+    {
         assert!(world > 0, "world must be positive");
+        // Fresh rendezvous state per launch (failures do not carry over to
+        // a restart), but the fault plan's fired-event latches persist.
         let engine = Arc::new(Engine::new());
         let machine = Arc::new(self.machine.clone());
         let capacity = self.device_capacity.unwrap_or(self.machine.mem_per_gpu);
-        let mut out: Vec<Option<R>> = (0..world).map(|_| None).collect();
+        let mut out: Vec<Option<RankOutcome<R>>> = (0..world).map(|_| None).collect();
         std::thread::scope(|s| {
             let handles: Vec<_> = (0..world)
                 .map(|rank| {
                     let engine = Arc::clone(&engine);
                     let machine = Arc::clone(&machine);
+                    let fault = self.fault_plan.as_ref().map(Arc::clone);
+                    let op_timeout = self.op_timeout;
                     let f = &f;
                     s.spawn(move || {
                         let mut ctx = RankCtx {
@@ -62,18 +128,52 @@ impl Cluster {
                             world,
                             device: Device::new(capacity),
                             clock: SimClock::new(),
-                            engine,
+                            engine: Arc::clone(&engine),
                             machine,
+                            fault,
+                            op_timeout,
+                            link_factor: Arc::new(AtomicU64::new(1.0f64.to_bits())),
                         };
-                        f(&mut ctx)
+                        let result = catch_unwind(AssertUnwindSafe(|| f(&mut ctx)));
+                        match result {
+                            Ok(Ok(r)) => RankOutcome::Ok(r),
+                            Ok(Err(e)) => {
+                                // A rank that died observing a *peer's*
+                                // failure is dead for rendezvous purposes
+                                // but must not steal the blame from the
+                                // root cause.
+                                if matches!(e, SimError::Comm(CommError::PeerFailure { .. })) {
+                                    engine.mark_failed_secondary(rank);
+                                } else {
+                                    engine.mark_failed(rank);
+                                }
+                                RankOutcome::Failed(FailureCause::Sim(e))
+                            }
+                            Err(payload) => {
+                                engine.mark_failed(rank);
+                                RankOutcome::Failed(FailureCause::Panic(panic_message(&*payload)))
+                            }
+                        }
                     })
                 })
                 .collect();
             for (i, h) in handles.into_iter().enumerate() {
-                out[i] = Some(h.join().expect("rank thread panicked"));
+                // The closure's panics are caught inside; a join error here
+                // would mean the harness itself is broken.
+                out[i] = Some(h.join().expect("rank harness thread died"));
             }
         });
         out.into_iter().map(|o| o.unwrap()).collect()
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "unknown panic payload".to_string()
     }
 }
 
@@ -89,6 +189,13 @@ pub struct RankCtx {
     pub clock: SimClock,
     engine: Arc<Engine>,
     machine: Arc<FrontierMachine>,
+    /// Shared fault schedule, if the cluster has one.
+    fault: Option<Arc<FaultPlanState>>,
+    op_timeout: Duration,
+    /// This rank's link degradation multiplier (f64 bits), shared with
+    /// every [`ProcessGroup`] the rank creates so a fault injected mid-run
+    /// affects communicators built earlier.
+    link_factor: Arc<AtomicU64>,
 }
 
 impl RankCtx {
@@ -97,7 +204,10 @@ impl RankCtx {
     /// each logical communicator should be created once per rank (the
     /// operation sequence number lives in the handle).
     pub fn group(&self, ranks: Vec<usize>) -> ProcessGroup {
-        ProcessGroup::new(&self.engine, &self.machine, ranks, self.rank)
+        let mut g = ProcessGroup::new(&self.engine, &self.machine, ranks, self.rank);
+        g.set_timeout(self.op_timeout);
+        g.set_link_factor(Arc::clone(&self.link_factor));
+        g
     }
 
     /// Communicator over the whole world.
@@ -109,11 +219,55 @@ impl RankCtx {
     pub fn machine(&self) -> &FrontierMachine {
         &self.machine
     }
+
+    /// Declare a step boundary and fire any fault-plan events due for this
+    /// rank at or before `step`. Kills and severed links return errors
+    /// (the rank should propagate them and die); stragglers, degraded
+    /// links, and OOM poisoning take effect silently. Every fired event is
+    /// recorded into the trace as a fault instant. A no-op without a plan.
+    pub fn begin_step(&mut self, step: u64) -> Result<(), SimError> {
+        let Some(plan) = self.fault.as_ref().map(Arc::clone) else {
+            return Ok(());
+        };
+        for ev in plan.due(self.rank, step) {
+            match ev.kind {
+                FaultKind::Kill => {
+                    self.clock.record_fault(format!("kill rank {}", self.rank));
+                    return Err(SimError::Killed {
+                        rank: self.rank,
+                        step,
+                    });
+                }
+                FaultKind::Slow { factor } => {
+                    self.clock
+                        .record_fault(format!("slow rank {} x{factor}", self.rank));
+                    self.clock.set_slowdown(factor);
+                }
+                FaultKind::DegradeLinks { factor } => {
+                    self.clock
+                        .record_fault(format!("degrade links rank {} x{factor}", self.rank));
+                    self.link_factor.store(factor.to_bits(), Ordering::Relaxed);
+                }
+                FaultKind::SeverLink => {
+                    self.clock
+                        .record_fault(format!("sever link rank {}", self.rank));
+                    return Err(SimError::Comm(CommError::LinkDown { rank: self.rank }));
+                }
+                FaultKind::Oom => {
+                    self.clock
+                        .record_fault(format!("poison alloc rank {}", self.rank));
+                    self.device.poison_next_alloc();
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultPlan;
 
     #[test]
     fn world_runs_and_returns_in_rank_order() {
@@ -126,7 +280,7 @@ mod tests {
         let results = Cluster::frontier().run(4, |ctx| {
             let mut g = ctx.world_group();
             let mut clock = std::mem::take(&mut ctx.clock);
-            let r = g.all_reduce_scalar(&mut clock, 1.0);
+            let r = g.all_reduce_scalar(&mut clock, 1.0).unwrap();
             ctx.clock = clock;
             r
         });
@@ -169,8 +323,8 @@ mod tests {
             let mut tp = ctx.group(tp_ranks);
             let mut fsdp = ctx.group(fsdp_ranks);
             let mut clock = std::mem::take(&mut ctx.clock);
-            let summed = tp.all_reduce_scalar(&mut clock, ctx.rank as f32);
-            let gathered = fsdp.all_gather(&mut clock, &[summed]);
+            let summed = tp.all_reduce_scalar(&mut clock, ctx.rank as f32).unwrap();
+            let gathered = fsdp.all_gather(&mut clock, &[summed]).unwrap();
             ctx.clock = clock;
             gathered
         });
@@ -186,12 +340,81 @@ mod tests {
             let mut g = ctx.world_group();
             let mut clock = std::mem::take(&mut ctx.clock);
             let big = vec![1.0f32; 1 << 22];
-            g.all_reduce(&mut clock, &big);
+            g.all_reduce(&mut clock, &big).unwrap();
             let t_big = clock.now();
-            g.all_reduce(&mut clock, &[1.0]);
+            g.all_reduce(&mut clock, &[1.0]).unwrap();
             (t_big, clock.now() - t_big)
         });
         let (t_big, t_small) = results[0];
         assert!(t_big > 10.0 * t_small, "big {t_big} vs small {t_small}");
+    }
+
+    #[test]
+    fn try_run_reports_per_rank_outcomes() {
+        let outcomes = Cluster::frontier().try_run(2, |ctx| {
+            if ctx.rank == 1 {
+                Err(SimError::State("injected".into()))
+            } else {
+                Ok(ctx.rank)
+            }
+        });
+        assert!(outcomes[0].is_ok());
+        assert!(matches!(
+            outcomes[1].sim_error(),
+            Some(SimError::State(msg)) if msg == "injected"
+        ));
+    }
+
+    #[test]
+    fn try_run_catches_panics_as_failures() {
+        let outcomes = Cluster::frontier().try_run(2, |ctx| {
+            if ctx.rank == 0 {
+                panic!("boom on rank 0");
+            }
+            Ok(ctx.rank)
+        });
+        match outcomes[0].failure() {
+            Some(FailureCause::Panic(msg)) => assert!(msg.contains("boom")),
+            other => panic!("expected panic failure, got {other:?}"),
+        }
+        assert!(outcomes[1].is_ok());
+    }
+
+    #[test]
+    fn begin_step_fires_kill_and_oom() {
+        let cluster = Cluster::frontier().with_fault_plan(FaultPlan::new().kill(1, 2).oom(0, 0));
+        let outcomes = cluster.try_run(2, |ctx| {
+            for step in 0..4u64 {
+                ctx.begin_step(step)?;
+                if ctx.rank == 0 && step == 0 {
+                    // The poisoned allocation fails exactly once.
+                    assert!(ctx.device.alloc(8).is_err());
+                    assert!(ctx.device.alloc(8).is_ok());
+                }
+            }
+            Ok(ctx.rank)
+        });
+        assert!(outcomes[0].is_ok());
+        assert!(matches!(
+            outcomes[1].sim_error(),
+            Some(SimError::Killed { rank: 1, step: 2 })
+        ));
+    }
+
+    #[test]
+    fn fault_events_fire_once_across_relaunches() {
+        // First launch kills rank 0; the relaunch (same cluster) must run
+        // clean — the dead node was "replaced".
+        let cluster = Cluster::frontier().with_fault_plan(FaultPlan::new().kill(0, 0));
+        let first = cluster.try_run(2, |ctx| {
+            ctx.begin_step(0)?;
+            Ok(())
+        });
+        assert!(!first[0].is_ok());
+        let second = cluster.try_run(2, |ctx| {
+            ctx.begin_step(0)?;
+            Ok(())
+        });
+        assert!(second.iter().all(|o| o.is_ok()));
     }
 }

@@ -1,0 +1,381 @@
+//! Deterministic fault injection and the failure taxonomy.
+//!
+//! At ORBIT's scale (up to 49,152 GCDs for hours) node and link failures
+//! are routine operational events, not exceptions; the paper's training
+//! recipe survives them through periodic checkpointing and restart. This
+//! module gives the simulated cluster the same failure surface: a seeded,
+//! reproducible [`FaultPlan`] describes *what goes wrong and when*, and the
+//! error types below describe *how the runtime observes it*.
+//!
+//! Faults are injected at step boundaries: an SPMD program calls
+//! [`crate::RankCtx::begin_step`] once per training step, and any plan
+//! event with `step <= current` that has not fired yet triggers there.
+//! Every event fires **at most once per plan** — a rank killed in one
+//! launch stays dead for that launch, and a relaunch of the same
+//! [`crate::Cluster`] (the checkpoint/restart path) does not replay it,
+//! modelling a repaired or replaced node.
+
+use crate::memory::OomError;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// A communication-layer failure observed by a collective or p2p op.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommError {
+    /// A member of the communicator died (killed, panicked, or errored
+    /// out); the rendezvous can never complete.
+    PeerFailure { rank: usize },
+    /// This rank's own network link was severed by the fault plan.
+    LinkDown { rank: usize },
+    /// The op exceeded the cluster's wall-clock rendezvous timeout (see
+    /// [`crate::Cluster::with_op_timeout`]) without a detected failure —
+    /// the backstop that turns would-be deadlocks into typed errors.
+    Timeout { op: &'static str },
+}
+
+impl fmt::Display for CommError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommError::PeerFailure { rank } => write!(f, "peer failure: rank {rank} died"),
+            CommError::LinkDown { rank } => write!(f, "link down on rank {rank}"),
+            CommError::Timeout { op } => write!(f, "collective {op} timed out"),
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+/// Any simulated failure a rank can experience during training.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// Device memory exhausted (organically or via an injected OOM).
+    Oom(OomError),
+    /// A collective or p2p operation failed.
+    Comm(CommError),
+    /// This rank was killed by the fault plan at the given step.
+    Killed { rank: usize, step: u64 },
+    /// A state-level error (checkpoint mismatch, restart budget, ...).
+    State(String),
+}
+
+impl SimError {
+    /// The underlying OOM error, if this is one.
+    pub fn as_oom(&self) -> Option<&OomError> {
+        match self {
+            SimError::Oom(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// The underlying communication error, if this is one.
+    pub fn as_comm(&self) -> Option<&CommError> {
+        match self {
+            SimError::Comm(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Oom(e) => write!(f, "{e}"),
+            SimError::Comm(e) => write!(f, "{e}"),
+            SimError::Killed { rank, step } => {
+                write!(f, "rank {rank} killed by fault plan at step {step}")
+            }
+            SimError::State(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<OomError> for SimError {
+    fn from(e: OomError) -> Self {
+        SimError::Oom(e)
+    }
+}
+
+impl From<CommError> for SimError {
+    fn from(e: CommError) -> Self {
+        SimError::Comm(e)
+    }
+}
+
+/// Why a rank failed during [`crate::Cluster::try_run`].
+#[derive(Debug, Clone)]
+pub enum FailureCause {
+    /// A simulated failure (OOM, comm error, injected kill, ...).
+    Sim(SimError),
+    /// The rank's thread panicked — a bug in the SPMD program, surfaced
+    /// with its panic message so peers still unblock cleanly.
+    Panic(String),
+}
+
+impl fmt::Display for FailureCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FailureCause::Sim(e) => write!(f, "{e}"),
+            FailureCause::Panic(msg) => write!(f, "panic: {msg}"),
+        }
+    }
+}
+
+/// Per-rank result of a fallible SPMD launch ([`crate::Cluster::try_run`]).
+#[derive(Debug)]
+pub enum RankOutcome<R> {
+    /// The rank ran to completion.
+    Ok(R),
+    /// The rank died (simulated failure or panic).
+    Failed(FailureCause),
+}
+
+impl<R> RankOutcome<R> {
+    /// True when the rank completed.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, RankOutcome::Ok(_))
+    }
+
+    /// The rank's result, if it completed.
+    pub fn ok(self) -> Option<R> {
+        match self {
+            RankOutcome::Ok(r) => Some(r),
+            RankOutcome::Failed(_) => None,
+        }
+    }
+
+    /// The failure cause, if the rank died.
+    pub fn failure(&self) -> Option<&FailureCause> {
+        match self {
+            RankOutcome::Ok(_) => None,
+            RankOutcome::Failed(c) => Some(c),
+        }
+    }
+
+    /// The simulated error, if the rank died of one (not a panic).
+    pub fn sim_error(&self) -> Option<&SimError> {
+        match self.failure() {
+            Some(FailureCause::Sim(e)) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// What an injected fault does to its target rank.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// The rank dies: `begin_step` returns [`SimError::Killed`] and every
+    /// peer blocked in a rendezvous with it unblocks with
+    /// [`CommError::PeerFailure`].
+    Kill,
+    /// Straggler: the rank's compute runs `factor`x slower from this step
+    /// on. The slowdown propagates to every peer through collective clock
+    /// synchronization — the whole job runs at the straggler's pace.
+    Slow { factor: f64 },
+    /// All links touching the rank degrade: its modeled communication
+    /// times are multiplied by `factor`. Deterministic regardless of
+    /// thread arrival order (collectives take the max over members).
+    DegradeLinks { factor: f64 },
+    /// The rank's link is severed: `begin_step` returns
+    /// [`CommError::LinkDown`] and the rank drops out like a kill.
+    SeverLink,
+    /// The rank's next device allocation fails with a simulated OOM.
+    Oom,
+}
+
+/// One scheduled fault: `kind` hits `rank` at the first `begin_step` whose
+/// step counter is `>= step`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    pub rank: usize,
+    pub step: u64,
+    pub kind: FaultKind,
+}
+
+/// A deterministic schedule of faults for one cluster. Build explicitly or
+/// derive reproducibly from a seed with [`FaultPlan::seeded`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Kill `rank` at `step`.
+    pub fn kill(mut self, rank: usize, step: u64) -> Self {
+        self.events.push(FaultEvent {
+            rank,
+            step,
+            kind: FaultKind::Kill,
+        });
+        self
+    }
+
+    /// Slow `rank`'s compute by `factor` from `step` on.
+    pub fn slow(mut self, rank: usize, step: u64, factor: f64) -> Self {
+        assert!(factor >= 1.0, "slowdown factor must be >= 1");
+        self.events.push(FaultEvent {
+            rank,
+            step,
+            kind: FaultKind::Slow { factor },
+        });
+        self
+    }
+
+    /// Degrade all links touching `rank` by `factor` from `step` on.
+    pub fn degrade_links(mut self, rank: usize, step: u64, factor: f64) -> Self {
+        assert!(factor >= 1.0, "degradation factor must be >= 1");
+        self.events.push(FaultEvent {
+            rank,
+            step,
+            kind: FaultKind::DegradeLinks { factor },
+        });
+        self
+    }
+
+    /// Sever `rank`'s link at `step`.
+    pub fn sever_link(mut self, rank: usize, step: u64) -> Self {
+        self.events.push(FaultEvent {
+            rank,
+            step,
+            kind: FaultKind::SeverLink,
+        });
+        self
+    }
+
+    /// Force a simulated OOM on `rank`'s next allocation after `step`.
+    pub fn oom(mut self, rank: usize, step: u64) -> Self {
+        self.events.push(FaultEvent {
+            rank,
+            step,
+            kind: FaultKind::Oom,
+        });
+        self
+    }
+
+    /// A reproducible random plan: `n_faults` events over `world` ranks
+    /// and steps `0..max_step`, drawn from a splitmix64 stream. The same
+    /// seed always yields the same plan.
+    pub fn seeded(seed: u64, world: usize, max_step: u64, n_faults: usize) -> Self {
+        assert!(world > 0 && max_step > 0);
+        let mut s = seed;
+        let mut next = move || {
+            // splitmix64: tiny, well-distributed, dependency-free.
+            s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let mut plan = FaultPlan::new();
+        for _ in 0..n_faults {
+            let rank = (next() % world as u64) as usize;
+            let step = next() % max_step;
+            plan = match next() % 5 {
+                0 => plan.kill(rank, step),
+                1 => plan.slow(rank, step, 2.0 + (next() % 8) as f64),
+                2 => plan.degrade_links(rank, step, 2.0 + (next() % 8) as f64),
+                3 => plan.sever_link(rank, step),
+                _ => plan.oom(rank, step),
+            };
+        }
+        plan
+    }
+
+    /// The scheduled events, in insertion order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+}
+
+/// Runtime state of a plan: each event carries a fired-once latch. Shared
+/// (via `Arc`) across every launch of the owning [`crate::Cluster`], so
+/// checkpoint/restart relaunches do not replay already-fired faults.
+#[derive(Debug)]
+pub(crate) struct FaultPlanState {
+    events: Vec<(FaultEvent, AtomicBool)>,
+}
+
+impl FaultPlanState {
+    pub(crate) fn new(plan: FaultPlan) -> Self {
+        FaultPlanState {
+            events: plan
+                .events
+                .into_iter()
+                .map(|e| (e, AtomicBool::new(false)))
+                .collect(),
+        }
+    }
+
+    /// Claim (fire exactly once) every not-yet-fired event due for `rank`
+    /// at or before `step`, in plan order.
+    pub(crate) fn due(&self, rank: usize, step: u64) -> Vec<FaultEvent> {
+        self.events
+            .iter()
+            .filter(|(e, fired)| {
+                e.rank == rank
+                    && e.step <= step
+                    && fired
+                        .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+            })
+            .map(|(e, _)| *e)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_plans_are_reproducible() {
+        let a = FaultPlan::seeded(7, 8, 100, 5);
+        let b = FaultPlan::seeded(7, 8, 100, 5);
+        assert_eq!(a, b, "same seed, same plan");
+        let c = FaultPlan::seeded(8, 8, 100, 5);
+        assert_ne!(a, c, "different seed, different plan");
+        assert_eq!(a.events().len(), 5);
+        for e in a.events() {
+            assert!(e.rank < 8);
+            assert!(e.step < 100);
+        }
+    }
+
+    #[test]
+    fn events_fire_exactly_once() {
+        let state = FaultPlanState::new(FaultPlan::new().kill(1, 3).slow(1, 5, 2.0));
+        assert!(state.due(1, 2).is_empty(), "nothing due before step 3");
+        assert!(state.due(0, 10).is_empty(), "other ranks unaffected");
+        let due = state.due(1, 4);
+        assert_eq!(due.len(), 1);
+        assert_eq!(due[0].kind, FaultKind::Kill);
+        // A later step picks up the remaining event but never replays.
+        let due = state.due(1, 10);
+        assert_eq!(due.len(), 1);
+        assert!(matches!(due[0].kind, FaultKind::Slow { .. }));
+        assert!(state.due(1, 10).is_empty(), "fired events never replay");
+    }
+
+    #[test]
+    fn errors_display_and_convert() {
+        let e: SimError = CommError::PeerFailure { rank: 3 }.into();
+        assert!(e.to_string().contains("rank 3"));
+        assert_eq!(e.as_comm(), Some(&CommError::PeerFailure { rank: 3 }));
+        let oom: SimError = OomError {
+            requested: 10,
+            in_use: 0,
+            capacity: 5,
+        }
+        .into();
+        assert_eq!(oom.as_oom().unwrap().capacity, 5);
+        assert!(SimError::Killed { rank: 1, step: 2 }
+            .to_string()
+            .contains("killed"));
+    }
+}

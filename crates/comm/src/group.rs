@@ -7,13 +7,35 @@
 //! ring-algorithm costs on the link the group actually spans (intra-node
 //! Infinity Fabric vs inter-node Slingshot — the distinction behind the
 //! paper's Fig. 4 hierarchical placement).
+//!
+//! ## Failure detection
+//!
+//! Every op returns `Result<_, CommError>` instead of deadlocking. A dead
+//! rank poisons the rendezvous engine ([`Engine::mark_failed`]): peers
+//! blocked in any rendezvous or p2p wait are woken and observe
+//! [`CommError::PeerFailure`]. A wall-clock timeout backstops detection —
+//! an op that can never complete for any *other* reason (e.g. a buggy
+//! program where one rank skipped a collective) surfaces as
+//! [`CommError::Timeout`] instead of hanging the process.
+//!
+//! The check-then-wait sequence runs under the slot mutex, and
+//! [`Engine::mark_failed`] acquires that mutex before notifying, so a
+//! waiter can never miss the failure signal (no lost wakeup).
 
 use crate::clock::SimClock;
+use crate::fault::CommError;
 use crate::trace::{CommEvent, CommOp};
 use orbit_frontier::machine::{FrontierMachine, LinkKind};
-use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// Lock a mutex, ignoring poisoning: a panicked rank is handled by the
+/// failure-detection path, not by propagating the poison to peers.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// Which collective a rendezvous slot is running (sanity-checked so all
 /// members issued the same op in the same order).
@@ -26,6 +48,18 @@ enum OpKind {
     Barrier,
 }
 
+impl OpKind {
+    fn name(self) -> &'static str {
+        match self {
+            OpKind::AllGather => "all_gather",
+            OpKind::ReduceScatter => "reduce_scatter",
+            OpKind::AllReduce => "all_reduce",
+            OpKind::Broadcast { .. } => "broadcast",
+            OpKind::Barrier => "barrier",
+        }
+    }
+}
+
 struct OpSlot {
     kind: OpKind,
     contributions: Vec<Option<Vec<f32>>>,
@@ -34,6 +68,10 @@ struct OpSlot {
     done: bool,
     results: Vec<Option<Vec<f32>>>,
     t_end: f64,
+    /// Max modeled comm time contributed by any member. Using the max (not
+    /// the last arriver's value) keeps `t_end` deterministic when members
+    /// disagree — e.g. one rank's links are degraded by a fault.
+    comm_max: f64,
     picked: usize,
 }
 
@@ -47,6 +85,7 @@ impl OpSlot {
             done: false,
             results: (0..p).map(|_| None).collect(),
             t_end: 0.0,
+            comm_max: 0.0,
             picked: 0,
         }
     }
@@ -56,6 +95,14 @@ impl OpSlot {
 /// sender's clock at send time.
 type Mailboxes = Mutex<HashMap<(usize, usize, u64), (Vec<f32>, f64)>>;
 
+/// Global ranks that have died this launch (killed, panicked, or errored
+/// out), mapped to whether the death was a *root cause* (`true`: its own
+/// kill/OOM/panic/timeout) or *secondary* (`false`: it died observing a
+/// peer's failure). Shared engine-wide so every group observes the same
+/// failures; blame prefers root causes so every survivor of a cascade
+/// reports the rank that actually died first.
+type FailedSet = Mutex<HashMap<usize, bool>>;
+
 struct GroupShared {
     ranks: Vec<usize>,
     slots: Mutex<HashMap<u64, OpSlot>>,
@@ -63,23 +110,27 @@ struct GroupShared {
     /// Point-to-point mailboxes (see [`Mailboxes`]).
     mailboxes: Mailboxes,
     p2p_cv: Condvar,
+    /// Engine-wide failed set (shared by every group of the engine).
+    failed: Arc<FailedSet>,
 }
 
 /// The per-cluster rendezvous engine: owns one [`GroupShared`] per distinct
-/// rank set.
+/// rank set, plus the engine-wide failed-rank set.
 pub(crate) struct Engine {
     groups: Mutex<HashMap<Vec<usize>, Arc<GroupShared>>>,
+    failed: Arc<FailedSet>,
 }
 
 impl Engine {
     pub(crate) fn new() -> Self {
         Engine {
             groups: Mutex::new(HashMap::new()),
+            failed: Arc::new(Mutex::new(HashMap::new())),
         }
     }
 
     fn shared_for(&self, ranks: &[usize]) -> Arc<GroupShared> {
-        let mut groups = self.groups.lock();
+        let mut groups = lock(&self.groups);
         Arc::clone(groups.entry(ranks.to_vec()).or_insert_with(|| {
             Arc::new(GroupShared {
                 ranks: ranks.to_vec(),
@@ -87,9 +138,52 @@ impl Engine {
                 cv: Condvar::new(),
                 mailboxes: Mutex::new(HashMap::new()),
                 p2p_cv: Condvar::new(),
+                failed: Arc::clone(&self.failed),
             })
         }))
     }
+
+    /// Record `rank` as dead and wake every thread blocked in a rendezvous
+    /// or p2p wait so it can observe the failure. Acquiring each group's
+    /// slot/mailbox mutex before notifying guarantees no waiter is between
+    /// its failed-set check and its wait when the notification fires.
+    pub(crate) fn mark_failed(&self, rank: usize) {
+        self.mark_failed_with(rank, true);
+    }
+
+    /// [`Engine::mark_failed`] for a rank that died *because a peer died*
+    /// (its error was [`CommError::PeerFailure`]): still dead for rendezvous
+    /// purposes, but never blamed while a root-cause rank is visible.
+    pub(crate) fn mark_failed_secondary(&self, rank: usize) {
+        self.mark_failed_with(rank, false);
+    }
+
+    fn mark_failed_with(&self, rank: usize, root: bool) {
+        *lock(&self.failed).entry(rank).or_insert(root) |= root;
+        let groups: Vec<Arc<GroupShared>> = lock(&self.groups).values().cloned().collect();
+        for g in groups {
+            drop(lock(&g.slots));
+            g.cv.notify_all();
+            drop(lock(&g.mailboxes));
+            g.p2p_cv.notify_all();
+        }
+    }
+
+    /// Global ranks marked failed so far (sorted).
+    #[cfg(test)]
+    pub(crate) fn failed_ranks(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = lock(&self.failed).keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+/// Default wall-clock rendezvous timeout (see
+/// [`crate::Cluster::with_op_timeout`]).
+pub(crate) const DEFAULT_OP_TIMEOUT: Duration = Duration::from_secs(60);
+
+fn healthy_link_factor() -> Arc<AtomicU64> {
+    Arc::new(AtomicU64::new(1.0f64.to_bits()))
 }
 
 /// One rank's handle to a communicator over a fixed set of global ranks.
@@ -99,6 +193,9 @@ impl Engine {
 pub struct ProcessGroup {
     shared: Arc<GroupShared>,
     my_idx: usize,
+    /// This rank's global id (used to exclude self from peer-failure
+    /// checks).
+    my_rank: usize,
     seq: u64,
     /// Per-peer point-to-point sequence numbers (send and receive sides
     /// count the same stream, so matching is deterministic).
@@ -110,6 +207,12 @@ pub struct ProcessGroup {
     /// Modeled bytes per element on the wire (4 for f32 payloads, 2 when
     /// the training runs BF16 mixed precision and communicates bf16).
     wire_bytes: f64,
+    /// Wall-clock rendezvous timeout (deadlock backstop).
+    timeout: Duration,
+    /// Link degradation multiplier for this rank (f64 bits; 1.0 = healthy).
+    /// Shared with the owning [`crate::RankCtx`] so a fault injected
+    /// mid-run affects groups created earlier.
+    link_factor: Arc<AtomicU64>,
 }
 
 impl ProcessGroup {
@@ -153,13 +256,26 @@ impl ProcessGroup {
         ProcessGroup {
             shared: engine.shared_for(&ranks),
             my_idx,
+            my_rank,
             seq: 0,
             p2p_seq: HashMap::new(),
             link,
             bandwidth,
             latency,
             wire_bytes: 4.0,
+            timeout: DEFAULT_OP_TIMEOUT,
+            link_factor: healthy_link_factor(),
         }
+    }
+
+    /// Set the wall-clock rendezvous timeout for this group's ops.
+    pub(crate) fn set_timeout(&mut self, timeout: Duration) {
+        self.timeout = timeout;
+    }
+
+    /// Share this rank's link-degradation handle (set by fault injection).
+    pub(crate) fn set_link_factor(&mut self, factor: Arc<AtomicU64>) {
+        self.link_factor = factor;
     }
 
     /// Set the modeled on-wire bytes per element (2.0 under BF16 mixed
@@ -189,8 +305,30 @@ impl ProcessGroup {
         self.link
     }
 
+    fn link_degradation(&self) -> f64 {
+        f64::from_bits(self.link_factor.load(Ordering::Relaxed))
+    }
+
     fn ring_time(&self, steps: f64, bytes_per_step: f64) -> f64 {
-        steps * (self.latency + bytes_per_step / self.bandwidth)
+        steps * (self.latency + bytes_per_step / self.bandwidth) * self.link_degradation()
+    }
+
+    /// Dead group member to blame, if any: the lowest-ranked *root-cause*
+    /// death, falling back to the lowest secondary death when the root is
+    /// outside this group (every survivor of a cascade therefore names the
+    /// rank that actually died first, not a peer that merely died with it).
+    fn failed_peer(&self) -> Option<usize> {
+        let failed = lock(&self.shared.failed);
+        let dead = |root_only: bool| {
+            self.shared
+                .ranks
+                .iter()
+                .copied()
+                .filter(|&r| r != self.my_rank)
+                .filter(|r| failed.get(r).is_some_and(|&root| root || !root_only))
+                .min()
+        };
+        dead(true).or_else(|| dead(false))
     }
 
     /// Record a [`CommEvent`] for an op this rank just completed.
@@ -219,7 +357,9 @@ impl ProcessGroup {
 
     /// Run one rendezvous: deposit `data`, wait for all members, pick up
     /// this rank's result. `finish` is executed exactly once by the last
-    /// arriver to compute all members' results.
+    /// arriver to compute all members' results. Fails (without blocking
+    /// forever) when a group member is dead or the wall-clock timeout
+    /// expires.
     fn exchange(
         &mut self,
         kind: OpKind,
@@ -227,16 +367,21 @@ impl ProcessGroup {
         clock_now: f64,
         comm_time: f64,
         finish: impl FnOnce(&[Option<Vec<f32>>]) -> Vec<Option<Vec<f32>>>,
-    ) -> (Vec<f32>, f64) {
+    ) -> Result<(Vec<f32>, f64), CommError> {
         let p = self.size();
         if p == 1 {
             let out = finish(&[Some(data)]).swap_remove(0).unwrap_or_default();
             self.seq += 1;
-            return (out, clock_now);
+            return Ok((out, clock_now));
+        }
+        // Fail fast before depositing if a peer is already known dead.
+        if let Some(rank) = self.failed_peer() {
+            return Err(CommError::PeerFailure { rank });
         }
         let seq = self.seq;
         self.seq += 1;
-        let mut slots = self.shared.slots.lock();
+        let deadline = Instant::now() + self.timeout;
+        let mut slots = lock(&self.shared.slots);
         let slot = slots.entry(seq).or_insert_with(|| OpSlot::new(kind, p));
         assert_eq!(slot.kind, kind, "collective op mismatch at seq {seq}");
         assert!(
@@ -245,18 +390,37 @@ impl ProcessGroup {
         );
         slot.contributions[self.my_idx] = Some(data);
         slot.clocks[self.my_idx] = clock_now;
+        slot.comm_max = slot.comm_max.max(comm_time);
         slot.arrived += 1;
         if slot.arrived == p {
             let results = finish(&slot.contributions);
             let t_start = slot.clocks.iter().cloned().fold(0.0, f64::max);
-            slot.t_end = t_start + comm_time;
+            slot.t_end = t_start + slot.comm_max;
             slot.results = results;
             slot.done = true;
             slot.contributions.iter_mut().for_each(|c| *c = None);
             self.shared.cv.notify_all();
         } else {
-            while !slots.get(&seq).map(|s| s.done).unwrap_or(false) {
-                self.shared.cv.wait(&mut slots);
+            loop {
+                if slots.get(&seq).map(|s| s.done).unwrap_or(false) {
+                    break;
+                }
+                // Both checks run under the slots mutex; `mark_failed`
+                // acquires it before notifying, so this cannot miss a
+                // failure raised after the check (no lost wakeup).
+                if let Some(rank) = self.failed_peer() {
+                    return Err(CommError::PeerFailure { rank });
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(CommError::Timeout { op: kind.name() });
+                }
+                let (guard, _) = self
+                    .shared
+                    .cv
+                    .wait_timeout(slots, deadline - now)
+                    .unwrap_or_else(|e| e.into_inner());
+                slots = guard;
             }
         }
         let slot = slots.get_mut(&seq).expect("slot present until all pick up");
@@ -266,19 +430,27 @@ impl ProcessGroup {
         if slot.picked == p {
             slots.remove(&seq);
         }
-        (out, t_end)
+        Ok((out, t_end))
     }
 
     /// All-gather: every member contributes `shard`; everyone receives the
     /// concatenation in group-rank order. Charges ring all-gather time.
-    pub fn all_gather(&mut self, clock: &mut SimClock, shard: &[f32]) -> Vec<f32> {
+    pub fn all_gather(
+        &mut self,
+        clock: &mut SimClock,
+        shard: &[f32],
+    ) -> Result<Vec<f32>, CommError> {
         self.all_gather_inner(clock, shard, false)
     }
 
     /// All-gather whose communication time is queued for overlap with
     /// subsequent compute (the paper's prefetching optimization). The data
     /// is still returned immediately — the *time* is what overlaps.
-    pub fn all_gather_prefetched(&mut self, clock: &mut SimClock, shard: &[f32]) -> Vec<f32> {
+    pub fn all_gather_prefetched(
+        &mut self,
+        clock: &mut SimClock,
+        shard: &[f32],
+    ) -> Result<Vec<f32>, CommError> {
         self.all_gather_inner(clock, shard, true)
     }
 
@@ -287,7 +459,7 @@ impl ProcessGroup {
         clock: &mut SimClock,
         shard: &[f32],
         prefetch: bool,
-    ) -> Vec<f32> {
+    ) -> Result<Vec<f32>, CommError> {
         let p = self.size();
         let t = self.ring_time((p - 1) as f64, shard.len() as f64 * self.wire_bytes);
         let (out, t_end) = self.exchange(
@@ -302,7 +474,7 @@ impl ProcessGroup {
                 }
                 contribs.iter().map(|_| Some(full.clone())).collect()
             },
-        );
+        )?;
         clock.sync_to(t_end);
         let t_start = clock.now();
         if prefetch {
@@ -319,13 +491,17 @@ impl ProcessGroup {
             t,
             prefetch,
         );
-        out
+        Ok(out)
     }
 
     /// Reduce-scatter: every member contributes a full-length buffer; the
     /// element-wise sum is computed and member `i` receives chunk `i` of
     /// `len / p`. The buffer length must divide evenly by the group size.
-    pub fn reduce_scatter(&mut self, clock: &mut SimClock, full: &[f32]) -> Vec<f32> {
+    pub fn reduce_scatter(
+        &mut self,
+        clock: &mut SimClock,
+        full: &[f32],
+    ) -> Result<Vec<f32>, CommError> {
         let p = self.size();
         assert_eq!(
             full.len() % p,
@@ -351,7 +527,7 @@ impl ProcessGroup {
                     .map(|i| Some(sum[i * chunk..(i + 1) * chunk].to_vec()))
                     .collect()
             },
-        );
+        )?;
         clock.sync_to(t_end);
         self.record(
             clock,
@@ -362,11 +538,11 @@ impl ProcessGroup {
             t,
             false,
         );
-        out
+        Ok(out)
     }
 
     /// All-reduce (sum). Ring cost: `2 (p-1)` steps of `len/p` elements.
-    pub fn all_reduce(&mut self, clock: &mut SimClock, buf: &[f32]) -> Vec<f32> {
+    pub fn all_reduce(&mut self, clock: &mut SimClock, buf: &[f32]) -> Result<Vec<f32>, CommError> {
         let p = self.size();
         let t = self.ring_time(
             2.0 * (p - 1) as f64,
@@ -386,7 +562,7 @@ impl ProcessGroup {
                 }
                 contribs.iter().map(|_| Some(sum.clone())).collect()
             },
-        );
+        )?;
         clock.sync_to(t_end);
         self.record(
             clock,
@@ -397,17 +573,22 @@ impl ProcessGroup {
             t,
             false,
         );
-        out
+        Ok(out)
     }
 
     /// All-reduce of a single scalar (loss averaging, grad-norm sync,
     /// non-finite flags).
-    pub fn all_reduce_scalar(&mut self, clock: &mut SimClock, v: f32) -> f32 {
-        self.all_reduce(clock, &[v])[0]
+    pub fn all_reduce_scalar(&mut self, clock: &mut SimClock, v: f32) -> Result<f32, CommError> {
+        Ok(self.all_reduce(clock, &[v])?[0])
     }
 
     /// Broadcast from group-local `root` to all members.
-    pub fn broadcast(&mut self, clock: &mut SimClock, data: &[f32], root: usize) -> Vec<f32> {
+    pub fn broadcast(
+        &mut self,
+        clock: &mut SimClock,
+        data: &[f32],
+        root: usize,
+    ) -> Result<Vec<f32>, CommError> {
         let p = self.size();
         assert!(root < p, "broadcast root {root} out of range");
         let contribution = if self.my_idx == root {
@@ -421,7 +602,7 @@ impl ProcessGroup {
             0.0
         };
         // Pipelined broadcast: latency per hop + one full traversal.
-        let t = self.latency * (p - 1) as f64 + bytes / self.bandwidth;
+        let t = (self.latency * (p - 1) as f64 + bytes / self.bandwidth) * self.link_degradation();
         let (out, t_end) = self.exchange(
             OpKind::Broadcast { root },
             contribution,
@@ -431,7 +612,7 @@ impl ProcessGroup {
                 let data = contribs[root].clone().expect("root contribution");
                 contribs.iter().map(|_| Some(data.clone())).collect()
             },
-        );
+        )?;
         clock.sync_to(t_end);
         clock.charge_comm(if self.my_idx == root { t } else { 0.0 });
         self.record(
@@ -443,20 +624,29 @@ impl ProcessGroup {
             t,
             false,
         );
-        out
+        Ok(out)
     }
 
     /// Point-to-point send to group-local rank `dst` (pipeline
     /// parallelism's stage-boundary transfer). Non-blocking from the
     /// sender's perspective; time is charged to both endpoints.
-    pub fn send(&mut self, clock: &mut SimClock, dst: usize, data: &[f32]) {
+    pub fn send(
+        &mut self,
+        clock: &mut SimClock,
+        dst: usize,
+        data: &[f32],
+    ) -> Result<(), CommError> {
         assert!(
             dst < self.size() && dst != self.my_idx,
             "bad p2p destination"
         );
+        if let Some(rank) = self.failed_peer() {
+            return Err(CommError::PeerFailure { rank });
+        }
         let key = (self.my_idx, dst);
         let seq = *self.p2p_seq.entry(key).and_modify(|s| *s += 1).or_insert(0);
-        let t = self.latency + data.len() as f64 * self.wire_bytes / self.bandwidth;
+        let t = (self.latency + data.len() as f64 * self.wire_bytes / self.bandwidth)
+            * self.link_degradation();
         let t_start = clock.now();
         clock.charge_comm(t);
         self.record(
@@ -468,18 +658,22 @@ impl ProcessGroup {
             t,
             false,
         );
-        let mut boxes = self.shared.mailboxes.lock();
+        let mut boxes = lock(&self.shared.mailboxes);
         boxes.insert((self.my_idx, dst, seq), (data.to_vec(), clock.now()));
         self.shared.p2p_cv.notify_all();
+        Ok(())
     }
 
     /// Blocking receive from group-local rank `src`. Messages from one
-    /// sender arrive in send order.
-    pub fn recv(&mut self, clock: &mut SimClock, src: usize) -> Vec<f32> {
+    /// sender arrive in send order. Fails when the sender dies before
+    /// delivering or the wall-clock timeout expires.
+    pub fn recv(&mut self, clock: &mut SimClock, src: usize) -> Result<Vec<f32>, CommError> {
         assert!(src < self.size() && src != self.my_idx, "bad p2p source");
+        let src_rank = self.shared.ranks[src];
         let key = (src, self.my_idx);
         let seq = *self.p2p_seq.entry(key).and_modify(|s| *s += 1).or_insert(0);
-        let mut boxes = self.shared.mailboxes.lock();
+        let deadline = Instant::now() + self.timeout;
+        let mut boxes = lock(&self.shared.mailboxes);
         loop {
             if let Some((data, t_avail)) = boxes.remove(&(src, self.my_idx, seq)) {
                 let t_start = clock.now();
@@ -494,20 +688,36 @@ impl ProcessGroup {
                     (t_avail - t_start).max(0.0),
                     false,
                 );
-                return data;
+                return Ok(data);
             }
-            self.shared.p2p_cv.wait(&mut boxes);
+            // A queued message from a now-dead sender is still delivered
+            // above; only an *empty* mailbox from a dead sender is fatal.
+            if lock(&self.shared.failed).contains_key(&src_rank) {
+                return Err(CommError::PeerFailure { rank: src_rank });
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(CommError::Timeout { op: "recv" });
+            }
+            let (guard, _) = self
+                .shared
+                .p2p_cv
+                .wait_timeout(boxes, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            boxes = guard;
         }
     }
 
     /// Barrier: synchronize clocks and threads.
-    pub fn barrier(&mut self, clock: &mut SimClock) {
-        let t = self.latency * 2.0;
-        let (_, t_end) = self.exchange(OpKind::Barrier, Vec::new(), clock.now(), t, |contribs| {
-            contribs.iter().map(|_| Some(Vec::new())).collect()
-        });
+    pub fn barrier(&mut self, clock: &mut SimClock) -> Result<(), CommError> {
+        let t = self.latency * 2.0 * self.link_degradation();
+        let (_, t_end) =
+            self.exchange(OpKind::Barrier, Vec::new(), clock.now(), t, |contribs| {
+                contribs.iter().map(|_| Some(Vec::new())).collect()
+            })?;
         clock.sync_to(t_end);
         self.record(clock, CommOp::Barrier, 0.0, 0, t_end - t, t, false);
+        Ok(())
     }
 }
 
@@ -547,6 +757,7 @@ mod tests {
             let mut g = ProcessGroup::new(engine, &m, vec![0, 1, 2, 3], rank);
             let mut clock = SimClock::new();
             g.all_gather(&mut clock, &[rank as f32, 10.0 + rank as f32])
+                .unwrap()
         });
         for r in results {
             assert_eq!(r, vec![0.0, 10.0, 1.0, 11.0, 2.0, 12.0, 3.0, 13.0]);
@@ -561,7 +772,7 @@ mod tests {
             let mut clock = SimClock::new();
             // rank 0 contributes [1,2,3,4], rank 1 contributes [10,20,30,40]
             let base: Vec<f32> = (1..=4).map(|v| v as f32 * (1 + 9 * rank) as f32).collect();
-            g.reduce_scatter(&mut clock, &base)
+            g.reduce_scatter(&mut clock, &base).unwrap()
         });
         assert_eq!(results[0], vec![11.0, 22.0]);
         assert_eq!(results[1], vec![33.0, 44.0]);
@@ -573,7 +784,7 @@ mod tests {
         let results = run_world(3, |rank, engine| {
             let mut g = ProcessGroup::new(engine, &m, vec![0, 1, 2], rank);
             let mut clock = SimClock::new();
-            g.all_reduce(&mut clock, &[rank as f32, 1.0])
+            g.all_reduce(&mut clock, &[rank as f32, 1.0]).unwrap()
         });
         for r in results {
             assert_eq!(r, vec![3.0, 3.0]);
@@ -587,7 +798,7 @@ mod tests {
             let mut g = ProcessGroup::new(engine, &m, vec![0, 1, 2], rank);
             let mut clock = SimClock::new();
             let payload = if rank == 1 { vec![7.0, 8.0] } else { vec![] };
-            g.broadcast(&mut clock, &payload, 1)
+            g.broadcast(&mut clock, &payload, 1).unwrap()
         });
         for r in results {
             assert_eq!(r, vec![7.0, 8.0]);
@@ -602,7 +813,7 @@ mod tests {
             let ranks = if rank < 2 { vec![0, 1] } else { vec![2, 3] };
             let mut g = ProcessGroup::new(engine, &m, ranks, rank);
             let mut clock = SimClock::new();
-            g.all_reduce_scalar(&mut clock, 1.0 + rank as f32)
+            g.all_reduce_scalar(&mut clock, 1.0 + rank as f32).unwrap()
         });
         assert_eq!(results, vec![3.0, 3.0, 7.0, 7.0]);
     }
@@ -615,7 +826,7 @@ mod tests {
             let mut clock = SimClock::new();
             let mut acc = 0.0;
             for i in 0..50 {
-                acc += g.all_reduce_scalar(&mut clock, (rank + i) as f32);
+                acc += g.all_reduce_scalar(&mut clock, (rank + i) as f32).unwrap();
             }
             acc
         });
@@ -634,7 +845,7 @@ mod tests {
             if rank == 1 {
                 clock.charge_comm(5.0);
             }
-            g.barrier(&mut clock);
+            g.barrier(&mut clock).unwrap();
             clock.now()
         });
         // Both clocks end at >= 5.0: the fast rank waited.
@@ -658,9 +869,12 @@ mod tests {
         let engine = Engine::new();
         let mut g = ProcessGroup::new(&engine, &m, vec![5], 5);
         let mut clock = SimClock::new();
-        assert_eq!(g.all_reduce(&mut clock, &[3.0]), vec![3.0]);
-        assert_eq!(g.all_gather(&mut clock, &[1.0, 2.0]), vec![1.0, 2.0]);
-        assert_eq!(g.reduce_scatter(&mut clock, &[4.0]), vec![4.0]);
+        assert_eq!(g.all_reduce(&mut clock, &[3.0]).unwrap(), vec![3.0]);
+        assert_eq!(
+            g.all_gather(&mut clock, &[1.0, 2.0]).unwrap(),
+            vec![1.0, 2.0]
+        );
+        assert_eq!(g.reduce_scatter(&mut clock, &[4.0]).unwrap(), vec![4.0]);
         assert_eq!(clock.now(), 0.0, "self-communication is free");
     }
 
@@ -671,12 +885,12 @@ mod tests {
             let mut g = ProcessGroup::new(engine, &m, vec![0, 1], rank);
             let mut clock = SimClock::new();
             if rank == 0 {
-                g.send(&mut clock, 1, &[1.0, 2.0]);
-                g.send(&mut clock, 1, &[3.0]);
+                g.send(&mut clock, 1, &[1.0, 2.0]).unwrap();
+                g.send(&mut clock, 1, &[3.0]).unwrap();
                 Vec::new()
             } else {
-                let a = g.recv(&mut clock, 0);
-                let b = g.recv(&mut clock, 0);
+                let a = g.recv(&mut clock, 0).unwrap();
+                let b = g.recv(&mut clock, 0).unwrap();
                 vec![a, b]
             }
         });
@@ -690,8 +904,8 @@ mod tests {
             let mut g = ProcessGroup::new(engine, &m, vec![0, 1], rank);
             let mut clock = SimClock::new();
             let peer = 1 - rank;
-            g.send(&mut clock, peer, &[rank as f32 * 10.0]);
-            g.recv(&mut clock, peer)
+            g.send(&mut clock, peer, &[rank as f32 * 10.0]).unwrap();
+            g.recv(&mut clock, peer).unwrap()
         });
         assert_eq!(results[0], vec![10.0]);
         assert_eq!(results[1], vec![0.0]);
@@ -705,10 +919,10 @@ mod tests {
             let mut clock = SimClock::new();
             if rank == 0 {
                 clock.charge_comm(7.0); // slow sender
-                g.send(&mut clock, 1, &[1.0]);
+                g.send(&mut clock, 1, &[1.0]).unwrap();
                 clock.now()
             } else {
-                let _ = g.recv(&mut clock, 0);
+                let _ = g.recv(&mut clock, 0).unwrap();
                 clock.now()
             }
         });
@@ -734,5 +948,93 @@ mod tests {
         // Reaching here means group-of-1 passed; now force the panic:
         let mut g2 = ProcessGroup::new(&engine, &m, vec![0, 1], 0);
         let _ = g2.reduce_scatter(&mut clock, &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn dead_peer_unblocks_rendezvous_with_typed_error() {
+        // Rank 1 dies without ever entering the collective; rank 0 must
+        // observe PeerFailure instead of blocking forever.
+        let m = machine();
+        let engine = Engine::new();
+        let results = thread::scope(|s| {
+            let killer = s.spawn(|| {
+                // Build the group first so mark_failed has a cv to poke
+                // even if rank 0 is already waiting.
+                let _g = ProcessGroup::new(&engine, &m, vec![0, 1], 1);
+                engine.mark_failed(1);
+            });
+            let waiter = s.spawn(|| {
+                let mut g = ProcessGroup::new(&engine, &m, vec![0, 1], 0);
+                let mut clock = SimClock::new();
+                g.all_reduce(&mut clock, &[1.0])
+            });
+            killer.join().unwrap();
+            waiter.join().unwrap()
+        });
+        assert_eq!(results, Err(CommError::PeerFailure { rank: 1 }));
+        assert_eq!(engine.failed_ranks(), vec![1]);
+    }
+
+    #[test]
+    fn dead_sender_unblocks_recv() {
+        let m = machine();
+        let engine = Engine::new();
+        let results = thread::scope(|s| {
+            let killer = s.spawn(|| {
+                let _g = ProcessGroup::new(&engine, &m, vec![0, 1], 1);
+                engine.mark_failed(1);
+            });
+            let receiver = s.spawn(|| {
+                let mut g = ProcessGroup::new(&engine, &m, vec![0, 1], 0);
+                let mut clock = SimClock::new();
+                g.recv(&mut clock, 1)
+            });
+            killer.join().unwrap();
+            receiver.join().unwrap()
+        });
+        assert_eq!(results, Err(CommError::PeerFailure { rank: 1 }));
+    }
+
+    #[test]
+    fn rendezvous_times_out_instead_of_deadlocking() {
+        // A 2-rank group where the peer never shows up: the wall-clock
+        // timeout converts the would-be deadlock into a typed error.
+        let m = machine();
+        let engine = Engine::new();
+        let mut g = ProcessGroup::new(&engine, &m, vec![0, 1], 0);
+        g.set_timeout(Duration::from_millis(50));
+        let mut clock = SimClock::new();
+        let err = g.all_reduce(&mut clock, &[1.0]).unwrap_err();
+        assert_eq!(err, CommError::Timeout { op: "all_reduce" });
+    }
+
+    #[test]
+    fn degraded_link_inflates_comm_time_deterministically() {
+        let m = machine();
+        // Healthy baseline vs 4x degraded: modeled time scales by 4.
+        let times: Vec<f64> = [1.0f64, 4.0]
+            .iter()
+            .map(|&factor| {
+                let results = run_world(2, |rank, engine| {
+                    let mut g = ProcessGroup::new(engine, &m, vec![0, 1], rank);
+                    if rank == 0 {
+                        let handle = healthy_link_factor();
+                        handle.store(factor.to_bits(), Ordering::Relaxed);
+                        g.set_link_factor(handle);
+                    }
+                    let mut clock = SimClock::new();
+                    g.all_reduce(&mut clock, &[0.0; 1024]).unwrap();
+                    clock.now()
+                });
+                // comm_max makes t_end identical on both ranks even though
+                // only rank 0's link is degraded.
+                assert!((results[0] - results[1]).abs() < 1e-12);
+                results[0]
+            })
+            .collect();
+        assert!(
+            (times[1] / times[0] - 4.0).abs() < 1e-6,
+            "4x degradation must show up as 4x ring time: {times:?}"
+        );
     }
 }

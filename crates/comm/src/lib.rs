@@ -18,16 +18,20 @@
 //!   same schedule would cost on real hardware.
 //!
 //! Entry point: [`cluster::Cluster::run`] spawns the world and hands each
-//! rank a [`cluster::RankCtx`].
+//! rank a [`cluster::RankCtx`]. Fault-tolerant programs use
+//! [`cluster::Cluster::try_run`] with a [`fault::FaultPlan`] — see the
+//! [`fault`] module for the failure model.
 
 pub mod clock;
 pub mod cluster;
+pub mod fault;
 pub mod group;
 pub mod memory;
 pub mod trace;
 
 pub use clock::SimClock;
 pub use cluster::{Cluster, RankCtx};
+pub use fault::{CommError, FailureCause, FaultEvent, FaultKind, FaultPlan, RankOutcome, SimError};
 pub use group::ProcessGroup;
 pub use memory::{Allocation, Device, OomError};
 pub use trace::{chrome_trace, CommEvent, CommOp, TraceEvent};

@@ -34,6 +34,9 @@ impl std::error::Error for OomError {}
 struct DeviceState {
     current: u64,
     peak: u64,
+    /// When set, the next allocation fails with a simulated OOM regardless
+    /// of capacity (fault injection), then the flag clears.
+    poisoned: bool,
 }
 
 /// A simulated GPU's memory tracker. Cheap to clone (shared state).
@@ -73,9 +76,24 @@ impl Device {
         s.peak = s.current;
     }
 
+    /// Poison the device: its next allocation fails with a simulated OOM
+    /// even if capacity would allow it. Used by [`crate::FaultKind::Oom`]
+    /// to model fragmentation/transient allocator failures.
+    pub fn poison_next_alloc(&self) {
+        self.state.lock().poisoned = true;
+    }
+
     /// Allocate `bytes`, returning an RAII guard that frees on drop.
     pub fn alloc(&self, bytes: u64) -> Result<Allocation, OomError> {
         let mut s = self.state.lock();
+        if s.poisoned {
+            s.poisoned = false;
+            return Err(OomError {
+                requested: bytes,
+                in_use: s.current,
+                capacity: self.capacity,
+            });
+        }
         if s.current.saturating_add(bytes) > self.capacity {
             return Err(OomError {
                 requested: bytes,
@@ -179,6 +197,17 @@ mod tests {
         }
         assert_eq!(d.in_use(), 10);
         assert_eq!(d.peak(), 100);
+    }
+
+    #[test]
+    fn poison_fails_exactly_one_alloc() {
+        let d = Device::new(1000);
+        d.poison_next_alloc();
+        let err = d.alloc(10).unwrap_err();
+        assert_eq!(err.requested, 10);
+        assert_eq!(d.in_use(), 0, "poisoned alloc must not leak");
+        // The poison clears after one failure.
+        assert!(d.alloc(10).is_ok());
     }
 
     #[test]

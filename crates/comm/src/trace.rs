@@ -69,6 +69,10 @@ pub enum TraceEvent {
     Comm(CommEvent),
     /// A compute phase recorded by [`crate::SimClock::charge_compute`].
     Compute { t_start: f64, dur: f64, flops: f64 },
+    /// A fault-injection or recovery instant recorded by
+    /// [`crate::SimClock::record_fault`] (e.g. "kill rank 2",
+    /// "restart from checkpoint step 8").
+    Fault { t: f64, label: String },
 }
 
 impl TraceEvent {
@@ -77,6 +81,7 @@ impl TraceEvent {
         match self {
             TraceEvent::Comm(e) => e.t_start,
             TraceEvent::Compute { t_start, .. } => *t_start,
+            TraceEvent::Fault { t, .. } => *t,
         }
     }
 
@@ -84,7 +89,15 @@ impl TraceEvent {
     pub fn comm(&self) -> Option<&CommEvent> {
         match self {
             TraceEvent::Comm(e) => Some(e),
-            TraceEvent::Compute { .. } => None,
+            _ => None,
+        }
+    }
+
+    /// The fault label, if this is a fault/recovery instant.
+    pub fn fault(&self) -> Option<&str> {
+        match self {
+            TraceEvent::Fault { label, .. } => Some(label),
+            _ => None,
         }
     }
 }
@@ -158,6 +171,20 @@ fn push_event_json(out: &mut String, rank: usize, ev: &TraceEvent) {
                 json_num(*flops),
             ));
         }
+        TraceEvent::Fault { t, label } => {
+            // Chrome trace "instant" events, thread-scoped: rendered as a
+            // marker at the moment the fault (or recovery) hit.
+            let escaped = label.replace('\\', "\\\\").replace('"', "\\\"");
+            out.push_str(&format!(
+                concat!(
+                    "{{\"name\":\"{}\",\"cat\":\"fault\",\"ph\":\"i\",",
+                    "\"s\":\"t\",\"ts\":{},\"pid\":0,\"tid\":{}}}"
+                ),
+                escaped,
+                json_num(t * US),
+                rank,
+            ));
+        }
     }
 }
 
@@ -215,6 +242,18 @@ mod tests {
         assert!(s.contains("\"link\":\"intra_node\""));
         // ts is microseconds: 1.5e-3 s -> 1500 us.
         assert!(s.contains("\"ts\":1500.0"), "{s}");
+    }
+
+    #[test]
+    fn fault_events_serialize_as_instants() {
+        let s = chrome_trace(&[vec![TraceEvent::Fault {
+            t: 2e-3,
+            label: "kill rank 0".to_string(),
+        }]]);
+        assert!(s.contains("\"name\":\"kill rank 0\""));
+        assert!(s.contains("\"cat\":\"fault\""));
+        assert!(s.contains("\"ph\":\"i\""));
+        assert!(s.contains("\"ts\":2000.0"), "{s}");
     }
 
     #[test]

@@ -3,10 +3,10 @@
 //! the outermost, least-communication level).
 
 use crate::stats::StepStats;
-use orbit_comm::{Allocation, ProcessGroup, RankCtx};
+use orbit_comm::{Allocation, ProcessGroup, RankCtx, SimError};
 use orbit_frontier::TrainOptions;
 use orbit_tensor::kernels::{AdamState, AdamW};
-use orbit_vit::{Batch, VitConfig, VitModel};
+use orbit_vit::{Batch, Checkpoint, VitConfig, VitModel};
 
 use super::trainer::{configure_precision, Trainer};
 use super::Engine;
@@ -54,11 +54,7 @@ impl Engine for DdpEngine {
     /// One training step over the *global* batch: each replica trains on
     /// its round-robin slice, then gradients are all-reduced — exactly one
     /// gradient all-reduce per step. Returns globally-synchronized stats.
-    fn train_step(
-        &mut self,
-        ctx: &mut RankCtx,
-        global: &Batch,
-    ) -> Result<StepStats, orbit_comm::OomError> {
+    fn train_step(&mut self, ctx: &mut RankCtx, global: &Batch) -> Result<StepStats, SimError> {
         let local = self.trainer.partition(global);
         let dims = self.model.cfg.dims;
         let _act = self.trainer.alloc_activations(ctx, &dims, local.len())?;
@@ -73,7 +69,7 @@ impl Engine for DdpEngine {
         // Gradient synchronization: per-sample grads are already scaled by
         // 1/global_batch, so a plain sum yields the global-mean gradient.
         let grads = self.model.flatten_grads();
-        let mut synced = self.group.all_reduce(&mut ctx.clock, &grads);
+        let mut synced = self.group.all_reduce(&mut ctx.clock, &grads)?;
 
         // Finiteness must be agreed globally; the all-reduced gradient is
         // identical on every rank, so local inspection agrees.
@@ -83,8 +79,22 @@ impl Engine for DdpEngine {
             self.model.load_flat_grads(&synced);
             self.model.adam_step(&self.trainer.opt, &mut self.state);
         }
-        let loss = self.group.all_reduce_scalar(&mut ctx.clock, local_loss);
+        let loss = self.group.all_reduce_scalar(&mut ctx.clock, local_loss)?;
         Ok(self.trainer.finish_step(ctx, t0, loss, grad_norm, applied))
+    }
+
+    /// Replicas are identical, so the checkpoint is captured locally — but
+    /// a barrier keeps the call collective (every rank reaches the same
+    /// step before any of them persists state).
+    fn capture_checkpoint(&mut self, ctx: &mut RankCtx) -> Result<Checkpoint, SimError> {
+        self.group.barrier(&mut ctx.clock)?;
+        Ok(Checkpoint::capture(&mut self.model, &self.state))
+    }
+
+    fn restore_checkpoint(&mut self, ctx: &mut RankCtx, ck: &Checkpoint) -> Result<(), SimError> {
+        self.group.barrier(&mut ctx.clock)?;
+        ck.restore(&mut self.model, &mut self.state)
+            .map_err(|e| SimError::State(e.to_string()))
     }
 
     fn name(&self) -> &str {

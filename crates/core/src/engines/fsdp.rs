@@ -8,10 +8,10 @@
 
 use crate::sharding::{flat_shard, flat_unshard, padded_len};
 use crate::stats::StepStats;
-use orbit_comm::{Allocation, ProcessGroup, RankCtx};
+use orbit_comm::{Allocation, CommError, ProcessGroup, RankCtx, SimError};
 use orbit_frontier::TrainOptions;
 use orbit_tensor::kernels::{AdamState, AdamW};
-use orbit_vit::{Batch, VitConfig, VitModel};
+use orbit_vit::{Batch, Checkpoint, VitConfig, VitModel};
 
 use super::trainer::{configure_precision, Trainer};
 use super::Engine;
@@ -64,19 +64,15 @@ impl FsdpEngine {
 
     /// Gather and return the current full parameter vector (for tests and
     /// checkpointing).
-    pub fn gather_full_params(&mut self, ctx: &mut RankCtx) -> Vec<f32> {
-        let full = self.group.all_gather(&mut ctx.clock, &self.shard);
-        flat_unshard(&full, self.param_len)
+    pub fn gather_full_params(&mut self, ctx: &mut RankCtx) -> Result<Vec<f32>, CommError> {
+        let full = self.group.all_gather(&mut ctx.clock, &self.shard)?;
+        Ok(flat_unshard(&full, self.param_len))
     }
 }
 
 impl Engine for FsdpEngine {
     /// One training step over the global batch.
-    fn train_step(
-        &mut self,
-        ctx: &mut RankCtx,
-        global: &Batch,
-    ) -> Result<StepStats, orbit_comm::OomError> {
+    fn train_step(&mut self, ctx: &mut RankCtx, global: &Batch) -> Result<StepStats, SimError> {
         let local = self.trainer.partition(global);
         let t0 = ctx.clock.now();
 
@@ -89,7 +85,7 @@ impl Engine for FsdpEngine {
             .alloc(full_padded as u64 * self.trainer.param_bytes())?;
         let full = self
             .trainer
-            .gather(&mut self.group, &mut ctx.clock, &self.shard, true);
+            .gather(&mut self.group, &mut ctx.clock, &self.shard, true)?;
         self.model
             .load_flat_params(&flat_unshard(&full, self.param_len));
         drop(full);
@@ -112,21 +108,73 @@ impl Engine for FsdpEngine {
         // its own shard.
         let mut grads = self.model.flatten_grads();
         grads.resize(full_padded, 0.0);
-        let mut shard_grads = self.group.reduce_scatter(&mut ctx.clock, &grads);
+        let mut shard_grads = self.group.reduce_scatter(&mut ctx.clock, &grads)?;
         drop(grads);
 
         // Agree on finiteness across ranks: each inspects its shard.
-        let applied =
-            self.trainer
-                .unscale_synced(&mut ctx.clock, &mut self.group, &mut [&mut shard_grads]);
+        let applied = self.trainer.unscale_synced(
+            &mut ctx.clock,
+            &mut self.group,
+            &mut [&mut shard_grads],
+        )?;
         let grad_norm = self.trainer.clip_and_norm(&mut shard_grads);
         if applied {
             self.trainer
                 .opt
                 .step(&mut self.state, &mut self.shard, &shard_grads);
         }
-        let loss = self.group.all_reduce_scalar(&mut ctx.clock, local_loss);
+        let loss = self.group.all_reduce_scalar(&mut ctx.clock, local_loss)?;
         Ok(self.trainer.finish_step(ctx, t0, loss, grad_norm, applied))
+    }
+
+    /// All-gather the parameter and Adam-moment shards into the full flat
+    /// layout. Identical on every rank (all shards flow to all ranks).
+    fn capture_checkpoint(&mut self, ctx: &mut RankCtx) -> Result<Checkpoint, SimError> {
+        let params = {
+            let full = self.group.all_gather(&mut ctx.clock, &self.shard)?;
+            flat_unshard(&full, self.param_len)
+        };
+        let m = {
+            let full = self.group.all_gather(&mut ctx.clock, &self.state.m)?;
+            flat_unshard(&full, self.param_len)
+        };
+        let v = {
+            let full = self.group.all_gather(&mut ctx.clock, &self.state.v)?;
+            flat_unshard(&full, self.param_len)
+        };
+        Ok(Checkpoint::from_parts(
+            &self.model.cfg,
+            params,
+            m,
+            v,
+            self.state.step,
+        ))
+    }
+
+    /// Re-shard the full checkpoint onto this rank: 1/N slices of the
+    /// parameters and both Adam moments. Shard padding is zero-filled by
+    /// `flat_shard`, matching a freshly trained shard bit-for-bit (pad
+    /// positions only ever see zero gradients, so AdamW keeps them at 0).
+    fn restore_checkpoint(&mut self, _ctx: &mut RankCtx, ck: &Checkpoint) -> Result<(), SimError> {
+        if !ck.matches_config(&self.model.cfg) {
+            return Err(SimError::State(
+                "checkpoint fingerprint does not match model config".into(),
+            ));
+        }
+        if ck.params.len() != self.param_len {
+            return Err(SimError::State(format!(
+                "checkpoint has {} params, model expects {}",
+                ck.params.len(),
+                self.param_len
+            )));
+        }
+        let world = self.group.size();
+        let me = self.group.local_index();
+        self.shard = flat_shard(&ck.params, world, me);
+        self.state.m = flat_shard(&ck.adam_m, world, me);
+        self.state.v = flat_shard(&ck.adam_v, world, me);
+        self.state.step = ck.adam_step;
+        Ok(())
     }
 
     fn name(&self) -> &str {
@@ -180,7 +228,7 @@ mod tests {
             let losses: Vec<f32> = (0..3)
                 .map(|_| e.train_step(ctx, &batch).unwrap().loss)
                 .collect();
-            let params = e.gather_full_params(ctx);
+            let params = e.gather_full_params(ctx).unwrap();
             (losses, params)
         });
         for (losses, params) in &results {

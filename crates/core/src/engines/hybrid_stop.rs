@@ -25,15 +25,17 @@
 use crate::sharding::{flat_shard, flat_unshard, padded_len};
 use crate::stats::StepStats;
 use crate::tp_block::TpBlock;
-use orbit_comm::{Allocation, ProcessGroup, RankCtx};
+use orbit_comm::{Allocation, CommError, ProcessGroup, RankCtx, SimError};
 use orbit_frontier::{ParallelLayout, RankMapping, TrainOptions};
 use orbit_tensor::kernels::{AdamState, AdamW};
 use orbit_tensor::Tensor;
-use orbit_vit::block::Param;
 use orbit_vit::loss::weighted_mse;
-use orbit_vit::{Batch, VitConfig, VitModel};
+use orbit_vit::{Batch, Checkpoint, VitConfig, VitModel};
 
-use super::tp::{sync_qk_grads, tp_flatten, tp_flatten_grads, tp_load, tp_load_grads};
+use super::tp::{
+    assemble_reference, reshard_reference, sync_qk_grads, tp_flatten, tp_flatten_grads, tp_load,
+    tp_load_grads,
+};
 use super::trainer::{configure_precision, norm, Trainer};
 use super::Engine;
 
@@ -140,7 +142,7 @@ impl HybridStopEngine {
         ctx: &mut RankCtx,
         unit: usize,
         prefetched: bool,
-    ) -> Result<(Vec<f32>, Allocation), orbit_comm::OomError> {
+    ) -> Result<(Vec<f32>, Allocation), SimError> {
         // Transient buffer: gathered parameters + a same-sized gradient
         // staging buffer for the backward reduce-scatter.
         let full = padded_len(self.unit_lens[unit], self.layout.fsdp) as u64;
@@ -150,54 +152,42 @@ impl HybridStopEngine {
             &mut ctx.clock,
             &self.unit_shards[unit],
             prefetched,
-        );
+        )?;
         Ok((flat_unshard(&gathered, self.unit_lens[unit]), alloc))
+    }
+
+    /// FSDP-unshard one flat per unit from `shards` (this rank's FSDP
+    /// shard of each unit), then hand front + blocks to the shared TP
+    /// reassembly. The same routine serves parameters and Adam moments.
+    fn assemble_full(
+        &mut self,
+        ctx: &mut RankCtx,
+        shards: &[&[f32]],
+    ) -> Result<Vec<f32>, CommError> {
+        let mut unit_flats = Vec::with_capacity(shards.len());
+        for (unit, shard) in shards.iter().enumerate() {
+            let gathered = self.fsdp_group.all_gather(&mut ctx.clock, shard)?;
+            unit_flats.push(flat_unshard(&gathered, self.unit_lens[unit]));
+        }
+        let front_flat = unit_flats.remove(0);
+        assemble_reference(
+            &self.front.cfg,
+            &self.blocks,
+            &mut self.tp_group,
+            &mut ctx.clock,
+            &front_flat,
+            &unit_flats,
+        )
     }
 
     /// Reconstruct the full (reference-ordered) parameter vector: FSDP
     /// gather each unit, TP all-gather block shards, and reassemble the
     /// column/row shards into full matrices. Used by tests and for
     /// checkpointing.
-    pub fn gather_full_params(&mut self, ctx: &mut RankCtx) -> Vec<f32> {
-        // Unit 0: front flat (identical across TP ranks).
-        let front_full = {
-            let gathered = self
-                .fsdp_group
-                .all_gather(&mut ctx.clock, &self.unit_shards[0]);
-            flat_unshard(&gathered, self.unit_lens[0])
-        };
-        // Front visit order: tokenizer, aggregation, pos_embed, head_w,
-        // head_b. The reference order inserts blocks before the head, so
-        // split the front flat at the head boundary.
-        let head_len = {
-            let d = self.front.cfg.dims;
-            let out = d.out_channels * d.patch * d.patch;
-            d.embed * out + out
-        };
-        let pre_len = front_full.len() - head_len;
-
-        let mut full = Vec::new();
-        full.extend_from_slice(&front_full[..pre_len]);
-        for l in 0..self.blocks.len() {
-            let unit = 1 + l;
-            let gathered = self
-                .fsdp_group
-                .all_gather(&mut ctx.clock, &self.unit_shards[unit]);
-            let my_flat = flat_unshard(&gathered, self.unit_lens[unit]);
-            // Collect every TP rank's shard flat.
-            let all_tp = self.tp_group.all_gather(&mut ctx.clock, &my_flat);
-            let shard_len = my_flat.len();
-            let tp = self.layout.tp;
-            // Load each TP rank's flat into a scratch TpBlock to recover
-            // tensor shapes, then reassemble the full block tensors.
-            let mut scratch: Vec<TpBlock> = (0..tp).map(|_| self.blocks[l].clone()).collect();
-            for (k, s) in scratch.iter_mut().enumerate() {
-                tp_load(s, &all_tp[k * shard_len..(k + 1) * shard_len]);
-            }
-            full.extend(reassemble_block(&mut scratch));
-        }
-        full.extend_from_slice(&front_full[pre_len..]);
-        full
+    pub fn gather_full_params(&mut self, ctx: &mut RankCtx) -> Result<Vec<f32>, CommError> {
+        let shards: Vec<Vec<f32>> = self.unit_shards.clone();
+        let refs: Vec<&[f32]> = shards.iter().map(|s| s.as_slice()).collect();
+        self.assemble_full(ctx, &refs)
     }
 
     /// Expose the gradient flats for diagnostics (test support).
@@ -213,11 +203,7 @@ impl HybridStopEngine {
 impl Engine for HybridStopEngine {
     /// One training step over the global batch. Global batch size must
     /// divide evenly by `fsdp * ddp` data replicas.
-    fn train_step(
-        &mut self,
-        ctx: &mut RankCtx,
-        global: &Batch,
-    ) -> Result<StepStats, orbit_comm::OomError> {
+    fn train_step(&mut self, ctx: &mut RankCtx, global: &Batch) -> Result<StepStats, SimError> {
         let local = self.trainer.partition(global);
         let global_n = global.len();
         let b = local.len();
@@ -291,7 +277,7 @@ impl Engine for HybridStopEngine {
             let mut layer_caches = Vec::with_capacity(b);
             for boundary in boundaries.iter_mut() {
                 let x = boundary.last().expect("boundary present").clone();
-                let (y, cache) = self.blocks[l].forward(&x, &mut self.tp_group, &mut ctx.clock);
+                let (y, cache) = self.blocks[l].forward(&x, &mut self.tp_group, &mut ctx.clock)?;
                 boundary.push(y);
                 if !self.trainer.opts.activation_checkpointing {
                     layer_caches.push(cache);
@@ -338,19 +324,19 @@ impl Engine for HybridStopEngine {
                         &boundaries[s][l],
                         &mut self.tp_group,
                         &mut ctx.clock,
-                    );
+                    )?;
                     cache
                 } else {
                     stored_caches[l].remove(0)
                 };
                 dys[s] =
-                    self.blocks[l].backward(&cache, &dys[s], &mut self.tp_group, &mut ctx.clock);
+                    self.blocks[l].backward(&cache, &dys[s], &mut self.tp_group, &mut ctx.clock)?;
             }
-            sync_qk_grads(&mut self.blocks[l], &mut self.tp_group, &mut ctx.clock);
+            sync_qk_grads(&mut self.blocks[l], &mut self.tp_group, &mut ctx.clock)?;
             // Reduce-scatter this layer's gradients within the FSDP group.
             let mut grads = tp_flatten_grads(&mut self.blocks[l]);
             grads.resize(padded_len(grads.len(), self.layout.fsdp), 0.0);
-            unit_grad_shards[1 + l] = self.fsdp_group.reduce_scatter(&mut ctx.clock, &grads);
+            unit_grad_shards[1 + l] = self.fsdp_group.reduce_scatter(&mut ctx.clock, &grads)?;
         }
 
         // Front-end backward and its gradient reduce-scatter.
@@ -359,7 +345,9 @@ impl Engine for HybridStopEngine {
         }
         let mut front_grads = self.front.flatten_grads();
         front_grads.resize(padded_len(front_grads.len(), self.layout.fsdp), 0.0);
-        unit_grad_shards[0] = self.fsdp_group.reduce_scatter(&mut ctx.clock, &front_grads);
+        unit_grad_shards[0] = self
+            .fsdp_group
+            .reduce_scatter(&mut ctx.clock, &front_grads)?;
         drop(front_alloc);
         drop(whole_model_allocs);
         ctx.clock.flush_prefetch();
@@ -367,7 +355,7 @@ impl Engine for HybridStopEngine {
         // ---- DDP level: all-reduce owned gradient shards across replicas.
         if self.layout.ddp > 1 {
             for shard in unit_grad_shards.iter_mut() {
-                *shard = self.ddp_group.all_reduce(&mut ctx.clock, shard);
+                *shard = self.ddp_group.all_reduce(&mut ctx.clock, shard)?;
             }
         }
 
@@ -378,7 +366,7 @@ impl Engine for HybridStopEngine {
                 .map(|s| s.as_mut_slice())
                 .collect();
             self.trainer
-                .unscale_synced(&mut ctx.clock, &mut self.world_group, &mut shard_refs)
+                .unscale_synced(&mut ctx.clock, &mut self.world_group, &mut shard_refs)?
         };
         let grad_norm = {
             let n = norm(&unit_grad_shards.concat());
@@ -405,45 +393,83 @@ impl Engine for HybridStopEngine {
         // world sum over-counts by tp.
         let loss = self
             .world_group
-            .all_reduce_scalar(&mut ctx.clock, local_loss)
+            .all_reduce_scalar(&mut ctx.clock, local_loss)?
             / self.layout.tp as f32;
         Ok(self.trainer.finish_step(ctx, t0, loss, grad_norm, applied))
+    }
+
+    /// Assemble the layout-independent checkpoint: FSDP all-gather + TP
+    /// reassembly of the parameters and both Adam moments. Identical on
+    /// every rank of any `tp x fsdp x ddp` layout, which is what makes
+    /// restarting under a *different* layout possible.
+    fn capture_checkpoint(&mut self, ctx: &mut RankCtx) -> Result<Checkpoint, SimError> {
+        let params = self.gather_full_params(ctx)?;
+        let m = {
+            let shards: Vec<Vec<f32>> = self.states.iter().map(|s| s.m.clone()).collect();
+            let refs: Vec<&[f32]> = shards.iter().map(|s| s.as_slice()).collect();
+            self.assemble_full(ctx, &refs)?
+        };
+        let v = {
+            let shards: Vec<Vec<f32>> = self.states.iter().map(|s| s.v.clone()).collect();
+            let refs: Vec<&[f32]> = shards.iter().map(|s| s.as_slice()).collect();
+            self.assemble_full(ctx, &refs)?
+        };
+        Ok(Checkpoint::from_parts(
+            &self.front.cfg,
+            params,
+            m,
+            v,
+            self.states[0].step,
+        ))
+    }
+
+    /// Re-shard the checkpoint into this rank's layout: TP slice each
+    /// block, then FSDP flat-shard every unit — parameters and both Adam
+    /// moments. Restoring into the capturing layout is a pure permutation
+    /// (bit-exact); restoring into a different layout only re-slices the
+    /// same values.
+    fn restore_checkpoint(&mut self, _ctx: &mut RankCtx, ck: &Checkpoint) -> Result<(), SimError> {
+        if !ck.matches_config(&self.front.cfg) {
+            return Err(SimError::State(
+                "checkpoint fingerprint does not match model config".into(),
+            ));
+        }
+        let cfg = self.front.cfg;
+        let tp_idx = self.tp_group.local_index();
+        let fsdp = self.layout.fsdp;
+        let fsdp_idx = self.fsdp_group.local_index();
+        // full reference flat -> per-unit FSDP shards in this layout.
+        let reshard = |full: &[f32]| -> Vec<Vec<f32>> {
+            let (front, blocks) = reshard_reference(&cfg, self.layout.tp, tp_idx, full);
+            let mut units = vec![front];
+            units.extend(blocks);
+            units
+                .iter()
+                .map(|u| flat_shard(u, fsdp, fsdp_idx))
+                .collect()
+        };
+        let param_units = reshard(&ck.params);
+        let m_units = reshard(&ck.adam_m);
+        let v_units = reshard(&ck.adam_v);
+        for (unit, shard) in param_units.into_iter().enumerate() {
+            if shard.len() != self.unit_shards[unit].len() {
+                return Err(SimError::State(format!(
+                    "unit {unit} shard length mismatch on restore"
+                )));
+            }
+            self.unit_shards[unit] = shard;
+        }
+        for (unit, (m, v)) in m_units.into_iter().zip(v_units).enumerate() {
+            self.states[unit].m = m;
+            self.states[unit].v = v;
+            self.states[unit].step = ck.adam_step;
+        }
+        Ok(())
     }
 
     fn name(&self) -> &str {
         "hybrid_stop"
     }
-}
-
-/// Reassemble a full transformer block's flat parameters (reference visit
-/// order) from all TP ranks' shard blocks.
-fn reassemble_block(shards: &mut [TpBlock]) -> Vec<f32> {
-    let tp = shards.len();
-    // Collect (name, value) per shard in visit order.
-    let mut per_shard: Vec<Vec<(String, Tensor)>> = Vec::with_capacity(tp);
-    for s in shards.iter_mut() {
-        let mut entries = Vec::new();
-        s.visit_params("", &mut |name: &str, p: &mut Param| {
-            entries.push((name.to_string(), p.value.clone()));
-        });
-        per_shard.push(entries);
-    }
-    let n_tensors = per_shard[0].len();
-    let mut out = Vec::new();
-    for t in 0..n_tensors {
-        let name = per_shard[0][t].0.clone();
-        let parts: Vec<&Tensor> = per_shard.iter().map(|s| &s[t].1).collect();
-        let full = if TpBlock::is_replicated(&name) {
-            parts[0].clone()
-        } else if name.ends_with(".wo") || name.ends_with(".w2") {
-            Tensor::concat_rows(&parts)
-        } else {
-            // Column-sharded: wq/bq/wk/bk/wv/bv/w1/b1.
-            Tensor::concat_cols(&parts)
-        };
-        out.extend_from_slice(full.data());
-    }
-    out
 }
 
 #[cfg(test)]
@@ -516,7 +542,7 @@ mod tests {
                 let losses: Vec<f32> = (0..2)
                     .map(|_| e.train_step(ctx, &batch).unwrap().loss)
                     .collect();
-                let params = e.gather_full_params(ctx);
+                let params = e.gather_full_params(ctx).unwrap();
                 (losses, params)
             });
             for (losses, params) in &results {

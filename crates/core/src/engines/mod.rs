@@ -39,11 +39,11 @@ pub use tp::TensorParallelEngine;
 pub use trainer::Trainer;
 
 use crate::stats::StepStats;
-use orbit_comm::{OomError, RankCtx};
+use orbit_comm::{OomError, RankCtx, SimError};
 use orbit_frontier::perfmodel::Calibration;
 use orbit_frontier::{FrontierMachine, ParallelLayout, TrainOptions};
 use orbit_tensor::kernels::AdamW;
-use orbit_vit::{Batch, VitConfig};
+use orbit_vit::{Batch, Checkpoint, VitConfig};
 
 /// A distributed training engine: one parallelism strategy driving the
 /// shared ViT math over the simulated cluster.
@@ -54,8 +54,21 @@ pub trait Engine {
     /// One optimizer step over the **global** batch. Every rank of the
     /// cluster must call this collectively with the same batch; the engine
     /// partitions data internally according to its data-replica layout.
-    /// Returns globally-synchronized statistics.
-    fn train_step(&mut self, ctx: &mut RankCtx, batch: &Batch) -> Result<StepStats, OomError>;
+    /// Returns globally-synchronized statistics. Fails with a typed
+    /// [`SimError`] on simulated OOM or a communication failure (e.g. a
+    /// peer died mid-collective) — never deadlocks or panics for those.
+    fn train_step(&mut self, ctx: &mut RankCtx, batch: &Batch) -> Result<StepStats, SimError>;
+
+    /// Assemble a layout-independent full-model [`Checkpoint`] (parameters
+    /// plus Adam state) on every rank. Collective: all ranks must call it
+    /// together. The result is identical across ranks, so any one of them
+    /// can persist it, and it can be restored into *any* engine layout.
+    fn capture_checkpoint(&mut self, ctx: &mut RankCtx) -> Result<Checkpoint, SimError>;
+
+    /// Load a full-model [`Checkpoint`] into this engine's shard layout —
+    /// the restart half of checkpoint/restart, including Hybrid-STOP's
+    /// reshard-on-restart. Collective: all ranks must call it together.
+    fn restore_checkpoint(&mut self, ctx: &mut RankCtx, ck: &Checkpoint) -> Result<(), SimError>;
 
     /// Stable snake_case strategy name (used in reports and traces).
     fn name(&self) -> &str;

@@ -14,14 +14,14 @@
 //! simulated clock exposes the bubble.
 
 use crate::stats::StepStats;
-use orbit_comm::{Allocation, ProcessGroup, RankCtx};
+use orbit_comm::{Allocation, ProcessGroup, RankCtx, SimError};
 use orbit_frontier::TrainOptions;
 use orbit_tensor::kernels::{AdamState, AdamW};
 use orbit_tensor::Tensor;
 use orbit_vit::block::BlockCache;
 use orbit_vit::loss::{weighted_mse, weighted_mse_grad};
 use orbit_vit::model::FrontCache;
-use orbit_vit::{Batch, VitConfig, VitModel};
+use orbit_vit::{Batch, Checkpoint, VitConfig, VitModel};
 
 use super::trainer::Trainer;
 use super::Engine;
@@ -98,6 +98,40 @@ impl PipelineEngine {
     fn is_last(&self) -> bool {
         self.stage == self.n_stages - 1
     }
+
+    /// Does this stage own parameter `name`? Blocks belong to their layer
+    /// range; the head to the last stage; everything else (front-end) to
+    /// stage 0. Mirrors the optimizer-step ownership rule in
+    /// [`Engine::train_step`].
+    fn owns(&self, name: &str) -> bool {
+        if let Some(rest) = name.strip_prefix("block") {
+            let idx: usize = rest
+                .split('.')
+                .next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(usize::MAX);
+            (self.lo..self.hi).contains(&idx)
+        } else if name.starts_with("head_") {
+            self.is_last()
+        } else {
+            self.is_first()
+        }
+    }
+
+    /// Per-parameter `(offset, len, owned)` ranges of the flat layout.
+    fn ownership_ranges(&mut self) -> Vec<(usize, usize, bool)> {
+        let mut ranges = Vec::new();
+        let mut owned_names: Vec<(String, usize)> = Vec::new();
+        self.model.visit_params(&mut |name, p| {
+            owned_names.push((name.to_string(), p.len()));
+        });
+        let mut off = 0;
+        for (name, n) in owned_names {
+            ranges.push((off, n, self.owns(&name)));
+            off += n;
+        }
+        ranges
+    }
 }
 
 impl Engine for PipelineEngine {
@@ -105,11 +139,7 @@ impl Engine for PipelineEngine {
     /// local optimizer step on the owned parameters. Every rank receives
     /// the whole batch; only stage 0 reads the inputs, only the last stage
     /// reads the targets. Returns the global loss on every rank.
-    fn train_step(
-        &mut self,
-        ctx: &mut RankCtx,
-        batch: &Batch,
-    ) -> Result<StepStats, orbit_comm::OomError> {
+    fn train_step(&mut self, ctx: &mut RankCtx, batch: &Batch) -> Result<StepStats, SimError> {
         assert!(!batch.is_empty());
         let b = batch.len();
         let dims = self.model.cfg.dims;
@@ -138,7 +168,7 @@ impl Engine for PipelineEngine {
                 front_caches.push(Some(fc));
                 x0
             } else {
-                let data = self.group.recv(&mut ctx.clock, self.stage - 1);
+                let data = self.group.recv(&mut ctx.clock, self.stage - 1)?;
                 Tensor::from_vec(tokens, d, data)
             };
             let mut caches = Vec::with_capacity(self.hi - self.lo);
@@ -160,7 +190,7 @@ impl Engine for PipelineEngine {
                 d_tops.push(self.model.head_backward(&x, &dp));
                 tops.push(x);
             } else {
-                self.group.send(&mut ctx.clock, self.stage + 1, x.data());
+                self.group.send(&mut ctx.clock, self.stage + 1, x.data())?;
             }
         }
 
@@ -169,7 +199,7 @@ impl Engine for PipelineEngine {
             let mut dy = if self.is_last() {
                 d_tops[s].clone()
             } else {
-                let data = self.group.recv(&mut ctx.clock, self.stage + 1);
+                let data = self.group.recv(&mut ctx.clock, self.stage + 1)?;
                 Tensor::from_vec(tokens, d, data)
             };
             for (l, cache) in (self.lo..self.hi).zip(block_caches[s].iter()).rev() {
@@ -179,7 +209,7 @@ impl Engine for PipelineEngine {
                 let fc = front_caches[s].take().expect("front cache");
                 self.model.front_backward(&fc, &dy);
             } else {
-                self.group.send(&mut ctx.clock, self.stage - 1, dy.data());
+                self.group.send(&mut ctx.clock, self.stage - 1, dy.data())?;
             }
         }
         drop(tops);
@@ -241,10 +271,68 @@ impl Engine for PipelineEngine {
         // Share the loss: broadcast from the last stage.
         let loss_v = self
             .group
-            .broadcast(&mut ctx.clock, &[local_loss], self.n_stages - 1);
+            .broadcast(&mut ctx.clock, &[local_loss], self.n_stages - 1)?;
         Ok(self
             .trainer
             .finish_step(ctx, t0, loss_v[0], grad_sq.sqrt() as f32, true))
+    }
+
+    /// Assemble the full checkpoint by summing stage contributions: each
+    /// rank zeroes the parameter ranges it does not own (they are stale
+    /// there — never updated), then one world all-reduce recovers every
+    /// stage's authoritative values. Adam moments of non-owned ranges are
+    /// already zero (the local optimizer never touches them), so they
+    /// all-reduce directly.
+    fn capture_checkpoint(&mut self, ctx: &mut RankCtx) -> Result<Checkpoint, SimError> {
+        let ranges = self.ownership_ranges();
+        let mut params = self.model.flatten_params();
+        for &(off, n, owned) in &ranges {
+            if !owned {
+                params[off..off + n].fill(0.0);
+            }
+        }
+        let params = self.group.all_reduce(&mut ctx.clock, &params)?;
+        let m = self.group.all_reduce(&mut ctx.clock, &self.state.m)?;
+        let v = self.group.all_reduce(&mut ctx.clock, &self.state.v)?;
+        Ok(Checkpoint::from_parts(
+            &self.model.cfg,
+            params,
+            m,
+            v,
+            self.state.step,
+        ))
+    }
+
+    /// Load the full parameters everywhere (non-owned ranges act as frozen
+    /// pass-through weights) but keep only the owned slices of the Adam
+    /// moments, preserving the zero-moment invariant capture relies on.
+    fn restore_checkpoint(&mut self, _ctx: &mut RankCtx, ck: &Checkpoint) -> Result<(), SimError> {
+        if !ck.matches_config(&self.model.cfg) {
+            return Err(SimError::State(
+                "checkpoint fingerprint does not match model config".into(),
+            ));
+        }
+        if ck.params.len() != self.state.m.len() {
+            return Err(SimError::State(format!(
+                "checkpoint has {} params, model expects {}",
+                ck.params.len(),
+                self.state.m.len()
+            )));
+        }
+        self.model.load_flat_params(&ck.params);
+        let ranges = self.ownership_ranges();
+        let mut m = ck.adam_m.clone();
+        let mut v = ck.adam_v.clone();
+        for &(off, n, owned) in &ranges {
+            if !owned {
+                m[off..off + n].fill(0.0);
+                v[off..off + n].fill(0.0);
+            }
+        }
+        self.state.m = m;
+        self.state.v = v;
+        self.state.step = ck.adam_step;
+        Ok(())
     }
 
     fn name(&self) -> &str {

@@ -1,10 +1,11 @@
 //! Single-device reference engine with simulated accounting.
 
 use crate::stats::StepStats;
-use orbit_comm::{Allocation, RankCtx};
+use orbit_comm::{Allocation, RankCtx, SimError};
 use orbit_frontier::TrainOptions;
 use orbit_tensor::kernels::{AdamState, AdamW};
 use orbit_vit::loss::weighted_mse;
+use orbit_vit::Checkpoint;
 use orbit_vit::{Batch, VitConfig, VitModel};
 
 use super::trainer::{configure_precision, Trainer};
@@ -57,11 +58,7 @@ impl SingleDeviceEngine {
 impl Engine for SingleDeviceEngine {
     /// One training step over `batch` (which is the whole global batch for
     /// this engine). Charges simulated compute time and activation memory.
-    fn train_step(
-        &mut self,
-        ctx: &mut RankCtx,
-        batch: &Batch,
-    ) -> Result<StepStats, orbit_comm::OomError> {
+    fn train_step(&mut self, ctx: &mut RankCtx, batch: &Batch) -> Result<StepStats, SimError> {
         assert!(!batch.is_empty());
         let dims = self.model.cfg.dims;
         let _act = self.trainer.alloc_activations(ctx, &dims, batch.len())?;
@@ -81,6 +78,15 @@ impl Engine for SingleDeviceEngine {
             self.model.adam_step(&self.trainer.opt, &mut self.state);
         }
         Ok(self.trainer.finish_step(ctx, t0, loss, grad_norm, applied))
+    }
+
+    fn capture_checkpoint(&mut self, _ctx: &mut RankCtx) -> Result<Checkpoint, SimError> {
+        Ok(Checkpoint::capture(&mut self.model, &self.state))
+    }
+
+    fn restore_checkpoint(&mut self, _ctx: &mut RankCtx, ck: &Checkpoint) -> Result<(), SimError> {
+        ck.restore(&mut self.model, &mut self.state)
+            .map_err(|e| SimError::State(e.to_string()))
     }
 
     fn name(&self) -> &str {

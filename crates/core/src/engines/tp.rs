@@ -8,12 +8,13 @@
 
 use crate::stats::StepStats;
 use crate::tp_block::TpBlock;
-use orbit_comm::{Allocation, ProcessGroup, RankCtx};
+use orbit_comm::{Allocation, CommError, ProcessGroup, RankCtx, SimClock, SimError};
 use orbit_frontier::TrainOptions;
 use orbit_tensor::kernels::{AdamState, AdamW};
+use orbit_tensor::Tensor;
 use orbit_vit::block::Param;
 use orbit_vit::loss::weighted_mse;
-use orbit_vit::{Batch, VitConfig, VitModel};
+use orbit_vit::{Batch, Checkpoint, VitConfig, VitModel};
 
 use super::trainer::{configure_precision, Trainer};
 use super::Engine;
@@ -64,17 +65,115 @@ pub(crate) fn tp_load_grads(block: &mut TpBlock, flat: &[f32]) {
 pub(crate) fn sync_qk_grads(
     block: &mut TpBlock,
     tp_group: &mut ProcessGroup,
-    clock: &mut orbit_comm::SimClock,
-) {
+    clock: &mut SimClock,
+) -> Result<(), CommError> {
     if tp_group.size() <= 1 {
-        return;
+        return Ok(());
     }
     if let Some(qk) = block.qk.as_mut() {
         for p in qk.iter_mut() {
-            let summed = tp_group.all_reduce(clock, p.grad.data());
+            let summed = tp_group.all_reduce(clock, p.grad.data())?;
             p.grad.data_mut().copy_from_slice(&summed);
         }
     }
+    Ok(())
+}
+
+/// Reassemble a full transformer block's flat parameters (reference visit
+/// order) from all TP ranks' shard blocks.
+pub(crate) fn reassemble_block(shards: &mut [TpBlock]) -> Vec<f32> {
+    let tp = shards.len();
+    // Collect (name, value) per shard in visit order.
+    let mut per_shard: Vec<Vec<(String, Tensor)>> = Vec::with_capacity(tp);
+    for s in shards.iter_mut() {
+        let mut entries = Vec::new();
+        s.visit_params("", &mut |name: &str, p: &mut Param| {
+            entries.push((name.to_string(), p.value.clone()));
+        });
+        per_shard.push(entries);
+    }
+    let n_tensors = per_shard[0].len();
+    let mut out = Vec::new();
+    for t in 0..n_tensors {
+        let name = per_shard[0][t].0.clone();
+        let parts: Vec<&Tensor> = per_shard.iter().map(|s| &s[t].1).collect();
+        let full = if TpBlock::is_replicated(&name) {
+            parts[0].clone()
+        } else if name.ends_with(".wo") || name.ends_with(".w2") {
+            Tensor::concat_rows(&parts)
+        } else {
+            // Column-sharded: wq/bq/wk/bk/wv/bv/w1/b1.
+            Tensor::concat_cols(&parts)
+        };
+        out.extend_from_slice(full.data());
+    }
+    out
+}
+
+/// Assemble a reference-ordered full flat vector from TP-sharded pieces:
+/// `front_flat` is the replicated front-end/head flat (visit order: front
+/// then head), `block_flats[l]` is this rank's TP-shard flat for block `l`.
+/// All-gathers each block across the TP group, reassembles the column/row
+/// shards into full matrices, and splices the head back after the blocks
+/// (reference order). The same routine serves parameters and Adam moments
+/// — any vector laid out like the parameters. Result is identical on every
+/// rank.
+pub(crate) fn assemble_reference(
+    cfg: &VitConfig,
+    blocks: &[TpBlock],
+    tp_group: &mut ProcessGroup,
+    clock: &mut SimClock,
+    front_flat: &[f32],
+    block_flats: &[Vec<f32>],
+) -> Result<Vec<f32>, CommError> {
+    let d = cfg.dims;
+    let out_c = d.out_channels * d.patch * d.patch;
+    let head_len = d.embed * out_c + out_c;
+    let pre_len = front_flat.len() - head_len;
+    let tp = tp_group.size();
+    let mut full = Vec::new();
+    full.extend_from_slice(&front_flat[..pre_len]);
+    for (l, flat) in block_flats.iter().enumerate() {
+        let all_tp = tp_group.all_gather(clock, flat)?;
+        let shard_len = flat.len();
+        // Load each TP rank's flat into a scratch TpBlock to recover
+        // tensor shapes, then reassemble the full block tensors.
+        let mut scratch: Vec<TpBlock> = (0..tp).map(|_| blocks[l].clone()).collect();
+        for (k, s) in scratch.iter_mut().enumerate() {
+            tp_load(s, &all_tp[k * shard_len..(k + 1) * shard_len]);
+        }
+        full.extend(reassemble_block(&mut scratch));
+    }
+    full.extend_from_slice(&front_flat[pre_len..]);
+    Ok(full)
+}
+
+/// The inverse of [`assemble_reference`]: re-shard a reference-ordered full
+/// flat vector into this TP rank's local layout. Returns the front
+/// flat (front-end + head, visit order) and one TP-shard flat per block.
+/// Pure slicing/permutation of the input values, so restoring into the
+/// same layout that captured a checkpoint is bit-exact.
+pub(crate) fn reshard_reference(
+    cfg: &VitConfig,
+    tp: usize,
+    tp_idx: usize,
+    full: &[f32],
+) -> (Vec<f32>, Vec<Vec<f32>>) {
+    // A scratch reference model recovers tensor shapes; every value is
+    // overwritten by `full` before slicing.
+    let mut reference = VitModel::init(*cfg, 0);
+    reference.load_flat_params(full);
+    let block_flats: Vec<Vec<f32>> = reference
+        .blocks
+        .iter()
+        .map(|b| {
+            let mut tb = TpBlock::from_reference(b, tp, tp_idx);
+            tp_flatten(&mut tb)
+        })
+        .collect();
+    let mut front = reference;
+    front.blocks = Vec::new();
+    (front.flatten_params(), block_flats)
 }
 
 /// Pure tensor parallelism over the world group (one model replica).
@@ -164,11 +263,7 @@ impl TensorParallelEngine {
 
 impl Engine for TensorParallelEngine {
     /// One training step; every rank receives the same (whole) batch.
-    fn train_step(
-        &mut self,
-        ctx: &mut RankCtx,
-        batch: &Batch,
-    ) -> Result<StepStats, orbit_comm::OomError> {
+    fn train_step(&mut self, ctx: &mut RankCtx, batch: &Batch) -> Result<StepStats, SimError> {
         assert!(!batch.is_empty());
         let dims = self.front.cfg.dims;
         let t0 = ctx.clock.now();
@@ -189,7 +284,7 @@ impl Engine for TensorParallelEngine {
             let mut x = x0;
             let mut caches = Vec::with_capacity(self.blocks.len());
             for b in &self.blocks {
-                let (y, c) = b.forward(&x, &mut self.tp_group, &mut ctx.clock);
+                let (y, c) = b.forward(&x, &mut self.tp_group, &mut ctx.clock)?;
                 caches.push(c);
                 x = y;
             }
@@ -198,13 +293,13 @@ impl Engine for TensorParallelEngine {
             let d = self.trainer.loss_grad(&preds, targets, scale);
             let mut dy = self.front.head_backward(&x, &d);
             for (b, c) in self.blocks.iter_mut().zip(caches.iter()).rev() {
-                dy = b.backward(c, &dy, &mut self.tp_group, &mut ctx.clock);
+                dy = b.backward(c, &dy, &mut self.tp_group, &mut ctx.clock)?;
             }
             self.front.front_backward(&front_cache, &dy);
         }
         // QK-norm grads are partial per head slice: sum across the group.
         for b in &mut self.blocks {
-            sync_qk_grads(b, &mut self.tp_group, &mut ctx.clock);
+            sync_qk_grads(b, &mut self.tp_group, &mut ctx.clock)?;
         }
         // Compute: this rank executed ~1/tp of the block FLOPs plus the
         // replicated front-end.
@@ -214,13 +309,92 @@ impl Engine for TensorParallelEngine {
         let (mut params, mut grads) = self.flatten_all();
         let applied =
             self.trainer
-                .unscale_synced(&mut ctx.clock, &mut self.tp_group, &mut [&mut grads]);
+                .unscale_synced(&mut ctx.clock, &mut self.tp_group, &mut [&mut grads])?;
         let grad_norm = self.trainer.clip_and_norm(&mut grads);
         if applied {
             self.trainer.opt.step(&mut self.state, &mut params, &grads);
             self.load_all(&params);
         }
         Ok(self.trainer.finish_step(ctx, t0, loss, grad_norm, applied))
+    }
+
+    /// Assemble the full reference model: the front is replicated locally;
+    /// blocks (parameters and Adam moments alike) are TP all-gathered and
+    /// reassembled into reference order. Moments of TP-replicated tensors
+    /// are identical across ranks (their gradients are synced every step),
+    /// so taking one copy is exact.
+    fn capture_checkpoint(&mut self, ctx: &mut RankCtx) -> Result<Checkpoint, SimError> {
+        let front_len = self.front.flatten_params().len();
+        let front_flat = self.front.flatten_params();
+        let mut block_flats = Vec::with_capacity(self.blocks.len());
+        for b in &mut self.blocks {
+            block_flats.push(tp_flatten(b));
+        }
+        let cfg = self.front.cfg;
+        let assemble = |vec: &[f32],
+                        tp_group: &mut ProcessGroup,
+                        blocks: &[TpBlock],
+                        clock: &mut SimClock|
+         -> Result<Vec<f32>, CommError> {
+            // Split a local-layout flat [front, block 0, ..] into pieces.
+            let front_part = &vec[..front_len];
+            let mut parts = Vec::with_capacity(block_flats.len());
+            let mut off = front_len;
+            for f in &block_flats {
+                parts.push(vec[off..off + f.len()].to_vec());
+                off += f.len();
+            }
+            assemble_reference(&cfg, blocks, tp_group, clock, front_part, &parts)
+        };
+        let local: Vec<f32> = {
+            let mut v = front_flat.clone();
+            for f in &block_flats {
+                v.extend_from_slice(f);
+            }
+            v
+        };
+        let params = assemble(&local, &mut self.tp_group, &self.blocks, &mut ctx.clock)?;
+        let m = assemble(
+            &self.state.m.clone(),
+            &mut self.tp_group,
+            &self.blocks,
+            &mut ctx.clock,
+        )?;
+        let v = assemble(
+            &self.state.v.clone(),
+            &mut self.tp_group,
+            &self.blocks,
+            &mut ctx.clock,
+        )?;
+        Ok(Checkpoint::from_parts(&cfg, params, m, v, self.state.step))
+    }
+
+    /// Re-shard the full checkpoint into this rank's TP layout (front
+    /// replicated, blocks column/row sliced) — parameters and both Adam
+    /// moments.
+    fn restore_checkpoint(&mut self, _ctx: &mut RankCtx, ck: &Checkpoint) -> Result<(), SimError> {
+        if !ck.matches_config(&self.front.cfg) {
+            return Err(SimError::State(
+                "checkpoint fingerprint does not match model config".into(),
+            ));
+        }
+        let cfg = self.front.cfg;
+        let tp = self.tp;
+        let tp_idx = self.tp_group.local_index();
+        let reshard = |full: &[f32]| -> Vec<f32> {
+            let (front, blocks) = reshard_reference(&cfg, tp, tp_idx, full);
+            let mut local = front;
+            for b in blocks {
+                local.extend_from_slice(&b);
+            }
+            local
+        };
+        let params = reshard(&ck.params);
+        self.load_all(&params);
+        self.state.m = reshard(&ck.adam_m);
+        self.state.v = reshard(&ck.adam_v);
+        self.state.step = ck.adam_step;
+        Ok(())
     }
 
     fn name(&self) -> &str {

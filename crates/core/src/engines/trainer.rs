@@ -11,7 +11,7 @@
 
 use crate::scaler::GradScaler;
 use crate::stats::StepStats;
-use orbit_comm::{Allocation, OomError, ProcessGroup, RankCtx, SimClock};
+use orbit_comm::{Allocation, CommError, OomError, ProcessGroup, RankCtx, SimClock};
 use orbit_frontier::perfmodel::Calibration;
 use orbit_frontier::{FrontierMachine, ModelDims, TrainOptions};
 use orbit_tensor::kernels::AdamW;
@@ -219,7 +219,7 @@ impl Trainer {
         clock: &mut SimClock,
         shard: &[f32],
         prefetched: bool,
-    ) -> Vec<f32> {
+    ) -> Result<Vec<f32>, CommError> {
         if prefetched && self.opts.prefetch {
             group.all_gather_prefetched(clock, shard)
         } else {
@@ -258,9 +258,9 @@ impl Trainer {
         clock: &mut SimClock,
         group: &mut ProcessGroup,
         shards: &mut [&mut [f32]],
-    ) -> bool {
+    ) -> Result<bool, CommError> {
         if !self.opts.mixed_precision {
-            return true;
+            return Ok(true);
         }
         let inv = 1.0 / self.scaler.scale();
         let mut nonfinite = 0.0f32;
@@ -272,10 +272,10 @@ impl Trainer {
                 }
             }
         }
-        let total = group.all_reduce_scalar(clock, nonfinite);
+        let total = group.all_reduce_scalar(clock, nonfinite)?;
         let applied = total == 0.0;
         self.scaler.update(applied);
-        applied
+        Ok(applied)
     }
 
     /// Rescale factor that caps `grad_norm` at the configured clip

@@ -36,6 +36,7 @@
 //! [`engines::HybridStopEngine`].
 
 pub mod engines;
+pub mod resilient;
 pub mod scaler;
 pub mod sharding;
 pub mod stats;
@@ -45,6 +46,7 @@ pub use engines::{
     build_engine, DdpEngine, Engine, EngineSpec, FsdpEngine, HybridStopEngine, PipelineEngine,
     SingleDeviceEngine, TensorParallelEngine, Trainer,
 };
+pub use resilient::{AttemptSpec, ResilientReport, ResilientTrainer};
 pub use scaler::GradScaler;
 pub use stats::StepStats;
 

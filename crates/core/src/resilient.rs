@@ -1,0 +1,304 @@
+//! Checkpoint/restart training on top of the fault-tolerant cluster.
+//!
+//! [`ResilientTrainer`] drives any [`Engine`] through a fixed number of
+//! steps, capturing a layout-independent [`Checkpoint`] every `k` steps.
+//! When a launch fails — a rank killed by the fault plan, a simulated OOM,
+//! a severed link, a panic — every surviving rank unblocks with a typed
+//! error ([`orbit_comm::CommError::PeerFailure`]), the launch reports
+//! per-rank [`RankOutcome`]s, and the trainer relaunches from the last
+//! *committed* checkpoint. Because checkpoints are reference-ordered full
+//! flats, the relaunch may use a **different engine or layout** than the
+//! attempt that wrote them — e.g. restarting Hybrid-STOP `2x2x1` as
+//! `1x2x2`, or finishing a distributed run on a single device.
+//!
+//! Restoring into the *same* layout that captured a checkpoint is a pure
+//! permutation of the saved values, so the recovered loss trajectory is
+//! bit-identical to an uninterrupted run (in full precision; the dynamic
+//! [`crate::GradScaler`] state is intentionally not checkpointed — a
+//! restart re-enters mixed precision at the default scale, which only
+//! perturbs the scale schedule, never correctness).
+
+use crate::engines::{build_engine, EngineSpec};
+use crate::stats::StepStats;
+use orbit_comm::{Cluster, RankOutcome, SimError};
+use orbit_frontier::TrainOptions;
+use orbit_tensor::kernels::AdamW;
+use orbit_vit::{Batch, Checkpoint, VitConfig};
+use std::sync::Mutex;
+
+/// One launch configuration in the restart schedule: which engine to build
+/// and on how many ranks. Attempt `i` after the `i`-th failure uses
+/// `attempts[min(i, len-1)]`, so the last spec also covers any further
+/// restarts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AttemptSpec {
+    pub spec: EngineSpec,
+    pub world: usize,
+}
+
+impl AttemptSpec {
+    pub fn new(spec: EngineSpec, world: usize) -> Self {
+        AttemptSpec { spec, world }
+    }
+}
+
+/// What a resilient run produced.
+#[derive(Debug, Clone)]
+pub struct ResilientReport {
+    /// One loss per global step, `0..steps`, stitched across restarts: a
+    /// failed attempt contributes only the steps up to its last committed
+    /// checkpoint; the relaunch replays from there.
+    pub losses: Vec<f32>,
+    /// Number of relaunches (0 for an uninterrupted run).
+    pub restarts: usize,
+    /// `"{engine}x{world}"` per launch, in order — records reshard-on-
+    /// restart transitions.
+    pub launches: Vec<String>,
+    /// Full-model state after the final step.
+    pub final_checkpoint: Checkpoint,
+}
+
+/// Checkpoint-every-`k`-steps training with automatic restart from the
+/// last committed checkpoint on failure.
+pub struct ResilientTrainer {
+    cluster: Cluster,
+    checkpoint_every: u64,
+    max_restarts: usize,
+}
+
+impl ResilientTrainer {
+    /// Wrap a cluster (typically one carrying a
+    /// [`orbit_comm::FaultPlan`]). Defaults: checkpoint every 2 steps, at
+    /// most 8 restarts.
+    pub fn new(cluster: Cluster) -> Self {
+        ResilientTrainer {
+            cluster,
+            checkpoint_every: 2,
+            max_restarts: 8,
+        }
+    }
+
+    /// Capture a checkpoint after every `k` completed steps (`k > 0`).
+    pub fn with_checkpoint_every(mut self, k: u64) -> Self {
+        assert!(k > 0, "checkpoint interval must be positive");
+        self.checkpoint_every = k;
+        self
+    }
+
+    /// Give up (returning `Err`) after this many relaunches.
+    pub fn with_max_restarts(mut self, n: usize) -> Self {
+        self.max_restarts = n;
+        self
+    }
+
+    /// Train for `steps` optimizer steps, restarting on failure. `batch_fn`
+    /// maps a global step index to its batch and must be deterministic —
+    /// a replayed step must see the data of the original attempt. All the
+    /// usual engine requirements apply per launch (same seed everywhere,
+    /// world compatible with the spec).
+    #[allow(clippy::too_many_arguments)]
+    pub fn train<F>(
+        &self,
+        attempts: &[AttemptSpec],
+        cfg: VitConfig,
+        opt: AdamW,
+        opts: TrainOptions,
+        seed: u64,
+        steps: u64,
+        batch_fn: F,
+    ) -> Result<ResilientReport, SimError>
+    where
+        F: Fn(u64) -> Batch + Sync,
+    {
+        assert!(!attempts.is_empty(), "need at least one attempt spec");
+        assert!(steps > 0, "need at least one step");
+        let mut committed: Option<(u64, Checkpoint)> = None;
+        let mut losses: Vec<f32> = Vec::new();
+        let mut restarts = 0usize;
+        let mut launches: Vec<String> = Vec::new();
+
+        loop {
+            let attempt = attempts[restarts.min(attempts.len() - 1)];
+            launches.push(format!("{}x{}", attempt.spec.name(), attempt.world));
+            // Rank 0 streams (step, loss) pairs and checkpoints out of the
+            // launch; the values are identical on every rank, so one
+            // writer suffices and survives any *other* rank's death.
+            let stream: Mutex<Vec<(u64, f32)>> = Mutex::new(Vec::new());
+            let saved: Mutex<Option<(u64, Checkpoint)>> = Mutex::new(None);
+            let resume = committed.clone();
+
+            let outcomes: Vec<RankOutcome<Option<Checkpoint>>> =
+                self.cluster.try_run(attempt.world, |ctx| {
+                    let mut engine = build_engine(ctx, attempt.spec, cfg, opt, opts, seed)?;
+                    let start = match resume.as_ref() {
+                        Some((step0, ck)) => {
+                            engine.restore_checkpoint(ctx, ck)?;
+                            *step0
+                        }
+                        None => 0,
+                    };
+                    for step in start..steps {
+                        ctx.begin_step(step)?;
+                        let batch = batch_fn(step);
+                        let stats: StepStats = engine.train_step(ctx, &batch)?;
+                        if ctx.rank == 0 {
+                            stream.lock().unwrap().push((step, stats.loss));
+                        }
+                        let done = step + 1;
+                        if done % self.checkpoint_every == 0 && done < steps {
+                            let ck = engine.capture_checkpoint(ctx)?;
+                            if ctx.rank == 0 {
+                                *saved.lock().unwrap() = Some((done, ck));
+                            }
+                        }
+                    }
+                    let final_ck = engine.capture_checkpoint(ctx)?;
+                    Ok((ctx.rank == 0).then_some(final_ck))
+                });
+
+            let committed_len = committed.as_ref().map(|(s, _)| *s).unwrap_or(0);
+            let stream = stream.into_inner().unwrap();
+
+            if outcomes.iter().all(|o| o.is_ok()) {
+                for (step, loss) in stream {
+                    if step >= committed_len {
+                        debug_assert_eq!(step as usize, losses.len());
+                        losses.push(loss);
+                    }
+                }
+                let final_checkpoint = outcomes
+                    .into_iter()
+                    .next()
+                    .and_then(|o| o.ok())
+                    .flatten()
+                    .expect("rank 0 returns the final checkpoint");
+                return Ok(ResilientReport {
+                    losses,
+                    restarts,
+                    launches,
+                    final_checkpoint,
+                });
+            }
+
+            restarts += 1;
+            if restarts > self.max_restarts {
+                let cause = outcomes
+                    .iter()
+                    .find_map(|o| o.failure())
+                    .map(|c| c.to_string())
+                    .unwrap_or_else(|| "unknown".into());
+                return Err(SimError::State(format!(
+                    "gave up after {} restarts (last failure: {cause})",
+                    self.max_restarts
+                )));
+            }
+            // Commit the newest checkpoint this attempt produced (if rank 0
+            // survived long enough to store one) and keep only losses the
+            // relaunch will not replay.
+            if let Some((ck_step, ck)) = saved.into_inner().unwrap() {
+                for (step, loss) in stream {
+                    if step >= committed_len && step < ck_step {
+                        debug_assert_eq!(step as usize, losses.len());
+                        losses.push(loss);
+                    }
+                }
+                committed = Some((ck_step, ck));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orbit_comm::FaultPlan;
+    use orbit_tensor::init::Rng;
+
+    fn make_batch(cfg: &VitConfig, n: usize, seed: u64) -> Batch {
+        let mut rng = Rng::seed(seed);
+        Batch {
+            inputs: (0..n)
+                .map(|_| {
+                    (0..cfg.dims.channels)
+                        .map(|_| rng.normal_tensor(cfg.dims.img_h, cfg.dims.img_w, 1.0))
+                        .collect()
+                })
+                .collect(),
+            targets: (0..n)
+                .map(|_| {
+                    (0..cfg.dims.out_channels)
+                        .map(|_| rng.normal_tensor(cfg.dims.img_h, cfg.dims.img_w, 1.0))
+                        .collect()
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn uninterrupted_run_reports_all_steps() {
+        let cfg = VitConfig::test_tiny();
+        let trainer = ResilientTrainer::new(Cluster::frontier());
+        let report = trainer
+            .train(
+                &[AttemptSpec::new(EngineSpec::Single, 1)],
+                cfg,
+                AdamW::default(),
+                TrainOptions::none(),
+                42,
+                3,
+                |step| make_batch(&cfg, 2, 100 + step),
+            )
+            .unwrap();
+        assert_eq!(report.losses.len(), 3);
+        assert_eq!(report.restarts, 0);
+        assert_eq!(report.launches, vec!["single_devicex1"]);
+        assert!(report.losses.iter().all(|l| l.is_finite() && *l > 0.0));
+    }
+
+    #[test]
+    fn killed_rank_triggers_restart_and_completes() {
+        let cfg = VitConfig::test_tiny();
+        let cluster = Cluster::frontier().with_fault_plan(FaultPlan::new().kill(1, 3));
+        let trainer = ResilientTrainer::new(cluster).with_checkpoint_every(2);
+        let report = trainer
+            .train(
+                &[AttemptSpec::new(EngineSpec::Ddp, 2)],
+                cfg,
+                AdamW::default(),
+                TrainOptions::none(),
+                42,
+                5,
+                |step| make_batch(&cfg, 2, 100 + step),
+            )
+            .unwrap();
+        assert_eq!(report.restarts, 1);
+        assert_eq!(report.losses.len(), 5);
+        assert_eq!(report.launches.len(), 2);
+    }
+
+    #[test]
+    fn gives_up_after_max_restarts() {
+        let cfg = VitConfig::test_tiny();
+        // Kill rank 0 at step 0 of every attempt: two events, one restart
+        // allowed under max_restarts = 1, third failure aborts... but the
+        // plan only fires each event once, so use enough kills to outlast
+        // the budget.
+        let plan = FaultPlan::new().kill(0, 0).kill(1, 0).kill(0, 1);
+        let cluster = Cluster::frontier().with_fault_plan(plan);
+        let trainer = ResilientTrainer::new(cluster)
+            .with_checkpoint_every(1)
+            .with_max_restarts(1);
+        let err = trainer
+            .train(
+                &[AttemptSpec::new(EngineSpec::Ddp, 2)],
+                cfg,
+                AdamW::default(),
+                TrainOptions::none(),
+                42,
+                4,
+                |step| make_batch(&cfg, 2, 100 + step),
+            )
+            .unwrap_err();
+        assert!(matches!(err, SimError::State(msg) if msg.contains("gave up")));
+    }
+}

@@ -8,6 +8,9 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Default backoff floor for the dynamic scale: 2^-14.
+pub const MIN_SCALE: f32 = 6.103_515_6e-5;
+
 /// Dynamic loss/gradient scaler.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct GradScaler {
@@ -16,6 +19,11 @@ pub struct GradScaler {
     backoff_factor: f32,
     growth_interval: u32,
     clean_steps: u32,
+    /// Backoff floor: the scale never drops below this, so a burst of
+    /// non-finite steps (e.g. after a fault-recovery restart) cannot
+    /// drive it to zero. 2^-14 is the smallest bf16/fp16 normal exponent
+    /// neighborhood worth scaling into.
+    min_scale: f32,
     /// Total steps skipped due to non-finite gradients.
     pub skipped_steps: u64,
 }
@@ -28,6 +36,7 @@ impl Default for GradScaler {
             backoff_factor: 0.5,
             growth_interval: 200,
             clean_steps: 0,
+            min_scale: MIN_SCALE,
             skipped_steps: 0,
         }
     }
@@ -45,6 +54,11 @@ impl GradScaler {
     /// Current scale factor to apply to the loss gradient.
     pub fn scale(&self) -> f32 {
         self.scale
+    }
+
+    /// The backoff floor.
+    pub fn min_scale(&self) -> f32 {
+        self.min_scale
     }
 
     /// Un-scale gradients in place and decide whether the optimizer step
@@ -74,7 +88,7 @@ impl GradScaler {
                 self.clean_steps = 0;
             }
         } else {
-            self.scale = (self.scale * self.backoff_factor).max(1.0);
+            self.scale = (self.scale * self.backoff_factor).max(self.min_scale);
             self.clean_steps = 0;
             self.skipped_steps += 1;
         }
@@ -121,11 +135,36 @@ mod tests {
     }
 
     #[test]
-    fn scale_never_below_one() {
+    fn scale_clamps_at_min_scale() {
         let mut s = GradScaler::with_scale(1.0);
-        s.update(false);
-        s.update(false);
-        assert!(s.scale() >= 1.0);
+        // A long burst of non-finite steps stops at the floor instead of
+        // underflowing to zero.
+        for _ in 0..200 {
+            s.update(false);
+        }
+        assert_eq!(s.scale(), MIN_SCALE);
+        assert!(s.scale() > 0.0);
+    }
+
+    #[test]
+    fn scale_recovers_after_clamped_burst() {
+        let mut s = GradScaler {
+            growth_interval: 2,
+            ..GradScaler::with_scale(1.0)
+        };
+        for _ in 0..100 {
+            s.update(false);
+        }
+        assert_eq!(s.scale(), MIN_SCALE);
+        // Clean steps double the scale back up from the floor.
+        for _ in 0..2 {
+            s.update(true);
+        }
+        assert_eq!(s.scale(), MIN_SCALE * 2.0);
+        for _ in 0..60 {
+            s.update(true);
+        }
+        assert!(s.scale() >= 1.0, "scale climbs back into normal range");
     }
 
     #[test]

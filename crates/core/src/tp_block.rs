@@ -14,7 +14,7 @@
 //! computes each rank's `dY B_{k,*}^T A_{*,k}^T` contribution to `dX` and
 //! all-reduces those (Eqn. (3)). Weight gradients stay local to the shard.
 
-use orbit_comm::{ProcessGroup, SimClock};
+use orbit_comm::{CommError, ProcessGroup, SimClock};
 use orbit_tensor::kernels::attention::{mha_backward, mha_forward, MhaCache, QkNorm};
 use orbit_tensor::kernels::{
     gelu, gelu_backward, layernorm, layernorm_backward, linear, linear_backward, LayerNormCache,
@@ -113,12 +113,13 @@ impl TpBlock {
     }
 
     /// Forward for one sequence; `tp_group` sums the partial activations.
+    /// Fails when a tensor-parallel peer died mid-rendezvous.
     pub fn forward(
         &self,
         x: &Tensor,
         tp_group: &mut ProcessGroup,
         clock: &mut SimClock,
-    ) -> (Tensor, TpBlockCache) {
+    ) -> Result<(Tensor, TpBlockCache), CommError> {
         let p = self.precision;
         let (tokens, d) = x.shape();
         let (z1, ln1) = layernorm(x, &self.ln1_gamma.value, &self.ln1_beta.value);
@@ -131,7 +132,7 @@ impl TpBlock {
         // Row-sharded output projection -> partial sum -> all-reduce
         // (Eqn. (2): sum_k x A_{*,k} B_{k,*}).
         let o_part = linear(&a_loc, &self.wo.value, None, p);
-        let o_sum = Tensor::from_vec(tokens, d, tp_group.all_reduce(clock, o_part.data()));
+        let o_sum = Tensor::from_vec(tokens, d, tp_group.all_reduce(clock, o_part.data())?);
         let mut attn_out = o_sum;
         for r in 0..tokens {
             for (vv, &b) in attn_out.row_mut(r).iter_mut().zip(self.bo.value.row(0)) {
@@ -143,7 +144,7 @@ impl TpBlock {
         let u_loc = linear(&z2, &self.w1.value, Some(&self.b1.value), p);
         let g_loc = gelu(&u_loc);
         let m_part = linear(&g_loc, &self.w2.value, None, p);
-        let m_sum = Tensor::from_vec(tokens, d, tp_group.all_reduce(clock, m_part.data()));
+        let m_sum = Tensor::from_vec(tokens, d, tp_group.all_reduce(clock, m_part.data())?);
         let mut mlp_out = m_sum;
         for r in 0..tokens {
             for (vv, &b) in mlp_out.row_mut(r).iter_mut().zip(self.b2.value.row(0)) {
@@ -151,7 +152,7 @@ impl TpBlock {
             }
         }
         let y = h.add(&mlp_out);
-        (
+        Ok((
             y,
             TpBlockCache {
                 ln1,
@@ -164,7 +165,7 @@ impl TpBlock {
                 u_loc,
                 g_loc,
             },
-        )
+        ))
     }
 
     /// Backward for one sequence. Accumulates this rank's shard gradients
@@ -176,7 +177,7 @@ impl TpBlock {
         dy: &Tensor,
         tp_group: &mut ProcessGroup,
         clock: &mut SimClock,
-    ) -> Tensor {
+    ) -> Result<Tensor, CommError> {
         let (tokens, d) = dy.shape();
         let _ = &cache.dh_source;
         // MLP: y = h + (g_loc W2_loc summed) + b2.
@@ -195,7 +196,7 @@ impl TpBlock {
         self.w1.accumulate(&g1.dw);
         self.b1.accumulate(&g1.db.expect("bias grad"));
         // dz2 partials sum across the group (Eqn. (3)).
-        let dz2 = Tensor::from_vec(tokens, d, tp_group.all_reduce(clock, g1.dx.data()));
+        let dz2 = Tensor::from_vec(tokens, d, tp_group.all_reduce(clock, g1.dx.data())?);
         let ln2g = layernorm_backward(&cache.ln2, &self.ln2_gamma.value, &dz2);
         self.ln2_gamma.accumulate(&ln2g.dgamma);
         self.ln2_beta.accumulate(&ln2g.dbeta);
@@ -235,13 +236,13 @@ impl TpBlock {
         let mut dz1_part = gq.dx;
         dz1_part.add_assign(&gk.dx);
         dz1_part.add_assign(&gv.dx);
-        let dz1 = Tensor::from_vec(tokens, d, tp_group.all_reduce(clock, dz1_part.data()));
+        let dz1 = Tensor::from_vec(tokens, d, tp_group.all_reduce(clock, dz1_part.data())?);
         let ln1g = layernorm_backward(&cache.ln1, &self.ln1_gamma.value, &dz1);
         self.ln1_gamma.accumulate(&ln1g.dgamma);
         self.ln1_beta.accumulate(&ln1g.dbeta);
         let mut dx = dh;
         dx.add_assign(&ln1g.dx);
-        dx
+        Ok(dx)
     }
 
     /// Visit this shard's parameters in the same deterministic order as
@@ -315,8 +316,8 @@ mod tests {
                 let mut block = TpBlock::from_reference(&reference, tp, ctx.rank);
                 let mut group = ctx.world_group();
                 let mut clock = SimClock::new();
-                let (y, cache) = block.forward(&x, &mut group, &mut clock);
-                let dx = block.backward(&cache, &dy, &mut group, &mut clock);
+                let (y, cache) = block.forward(&x, &mut group, &mut clock).unwrap();
+                let dx = block.backward(&cache, &dy, &mut group, &mut clock).unwrap();
                 (y, dx, block.w1.grad.clone(), block.w2.grad.clone())
             });
             for (rank, (y, dx, dw1, dw2)) in results.iter().enumerate() {
@@ -351,8 +352,8 @@ mod tests {
             let mut block = TpBlock::from_reference(&reference, tp, ctx.rank);
             let mut group = ctx.world_group();
             let mut clock = SimClock::new();
-            let (_, cache) = block.forward(&x, &mut group, &mut clock);
-            let _ = block.backward(&cache, &dy, &mut group, &mut clock);
+            let (_, cache) = block.forward(&x, &mut group, &mut clock).unwrap();
+            let _ = block.backward(&cache, &dy, &mut group, &mut clock).unwrap();
             block.qk.as_ref().unwrap()[0].grad.clone()
         });
         let summed = results[0].add(&results[1]);

@@ -53,7 +53,7 @@ fn comm_events(
         .into_iter()
         .filter_map(|ev| match ev {
             TraceEvent::Comm(c) => Some(c),
-            TraceEvent::Compute { .. } => None,
+            _ => None,
         })
         .collect()
 }

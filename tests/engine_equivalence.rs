@@ -114,7 +114,7 @@ fn hybrid_stop_final_params_match_reference() {
         for _ in 0..2 {
             e.train_step(ctx, &batch).unwrap();
         }
-        e.gather_full_params(ctx)
+        e.gather_full_params(ctx).unwrap()
     });
     for params in &results {
         assert_eq!(params.len(), want.len());

@@ -1,0 +1,349 @@
+//! Fault-injection acceptance tests: killing a rank mid-step unblocks
+//! every survivor with a typed `CommError::PeerFailure` (no deadlock, no
+//! abort), stragglers and degraded links stay deterministic, injected OOM
+//! surfaces as a typed failure, rendezvous timeouts fire instead of
+//! hanging, and `ResilientTrainer` restarts from the last checkpoint
+//! reproducing the uninterrupted loss trajectory.
+
+use orbit::comm::{chrome_trace, Cluster, CommError, FaultPlan, SimError, TraceEvent};
+use orbit::core::resilient::{AttemptSpec, ResilientTrainer};
+use orbit::core::{EngineSpec, ParallelLayout, TrainOptions};
+use orbit::tensor::init::Rng;
+use orbit::tensor::kernels::AdamW;
+use orbit::vit::{Batch, VitConfig};
+use std::time::Duration;
+
+fn make_batch(cfg: &VitConfig, n: usize, seed: u64) -> Batch {
+    let mut rng = Rng::seed(seed);
+    Batch {
+        inputs: (0..n)
+            .map(|_| {
+                (0..cfg.dims.channels)
+                    .map(|_| rng.normal_tensor(cfg.dims.img_h, cfg.dims.img_w, 1.0))
+                    .collect()
+            })
+            .collect(),
+        targets: (0..n)
+            .map(|_| {
+                (0..cfg.dims.out_channels)
+                    .map(|_| rng.normal_tensor(cfg.dims.img_h, cfg.dims.img_w, 1.0))
+                    .collect()
+            })
+            .collect(),
+    }
+}
+
+/// The headline detection test: rank 2 is killed at step 1; every
+/// survivor, blocked in the step's all-reduce, must return
+/// `CommError::PeerFailure { rank: 2 }` — not deadlock, not panic.
+#[test]
+fn killed_rank_unblocks_all_survivors_with_peer_failure() {
+    let cluster = Cluster::frontier().with_fault_plan(FaultPlan::new().kill(2, 1));
+    let outcomes = cluster.try_run(4, |ctx| {
+        let mut g = ctx.world_group();
+        for step in 0..3u64 {
+            ctx.begin_step(step)?;
+            let mut clock = std::mem::take(&mut ctx.clock);
+            let r = g.all_reduce_scalar(&mut clock, 1.0);
+            ctx.clock = clock;
+            r?;
+        }
+        Ok(ctx.rank)
+    });
+    assert!(matches!(
+        outcomes[2].sim_error(),
+        Some(SimError::Killed { rank: 2, step: 1 })
+    ));
+    for r in [0usize, 1, 3] {
+        assert!(
+            matches!(
+                outcomes[r].sim_error(),
+                Some(SimError::Comm(CommError::PeerFailure { rank: 2 }))
+            ),
+            "rank {r}: expected PeerFailure {{ rank: 2 }}, got {:?}",
+            outcomes[r].failure()
+        );
+    }
+}
+
+/// A straggler's compute charges scale by the slowdown factor on its own
+/// simulated clock only, and the fault shows up in its trace.
+#[test]
+fn straggler_slows_its_own_clock_and_is_traced() {
+    let run = |plan: Option<FaultPlan>| -> Vec<(f64, Vec<_>)> {
+        let mut cluster = Cluster::frontier();
+        if let Some(p) = plan {
+            cluster = cluster.with_fault_plan(p);
+        }
+        cluster
+            .try_run(2, |ctx| {
+                ctx.begin_step(0)?;
+                ctx.clock.charge_compute(1e12, 1e12);
+                Ok((ctx.clock.compute_seconds(), ctx.clock.take_events()))
+            })
+            .into_iter()
+            .map(|o| o.ok().expect("no rank fails in this scenario"))
+            .collect()
+    };
+    let clean = run(None);
+    let mut slowed = run(Some(FaultPlan::new().slow(1, 0, 4.0)));
+    let t0_clean = clean[0].0;
+    let t1_clean = clean[1].0;
+    let (t1, events) = slowed.pop().unwrap();
+    let t0 = slowed.pop().unwrap().0;
+    assert_eq!(t0, t0_clean, "rank 0 unaffected");
+    assert!(
+        (t1 - 4.0 * t1_clean).abs() < 1e-9,
+        "straggler pays 4x: {t1} vs 4*{t1_clean}"
+    );
+    // The fault instant is in the trace stream and in the chrome export.
+    assert!(events
+        .iter()
+        .any(|e| matches!(e.fault(), Some(label) if label.contains("slow rank 1"))));
+    let json = chrome_trace(&[events]);
+    assert!(json.contains("\"cat\":\"fault\""), "chrome export: {json}");
+}
+
+/// Degraded links slow communication deterministically: the collective
+/// still returns the same data, total time grows, and two identical runs
+/// report bit-identical simulated timelines.
+#[test]
+fn degraded_links_slow_comm_deterministically() {
+    let run = |factor: Option<f64>| -> Vec<(f32, f64)> {
+        let mut cluster = Cluster::frontier();
+        if let Some(f) = factor {
+            cluster = cluster.with_fault_plan(FaultPlan::new().degrade_links(0, 0, f));
+        }
+        cluster
+            .try_run(2, |ctx| {
+                ctx.begin_step(0)?;
+                let mut g = ctx.world_group();
+                let mut clock = std::mem::take(&mut ctx.clock);
+                let data = vec![ctx.rank as f32 + 1.0; 1 << 16];
+                let out = g.all_reduce(&mut clock, &data)?;
+                ctx.clock = clock;
+                Ok((out[0], ctx.clock.now()))
+            })
+            .into_iter()
+            .map(|o| o.ok().expect("no rank fails in this scenario"))
+            .collect()
+    };
+    let clean = run(None);
+    let degraded_a = run(Some(16.0));
+    let degraded_b = run(Some(16.0));
+    for r in 0..2 {
+        let (sum_clean, t_clean) = clean[r];
+        let (sum_a, t_a) = degraded_a[r];
+        let (sum_b, t_b) = degraded_b[r];
+        assert_eq!(sum_a, sum_clean, "data unchanged by slow links");
+        assert_eq!(sum_a, 3.0);
+        assert_eq!(sum_a, sum_b);
+        assert!(t_a > t_clean, "rank {r}: degraded {t_a} !> clean {t_clean}");
+        assert_eq!(t_a.to_bits(), t_b.to_bits(), "deterministic timeline");
+    }
+}
+
+/// An injected OOM poisons the next allocation: the victim fails with a
+/// typed OOM error and its peer unblocks with `PeerFailure`.
+#[test]
+fn injected_oom_fails_rank_and_unblocks_peer() {
+    let cfg = VitConfig::test_tiny();
+    let batch = make_batch(&cfg, 2, 3);
+    let cluster = Cluster::frontier().with_fault_plan(FaultPlan::new().oom(1, 0));
+    let outcomes = cluster.try_run(2, |ctx| {
+        ctx.begin_step(0)?;
+        let mut engine = orbit::core::build_engine(
+            ctx,
+            EngineSpec::Ddp,
+            cfg,
+            AdamW::default(),
+            TrainOptions::none(),
+            42,
+        )?;
+        engine.train_step(ctx, &batch)?;
+        Ok(())
+    });
+    assert!(
+        matches!(outcomes[1].sim_error(), Some(SimError::Oom(_))),
+        "rank 1 must OOM, got {:?}",
+        outcomes[1].failure()
+    );
+    assert!(
+        matches!(
+            outcomes[0].sim_error(),
+            Some(SimError::Comm(CommError::PeerFailure { rank: 1 }))
+        ),
+        "rank 0 must see PeerFailure, got {:?}",
+        outcomes[0].failure()
+    );
+}
+
+/// A rank that silently skips a collective trips the wall-clock rendezvous
+/// timeout on its peer — the deadlock backstop for failure modes the
+/// poison path cannot see.
+#[test]
+fn missing_peer_times_out_instead_of_deadlocking() {
+    let cluster = Cluster::frontier().with_op_timeout(Duration::from_millis(200));
+    let outcomes = cluster.try_run(2, |ctx| {
+        if ctx.rank == 1 {
+            return Ok(0.0); // never joins the collective
+        }
+        let mut g = ctx.world_group();
+        let mut clock = std::mem::take(&mut ctx.clock);
+        let r = g.all_reduce_scalar(&mut clock, 1.0);
+        ctx.clock = clock;
+        Ok(r?)
+    });
+    assert!(outcomes[1].is_ok());
+    assert!(
+        matches!(
+            outcomes[0].sim_error(),
+            Some(SimError::Comm(CommError::Timeout { .. }))
+        ),
+        "rank 0 must time out, got {:?}",
+        outcomes[0].failure()
+    );
+}
+
+/// Seeded fault plans are reproducible across the process boundary of two
+/// cluster builds.
+#[test]
+fn seeded_fault_plans_reproduce() {
+    let a = FaultPlan::seeded(7, 8, 20, 5);
+    let b = FaultPlan::seeded(7, 8, 20, 5);
+    assert_eq!(a.events(), b.events());
+    assert_eq!(a.events().len(), 5);
+    let c = FaultPlan::seeded(8, 8, 20, 5);
+    assert_ne!(a.events(), c.events(), "different seed, different plan");
+}
+
+/// The headline recovery test: a DDP run killed mid-epoch restarts from
+/// its last checkpoint and reproduces the uninterrupted loss trajectory
+/// **bit-identically** (same layout, full precision: restore is a pure
+/// copy and every step is deterministic).
+#[test]
+fn resilient_recovery_is_bit_identical_to_uninterrupted_run() {
+    let cfg = VitConfig::test_tiny();
+    let attempts = [AttemptSpec::new(EngineSpec::Ddp, 2)];
+    let train = |cluster: Cluster| {
+        ResilientTrainer::new(cluster)
+            .with_checkpoint_every(2)
+            .train(
+                &attempts,
+                cfg,
+                AdamW::default(),
+                TrainOptions::none(),
+                42,
+                6,
+                |step| make_batch(&cfg, 2, 1000 + step),
+            )
+            .unwrap()
+    };
+    let uninterrupted = train(Cluster::frontier());
+    assert_eq!(uninterrupted.restarts, 0);
+
+    let interrupted = train(Cluster::frontier().with_fault_plan(FaultPlan::new().kill(1, 3)));
+    assert_eq!(interrupted.restarts, 1);
+    assert_eq!(interrupted.losses.len(), 6);
+    let a: Vec<u32> = uninterrupted.losses.iter().map(|l| l.to_bits()).collect();
+    let b: Vec<u32> = interrupted.losses.iter().map(|l| l.to_bits()).collect();
+    assert_eq!(a, b, "recovered trajectory must be bit-identical");
+    assert_eq!(
+        uninterrupted.final_checkpoint, interrupted.final_checkpoint,
+        "final model state identical too"
+    );
+}
+
+/// Reshard-on-restart: a Hybrid-STOP 2x2x1 run killed mid-epoch restarts
+/// under a *different* layout (1x2x2) from the same checkpoint and lands
+/// on the same trajectory (cross-layout replay is exact up to f32
+/// reduction-order effects).
+#[test]
+fn resilient_restart_reshards_hybrid_stop_layout() {
+    let cfg = VitConfig::test_tiny();
+    let steps = 5;
+    let batch_fn = |step: u64| make_batch(&cfg, 4, 2000 + step);
+
+    let reference = ResilientTrainer::new(Cluster::frontier())
+        .with_checkpoint_every(2)
+        .train(
+            &[AttemptSpec::new(EngineSpec::Single, 1)],
+            cfg,
+            AdamW::default(),
+            TrainOptions::none(),
+            42,
+            steps,
+            batch_fn,
+        )
+        .unwrap();
+
+    let attempts = [
+        AttemptSpec::new(EngineSpec::HybridStop(ParallelLayout::new(2, 2, 1)), 4),
+        AttemptSpec::new(EngineSpec::HybridStop(ParallelLayout::new(1, 2, 2)), 4),
+    ];
+    let report =
+        ResilientTrainer::new(Cluster::frontier().with_fault_plan(FaultPlan::new().kill(3, 2)))
+            .with_checkpoint_every(2)
+            .train(
+                &attempts,
+                cfg,
+                AdamW::default(),
+                TrainOptions::none(),
+                42,
+                steps,
+                batch_fn,
+            )
+            .unwrap();
+
+    assert_eq!(report.restarts, 1);
+    assert_eq!(
+        report.launches,
+        vec!["hybrid_stopx4".to_string(), "hybrid_stopx4".to_string()]
+    );
+    assert_eq!(report.losses.len(), steps as usize);
+    for (i, (a, b)) in report.losses.iter().zip(&reference.losses).enumerate() {
+        assert!(
+            (a - b).abs() < 2e-3 * b.abs().max(1.0),
+            "step {i}: resharded {a} vs reference {b}"
+        );
+    }
+}
+
+/// Fault instants survive into the chrome trace export from a real
+/// engine-driven run.
+#[test]
+fn fault_events_appear_in_chrome_trace() {
+    let cfg = VitConfig::test_tiny();
+    let batch = make_batch(&cfg, 2, 5);
+    let cluster = Cluster::frontier()
+        .with_fault_plan(FaultPlan::new().slow(0, 0, 2.0).degrade_links(1, 1, 4.0));
+    let outcomes = cluster.try_run(2, |ctx| {
+        let mut engine = orbit::core::build_engine(
+            ctx,
+            EngineSpec::Ddp,
+            cfg,
+            AdamW::default(),
+            TrainOptions::none(),
+            42,
+        )?;
+        for step in 0..2u64 {
+            ctx.begin_step(step)?;
+            engine.train_step(ctx, &batch)?;
+        }
+        Ok(ctx.clock.take_events())
+    });
+    let logs: Vec<Vec<TraceEvent>> = outcomes
+        .into_iter()
+        .map(|o| o.ok().expect("no rank fails in this scenario"))
+        .collect();
+    let n_faults: usize = logs
+        .iter()
+        .flatten()
+        .filter(|e| e.fault().is_some())
+        .count();
+    assert_eq!(n_faults, 2, "one instant per fired event");
+    let json = chrome_trace(&logs);
+    assert!(json.contains("\"cat\":\"fault\""));
+    assert!(json.contains("slow rank 0"));
+    assert!(json.contains("degrade links rank 1"));
+}

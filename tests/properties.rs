@@ -122,8 +122,8 @@ proptest! {
             let mut g = ctx.world_group();
             let mut clock = std::mem::take(&mut ctx.clock);
             let mine: Vec<f32> = (0..chunk).map(|i| (ctx.rank * 100 + i) as f32).collect();
-            let gathered = g.all_gather(&mut clock, &mine);
-            let summed = g.all_reduce(&mut clock, &mine);
+            let gathered = g.all_gather(&mut clock, &mine).unwrap();
+            let summed = g.all_reduce(&mut clock, &mine).unwrap();
             (gathered, summed)
         });
         let (gathered, _) = &results[0];
