@@ -3,7 +3,7 @@
 //! several world sizes and message sizes.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use orbit_comm::Cluster;
+use orbit_comm::{Cluster, PendingCollective};
 
 fn bench_collectives(c: &mut Criterion) {
     let mut group = c.benchmark_group("collectives");
@@ -60,9 +60,80 @@ fn bench_collectives(c: &mut Criterion) {
     group.finish();
 }
 
+/// Nonblocking issue/wait: the depth-2 pipelined schedule the engines use
+/// (post collective `i+1` before waiting on `i`), measured against the
+/// blocking start-then-wait baseline above.
+fn bench_nonblocking(c: &mut Criterion) {
+    let mut group = c.benchmark_group("collectives_nonblocking");
+    for &world in &[2usize, 4, 8] {
+        for &len in &[1024usize, 65536] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("all_gather_start_wait_w{world}"), len),
+                &len,
+                |b, &len| {
+                    let cluster = Cluster::frontier();
+                    b.iter(|| {
+                        cluster.run(world, |ctx| {
+                            let mut g = ctx.world_group();
+                            let mut clock = std::mem::take(&mut ctx.clock);
+                            let buf = vec![ctx.rank as f32; len / world];
+                            let h = g.all_gather_start(&clock, &buf, false).unwrap();
+                            h.wait(&mut clock).unwrap().len()
+                        })
+                    })
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("all_gather_pipelined_w{world}"), len),
+                &len,
+                |b, &len| {
+                    let cluster = Cluster::frontier();
+                    b.iter(|| {
+                        cluster.run(world, |ctx| {
+                            let mut g = ctx.world_group();
+                            let mut clock = std::mem::take(&mut ctx.clock);
+                            let buf = vec![ctx.rank as f32; len / world];
+                            let mut total = 0usize;
+                            let mut prev: Option<PendingCollective> = None;
+                            for _ in 0..4 {
+                                let h = g.all_gather_start(&clock, &buf, true).unwrap();
+                                if let Some(p) = prev.take() {
+                                    total += p.wait(&mut clock).unwrap().len();
+                                }
+                                prev = Some(h);
+                            }
+                            if let Some(p) = prev.take() {
+                                total += p.wait(&mut clock).unwrap().len();
+                            }
+                            total
+                        })
+                    })
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("reduce_scatter_start_wait_w{world}"), len),
+                &len,
+                |b, &len| {
+                    let cluster = Cluster::frontier();
+                    b.iter(|| {
+                        cluster.run(world, |ctx| {
+                            let mut g = ctx.world_group();
+                            let mut clock = std::mem::take(&mut ctx.clock);
+                            let buf = vec![1.0f32; len];
+                            let h = g.reduce_scatter_start(&clock, &buf).unwrap();
+                            h.wait(&mut clock).unwrap().len()
+                        })
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_collectives
+    targets = bench_collectives, bench_nonblocking
 }
 criterion_main!(benches);

@@ -1,0 +1,296 @@
+//! `comm_bench` — wall-clock cost of the collective data plane.
+//!
+//! Times three variants of all-gather and reduce-scatter on the real
+//! thread-rendezvous cluster at several world sizes and message sizes:
+//!
+//! * **legacy** — a faithful reimplementation of the pre-zero-copy data
+//!   plane: the last arriver materializes a full `Vec<f32>` *per member*
+//!   (all-gather) or reduces serially (reduce-scatter) while holding the
+//!   rendezvous lock, and every member picks up its own deep copy.
+//! * **blocking** — the current data plane, called synchronously: one
+//!   shared `Arc<[f32]>` result, reduction chunked outside the lock,
+//!   members receive zero-copy `CommBuf` views.
+//! * **pipelined** — the current data plane with depth-2 nonblocking
+//!   issue (`*_start` for op `i+1` before `wait` on op `i`), the schedule
+//!   the Hybrid-STOP engine uses to hide gather latency.
+//!
+//! Writes `results/comm_bench.json` (skipped under `--smoke`) with
+//! per-configuration microseconds and speedups. Usage:
+//!
+//! ```text
+//! comm_bench [--smoke]
+//! ```
+
+use orbit_bench::report::{print_table, write_json};
+use orbit_comm::{Cluster, PendingCollective, ProcessGroup, RankCtx, SimClock};
+use parking_lot::{Condvar, Mutex};
+use serde_json::json;
+use std::collections::HashMap;
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+// ---------------------------------------------------------------------------
+// Legacy data plane: per-member deep copies, work under the lock.
+// ---------------------------------------------------------------------------
+
+struct LegacySlot {
+    contributions: Vec<Option<Vec<f32>>>,
+    arrived: usize,
+    done: bool,
+    results: Vec<Option<Vec<f32>>>,
+    picked: usize,
+}
+
+impl LegacySlot {
+    fn new(p: usize) -> Self {
+        LegacySlot {
+            contributions: vec![None; p],
+            arrived: 0,
+            done: false,
+            results: Vec::new(),
+            picked: 0,
+        }
+    }
+}
+
+/// The pre-zero-copy rendezvous, shorn of clock accounting: deposit a
+/// `Vec`, last arriver computes every member's owned result inside the
+/// critical section, members take their copies out.
+struct LegacyGroup {
+    slots: Mutex<HashMap<u64, LegacySlot>>,
+    cv: Condvar,
+    p: usize,
+}
+
+impl LegacyGroup {
+    fn new(p: usize) -> Self {
+        LegacyGroup {
+            slots: Mutex::new(HashMap::new()),
+            cv: Condvar::new(),
+            p,
+        }
+    }
+
+    fn exchange(
+        &self,
+        my_idx: usize,
+        seq: u64,
+        data: Vec<f32>,
+        finish: impl FnOnce(&[Option<Vec<f32>>]) -> Vec<Option<Vec<f32>>>,
+    ) -> Vec<f32> {
+        let p = self.p;
+        let mut slots = self.slots.lock();
+        let slot = slots.entry(seq).or_insert_with(|| LegacySlot::new(p));
+        slot.contributions[my_idx] = Some(data);
+        slot.arrived += 1;
+        if slot.arrived == p {
+            slot.results = finish(&slot.contributions);
+            slot.done = true;
+            slot.contributions.iter_mut().for_each(|c| *c = None);
+            self.cv.notify_all();
+        } else {
+            while !slots.get(&seq).map(|s| s.done).unwrap_or(false) {
+                self.cv.wait(&mut slots);
+            }
+        }
+        let slot = slots.get_mut(&seq).expect("slot present until pickup");
+        let out = slot.results[my_idx].take().unwrap_or_default();
+        slot.picked += 1;
+        if slot.picked == p {
+            slots.remove(&seq);
+        }
+        out
+    }
+
+    fn all_gather(&self, my_idx: usize, seq: u64, shard: &[f32]) -> Vec<f32> {
+        self.exchange(my_idx, seq, shard.to_vec(), |contribs| {
+            let mut full = Vec::new();
+            for c in contribs {
+                full.extend_from_slice(c.as_ref().expect("missing contribution"));
+            }
+            contribs.iter().map(|_| Some(full.clone())).collect()
+        })
+    }
+
+    fn reduce_scatter(&self, my_idx: usize, seq: u64, full: &[f32]) -> Vec<f32> {
+        let p = self.p;
+        self.exchange(my_idx, seq, full.to_vec(), |contribs| {
+            let mut sum = contribs[0].clone().expect("missing contribution");
+            for c in &contribs[1..] {
+                for (s, v) in sum.iter_mut().zip(c.as_ref().unwrap()) {
+                    *s += v;
+                }
+            }
+            let chunk = sum.len() / p;
+            (0..p)
+                .map(|i| Some(sum[i * chunk..(i + 1) * chunk].to_vec()))
+                .collect()
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Measurement harness.
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Copy, PartialEq)]
+enum Op {
+    AllGather,
+    ReduceScatter,
+}
+
+impl Op {
+    fn name(self) -> &'static str {
+        match self {
+            Op::AllGather => "all_gather",
+            Op::ReduceScatter => "reduce_scatter",
+        }
+    }
+}
+
+/// Run `iters` ops per rank after one warmup op; return the slowest
+/// rank's wall-clock seconds (the collective finishes when the last
+/// member does).
+fn time_legacy(world: usize, len: usize, iters: usize, op: Op) -> f64 {
+    let group = Arc::new(LegacyGroup::new(world));
+    let times = Cluster::frontier().run(world, |ctx: &mut RankCtx| {
+        let idx = ctx.rank;
+        let shard = vec![idx as f32; len / world];
+        let full = vec![1.0f32; len];
+        let mut seq = 0u64;
+        let run_one = |seq: u64| match op {
+            Op::AllGather => black_box(group.all_gather(idx, seq, &shard)[0]),
+            Op::ReduceScatter => black_box(group.reduce_scatter(idx, seq, &full)[0]),
+        };
+        run_one(seq);
+        seq += 1;
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            run_one(seq);
+            seq += 1;
+        }
+        t0.elapsed().as_secs_f64()
+    });
+    times.into_iter().fold(0.0, f64::max)
+}
+
+fn time_current(world: usize, len: usize, iters: usize, op: Op, pipelined: bool) -> f64 {
+    let times = Cluster::frontier().run(world, |ctx: &mut RankCtx| {
+        let mut g = ctx.world_group();
+        let mut clock = std::mem::take(&mut ctx.clock);
+        let shard = vec![ctx.rank as f32; len / world];
+        let full = vec![1.0f32; len];
+        let start_one = |g: &mut ProcessGroup, clock: &SimClock| -> PendingCollective {
+            match op {
+                Op::AllGather => g.all_gather_start(clock, &shard, pipelined).unwrap(),
+                Op::ReduceScatter => g.reduce_scatter_start(clock, &full).unwrap(),
+            }
+        };
+        let run_blocking = |g: &mut ProcessGroup, clock: &mut SimClock| {
+            let h = start_one(g, clock);
+            black_box(h.wait(clock).unwrap()[0]);
+        };
+        run_blocking(&mut g, &mut clock);
+        let t0 = Instant::now();
+        if pipelined {
+            // Depth-2: op i+1 is posted before op i is waited on, so the
+            // rendezvous for the next op fills while this one drains.
+            let mut prev: Option<PendingCollective> = None;
+            for _ in 0..iters {
+                let h = start_one(&mut g, &clock);
+                if let Some(p) = prev.take() {
+                    black_box(p.wait(&mut clock).unwrap()[0]);
+                }
+                prev = Some(h);
+            }
+            if let Some(p) = prev.take() {
+                black_box(p.wait(&mut clock).unwrap()[0]);
+            }
+        } else {
+            for _ in 0..iters {
+                run_blocking(&mut g, &mut clock);
+            }
+        }
+        let dt = t0.elapsed().as_secs_f64();
+        ctx.clock = clock;
+        dt
+    });
+    times.into_iter().fold(0.0, f64::max)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (iters, worlds, lens): (usize, Vec<usize>, Vec<usize>) = if smoke {
+        (8, vec![2, 4], vec![4096])
+    } else {
+        (100, vec![2, 4, 8], vec![4096, 65536])
+    };
+
+    let mut rows = Vec::new();
+    let mut artifacts = Vec::new();
+    let mut headline = None;
+    for op in [Op::AllGather, Op::ReduceScatter] {
+        for &world in &worlds {
+            for &len in &lens {
+                let legacy = time_legacy(world, len, iters, op) / iters as f64;
+                let blocking = time_current(world, len, iters, op, false) / iters as f64;
+                let pipelined = time_current(world, len, iters, op, true) / iters as f64;
+                let vs_blocking = legacy / blocking;
+                let vs_pipelined = legacy / pipelined;
+                if op == Op::AllGather && world == 8 && len == 65536 {
+                    headline = Some(vs_pipelined);
+                }
+                rows.push(vec![
+                    op.name().to_string(),
+                    world.to_string(),
+                    len.to_string(),
+                    format!("{:.1}", legacy * 1e6),
+                    format!("{:.1}", blocking * 1e6),
+                    format!("{:.1}", pipelined * 1e6),
+                    format!("{vs_blocking:.2}x"),
+                    format!("{vs_pipelined:.2}x"),
+                ]);
+                artifacts.push(json!({
+                    "op": op.name(),
+                    "world": world,
+                    "elements": len,
+                    "legacy_us": legacy * 1e6,
+                    "blocking_us": blocking * 1e6,
+                    "pipelined_us": pipelined * 1e6,
+                    "speedup_blocking_vs_legacy": vs_blocking,
+                    "speedup_pipelined_vs_legacy": vs_pipelined,
+                }));
+            }
+        }
+    }
+
+    print_table(
+        "comm data plane: legacy copies vs zero-copy vs pipelined",
+        &[
+            "op",
+            "world",
+            "elems",
+            "legacy us",
+            "block us",
+            "pipe us",
+            "block x",
+            "pipe x",
+        ],
+        &rows,
+    );
+    if let Some(s) = headline {
+        println!("\nheadline: world-8 all-gather 65536 elems, pipelined vs legacy: {s:.2}x");
+    }
+
+    if !smoke {
+        let v = json!({
+            "iters_per_measurement": iters,
+            "note": "per-op wall-clock; legacy = pre-zero-copy data plane \
+                     (per-member deep copies, reduction under the rendezvous lock)",
+            "headline_speedup_world8_all_gather_65536": headline,
+            "rows": artifacts,
+        });
+        write_json("comm_bench", &v);
+    }
+}

@@ -32,6 +32,6 @@ pub mod trace;
 pub use clock::SimClock;
 pub use cluster::{Cluster, RankCtx};
 pub use fault::{CommError, FailureCause, FaultEvent, FaultKind, FaultPlan, RankOutcome, SimError};
-pub use group::ProcessGroup;
+pub use group::{CommBuf, PendingCollective, ProcessGroup};
 pub use memory::{Allocation, Device, OomError};
 pub use trace::{chrome_trace, CommEvent, CommOp, TraceEvent};

@@ -69,7 +69,7 @@ impl Engine for DdpEngine {
         // Gradient synchronization: per-sample grads are already scaled by
         // 1/global_batch, so a plain sum yields the global-mean gradient.
         let grads = self.model.flatten_grads();
-        let mut synced = self.group.all_reduce(&mut ctx.clock, &grads)?;
+        let mut synced = self.group.all_reduce(&mut ctx.clock, &grads)?.to_vec();
 
         // Finiteness must be agreed globally; the all-reduced gradient is
         // identical on every rank, so local inspection agrees.
@@ -88,13 +88,16 @@ impl Engine for DdpEngine {
     /// step before any of them persists state).
     fn capture_checkpoint(&mut self, ctx: &mut RankCtx) -> Result<Checkpoint, SimError> {
         self.group.barrier(&mut ctx.clock)?;
-        Ok(Checkpoint::capture(&mut self.model, &self.state))
+        Ok(Checkpoint::capture(&mut self.model, &self.state)
+            .with_scaler(self.trainer.scaler_state()))
     }
 
     fn restore_checkpoint(&mut self, ctx: &mut RankCtx, ck: &Checkpoint) -> Result<(), SimError> {
         self.group.barrier(&mut ctx.clock)?;
         ck.restore(&mut self.model, &mut self.state)
-            .map_err(|e| SimError::State(e.to_string()))
+            .map_err(|e| SimError::State(e.to_string()))?;
+        self.trainer.restore_scaler(ck.scaler);
+        Ok(())
     }
 
     fn name(&self) -> &str {

@@ -105,11 +105,15 @@ impl Engine for FsdpEngine {
         ctx.clock.flush_prefetch();
 
         // Reduce-scatter: sum of data-parallel gradients, each rank keeps
-        // its own shard.
+        // its own shard. Issued nonblocking so the loss all-reduce (and
+        // on slow arrivers, the peers' reduction work) proceeds while the
+        // rendezvous completes.
         let mut grads = self.model.flatten_grads();
         grads.resize(full_padded, 0.0);
-        let mut shard_grads = self.group.reduce_scatter(&mut ctx.clock, &grads)?;
+        let pending = self.group.reduce_scatter_start(&ctx.clock, &grads)?;
         drop(grads);
+        let loss = self.group.all_reduce_scalar(&mut ctx.clock, local_loss)?;
+        let mut shard_grads = pending.wait(&mut ctx.clock)?.to_vec();
 
         // Agree on finiteness across ranks: each inspects its shard.
         let applied = self.trainer.unscale_synced(
@@ -123,7 +127,6 @@ impl Engine for FsdpEngine {
                 .opt
                 .step(&mut self.state, &mut self.shard, &shard_grads);
         }
-        let loss = self.group.all_reduce_scalar(&mut ctx.clock, local_loss)?;
         Ok(self.trainer.finish_step(ctx, t0, loss, grad_norm, applied))
     }
 
@@ -142,13 +145,10 @@ impl Engine for FsdpEngine {
             let full = self.group.all_gather(&mut ctx.clock, &self.state.v)?;
             flat_unshard(&full, self.param_len)
         };
-        Ok(Checkpoint::from_parts(
-            &self.model.cfg,
-            params,
-            m,
-            v,
-            self.state.step,
-        ))
+        Ok(
+            Checkpoint::from_parts(&self.model.cfg, params, m, v, self.state.step)
+                .with_scaler(self.trainer.scaler_state()),
+        )
     }
 
     /// Re-shard the full checkpoint onto this rank: 1/N slices of the
@@ -174,6 +174,7 @@ impl Engine for FsdpEngine {
         self.state.m = flat_shard(&ck.adam_m, world, me);
         self.state.v = flat_shard(&ck.adam_v, world, me);
         self.state.step = ck.adam_step;
+        self.trainer.restore_scaler(ck.scaler);
         Ok(())
     }
 

@@ -18,14 +18,17 @@
 //!
 //! The four Table I optimizations are honored: layer wrapping (gather one
 //! block at a time vs everything at once), BF16 mixed precision with
-//! dynamic gradient scaling, gather prefetching (communication overlapped
-//! with compute on the simulated clock), and activation checkpointing
-//! (boundaries only; block caches recomputed in the backward pass).
+//! dynamic gradient scaling, gather prefetching (the next block's gather is
+//! *issued* before the current block computes, so the rendezvous genuinely
+//! proceeds in the background while this rank works, and its modeled time
+//! is overlapped with compute on the simulated clock), and activation
+//! checkpointing (boundaries only; block caches recomputed in the backward
+//! pass).
 
 use crate::sharding::{flat_shard, flat_unshard, padded_len};
 use crate::stats::StepStats;
 use crate::tp_block::TpBlock;
-use orbit_comm::{Allocation, CommError, ProcessGroup, RankCtx, SimError};
+use orbit_comm::{Allocation, CommError, PendingCollective, ProcessGroup, RankCtx, SimError};
 use orbit_frontier::{ParallelLayout, RankMapping, TrainOptions};
 use orbit_tensor::kernels::{AdamState, AdamW};
 use orbit_tensor::Tensor;
@@ -38,6 +41,14 @@ use super::tp::{
 };
 use super::trainer::{configure_precision, norm, Trainer};
 use super::Engine;
+
+/// A unit gather in flight: the pending collective plus its transient
+/// allocation (gathered parameters + gradient staging buffer).
+struct InflightGather {
+    unit: usize,
+    pending: PendingCollective,
+    alloc: Allocation,
+}
 
 /// The Hybrid-STOP training engine for one rank.
 pub struct HybridStopEngine {
@@ -156,6 +167,44 @@ impl HybridStopEngine {
         Ok((flat_unshard(&gathered, self.unit_lens[unit]), alloc))
     }
 
+    /// Issue one unit's FSDP parameter gather without blocking. The
+    /// transient allocation is charged at issue time, so with pipelining
+    /// the next unit's buffer is resident while the current unit computes
+    /// — the memory cost of the overlap.
+    fn gather_unit_start(
+        &mut self,
+        ctx: &mut RankCtx,
+        unit: usize,
+    ) -> Result<InflightGather, SimError> {
+        let full = padded_len(self.unit_lens[unit], self.layout.fsdp) as u64;
+        let alloc = ctx.device.alloc(2 * full * self.trainer.param_bytes())?;
+        let pending = self.trainer.gather_start(
+            &mut self.fsdp_group,
+            &ctx.clock,
+            &self.unit_shards[unit],
+            true,
+        )?;
+        Ok(InflightGather {
+            unit,
+            pending,
+            alloc,
+        })
+    }
+
+    /// Complete an in-flight unit gather and return the unsharded flat
+    /// parameters plus their transient allocation.
+    fn gather_unit_finish(
+        &mut self,
+        ctx: &mut RankCtx,
+        inflight: InflightGather,
+    ) -> Result<(Vec<f32>, Allocation), SimError> {
+        let gathered = inflight.pending.wait(&mut ctx.clock)?;
+        Ok((
+            flat_unshard(&gathered, self.unit_lens[inflight.unit]),
+            inflight.alloc,
+        ))
+    }
+
     /// FSDP-unshard one flat per unit from `shards` (this rank's FSDP
     /// shard of each unit), then hand front + blocks to the shared TP
     /// reassembly. The same routine serves parameters and Adam moments.
@@ -243,9 +292,24 @@ impl Engine for HybridStopEngine {
             }
         }
 
+        // With both layer wrapping and prefetch, gathers are pipelined:
+        // block l+1's gather is *issued* before block l computes (forward
+        // and backward-recompute), so the rendezvous — and, on the last
+        // arriver, the concatenation — runs while this rank works.
+        let pipeline = self.trainer.opts.layer_wrapping && self.trainer.opts.prefetch;
+        let mut inflight: Option<InflightGather> = None;
+
         // Front-end always needed first and last: gather it (wrapped mode).
         let front_alloc = if self.trainer.opts.layer_wrapping {
-            let (flat, alloc) = self.gather_unit(ctx, 0, true)?;
+            let (flat, alloc) = if pipeline {
+                let front_gather = self.gather_unit_start(ctx, 0)?;
+                if layers > 0 {
+                    inflight = Some(self.gather_unit_start(ctx, 1)?);
+                }
+                self.gather_unit_finish(ctx, front_gather)?
+            } else {
+                self.gather_unit(ctx, 0, true)?
+            };
             self.front.load_flat_params(&flat);
             Some(alloc)
         } else {
@@ -268,7 +332,16 @@ impl Engine for HybridStopEngine {
         let mut stored_caches: Vec<Vec<crate::tp_block::TpBlockCache>> = Vec::new();
         for l in 0..layers {
             let _unit_alloc = if self.trainer.opts.layer_wrapping {
-                let (flat, alloc) = self.gather_unit(ctx, 1 + l, true)?;
+                let (flat, alloc) = if pipeline {
+                    let cur = inflight.take().expect("forward gather pipelined");
+                    debug_assert_eq!(cur.unit, 1 + l);
+                    if l + 1 < layers {
+                        inflight = Some(self.gather_unit_start(ctx, 1 + l + 1)?);
+                    }
+                    self.gather_unit_finish(ctx, cur)?
+                } else {
+                    self.gather_unit(ctx, 1 + l, true)?
+                };
                 tp_load(&mut self.blocks[l], &flat);
                 Some(alloc)
             } else {
@@ -287,6 +360,12 @@ impl Engine for HybridStopEngine {
                 stored_caches.push(layer_caches);
             }
             // `_unit_alloc` drops here: parameters reshard after use.
+        }
+
+        // Backward re-gathers the deepest block first: issue it before the
+        // head compute so the rendezvous overlaps the head + loss work.
+        if pipeline && layers > 0 {
+            inflight = Some(self.gather_unit_start(ctx, 1 + layers - 1)?);
         }
 
         // Head + loss + head backward (front params still resident).
@@ -310,7 +389,16 @@ impl Engine for HybridStopEngine {
         let mut unit_grad_shards: Vec<Vec<f32>> = vec![Vec::new(); 1 + layers];
         for l in (0..layers).rev() {
             let _unit_alloc = if self.trainer.opts.layer_wrapping {
-                let (flat, alloc) = self.gather_unit(ctx, 1 + l, true)?;
+                let (flat, alloc) = if pipeline {
+                    let cur = inflight.take().expect("backward gather pipelined");
+                    debug_assert_eq!(cur.unit, 1 + l);
+                    if l > 0 {
+                        inflight = Some(self.gather_unit_start(ctx, 1 + l - 1)?);
+                    }
+                    self.gather_unit_finish(ctx, cur)?
+                } else {
+                    self.gather_unit(ctx, 1 + l, true)?
+                };
                 tp_load(&mut self.blocks[l], &flat);
                 Some(alloc)
             } else {
@@ -336,7 +424,10 @@ impl Engine for HybridStopEngine {
             // Reduce-scatter this layer's gradients within the FSDP group.
             let mut grads = tp_flatten_grads(&mut self.blocks[l]);
             grads.resize(padded_len(grads.len(), self.layout.fsdp), 0.0);
-            unit_grad_shards[1 + l] = self.fsdp_group.reduce_scatter(&mut ctx.clock, &grads)?;
+            unit_grad_shards[1 + l] = self
+                .fsdp_group
+                .reduce_scatter(&mut ctx.clock, &grads)?
+                .to_vec();
         }
 
         // Front-end backward and its gradient reduce-scatter.
@@ -347,7 +438,8 @@ impl Engine for HybridStopEngine {
         front_grads.resize(padded_len(front_grads.len(), self.layout.fsdp), 0.0);
         unit_grad_shards[0] = self
             .fsdp_group
-            .reduce_scatter(&mut ctx.clock, &front_grads)?;
+            .reduce_scatter(&mut ctx.clock, &front_grads)?
+            .to_vec();
         drop(front_alloc);
         drop(whole_model_allocs);
         ctx.clock.flush_prefetch();
@@ -355,7 +447,7 @@ impl Engine for HybridStopEngine {
         // ---- DDP level: all-reduce owned gradient shards across replicas.
         if self.layout.ddp > 1 {
             for shard in unit_grad_shards.iter_mut() {
-                *shard = self.ddp_group.all_reduce(&mut ctx.clock, shard)?;
+                *shard = self.ddp_group.all_reduce(&mut ctx.clock, shard)?.to_vec();
             }
         }
 
@@ -414,13 +506,10 @@ impl Engine for HybridStopEngine {
             let refs: Vec<&[f32]> = shards.iter().map(|s| s.as_slice()).collect();
             self.assemble_full(ctx, &refs)?
         };
-        Ok(Checkpoint::from_parts(
-            &self.front.cfg,
-            params,
-            m,
-            v,
-            self.states[0].step,
-        ))
+        Ok(
+            Checkpoint::from_parts(&self.front.cfg, params, m, v, self.states[0].step)
+                .with_scaler(self.trainer.scaler_state()),
+        )
     }
 
     /// Re-shard the checkpoint into this rank's layout: TP slice each
@@ -464,6 +553,7 @@ impl Engine for HybridStopEngine {
             self.states[unit].v = v;
             self.states[unit].step = ck.adam_step;
         }
+        self.trainer.restore_scaler(ck.scaler);
         Ok(())
     }
 

@@ -291,16 +291,19 @@ impl Engine for PipelineEngine {
                 params[off..off + n].fill(0.0);
             }
         }
-        let params = self.group.all_reduce(&mut ctx.clock, &params)?;
-        let m = self.group.all_reduce(&mut ctx.clock, &self.state.m)?;
-        let v = self.group.all_reduce(&mut ctx.clock, &self.state.v)?;
-        Ok(Checkpoint::from_parts(
-            &self.model.cfg,
-            params,
-            m,
-            v,
-            self.state.step,
-        ))
+        let params = self.group.all_reduce(&mut ctx.clock, &params)?.to_vec();
+        let m = self
+            .group
+            .all_reduce(&mut ctx.clock, &self.state.m)?
+            .to_vec();
+        let v = self
+            .group
+            .all_reduce(&mut ctx.clock, &self.state.v)?
+            .to_vec();
+        Ok(
+            Checkpoint::from_parts(&self.model.cfg, params, m, v, self.state.step)
+                .with_scaler(self.trainer.scaler_state()),
+        )
     }
 
     /// Load the full parameters everywhere (non-owned ranges act as frozen
@@ -332,6 +335,7 @@ impl Engine for PipelineEngine {
         self.state.m = m;
         self.state.v = v;
         self.state.step = ck.adam_step;
+        self.trainer.restore_scaler(ck.scaler);
         Ok(())
     }
 

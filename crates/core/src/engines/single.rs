@@ -81,12 +81,15 @@ impl Engine for SingleDeviceEngine {
     }
 
     fn capture_checkpoint(&mut self, _ctx: &mut RankCtx) -> Result<Checkpoint, SimError> {
-        Ok(Checkpoint::capture(&mut self.model, &self.state))
+        Ok(Checkpoint::capture(&mut self.model, &self.state)
+            .with_scaler(self.trainer.scaler_state()))
     }
 
     fn restore_checkpoint(&mut self, _ctx: &mut RankCtx, ck: &Checkpoint) -> Result<(), SimError> {
         ck.restore(&mut self.model, &mut self.state)
-            .map_err(|e| SimError::State(e.to_string()))
+            .map_err(|e| SimError::State(e.to_string()))?;
+        self.trainer.restore_scaler(ck.scaler);
+        Ok(())
     }
 
     fn name(&self) -> &str {

@@ -366,7 +366,8 @@ impl Engine for TensorParallelEngine {
             &self.blocks,
             &mut ctx.clock,
         )?;
-        Ok(Checkpoint::from_parts(&cfg, params, m, v, self.state.step))
+        Ok(Checkpoint::from_parts(&cfg, params, m, v, self.state.step)
+            .with_scaler(self.trainer.scaler_state()))
     }
 
     /// Re-shard the full checkpoint into this rank's TP layout (front
@@ -394,6 +395,7 @@ impl Engine for TensorParallelEngine {
         self.state.m = reshard(&ck.adam_m);
         self.state.v = reshard(&ck.adam_v);
         self.state.step = ck.adam_step;
+        self.trainer.restore_scaler(ck.scaler);
         Ok(())
     }
 

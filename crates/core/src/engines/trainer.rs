@@ -11,13 +11,15 @@
 
 use crate::scaler::GradScaler;
 use crate::stats::StepStats;
-use orbit_comm::{Allocation, CommError, OomError, ProcessGroup, RankCtx, SimClock};
+use orbit_comm::{
+    Allocation, CommBuf, CommError, OomError, PendingCollective, ProcessGroup, RankCtx, SimClock,
+};
 use orbit_frontier::perfmodel::Calibration;
 use orbit_frontier::{FrontierMachine, ModelDims, TrainOptions};
 use orbit_tensor::kernels::AdamW;
 use orbit_tensor::{Precision, Tensor};
 use orbit_vit::loss::{lat_weights, weighted_mse, weighted_mse_grad};
-use orbit_vit::{Batch, VitConfig, VitModel};
+use orbit_vit::{Batch, ScalerState, VitConfig, VitModel};
 
 use super::{local_batch, sustained_flops};
 
@@ -211,20 +213,32 @@ impl Trainer {
             .charge_compute(n_obs as f64 * flops_per_obs, sustained);
     }
 
-    /// FSDP-style parameter gather, prefetched (overlapped with upcoming
-    /// compute) when both the call site and `opts.prefetch` allow it.
+    /// FSDP-style parameter gather, prefetched (issued nonblocking, its
+    /// modeled time overlapped with upcoming compute) when both the call
+    /// site and `opts.prefetch` allow it.
     pub(crate) fn gather(
         &self,
         group: &mut ProcessGroup,
         clock: &mut SimClock,
         shard: &[f32],
         prefetched: bool,
-    ) -> Result<Vec<f32>, CommError> {
-        if prefetched && self.opts.prefetch {
-            group.all_gather_prefetched(clock, shard)
-        } else {
-            group.all_gather(clock, shard)
-        }
+    ) -> Result<CommBuf, CommError> {
+        self.gather_start(group, clock, shard, prefetched)?
+            .wait(clock)
+    }
+
+    /// Issue an FSDP-style parameter gather without blocking; the returned
+    /// handle's `wait()` yields the full flat parameter vector. Prefetch
+    /// (both here and at wait-time accounting) applies when the call site
+    /// and `opts.prefetch` allow it.
+    pub(crate) fn gather_start(
+        &self,
+        group: &mut ProcessGroup,
+        clock: &SimClock,
+        shard: &[f32],
+        prefetched: bool,
+    ) -> Result<PendingCollective, CommError> {
+        group.all_gather_start(clock, shard, prefetched && self.opts.prefetch)
     }
 
     /// Bytes per parameter moved by gathers / transient buffers (bf16 on
@@ -276,6 +290,24 @@ impl Trainer {
         let applied = total == 0.0;
         self.scaler.update(applied);
         Ok(applied)
+    }
+
+    /// Dynamic scaler state to attach to a checkpoint: `Some` only under
+    /// mixed precision (other runs have no scale schedule to resume).
+    pub(crate) fn scaler_state(&self) -> Option<ScalerState> {
+        self.opts.mixed_precision.then(|| ScalerState {
+            scale: self.scaler.scale(),
+            clean_steps: self.scaler.clean_steps(),
+            skipped_steps: self.scaler.skipped_steps,
+        })
+    }
+
+    /// Resume the scale schedule recorded in a checkpoint, if any.
+    pub(crate) fn restore_scaler(&mut self, state: Option<ScalerState>) {
+        if let Some(s) = state {
+            self.scaler
+                .restore_state(s.scale, s.clean_steps, s.skipped_steps);
+        }
     }
 
     /// Rescale factor that caps `grad_norm` at the configured clip

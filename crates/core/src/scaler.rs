@@ -78,6 +78,19 @@ impl GradScaler {
         finite
     }
 
+    /// Clean steps accumulated toward the next scale growth.
+    pub fn clean_steps(&self) -> u32 {
+        self.clean_steps
+    }
+
+    /// Restore the dynamic state captured in a checkpoint, so a restarted
+    /// run resumes the exact scale schedule (growth countdown included).
+    pub fn restore_state(&mut self, scale: f32, clean_steps: u32, skipped_steps: u64) {
+        self.scale = scale.max(self.min_scale);
+        self.clean_steps = clean_steps;
+        self.skipped_steps = skipped_steps;
+    }
+
     /// Record the outcome of a step whose finiteness was established
     /// externally (e.g. via a collective across ranks). Adjusts the scale.
     pub fn update(&mut self, finite: bool) {

@@ -132,7 +132,11 @@ impl TpBlock {
         // Row-sharded output projection -> partial sum -> all-reduce
         // (Eqn. (2): sum_k x A_{*,k} B_{k,*}).
         let o_part = linear(&a_loc, &self.wo.value, None, p);
-        let o_sum = Tensor::from_vec(tokens, d, tp_group.all_reduce(clock, o_part.data())?);
+        let o_sum = Tensor::from_vec(
+            tokens,
+            d,
+            tp_group.all_reduce(clock, o_part.data())?.to_vec(),
+        );
         let mut attn_out = o_sum;
         for r in 0..tokens {
             for (vv, &b) in attn_out.row_mut(r).iter_mut().zip(self.bo.value.row(0)) {
@@ -144,7 +148,11 @@ impl TpBlock {
         let u_loc = linear(&z2, &self.w1.value, Some(&self.b1.value), p);
         let g_loc = gelu(&u_loc);
         let m_part = linear(&g_loc, &self.w2.value, None, p);
-        let m_sum = Tensor::from_vec(tokens, d, tp_group.all_reduce(clock, m_part.data())?);
+        let m_sum = Tensor::from_vec(
+            tokens,
+            d,
+            tp_group.all_reduce(clock, m_part.data())?.to_vec(),
+        );
         let mut mlp_out = m_sum;
         for r in 0..tokens {
             for (vv, &b) in mlp_out.row_mut(r).iter_mut().zip(self.b2.value.row(0)) {
@@ -196,7 +204,11 @@ impl TpBlock {
         self.w1.accumulate(&g1.dw);
         self.b1.accumulate(&g1.db.expect("bias grad"));
         // dz2 partials sum across the group (Eqn. (3)).
-        let dz2 = Tensor::from_vec(tokens, d, tp_group.all_reduce(clock, g1.dx.data())?);
+        let dz2 = Tensor::from_vec(
+            tokens,
+            d,
+            tp_group.all_reduce(clock, g1.dx.data())?.to_vec(),
+        );
         let ln2g = layernorm_backward(&cache.ln2, &self.ln2_gamma.value, &dz2);
         self.ln2_gamma.accumulate(&ln2g.dgamma);
         self.ln2_beta.accumulate(&ln2g.dbeta);
@@ -236,7 +248,11 @@ impl TpBlock {
         let mut dz1_part = gq.dx;
         dz1_part.add_assign(&gk.dx);
         dz1_part.add_assign(&gv.dx);
-        let dz1 = Tensor::from_vec(tokens, d, tp_group.all_reduce(clock, dz1_part.data())?);
+        let dz1 = Tensor::from_vec(
+            tokens,
+            d,
+            tp_group.all_reduce(clock, dz1_part.data())?.to_vec(),
+        );
         let ln1g = layernorm_backward(&cache.ln1, &self.ln1_gamma.value, &dz1);
         self.ln1_gamma.accumulate(&ln1g.dgamma);
         self.ln1_beta.accumulate(&ln1g.dbeta);

@@ -14,7 +14,10 @@ use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
-const MAGIC: &[u8; 8] = b"ORBITCK1";
+/// Current format: v2 appends optional dynamic loss-scaler state.
+const MAGIC: &[u8; 8] = b"ORBITCK2";
+/// v1 checkpoints (no scaler section) still load, with `scaler: None`.
+const MAGIC_V1: &[u8; 8] = b"ORBITCK1";
 
 /// Bulk-convert through a byte buffer: one `write_all` per chunk instead
 /// of one 4-byte write per f32 (pathological for 100M-param models when
@@ -55,6 +58,18 @@ fn read_vec(r: &mut impl Read) -> io::Result<Vec<f32>> {
     Ok(out)
 }
 
+/// Dynamic loss-scaler state captured alongside the model, so a
+/// mixed-precision restart resumes the exact scale schedule instead of
+/// re-warming from the default scale.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScalerState {
+    pub scale: f32,
+    /// Clean steps accumulated toward the next scale growth.
+    pub clean_steps: u32,
+    /// Total steps skipped due to non-finite gradients.
+    pub skipped_steps: u64,
+}
+
 /// A model + optimizer checkpoint.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Checkpoint {
@@ -64,6 +79,9 @@ pub struct Checkpoint {
     pub adam_m: Vec<f32>,
     pub adam_v: Vec<f32>,
     pub adam_step: u64,
+    /// Dynamic loss-scaler state (`None` for runs without mixed precision
+    /// and for v1 checkpoints).
+    pub scaler: Option<ScalerState>,
 }
 
 impl Checkpoint {
@@ -76,6 +94,7 @@ impl Checkpoint {
             adam_m: state.m.clone(),
             adam_v: state.v.clone(),
             adam_step: state.step,
+            scaler: None,
         }
     }
 
@@ -95,7 +114,14 @@ impl Checkpoint {
             adam_m,
             adam_v,
             adam_step,
+            scaler: None,
         }
+    }
+
+    /// Attach dynamic loss-scaler state (mixed-precision runs).
+    pub fn with_scaler(mut self, scaler: Option<ScalerState>) -> Self {
+        self.scaler = scaler;
+        self
     }
 
     /// Whether this checkpoint's architectural fingerprint matches `cfg`.
@@ -132,6 +158,15 @@ impl Checkpoint {
             w.write_all(&f.to_le_bytes())?;
         }
         w.write_all(&self.adam_step.to_le_bytes())?;
+        match &self.scaler {
+            Some(s) => {
+                w.write_all(&[1u8])?;
+                w.write_all(&s.scale.to_le_bytes())?;
+                w.write_all(&s.clean_steps.to_le_bytes())?;
+                w.write_all(&s.skipped_steps.to_le_bytes())?;
+            }
+            None => w.write_all(&[0u8])?,
+        }
         write_vec(w, &self.params)?;
         write_vec(w, &self.adam_m)?;
         write_vec(w, &self.adam_v)?;
@@ -156,12 +191,16 @@ impl Checkpoint {
     pub fn load(r: &mut impl Read) -> io::Result<Self> {
         let mut magic = [0u8; 8];
         r.read_exact(&mut magic)?;
-        if &magic != MAGIC {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "bad checkpoint magic",
-            ));
-        }
+        let has_scaler_section = match &magic {
+            m if m == MAGIC => true,
+            m if m == MAGIC_V1 => false,
+            _ => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "bad checkpoint magic",
+                ))
+            }
+        };
         let mut fp = [0u64; 5];
         let mut b8 = [0u8; 8];
         for f in &mut fp {
@@ -170,12 +209,34 @@ impl Checkpoint {
         }
         r.read_exact(&mut b8)?;
         let adam_step = u64::from_le_bytes(b8);
+        let scaler = if has_scaler_section {
+            let mut flag = [0u8; 1];
+            r.read_exact(&mut flag)?;
+            if flag[0] != 0 {
+                let mut b4 = [0u8; 4];
+                r.read_exact(&mut b4)?;
+                let scale = f32::from_le_bytes(b4);
+                r.read_exact(&mut b4)?;
+                let clean_steps = u32::from_le_bytes(b4);
+                r.read_exact(&mut b8)?;
+                Some(ScalerState {
+                    scale,
+                    clean_steps,
+                    skipped_steps: u64::from_le_bytes(b8),
+                })
+            } else {
+                None
+            }
+        } else {
+            None
+        };
         Ok(Checkpoint {
             fingerprint: fp,
             params: read_vec(r)?,
             adam_m: read_vec(r)?,
             adam_v: read_vec(r)?,
             adam_step,
+            scaler,
         })
     }
 }
@@ -275,6 +336,38 @@ mod tests {
             let back = read_vec(&mut bytes.as_slice()).unwrap();
             assert_eq!(back, v);
         }
+    }
+
+    #[test]
+    fn scaler_state_roundtrips_and_v1_loads_without_it() {
+        let (mut model, state, _, _) = trained_model();
+        let ckpt = Checkpoint::capture(&mut model, &state).with_scaler(Some(ScalerState {
+            scale: 512.0,
+            clean_steps: 37,
+            skipped_steps: 4,
+        }));
+        let mut bytes = Vec::new();
+        ckpt.save(&mut bytes).unwrap();
+        let loaded = Checkpoint::load(&mut bytes.as_slice()).unwrap();
+        assert_eq!(loaded, ckpt);
+        assert_eq!(
+            loaded.scaler,
+            Some(ScalerState {
+                scale: 512.0,
+                clean_steps: 37,
+                skipped_steps: 4,
+            })
+        );
+
+        // A v1 checkpoint is the same stream minus the scaler section.
+        let mut v1 = Vec::new();
+        v1.extend_from_slice(MAGIC_V1);
+        v1.extend_from_slice(&bytes[8..8 + 5 * 8 + 8]); // fingerprint + adam_step
+        v1.extend_from_slice(&bytes[8 + 5 * 8 + 8 + 1 + 4 + 4 + 8..]); // skip scaler
+        let legacy = Checkpoint::load(&mut v1.as_slice()).unwrap();
+        assert_eq!(legacy.scaler, None);
+        assert_eq!(legacy.params, ckpt.params);
+        assert_eq!(legacy.adam_step, ckpt.adam_step);
     }
 
     #[test]

@@ -32,6 +32,6 @@ pub mod model;
 pub mod tokenizer;
 
 pub use block::{BlockCache, TransformerBlock};
-pub use checkpoint::Checkpoint;
+pub use checkpoint::{Checkpoint, ScalerState};
 pub use config::VitConfig;
 pub use model::{Batch, Forward, VitModel};

@@ -98,6 +98,73 @@ fn hybrid_checkpoint_restores_into_every_layout_bit_exactly() {
     }
 }
 
+/// GradScaler state rides along in the checkpoint: a mixed-precision run
+/// captures `Some(state)`, the state survives restore into a *different*
+/// engine (and a file round trip), and full-precision runs keep the field
+/// `None`.
+#[test]
+fn grad_scaler_state_survives_capture_restore_across_engines() {
+    let cfg = VitConfig::test_tiny();
+    let amp = TrainOptions {
+        mixed_precision: true,
+        ..TrainOptions::none()
+    };
+
+    // Train three mixed-precision steps under DDP and capture.
+    let outcomes = Cluster::frontier().try_run(2, |ctx| {
+        let mut engine = build_engine(ctx, EngineSpec::Ddp, cfg, AdamW::default(), amp, 42)?;
+        for step in 0..3u64 {
+            ctx.begin_step(step)?;
+            engine.train_step(ctx, &make_batch(&cfg, 4, 500 + step))?;
+        }
+        engine.capture_checkpoint(ctx)
+    });
+    let ck = outcomes
+        .into_iter()
+        .next()
+        .unwrap()
+        .ok()
+        .expect("no faults in this run");
+    let state = ck
+        .scaler
+        .expect("mixed-precision capture must record scaler state");
+    assert!(state.scale > 0.0);
+
+    // File round trip preserves the scaler section.
+    let path = std::env::temp_dir().join(format!("orbit_scaler_test_{}.bin", std::process::id()));
+    ck.save_to_path(&path).unwrap();
+    let loaded = Checkpoint::load_from_path(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert_eq!(
+        loaded.scaler,
+        Some(state),
+        "scaler must survive the file format"
+    );
+
+    // Restore into an FSDP pair and immediately recapture: the scaler
+    // state comes back unchanged.
+    let outcomes = Cluster::frontier().try_run(2, |ctx| {
+        let mut engine = build_engine(ctx, EngineSpec::Fsdp, cfg, AdamW::default(), amp, 7)?;
+        engine.restore_checkpoint(ctx, &loaded)?;
+        engine.capture_checkpoint(ctx)
+    });
+    let round = outcomes
+        .into_iter()
+        .next()
+        .unwrap()
+        .ok()
+        .expect("no faults in this run");
+    assert_eq!(
+        round.scaler,
+        Some(state),
+        "restore -> capture must be the identity on scaler state"
+    );
+
+    // Full-precision runs don't carry scaler state.
+    let plain = train_and_capture(EngineSpec::Single, 1, cfg, 1);
+    assert!(plain.scaler.is_none(), "no scaler without mixed precision");
+}
+
 /// The same checkpoint survives the bulk binary file format, and training
 /// continues identically from the loaded copy.
 #[test]

@@ -347,3 +347,99 @@ fn fault_events_appear_in_chrome_trace() {
     assert!(json.contains("slow rank 0"));
     assert!(json.contains("degrade links rank 1"));
 }
+
+/// Nonblocking handles meet fault injection: rank 1 dies at step 1 while
+/// survivors hold *two* un-waited handles (an all-gather and a
+/// reduce-scatter, waited out of issue order). Every survivor must come
+/// back with `PeerFailure` naming the dead rank — never a hang, never a
+/// leaked rendezvous slot corrupting a later step.
+#[test]
+fn killed_rank_with_unwaited_handles_never_hangs_survivors() {
+    let cluster = Cluster::frontier().with_fault_plan(FaultPlan::new().kill(1, 1));
+    let outcomes = cluster.try_run(3, |ctx| {
+        let mut g = ctx.world_group();
+        for step in 0..3u64 {
+            ctx.begin_step(step)?;
+            let mut clock = std::mem::take(&mut ctx.clock);
+            let shard = vec![(ctx.rank + 1) as f32 * (step + 1) as f32; 8];
+            let grads = vec![1.0f32; 9];
+            let r = (|| {
+                // Two collectives in flight at once, waited LIFO.
+                let ag = g.all_gather_start(&clock, &shard, true)?;
+                let rs = g.reduce_scatter_start(&clock, &grads)?;
+                let mine = rs.wait(&mut clock)?;
+                assert_eq!(mine.len(), 3);
+                assert_eq!(mine[0], 3.0, "sum over three live ranks");
+                let full = ag.wait(&mut clock)?;
+                assert_eq!(full.len(), 24);
+                Ok::<(), CommError>(())
+            })();
+            ctx.clock = clock;
+            r?;
+        }
+        Ok(ctx.rank)
+    });
+    assert!(matches!(
+        outcomes[1].sim_error(),
+        Some(SimError::Killed { rank: 1, step: 1 })
+    ));
+    for r in [0usize, 2] {
+        assert!(
+            matches!(
+                outcomes[r].sim_error(),
+                Some(SimError::Comm(CommError::PeerFailure { rank: 1 }))
+            ),
+            "rank {r}: expected PeerFailure naming rank 1, got {:?}",
+            outcomes[r].failure()
+        );
+    }
+}
+
+/// A seeded straggler under the pipelined Hybrid-STOP schedule: slowing
+/// one rank stretches the simulated timeline but the prefetched gathers
+/// still deliver the same data — losses stay bit-identical to the
+/// straggler-free run.
+#[test]
+fn straggler_under_pipelined_hybrid_keeps_losses_bit_identical() {
+    let cfg = VitConfig::test_tiny();
+    let batch = make_batch(&cfg, 4, 11);
+    let spec = EngineSpec::HybridStop(ParallelLayout::new(1, 2, 1));
+    let opts = TrainOptions {
+        layer_wrapping: true,
+        prefetch: true,
+        ..TrainOptions::none()
+    };
+    let run = |plan: Option<FaultPlan>| -> Vec<(Vec<u32>, f64)> {
+        let mut cluster = Cluster::frontier();
+        if let Some(p) = plan {
+            cluster = cluster.with_fault_plan(p);
+        }
+        cluster
+            .try_run(2, |ctx| {
+                let mut e = orbit::core::build_engine(ctx, spec, cfg, AdamW::default(), opts, 42)?;
+                let mut losses = Vec::new();
+                for step in 0..2u64 {
+                    ctx.begin_step(step)?;
+                    losses.push(e.train_step(ctx, &batch)?.loss.to_bits());
+                }
+                Ok((losses, ctx.clock.now()))
+            })
+            .into_iter()
+            .map(|o| o.ok().expect("stragglers don't fail ranks"))
+            .collect()
+    };
+    let clean = run(None);
+    let slowed = run(Some(FaultPlan::new().slow(1, 0, 8.0)));
+    for r in 0..2 {
+        assert_eq!(
+            clean[r].0, slowed[r].0,
+            "rank {r}: a straggler changes time, never data"
+        );
+    }
+    assert!(
+        slowed[1].1 > clean[1].1,
+        "the straggler's timeline must stretch: {} !> {}",
+        slowed[1].1,
+        clean[1].1
+    );
+}

@@ -4,7 +4,7 @@
 //! wire bytes on every collective — the observable record of the paper's
 //! Sec. III-B communication schedule.
 
-use orbit::comm::{chrome_trace, Cluster};
+use orbit::comm::{chrome_trace, Cluster, CommOp, TraceEvent};
 use orbit::core::{build_engine, EngineSpec, ParallelLayout, TrainOptions};
 use orbit::tensor::init::Rng;
 use orbit::tensor::kernels::AdamW;
@@ -94,4 +94,70 @@ fn hybrid_stop_trace_round_trips_through_chrome_json() {
     assert_eq!(tids_seen.len(), world, "one Chrome-trace track per rank");
     assert!(comm_count > 0, "collectives must be traced");
     assert!(compute_count > 0, "compute intervals must be traced");
+}
+
+/// The pipelined Hybrid-STOP schedule is observable in the trace and
+/// invisible in the numbers: with layer wrapping on, turning prefetch on
+/// reproduces the blocking run's loss trajectory bit-for-bit, finishes no
+/// later on the simulated clock, and leaves at least one prefetched
+/// all-gather whose wire interval overlaps a compute interval — the next
+/// block's shards are in flight while the current block is still busy.
+#[test]
+fn hybrid_prefetch_overlaps_compute_without_changing_losses() {
+    let cfg = VitConfig::test_tiny();
+    let batch = make_batch(&cfg, 4);
+    let spec = EngineSpec::HybridStop(ParallelLayout::new(1, 2, 1));
+    let run = |prefetch: bool| {
+        Cluster::frontier().run(2, |ctx| {
+            let opts = TrainOptions {
+                layer_wrapping: true,
+                prefetch,
+                ..TrainOptions::none()
+            };
+            let mut e = build_engine(ctx, spec, cfg, AdamW::default(), opts, 42).unwrap();
+            let losses: Vec<u32> = (0..3)
+                .map(|_| e.train_step(ctx, &batch).unwrap().loss.to_bits())
+                .collect();
+            (losses, ctx.clock.now(), ctx.clock.take_events())
+        })
+    };
+    let pipelined = run(true);
+    let blocking = run(false);
+
+    for r in 0..2 {
+        assert_eq!(
+            pipelined[r].0, blocking[r].0,
+            "rank {r}: prefetch must change timing, never numerics"
+        );
+        assert!(
+            pipelined[r].1 <= blocking[r].1,
+            "rank {r}: overlap cannot make the step slower ({} !<= {})",
+            pipelined[r].1,
+            blocking[r].1
+        );
+    }
+
+    // At least one prefetched all-gather is issued while a compute
+    // interval is still running on the same rank's timeline.
+    let events = &pipelined[0].2;
+    let computes: Vec<(f64, f64)> = events
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::Compute { t_start, dur, .. } => Some((*t_start, *t_start + *dur)),
+            _ => None,
+        })
+        .collect();
+    let overlapped = events
+        .iter()
+        .filter_map(|e| e.comm())
+        .filter(|c| c.op == CommOp::AllGather && c.prefetched)
+        .any(|c| {
+            computes
+                .iter()
+                .any(|&(s, end)| c.t_start < end && c.t_start + c.dur > s)
+        });
+    assert!(
+        overlapped,
+        "a prefetched all-gather must be in flight during compute"
+    );
 }
