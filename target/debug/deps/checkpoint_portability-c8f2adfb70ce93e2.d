@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/checkpoint_portability-c8f2adfb70ce93e2.d: tests/checkpoint_portability.rs
+
+/root/repo/target/debug/deps/checkpoint_portability-c8f2adfb70ce93e2: tests/checkpoint_portability.rs
+
+tests/checkpoint_portability.rs:

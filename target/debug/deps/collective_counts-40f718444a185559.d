@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/collective_counts-40f718444a185559.d: tests/collective_counts.rs
+
+/root/repo/target/debug/deps/collective_counts-40f718444a185559: tests/collective_counts.rs
+
+tests/collective_counts.rs:

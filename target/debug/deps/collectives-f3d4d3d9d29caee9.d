@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/collectives-f3d4d3d9d29caee9.d: crates/bench/benches/collectives.rs
+
+/root/repo/target/debug/deps/collectives-f3d4d3d9d29caee9: crates/bench/benches/collectives.rs
+
+crates/bench/benches/collectives.rs:

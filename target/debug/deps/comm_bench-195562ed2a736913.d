@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/comm_bench-195562ed2a736913.d: crates/bench/src/bin/comm_bench.rs
+
+/root/repo/target/debug/deps/comm_bench-195562ed2a736913: crates/bench/src/bin/comm_bench.rs
+
+crates/bench/src/bin/comm_bench.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/comm_bench-2d2c6120e5d63a4a.d: crates/bench/src/bin/comm_bench.rs
+
+/root/repo/target/debug/deps/comm_bench-2d2c6120e5d63a4a: crates/bench/src/bin/comm_bench.rs
+
+crates/bench/src/bin/comm_bench.rs:

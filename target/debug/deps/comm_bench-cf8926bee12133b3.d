@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/comm_bench-cf8926bee12133b3.d: crates/bench/src/bin/comm_bench.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcomm_bench-cf8926bee12133b3.rmeta: crates/bench/src/bin/comm_bench.rs Cargo.toml
+
+crates/bench/src/bin/comm_bench.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/comm_bench-ec3869ffccd7e3bf.d: crates/bench/src/bin/comm_bench.rs
+
+/root/repo/target/debug/deps/comm_bench-ec3869ffccd7e3bf: crates/bench/src/bin/comm_bench.rs
+
+crates/bench/src/bin/comm_bench.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_equivalence-3e07ded4daa7eb26.d: tests/engine_equivalence.rs
+
+/root/repo/target/debug/deps/engine_equivalence-3e07ded4daa7eb26: tests/engine_equivalence.rs
+
+tests/engine_equivalence.rs:

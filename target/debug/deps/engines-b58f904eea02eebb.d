@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engines-b58f904eea02eebb.d: crates/bench/benches/engines.rs
+
+/root/repo/target/debug/deps/engines-b58f904eea02eebb: crates/bench/benches/engines.rs
+
+crates/bench/benches/engines.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-61ee2d1259e4ed90.d: tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-61ee2d1259e4ed90: tests/failure_injection.rs
+
+tests/failure_injection.rs:

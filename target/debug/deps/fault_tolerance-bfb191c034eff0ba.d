@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_tolerance-bfb191c034eff0ba.d: tests/fault_tolerance.rs
+
+/root/repo/target/debug/deps/fault_tolerance-bfb191c034eff0ba: tests/fault_tolerance.rs
+
+tests/fault_tolerance.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kernels-2a34bf494d72a915.d: crates/bench/benches/kernels.rs
+
+/root/repo/target/debug/deps/kernels-2a34bf494d72a915: crates/bench/benches/kernels.rs
+
+crates/bench/benches/kernels.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/orbit-722102165675a875.d: src/lib.rs
+
+/root/repo/target/debug/deps/orbit-722102165675a875: src/lib.rs
+
+src/lib.rs:

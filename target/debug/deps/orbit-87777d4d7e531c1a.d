@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/orbit-87777d4d7e531c1a.d: src/lib.rs
+
+/root/repo/target/debug/deps/liborbit-87777d4d7e531c1a.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/liborbit-87777d4d7e531c1a.rmeta: src/lib.rs
+
+src/lib.rs:

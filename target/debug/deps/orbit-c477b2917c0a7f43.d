@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/orbit-c477b2917c0a7f43.d: src/lib.rs
+
+/root/repo/target/debug/deps/liborbit-c477b2917c0a7f43.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/liborbit-c477b2917c0a7f43.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/orbit-f19d085ba89a8f47.d: src/lib.rs
+
+/root/repo/target/debug/deps/orbit-f19d085ba89a8f47: src/lib.rs
+
+src/lib.rs:

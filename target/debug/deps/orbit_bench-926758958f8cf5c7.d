@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/orbit_bench-926758958f8cf5c7.d: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/common.rs crates/bench/src/experiments/fig10.rs crates/bench/src/experiments/fig5.rs crates/bench/src/experiments/fig6.rs crates/bench/src/experiments/fig7.rs crates/bench/src/experiments/fig8.rs crates/bench/src/experiments/fig9.rs crates/bench/src/experiments/qk_ablation.rs crates/bench/src/experiments/table1.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/orbit_bench-926758958f8cf5c7: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/common.rs crates/bench/src/experiments/fig10.rs crates/bench/src/experiments/fig5.rs crates/bench/src/experiments/fig6.rs crates/bench/src/experiments/fig7.rs crates/bench/src/experiments/fig8.rs crates/bench/src/experiments/fig9.rs crates/bench/src/experiments/qk_ablation.rs crates/bench/src/experiments/table1.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments/mod.rs:
+crates/bench/src/experiments/common.rs:
+crates/bench/src/experiments/fig10.rs:
+crates/bench/src/experiments/fig5.rs:
+crates/bench/src/experiments/fig6.rs:
+crates/bench/src/experiments/fig7.rs:
+crates/bench/src/experiments/fig8.rs:
+crates/bench/src/experiments/fig9.rs:
+crates/bench/src/experiments/qk_ablation.rs:
+crates/bench/src/experiments/table1.rs:
+crates/bench/src/report.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/orbit_comm-6f55c44c53cc33bc.d: crates/comm/src/lib.rs crates/comm/src/clock.rs crates/comm/src/cluster.rs crates/comm/src/fault.rs crates/comm/src/group.rs crates/comm/src/memory.rs crates/comm/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/liborbit_comm-6f55c44c53cc33bc.rmeta: crates/comm/src/lib.rs crates/comm/src/clock.rs crates/comm/src/cluster.rs crates/comm/src/fault.rs crates/comm/src/group.rs crates/comm/src/memory.rs crates/comm/src/trace.rs Cargo.toml
+
+crates/comm/src/lib.rs:
+crates/comm/src/clock.rs:
+crates/comm/src/cluster.rs:
+crates/comm/src/fault.rs:
+crates/comm/src/group.rs:
+crates/comm/src/memory.rs:
+crates/comm/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

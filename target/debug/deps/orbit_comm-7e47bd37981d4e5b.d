@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/orbit_comm-7e47bd37981d4e5b.d: crates/comm/src/lib.rs crates/comm/src/clock.rs crates/comm/src/cluster.rs crates/comm/src/fault.rs crates/comm/src/group.rs crates/comm/src/memory.rs crates/comm/src/trace.rs
+
+/root/repo/target/debug/deps/liborbit_comm-7e47bd37981d4e5b.rlib: crates/comm/src/lib.rs crates/comm/src/clock.rs crates/comm/src/cluster.rs crates/comm/src/fault.rs crates/comm/src/group.rs crates/comm/src/memory.rs crates/comm/src/trace.rs
+
+/root/repo/target/debug/deps/liborbit_comm-7e47bd37981d4e5b.rmeta: crates/comm/src/lib.rs crates/comm/src/clock.rs crates/comm/src/cluster.rs crates/comm/src/fault.rs crates/comm/src/group.rs crates/comm/src/memory.rs crates/comm/src/trace.rs
+
+crates/comm/src/lib.rs:
+crates/comm/src/clock.rs:
+crates/comm/src/cluster.rs:
+crates/comm/src/fault.rs:
+crates/comm/src/group.rs:
+crates/comm/src/memory.rs:
+crates/comm/src/trace.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/orbit_comm-e04e74b755a74ed7.d: crates/comm/src/lib.rs crates/comm/src/clock.rs crates/comm/src/cluster.rs crates/comm/src/fault.rs crates/comm/src/group.rs crates/comm/src/memory.rs crates/comm/src/trace.rs
+
+/root/repo/target/debug/deps/liborbit_comm-e04e74b755a74ed7.rlib: crates/comm/src/lib.rs crates/comm/src/clock.rs crates/comm/src/cluster.rs crates/comm/src/fault.rs crates/comm/src/group.rs crates/comm/src/memory.rs crates/comm/src/trace.rs
+
+/root/repo/target/debug/deps/liborbit_comm-e04e74b755a74ed7.rmeta: crates/comm/src/lib.rs crates/comm/src/clock.rs crates/comm/src/cluster.rs crates/comm/src/fault.rs crates/comm/src/group.rs crates/comm/src/memory.rs crates/comm/src/trace.rs
+
+crates/comm/src/lib.rs:
+crates/comm/src/clock.rs:
+crates/comm/src/cluster.rs:
+crates/comm/src/fault.rs:
+crates/comm/src/group.rs:
+crates/comm/src/memory.rs:
+crates/comm/src/trace.rs:

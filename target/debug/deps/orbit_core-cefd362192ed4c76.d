@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/orbit_core-cefd362192ed4c76.d: crates/core/src/lib.rs crates/core/src/engines/mod.rs crates/core/src/engines/ddp.rs crates/core/src/engines/fsdp.rs crates/core/src/engines/hybrid_stop.rs crates/core/src/engines/pipeline.rs crates/core/src/engines/single.rs crates/core/src/engines/tp.rs crates/core/src/engines/trainer.rs crates/core/src/resilient.rs crates/core/src/scaler.rs crates/core/src/sharding.rs crates/core/src/stats.rs crates/core/src/tp_block.rs Cargo.toml
+
+/root/repo/target/debug/deps/liborbit_core-cefd362192ed4c76.rmeta: crates/core/src/lib.rs crates/core/src/engines/mod.rs crates/core/src/engines/ddp.rs crates/core/src/engines/fsdp.rs crates/core/src/engines/hybrid_stop.rs crates/core/src/engines/pipeline.rs crates/core/src/engines/single.rs crates/core/src/engines/tp.rs crates/core/src/engines/trainer.rs crates/core/src/resilient.rs crates/core/src/scaler.rs crates/core/src/sharding.rs crates/core/src/stats.rs crates/core/src/tp_block.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/engines/mod.rs:
+crates/core/src/engines/ddp.rs:
+crates/core/src/engines/fsdp.rs:
+crates/core/src/engines/hybrid_stop.rs:
+crates/core/src/engines/pipeline.rs:
+crates/core/src/engines/single.rs:
+crates/core/src/engines/tp.rs:
+crates/core/src/engines/trainer.rs:
+crates/core/src/resilient.rs:
+crates/core/src/scaler.rs:
+crates/core/src/sharding.rs:
+crates/core/src/stats.rs:
+crates/core/src/tp_block.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/orbit_data-5b6492894ac71829.d: crates/data/src/lib.rs crates/data/src/catalog.rs crates/data/src/generator.rs crates/data/src/loader.rs crates/data/src/metrics.rs
+
+/root/repo/target/debug/deps/liborbit_data-5b6492894ac71829.rlib: crates/data/src/lib.rs crates/data/src/catalog.rs crates/data/src/generator.rs crates/data/src/loader.rs crates/data/src/metrics.rs
+
+/root/repo/target/debug/deps/liborbit_data-5b6492894ac71829.rmeta: crates/data/src/lib.rs crates/data/src/catalog.rs crates/data/src/generator.rs crates/data/src/loader.rs crates/data/src/metrics.rs
+
+crates/data/src/lib.rs:
+crates/data/src/catalog.rs:
+crates/data/src/generator.rs:
+crates/data/src/loader.rs:
+crates/data/src/metrics.rs:

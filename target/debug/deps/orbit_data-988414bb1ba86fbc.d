@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/orbit_data-988414bb1ba86fbc.d: crates/data/src/lib.rs crates/data/src/catalog.rs crates/data/src/generator.rs crates/data/src/loader.rs crates/data/src/metrics.rs
+
+/root/repo/target/debug/deps/orbit_data-988414bb1ba86fbc: crates/data/src/lib.rs crates/data/src/catalog.rs crates/data/src/generator.rs crates/data/src/loader.rs crates/data/src/metrics.rs
+
+crates/data/src/lib.rs:
+crates/data/src/catalog.rs:
+crates/data/src/generator.rs:
+crates/data/src/loader.rs:
+crates/data/src/metrics.rs:

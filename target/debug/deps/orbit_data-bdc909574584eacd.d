@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/orbit_data-bdc909574584eacd.d: crates/data/src/lib.rs crates/data/src/catalog.rs crates/data/src/generator.rs crates/data/src/loader.rs crates/data/src/metrics.rs
+
+/root/repo/target/debug/deps/liborbit_data-bdc909574584eacd.rlib: crates/data/src/lib.rs crates/data/src/catalog.rs crates/data/src/generator.rs crates/data/src/loader.rs crates/data/src/metrics.rs
+
+/root/repo/target/debug/deps/liborbit_data-bdc909574584eacd.rmeta: crates/data/src/lib.rs crates/data/src/catalog.rs crates/data/src/generator.rs crates/data/src/loader.rs crates/data/src/metrics.rs
+
+crates/data/src/lib.rs:
+crates/data/src/catalog.rs:
+crates/data/src/generator.rs:
+crates/data/src/loader.rs:
+crates/data/src/metrics.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/orbit_data-d86fc3804e3956de.d: crates/data/src/lib.rs crates/data/src/catalog.rs crates/data/src/generator.rs crates/data/src/loader.rs crates/data/src/metrics.rs
+
+/root/repo/target/debug/deps/orbit_data-d86fc3804e3956de: crates/data/src/lib.rs crates/data/src/catalog.rs crates/data/src/generator.rs crates/data/src/loader.rs crates/data/src/metrics.rs
+
+crates/data/src/lib.rs:
+crates/data/src/catalog.rs:
+crates/data/src/generator.rs:
+crates/data/src/loader.rs:
+crates/data/src/metrics.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/orbit_data-e4066fbf495272ce.d: crates/data/src/lib.rs crates/data/src/catalog.rs crates/data/src/generator.rs crates/data/src/loader.rs crates/data/src/metrics.rs Cargo.toml
+
+/root/repo/target/debug/deps/liborbit_data-e4066fbf495272ce.rmeta: crates/data/src/lib.rs crates/data/src/catalog.rs crates/data/src/generator.rs crates/data/src/loader.rs crates/data/src/metrics.rs Cargo.toml
+
+crates/data/src/lib.rs:
+crates/data/src/catalog.rs:
+crates/data/src/generator.rs:
+crates/data/src/loader.rs:
+crates/data/src/metrics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/orbit_frontier-1568c09a4e91ae34.d: crates/frontier/src/lib.rs crates/frontier/src/dims.rs crates/frontier/src/machine.rs crates/frontier/src/mapping.rs crates/frontier/src/perfmodel.rs
+
+/root/repo/target/debug/deps/orbit_frontier-1568c09a4e91ae34: crates/frontier/src/lib.rs crates/frontier/src/dims.rs crates/frontier/src/machine.rs crates/frontier/src/mapping.rs crates/frontier/src/perfmodel.rs
+
+crates/frontier/src/lib.rs:
+crates/frontier/src/dims.rs:
+crates/frontier/src/machine.rs:
+crates/frontier/src/mapping.rs:
+crates/frontier/src/perfmodel.rs:

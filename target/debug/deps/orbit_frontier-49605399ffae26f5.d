@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/orbit_frontier-49605399ffae26f5.d: crates/frontier/src/lib.rs crates/frontier/src/dims.rs crates/frontier/src/machine.rs crates/frontier/src/mapping.rs crates/frontier/src/perfmodel.rs
+
+/root/repo/target/debug/deps/liborbit_frontier-49605399ffae26f5.rlib: crates/frontier/src/lib.rs crates/frontier/src/dims.rs crates/frontier/src/machine.rs crates/frontier/src/mapping.rs crates/frontier/src/perfmodel.rs
+
+/root/repo/target/debug/deps/liborbit_frontier-49605399ffae26f5.rmeta: crates/frontier/src/lib.rs crates/frontier/src/dims.rs crates/frontier/src/machine.rs crates/frontier/src/mapping.rs crates/frontier/src/perfmodel.rs
+
+crates/frontier/src/lib.rs:
+crates/frontier/src/dims.rs:
+crates/frontier/src/machine.rs:
+crates/frontier/src/mapping.rs:
+crates/frontier/src/perfmodel.rs:

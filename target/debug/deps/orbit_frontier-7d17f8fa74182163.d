@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/orbit_frontier-7d17f8fa74182163.d: crates/frontier/src/lib.rs crates/frontier/src/dims.rs crates/frontier/src/machine.rs crates/frontier/src/mapping.rs crates/frontier/src/perfmodel.rs Cargo.toml
+
+/root/repo/target/debug/deps/liborbit_frontier-7d17f8fa74182163.rmeta: crates/frontier/src/lib.rs crates/frontier/src/dims.rs crates/frontier/src/machine.rs crates/frontier/src/mapping.rs crates/frontier/src/perfmodel.rs Cargo.toml
+
+crates/frontier/src/lib.rs:
+crates/frontier/src/dims.rs:
+crates/frontier/src/machine.rs:
+crates/frontier/src/mapping.rs:
+crates/frontier/src/perfmodel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/orbit_frontier-e9af465a6a11ba40.d: crates/frontier/src/lib.rs crates/frontier/src/dims.rs crates/frontier/src/machine.rs crates/frontier/src/mapping.rs crates/frontier/src/perfmodel.rs
+
+/root/repo/target/debug/deps/orbit_frontier-e9af465a6a11ba40: crates/frontier/src/lib.rs crates/frontier/src/dims.rs crates/frontier/src/machine.rs crates/frontier/src/mapping.rs crates/frontier/src/perfmodel.rs
+
+crates/frontier/src/lib.rs:
+crates/frontier/src/dims.rs:
+crates/frontier/src/machine.rs:
+crates/frontier/src/mapping.rs:
+crates/frontier/src/perfmodel.rs:

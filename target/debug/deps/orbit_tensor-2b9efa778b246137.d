@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/orbit_tensor-2b9efa778b246137.d: crates/tensor/src/lib.rs crates/tensor/src/bf16.rs crates/tensor/src/init.rs crates/tensor/src/kernels/mod.rs crates/tensor/src/kernels/activation.rs crates/tensor/src/kernels/attention.rs crates/tensor/src/kernels/embed.rs crates/tensor/src/kernels/linear.rs crates/tensor/src/kernels/norm.rs crates/tensor/src/kernels/optimizer.rs crates/tensor/src/matmul.rs crates/tensor/src/tensor.rs
+
+/root/repo/target/debug/deps/liborbit_tensor-2b9efa778b246137.rlib: crates/tensor/src/lib.rs crates/tensor/src/bf16.rs crates/tensor/src/init.rs crates/tensor/src/kernels/mod.rs crates/tensor/src/kernels/activation.rs crates/tensor/src/kernels/attention.rs crates/tensor/src/kernels/embed.rs crates/tensor/src/kernels/linear.rs crates/tensor/src/kernels/norm.rs crates/tensor/src/kernels/optimizer.rs crates/tensor/src/matmul.rs crates/tensor/src/tensor.rs
+
+/root/repo/target/debug/deps/liborbit_tensor-2b9efa778b246137.rmeta: crates/tensor/src/lib.rs crates/tensor/src/bf16.rs crates/tensor/src/init.rs crates/tensor/src/kernels/mod.rs crates/tensor/src/kernels/activation.rs crates/tensor/src/kernels/attention.rs crates/tensor/src/kernels/embed.rs crates/tensor/src/kernels/linear.rs crates/tensor/src/kernels/norm.rs crates/tensor/src/kernels/optimizer.rs crates/tensor/src/matmul.rs crates/tensor/src/tensor.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/bf16.rs:
+crates/tensor/src/init.rs:
+crates/tensor/src/kernels/mod.rs:
+crates/tensor/src/kernels/activation.rs:
+crates/tensor/src/kernels/attention.rs:
+crates/tensor/src/kernels/embed.rs:
+crates/tensor/src/kernels/linear.rs:
+crates/tensor/src/kernels/norm.rs:
+crates/tensor/src/kernels/optimizer.rs:
+crates/tensor/src/matmul.rs:
+crates/tensor/src/tensor.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/orbit_tensor-34e332e5e759fb13.d: crates/tensor/src/lib.rs crates/tensor/src/bf16.rs crates/tensor/src/init.rs crates/tensor/src/kernels/mod.rs crates/tensor/src/kernels/activation.rs crates/tensor/src/kernels/attention.rs crates/tensor/src/kernels/embed.rs crates/tensor/src/kernels/linear.rs crates/tensor/src/kernels/norm.rs crates/tensor/src/kernels/optimizer.rs crates/tensor/src/matmul.rs crates/tensor/src/tensor.rs Cargo.toml
+
+/root/repo/target/debug/deps/liborbit_tensor-34e332e5e759fb13.rmeta: crates/tensor/src/lib.rs crates/tensor/src/bf16.rs crates/tensor/src/init.rs crates/tensor/src/kernels/mod.rs crates/tensor/src/kernels/activation.rs crates/tensor/src/kernels/attention.rs crates/tensor/src/kernels/embed.rs crates/tensor/src/kernels/linear.rs crates/tensor/src/kernels/norm.rs crates/tensor/src/kernels/optimizer.rs crates/tensor/src/matmul.rs crates/tensor/src/tensor.rs Cargo.toml
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/bf16.rs:
+crates/tensor/src/init.rs:
+crates/tensor/src/kernels/mod.rs:
+crates/tensor/src/kernels/activation.rs:
+crates/tensor/src/kernels/attention.rs:
+crates/tensor/src/kernels/embed.rs:
+crates/tensor/src/kernels/linear.rs:
+crates/tensor/src/kernels/norm.rs:
+crates/tensor/src/kernels/optimizer.rs:
+crates/tensor/src/matmul.rs:
+crates/tensor/src/tensor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

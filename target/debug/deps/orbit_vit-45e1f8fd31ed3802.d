@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/orbit_vit-45e1f8fd31ed3802.d: crates/vit/src/lib.rs crates/vit/src/baselines.rs crates/vit/src/block.rs crates/vit/src/checkpoint.rs crates/vit/src/config.rs crates/vit/src/loss.rs crates/vit/src/model.rs crates/vit/src/tokenizer.rs
+
+/root/repo/target/debug/deps/orbit_vit-45e1f8fd31ed3802: crates/vit/src/lib.rs crates/vit/src/baselines.rs crates/vit/src/block.rs crates/vit/src/checkpoint.rs crates/vit/src/config.rs crates/vit/src/loss.rs crates/vit/src/model.rs crates/vit/src/tokenizer.rs
+
+crates/vit/src/lib.rs:
+crates/vit/src/baselines.rs:
+crates/vit/src/block.rs:
+crates/vit/src/checkpoint.rs:
+crates/vit/src/config.rs:
+crates/vit/src/loss.rs:
+crates/vit/src/model.rs:
+crates/vit/src/tokenizer.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/orbit_vit-687e82e2bd552c0a.d: crates/vit/src/lib.rs crates/vit/src/baselines.rs crates/vit/src/block.rs crates/vit/src/checkpoint.rs crates/vit/src/config.rs crates/vit/src/loss.rs crates/vit/src/model.rs crates/vit/src/tokenizer.rs
+
+/root/repo/target/debug/deps/orbit_vit-687e82e2bd552c0a: crates/vit/src/lib.rs crates/vit/src/baselines.rs crates/vit/src/block.rs crates/vit/src/checkpoint.rs crates/vit/src/config.rs crates/vit/src/loss.rs crates/vit/src/model.rs crates/vit/src/tokenizer.rs
+
+crates/vit/src/lib.rs:
+crates/vit/src/baselines.rs:
+crates/vit/src/block.rs:
+crates/vit/src/checkpoint.rs:
+crates/vit/src/config.rs:
+crates/vit/src/loss.rs:
+crates/vit/src/model.rs:
+crates/vit/src/tokenizer.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/orbit_vit-9443574a680aaae9.d: crates/vit/src/lib.rs crates/vit/src/baselines.rs crates/vit/src/block.rs crates/vit/src/checkpoint.rs crates/vit/src/config.rs crates/vit/src/loss.rs crates/vit/src/model.rs crates/vit/src/tokenizer.rs
+
+/root/repo/target/debug/deps/liborbit_vit-9443574a680aaae9.rlib: crates/vit/src/lib.rs crates/vit/src/baselines.rs crates/vit/src/block.rs crates/vit/src/checkpoint.rs crates/vit/src/config.rs crates/vit/src/loss.rs crates/vit/src/model.rs crates/vit/src/tokenizer.rs
+
+/root/repo/target/debug/deps/liborbit_vit-9443574a680aaae9.rmeta: crates/vit/src/lib.rs crates/vit/src/baselines.rs crates/vit/src/block.rs crates/vit/src/checkpoint.rs crates/vit/src/config.rs crates/vit/src/loss.rs crates/vit/src/model.rs crates/vit/src/tokenizer.rs
+
+crates/vit/src/lib.rs:
+crates/vit/src/baselines.rs:
+crates/vit/src/block.rs:
+crates/vit/src/checkpoint.rs:
+crates/vit/src/config.rs:
+crates/vit/src/loss.rs:
+crates/vit/src/model.rs:
+crates/vit/src/tokenizer.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/orbit_vit-ae89887872ca19a3.d: crates/vit/src/lib.rs crates/vit/src/baselines.rs crates/vit/src/block.rs crates/vit/src/checkpoint.rs crates/vit/src/config.rs crates/vit/src/loss.rs crates/vit/src/model.rs crates/vit/src/tokenizer.rs Cargo.toml
+
+/root/repo/target/debug/deps/liborbit_vit-ae89887872ca19a3.rmeta: crates/vit/src/lib.rs crates/vit/src/baselines.rs crates/vit/src/block.rs crates/vit/src/checkpoint.rs crates/vit/src/config.rs crates/vit/src/loss.rs crates/vit/src/model.rs crates/vit/src/tokenizer.rs Cargo.toml
+
+crates/vit/src/lib.rs:
+crates/vit/src/baselines.rs:
+crates/vit/src/block.rs:
+crates/vit/src/checkpoint.rs:
+crates/vit/src/config.rs:
+crates/vit/src/loss.rs:
+crates/vit/src/model.rs:
+crates/vit/src/tokenizer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

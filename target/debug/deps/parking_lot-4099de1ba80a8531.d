@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parking_lot-4099de1ba80a8531.d: /tmp/stubs/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-4099de1ba80a8531.rlib: /tmp/stubs/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-4099de1ba80a8531.rmeta: /tmp/stubs/parking_lot/src/lib.rs
+
+/tmp/stubs/parking_lot/src/lib.rs:

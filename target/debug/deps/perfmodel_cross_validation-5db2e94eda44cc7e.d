@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/perfmodel_cross_validation-5db2e94eda44cc7e.d: tests/perfmodel_cross_validation.rs
+
+/root/repo/target/debug/deps/perfmodel_cross_validation-5db2e94eda44cc7e: tests/perfmodel_cross_validation.rs
+
+tests/perfmodel_cross_validation.rs:

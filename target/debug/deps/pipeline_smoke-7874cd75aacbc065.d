@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_smoke-7874cd75aacbc065.d: tests/pipeline_smoke.rs
+
+/root/repo/target/debug/deps/pipeline_smoke-7874cd75aacbc065: tests/pipeline_smoke.rs
+
+tests/pipeline_smoke.rs:

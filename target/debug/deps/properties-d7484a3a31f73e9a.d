@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-d7484a3a31f73e9a.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-d7484a3a31f73e9a: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-6654bcb1a63d9038.d: /tmp/stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-6654bcb1a63d9038.rlib: /tmp/stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-6654bcb1a63d9038.rmeta: /tmp/stubs/proptest/src/lib.rs
+
+/tmp/stubs/proptest/src/lib.rs:

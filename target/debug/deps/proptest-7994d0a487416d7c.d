@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-7994d0a487416d7c.d: /tmp/stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-7994d0a487416d7c.rlib: /tmp/stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-7994d0a487416d7c.rmeta: /tmp/stubs/proptest/src/lib.rs
+
+/tmp/stubs/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rayon-1998b3ffeadd1533.d: /tmp/stubs/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-1998b3ffeadd1533.rlib: /tmp/stubs/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-1998b3ffeadd1533.rmeta: /tmp/stubs/rayon/src/lib.rs
+
+/tmp/stubs/rayon/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-30acdd1d401c721b.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-30acdd1d401c721b: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-407d36cf10e1629a.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-407d36cf10e1629a: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

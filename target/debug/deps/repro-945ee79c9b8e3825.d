@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-945ee79c9b8e3825.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-945ee79c9b8e3825: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

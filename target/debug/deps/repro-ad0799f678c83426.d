@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-ad0799f678c83426.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-ad0799f678c83426: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-d9a663a9b1d3369c.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-d9a663a9b1d3369c: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

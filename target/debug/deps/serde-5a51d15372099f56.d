@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-5a51d15372099f56.d: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-5a51d15372099f56.rmeta: /tmp/stubs/serde/src/lib.rs
+
+/tmp/stubs/serde/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-5b2fe16387fb2b03.d: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-5b2fe16387fb2b03.rlib: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-5b2fe16387fb2b03.rmeta: /tmp/stubs/serde/src/lib.rs
+
+/tmp/stubs/serde/src/lib.rs:

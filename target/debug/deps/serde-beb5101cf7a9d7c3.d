@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-beb5101cf7a9d7c3.d: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-beb5101cf7a9d7c3.rlib: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-beb5101cf7a9d7c3.rmeta: /tmp/stubs/serde/src/lib.rs
+
+/tmp/stubs/serde/src/lib.rs:

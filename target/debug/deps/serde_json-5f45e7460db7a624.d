@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-5f45e7460db7a624.d: /tmp/stubs/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-5f45e7460db7a624.rlib: /tmp/stubs/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-5f45e7460db7a624.rmeta: /tmp/stubs/serde_json/src/lib.rs
+
+/tmp/stubs/serde_json/src/lib.rs:

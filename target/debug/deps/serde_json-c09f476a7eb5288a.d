@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-c09f476a7eb5288a.d: /tmp/stubs/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-c09f476a7eb5288a.rmeta: /tmp/stubs/serde_json/src/lib.rs
+
+/tmp/stubs/serde_json/src/lib.rs:

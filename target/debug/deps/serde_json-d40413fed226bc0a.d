@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-d40413fed226bc0a.d: /tmp/stubs/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-d40413fed226bc0a.rlib: /tmp/stubs/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-d40413fed226bc0a.rmeta: /tmp/stubs/serde_json/src/lib.rs
+
+/tmp/stubs/serde_json/src/lib.rs:

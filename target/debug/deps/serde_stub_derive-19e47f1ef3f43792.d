@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_stub_derive-19e47f1ef3f43792.d: /tmp/stubs/serde_stub_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_stub_derive-19e47f1ef3f43792.so: /tmp/stubs/serde_stub_derive/src/lib.rs
+
+/tmp/stubs/serde_stub_derive/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_export-2880781aa2d64e6c.d: tests/trace_export.rs
+
+/root/repo/target/debug/deps/trace_export-2880781aa2d64e6c: tests/trace_export.rs
+
+tests/trace_export.rs:

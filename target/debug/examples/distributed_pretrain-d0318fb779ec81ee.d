@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/distributed_pretrain-d0318fb779ec81ee.d: examples/distributed_pretrain.rs
+
+/root/repo/target/debug/examples/distributed_pretrain-d0318fb779ec81ee: examples/distributed_pretrain.rs
+
+examples/distributed_pretrain.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/forecast-90918f5899eb93f3.d: examples/forecast.rs
+
+/root/repo/target/debug/examples/forecast-90918f5899eb93f3: examples/forecast.rs
+
+examples/forecast.rs:

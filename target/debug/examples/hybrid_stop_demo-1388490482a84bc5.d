@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hybrid_stop_demo-1388490482a84bc5.d: examples/hybrid_stop_demo.rs
+
+/root/repo/target/debug/examples/hybrid_stop_demo-1388490482a84bc5: examples/hybrid_stop_demo.rs
+
+examples/hybrid_stop_demo.rs:

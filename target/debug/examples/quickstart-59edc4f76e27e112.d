@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-59edc4f76e27e112.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-59edc4f76e27e112: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/scaling_study-5156990360b437e7.d: examples/scaling_study.rs
+
+/root/repo/target/debug/examples/scaling_study-5156990360b437e7: examples/scaling_study.rs
+
+examples/scaling_study.rs:

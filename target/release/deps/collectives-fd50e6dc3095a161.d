@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/collectives-fd50e6dc3095a161.d: crates/bench/benches/collectives.rs
+
+/root/repo/target/release/deps/collectives-fd50e6dc3095a161: crates/bench/benches/collectives.rs
+
+crates/bench/benches/collectives.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/comm_bench-9b2373af0ee8c8fa.d: crates/bench/src/bin/comm_bench.rs
+
+/root/repo/target/release/deps/comm_bench-9b2373af0ee8c8fa: crates/bench/src/bin/comm_bench.rs
+
+crates/bench/src/bin/comm_bench.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/comm_bench-de86d5236ef0f6e6.d: crates/bench/src/bin/comm_bench.rs
+
+/root/repo/target/release/deps/comm_bench-de86d5236ef0f6e6: crates/bench/src/bin/comm_bench.rs
+
+crates/bench/src/bin/comm_bench.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/engines-056e8aa0c7ef7046.d: crates/bench/benches/engines.rs
+
+/root/repo/target/release/deps/engines-056e8aa0c7ef7046: crates/bench/benches/engines.rs
+
+crates/bench/benches/engines.rs:

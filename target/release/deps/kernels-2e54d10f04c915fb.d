@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/kernels-2e54d10f04c915fb.d: crates/bench/benches/kernels.rs
+
+/root/repo/target/release/deps/kernels-2e54d10f04c915fb: crates/bench/benches/kernels.rs
+
+crates/bench/benches/kernels.rs:

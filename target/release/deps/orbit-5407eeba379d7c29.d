@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/orbit-5407eeba379d7c29.d: src/lib.rs
+
+/root/repo/target/release/deps/liborbit-5407eeba379d7c29.rlib: src/lib.rs
+
+/root/repo/target/release/deps/liborbit-5407eeba379d7c29.rmeta: src/lib.rs
+
+src/lib.rs:

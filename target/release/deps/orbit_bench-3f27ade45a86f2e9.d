@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/orbit_bench-3f27ade45a86f2e9.d: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/common.rs crates/bench/src/experiments/fig10.rs crates/bench/src/experiments/fig5.rs crates/bench/src/experiments/fig6.rs crates/bench/src/experiments/fig7.rs crates/bench/src/experiments/fig8.rs crates/bench/src/experiments/fig9.rs crates/bench/src/experiments/qk_ablation.rs crates/bench/src/experiments/table1.rs crates/bench/src/report.rs
+
+/root/repo/target/release/deps/orbit_bench-3f27ade45a86f2e9: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/common.rs crates/bench/src/experiments/fig10.rs crates/bench/src/experiments/fig5.rs crates/bench/src/experiments/fig6.rs crates/bench/src/experiments/fig7.rs crates/bench/src/experiments/fig8.rs crates/bench/src/experiments/fig9.rs crates/bench/src/experiments/qk_ablation.rs crates/bench/src/experiments/table1.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments/mod.rs:
+crates/bench/src/experiments/common.rs:
+crates/bench/src/experiments/fig10.rs:
+crates/bench/src/experiments/fig5.rs:
+crates/bench/src/experiments/fig6.rs:
+crates/bench/src/experiments/fig7.rs:
+crates/bench/src/experiments/fig8.rs:
+crates/bench/src/experiments/fig9.rs:
+crates/bench/src/experiments/qk_ablation.rs:
+crates/bench/src/experiments/table1.rs:
+crates/bench/src/report.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/orbit_comm-e0b253a1e9cbd975.d: crates/comm/src/lib.rs crates/comm/src/clock.rs crates/comm/src/cluster.rs crates/comm/src/fault.rs crates/comm/src/group.rs crates/comm/src/memory.rs crates/comm/src/trace.rs
+
+/root/repo/target/release/deps/liborbit_comm-e0b253a1e9cbd975.rlib: crates/comm/src/lib.rs crates/comm/src/clock.rs crates/comm/src/cluster.rs crates/comm/src/fault.rs crates/comm/src/group.rs crates/comm/src/memory.rs crates/comm/src/trace.rs
+
+/root/repo/target/release/deps/liborbit_comm-e0b253a1e9cbd975.rmeta: crates/comm/src/lib.rs crates/comm/src/clock.rs crates/comm/src/cluster.rs crates/comm/src/fault.rs crates/comm/src/group.rs crates/comm/src/memory.rs crates/comm/src/trace.rs
+
+crates/comm/src/lib.rs:
+crates/comm/src/clock.rs:
+crates/comm/src/cluster.rs:
+crates/comm/src/fault.rs:
+crates/comm/src/group.rs:
+crates/comm/src/memory.rs:
+crates/comm/src/trace.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/orbit_core-e89c8a73c4f0c460.d: crates/core/src/lib.rs crates/core/src/engines/mod.rs crates/core/src/engines/ddp.rs crates/core/src/engines/fsdp.rs crates/core/src/engines/hybrid_stop.rs crates/core/src/engines/pipeline.rs crates/core/src/engines/single.rs crates/core/src/engines/tp.rs crates/core/src/engines/trainer.rs crates/core/src/resilient.rs crates/core/src/scaler.rs crates/core/src/sharding.rs crates/core/src/stats.rs crates/core/src/tp_block.rs
+
+/root/repo/target/release/deps/liborbit_core-e89c8a73c4f0c460.rlib: crates/core/src/lib.rs crates/core/src/engines/mod.rs crates/core/src/engines/ddp.rs crates/core/src/engines/fsdp.rs crates/core/src/engines/hybrid_stop.rs crates/core/src/engines/pipeline.rs crates/core/src/engines/single.rs crates/core/src/engines/tp.rs crates/core/src/engines/trainer.rs crates/core/src/resilient.rs crates/core/src/scaler.rs crates/core/src/sharding.rs crates/core/src/stats.rs crates/core/src/tp_block.rs
+
+/root/repo/target/release/deps/liborbit_core-e89c8a73c4f0c460.rmeta: crates/core/src/lib.rs crates/core/src/engines/mod.rs crates/core/src/engines/ddp.rs crates/core/src/engines/fsdp.rs crates/core/src/engines/hybrid_stop.rs crates/core/src/engines/pipeline.rs crates/core/src/engines/single.rs crates/core/src/engines/tp.rs crates/core/src/engines/trainer.rs crates/core/src/resilient.rs crates/core/src/scaler.rs crates/core/src/sharding.rs crates/core/src/stats.rs crates/core/src/tp_block.rs
+
+crates/core/src/lib.rs:
+crates/core/src/engines/mod.rs:
+crates/core/src/engines/ddp.rs:
+crates/core/src/engines/fsdp.rs:
+crates/core/src/engines/hybrid_stop.rs:
+crates/core/src/engines/pipeline.rs:
+crates/core/src/engines/single.rs:
+crates/core/src/engines/tp.rs:
+crates/core/src/engines/trainer.rs:
+crates/core/src/resilient.rs:
+crates/core/src/scaler.rs:
+crates/core/src/sharding.rs:
+crates/core/src/stats.rs:
+crates/core/src/tp_block.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/orbit_data-dd5307c2bcffc918.d: crates/data/src/lib.rs crates/data/src/catalog.rs crates/data/src/generator.rs crates/data/src/loader.rs crates/data/src/metrics.rs
+
+/root/repo/target/release/deps/liborbit_data-dd5307c2bcffc918.rlib: crates/data/src/lib.rs crates/data/src/catalog.rs crates/data/src/generator.rs crates/data/src/loader.rs crates/data/src/metrics.rs
+
+/root/repo/target/release/deps/liborbit_data-dd5307c2bcffc918.rmeta: crates/data/src/lib.rs crates/data/src/catalog.rs crates/data/src/generator.rs crates/data/src/loader.rs crates/data/src/metrics.rs
+
+crates/data/src/lib.rs:
+crates/data/src/catalog.rs:
+crates/data/src/generator.rs:
+crates/data/src/loader.rs:
+crates/data/src/metrics.rs:

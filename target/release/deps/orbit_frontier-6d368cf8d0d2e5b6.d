@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/orbit_frontier-6d368cf8d0d2e5b6.d: crates/frontier/src/lib.rs crates/frontier/src/dims.rs crates/frontier/src/machine.rs crates/frontier/src/mapping.rs crates/frontier/src/perfmodel.rs
+
+/root/repo/target/release/deps/liborbit_frontier-6d368cf8d0d2e5b6.rlib: crates/frontier/src/lib.rs crates/frontier/src/dims.rs crates/frontier/src/machine.rs crates/frontier/src/mapping.rs crates/frontier/src/perfmodel.rs
+
+/root/repo/target/release/deps/liborbit_frontier-6d368cf8d0d2e5b6.rmeta: crates/frontier/src/lib.rs crates/frontier/src/dims.rs crates/frontier/src/machine.rs crates/frontier/src/mapping.rs crates/frontier/src/perfmodel.rs
+
+crates/frontier/src/lib.rs:
+crates/frontier/src/dims.rs:
+crates/frontier/src/machine.rs:
+crates/frontier/src/mapping.rs:
+crates/frontier/src/perfmodel.rs:

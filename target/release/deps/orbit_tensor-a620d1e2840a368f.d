@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/orbit_tensor-a620d1e2840a368f.d: crates/tensor/src/lib.rs crates/tensor/src/bf16.rs crates/tensor/src/init.rs crates/tensor/src/kernels/mod.rs crates/tensor/src/kernels/activation.rs crates/tensor/src/kernels/attention.rs crates/tensor/src/kernels/embed.rs crates/tensor/src/kernels/linear.rs crates/tensor/src/kernels/norm.rs crates/tensor/src/kernels/optimizer.rs crates/tensor/src/matmul.rs crates/tensor/src/tensor.rs
+
+/root/repo/target/release/deps/liborbit_tensor-a620d1e2840a368f.rlib: crates/tensor/src/lib.rs crates/tensor/src/bf16.rs crates/tensor/src/init.rs crates/tensor/src/kernels/mod.rs crates/tensor/src/kernels/activation.rs crates/tensor/src/kernels/attention.rs crates/tensor/src/kernels/embed.rs crates/tensor/src/kernels/linear.rs crates/tensor/src/kernels/norm.rs crates/tensor/src/kernels/optimizer.rs crates/tensor/src/matmul.rs crates/tensor/src/tensor.rs
+
+/root/repo/target/release/deps/liborbit_tensor-a620d1e2840a368f.rmeta: crates/tensor/src/lib.rs crates/tensor/src/bf16.rs crates/tensor/src/init.rs crates/tensor/src/kernels/mod.rs crates/tensor/src/kernels/activation.rs crates/tensor/src/kernels/attention.rs crates/tensor/src/kernels/embed.rs crates/tensor/src/kernels/linear.rs crates/tensor/src/kernels/norm.rs crates/tensor/src/kernels/optimizer.rs crates/tensor/src/matmul.rs crates/tensor/src/tensor.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/bf16.rs:
+crates/tensor/src/init.rs:
+crates/tensor/src/kernels/mod.rs:
+crates/tensor/src/kernels/activation.rs:
+crates/tensor/src/kernels/attention.rs:
+crates/tensor/src/kernels/embed.rs:
+crates/tensor/src/kernels/linear.rs:
+crates/tensor/src/kernels/norm.rs:
+crates/tensor/src/kernels/optimizer.rs:
+crates/tensor/src/matmul.rs:
+crates/tensor/src/tensor.rs:

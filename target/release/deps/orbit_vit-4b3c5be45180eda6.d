@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/orbit_vit-4b3c5be45180eda6.d: crates/vit/src/lib.rs crates/vit/src/baselines.rs crates/vit/src/block.rs crates/vit/src/checkpoint.rs crates/vit/src/config.rs crates/vit/src/loss.rs crates/vit/src/model.rs crates/vit/src/tokenizer.rs
+
+/root/repo/target/release/deps/liborbit_vit-4b3c5be45180eda6.rlib: crates/vit/src/lib.rs crates/vit/src/baselines.rs crates/vit/src/block.rs crates/vit/src/checkpoint.rs crates/vit/src/config.rs crates/vit/src/loss.rs crates/vit/src/model.rs crates/vit/src/tokenizer.rs
+
+/root/repo/target/release/deps/liborbit_vit-4b3c5be45180eda6.rmeta: crates/vit/src/lib.rs crates/vit/src/baselines.rs crates/vit/src/block.rs crates/vit/src/checkpoint.rs crates/vit/src/config.rs crates/vit/src/loss.rs crates/vit/src/model.rs crates/vit/src/tokenizer.rs
+
+crates/vit/src/lib.rs:
+crates/vit/src/baselines.rs:
+crates/vit/src/block.rs:
+crates/vit/src/checkpoint.rs:
+crates/vit/src/config.rs:
+crates/vit/src/loss.rs:
+crates/vit/src/model.rs:
+crates/vit/src/tokenizer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-18564ac22ad08995.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-18564ac22ad08995: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-1de03e232f4eb7ca.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-1de03e232f4eb7ca: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

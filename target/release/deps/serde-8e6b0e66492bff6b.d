@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-8e6b0e66492bff6b.d: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-8e6b0e66492bff6b.rlib: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-8e6b0e66492bff6b.rmeta: /tmp/stubs/serde/src/lib.rs
+
+/tmp/stubs/serde/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-c54badb9c6f74a42.d: /tmp/stubs/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-c54badb9c6f74a42.rlib: /tmp/stubs/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-c54badb9c6f74a42.rmeta: /tmp/stubs/serde_json/src/lib.rs
+
+/tmp/stubs/serde_json/src/lib.rs:

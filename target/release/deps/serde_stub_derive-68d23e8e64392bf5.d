@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_stub_derive-68d23e8e64392bf5.d: /tmp/stubs/serde_stub_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_stub_derive-68d23e8e64392bf5.so: /tmp/stubs/serde_stub_derive/src/lib.rs
+
+/tmp/stubs/serde_stub_derive/src/lib.rs:
