@@ -11,11 +11,12 @@ use crate::clock::SimClock;
 use crate::fault::{FailureCause, FaultKind, FaultPlan, FaultPlanState, RankOutcome, SimError};
 use crate::group::{Engine, ProcessGroup, DEFAULT_OP_TIMEOUT};
 use crate::memory::Device;
+use crate::verify::{verify_schedule, ScheduleLog, SchedulePerturb, ScheduleRecord, VerifyReport};
 use crate::CommError;
 use orbit_frontier::machine::FrontierMachine;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// Handle to the simulated cluster, used to launch SPMD programs.
@@ -33,6 +34,16 @@ pub struct Cluster {
     /// so the deadlock backstop is necessarily wall-clock: it bounds how
     /// long a *real* thread waits, independent of the modeled timeline.
     op_timeout: Duration,
+    /// Record every collective/p2p issue into a [`ScheduleLog`] and verify
+    /// it post-hoc ([`crate::verify`]). On by default when debug
+    /// assertions are on — the "race detector always armed in tests" mode.
+    verify: bool,
+    /// Seed for randomized schedule exploration (injected yields/sleeps on
+    /// rendezvous arrival paths); `None` runs unperturbed.
+    perturb_seed: Option<u64>,
+    /// Schedule snapshot of the most recent launch (when `verify` was on),
+    /// for [`Cluster::last_verify_report`].
+    last_schedule: Mutex<Option<Vec<ScheduleRecord>>>,
 }
 
 impl Cluster {
@@ -43,6 +54,9 @@ impl Cluster {
             device_capacity: None,
             fault_plan: None,
             op_timeout: DEFAULT_OP_TIMEOUT,
+            verify: cfg!(debug_assertions),
+            perturb_seed: None,
+            last_schedule: Mutex::new(None),
         }
     }
 
@@ -73,6 +87,27 @@ impl Cluster {
         self
     }
 
+    /// Enable or disable collective-schedule verification (default: on
+    /// when debug assertions are on). When enabled, every launch records
+    /// its per-rank issue streams; [`Cluster::run`] additionally panics on
+    /// findings (no fault plan installed), and
+    /// [`Cluster::last_verify_report`] exposes the report after any launch.
+    pub fn with_schedule_verification(mut self, on: bool) -> Self {
+        self.verify = on;
+        self
+    }
+
+    /// Explore a different thread interleaving: seed deterministic random
+    /// yields and sub-millisecond sleeps into every rank's rendezvous
+    /// arrival paths. Different seeds permute which member arrives last at
+    /// each collective (and thus which thread runs each reduction); since
+    /// reductions sum in group-rank order, results must stay bit-identical
+    /// across seeds — the exploration harness asserts exactly that.
+    pub fn with_schedule_perturbation(mut self, seed: u64) -> Self {
+        self.perturb_seed = Some(seed);
+        self
+    }
+
     /// Run an SPMD function on `world` ranks; returns each rank's result in
     /// rank order. The closure receives a [`RankCtx`] with the rank id, a
     /// memory-tracked device, a simulated clock, and a group factory.
@@ -86,13 +121,58 @@ impl Cluster {
         F: Fn(&mut RankCtx) -> R + Sync,
     {
         let outcomes = self.try_run(world, |ctx| Ok(f(ctx)));
-        outcomes
+        let results = outcomes
             .into_iter()
             .map(|o| match o {
                 RankOutcome::Ok(r) => r,
                 RankOutcome::Failed(cause) => panic!("rank thread panicked: {cause}"),
             })
-            .collect()
+            .collect();
+        // With verification on and no fault plan, a finding is a program
+        // bug: surface it here instead of letting it hide behind a
+        // plausible-looking result. (Fault-truncated schedules are the
+        // checker's declared follow-on work — see ROADMAP — so faulty
+        // launches only verify on request via `last_verify_report`.)
+        if self.fault_plan.is_none() {
+            if let Some(report) = self.last_verify_report() {
+                assert!(report.is_clean(), "schedule verification failed:\n{report}");
+            }
+        }
+        results
+    }
+
+    /// [`Cluster::run`] with schedule verification forced on (even in
+    /// release builds): returns each rank's result plus the post-hoc
+    /// [`VerifyReport`]. A clean report certifies that every rank issued a
+    /// consistent, live, fully-consumed collective program. Panics if a
+    /// rank fails outright; findings are returned, not panicked on, so
+    /// known-bad schedules can be inspected.
+    pub fn verify_run<R, F>(&self, world: usize, f: F) -> (Vec<R>, VerifyReport)
+    where
+        R: Send,
+        F: Fn(&mut RankCtx) -> R + Sync,
+    {
+        let outcomes = self.launch(world, |ctx| Ok(f(ctx)), true);
+        let results = outcomes
+            .into_iter()
+            .map(|o| match o {
+                RankOutcome::Ok(r) => r,
+                RankOutcome::Failed(cause) => panic!("rank thread panicked: {cause}"),
+            })
+            .collect();
+        let report = self
+            .last_verify_report()
+            .expect("verification was forced on for this launch");
+        (results, report)
+    }
+
+    /// Verify the most recent launch's collective schedule, if it was
+    /// recorded (`verify` on, or a [`Cluster::verify_run`] launch). Useful
+    /// after a failed [`Cluster::try_run`] to diagnose *why* ranks timed
+    /// out or panicked.
+    pub fn last_verify_report(&self) -> Option<VerifyReport> {
+        let snapshot = self.last_schedule.lock().unwrap_or_else(|e| e.into_inner());
+        snapshot.as_ref().map(|records| verify_schedule(records))
     }
 
     /// Run a fault-tolerant SPMD function on `world` ranks. Each rank
@@ -107,10 +187,19 @@ impl Cluster {
         R: Send,
         F: Fn(&mut RankCtx) -> Result<R, SimError> + Sync,
     {
+        self.launch(world, f, self.verify)
+    }
+
+    fn launch<R, F>(&self, world: usize, f: F, verify: bool) -> Vec<RankOutcome<R>>
+    where
+        R: Send,
+        F: Fn(&mut RankCtx) -> Result<R, SimError> + Sync,
+    {
         assert!(world > 0, "world must be positive");
         // Fresh rendezvous state per launch (failures do not carry over to
         // a restart), but the fault plan's fired-event latches persist.
-        let engine = Arc::new(Engine::new());
+        let log = verify.then(|| Arc::new(ScheduleLog::new()));
+        let engine = Arc::new(Engine::new_with_log(log.clone()));
         let machine = Arc::new(self.machine.clone());
         let capacity = self.device_capacity.unwrap_or(self.machine.mem_per_gpu);
         let mut out: Vec<Option<RankOutcome<R>>> = (0..world).map(|_| None).collect();
@@ -122,6 +211,9 @@ impl Cluster {
                     let fault = self.fault_plan.as_ref().map(Arc::clone);
                     let op_timeout = self.op_timeout;
                     let f = &f;
+                    let perturb = self
+                        .perturb_seed
+                        .map(|seed| Arc::new(SchedulePerturb::new(seed, rank)));
                     s.spawn(move || {
                         let mut ctx = RankCtx {
                             rank,
@@ -133,6 +225,7 @@ impl Cluster {
                             fault,
                             op_timeout,
                             link_factor: Arc::new(AtomicU64::new(1.0f64.to_bits())),
+                            perturb,
                         };
                         let result = catch_unwind(AssertUnwindSafe(|| f(&mut ctx)));
                         match result {
@@ -163,6 +256,7 @@ impl Cluster {
                 out[i] = Some(h.join().expect("rank harness thread died"));
             }
         });
+        *self.last_schedule.lock().unwrap_or_else(|e| e.into_inner()) = log.map(|l| l.snapshot());
         out.into_iter().map(|o| o.unwrap()).collect()
     }
 }
@@ -196,6 +290,9 @@ pub struct RankCtx {
     /// every [`ProcessGroup`] the rank creates so a fault injected mid-run
     /// affects communicators built earlier.
     link_factor: Arc<AtomicU64>,
+    /// This rank's seeded schedule-perturbation stream, when the launch
+    /// explores thread interleavings.
+    perturb: Option<Arc<SchedulePerturb>>,
 }
 
 impl RankCtx {
@@ -207,6 +304,9 @@ impl RankCtx {
         let mut g = ProcessGroup::new(&self.engine, &self.machine, ranks, self.rank);
         g.set_timeout(self.op_timeout);
         g.set_link_factor(Arc::clone(&self.link_factor));
+        if let Some(p) = &self.perturb {
+            g.set_perturb(Arc::clone(p));
+        }
         g
     }
 

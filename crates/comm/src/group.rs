@@ -56,6 +56,7 @@
 use crate::clock::SimClock;
 use crate::fault::CommError;
 use crate::trace::{CommEvent, CommOp};
+use crate::verify::{OpStatus, ScheduleLog, SchedulePerturb, ScheduleRecord};
 use orbit_frontier::machine::{FrontierMachine, LinkKind};
 use orbit_tensor::{bf16_to_f32, f32_to_bf16};
 use rayon::prelude::*;
@@ -330,6 +331,10 @@ struct GroupShared {
     p2p_cv: Condvar,
     /// Engine-wide failed set (shared by every group of the engine).
     failed: Arc<FailedSet>,
+    /// Engine-wide schedule log, present when verification is enabled
+    /// (see [`crate::verify`]). Ops are recorded at issue time so ops
+    /// that never complete remain observable.
+    log: Option<Arc<ScheduleLog>>,
 }
 
 /// Dead group member to blame, if any: the lowest-ranked *root-cause*
@@ -355,13 +360,22 @@ fn failed_peer(shared: &GroupShared, my_rank: usize) -> Option<usize> {
 pub(crate) struct Engine {
     groups: Mutex<HashMap<Vec<usize>, Arc<GroupShared>>>,
     failed: Arc<FailedSet>,
+    /// Schedule log shared by every group of this engine, when the launch
+    /// runs with verification enabled.
+    log: Option<Arc<ScheduleLog>>,
 }
 
 impl Engine {
+    #[cfg(test)]
     pub(crate) fn new() -> Self {
+        Engine::new_with_log(None)
+    }
+
+    pub(crate) fn new_with_log(log: Option<Arc<ScheduleLog>>) -> Self {
         Engine {
             groups: Mutex::new(HashMap::new()),
             failed: Arc::new(Mutex::new(HashMap::new())),
+            log,
         }
     }
 
@@ -375,6 +389,7 @@ impl Engine {
                 mailboxes: Mutex::new(HashMap::new()),
                 p2p_cv: Condvar::new(),
                 failed: Arc::clone(&self.failed),
+                log: self.log.clone(),
             })
         }))
     }
@@ -468,12 +483,19 @@ pub struct PendingCollective {
     ready: Option<Arc<[f32]>>,
     /// Set once this rank's pickup bookkeeping has run (wait completed).
     picked_up: bool,
+    /// Index of this op's issue record in the schedule log, when
+    /// verification is enabled.
+    log_idx: Option<usize>,
+    /// Set once `wait()` was called (even if it returned an error): a
+    /// waited handle is never a *leak*, whatever its outcome.
+    waited: bool,
 }
 
 impl PendingCollective {
     /// Block until the collective completes, pick up this rank's view of
     /// the result, and charge the op's modeled time to `clock`.
     pub fn wait(mut self, clock: &mut SimClock) -> Result<CommBuf, CommError> {
+        self.waited = true;
         let (result, t_end) = self.collect()?;
         // Broadcast's recorded size is the payload actually moved, which
         // non-root members only learn from the result.
@@ -517,6 +539,7 @@ impl PendingCollective {
     fn collect(&mut self) -> Result<(Arc<[f32]>, f64), CommError> {
         if let Some(result) = self.ready.take() {
             self.picked_up = true;
+            self.mark(OpStatus::Completed);
             return Ok((result, self.t_issue));
         }
         let mut slots = lock(&self.shared.slots);
@@ -559,7 +582,15 @@ impl PendingCollective {
             slots.remove(&self.seq);
         }
         self.picked_up = true;
+        self.mark(OpStatus::Completed);
         Ok((result, t_end))
+    }
+
+    /// Update this op's schedule-log record, when verification is enabled.
+    fn mark(&self, status: OpStatus) {
+        if let (Some(log), Some(idx)) = (&self.shared.log, self.log_idx) {
+            log.set_status(idx, status);
+        }
     }
 
     /// This rank's view of the shared result.
@@ -576,10 +607,19 @@ impl PendingCollective {
 
 impl Drop for PendingCollective {
     fn drop(&mut self) {
-        // Best-effort pickup bookkeeping for abandoned handles (a handle
-        // dropped after an error, or never waited): count this rank as
-        // picked so the slot can still be reclaimed once done. Never
-        // blocks. A slot whose op never completes leaks only on the
+        // Dropping a handle whose `wait()` was never called abandons the
+        // result: in verify mode, record the leak instead of silently
+        // detaching (the liveness checker reports it as a LeakedHandle
+        // finding). A handle dropped *after* a failed wait is not a leak —
+        // the program did consume the op, it just got an error.
+        if !self.waited {
+            self.mark(OpStatus::Leaked);
+        }
+        // Best-effort pickup bookkeeping for abandoned handles: count this
+        // rank as picked so the slot can still be reclaimed once done,
+        // without ever blocking or disturbing surviving members — their
+        // contributions, the shared result, and the rendezvous condvar are
+        // untouched. A slot whose op never completes leaks only on the
         // failure path, where the launch is tearing down anyway.
         if self.picked_up || self.ready.is_some() {
             return;
@@ -622,6 +662,9 @@ pub struct ProcessGroup {
     /// Shared with the owning [`crate::RankCtx`] so a fault injected
     /// mid-run affects groups created earlier.
     link_factor: Arc<AtomicU64>,
+    /// Seeded schedule perturbation (injected yields/sleeps on rendezvous
+    /// arrival paths), when the launch explores thread interleavings.
+    perturb: Option<Arc<SchedulePerturb>>,
 }
 
 impl ProcessGroup {
@@ -674,6 +717,7 @@ impl ProcessGroup {
             wire_bytes: 4.0,
             timeout: DEFAULT_OP_TIMEOUT,
             link_factor: healthy_link_factor(),
+            perturb: None,
         }
     }
 
@@ -685,6 +729,46 @@ impl ProcessGroup {
     /// Share this rank's link-degradation handle (set by fault injection).
     pub(crate) fn set_link_factor(&mut self, factor: Arc<AtomicU64>) {
         self.link_factor = factor;
+    }
+
+    /// Install this rank's schedule-perturbation stream (see
+    /// [`crate::Cluster::with_schedule_perturbation`]).
+    pub(crate) fn set_perturb(&mut self, perturb: Arc<SchedulePerturb>) {
+        self.perturb = Some(perturb);
+    }
+
+    fn jitter(&self) {
+        if let Some(p) = &self.perturb {
+            p.jitter();
+        }
+    }
+
+    /// Append an issue record to the engine's schedule log, when
+    /// verification is enabled.
+    #[allow(clippy::too_many_arguments)]
+    fn record_issue(
+        &self,
+        op: CommOp,
+        root: Option<usize>,
+        peer: Option<(usize, usize)>,
+        elements: usize,
+        wire_bytes: f64,
+        t_issue: f64,
+        status: OpStatus,
+    ) -> Option<usize> {
+        self.shared.log.as_ref().map(|log| {
+            log.record_issue(ScheduleRecord {
+                rank: self.my_rank,
+                ranks: self.shared.ranks.clone(),
+                op,
+                root,
+                peer,
+                elements,
+                wire_bytes,
+                t_issue,
+                status,
+            })
+        })
     }
 
     /// Set the on-wire bytes per element (2.0 under BF16 mixed precision).
@@ -752,6 +836,10 @@ impl ProcessGroup {
     ) -> Result<PendingCollective, CommError> {
         let p = self.size();
         let payload = Payload::pack(data, self.pack_wire(data.len()));
+        let root = match kind {
+            OpKind::Broadcast { root } => Some(root),
+            _ => None,
+        };
         let mut handle = PendingCollective {
             shared: Arc::clone(&self.shared),
             seq: self.seq,
@@ -769,8 +857,19 @@ impl ProcessGroup {
             t_issue: clock_now,
             ready: None,
             picked_up: false,
+            log_idx: None,
+            waited: false,
         };
         if p == 1 {
+            handle.log_idx = self.record_issue(
+                kind.op(),
+                root,
+                None,
+                elements,
+                wire_total,
+                clock_now,
+                OpStatus::Issued,
+            );
             handle.ready = Some(finish(kind, vec![Some(payload)]));
             self.seq += 1;
             return Ok(handle);
@@ -779,6 +878,21 @@ impl ProcessGroup {
         if let Some(rank) = self.failed_peer() {
             return Err(CommError::PeerFailure { rank });
         }
+        // Record the issue *before* touching the rendezvous, so a schedule
+        // that panics or hangs inside the slot (e.g. a cross-rank op-kind
+        // mismatch) still leaves the divergent record for the post-hoc
+        // report. Perturbation jitters here, ahead of the deposit, to
+        // shake up which member arrives last.
+        handle.log_idx = self.record_issue(
+            kind.op(),
+            root,
+            None,
+            elements,
+            wire_total,
+            clock_now,
+            OpStatus::Issued,
+        );
+        self.jitter();
         let seq = self.seq;
         self.seq += 1;
         let mut slots = lock(&self.shared.slots);
@@ -979,6 +1093,17 @@ impl ProcessGroup {
         let t = (self.latency + data.len() as f64 * self.wire_bytes / self.bandwidth)
             * self.link_degradation();
         let t_start = clock.now();
+        // A send completes at issue (the mailbox deposit never blocks).
+        self.record_issue(
+            CommOp::Send,
+            None,
+            Some((self.my_idx, dst)),
+            data.len(),
+            data.len() as f64 * self.wire_bytes,
+            t_start,
+            OpStatus::Completed,
+        );
+        self.jitter();
         clock.charge_comm(t);
         clock.record_comm(CommEvent {
             op: CommOp::Send,
@@ -1004,6 +1129,19 @@ impl ProcessGroup {
         let src_rank = self.shared.ranks[src];
         let key = (src, self.my_idx);
         let seq = *self.p2p_seq.entry(key).and_modify(|s| *s += 1).or_insert(0);
+        // Issued now, marked completed on delivery: a receive blocked on a
+        // sender that never sends stays `Issued` and feeds the wait-for
+        // graph (an edge from this rank to the sender).
+        let log_idx = self.record_issue(
+            CommOp::Recv,
+            None,
+            Some((src, self.my_idx)),
+            0,
+            0.0,
+            clock.now(),
+            OpStatus::Issued,
+        );
+        self.jitter();
         let deadline = Instant::now() + self.timeout;
         let mut boxes = lock(&self.shared.mailboxes);
         loop {
@@ -1011,6 +1149,9 @@ impl ProcessGroup {
                 let t_start = clock.now();
                 clock.sync_to(t_avail);
                 drop(boxes);
+                if let (Some(log), Some(idx)) = (&self.shared.log, log_idx) {
+                    log.set_status(idx, OpStatus::Completed);
+                }
                 clock.record_comm(CommEvent {
                     op: CommOp::Recv,
                     ranks: self.shared.ranks.clone(),

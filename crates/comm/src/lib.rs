@@ -20,7 +20,10 @@
 //! Entry point: [`cluster::Cluster::run`] spawns the world and hands each
 //! rank a [`cluster::RankCtx`]. Fault-tolerant programs use
 //! [`cluster::Cluster::try_run`] with a [`fault::FaultPlan`] — see the
-//! [`fault`] module for the failure model.
+//! [`fault`] module for the failure model. The [`verify`] module layers a
+//! collective-schedule verifier on top (cross-rank consistency, leak and
+//! deadlock detection, seeded schedule exploration); see
+//! [`cluster::Cluster::verify_run`].
 
 pub mod clock;
 pub mod cluster;
@@ -28,6 +31,7 @@ pub mod fault;
 pub mod group;
 pub mod memory;
 pub mod trace;
+pub mod verify;
 
 pub use clock::SimClock;
 pub use cluster::{Cluster, RankCtx};
@@ -35,3 +39,6 @@ pub use fault::{CommError, FailureCause, FaultEvent, FaultKind, FaultPlan, RankO
 pub use group::{CommBuf, PendingCollective, ProcessGroup};
 pub use memory::{Allocation, Device, OomError};
 pub use trace::{chrome_trace, CommEvent, CommOp, TraceEvent};
+pub use verify::{
+    verify_schedule, Finding, OpStatus, ScheduleLog, SchedulePerturb, ScheduleRecord, VerifyReport,
+};

@@ -37,6 +37,22 @@ impl CommOp {
             CommOp::Barrier => "barrier",
         }
     }
+
+    /// Inverse of [`CommOp::name`], for parsing exported traces back into
+    /// ops (the `orbit-verify` CLI). Returns `None` for non-collective
+    /// event names ("compute", fault labels).
+    pub fn from_name(name: &str) -> Option<CommOp> {
+        Some(match name {
+            "all_gather" => CommOp::AllGather,
+            "reduce_scatter" => CommOp::ReduceScatter,
+            "all_reduce" => CommOp::AllReduce,
+            "broadcast" => CommOp::Broadcast,
+            "send" => CommOp::Send,
+            "recv" => CommOp::Recv,
+            "barrier" => CommOp::Barrier,
+            _ => return None,
+        })
+    }
 }
 
 /// One collective as observed by one rank.

@@ -1,0 +1,1166 @@
+//! Collective-schedule verification: cross-rank consistency checking,
+//! deadlock/leak detection, and randomized schedule exploration.
+//!
+//! Hybrid-STOP's correctness rests on every rank issuing the *same
+//! sequence* of collectives on the *same groups* with *consistent shard
+//! geometry* (paper Eqns. (1)–(3)). On a real NCCL stack the bug class
+//! that violates this — a skipped collective, a reordered `wait()`, a
+//! mismatched mixed-precision config — surfaces as a silent hang. This
+//! module turns the simulator's passive per-rank event record into an
+//! active analysis layer, in the spirit of PyTorch's Flight Recorder:
+//!
+//! - **Issue log**: when verification is enabled (the default whenever
+//!   debug assertions are on, see [`crate::Cluster`]), every
+//!   [`crate::ProcessGroup`] op appends a [`ScheduleRecord`] to an
+//!   engine-wide [`ScheduleLog`] *at issue time* — so ops that never
+//!   complete (the interesting ones) are still observable — and marks it
+//!   completed at pickup or leaked when a
+//!   [`crate::PendingCollective`] is dropped un-waited.
+//! - **Checker**: [`verify_schedule`] replays the per-rank streams and
+//!   reports [`Finding`]s: mismatched collective kinds/orders within a
+//!   group, payload-size and wire-byte disagreements, shard-coverage
+//!   gaps, group-membership violations, leaked handles, lost wakeups,
+//!   would-deadlock cycles, and unmatched point-to-point traffic. Each
+//!   finding names the first divergent rank and the call site (group +
+//!   per-group call position + issue time).
+//! - **Exploration**: [`SchedulePerturb`] injects seeded random yields
+//!   and sub-millisecond sleeps into the rendezvous arrival paths, so a
+//!   test can rerun the same program under many thread interleavings
+//!   ([`crate::Cluster::with_schedule_perturbation`]) and assert
+//!   bit-identical results plus a clean report on every one.
+//!
+//! Entry points: [`crate::Cluster::verify_run`] (post-hoc API returning
+//! the report), [`crate::Cluster::last_verify_report`] (inspect a failed
+//! `try_run`), and the `orbit-verify` CLI (checks an exported Chrome
+//! trace).
+
+use crate::trace::CommOp;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Lifecycle state of one issued op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpStatus {
+    /// Issued (posted to the rendezvous) but never observed completing —
+    /// the rank is blocked in `wait()`, timed out, or exited early.
+    Issued,
+    /// The issuing rank picked up the result (or the send was delivered).
+    Completed,
+    /// A [`crate::PendingCollective`] handle was dropped without
+    /// `wait()` — the result was abandoned.
+    Leaked,
+}
+
+/// One op as observed by one rank, recorded at issue time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleRecord {
+    /// Global rank that issued the op.
+    pub rank: usize,
+    /// Global ranks of the communicator, in group order.
+    pub ranks: Vec<usize>,
+    /// The operation.
+    pub op: CommOp,
+    /// Broadcast root (group-local index), when known.
+    pub root: Option<usize>,
+    /// Point-to-point endpoints as group-local `(src, dst)`, when known.
+    pub peer: Option<(usize, usize)>,
+    /// Payload elements contributed by this rank.
+    pub elements: usize,
+    /// Modeled bytes this rank moves on the wire.
+    pub wire_bytes: f64,
+    /// Simulated time at issue, seconds.
+    pub t_issue: f64,
+    /// Lifecycle state at snapshot time.
+    pub status: OpStatus,
+}
+
+impl ScheduleRecord {
+    /// A completed collective record (the common case when replaying an
+    /// exported trace, where only completed ops are visible).
+    pub fn completed(rank: usize, ranks: Vec<usize>, op: CommOp, elements: usize) -> Self {
+        ScheduleRecord {
+            rank,
+            ranks,
+            op,
+            root: None,
+            peer: None,
+            elements,
+            wire_bytes: 0.0,
+            t_issue: 0.0,
+            status: OpStatus::Completed,
+        }
+    }
+
+    /// Set the modeled wire bytes.
+    pub fn with_wire_bytes(mut self, wire_bytes: f64) -> Self {
+        self.wire_bytes = wire_bytes;
+        self
+    }
+
+    /// Set the lifecycle status.
+    pub fn with_status(mut self, status: OpStatus) -> Self {
+        self.status = status;
+        self
+    }
+
+    /// Set the p2p endpoints (group-local `(src, dst)`).
+    pub fn with_peer(mut self, src: usize, dst: usize) -> Self {
+        self.peer = Some((src, dst));
+        self
+    }
+}
+
+/// Engine-wide, append-only log of issued ops. One per cluster launch
+/// when verification is enabled; shared by every [`crate::ProcessGroup`]
+/// of the launch.
+#[derive(Debug, Default)]
+pub struct ScheduleLog {
+    records: Mutex<Vec<ScheduleRecord>>,
+}
+
+impl ScheduleLog {
+    pub fn new() -> Self {
+        ScheduleLog::default()
+    }
+
+    /// Append an issue record; returns its index for later status updates.
+    pub fn record_issue(&self, record: ScheduleRecord) -> usize {
+        let mut records = lock(&self.records);
+        records.push(record);
+        records.len() - 1
+    }
+
+    /// Update the lifecycle status of a previously issued op.
+    pub fn set_status(&self, idx: usize, status: OpStatus) {
+        let mut records = lock(&self.records);
+        if let Some(r) = records.get_mut(idx) {
+            // A leak can race a late completion only through API misuse;
+            // completion wins (the result was observed).
+            if r.status != OpStatus::Completed {
+                r.status = status;
+            }
+        }
+    }
+
+    /// Snapshot the records in issue order (per-rank order is preserved:
+    /// each rank appends its own ops sequentially).
+    pub fn snapshot(&self) -> Vec<ScheduleRecord> {
+        lock(&self.records).clone()
+    }
+}
+
+/// One verified defect in a collective schedule. `Display` renders the
+/// root-cause diagnosis, naming the first divergent rank and call site.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Finding {
+    /// Two ranks issued different collective kinds (or broadcast roots)
+    /// at the same position of the same group — the classic silent-hang
+    /// bug on real NCCL.
+    OpKindMismatch {
+        group: Vec<usize>,
+        pos: usize,
+        rank: usize,
+        op: CommOp,
+        expect_rank: usize,
+        expect_op: CommOp,
+        t_issue: f64,
+    },
+    /// Members disagree on the payload length of a reduction
+    /// (all-reduce / reduce-scatter sums would misalign element-wise).
+    PayloadMismatch {
+        group: Vec<usize>,
+        pos: usize,
+        op: CommOp,
+        rank: usize,
+        elements: usize,
+        expect_rank: usize,
+        expect_elements: usize,
+    },
+    /// Members disagree on modeled wire bytes for the same op — almost
+    /// always a mixed-precision config divergence (one rank packs bf16,
+    /// another sends f32).
+    WireMismatch {
+        group: Vec<usize>,
+        pos: usize,
+        op: CommOp,
+        rank: usize,
+        wire_bytes: f64,
+        expect_rank: usize,
+        expect_wire_bytes: f64,
+    },
+    /// The gathered/scattered layout cannot tile the flat model
+    /// partition: unequal all-gather contributions, or a reduce-scatter
+    /// length not divisible by the group size.
+    ShardCoverageGap {
+        group: Vec<usize>,
+        pos: usize,
+        op: CommOp,
+        detail: String,
+    },
+    /// Members disagree on the rank ordering of the communicator
+    /// (rank-ordered reductions would sum in different orders).
+    GroupOrderMismatch {
+        rank: usize,
+        ranks: Vec<usize>,
+        expect_rank: usize,
+        expect_ranks: Vec<usize>,
+    },
+    /// A rank recorded an op on a group it is not a member of.
+    ForeignRank { rank: usize, group: Vec<usize> },
+    /// A rank stopped issuing ops on a group while its peers continued —
+    /// it stalled, exited early, or diverged onto another schedule.
+    MissingOp {
+        group: Vec<usize>,
+        pos: usize,
+        rank: usize,
+        issued: usize,
+        expect_rank: usize,
+        expect_op: CommOp,
+    },
+    /// A `PendingCollective` was started and dropped without `wait()`.
+    LeakedHandle {
+        group: Vec<usize>,
+        pos: usize,
+        op: CommOp,
+        rank: usize,
+    },
+    /// Every member posted (the result exists) but this rank never
+    /// picked it up — its `wait()` errored or its wakeup was lost.
+    LostWakeup {
+        group: Vec<usize>,
+        pos: usize,
+        op: CommOp,
+        rank: usize,
+    },
+    /// Ranks blocked in collectives that transitively wait on each
+    /// other: had every handle been waited, this interleaving deadlocks.
+    DeadlockCycle { cycle: Vec<usize>, detail: String },
+    /// Sends and completed receives on a directed point-to-point stream
+    /// do not pair up.
+    P2pImbalance { group: Vec<usize>, detail: String },
+}
+
+fn ranks_str(ranks: &[usize]) -> String {
+    let inner = ranks
+        .iter()
+        .map(|r| r.to_string())
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!("[{inner}]")
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Finding::OpKindMismatch {
+                group,
+                pos,
+                rank,
+                op,
+                expect_rank,
+                expect_op,
+                t_issue,
+            } => write!(
+                f,
+                "cross-rank schedule divergence on group {}: at call #{pos}, \
+                 rank {rank} issued {} (t={t_issue:.3e}s) but rank {expect_rank} \
+                 issued {} — rank {rank} is the first divergent rank",
+                ranks_str(group),
+                op.name(),
+                expect_op.name(),
+            ),
+            Finding::PayloadMismatch {
+                group,
+                pos,
+                op,
+                rank,
+                elements,
+                expect_rank,
+                expect_elements,
+            } => write!(
+                f,
+                "payload-size disagreement on group {} at call #{pos} ({}): \
+                 rank {rank} contributed {elements} elements, rank {expect_rank} \
+                 contributed {expect_elements}",
+                ranks_str(group),
+                op.name(),
+            ),
+            Finding::WireMismatch {
+                group,
+                pos,
+                op,
+                rank,
+                wire_bytes,
+                expect_rank,
+                expect_wire_bytes,
+            } => write!(
+                f,
+                "wire-byte disagreement on group {} at call #{pos} ({}): \
+                 rank {rank} moves {wire_bytes} bytes, rank {expect_rank} moves \
+                 {expect_wire_bytes} — mixed-precision configs diverge",
+                ranks_str(group),
+                op.name(),
+            ),
+            Finding::ShardCoverageGap {
+                group,
+                pos,
+                op,
+                detail,
+            } => write!(
+                f,
+                "shard-coverage gap on group {} at call #{pos} ({}): {detail}",
+                ranks_str(group),
+                op.name(),
+            ),
+            Finding::GroupOrderMismatch {
+                rank,
+                ranks,
+                expect_rank,
+                expect_ranks,
+            } => write!(
+                f,
+                "group-membership violation: rank {rank} ordered the \
+                 communicator {} but rank {expect_rank} ordered it {} — \
+                 rank-ordered reductions would disagree",
+                ranks_str(ranks),
+                ranks_str(expect_ranks),
+            ),
+            Finding::ForeignRank { rank, group } => write!(
+                f,
+                "group-membership violation: rank {rank} issued an op on \
+                 group {} which does not include it",
+                ranks_str(group),
+            ),
+            Finding::MissingOp {
+                group,
+                pos,
+                rank,
+                issued,
+                expect_rank,
+                expect_op,
+            } => write!(
+                f,
+                "rank {rank} issued only {issued} op(s) on group {}: call #{pos} \
+                 ({} by rank {expect_rank}) has no counterpart — rank {rank} \
+                 stalled, exited early, or diverged",
+                ranks_str(group),
+                expect_op.name(),
+            ),
+            Finding::LeakedHandle {
+                group,
+                pos,
+                op,
+                rank,
+            } => write!(
+                f,
+                "leaked PendingCollective: rank {rank} started {} (call #{pos} \
+                 on group {}) and dropped the handle without wait()",
+                op.name(),
+                ranks_str(group),
+            ),
+            Finding::LostWakeup {
+                group,
+                pos,
+                op,
+                rank,
+            } => write!(
+                f,
+                "lost wakeup: every member posted {} (call #{pos} on group {}) \
+                 but rank {rank} never picked up the result",
+                op.name(),
+                ranks_str(group),
+            ),
+            Finding::DeadlockCycle { cycle, detail } => {
+                let path = cycle
+                    .iter()
+                    .map(|r| format!("rank {r}"))
+                    .collect::<Vec<_>>()
+                    .join(" -> ");
+                write!(
+                    f,
+                    "would-deadlock cycle: {path} -> rank {}: {detail}",
+                    cycle[0]
+                )
+            }
+            Finding::P2pImbalance { group, detail } => write!(
+                f,
+                "unmatched point-to-point traffic on group {}: {detail}",
+                ranks_str(group),
+            ),
+        }
+    }
+}
+
+/// The result of verifying one schedule: zero findings means every rank
+/// issued a consistent, live, fully-consumed collective program.
+#[derive(Debug, Clone, Default)]
+pub struct VerifyReport {
+    findings: Vec<Finding>,
+    /// Ops checked (collective + p2p records).
+    pub ops: usize,
+    /// Distinct communicators observed.
+    pub groups: usize,
+    /// Distinct ranks observed.
+    pub ranks: usize,
+}
+
+impl VerifyReport {
+    /// True when no defect was found.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// The findings, most fundamental (consistency) first.
+    pub fn findings(&self) -> &[Finding] {
+        &self.findings
+    }
+}
+
+impl fmt::Display for VerifyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "schedule verification: {} op(s), {} group(s), {} rank(s): {}",
+            self.ops,
+            self.groups,
+            self.ranks,
+            if self.is_clean() {
+                "clean".to_string()
+            } else {
+                format!("{} finding(s)", self.findings.len())
+            }
+        )?;
+        for (i, finding) in self.findings.iter().enumerate() {
+            writeln!(f, "  {}. {finding}", i + 1)?;
+        }
+        Ok(())
+    }
+}
+
+/// Per-group view: member list (in claimed order) plus each member's
+/// ordered record indices.
+struct GroupView {
+    /// Canonical member order: the lowest member rank's claimed order.
+    order: Vec<usize>,
+    /// member global rank -> indices into `records`, in issue order.
+    seqs: HashMap<usize, Vec<usize>>,
+}
+
+/// Replay per-rank issue streams and report every schedule defect. Pure
+/// function over the records; see module docs for the rule set.
+pub fn verify_schedule(records: &[ScheduleRecord]) -> VerifyReport {
+    let mut report = VerifyReport {
+        ops: records.len(),
+        ..VerifyReport::default()
+    };
+    let mut ranks_seen: Vec<usize> = records.iter().map(|r| r.rank).collect();
+    ranks_seen.sort_unstable();
+    ranks_seen.dedup();
+    report.ranks = ranks_seen.len();
+
+    // ---- Partition records per canonical group (sorted member set). ----
+    // Two ProcessGroup handles over the same rank set share one rendezvous
+    // slot space, so the schedule invariant spans them; canonicalizing by
+    // member *set* also lets us diagnose order mismatches instead of
+    // treating differently-ordered lists as unrelated groups.
+    let mut groups: HashMap<Vec<usize>, GroupView> = HashMap::new();
+    let mut group_keys: Vec<Vec<usize>> = Vec::new();
+    for (idx, rec) in records.iter().enumerate() {
+        let mut key = rec.ranks.clone();
+        key.sort_unstable();
+        key.dedup();
+        if !rec.ranks.contains(&rec.rank) {
+            report.findings.push(Finding::ForeignRank {
+                rank: rec.rank,
+                group: rec.ranks.clone(),
+            });
+        }
+        let view = groups.entry(key.clone()).or_insert_with(|| {
+            group_keys.push(key);
+            GroupView {
+                order: rec.ranks.clone(),
+                seqs: HashMap::new(),
+            }
+        });
+        // The lowest-ranked member's claim is the reference order.
+        let claimant = view.order.iter().copied().min().unwrap_or(usize::MAX);
+        if rec.ranks != view.order {
+            if rec.rank < claimant {
+                // This rank outranks (is lower than) the current claimant:
+                // adopt its order as reference and flag the old one.
+                let old = std::mem::replace(&mut view.order, rec.ranks.clone());
+                report.findings.push(Finding::GroupOrderMismatch {
+                    rank: claimant,
+                    ranks: old,
+                    expect_rank: rec.rank,
+                    expect_ranks: rec.ranks.clone(),
+                });
+            } else {
+                report.findings.push(Finding::GroupOrderMismatch {
+                    rank: rec.rank,
+                    ranks: rec.ranks.clone(),
+                    expect_rank: claimant,
+                    expect_ranks: view.order.clone(),
+                });
+            }
+        }
+        view.seqs.entry(rec.rank).or_default().push(idx);
+    }
+    group_keys.sort_unstable();
+    report.groups = group_keys.len();
+
+    // Deduplicate order-mismatch findings (one per offending rank/group).
+    report.findings.dedup();
+
+    for key in &group_keys {
+        let view = &groups[key];
+        check_group_consistency(records, key, view, &mut report);
+        check_group_liveness(records, key, view, &mut report);
+        check_group_p2p(records, key, view, &mut report);
+    }
+    check_deadlock_cycles(records, &groups, &mut report);
+    report
+}
+
+/// Collective records only (p2p streams pair independently of the
+/// group-wide collective sequence).
+fn is_collective(op: CommOp) -> bool {
+    !matches!(op, CommOp::Send | CommOp::Recv)
+}
+
+fn collective_seq<'a>(
+    records: &'a [ScheduleRecord],
+    view: &GroupView,
+    rank: usize,
+) -> Vec<&'a ScheduleRecord> {
+    view.seqs
+        .get(&rank)
+        .map(|idxs| {
+            idxs.iter()
+                .map(|&i| &records[i])
+                .filter(|r| is_collective(r.op))
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// Cross-rank consistency: same kinds, same order, same payload/wire
+/// geometry at every position of the group's collective sequence.
+fn check_group_consistency(
+    records: &[ScheduleRecord],
+    key: &[usize],
+    view: &GroupView,
+    report: &mut VerifyReport,
+) {
+    let members: Vec<usize> = key.to_vec();
+    if members.len() < 2 {
+        return;
+    }
+    let seqs: HashMap<usize, Vec<&ScheduleRecord>> = members
+        .iter()
+        .map(|&m| (m, collective_seq(records, view, m)))
+        .collect();
+    let max_len = seqs.values().map(|s| s.len()).max().unwrap_or(0);
+    let mut missing_reported: Vec<usize> = Vec::new();
+    for pos in 0..max_len {
+        // Reference: the lowest-ranked member that issued call #pos.
+        let Some(&ref_rank) = members.iter().find(|m| seqs[m].len() > pos) else {
+            break;
+        };
+        let reference = seqs[&ref_rank][pos];
+        let mut gather_elems: Vec<(usize, usize)> = Vec::new();
+        for &m in &members {
+            let seq = &seqs[&m];
+            let Some(rec) = seq.get(pos) else {
+                if !missing_reported.contains(&m) {
+                    missing_reported.push(m);
+                    report.findings.push(Finding::MissingOp {
+                        group: members.clone(),
+                        pos,
+                        rank: m,
+                        issued: seq.len(),
+                        expect_rank: ref_rank,
+                        expect_op: reference.op,
+                    });
+                }
+                continue;
+            };
+            if rec.op != reference.op
+                || (rec.op == CommOp::Broadcast
+                    && rec.root.is_some()
+                    && reference.root.is_some()
+                    && rec.root != reference.root)
+            {
+                if m != ref_rank {
+                    report.findings.push(Finding::OpKindMismatch {
+                        group: members.clone(),
+                        pos,
+                        rank: m,
+                        op: rec.op,
+                        expect_rank: ref_rank,
+                        expect_op: reference.op,
+                        t_issue: rec.t_issue,
+                    });
+                }
+                // Geometry checks are meaningless across different ops.
+                continue;
+            }
+            match rec.op {
+                CommOp::AllGather => gather_elems.push((m, rec.elements)),
+                CommOp::ReduceScatter | CommOp::AllReduce => {
+                    if rec.elements != reference.elements {
+                        report.findings.push(Finding::PayloadMismatch {
+                            group: members.clone(),
+                            pos,
+                            op: rec.op,
+                            rank: m,
+                            elements: rec.elements,
+                            expect_rank: ref_rank,
+                            expect_elements: reference.elements,
+                        });
+                    }
+                    if rec.op == CommOp::ReduceScatter
+                        && m == ref_rank
+                        && rec.elements % members.len() != 0
+                    {
+                        report.findings.push(Finding::ShardCoverageGap {
+                            group: members.clone(),
+                            pos,
+                            op: rec.op,
+                            detail: format!(
+                                "reduce_scatter length {} does not divide by the \
+                                 group size {} — member chunks cannot cover the \
+                                 partition",
+                                rec.elements,
+                                members.len()
+                            ),
+                        });
+                    }
+                }
+                _ => {}
+            }
+            // Wire-byte agreement (broadcast's issue-side bytes are
+            // root-only and p2p is excluded upstream).
+            if rec.op != CommOp::Broadcast && m != ref_rank {
+                let (a, b) = (rec.wire_bytes, reference.wire_bytes);
+                if (a - b).abs() > 1e-9 * a.abs().max(b.abs()) {
+                    report.findings.push(Finding::WireMismatch {
+                        group: members.clone(),
+                        pos,
+                        op: rec.op,
+                        rank: m,
+                        wire_bytes: a,
+                        expect_rank: ref_rank,
+                        expect_wire_bytes: b,
+                    });
+                }
+            }
+        }
+        // Shard coverage: an all-gather's contributions tile the padded
+        // flat partition only when every member contributes equally.
+        if gather_elems.len() >= 2 {
+            let (r0, e0) = gather_elems[0];
+            if gather_elems.iter().any(|&(_, e)| e != e0) {
+                let contribs = gather_elems
+                    .iter()
+                    .map(|(m, e)| format!("rank {m}: {e}"))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                report.findings.push(Finding::ShardCoverageGap {
+                    group: members.clone(),
+                    pos,
+                    op: CommOp::AllGather,
+                    detail: format!(
+                        "unequal shard contributions ({contribs}) — the gathered \
+                         layout does not tile rank {r0}'s {e0}-element shard \
+                         partition"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Liveness within a group: leaked handles and lost wakeups. (Blocked
+/// ranks become deadlock-cycle or missing-op findings.)
+fn check_group_liveness(
+    records: &[ScheduleRecord],
+    key: &[usize],
+    view: &GroupView,
+    report: &mut VerifyReport,
+) {
+    let members: Vec<usize> = key.to_vec();
+    let seqs: HashMap<usize, Vec<&ScheduleRecord>> = members
+        .iter()
+        .map(|&m| (m, collective_seq(records, view, m)))
+        .collect();
+    let min_len = members.iter().map(|m| seqs[m].len()).min().unwrap_or(0);
+    let max_len = seqs.values().map(|s| s.len()).max().unwrap_or(0);
+    for pos in 0..max_len {
+        let complete = pos < min_len; // every member posted call #pos
+        for &m in &members {
+            let Some(rec) = seqs[&m].get(pos) else {
+                continue;
+            };
+            match rec.status {
+                OpStatus::Leaked => report.findings.push(Finding::LeakedHandle {
+                    group: members.clone(),
+                    pos,
+                    op: rec.op,
+                    rank: m,
+                }),
+                OpStatus::Issued if complete && members.len() > 1 => {
+                    report.findings.push(Finding::LostWakeup {
+                        group: members.clone(),
+                        pos,
+                        op: rec.op,
+                        rank: m,
+                    })
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Point-to-point pairing: every send on a directed stream must have a
+/// matching receive.
+fn check_group_p2p(
+    records: &[ScheduleRecord],
+    key: &[usize],
+    view: &GroupView,
+    report: &mut VerifyReport,
+) {
+    let p2p: Vec<&ScheduleRecord> = view
+        .seqs
+        .values()
+        .flatten()
+        .map(|&i| &records[i])
+        .filter(|r| !is_collective(r.op))
+        .collect();
+    if p2p.is_empty() {
+        return;
+    }
+    if p2p.iter().any(|r| r.peer.is_none()) {
+        // Endpoint-less records (exported traces): totals only.
+        let sends = p2p.iter().filter(|r| r.op == CommOp::Send).count();
+        let recvs = p2p
+            .iter()
+            .filter(|r| r.op == CommOp::Recv && r.status == OpStatus::Completed)
+            .count();
+        if sends != recvs {
+            report.findings.push(Finding::P2pImbalance {
+                group: key.to_vec(),
+                detail: format!("{sends} send(s) but {recvs} completed recv(s)"),
+            });
+        }
+        return;
+    }
+    // (src_local, dst_local) -> (sends, completed recvs).
+    let mut streams: HashMap<(usize, usize), (usize, usize)> = HashMap::new();
+    for r in &p2p {
+        let (src, dst) = r.peer.expect("checked above");
+        let entry = streams.entry((src, dst)).or_insert((0, 0));
+        match r.op {
+            CommOp::Send => entry.0 += 1,
+            CommOp::Recv if r.status == OpStatus::Completed => entry.1 += 1,
+            _ => {}
+        }
+    }
+    let mut keys: Vec<(usize, usize)> = streams.keys().copied().collect();
+    keys.sort_unstable();
+    for (src, dst) in keys {
+        let (sends, recvs) = streams[&(src, dst)];
+        if sends != recvs {
+            let name = |local: usize| {
+                view.order
+                    .get(local)
+                    .map(|r| r.to_string())
+                    .unwrap_or_else(|| format!("local#{local}"))
+            };
+            report.findings.push(Finding::P2pImbalance {
+                group: key.to_vec(),
+                detail: format!(
+                    "{sends} send(s) from rank {} to rank {} but {recvs} \
+                     completed recv(s)",
+                    name(src),
+                    name(dst),
+                ),
+            });
+        }
+    }
+}
+
+/// Build the wait-for graph over ranks (edges from ranks blocked in an
+/// incomplete op to the members that never posted it, and from blocked
+/// receivers to their senders) and report strongly connected cycles.
+fn check_deadlock_cycles(
+    records: &[ScheduleRecord],
+    groups: &HashMap<Vec<usize>, GroupView>,
+    report: &mut VerifyReport,
+) {
+    // rank -> set of ranks it waits on, plus a description per waiter.
+    let mut edges: HashMap<usize, Vec<usize>> = HashMap::new();
+    let mut blocked_in: HashMap<usize, String> = HashMap::new();
+    let mut keys: Vec<&Vec<usize>> = groups.keys().collect();
+    keys.sort();
+    for key in keys {
+        let view = &groups[key];
+        let seqs: HashMap<usize, Vec<&ScheduleRecord>> = key
+            .iter()
+            .map(|&m| (m, collective_seq(records, view, m)))
+            .collect();
+        let max_len = seqs.values().map(|s| s.len()).max().unwrap_or(0);
+        for pos in 0..max_len {
+            let missing: Vec<usize> = key
+                .iter()
+                .copied()
+                .filter(|m| seqs[m].len() <= pos)
+                .collect();
+            if missing.is_empty() {
+                continue;
+            }
+            for &m in key.iter() {
+                let Some(rec) = seqs[&m].get(pos) else {
+                    continue;
+                };
+                if rec.status == OpStatus::Issued {
+                    edges.entry(m).or_default().extend(missing.iter().copied());
+                    blocked_in.entry(m).or_insert_with(|| {
+                        format!("{} call #{pos} on group {}", rec.op.name(), ranks_str(key))
+                    });
+                }
+            }
+        }
+        // Blocked receives wait on their sender.
+        for (&m, idxs) in &view.seqs {
+            for &i in idxs {
+                let rec = &records[i];
+                if rec.op == CommOp::Recv && rec.status == OpStatus::Issued {
+                    if let Some((src, _)) = rec.peer {
+                        if let Some(&src_rank) = view.order.get(src) {
+                            edges.entry(m).or_default().push(src_rank);
+                            blocked_in
+                                .entry(m)
+                                .or_insert_with(|| format!("recv on group {}", ranks_str(key)));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // Find one cycle per strongly connected component of size > 1 (a
+    // collective never self-loops) via iterative DFS with a path stack.
+    let mut nodes: Vec<usize> = edges.keys().copied().collect();
+    nodes.sort_unstable();
+    let mut reported: Vec<Vec<usize>> = Vec::new();
+    for &start in &nodes {
+        let mut path: Vec<usize> = vec![start];
+        let mut iters: Vec<usize> = vec![0];
+        let mut visited: Vec<usize> = Vec::new();
+        while let (Some(&node), Some(it)) = (path.last(), iters.last_mut()) {
+            let succs = edges.get(&node).map(|v| v.as_slice()).unwrap_or(&[]);
+            if *it >= succs.len() {
+                visited.push(node);
+                path.pop();
+                iters.pop();
+                continue;
+            }
+            let next = succs[*it];
+            *it += 1;
+            if let Some(at) = path.iter().position(|&n| n == next) {
+                // Cycle: canonicalize by rotating the minimum rank first.
+                let mut cycle: Vec<usize> = path[at..].to_vec();
+                let min_at = cycle
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, &r)| r)
+                    .map(|(i, _)| i)
+                    .unwrap_or(0);
+                cycle.rotate_left(min_at);
+                if !reported.contains(&cycle) {
+                    reported.push(cycle.clone());
+                    let detail = cycle
+                        .iter()
+                        .map(|r| {
+                            format!(
+                                "rank {r} blocked in {}",
+                                blocked_in
+                                    .get(r)
+                                    .cloned()
+                                    .unwrap_or_else(|| "an unknown op".to_string())
+                            )
+                        })
+                        .collect::<Vec<_>>()
+                        .join("; ");
+                    report
+                        .findings
+                        .push(Finding::DeadlockCycle { cycle, detail });
+                }
+                continue;
+            }
+            if !visited.contains(&next) {
+                path.push(next);
+                iters.push(0);
+            }
+        }
+    }
+}
+
+/// Seeded thread-schedule perturbation: deterministic *decisions* (from a
+/// splitmix64 stream) about where to yield the OS scheduler or sleep a
+/// few microseconds, injected into rendezvous arrival paths. Different
+/// seeds permute which rank arrives last at each collective (and thus
+/// which thread runs each reduction) — the exploration half of the
+/// verifier. Results must be bit-identical across seeds because
+/// reductions sum in group-rank order regardless of arrival order.
+#[derive(Debug)]
+pub struct SchedulePerturb {
+    state: AtomicU64,
+}
+
+impl SchedulePerturb {
+    /// A perturbation stream for one rank (mix the rank in so ranks make
+    /// different choices under the same seed).
+    pub fn new(seed: u64, rank: usize) -> Self {
+        SchedulePerturb {
+            state: AtomicU64::new(seed ^ (rank as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        }
+    }
+
+    fn next(&self) -> u64 {
+        let s = self
+            .state
+            .fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed)
+            .wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = s;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// The next raw decision word. Exposed so harnesses can assert the
+    /// stream is seed-deterministic (and seed-sensitive) without timing
+    /// actual yields.
+    pub fn decision(&self) -> u64 {
+        self.next()
+    }
+
+    /// Maybe yield or briefly sleep, shaking up rendezvous arrival order.
+    pub fn jitter(&self) {
+        match self.next() % 8 {
+            0..=2 => {}
+            3 | 4 => std::thread::yield_now(),
+            5 => {
+                std::thread::yield_now();
+                std::thread::yield_now();
+            }
+            _ => std::thread::sleep(std::time::Duration::from_micros(self.next() % 60)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(rank: usize, ranks: Vec<usize>, op: CommOp, elements: usize) -> ScheduleRecord {
+        ScheduleRecord::completed(rank, ranks, op, elements).with_wire_bytes(elements as f64 * 4.0)
+    }
+
+    #[test]
+    fn clean_schedule_reports_no_findings() {
+        let records = vec![
+            rec(0, vec![0, 1], CommOp::AllGather, 4),
+            rec(1, vec![0, 1], CommOp::AllGather, 4),
+            rec(0, vec![0, 1], CommOp::AllReduce, 8),
+            rec(1, vec![0, 1], CommOp::AllReduce, 8),
+        ];
+        let report = verify_schedule(&records);
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(report.ops, 4);
+        assert_eq!(report.groups, 1);
+        assert_eq!(report.ranks, 2);
+    }
+
+    #[test]
+    fn mismatched_kinds_name_the_divergent_rank() {
+        let records = vec![
+            rec(0, vec![0, 1], CommOp::AllGather, 4),
+            rec(1, vec![0, 1], CommOp::ReduceScatter, 4),
+        ];
+        let report = verify_schedule(&records);
+        assert!(!report.is_clean());
+        let text = report.to_string();
+        assert!(text.contains("schedule divergence"), "{text}");
+        assert!(text.contains("rank 1 issued reduce_scatter"), "{text}");
+        assert!(text.contains("rank 0 issued all_gather"), "{text}");
+    }
+
+    #[test]
+    fn unequal_gather_shards_are_a_coverage_gap() {
+        let records = vec![
+            rec(0, vec![0, 1], CommOp::AllGather, 3),
+            rec(1, vec![0, 1], CommOp::AllGather, 5),
+        ];
+        let report = verify_schedule(&records);
+        let text = report.to_string();
+        assert!(text.contains("shard-coverage gap"), "{text}");
+        assert!(text.contains("rank 1: 5"), "{text}");
+    }
+
+    #[test]
+    fn reduction_payload_mismatch_is_flagged() {
+        let records = vec![
+            rec(0, vec![0, 1], CommOp::AllReduce, 8),
+            rec(1, vec![0, 1], CommOp::AllReduce, 6),
+        ];
+        let report = verify_schedule(&records);
+        let text = report.to_string();
+        assert!(text.contains("payload-size disagreement"), "{text}");
+    }
+
+    #[test]
+    fn wire_byte_mismatch_is_flagged() {
+        let records = vec![
+            rec(0, vec![0, 1], CommOp::AllReduce, 8).with_wire_bytes(32.0),
+            rec(1, vec![0, 1], CommOp::AllReduce, 8).with_wire_bytes(16.0),
+        ];
+        let report = verify_schedule(&records);
+        let text = report.to_string();
+        assert!(text.contains("wire-byte disagreement"), "{text}");
+        assert!(text.contains("mixed-precision"), "{text}");
+    }
+
+    #[test]
+    fn short_sequences_are_missing_ops() {
+        let records = vec![
+            rec(0, vec![0, 1], CommOp::AllReduce, 4),
+            rec(1, vec![0, 1], CommOp::AllReduce, 4),
+            rec(0, vec![0, 1], CommOp::AllReduce, 4),
+        ];
+        let report = verify_schedule(&records);
+        let text = report.to_string();
+        assert!(text.contains("rank 1 issued only 1 op(s)"), "{text}");
+        assert!(text.contains("no counterpart"), "{text}");
+    }
+
+    #[test]
+    fn leaked_handles_are_reported() {
+        let records = vec![
+            rec(0, vec![0, 1], CommOp::AllGather, 4).with_status(OpStatus::Leaked),
+            rec(1, vec![0, 1], CommOp::AllGather, 4),
+        ];
+        let report = verify_schedule(&records);
+        let text = report.to_string();
+        assert!(text.contains("leaked PendingCollective"), "{text}");
+        assert!(text.contains("without wait()"), "{text}");
+    }
+
+    #[test]
+    fn completed_slot_with_unpicked_result_is_a_lost_wakeup() {
+        let records = vec![
+            rec(0, vec![0, 1], CommOp::AllReduce, 4).with_status(OpStatus::Issued),
+            rec(1, vec![0, 1], CommOp::AllReduce, 4),
+        ];
+        let report = verify_schedule(&records);
+        let text = report.to_string();
+        assert!(text.contains("lost wakeup"), "{text}");
+    }
+
+    #[test]
+    fn group_order_disagreement_is_flagged() {
+        let records = vec![
+            rec(0, vec![0, 1], CommOp::AllReduce, 4),
+            rec(1, vec![1, 0], CommOp::AllReduce, 4),
+        ];
+        let report = verify_schedule(&records);
+        let text = report.to_string();
+        assert!(text.contains("group-membership violation"), "{text}");
+        assert!(text.contains("rank-ordered reductions"), "{text}");
+    }
+
+    #[test]
+    fn foreign_rank_is_flagged() {
+        let records = vec![rec(2, vec![0, 1], CommOp::AllReduce, 4)];
+        let report = verify_schedule(&records);
+        assert!(report.to_string().contains("does not include it"));
+    }
+
+    #[test]
+    fn three_rank_wait_cycle_is_a_deadlock() {
+        // 0 blocks on {0,1} (1 missing); 1 blocks on {1,2} (2 missing);
+        // 2 blocks on {0,2} (0 missing): 0 -> 1 -> 2 -> 0.
+        let records = vec![
+            rec(0, vec![0, 1], CommOp::AllReduce, 4).with_status(OpStatus::Issued),
+            rec(1, vec![1, 2], CommOp::AllReduce, 4).with_status(OpStatus::Issued),
+            rec(2, vec![0, 2], CommOp::AllReduce, 4).with_status(OpStatus::Issued),
+        ];
+        let report = verify_schedule(&records);
+        let text = report.to_string();
+        assert!(text.contains("would-deadlock cycle"), "{text}");
+        assert!(
+            text.contains("rank 0 -> rank 1 -> rank 2 -> rank 0")
+                || text.contains("rank 0 -> rank 2 -> rank 1 -> rank 0"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn blocked_without_cycle_is_missing_op_not_deadlock() {
+        let records = vec![rec(0, vec![0, 1], CommOp::AllReduce, 4).with_status(OpStatus::Issued)];
+        let report = verify_schedule(&records);
+        let text = report.to_string();
+        assert!(text.contains("no counterpart"), "{text}");
+        assert!(!text.contains("would-deadlock"), "{text}");
+    }
+
+    #[test]
+    fn unmatched_sends_are_flagged() {
+        let records = vec![
+            rec(0, vec![0, 1], CommOp::Send, 4).with_peer(0, 1),
+            rec(0, vec![0, 1], CommOp::Send, 4).with_peer(0, 1),
+            rec(1, vec![0, 1], CommOp::Recv, 4).with_peer(0, 1),
+        ];
+        let report = verify_schedule(&records);
+        let text = report.to_string();
+        assert!(text.contains("unmatched point-to-point"), "{text}");
+        assert!(text.contains("2 send(s)"), "{text}");
+    }
+
+    #[test]
+    fn paired_p2p_is_clean() {
+        let records = vec![
+            rec(0, vec![0, 1], CommOp::Send, 4).with_peer(0, 1),
+            rec(1, vec![0, 1], CommOp::Recv, 4).with_peer(0, 1),
+            rec(1, vec![0, 1], CommOp::Send, 2).with_peer(1, 0),
+            rec(0, vec![0, 1], CommOp::Recv, 2).with_peer(1, 0),
+        ];
+        let report = verify_schedule(&records);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn singleton_groups_are_trivially_clean() {
+        let records = vec![rec(0, vec![0], CommOp::AllReduce, 4)];
+        assert!(verify_schedule(&records).is_clean());
+    }
+
+    #[test]
+    fn perturb_streams_are_deterministic_per_seed() {
+        let a = SchedulePerturb::new(7, 0);
+        let b = SchedulePerturb::new(7, 0);
+        let xs: Vec<u64> = (0..8).map(|_| a.next()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next()).collect();
+        assert_eq!(xs, ys, "same seed+rank, same stream");
+        let c = SchedulePerturb::new(7, 1);
+        let zs: Vec<u64> = (0..8).map(|_| c.next()).collect();
+        assert_ne!(xs, zs, "ranks draw distinct streams");
+    }
+}

@@ -1,0 +1,50 @@
+//! Export a Chrome trace of one Hybrid-STOP training step, suitable for
+//! `chrome://tracing`, Perfetto, or the `orbit-verify` schedule checker:
+//!
+//! ```text
+//! cargo run --release --example export_trace -- /tmp/orbit_trace.json
+//! cargo run --release --bin orbit-verify -- /tmp/orbit_trace.json
+//! ```
+
+use orbit::comm::{chrome_trace, Cluster};
+use orbit::core::{build_engine, EngineSpec, ParallelLayout, TrainOptions};
+use orbit::tensor::init::Rng;
+use orbit::tensor::kernels::AdamW;
+use orbit::vit::{Batch, VitConfig};
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "orbit_trace.json".to_string());
+
+    let cfg = VitConfig::test_tiny();
+    let mut rng = Rng::seed(47);
+    let batch = Batch {
+        inputs: (0..4)
+            .map(|_| {
+                (0..cfg.dims.channels)
+                    .map(|_| rng.normal_tensor(cfg.dims.img_h, cfg.dims.img_w, 1.0))
+                    .collect()
+            })
+            .collect(),
+        targets: (0..4)
+            .map(|_| {
+                (0..cfg.dims.out_channels)
+                    .map(|_| rng.normal_tensor(cfg.dims.img_h, cfg.dims.img_w, 1.0))
+                    .collect()
+            })
+            .collect(),
+    };
+
+    let spec = EngineSpec::HybridStop(ParallelLayout::new(2, 2, 1));
+    let per_rank = Cluster::frontier().run(4, |ctx| {
+        let mut e =
+            build_engine(ctx, spec, cfg, AdamW::default(), TrainOptions::none(), 42).unwrap();
+        e.train_step(ctx, &batch).unwrap();
+        ctx.clock.take_events()
+    });
+
+    let json = chrome_trace(&per_rank);
+    std::fs::write(&path, &json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    eprintln!("wrote {} bytes to {path}", json.len());
+}

@@ -1,0 +1,89 @@
+//! `orbit-verify`: check an exported Chrome trace for collective-schedule
+//! defects.
+//!
+//! ```text
+//! orbit-verify <trace.json>
+//! ```
+//!
+//! The input is the JSON produced by `orbit::comm::chrome_trace` (the same
+//! file `chrome://tracing` or Perfetto renders). Events with category
+//! `comm` / `comm.prefetch` are replayed through the cross-rank schedule
+//! checker (`orbit::comm::verify_schedule`): mismatched collective
+//! kinds/orders within a group, payload-size and wire-byte disagreements,
+//! shard-coverage gaps, group-membership violations, and unmatched
+//! point-to-point traffic each produce a named diagnostic. An exported
+//! trace only contains *completed* ops, so the liveness checks (leaks,
+//! lost wakeups, deadlock cycles) run live inside the cluster instead —
+//! see `Cluster::verify_run`.
+//!
+//! Exit status: 0 clean, 1 findings, 2 usage or parse error.
+
+use orbit::comm::{verify_schedule, CommOp, ScheduleRecord};
+use std::process::ExitCode;
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("orbit-verify: {msg}");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let Some(path) = std::env::args().nth(1) else {
+        return fail("usage: orbit-verify <trace.json>");
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => return fail(&format!("cannot read {path}: {e}")),
+    };
+    let root: serde_json::Value = match serde_json::from_str(&text) {
+        Ok(v) => v,
+        Err(e) => return fail(&format!("{path} is not valid JSON: {e}")),
+    };
+    let Some(events) = root.get("traceEvents").and_then(|v| v.as_array()) else {
+        return fail(&format!(
+            "{path} has no traceEvents array (not a Chrome trace?)"
+        ));
+    };
+
+    let mut records: Vec<ScheduleRecord> = Vec::new();
+    let mut skipped = 0usize;
+    for ev in events {
+        let cat = ev.get("cat").and_then(|v| v.as_str()).unwrap_or("");
+        if cat != "comm" && cat != "comm.prefetch" {
+            continue;
+        }
+        let parsed = (|| {
+            let op = CommOp::from_name(ev.get("name")?.as_str()?)?;
+            let rank = ev.get("tid")?.as_u64()? as usize;
+            let args = ev.get("args")?;
+            let ranks: Vec<usize> = args
+                .get("ranks")?
+                .as_array()?
+                .iter()
+                .map(|r| r.as_u64().map(|v| v as usize))
+                .collect::<Option<_>>()?;
+            let elements = args.get("elements")?.as_u64()? as usize;
+            let wire_bytes = args.get("wire_bytes")?.as_f64()?;
+            // ts is microseconds; records carry seconds.
+            let t_issue = ev.get("ts")?.as_f64()? / 1e6;
+            let mut r =
+                ScheduleRecord::completed(rank, ranks, op, elements).with_wire_bytes(wire_bytes);
+            r.t_issue = t_issue;
+            Some(r)
+        })();
+        match parsed {
+            Some(r) => records.push(r),
+            None => skipped += 1,
+        }
+    }
+    if skipped > 0 {
+        eprintln!("orbit-verify: warning: skipped {skipped} malformed comm event(s)");
+    }
+
+    let report = verify_schedule(&records);
+    print!("{report}");
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

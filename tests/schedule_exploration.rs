@@ -1,0 +1,111 @@
+//! Randomized schedule exploration: rerun real engine configurations under
+//! seeded thread-schedule perturbation and assert the results are
+//! *bit-identical* across every interleaving.
+//!
+//! `Cluster::with_schedule_perturbation(seed)` injects deterministic
+//! yields and sub-millisecond sleeps into every rendezvous arrival path,
+//! permuting which member arrives last at each collective (and therefore
+//! which OS thread performs each reduction, picks up each slot, and posts
+//! each wakeup). Because reductions sum in group-rank order regardless of
+//! arrival order, the training math must not notice: any loss-bit
+//! difference between seeds is a real schedule-sensitivity bug, and any
+//! verifier finding under a permuted schedule is a latent race.
+
+use orbit::comm::Cluster;
+use orbit::core::{build_engine, EngineSpec, ParallelLayout, TrainOptions};
+use orbit::tensor::init::Rng;
+use orbit::tensor::kernels::AdamW;
+use orbit::vit::{Batch, VitConfig};
+
+const SEEDS: u64 = 16;
+const STEPS: usize = 2;
+const WORLD: usize = 4;
+
+fn make_batch(cfg: &VitConfig, n: usize) -> Batch {
+    let mut rng = Rng::seed(41);
+    Batch {
+        inputs: (0..n)
+            .map(|_| {
+                (0..cfg.dims.channels)
+                    .map(|_| rng.normal_tensor(cfg.dims.img_h, cfg.dims.img_w, 1.0))
+                    .collect()
+            })
+            .collect(),
+        targets: (0..n)
+            .map(|_| {
+                (0..cfg.dims.out_channels)
+                    .map(|_| rng.normal_tensor(cfg.dims.img_h, cfg.dims.img_w, 1.0))
+                    .collect()
+            })
+            .collect(),
+    }
+}
+
+/// Train `spec` under one schedule (unperturbed when `seed` is `None`)
+/// with verification on; return rank 0's per-step loss bits.
+fn losses_under(spec: EngineSpec, seed: Option<u64>) -> Vec<u32> {
+    let cfg = VitConfig::test_tiny();
+    let batch = make_batch(&cfg, 8);
+    let mut cluster = Cluster::frontier().with_schedule_verification(true);
+    if let Some(s) = seed {
+        cluster = cluster.with_schedule_perturbation(s);
+    }
+    let (mut losses, report) = cluster.verify_run(WORLD, |ctx| {
+        let mut e =
+            build_engine(ctx, spec, cfg, AdamW::default(), TrainOptions::none(), 42).unwrap();
+        (0..STEPS)
+            .map(|_| e.train_step(ctx, &batch).unwrap().loss.to_bits())
+            .collect::<Vec<u32>>()
+    });
+    assert!(
+        report.is_clean(),
+        "{} under seed {seed:?} has schedule findings:\n{report}",
+        spec.name()
+    );
+    for l in &losses {
+        assert_eq!(l, &losses[0], "ranks disagree under seed {seed:?}");
+    }
+    losses.swap_remove(0)
+}
+
+/// The exploration harness proper: a baseline schedule plus `SEEDS`
+/// perturbed interleavings, all required to agree to the bit.
+fn explore(spec: EngineSpec) {
+    let baseline = losses_under(spec, None);
+    assert_eq!(baseline.len(), STEPS);
+    for seed in 0..SEEDS {
+        let perturbed = losses_under(spec, Some(seed));
+        assert_eq!(
+            perturbed,
+            baseline,
+            "{} diverged under schedule seed {seed}: losses are \
+             schedule-dependent",
+            spec.name()
+        );
+    }
+}
+
+#[test]
+fn fsdp_losses_are_schedule_independent() {
+    explore(EngineSpec::Fsdp);
+}
+
+#[test]
+fn hybrid_stop_losses_are_schedule_independent() {
+    explore(EngineSpec::HybridStop(ParallelLayout::new(2, 2, 1)));
+}
+
+#[test]
+fn distinct_seeds_produce_distinct_jitter_streams() {
+    // Sanity on the harness itself: the perturbation is seed-deterministic
+    // (same seed -> same decision stream) and seeds actually vary it —
+    // otherwise "passes for 16 seeds" would test one schedule 16 times.
+    use orbit::comm::SchedulePerturb;
+    let stream = |seed: u64, rank: usize| {
+        let p = SchedulePerturb::new(seed, rank);
+        (0..64).map(|_| p.decision()).collect::<Vec<u64>>()
+    };
+    assert_eq!(stream(7, 0), stream(7, 0), "same seed must replay exactly");
+    assert_ne!(stream(7, 0), stream(8, 0), "seeds must change the schedule");
+    assert_ne!(stream(7, 0), stream(7, 1), "ranks must not share a stream");
+}

@@ -1,0 +1,240 @@
+//! Known-bad collective schedules must produce their specific named
+//! diagnostics — the verifier turning "timeout or wrong loss" into a
+//! precise root cause.
+//!
+//! Each program here is a deliberate one-line mistake of the kind the
+//! nonblocking `PendingCollective` path made easy to write: mismatched
+//! collective kinds across ranks, a started-but-never-waited handle, a
+//! shard geometry that cannot tile the partition, mixed-precision configs
+//! that diverge, and a classic lock-order-style wait cycle.
+
+use orbit::comm::{Cluster, CommError, SimError};
+use std::time::Duration;
+
+/// A cluster with verification pinned on (independent of build profile)
+/// and a short rendezvous timeout so stuck programs fail fast.
+fn verifying_cluster() -> Cluster {
+    Cluster::frontier()
+        .with_schedule_verification(true)
+        .with_op_timeout(Duration::from_millis(500))
+}
+
+#[test]
+fn mismatched_collective_kinds_are_diagnosed() {
+    // Rank 0 issues all-gather, rank 1 issues reduce-scatter at the same
+    // position of the same group — on real NCCL, a silent hang.
+    let cluster = verifying_cluster();
+    let outcomes = cluster.try_run(2, |ctx| {
+        let mut g = ctx.world_group();
+        let mut clock = std::mem::take(&mut ctx.clock);
+        let r = if ctx.rank == 0 {
+            g.all_gather(&mut clock, &[1.0, 2.0]).map(|_| ())
+        } else {
+            g.reduce_scatter(&mut clock, &[1.0, 2.0]).map(|_| ())
+        };
+        ctx.clock = clock;
+        r.map_err(SimError::from)
+    });
+    // The runtime surfaces it as a failure (one rank panics on the slot
+    // assert, the other observes the peer failure or times out)...
+    assert!(outcomes.iter().any(|o| !o.is_ok()));
+    // ...and the post-hoc report names the defect, the divergent rank,
+    // and the call site.
+    let report = cluster.last_verify_report().expect("verification was on");
+    let text = report.to_string();
+    assert!(!report.is_clean());
+    assert!(
+        text.contains("cross-rank schedule divergence"),
+        "expected an OpKindMismatch diagnosis, got:\n{text}"
+    );
+    assert!(text.contains("at call #0"), "{text}");
+    assert!(
+        text.contains("rank 1 issued reduce_scatter") && text.contains("rank 0 issued all_gather"),
+        "{text}"
+    );
+    assert!(text.contains("first divergent rank"), "{text}");
+}
+
+#[test]
+fn leaked_pending_handle_is_diagnosed() {
+    // Both ranks start an all-gather and drop the handle without wait();
+    // the run itself completes (a later collective still works — the
+    // Drop bookkeeping must not poison the rendezvous for survivors).
+    let (sums, report) = verifying_cluster().verify_run(2, |ctx| {
+        let mut g = ctx.world_group();
+        let mut clock = std::mem::take(&mut ctx.clock);
+        let h = g
+            .all_gather_start(&clock, &[ctx.rank as f32], false)
+            .unwrap();
+        drop(h); // the one-line mistake
+        let sum = g.all_reduce_scalar(&mut clock, 1.0).unwrap();
+        ctx.clock = clock;
+        sum
+    });
+    assert_eq!(sums, vec![2.0, 2.0], "later collectives still complete");
+    let text = report.to_string();
+    assert!(!report.is_clean());
+    assert!(
+        text.contains("leaked PendingCollective"),
+        "expected a LeakedHandle diagnosis, got:\n{text}"
+    );
+    assert!(text.contains("without wait()"), "{text}");
+    assert!(text.contains("all_gather (call #0"), "{text}");
+}
+
+#[test]
+fn shard_coverage_gap_is_diagnosed() {
+    // Rank-dependent all-gather contributions: the gathered layout cannot
+    // tile a flat shard partition. The op itself "succeeds" (concatenation
+    // is well-defined), which is exactly why it needs a checker.
+    let (_, report) = verifying_cluster().verify_run(2, |ctx| {
+        let mut g = ctx.world_group();
+        let mut clock = std::mem::take(&mut ctx.clock);
+        let shard = vec![1.0; 3 + ctx.rank]; // rank 0: 3 elements, rank 1: 4
+        let gathered = g.all_gather(&mut clock, &shard).unwrap().to_vec();
+        ctx.clock = clock;
+        gathered
+    });
+    let text = report.to_string();
+    assert!(!report.is_clean());
+    assert!(
+        text.contains("shard-coverage gap"),
+        "expected a ShardCoverageGap diagnosis, got:\n{text}"
+    );
+    assert!(text.contains("unequal shard contributions"), "{text}");
+    assert!(
+        text.contains("rank 0: 3") && text.contains("rank 1: 4"),
+        "{text}"
+    );
+}
+
+#[test]
+fn wire_byte_disagreement_is_diagnosed() {
+    // Rank 1 "forgot" mixed precision: same op, same payload, different
+    // bytes on the wire.
+    let (_, report) = verifying_cluster().verify_run(2, |ctx| {
+        let mut g = ctx.world_group();
+        if ctx.rank == 0 {
+            g.set_wire_bytes(2.0);
+        }
+        let mut clock = std::mem::take(&mut ctx.clock);
+        g.all_reduce(&mut clock, &[1.0; 8]).unwrap();
+        ctx.clock = clock;
+    });
+    let text = report.to_string();
+    assert!(!report.is_clean());
+    assert!(
+        text.contains("wire-byte disagreement"),
+        "expected a WireMismatch diagnosis, got:\n{text}"
+    );
+    assert!(text.contains("mixed-precision"), "{text}");
+}
+
+#[test]
+fn wait_cycle_across_groups_is_diagnosed_as_deadlock() {
+    // Three ranks, three two-rank groups, issued in cyclic order: rank 0
+    // waits in {0,1}, rank 1 in {1,2}, rank 2 in {0,2}. Every rank times
+    // out; the wait-for graph has the cycle 0 -> 1 -> 2 -> 0.
+    let cluster = verifying_cluster();
+    let outcomes = cluster.try_run(3, |ctx| {
+        let ranks = match ctx.rank {
+            0 => vec![0, 1],
+            1 => vec![1, 2],
+            _ => vec![0, 2],
+        };
+        let mut g = ctx.group(ranks);
+        let mut clock = std::mem::take(&mut ctx.clock);
+        let r = g.all_reduce_scalar(&mut clock, 1.0).map(|_| ());
+        ctx.clock = clock;
+        r.map_err(SimError::from)
+    });
+    assert!(outcomes.iter().all(|o| !o.is_ok()), "every rank is stuck");
+    assert!(outcomes.iter().any(|o| {
+        matches!(
+            o.sim_error(),
+            Some(SimError::Comm(CommError::Timeout { .. }))
+        )
+    }));
+    let report = cluster.last_verify_report().expect("verification was on");
+    let text = report.to_string();
+    assert!(
+        text.contains("would-deadlock cycle"),
+        "expected a DeadlockCycle diagnosis, got:\n{text}"
+    );
+    assert!(text.contains("rank 0") && text.contains("rank 1") && text.contains("rank 2"));
+    assert!(text.contains("blocked in all_reduce"), "{text}");
+}
+
+#[test]
+fn skipped_collective_is_diagnosed_as_missing_op() {
+    // Rank 1 issues one fewer all-reduce — the loop-bounds-off-by-one.
+    let cluster = verifying_cluster();
+    let outcomes = cluster.try_run(2, |ctx| {
+        let mut g = ctx.world_group();
+        let mut clock = std::mem::take(&mut ctx.clock);
+        let steps = if ctx.rank == 0 { 2 } else { 1 };
+        let mut r = Ok(());
+        for _ in 0..steps {
+            r = g.all_reduce_scalar(&mut clock, 1.0).map(|_| ());
+            if r.is_err() {
+                break;
+            }
+        }
+        ctx.clock = clock;
+        r.map_err(SimError::from)
+    });
+    assert!(
+        !outcomes[0].is_ok(),
+        "rank 0's second all-reduce never completes"
+    );
+    let report = cluster.last_verify_report().expect("verification was on");
+    let text = report.to_string();
+    assert!(
+        text.contains("rank 1 issued only 1 op(s)") && text.contains("no counterpart"),
+        "expected a MissingOp diagnosis, got:\n{text}"
+    );
+}
+
+#[test]
+fn clean_programs_report_clean() {
+    let (results, report) = verifying_cluster().verify_run(4, |ctx| {
+        let mut g = ctx.world_group();
+        let mut clock = std::mem::take(&mut ctx.clock);
+        let gathered = g
+            .all_gather(&mut clock, &[ctx.rank as f32])
+            .unwrap()
+            .to_vec();
+        let sum = g.all_reduce_scalar(&mut clock, 1.0).unwrap();
+        g.barrier(&mut clock).unwrap();
+        ctx.clock = clock;
+        (gathered, sum)
+    });
+    assert!(report.is_clean(), "{report}");
+    assert_eq!(report.ops, 12);
+    assert_eq!(report.ranks, 4);
+    for (gathered, sum) in results {
+        assert_eq!(gathered, vec![0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(sum, 4.0);
+    }
+}
+
+#[test]
+fn run_panics_on_findings_when_verification_is_on() {
+    // The debug-assertions-on runtime mode: a leaked handle inside a plain
+    // `run()` must not pass silently.
+    let result = std::panic::catch_unwind(|| {
+        verifying_cluster().run(2, |ctx| {
+            let mut g = ctx.world_group();
+            let clock = std::mem::take(&mut ctx.clock);
+            let h = g.all_gather_start(&clock, &[1.0], false).unwrap();
+            drop(h);
+            ctx.clock = clock;
+        });
+    });
+    let err = result.expect_err("run() must panic on a leaked handle");
+    let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+    assert!(
+        msg.contains("schedule verification failed") && msg.contains("leaked PendingCollective"),
+        "{msg}"
+    );
+}
