@@ -1,0 +1,132 @@
+//! `serve_bench` — latency/throughput sweep of the orbit-serve subsystem.
+//!
+//! Probes the single-request service time of the tiny ViT on the
+//! frontier-calibrated cluster, then sweeps **offered load** (arrival
+//! rates from well under to well over the service rate) against **batch
+//! policy** (serve-immediately vs. two dynamic-batching configurations)
+//! across the served layouts (single-device, DDP-replicated,
+//! tensor-parallel). Reports p50/p95/p99 latency, throughput, and the
+//! served batch-size histogram per cell, and writes the full grid to
+//! `results/serve_bench.json` (also under `--smoke`, which only shrinks
+//! the request count so CI can assert on the artifact).
+//!
+//! ```text
+//! serve_bench [--smoke]
+//! ```
+
+use orbit_bench::report::{fmt_secs, print_table, write_json};
+use orbit_core::EngineSpec;
+use orbit_serve::{BatchPolicy, ForecastRequest, ForecastServer, ServeConfig};
+use orbit_tensor::init::Rng;
+use orbit_vit::VitConfig;
+use serde_json::json;
+
+fn make_requests(cfg: &VitConfig, n: usize, gap: f64, seed: u64) -> Vec<ForecastRequest> {
+    let mut rng = Rng::seed(seed);
+    (0..n)
+        .map(|i| {
+            let images = (0..cfg.dims.channels)
+                .map(|_| rng.normal_tensor(cfg.dims.img_h, cfg.dims.img_w, 1.0))
+                .collect();
+            ForecastRequest::new(i as u64, images, gap * i as f64)
+        })
+        .collect()
+}
+
+/// Mean simulated service time of a lone request on `spec` (sparse
+/// arrivals, no batching, no queueing) — the yardstick the layout's load
+/// sweep is scaled by. Single-device forwards are pure compute;
+/// tensor-parallel ones pay per-sublayer collective latency, so the two
+/// differ by orders of magnitude and each layout must be stressed
+/// relative to its own service rate.
+fn probe_service_time(cfg: &VitConfig, spec: EngineSpec, world: usize) -> f64 {
+    let server = ForecastServer::new(ServeConfig::new(spec, world, *cfg));
+    // Arrivals 1000 s apart: each request is served alone and idle.
+    let outcome = server.serve(make_requests(cfg, 4, 1000.0, 7));
+    assert_eq!(outcome.stats.completed, 4, "probe must serve everything");
+    outcome.stats.mean_latency
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let cfg = VitConfig::test_tiny();
+    let n = if smoke { 12 } else { 64 };
+
+    let layouts = [
+        ("single", EngineSpec::Single, 1usize),
+        ("ddp", EngineSpec::Ddp, 2),
+        ("tensor_parallel", EngineSpec::TensorParallel, 2),
+    ];
+
+    let mut probes = Vec::new();
+    let mut rows_json = Vec::new();
+    let mut rows_table = Vec::new();
+    for (lname, spec, world) in layouts {
+        let service = probe_service_time(&cfg, spec, world);
+        println!(
+            "{lname}: single-request service time {} s",
+            fmt_secs(service)
+        );
+        probes.push(json!({ "layout": lname, "service_time": service }));
+
+        // Offered load: arrival gaps from 4x the layout's service time
+        // (light) through saturation to 4x overload.
+        let gaps = [4.0 * service, service, 0.25 * service];
+        let policies = [
+            ("immediate", BatchPolicy::immediate()),
+            ("batch4", BatchPolicy::batched(4, 2.0 * service)),
+            ("batch8", BatchPolicy::batched(8, 8.0 * service)),
+        ];
+        for (pname, policy) in policies {
+            for gap in gaps {
+                let server = ForecastServer::new(
+                    ServeConfig::new(spec, world, cfg)
+                        .with_policy(policy)
+                        .with_capacity(n),
+                );
+                let outcome = server.serve(make_requests(&cfg, n, gap, 13));
+                let s = &outcome.stats;
+                assert_eq!(s.duplicates, 0, "exactly-once serving");
+                rows_table.push(vec![
+                    lname.to_string(),
+                    pname.to_string(),
+                    format!("{:.0}", 1.0 / gap),
+                    s.completed.to_string(),
+                    fmt_secs(s.p50_latency),
+                    fmt_secs(s.p95_latency),
+                    fmt_secs(s.p99_latency),
+                    format!("{:.0}", s.throughput),
+                    format!("{:?}", s.batch_hist),
+                ]);
+                rows_json.push(json!({
+                    "layout": lname,
+                    "world": world,
+                    "policy": pname,
+                    "max_batch": policy.max_batch,
+                    "max_linger": policy.max_linger,
+                    "offered_gap": gap,
+                    "offered_rate": 1.0 / gap,
+                    "n_requests": n,
+                    "stats": s.to_json(),
+                }));
+            }
+        }
+    }
+
+    print_table(
+        "serve_bench: offered load x batch policy",
+        &[
+            "layout", "policy", "req/s", "done", "p50", "p95", "p99", "tput", "batches",
+        ],
+        &rows_table,
+    );
+
+    let v = json!({
+        "experiment": "serve_bench",
+        "smoke": smoke,
+        "service_times": probes,
+        "n_requests": n,
+        "rows": rows_json,
+    });
+    write_json("serve_bench", &v);
+}

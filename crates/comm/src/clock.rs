@@ -141,6 +141,17 @@ impl SimClock {
         });
     }
 
+    /// Record a named span (e.g. a serving-layer request lifecycle phase)
+    /// into this rank's event log. `t_start`/`dur` are simulated seconds;
+    /// the span does not advance the clock.
+    pub fn record_span(&mut self, name: impl Into<String>, t_start: f64, dur: f64) {
+        self.events.push(TraceEvent::Span {
+            name: name.into(),
+            t_start,
+            dur,
+        });
+    }
+
     /// Jump this clock forward to `t` if `t` is later (collective sync).
     pub fn sync_to(&mut self, t: f64) {
         if t > self.now {

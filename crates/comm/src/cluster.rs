@@ -11,7 +11,9 @@ use crate::clock::SimClock;
 use crate::fault::{FailureCause, FaultKind, FaultPlan, FaultPlanState, RankOutcome, SimError};
 use crate::group::{Engine, ProcessGroup, DEFAULT_OP_TIMEOUT};
 use crate::memory::Device;
-use crate::verify::{verify_schedule, ScheduleLog, SchedulePerturb, ScheduleRecord, VerifyReport};
+use crate::verify::{
+    verify_schedule_with_faults, ScheduleLog, SchedulePerturb, ScheduleRecord, VerifyReport,
+};
 use crate::CommError;
 use orbit_frontier::machine::FrontierMachine;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -44,6 +46,10 @@ pub struct Cluster {
     /// Schedule snapshot of the most recent launch (when `verify` was on),
     /// for [`Cluster::last_verify_report`].
     last_schedule: Mutex<Option<Vec<ScheduleRecord>>>,
+    /// Ranks that failed during the most recent launch (killed, OOMed,
+    /// panicked, or died observing a peer failure). Fed to the verifier as
+    /// fault-excused ranks so truncated schedules still verify.
+    last_failed: Mutex<Vec<usize>>,
 }
 
 impl Cluster {
@@ -57,6 +63,7 @@ impl Cluster {
             verify: cfg!(debug_assertions),
             perturb_seed: None,
             last_schedule: Mutex::new(None),
+            last_failed: Mutex::new(Vec::new()),
         }
     }
 
@@ -128,15 +135,13 @@ impl Cluster {
                 RankOutcome::Failed(cause) => panic!("rank thread panicked: {cause}"),
             })
             .collect();
-        // With verification on and no fault plan, a finding is a program
-        // bug: surface it here instead of letting it hide behind a
-        // plausible-looking result. (Fault-truncated schedules are the
-        // checker's declared follow-on work — see ROADMAP — so faulty
-        // launches only verify on request via `last_verify_report`.)
-        if self.fault_plan.is_none() {
-            if let Some(report) = self.last_verify_report() {
-                assert!(report.is_clean(), "schedule verification failed:\n{report}");
-            }
+        // With verification on, a finding is a program bug: surface it
+        // here instead of letting it hide behind a plausible-looking
+        // result. Fault-plan launches verify too — the checker excuses
+        // fault-truncated suffixes (`verify_schedule_with_faults`), so a
+        // clean report means every divergence is explained by a fault.
+        if let Some(report) = self.last_verify_report() {
+            assert!(report.is_clean(), "schedule verification failed:\n{report}");
         }
         results
     }
@@ -169,10 +174,19 @@ impl Cluster {
     /// Verify the most recent launch's collective schedule, if it was
     /// recorded (`verify` on, or a [`Cluster::verify_run`] launch). Useful
     /// after a failed [`Cluster::try_run`] to diagnose *why* ranks timed
-    /// out or panicked.
+    /// out or panicked. Only ranks whose death is explained by the fault
+    /// model — injected kills, severed links, OOM, and peers that died
+    /// observing such a victim — are excused (see
+    /// [`crate::verify::verify_schedule_with_faults`]); ranks that failed
+    /// from panics, timeouts, or schedule bugs still produce findings. On
+    /// a fault-injected run, a clean report therefore means every schedule
+    /// divergence is explained by the injected faults.
     pub fn last_verify_report(&self) -> Option<VerifyReport> {
         let snapshot = self.last_schedule.lock().unwrap_or_else(|e| e.into_inner());
-        snapshot.as_ref().map(|records| verify_schedule(records))
+        let failed = self.last_failed.lock().unwrap_or_else(|e| e.into_inner());
+        snapshot
+            .as_ref()
+            .map(|records| verify_schedule_with_faults(records, &failed))
     }
 
     /// Run a fault-tolerant SPMD function on `world` ranks. Each rank
@@ -257,8 +271,54 @@ impl Cluster {
             }
         });
         *self.last_schedule.lock().unwrap_or_else(|e| e.into_inner()) = log.map(|l| l.snapshot());
-        out.into_iter().map(|o| o.unwrap()).collect()
+        let out: Vec<RankOutcome<R>> = out.into_iter().map(|o| o.unwrap()).collect();
+        *self.last_failed.lock().unwrap_or_else(|e| e.into_inner()) = fault_victims(&out);
+        out
     }
+}
+
+/// Ranks whose failure is *explained by the fault model* and may therefore
+/// be excused by the schedule checker: victims of an injected kill or link
+/// severing, ranks that ran out of (possibly fault-poisoned) device memory,
+/// and — transitively — peers that died observing such a victim's failure.
+/// Ranks that failed any other way (panic, timeout, schedule bug) are NOT
+/// excused: their truncated streams must still produce diagnostics, or the
+/// checker would wave through the very defects it exists to catch.
+fn fault_victims<R>(out: &[RankOutcome<R>]) -> Vec<usize> {
+    let mut excused: Vec<usize> = out
+        .iter()
+        .enumerate()
+        .filter(|(_, o)| {
+            matches!(
+                o.sim_error(),
+                Some(SimError::Killed { .. })
+                    | Some(SimError::Comm(CommError::LinkDown { .. }))
+                    | Some(SimError::Oom(_))
+            )
+        })
+        .map(|(rank, _)| rank)
+        .collect();
+    loop {
+        let cascade: Vec<usize> = out
+            .iter()
+            .enumerate()
+            .filter(|(rank, o)| {
+                !excused.contains(rank)
+                    && matches!(
+                        o.sim_error(),
+                        Some(SimError::Comm(CommError::PeerFailure { rank: blamed }))
+                            if excused.contains(blamed)
+                    )
+            })
+            .map(|(rank, _)| rank)
+            .collect();
+        if cascade.is_empty() {
+            break;
+        }
+        excused.extend(cascade);
+    }
+    excused.sort_unstable();
+    excused
 }
 
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
@@ -499,6 +559,53 @@ mod tests {
             outcomes[1].sim_error(),
             Some(SimError::Killed { rank: 1, step: 2 })
         ));
+    }
+
+    #[test]
+    fn killed_rank_mid_collectives_verifies_clean() {
+        // Rank 1 dies between collectives; rank 0's stranded op and rank
+        // 1's truncated schedule are excused, so the report is clean.
+        let cluster = Cluster::frontier()
+            .with_schedule_verification(true)
+            .with_op_timeout(Duration::from_secs(5))
+            .with_fault_plan(FaultPlan::new().kill(1, 1));
+        let outcomes = cluster.try_run(2, |ctx| {
+            let mut g = ctx.world_group();
+            let mut clock = std::mem::take(&mut ctx.clock);
+            let mut acc = 0.0;
+            let mut run = || -> Result<(), SimError> {
+                for step in 0..3u64 {
+                    ctx.begin_step(step)?;
+                    acc += g.all_reduce_scalar(&mut clock, 1.0)?;
+                }
+                Ok(())
+            };
+            let r = run();
+            ctx.clock = clock;
+            r.map(|_| acc)
+        });
+        assert!(!outcomes[1].is_ok(), "rank 1 must die at step 1");
+        let report = cluster.last_verify_report().expect("verification was on");
+        assert!(report.is_clean(), "{report}");
+        assert!(report.excused >= 1, "{report}");
+    }
+
+    #[test]
+    fn run_asserts_clean_schedule_with_nonfatal_faults() {
+        // `run` now verifies fault-plan launches too: a straggler fault
+        // truncates nothing, so the report must be clean and not panic.
+        let cluster = Cluster::frontier()
+            .with_schedule_verification(true)
+            .with_fault_plan(FaultPlan::new().slow(0, 0, 2.0));
+        let results = cluster.run(2, |ctx| {
+            ctx.begin_step(0).unwrap();
+            let mut g = ctx.world_group();
+            let mut clock = std::mem::take(&mut ctx.clock);
+            let r = g.all_reduce_scalar(&mut clock, 1.0).unwrap();
+            ctx.clock = clock;
+            r
+        });
+        assert_eq!(results, vec![2.0; 2]);
     }
 
     #[test]

@@ -89,6 +89,15 @@ pub enum TraceEvent {
     /// [`crate::SimClock::record_fault`] (e.g. "kill rank 2",
     /// "restart from checkpoint step 8").
     Fault { t: f64, label: String },
+    /// A named interval recorded by a higher layer via
+    /// [`crate::SimClock::record_span`] — e.g. the serving layer's
+    /// request lifecycle phases ("req 3 queued", "req 3 serve"). Spans
+    /// carry no communication payload; `orbit-verify` ignores them.
+    Span {
+        name: String,
+        t_start: f64,
+        dur: f64,
+    },
 }
 
 impl TraceEvent {
@@ -98,6 +107,7 @@ impl TraceEvent {
             TraceEvent::Comm(e) => e.t_start,
             TraceEvent::Compute { t_start, .. } => *t_start,
             TraceEvent::Fault { t, .. } => *t,
+            TraceEvent::Span { t_start, .. } => *t_start,
         }
     }
 
@@ -201,6 +211,19 @@ fn push_event_json(out: &mut String, rank: usize, ev: &TraceEvent) {
                 rank,
             ));
         }
+        TraceEvent::Span { name, t_start, dur } => {
+            let escaped = name.replace('\\', "\\\\").replace('"', "\\\"");
+            out.push_str(&format!(
+                concat!(
+                    "{{\"name\":\"{}\",\"cat\":\"span\",\"ph\":\"X\",",
+                    "\"ts\":{},\"dur\":{},\"pid\":0,\"tid\":{}}}"
+                ),
+                escaped,
+                json_num(t_start * US),
+                json_num(dur * US),
+                rank,
+            ));
+        }
     }
 }
 
@@ -270,6 +293,20 @@ mod tests {
         assert!(s.contains("\"cat\":\"fault\""));
         assert!(s.contains("\"ph\":\"i\""));
         assert!(s.contains("\"ts\":2000.0"), "{s}");
+    }
+
+    #[test]
+    fn span_events_serialize_as_complete_events() {
+        let s = chrome_trace(&[vec![TraceEvent::Span {
+            name: "req 7 serve".to_string(),
+            t_start: 1e-3,
+            dur: 5e-4,
+        }]]);
+        assert!(s.contains("\"name\":\"req 7 serve\""));
+        assert!(s.contains("\"cat\":\"span\""));
+        assert!(s.contains("\"ph\":\"X\""));
+        assert!(s.contains("\"ts\":1000.0"), "{s}");
+        assert!(s.contains("\"dur\":500.0"), "{s}");
     }
 
     #[test]

@@ -408,6 +408,9 @@ pub struct VerifyReport {
     pub groups: usize,
     /// Distinct ranks observed.
     pub ranks: usize,
+    /// Ranks excused by fault injection (see
+    /// [`verify_schedule_with_faults`]).
+    pub excused: usize,
 }
 
 impl VerifyReport {
@@ -426,10 +429,15 @@ impl fmt::Display for VerifyReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "schedule verification: {} op(s), {} group(s), {} rank(s): {}",
+            "schedule verification: {} op(s), {} group(s), {} rank(s){}: {}",
             self.ops,
             self.groups,
             self.ranks,
+            if self.excused > 0 {
+                format!(", {} fault-excused", self.excused)
+            } else {
+                String::new()
+            },
             if self.is_clean() {
                 "clean".to_string()
             } else {
@@ -455,8 +463,27 @@ struct GroupView {
 /// Replay per-rank issue streams and report every schedule defect. Pure
 /// function over the records; see module docs for the rule set.
 pub fn verify_schedule(records: &[ScheduleRecord]) -> VerifyReport {
+    verify_schedule_with_faults(records, &[])
+}
+
+/// Like [`verify_schedule`], but for schedules truncated by fault
+/// injection: `excused` names the ranks that failed during the run (both
+/// injected kills and secondary [`crate::CommError::PeerFailure`]
+/// casualties).
+///
+/// Within each group containing an excused member, a *cutoff* position is
+/// computed: the smallest number of collectives any excused member
+/// completed there. Below the cutoff the schedule is still fully
+/// verifiable — a victim cannot have completed call `k` unless every
+/// member posted calls `0..=k`, so genuine divergence keeps reporting.
+/// At and beyond the cutoff, truncation (missing ops, blocked peers,
+/// stranded p2p, wait-for edges into the victim) is explained by the
+/// fault and excused. Structural checks (group order, foreign ranks)
+/// always apply.
+pub fn verify_schedule_with_faults(records: &[ScheduleRecord], excused: &[usize]) -> VerifyReport {
     let mut report = VerifyReport {
         ops: records.len(),
+        excused: excused.len(),
         ..VerifyReport::default()
     };
     let mut ranks_seen: Vec<usize> = records.iter().map(|r| r.rank).collect();
@@ -520,12 +547,29 @@ pub fn verify_schedule(records: &[ScheduleRecord]) -> VerifyReport {
 
     for key in &group_keys {
         let view = &groups[key];
-        check_group_consistency(records, key, view, &mut report);
-        check_group_liveness(records, key, view, &mut report);
-        check_group_p2p(records, key, view, &mut report);
+        check_group_consistency(records, key, view, excused, &mut report);
+        check_group_liveness(records, key, view, excused, &mut report);
+        check_group_p2p(records, key, view, excused, &mut report);
     }
-    check_deadlock_cycles(records, &groups, &mut report);
+    check_deadlock_cycles(records, &groups, excused, &mut report);
     report
+}
+
+/// The fault cutoff of one group: the smallest count of *completed*
+/// collectives among its excused members, or `usize::MAX` when the group
+/// has no excused member (fully verifiable). Positions at or beyond the
+/// cutoff happened "after the fault" and are excused from consistency and
+/// liveness checks.
+fn fault_cutoff(seqs: &HashMap<usize, Vec<&ScheduleRecord>>, excused: &[usize]) -> usize {
+    seqs.iter()
+        .filter(|(m, _)| excused.contains(m))
+        .map(|(_, seq)| {
+            seq.iter()
+                .filter(|r| r.status == OpStatus::Completed)
+                .count()
+        })
+        .min()
+        .unwrap_or(usize::MAX)
 }
 
 /// Collective records only (p2p streams pair independently of the
@@ -556,6 +600,7 @@ fn check_group_consistency(
     records: &[ScheduleRecord],
     key: &[usize],
     view: &GroupView,
+    excused: &[usize],
     report: &mut VerifyReport,
 ) {
     let members: Vec<usize> = key.to_vec();
@@ -567,8 +612,9 @@ fn check_group_consistency(
         .map(|&m| (m, collective_seq(records, view, m)))
         .collect();
     let max_len = seqs.values().map(|s| s.len()).max().unwrap_or(0);
+    let cutoff = fault_cutoff(&seqs, excused);
     let mut missing_reported: Vec<usize> = Vec::new();
-    for pos in 0..max_len {
+    for pos in 0..max_len.min(cutoff) {
         // Reference: the lowest-ranked member that issued call #pos.
         let Some(&ref_rank) = members.iter().find(|m| seqs[m].len() > pos) else {
             break;
@@ -693,6 +739,7 @@ fn check_group_liveness(
     records: &[ScheduleRecord],
     key: &[usize],
     view: &GroupView,
+    excused: &[usize],
     report: &mut VerifyReport,
 ) {
     let members: Vec<usize> = key.to_vec();
@@ -702,7 +749,8 @@ fn check_group_liveness(
         .collect();
     let min_len = members.iter().map(|m| seqs[m].len()).min().unwrap_or(0);
     let max_len = seqs.values().map(|s| s.len()).max().unwrap_or(0);
-    for pos in 0..max_len {
+    let cutoff = fault_cutoff(&seqs, excused);
+    for pos in 0..max_len.min(cutoff) {
         let complete = pos < min_len; // every member posted call #pos
         for &m in &members {
             let Some(rec) = seqs[&m].get(pos) else {
@@ -735,8 +783,14 @@ fn check_group_p2p(
     records: &[ScheduleRecord],
     key: &[usize],
     view: &GroupView,
+    excused: &[usize],
     report: &mut VerifyReport,
 ) {
+    // A killed endpoint legitimately strands in-flight sends; pairing is
+    // unverifiable on any stream touching a fault-excused rank.
+    if key.iter().any(|m| excused.contains(m)) {
+        return;
+    }
     let p2p: Vec<&ScheduleRecord> = view
         .seqs
         .values()
@@ -803,9 +857,13 @@ fn check_group_p2p(
 fn check_deadlock_cycles(
     records: &[ScheduleRecord],
     groups: &HashMap<Vec<usize>, GroupView>,
+    excused: &[usize],
     report: &mut VerifyReport,
 ) {
     // rank -> set of ranks it waits on, plus a description per waiter.
+    // Fault-excused ranks contribute no edges in either direction: a dead
+    // rank is not "blocked", and waiting on a dead rank is resolved by the
+    // PeerFailure blame path, not a deadlock.
     let mut edges: HashMap<usize, Vec<usize>> = HashMap::new();
     let mut blocked_in: HashMap<usize, String> = HashMap::new();
     let mut keys: Vec<&Vec<usize>> = groups.keys().collect();
@@ -817,16 +875,20 @@ fn check_deadlock_cycles(
             .map(|&m| (m, collective_seq(records, view, m)))
             .collect();
         let max_len = seqs.values().map(|s| s.len()).max().unwrap_or(0);
-        for pos in 0..max_len {
+        let cutoff = fault_cutoff(&seqs, excused);
+        for pos in 0..max_len.min(cutoff) {
             let missing: Vec<usize> = key
                 .iter()
                 .copied()
-                .filter(|m| seqs[m].len() <= pos)
+                .filter(|m| seqs[m].len() <= pos && !excused.contains(m))
                 .collect();
             if missing.is_empty() {
                 continue;
             }
             for &m in key.iter() {
+                if excused.contains(&m) {
+                    continue;
+                }
                 let Some(rec) = seqs[&m].get(pos) else {
                     continue;
                 };
@@ -840,11 +902,17 @@ fn check_deadlock_cycles(
         }
         // Blocked receives wait on their sender.
         for (&m, idxs) in &view.seqs {
+            if excused.contains(&m) {
+                continue;
+            }
             for &i in idxs {
                 let rec = &records[i];
                 if rec.op == CommOp::Recv && rec.status == OpStatus::Issued {
                     if let Some((src, _)) = rec.peer {
                         if let Some(&src_rank) = view.order.get(src) {
+                            if excused.contains(&src_rank) {
+                                continue;
+                            }
                             edges.entry(m).or_default().push(src_rank);
                             blocked_in
                                 .entry(m)
@@ -1150,6 +1218,78 @@ mod tests {
     fn singleton_groups_are_trivially_clean() {
         let records = vec![rec(0, vec![0], CommOp::AllReduce, 4)];
         assert!(verify_schedule(&records).is_clean());
+    }
+
+    #[test]
+    fn killed_rank_truncation_is_excused() {
+        // Rank 1 died after completing call #0: it has no call #1, and
+        // rank 0 is left blocked there. Without excusal that is a
+        // MissingOp; with rank 1 excused the schedule is clean.
+        let records = vec![
+            rec(0, vec![0, 1], CommOp::AllReduce, 4),
+            rec(1, vec![0, 1], CommOp::AllReduce, 4),
+            rec(0, vec![0, 1], CommOp::AllReduce, 4).with_status(OpStatus::Issued),
+        ];
+        let strict = verify_schedule(&records);
+        assert!(
+            strict.to_string().contains("no counterpart"),
+            "without excusal the truncation is a MissingOp: {strict}"
+        );
+        let report = verify_schedule_with_faults(&records, &[1]);
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(report.excused, 1);
+        assert!(report.to_string().contains("1 fault-excused"));
+    }
+
+    #[test]
+    fn killed_rank_with_no_ops_excuses_the_whole_group() {
+        // Victim died before its first collective: cutoff 0, so the
+        // survivor's lone issued op is excused too.
+        let records = vec![rec(0, vec![0, 1], CommOp::AllReduce, 4).with_status(OpStatus::Issued)];
+        let report = verify_schedule_with_faults(&records, &[1]);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn divergence_before_the_fault_still_reports() {
+        // The kind mismatch at call #0 happened while everyone was alive
+        // (the victim completed #0 and #1): excusal must not hide it.
+        let records = vec![
+            rec(0, vec![0, 1], CommOp::AllGather, 4),
+            rec(1, vec![0, 1], CommOp::ReduceScatter, 4),
+            rec(0, vec![0, 1], CommOp::AllReduce, 4),
+            rec(1, vec![0, 1], CommOp::AllReduce, 4),
+        ];
+        let report = verify_schedule_with_faults(&records, &[1]);
+        assert!(!report.is_clean());
+        assert!(report.to_string().contains("schedule divergence"));
+    }
+
+    #[test]
+    fn faults_excuse_stranded_sends_and_victim_deadlock_edges() {
+        // A send into a dead receiver and a collective blocked on the
+        // victim: both explained by the fault.
+        let records = vec![
+            rec(0, vec![0, 1], CommOp::Send, 4).with_peer(0, 1),
+            rec(0, vec![0, 1], CommOp::AllReduce, 4).with_status(OpStatus::Issued),
+        ];
+        let strict = verify_schedule(&records);
+        assert!(!strict.is_clean(), "{strict}");
+        let report = verify_schedule_with_faults(&records, &[1]);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn unrelated_deadlock_cycles_survive_excusal() {
+        // Rank 3 died, but ranks 0..=2 genuinely deadlock among
+        // themselves: the cycle must still be found.
+        let records = vec![
+            rec(0, vec![0, 1], CommOp::AllReduce, 4).with_status(OpStatus::Issued),
+            rec(1, vec![1, 2], CommOp::AllReduce, 4).with_status(OpStatus::Issued),
+            rec(2, vec![0, 2], CommOp::AllReduce, 4).with_status(OpStatus::Issued),
+        ];
+        let report = verify_schedule_with_faults(&records, &[3]);
+        assert!(report.to_string().contains("would-deadlock cycle"));
     }
 
     #[test]

@@ -83,6 +83,22 @@ impl Engine for DdpEngine {
         Ok(self.trainer.finish_step(ctx, t0, loss, grad_norm, applied))
     }
 
+    /// Inference-only forward on the *local* replica: parameters are
+    /// replicated, so serving needs no collectives and each DDP rank can
+    /// answer requests independently (the serving layer exploits exactly
+    /// this for retry-on-surviving-replica).
+    fn predict(
+        &mut self,
+        ctx: &mut RankCtx,
+        inputs: &[Vec<orbit_tensor::Tensor>],
+    ) -> Result<Vec<Vec<orbit_tensor::Tensor>>, SimError> {
+        let dims = self.model.cfg.dims;
+        let preds = self.model.predict_batch(inputs);
+        self.trainer
+            .charge_compute(ctx, inputs.len(), dims.forward_flops() as f64);
+        Ok(preds)
+    }
+
     /// Replicas are identical, so the checkpoint is captured locally — but
     /// a barrier keeps the call collective (every rank reaches the same
     /// step before any of them persists state).

@@ -130,6 +130,30 @@ impl Engine for FsdpEngine {
         Ok(self.trainer.finish_step(ctx, t0, loss, grad_norm, applied))
     }
 
+    /// Inference-only forward: the full parameter vector is transiently
+    /// all-gathered (same peak-memory move as the training path, minus the
+    /// gradient buffer), loaded into the local model structure, and the
+    /// batch runs a plain local forward. Collective: every rank must call
+    /// together with identical inputs; each returns the full predictions.
+    fn predict(
+        &mut self,
+        ctx: &mut RankCtx,
+        inputs: &[Vec<orbit_tensor::Tensor>],
+    ) -> Result<Vec<Vec<orbit_tensor::Tensor>>, SimError> {
+        let full_padded = padded_len(self.param_len, self.group.size());
+        let _gather_alloc = ctx
+            .device
+            .alloc(full_padded as u64 * self.trainer.param_bytes())?;
+        let full = self.gather_full_params(ctx)?;
+        self.model.load_flat_params(&full);
+        drop(full);
+        let dims = self.model.cfg.dims;
+        let preds = self.model.predict_batch(inputs);
+        self.trainer
+            .charge_compute(ctx, inputs.len(), dims.forward_flops() as f64);
+        Ok(preds)
+    }
+
     /// All-gather the parameter and Adam-moment shards into the full flat
     /// layout. Identical on every rank (all shards flow to all ranks).
     fn capture_checkpoint(&mut self, ctx: &mut RankCtx) -> Result<Checkpoint, SimError> {

@@ -43,6 +43,7 @@ use orbit_comm::{OomError, RankCtx, SimError};
 use orbit_frontier::perfmodel::Calibration;
 use orbit_frontier::{FrontierMachine, ParallelLayout, TrainOptions};
 use orbit_tensor::kernels::AdamW;
+use orbit_tensor::Tensor;
 use orbit_vit::{Batch, Checkpoint, VitConfig};
 
 /// A distributed training engine: one parallelism strategy driving the
@@ -69,6 +70,25 @@ pub trait Engine {
     /// the restart half of checkpoint/restart, including Hybrid-STOP's
     /// reshard-on-restart. Collective: all ranks must call it together.
     fn restore_checkpoint(&mut self, ctx: &mut RankCtx, ck: &Checkpoint) -> Result<(), SimError>;
+
+    /// Inference-only forward over a batch of observations (each a vector
+    /// of per-channel images), the serving path: no loss, no backward, no
+    /// optimizer. Compute is charged at forward cost. Collective for
+    /// sharded layouts — every rank of the engine's communicator must call
+    /// it together with identical inputs, and each returns the full
+    /// predictions. Engines without an inference path (pipeline,
+    /// hybrid-STOP) return a typed [`SimError::State`].
+    fn predict(
+        &mut self,
+        ctx: &mut RankCtx,
+        inputs: &[Vec<Tensor>],
+    ) -> Result<Vec<Vec<Tensor>>, SimError> {
+        let _ = (ctx, inputs);
+        Err(SimError::State(format!(
+            "engine {} has no inference-only forward",
+            self.name()
+        )))
+    }
 
     /// Stable snake_case strategy name (used in reports and traces).
     fn name(&self) -> &str;

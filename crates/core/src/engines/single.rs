@@ -80,6 +80,20 @@ impl Engine for SingleDeviceEngine {
         Ok(self.trainer.finish_step(ctx, t0, loss, grad_norm, applied))
     }
 
+    /// Inference-only forward: the whole model is local, so serving needs
+    /// no collectives. Charges forward-cost compute.
+    fn predict(
+        &mut self,
+        ctx: &mut RankCtx,
+        inputs: &[Vec<orbit_tensor::Tensor>],
+    ) -> Result<Vec<Vec<orbit_tensor::Tensor>>, SimError> {
+        let dims = self.model.cfg.dims;
+        let preds = self.model.predict_batch(inputs);
+        self.trainer
+            .charge_compute(ctx, inputs.len(), dims.forward_flops() as f64);
+        Ok(preds)
+    }
+
     fn capture_checkpoint(&mut self, _ctx: &mut RankCtx) -> Result<Checkpoint, SimError> {
         Ok(Checkpoint::capture(&mut self.model, &self.state)
             .with_scaler(self.trainer.scaler_state()))

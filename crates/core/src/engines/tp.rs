@@ -318,6 +318,31 @@ impl Engine for TensorParallelEngine {
         Ok(self.trainer.finish_step(ctx, t0, loss, grad_norm, applied))
     }
 
+    /// Inference-only forward through the sharded blocks. Collective:
+    /// every TP rank must call this together with identical inputs (the
+    /// block forwards all-reduce activations every sub-layer); each rank
+    /// returns the full predictions. Charges ~1/tp of the forward FLOPs.
+    fn predict(
+        &mut self,
+        ctx: &mut RankCtx,
+        inputs: &[Vec<Tensor>],
+    ) -> Result<Vec<Vec<Tensor>>, SimError> {
+        let dims = self.front.cfg.dims;
+        let mut preds = Vec::with_capacity(inputs.len());
+        for images in inputs {
+            let (x0, _front_cache) = self.front.front_forward(images);
+            let mut x = x0;
+            for b in &self.blocks {
+                let (y, _c) = b.forward(&x, &mut self.tp_group, &mut ctx.clock)?;
+                x = y;
+            }
+            preds.push(self.front.head_forward(&x));
+        }
+        let per_obs = dims.forward_flops() as f64 / self.tp as f64;
+        self.trainer.charge_compute(ctx, inputs.len(), per_obs);
+        Ok(preds)
+    }
+
     /// Assemble the full reference model: the front is replicated locally;
     /// blocks (parameters and Adam moments alike) are TP all-gathered and
     /// reassembled into reference order. Moments of TP-replicated tensors

@@ -1,0 +1,54 @@
+//! orbit-serve: a sharded, dynamically-batched inference subsystem on
+//! the simulated cluster.
+//!
+//! Training builds the model; this crate answers for it. A
+//! [`ForecastServer`] owns a replica group laid out by any inference-
+//! capable [`EngineSpec`](orbit_core::EngineSpec) — single-device,
+//! DDP-replicated, tensor-parallel, or FSDP — and runs serving sessions:
+//! requests arrive on a simulated timeline, a dynamic batcher groups them
+//! under a [`BatchPolicy`] (max batch size + linger deadline), a bounded
+//! admission queue applies backpressure ([`ServeError::Overloaded`]),
+//! per-request deadlines expire while queued, and replica failures
+//! injected by a [`FaultPlan`](orbit_comm::FaultPlan) re-queue in-flight
+//! batches onto surviving replicas with exactly-once delivery.
+//!
+//! The model math is per-sample, so a batched forward is bit-identical
+//! to serving each request alone — batching changes scheduling and
+//! latency, never numerics. Request lifecycles export as Chrome-trace
+//! spans next to the collective events, and [`ServerStats`] aggregates
+//! p50/p95/p99 latency, throughput, the batch-size histogram, and
+//! rejection counts.
+//!
+//! ```
+//! use orbit_serve::{BatchPolicy, ForecastRequest, ForecastServer, ServeConfig};
+//! use orbit_core::EngineSpec;
+//! use orbit_tensor::Tensor;
+//! use orbit_vit::VitConfig;
+//!
+//! let cfg = VitConfig::test_tiny();
+//! let server = ForecastServer::new(
+//!     ServeConfig::new(EngineSpec::Single, 1, cfg)
+//!         .with_policy(BatchPolicy::batched(4, 0.05)),
+//! );
+//! let requests: Vec<ForecastRequest> = (0..4)
+//!     .map(|i| {
+//!         let images = (0..cfg.dims.channels)
+//!             .map(|c| Tensor::full(cfg.dims.img_h, cfg.dims.img_w, (i + c) as f32))
+//!             .collect();
+//!         ForecastRequest::new(i as u64, images, 0.01 * i as f64)
+//!     })
+//!     .collect();
+//! let outcome = server.serve(requests);
+//! assert_eq!(outcome.stats.completed, 4);
+//! assert_eq!(outcome.stats.duplicates, 0);
+//! ```
+
+pub mod queue;
+pub mod request;
+pub mod server;
+pub mod stats;
+
+pub use queue::{BatchLease, BatchPolicy, Polled, RequestQueue};
+pub use request::{ForecastRequest, ForecastResponse, RequestTiming, ServeError};
+pub use server::{ForecastServer, ServeConfig, ServeOutcome};
+pub use stats::ServerStats;

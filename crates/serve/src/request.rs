@@ -1,0 +1,147 @@
+//! Request and response types for the serving layer.
+//!
+//! A [`ForecastRequest`] is one inference job: a set of per-channel input
+//! images (the same shape the training path consumes) stamped with a
+//! simulated arrival time and an optional absolute deadline. The server
+//! answers every admitted request exactly once with a
+//! [`ForecastResponse`] — either the predicted output channels or a typed
+//! [`ServeError`] explaining why the request was not served.
+
+use orbit_tensor::Tensor;
+
+/// One inference request against the served model.
+#[derive(Debug, Clone)]
+pub struct ForecastRequest {
+    /// Caller-chosen id; must be unique within one serving session (the
+    /// response sink keys on it to detect duplicated deliveries).
+    pub id: u64,
+    /// Input images, one per model input channel.
+    pub images: Vec<Tensor>,
+    /// Simulated arrival time (seconds). Requests are pre-submitted and
+    /// become visible to the batcher once its virtual clock passes this.
+    pub t_arrival: f64,
+    /// Absolute simulated deadline; a request still waiting when the
+    /// batcher's clock passes it is rejected with
+    /// [`ServeError::DeadlineExceeded`].
+    pub deadline: Option<f64>,
+    /// How many times this request has been re-queued after the replica
+    /// serving it died mid-batch.
+    pub retries: u32,
+}
+
+impl ForecastRequest {
+    /// A request with no deadline arriving at `t_arrival`.
+    pub fn new(id: u64, images: Vec<Tensor>, t_arrival: f64) -> Self {
+        ForecastRequest {
+            id,
+            images,
+            t_arrival,
+            deadline: None,
+            retries: 0,
+        }
+    }
+
+    /// Set an absolute simulated-time deadline.
+    pub fn with_deadline(mut self, t: f64) -> Self {
+        self.deadline = Some(t);
+        self
+    }
+}
+
+/// Why a request was rejected instead of answered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeError {
+    /// The admission queue was full when the request arrived
+    /// (backpressure: the client should retry later).
+    Overloaded,
+    /// The request's deadline passed while it waited for a batch slot.
+    DeadlineExceeded,
+    /// The replica serving the request died and no survivor could retry
+    /// it (retry budget exhausted or every replica is gone).
+    ReplicaFailure,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Overloaded => write!(f, "overloaded: admission queue full"),
+            ServeError::DeadlineExceeded => write!(f, "deadline exceeded while queued"),
+            ServeError::ReplicaFailure => write!(f, "serving replica failed"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Per-request lifecycle timestamps (simulated seconds), mirrored into
+/// the Chrome-trace span layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RequestTiming {
+    /// When the request arrived.
+    pub t_arrival: f64,
+    /// When it was pulled into a batch (for rejections: when the reject
+    /// decision was made).
+    pub t_batch: f64,
+    /// When its response was produced.
+    pub t_done: f64,
+}
+
+impl RequestTiming {
+    /// End-to-end latency: arrival to response.
+    pub fn latency(&self) -> f64 {
+        self.t_done - self.t_arrival
+    }
+
+    /// Time spent waiting in the queue before batching.
+    pub fn queue_wait(&self) -> f64 {
+        self.t_batch - self.t_arrival
+    }
+}
+
+/// The server's answer to one [`ForecastRequest`].
+#[derive(Debug, Clone)]
+pub struct ForecastResponse {
+    /// Echoes [`ForecastRequest::id`].
+    pub id: u64,
+    /// Predicted output channels, or the typed rejection.
+    pub result: Result<Vec<Tensor>, ServeError>,
+    /// Lifecycle timestamps.
+    pub timing: RequestTiming,
+    /// Rank (replica leader) that produced the response; `usize::MAX` for
+    /// requests rejected before reaching a replica.
+    pub replica: usize,
+    /// Size of the batch the request was served in (0 for rejections).
+    pub batch_size: usize,
+}
+
+impl ForecastResponse {
+    /// Whether the request was answered with predictions.
+    pub fn is_ok(&self) -> bool {
+        self.result.is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_derives_latency_and_wait() {
+        let t = RequestTiming {
+            t_arrival: 1.0,
+            t_batch: 1.5,
+            t_done: 2.25,
+        };
+        assert!((t.latency() - 1.25).abs() < 1e-12);
+        assert!((t.queue_wait() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn errors_display() {
+        assert!(ServeError::Overloaded.to_string().contains("overloaded"));
+        assert!(ServeError::DeadlineExceeded
+            .to_string()
+            .contains("deadline"));
+        assert!(ServeError::ReplicaFailure.to_string().contains("replica"));
+    }
+}

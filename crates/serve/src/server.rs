@@ -1,0 +1,380 @@
+//! The forecast server: a sharded model replica group on the simulated
+//! cluster answering dynamically-batched inference requests.
+//!
+//! One [`ForecastServer::serve`] call is a complete serving session:
+//! requests are pre-submitted with virtual arrival stamps, the cluster
+//! launches one thread per rank, and each rank plays the role its
+//! [`EngineSpec`] implies:
+//!
+//! - **Replicated layouts** (`Single`, `Ddp`): every rank is an
+//!   independent replica — parameters are local, so each rank polls the
+//!   shared queue and serves batches with no collectives. When a
+//!   [`FaultPlan`] kills a replica mid-request, its [`BatchLease`] drops
+//!   and the requests re-queue for a surviving replica (exactly-once
+//!   delivery, verified by the response sink's duplicate counter).
+//! - **Sharded layouts** (`TensorParallel`, `Fsdp`): rank 0 leads — it
+//!   polls the queue and publishes each batch to the member ranks over a
+//!   host-side control-plane log (the CPU dispatch path of a real serving
+//!   stack; the simulated network is reserved for the model's own
+//!   collectives, whose sequence numbering a second communicator over the
+//!   same ranks would corrupt), then all ranks run the collective
+//!   [`Engine::predict`] together. A shutdown record — published even
+//!   when the leader dies, via a drop guard — releases the members.
+//!
+//! Every request's lifecycle (queued, serve, batch) is recorded as
+//! [`TraceEvent::Span`]s on the serving rank's clock, so a session
+//! exports to the same Chrome-trace/`orbit-verify` tooling as training.
+//!
+//! [`BatchLease`]: crate::queue::BatchLease
+//! [`TraceEvent::Span`]: orbit_comm::TraceEvent
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use orbit_comm::{Cluster, FaultPlan, RankCtx, RankOutcome, SimError, TraceEvent};
+use orbit_core::{build_engine, Engine, EngineSpec};
+use orbit_frontier::TrainOptions;
+use orbit_tensor::kernels::AdamW;
+use orbit_tensor::Tensor;
+use orbit_vit::VitConfig;
+
+use crate::queue::{BatchLease, BatchPolicy, Polled, RequestQueue};
+use crate::request::{ForecastRequest, ForecastResponse};
+use crate::stats::ServerStats;
+
+/// Everything a serving session needs besides the requests.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Parallelism layout of the served replica group. Supported:
+    /// `Single`, `Ddp`, `TensorParallel`, `Fsdp`.
+    pub spec: EngineSpec,
+    /// Cluster world size.
+    pub world: usize,
+    /// Model configuration (all ranks build the same weights from
+    /// `seed`).
+    pub model: VitConfig,
+    /// Weight-init seed shared by every rank.
+    pub seed: u64,
+    /// Dynamic-batching policy.
+    pub policy: BatchPolicy,
+    /// Admission-queue bound; arrivals past it are rejected
+    /// `Overloaded`.
+    pub queue_capacity: usize,
+    /// Per-request re-queue budget after replica failures.
+    pub max_retries: u32,
+}
+
+impl ServeConfig {
+    /// Defaults: immediate batching, capacity 64, 2 retries, seed 42.
+    pub fn new(spec: EngineSpec, world: usize, model: VitConfig) -> Self {
+        ServeConfig {
+            spec,
+            world,
+            model,
+            seed: 42,
+            policy: BatchPolicy::immediate(),
+            queue_capacity: 64,
+            max_retries: 2,
+        }
+    }
+
+    pub fn with_policy(mut self, policy: BatchPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    pub fn with_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity;
+        self
+    }
+
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    pub fn with_retries(mut self, retries: u32) -> Self {
+        self.max_retries = retries;
+        self
+    }
+}
+
+/// Result of one serving session.
+pub struct ServeOutcome {
+    /// One response per request, sorted by id (exactly one each).
+    pub responses: Vec<ForecastResponse>,
+    /// Aggregate latency/throughput/rejection statistics.
+    pub stats: ServerStats,
+    /// Per-rank trace events (request spans + collectives); a rank that
+    /// died contributes an empty vector.
+    pub trace: Vec<Vec<TraceEvent>>,
+    /// Which ranks survived the session.
+    pub survivors: Vec<bool>,
+}
+
+/// A serving session factory: owns the simulated cluster (and any fault
+/// plan) and runs sessions against it.
+pub struct ForecastServer {
+    cluster: Cluster,
+    cfg: ServeConfig,
+}
+
+impl ForecastServer {
+    /// Build a server on the frontier-calibrated cluster. Panics on
+    /// layouts without an inference path (`Pipeline`, `HybridStop`).
+    pub fn new(cfg: ServeConfig) -> Self {
+        assert!(
+            matches!(
+                cfg.spec,
+                EngineSpec::Single
+                    | EngineSpec::Ddp
+                    | EngineSpec::TensorParallel
+                    | EngineSpec::Fsdp
+            ),
+            "engine {} has no inference path; serve Single, Ddp, TensorParallel, or Fsdp",
+            cfg.spec.name()
+        );
+        assert!(cfg.world > 0, "world must be positive");
+        ForecastServer {
+            cluster: Cluster::frontier(),
+            cfg,
+        }
+    }
+
+    /// Install a fault plan: kills, stragglers, and link faults fire at
+    /// batch boundaries on the serving ranks.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.cluster = self.cluster.with_fault_plan(plan);
+        self
+    }
+
+    /// The underlying cluster (e.g. for
+    /// [`last_verify_report`](Cluster::last_verify_report) after a
+    /// session).
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// Run one complete serving session over `requests` and return every
+    /// response plus aggregate statistics. Exactly-once: each request id
+    /// gets one response even across replica failures and retries.
+    pub fn serve(&self, requests: Vec<ForecastRequest>) -> ServeOutcome {
+        let cfg = self.cfg;
+        let queue = Arc::new(RequestQueue::new(
+            cfg.policy,
+            cfg.queue_capacity,
+            cfg.max_retries,
+        ));
+        for r in requests {
+            queue.submit(r);
+        }
+        queue.close();
+
+        let control = Arc::new(ControlLog::new());
+        let q = &queue;
+        let ctl = &control;
+        let outcomes = self.cluster.try_run(cfg.world, |ctx| {
+            let mut engine = build_engine(
+                ctx,
+                cfg.spec,
+                cfg.model,
+                AdamW::default(),
+                TrainOptions::none(),
+                cfg.seed,
+            )?;
+            match cfg.spec {
+                EngineSpec::Single | EngineSpec::Ddp => {
+                    serve_replica(ctx, engine.as_mut(), q)?;
+                }
+                EngineSpec::TensorParallel | EngineSpec::Fsdp => {
+                    if ctx.rank == 0 {
+                        serve_leader(ctx, engine.as_mut(), q, ctl)?;
+                    } else {
+                        serve_member(ctx, engine.as_mut(), ctl)?;
+                    }
+                }
+                _ => unreachable!("validated in ForecastServer::new"),
+            }
+            Ok(ctx.clock.take_events())
+        });
+
+        // Anything the (possibly all-dead) replicas left behind fails.
+        queue.fail_remaining();
+
+        let survivors: Vec<bool> = outcomes.iter().map(|o| o.is_ok()).collect();
+        let trace: Vec<Vec<TraceEvent>> = outcomes
+            .into_iter()
+            .map(|o| match o {
+                RankOutcome::Ok(events) => events,
+                RankOutcome::Failed(_) => Vec::new(),
+            })
+            .collect();
+        let responses = queue.responses();
+        let stats = ServerStats::from_run(&responses, &queue.batch_sizes(), queue.duplicates());
+        ServeOutcome {
+            responses,
+            stats,
+            trace,
+            survivors,
+        }
+    }
+}
+
+/// Record the per-request lifecycle spans for a served batch.
+fn record_spans(ctx: &mut RankCtx, lease: &BatchLease, t_done: f64) {
+    let t_batch = lease.t_batch();
+    for r in lease.requests() {
+        ctx.clock.record_span(
+            format!("req {} queued", r.id),
+            r.t_arrival,
+            t_batch - r.t_arrival,
+        );
+        ctx.clock
+            .record_span(format!("req {} serve", r.id), t_batch, t_done - t_batch);
+    }
+    ctx.clock
+        .record_span(format!("batch x{}", lease.len()), t_batch, t_done - t_batch);
+}
+
+/// Serve as an independent replica (Single / DDP): parameters are local,
+/// so the rank polls, predicts, and replies with no collectives.
+fn serve_replica(
+    ctx: &mut RankCtx,
+    engine: &mut dyn Engine,
+    queue: &Arc<RequestQueue>,
+) -> Result<(), SimError> {
+    let mut step = 0u64;
+    loop {
+        match queue.poll(ctx.clock.now()) {
+            Polled::IdleUntil(t) => ctx.clock.sync_to(t),
+            Polled::Shutdown => return Ok(()),
+            Polled::Batch(lease) => {
+                // Fault boundary while the lease is held: a kill here (or
+                // inside predict) drops the lease and re-queues the batch
+                // for a surviving replica.
+                ctx.begin_step(step)?;
+                step += 1;
+                ctx.clock.sync_to(lease.t_batch());
+                let preds = engine.predict(ctx, &lease.inputs())?;
+                let t_done = ctx.clock.now();
+                record_spans(ctx, &lease, t_done);
+                lease.complete(t_done, ctx.rank, preds);
+            }
+        }
+    }
+}
+
+/// One record on the sharded replica's host-side dispatch log.
+#[derive(Clone)]
+enum ControlMsg {
+    /// A batch's inputs, identical on every rank (collective `predict`
+    /// requires it).
+    Batch(Vec<Vec<Tensor>>),
+    /// The session is over (queue drained, or the leader died).
+    Shutdown,
+}
+
+/// Append-only host-side dispatch log a sharded replica's leader feeds
+/// its members through. This is CPU-side coordination (the request path
+/// of a real serving stack); the simulated network carries only the
+/// model's own collectives.
+struct ControlLog {
+    msgs: Mutex<Vec<ControlMsg>>,
+    cv: Condvar,
+}
+
+impl ControlLog {
+    fn new() -> Self {
+        ControlLog {
+            msgs: Mutex::new(Vec::new()),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn publish(&self, msg: ControlMsg) {
+        self.msgs
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(msg);
+        self.cv.notify_all();
+    }
+
+    /// Blocking read of record `idx` (real-time backstop: a member
+    /// starved this long means the session itself is stuck).
+    fn get(&self, idx: usize) -> ControlMsg {
+        let mut msgs = self.msgs.lock().unwrap_or_else(|e| e.into_inner());
+        while msgs.len() <= idx {
+            let (guard, timeout) = self
+                .cv
+                .wait_timeout(msgs, Duration::from_secs(60))
+                .unwrap_or_else(|e| e.into_inner());
+            msgs = guard;
+            assert!(!timeout.timed_out(), "control log starved at record {idx}");
+        }
+        msgs[idx].clone()
+    }
+}
+
+/// Publishes `Shutdown` when dropped, so members are released even when
+/// the leader dies mid-request (error return or unwind).
+struct LeaderGuard<'a>(&'a ControlLog);
+
+impl Drop for LeaderGuard<'_> {
+    fn drop(&mut self) {
+        self.0.publish(ControlMsg::Shutdown);
+    }
+}
+
+/// Lead a sharded replica (TP / FSDP rank 0): poll, publish each batch
+/// to the members, run the collective forward together, reply.
+fn serve_leader(
+    ctx: &mut RankCtx,
+    engine: &mut dyn Engine,
+    queue: &Arc<RequestQueue>,
+    control: &ControlLog,
+) -> Result<(), SimError> {
+    let guard = LeaderGuard(control);
+    let mut step = 0u64;
+    loop {
+        match queue.poll(ctx.clock.now()) {
+            Polled::IdleUntil(t) => ctx.clock.sync_to(t),
+            Polled::Shutdown => {
+                drop(guard); // publishes the members' shutdown record
+                return Ok(());
+            }
+            Polled::Batch(lease) => {
+                ctx.begin_step(step)?;
+                step += 1;
+                ctx.clock.sync_to(lease.t_batch());
+                let inputs = lease.inputs();
+                control.publish(ControlMsg::Batch(inputs.clone()));
+                let preds = engine.predict(ctx, &inputs)?;
+                let t_done = ctx.clock.now();
+                record_spans(ctx, &lease, t_done);
+                lease.complete(t_done, ctx.rank, preds);
+            }
+        }
+    }
+}
+
+/// Follow the leader on a sharded replica: read each batch off the
+/// dispatch log, join the collective forward (which also syncs this
+/// rank's clock), discard the local copy of the predictions (the leader
+/// replies).
+fn serve_member(
+    ctx: &mut RankCtx,
+    engine: &mut dyn Engine,
+    control: &ControlLog,
+) -> Result<(), SimError> {
+    let mut step = 0u64;
+    loop {
+        match control.get(step as usize) {
+            ControlMsg::Shutdown => return Ok(()),
+            ControlMsg::Batch(inputs) => {
+                ctx.begin_step(step)?;
+                step += 1;
+                let _ = engine.predict(ctx, &inputs)?;
+            }
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! Serving statistics: latency percentiles, throughput, batch-size
+//! histogram, and rejection counts for one serving session.
+
+use std::collections::BTreeMap;
+
+use serde_json::{json, Value};
+
+use crate::request::{ForecastResponse, ServeError};
+
+/// Aggregate statistics over one serving session's responses.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerStats {
+    /// Requests answered with predictions.
+    pub completed: usize,
+    /// Requests rejected at admission (queue full).
+    pub rejected_overload: usize,
+    /// Requests whose deadline expired while queued.
+    pub rejected_deadline: usize,
+    /// Requests lost to replica failure (retry budget spent or no
+    /// survivors).
+    pub failed: usize,
+    /// Responses delivered for an already-answered id (exactly-once
+    /// violation counter; must be 0).
+    pub duplicates: usize,
+    /// Latency percentiles over completed requests (simulated seconds,
+    /// nearest-rank).
+    pub p50_latency: f64,
+    pub p95_latency: f64,
+    pub p99_latency: f64,
+    /// Mean latency over completed requests.
+    pub mean_latency: f64,
+    /// First arrival to last response (simulated seconds).
+    pub makespan: f64,
+    /// Completed requests per simulated second of makespan.
+    pub throughput: f64,
+    /// Served-batch-size histogram: size -> number of batches.
+    pub batch_hist: BTreeMap<usize, usize>,
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+impl ServerStats {
+    /// Aggregate a session's responses and served-batch sizes.
+    pub fn from_run(
+        responses: &[ForecastResponse],
+        batch_sizes: &[usize],
+        duplicates: usize,
+    ) -> Self {
+        let mut latencies: Vec<f64> = responses
+            .iter()
+            .filter(|r| r.is_ok())
+            .map(|r| r.timing.latency())
+            .collect();
+        latencies.sort_by(f64::total_cmp);
+        let completed = latencies.len();
+        let count = |e: ServeError| responses.iter().filter(|r| r.result == Err(e)).count();
+
+        let t0 = responses
+            .iter()
+            .map(|r| r.timing.t_arrival)
+            .fold(f64::INFINITY, f64::min);
+        let t1 = responses
+            .iter()
+            .filter(|r| r.is_ok())
+            .map(|r| r.timing.t_done)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let makespan = if completed > 0 {
+            (t1 - t0).max(0.0)
+        } else {
+            0.0
+        };
+
+        let mut batch_hist = BTreeMap::new();
+        for &n in batch_sizes {
+            *batch_hist.entry(n).or_insert(0) += 1;
+        }
+
+        ServerStats {
+            completed,
+            rejected_overload: count(ServeError::Overloaded),
+            rejected_deadline: count(ServeError::DeadlineExceeded),
+            failed: count(ServeError::ReplicaFailure),
+            duplicates,
+            p50_latency: percentile(&latencies, 50.0),
+            p95_latency: percentile(&latencies, 95.0),
+            p99_latency: percentile(&latencies, 99.0),
+            mean_latency: if completed > 0 {
+                latencies.iter().sum::<f64>() / completed as f64
+            } else {
+                0.0
+            },
+            makespan,
+            throughput: if makespan > 0.0 {
+                completed as f64 / makespan
+            } else {
+                0.0
+            },
+            batch_hist,
+        }
+    }
+
+    /// Total rejections of any kind.
+    pub fn rejected(&self) -> usize {
+        self.rejected_overload + self.rejected_deadline + self.failed
+    }
+
+    /// JSON form for `results/` artifacts.
+    pub fn to_json(&self) -> Value {
+        json!({
+            "completed": self.completed,
+            "rejected_overload": self.rejected_overload,
+            "rejected_deadline": self.rejected_deadline,
+            "failed": self.failed,
+            "duplicates": self.duplicates,
+            "p50_latency": self.p50_latency,
+            "p95_latency": self.p95_latency,
+            "p99_latency": self.p99_latency,
+            "mean_latency": self.mean_latency,
+            "makespan": self.makespan,
+            "throughput": self.throughput,
+            "batch_hist": self
+                .batch_hist
+                .iter()
+                .map(|(size, n)| json!([size, n]))
+                .collect::<Vec<_>>(),
+        })
+    }
+}
+
+impl std::fmt::Display for ServerStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} completed ({} rejected, {} dup) | p50 {:.4}s p95 {:.4}s p99 {:.4}s | {:.2} req/s",
+            self.completed,
+            self.rejected(),
+            self.duplicates,
+            self.p50_latency,
+            self.p95_latency,
+            self.p99_latency,
+            self.throughput,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::RequestTiming;
+
+    fn ok_resp(id: u64, t_arrival: f64, t_done: f64) -> ForecastResponse {
+        ForecastResponse {
+            id,
+            result: Ok(vec![]),
+            timing: RequestTiming {
+                t_arrival,
+                t_batch: t_arrival,
+                t_done,
+            },
+            replica: 0,
+            batch_size: 1,
+        }
+    }
+
+    fn err_resp(id: u64, e: ServeError) -> ForecastResponse {
+        ForecastResponse {
+            id,
+            result: Err(e),
+            timing: RequestTiming {
+                t_arrival: 0.0,
+                t_batch: 0.0,
+                t_done: 0.0,
+            },
+            replica: usize::MAX,
+            batch_size: 0,
+        }
+    }
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        let lat: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&lat, 50.0), 50.0);
+        assert_eq!(percentile(&lat, 95.0), 95.0);
+        assert_eq!(percentile(&lat, 99.0), 99.0);
+        assert_eq!(percentile(&[2.0], 99.0), 2.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn aggregates_counts_and_throughput() {
+        let responses = vec![
+            ok_resp(0, 0.0, 1.0),
+            ok_resp(1, 0.0, 2.0),
+            err_resp(2, ServeError::Overloaded),
+            err_resp(3, ServeError::DeadlineExceeded),
+            err_resp(4, ServeError::ReplicaFailure),
+        ];
+        let stats = ServerStats::from_run(&responses, &[2], 0);
+        assert_eq!(stats.completed, 2);
+        assert_eq!(stats.rejected_overload, 1);
+        assert_eq!(stats.rejected_deadline, 1);
+        assert_eq!(stats.failed, 1);
+        assert_eq!(stats.rejected(), 3);
+        assert!((stats.makespan - 2.0).abs() < 1e-12);
+        assert!((stats.throughput - 1.0).abs() < 1e-12);
+        assert!((stats.mean_latency - 1.5).abs() < 1e-12);
+        assert_eq!(stats.batch_hist.get(&2), Some(&1));
+        let v = stats.to_json();
+        assert_eq!(v["completed"], json!(2));
+    }
+
+    #[test]
+    fn empty_session_is_all_zeros() {
+        let stats = ServerStats::from_run(&[], &[], 0);
+        assert_eq!(stats.completed, 0);
+        assert_eq!(stats.throughput, 0.0);
+        assert_eq!(stats.makespan, 0.0);
+    }
+}

@@ -307,6 +307,15 @@ impl VitModel {
     pub fn predict(&self, images: &[Tensor]) -> Vec<Tensor> {
         self.forward(images).preds
     }
+
+    /// Inference over a batch of observations (the serving path). The
+    /// model math is per-sample, so a batched forward is exactly the
+    /// per-sample forwards grouped — batching changes scheduling, never
+    /// numerics, and the serving layer's batched-vs-unbatched
+    /// bit-identity tests pin that down.
+    pub fn predict_batch(&self, inputs: &[Vec<Tensor>]) -> Vec<Vec<Tensor>> {
+        inputs.iter().map(|images| self.predict(images)).collect()
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,53 @@
+//! Serve forecasts from a tensor-parallel replica and export the
+//! session's Chrome trace — request lifecycle spans (queued / serve /
+//! batch) interleaved with the TP forward's collectives — suitable for
+//! `chrome://tracing`, Perfetto, or the `orbit-verify` schedule checker:
+//!
+//! ```text
+//! cargo run --release --example serve -- /tmp/orbit_serve_trace.json
+//! cargo run --release --bin orbit-verify -- /tmp/orbit_serve_trace.json
+//! ```
+
+use orbit::comm::chrome_trace;
+use orbit::core::EngineSpec;
+use orbit::serve::{BatchPolicy, ForecastRequest, ForecastServer, ServeConfig};
+use orbit::tensor::init::Rng;
+use orbit::vit::VitConfig;
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "orbit_serve_trace.json".to_string());
+
+    let cfg = VitConfig::test_tiny();
+    let mut rng = Rng::seed(29);
+    let requests: Vec<ForecastRequest> = (0..8)
+        .map(|i| {
+            let images = (0..cfg.dims.channels)
+                .map(|_| rng.normal_tensor(cfg.dims.img_h, cfg.dims.img_w, 1.0))
+                .collect();
+            ForecastRequest::new(i as u64, images, 1e-4 * i as f64)
+        })
+        .collect();
+
+    let server = ForecastServer::new(
+        ServeConfig::new(EngineSpec::TensorParallel, 2, cfg)
+            .with_policy(BatchPolicy::batched(4, 2e-4)),
+    );
+    let outcome = server.serve(requests);
+    println!("serving stats: {}", outcome.stats);
+    for r in &outcome.responses {
+        println!(
+            "  req {}: {} (latency {:.3e} s, batch of {})",
+            r.id,
+            if r.is_ok() { "ok" } else { "rejected" },
+            r.timing.latency(),
+            r.batch_size,
+        );
+    }
+    assert_eq!(outcome.stats.duplicates, 0, "exactly-once serving");
+
+    let json = chrome_trace(&outcome.trace);
+    std::fs::write(&path, &json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    eprintln!("wrote {} bytes to {path}", json.len());
+}

@@ -1,0 +1,260 @@
+//! Serving-layer acceptance tests: batched forwards are bit-identical to
+//! the unbatched single-request path on every served layout, admission
+//! control rejects beyond capacity, deadlines expire while queued,
+//! mid-request rank kills re-queue onto surviving replicas with
+//! exactly-once delivery, and serving sessions export span-bearing
+//! schedules that verify clean.
+
+use orbit::comm::{FaultPlan, TraceEvent};
+use orbit::core::EngineSpec;
+use orbit::serve::{
+    BatchPolicy, ForecastRequest, ForecastServer, ServeConfig, ServeError, ServeOutcome,
+};
+use orbit::tensor::init::Rng;
+use orbit::vit::VitConfig;
+
+/// `n` requests with normal-random images arriving `gap` seconds apart.
+fn make_requests(cfg: &VitConfig, n: usize, gap: f64, seed: u64) -> Vec<ForecastRequest> {
+    let mut rng = Rng::seed(seed);
+    (0..n)
+        .map(|i| {
+            let images = (0..cfg.dims.channels)
+                .map(|_| rng.normal_tensor(cfg.dims.img_h, cfg.dims.img_w, 1.0))
+                .collect();
+            ForecastRequest::new(i as u64, images, gap * i as f64)
+        })
+        .collect()
+}
+
+fn serve_with(
+    spec: EngineSpec,
+    world: usize,
+    policy: BatchPolicy,
+    requests: Vec<ForecastRequest>,
+) -> ServeOutcome {
+    ForecastServer::new(ServeConfig::new(spec, world, VitConfig::test_tiny()).with_policy(policy))
+        .serve(requests)
+}
+
+/// The headline numerics guarantee: grouping requests into dynamic
+/// batches changes scheduling and latency, never the predictions. Serve
+/// the same requests unbatched (one per forward) and batched and compare
+/// every output tensor bit-for-bit, on every served layout.
+#[test]
+fn batched_forward_is_bit_identical_to_unbatched() {
+    let cfg = VitConfig::test_tiny();
+    for (spec, world) in [
+        (EngineSpec::Single, 1),
+        (EngineSpec::Ddp, 2),
+        (EngineSpec::TensorParallel, 2),
+        (EngineSpec::Fsdp, 2),
+    ] {
+        let n = 6;
+        let unbatched = serve_with(
+            spec,
+            world,
+            BatchPolicy::immediate(),
+            make_requests(&cfg, n, 0.05, 11),
+        );
+        let batched = serve_with(
+            spec,
+            world,
+            BatchPolicy::batched(3, 0.5),
+            make_requests(&cfg, n, 0.05, 11),
+        );
+        assert_eq!(unbatched.stats.completed, n, "{spec:?} unbatched");
+        assert_eq!(batched.stats.completed, n, "{spec:?} batched");
+        assert!(
+            batched.stats.batch_hist.keys().any(|&s| s > 1),
+            "{spec:?}: the batched policy must actually form multi-request batches: {:?}",
+            batched.stats.batch_hist
+        );
+        for (u, b) in unbatched.responses.iter().zip(&batched.responses) {
+            assert_eq!(u.id, b.id);
+            let (up, bp) = (u.result.as_ref().unwrap(), b.result.as_ref().unwrap());
+            assert_eq!(up.len(), bp.len());
+            for (ut, bt) in up.iter().zip(bp) {
+                assert_eq!(
+                    ut.data(),
+                    bt.data(),
+                    "{spec:?}: request {} prediction must be bit-identical",
+                    u.id
+                );
+            }
+        }
+    }
+}
+
+/// Backpressure: a full admission queue rejects arrivals with
+/// `Overloaded` instead of queueing unboundedly. 20 simultaneous
+/// arrivals against capacity 4 admit exactly 4.
+#[test]
+fn admission_control_rejects_when_overloaded() {
+    let cfg = VitConfig::test_tiny();
+    let server = ForecastServer::new(ServeConfig::new(EngineSpec::Single, 1, cfg).with_capacity(4));
+    let outcome = server.serve(make_requests(&cfg, 20, 0.0, 3));
+    assert_eq!(outcome.stats.completed, 4);
+    assert_eq!(outcome.stats.rejected_overload, 16);
+    assert_eq!(outcome.stats.duplicates, 0);
+    assert_eq!(outcome.responses.len(), 20, "every request gets an answer");
+}
+
+/// A request whose deadline passes while it lingers in the batcher is
+/// rejected `DeadlineExceeded`; later requests are unaffected.
+#[test]
+fn deadlines_expire_while_queued() {
+    let cfg = VitConfig::test_tiny();
+    let mut requests = make_requests(&cfg, 2, 5.0, 5);
+    requests[0] = requests[0].clone().with_deadline(1.0);
+    let server = ForecastServer::new(
+        ServeConfig::new(EngineSpec::Single, 1, cfg).with_policy(BatchPolicy::batched(4, 10.0)),
+    );
+    let outcome = server.serve(requests);
+    assert_eq!(
+        outcome.responses[0].result,
+        Err(ServeError::DeadlineExceeded)
+    );
+    assert!(outcome.responses[1].is_ok());
+    assert_eq!(outcome.stats.rejected_deadline, 1);
+}
+
+/// A replica killed mid-request (the fault fires at the batch boundary,
+/// while it holds the lease) must not lose or duplicate responses: the
+/// lease re-queues and a surviving replica serves it. Rank 1 dies on its
+/// first batch, so every completed response comes from rank 0.
+#[test]
+fn killed_replica_requeues_onto_survivor() {
+    let cfg = VitConfig::test_tiny();
+    let n = 16;
+    let server = ForecastServer::new(ServeConfig::new(EngineSpec::Ddp, 2, cfg).with_capacity(n))
+        .with_fault_plan(FaultPlan::new().kill(1, 0));
+    let outcome = server.serve(make_requests(&cfg, n, 0.0, 21));
+    assert_eq!(outcome.stats.completed, n, "no request may be lost");
+    assert_eq!(outcome.stats.duplicates, 0, "no request may be duplicated");
+    assert_eq!(outcome.stats.failed, 0, "the survivor absorbs every retry");
+    assert!(
+        outcome.responses.iter().all(|r| r.replica == 0),
+        "rank 1 dies on its first batch, so rank 0 serves everything"
+    );
+    assert!(outcome.survivors[0], "rank 0 must survive");
+    // The fault-aware checker must explain the truncated schedule.
+    if let Some(report) = server.cluster().last_verify_report() {
+        assert!(report.is_clean(), "schedule must verify clean:\n{report}");
+    }
+}
+
+/// Killing a shard of the only tensor-parallel replica mid-request takes
+/// the whole replica down: already-served requests keep their responses,
+/// the in-flight and remaining ones fail typed (`ReplicaFailure`),
+/// nothing is duplicated, and the fault-truncated collective schedule
+/// still verifies clean.
+#[test]
+fn tensor_parallel_shard_kill_fails_typed_and_verifies_clean() {
+    let cfg = VitConfig::test_tiny();
+    let server =
+        ForecastServer::new(ServeConfig::new(EngineSpec::TensorParallel, 2, cfg).with_retries(0))
+            .with_fault_plan(FaultPlan::new().kill(1, 1));
+    let outcome = server.serve(make_requests(&cfg, 4, 1.0, 9));
+    assert_eq!(outcome.responses.len(), 4, "every request gets an answer");
+    assert_eq!(outcome.stats.duplicates, 0);
+    assert!(
+        outcome.responses[0].is_ok(),
+        "batch 0 completes before the kill"
+    );
+    assert!(
+        outcome.stats.failed > 0,
+        "the dead replica's requests fail typed"
+    );
+    assert!(!outcome.survivors[1], "rank 1 must die at step 1");
+    let report = server
+        .cluster()
+        .last_verify_report()
+        .expect("test profile verifies schedules");
+    assert!(
+        report.is_clean(),
+        "fault-truncated serving schedule must verify clean:\n{report}"
+    );
+}
+
+/// Seeded fault sweep: whatever mix of kills, stragglers, and link
+/// faults fires, every request id is answered exactly once.
+#[test]
+fn seeded_faults_preserve_exactly_once_delivery() {
+    let cfg = VitConfig::test_tiny();
+    for seed in 0..6 {
+        let n = 8;
+        let server =
+            ForecastServer::new(ServeConfig::new(EngineSpec::Ddp, 3, cfg).with_capacity(n))
+                .with_fault_plan(FaultPlan::seeded(seed, 3, 4, 2));
+        let outcome = server.serve(make_requests(&cfg, n, 0.02, seed));
+        assert_eq!(
+            outcome.responses.len(),
+            n,
+            "seed {seed}: every request answered"
+        );
+        for (i, r) in outcome.responses.iter().enumerate() {
+            assert_eq!(r.id, i as u64, "seed {seed}: responses keyed by id");
+        }
+        assert_eq!(outcome.stats.duplicates, 0, "seed {seed}: exactly-once");
+        assert_eq!(
+            outcome.stats.completed + outcome.stats.rejected(),
+            n,
+            "seed {seed}: answers partition into served and typed rejections"
+        );
+        if let Some(report) = server.cluster().last_verify_report() {
+            assert!(report.is_clean(), "seed {seed}:\n{report}");
+        }
+    }
+}
+
+/// Serving sessions narrate themselves: request lifecycle spans land in
+/// the trace next to the collectives, stats are internally consistent,
+/// and the no-fault schedule verifies clean.
+#[test]
+fn serving_session_exports_spans_and_sane_stats() {
+    let cfg = VitConfig::test_tiny();
+    let server = ForecastServer::new(
+        ServeConfig::new(EngineSpec::TensorParallel, 2, cfg)
+            .with_policy(BatchPolicy::batched(2, 0.2)),
+    );
+    let outcome = server.serve(make_requests(&cfg, 5, 0.05, 13));
+    let s = &outcome.stats;
+    assert_eq!(s.completed, 5);
+    assert!(s.p50_latency > 0.0);
+    assert!(s.p50_latency <= s.p95_latency && s.p95_latency <= s.p99_latency);
+    assert!(s.throughput > 0.0);
+    assert!(s.mean_latency > 0.0);
+    assert_eq!(
+        s.batch_hist.values().sum::<usize>(),
+        outcome
+            .trace
+            .iter()
+            .flatten()
+            .filter(|e| matches!(e, TraceEvent::Span { name, .. } if name.starts_with("batch x")))
+            .count()
+    );
+    let leader_spans: Vec<&str> = outcome.trace[0]
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::Span { name, .. } => Some(name.as_str()),
+            _ => None,
+        })
+        .collect();
+    for id in 0..5 {
+        assert!(
+            leader_spans
+                .iter()
+                .any(|n| *n == format!("req {id} queued")),
+            "missing queued span for {id}: {leader_spans:?}"
+        );
+        assert!(
+            leader_spans.iter().any(|n| *n == format!("req {id} serve")),
+            "missing serve span for {id}: {leader_spans:?}"
+        );
+    }
+    let report = server
+        .cluster()
+        .last_verify_report()
+        .expect("test profile verifies schedules");
+    assert!(report.is_clean(), "{report}");
+}
