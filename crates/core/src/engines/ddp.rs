@@ -2,10 +2,13 @@
 //! gradient all-reduce (paper Sec. III-B, "Hierarchical Parallelism" —
 //! the outermost, least-communication level).
 
+use crate::dcomm::{comm_err, GroupComm};
 use crate::stats::StepStats;
 use orbit_comm::{Allocation, ProcessGroup, RankCtx, SimError};
 use orbit_frontier::TrainOptions;
+use orbit_tensor::dtensor::{DTensor, DeviceMesh, Layout};
 use orbit_tensor::kernels::{AdamState, AdamW};
+use orbit_tensor::Tensor;
 use orbit_vit::{Batch, Checkpoint, VitConfig, VitModel};
 
 use super::trainer::{configure_precision, Trainer};
@@ -15,6 +18,9 @@ use super::Engine;
 pub struct DdpEngine {
     pub model: VitModel,
     group: ProcessGroup,
+    /// One-axis `dp` mesh: parameters are `Replicate`, per-step gradients
+    /// are born `Partial` and resolved by reshard.
+    mesh: DeviceMesh,
     state: AdamState,
     trainer: Trainer,
     _persistent: Allocation,
@@ -42,6 +48,7 @@ impl DdpEngine {
         }
         Ok(DdpEngine {
             group,
+            mesh: DeviceMesh::one("dp", ctx.world, ctx.rank),
             trainer: Trainer::with_replicas(&cfg, opt, opts, ctx.rank, ctx.world),
             model,
             state,
@@ -67,9 +74,20 @@ impl Engine for DdpEngine {
             .charge_compute(ctx, local.len(), self.trainer.dense_flops_per_obs(&dims));
 
         // Gradient synchronization: per-sample grads are already scaled by
-        // 1/global_batch, so a plain sum yields the global-mean gradient.
+        // 1/global_batch, so resolving the `Partial` layout (a sum) yields
+        // the global-mean gradient on every rank.
         let grads = self.model.flatten_grads();
-        let mut synced = self.group.all_reduce(&mut ctx.clock, &grads)?.to_vec();
+        let n = grads.len();
+        let partial = DTensor::partial(Tensor::from_vec(1, n, grads), self.mesh.clone(), "dp")
+            .expect("dp axis");
+        let mut synced = {
+            let mut comm = GroupComm::new(&mut self.group, &mut ctx.clock);
+            partial
+                .reshard("dp", Layout::Replicate, &mut comm)
+                .map_err(comm_err)?
+                .into_local()
+                .into_vec()
+        };
 
         // Finiteness must be agreed globally; the all-reduced gradient is
         // identical on every rank, so local inspection agrees.

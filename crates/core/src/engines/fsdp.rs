@@ -1,16 +1,21 @@
 //! Vanilla Fully Sharded Data Parallelism (paper Fig. 2).
 //!
-//! Parameters, gradients, and Adam moments are flat-sharded `1/N` per rank.
-//! Each step, the **full model** is temporarily all-gathered for compute —
-//! the peak-memory pathology that caps vanilla FSDP at ~20 B parameters in
-//! the paper's Fig. 5 — then gradients are reduce-scattered so each rank
-//! updates only its own shard.
+//! Parameters, gradients, and Adam moments are flat-sharded `1/N` per rank:
+//! the persistent parameter state is a [`DTensor`] with `ShardFlat` layout
+//! on a one-axis `fsdp` mesh. Each step, the **full model** is temporarily
+//! resharded to `Replicate` for compute — the peak-memory pathology that
+//! caps vanilla FSDP at ~20 B parameters in the paper's Fig. 5 — then the
+//! `Partial` gradients reshard to `ShardFlat` (a reduce-scatter) so each
+//! rank updates only its own shard.
 
-use crate::sharding::{flat_shard, flat_unshard, padded_len};
+use crate::dcomm::{comm_err, GroupComm};
+use crate::sharding::{flat_shard, padded_len};
 use crate::stats::StepStats;
 use orbit_comm::{Allocation, CommError, ProcessGroup, RankCtx, SimError};
 use orbit_frontier::TrainOptions;
+use orbit_tensor::dtensor::{DTensor, DeviceMesh, Layout};
 use orbit_tensor::kernels::{AdamState, AdamW};
+use orbit_tensor::Tensor;
 use orbit_vit::{Batch, Checkpoint, VitConfig, VitModel};
 
 use super::trainer::{configure_precision, Trainer};
@@ -21,8 +26,9 @@ pub struct FsdpEngine {
     /// Model structure used for compute; its values are refreshed from the
     /// gathered parameters each step.
     pub model: VitModel,
-    /// This rank's persistent parameter shard (padded flat layout).
-    shard: Vec<f32>,
+    /// This rank's persistent parameter shard: `ShardFlat` over the `fsdp`
+    /// mesh axis (padded flat layout, global shape `1 x param_len`).
+    params: DTensor,
     state: AdamState,
     group: ProcessGroup,
     trainer: Trainer,
@@ -43,10 +49,17 @@ impl FsdpEngine {
         let mut model = VitModel::init(cfg, seed);
         let flat = model.flatten_params();
         let param_len = flat.len();
-        let shard = flat_shard(&flat, ctx.world, ctx.rank);
+        let mesh = DeviceMesh::one("fsdp", ctx.world, ctx.rank);
+        let params = DTensor::from_global(
+            &Tensor::from_vec(1, param_len, flat),
+            mesh,
+            "fsdp",
+            Layout::ShardFlat,
+        )
+        .expect("flat sharding is always legal");
         // Persistent: this rank's 1/N of weights+grads+Adam moments.
-        let persistent = ctx.device.alloc(16 * shard.len() as u64)?;
-        let state = AdamState::new(shard.len());
+        let persistent = ctx.device.alloc(16 * params.local().len() as u64)?;
+        let state = AdamState::new(params.local().len());
         let mut group = ctx.world_group();
         if opts.mixed_precision {
             group.set_wire_bytes(2.0);
@@ -55,7 +68,7 @@ impl FsdpEngine {
             group,
             trainer: Trainer::with_replicas(&cfg, opt, opts, ctx.rank, ctx.world),
             model,
-            shard,
+            params,
             state,
             param_len,
             _persistent: persistent,
@@ -63,10 +76,35 @@ impl FsdpEngine {
     }
 
     /// Gather and return the current full parameter vector (for tests and
-    /// checkpointing).
+    /// checkpointing): `ShardFlat -> Replicate`.
     pub fn gather_full_params(&mut self, ctx: &mut RankCtx) -> Result<Vec<f32>, CommError> {
-        let full = self.group.all_gather(&mut ctx.clock, &self.shard)?;
-        Ok(flat_unshard(&full, self.param_len))
+        let mut comm = GroupComm::new(&mut self.group, &mut ctx.clock);
+        Ok(self
+            .params
+            .reshard("fsdp", Layout::Replicate, &mut comm)
+            .map_err(comm_err)?
+            .into_local()
+            .into_vec())
+    }
+
+    /// Reshard an Adam-moment shard — which shares the parameters' flat
+    /// layout — back to the full `1 x param_len` vector.
+    fn gather_moment(&mut self, ctx: &mut RankCtx, shard: Vec<f32>) -> Result<Vec<f32>, CommError> {
+        let n = shard.len();
+        let t = DTensor::from_local_shard(
+            Tensor::from_vec(1, n, shard),
+            self.params.mesh().clone(),
+            "fsdp",
+            Layout::ShardFlat,
+            1,
+            self.param_len,
+        )
+        .expect("moment shard matches parameter layout");
+        let mut comm = GroupComm::new(&mut self.group, &mut ctx.clock);
+        Ok(t.reshard("fsdp", Layout::Replicate, &mut comm)
+            .map_err(comm_err)?
+            .into_local()
+            .into_vec())
     }
 }
 
@@ -83,11 +121,20 @@ impl Engine for FsdpEngine {
         let _gather_alloc = ctx
             .device
             .alloc(full_padded as u64 * self.trainer.param_bytes())?;
-        let full = self
-            .trainer
-            .gather(&mut self.group, &mut ctx.clock, &self.shard, true)?;
-        self.model
-            .load_flat_params(&flat_unshard(&full, self.param_len));
+        let full = {
+            let mut comm = GroupComm::new(&mut self.group, &mut ctx.clock);
+            self.params
+                .reshard_start(
+                    "fsdp",
+                    Layout::Replicate,
+                    &mut comm,
+                    self.trainer.opts.prefetch,
+                )
+                .map_err(comm_err)?
+                .wait(&mut comm)
+                .map_err(comm_err)?
+        };
+        self.model.load_flat_params(full.local().data());
         drop(full);
 
         let dims = self.model.cfg.dims;
@@ -104,16 +151,33 @@ impl Engine for FsdpEngine {
             .charge_compute(ctx, local.len(), self.trainer.dense_flops_per_obs(&dims));
         ctx.clock.flush_prefetch();
 
-        // Reduce-scatter: sum of data-parallel gradients, each rank keeps
-        // its own shard. Issued nonblocking so the loss all-reduce (and
-        // on slow arrivers, the peers' reduction work) proceeds while the
+        // Resolve the `Partial` gradients straight to `ShardFlat` — a
+        // reduce-scatter: sum of data-parallel gradients, each rank keeps
+        // its own shard. Issued nonblocking so the loss all-reduce (and on
+        // slow arrivers, the peers' reduction work) proceeds while the
         // rendezvous completes.
-        let mut grads = self.model.flatten_grads();
-        grads.resize(full_padded, 0.0);
-        let pending = self.group.reduce_scatter_start(&ctx.clock, &grads)?;
-        drop(grads);
+        let grads = self.model.flatten_grads();
+        let partial = DTensor::partial(
+            Tensor::from_vec(1, self.param_len, grads),
+            self.params.mesh().clone(),
+            "fsdp",
+        )
+        .expect("fsdp axis");
+        let pending = {
+            let mut comm = GroupComm::new(&mut self.group, &mut ctx.clock);
+            partial
+                .reshard_start("fsdp", Layout::ShardFlat, &mut comm, false)
+                .map_err(comm_err)?
+        };
         let loss = self.group.all_reduce_scalar(&mut ctx.clock, local_loss)?;
-        let mut shard_grads = pending.wait(&mut ctx.clock)?.to_vec();
+        let mut shard_grads = {
+            let mut comm = GroupComm::new(&mut self.group, &mut ctx.clock);
+            pending
+                .wait(&mut comm)
+                .map_err(comm_err)?
+                .into_local()
+                .into_vec()
+        };
 
         // Agree on finiteness across ranks: each inspects its shard.
         let applied = self.trainer.unscale_synced(
@@ -123,9 +187,11 @@ impl Engine for FsdpEngine {
         )?;
         let grad_norm = self.trainer.clip_and_norm(&mut shard_grads);
         if applied {
-            self.trainer
-                .opt
-                .step(&mut self.state, &mut self.shard, &shard_grads);
+            self.trainer.opt.step(
+                &mut self.state,
+                self.params.local_mut().data_mut(),
+                &shard_grads,
+            );
         }
         Ok(self.trainer.finish_step(ctx, t0, loss, grad_norm, applied))
     }
@@ -154,21 +220,14 @@ impl Engine for FsdpEngine {
         Ok(preds)
     }
 
-    /// All-gather the parameter and Adam-moment shards into the full flat
-    /// layout. Identical on every rank (all shards flow to all ranks).
+    /// Reshard the parameter and Adam-moment shards to `Replicate` (three
+    /// all-gathers). Identical on every rank (all shards flow to all ranks).
     fn capture_checkpoint(&mut self, ctx: &mut RankCtx) -> Result<Checkpoint, SimError> {
-        let params = {
-            let full = self.group.all_gather(&mut ctx.clock, &self.shard)?;
-            flat_unshard(&full, self.param_len)
-        };
-        let m = {
-            let full = self.group.all_gather(&mut ctx.clock, &self.state.m)?;
-            flat_unshard(&full, self.param_len)
-        };
-        let v = {
-            let full = self.group.all_gather(&mut ctx.clock, &self.state.v)?;
-            flat_unshard(&full, self.param_len)
-        };
+        let params = self.gather_full_params(ctx)?;
+        let m_shard = self.state.m.clone();
+        let m = self.gather_moment(ctx, m_shard)?;
+        let v_shard = self.state.v.clone();
+        let v = self.gather_moment(ctx, v_shard)?;
         Ok(
             Checkpoint::from_parts(&self.model.cfg, params, m, v, self.state.step)
                 .with_scaler(self.trainer.scaler_state()),
@@ -177,8 +236,9 @@ impl Engine for FsdpEngine {
 
     /// Re-shard the full checkpoint onto this rank: 1/N slices of the
     /// parameters and both Adam moments. Shard padding is zero-filled by
-    /// `flat_shard`, matching a freshly trained shard bit-for-bit (pad
-    /// positions only ever see zero gradients, so AdamW keeps them at 0).
+    /// the `ShardFlat` lowering, matching a freshly trained shard
+    /// bit-for-bit (pad positions only ever see zero gradients, so AdamW
+    /// keeps them at 0).
     fn restore_checkpoint(&mut self, _ctx: &mut RankCtx, ck: &Checkpoint) -> Result<(), SimError> {
         if !ck.matches_config(&self.model.cfg) {
             return Err(SimError::State(
@@ -194,7 +254,13 @@ impl Engine for FsdpEngine {
         }
         let world = self.group.size();
         let me = self.group.local_index();
-        self.shard = flat_shard(&ck.params, world, me);
+        self.params = DTensor::from_global(
+            &Tensor::from_vec(1, self.param_len, ck.params.clone()),
+            self.params.mesh().clone(),
+            "fsdp",
+            Layout::ShardFlat,
+        )
+        .expect("flat sharding is always legal");
         self.state.m = flat_shard(&ck.adam_m, world, me);
         self.state.v = flat_shard(&ck.adam_v, world, me);
         self.state.step = ck.adam_step;

@@ -25,11 +25,13 @@
 //! checkpointing (boundaries only; block caches recomputed in the backward
 //! pass).
 
-use crate::sharding::{flat_shard, flat_unshard, padded_len};
+use crate::dcomm::{comm_err, GroupComm};
+use crate::sharding::{flat_shard, padded_len};
 use crate::stats::StepStats;
 use crate::tp_block::TpBlock;
 use orbit_comm::{Allocation, CommError, PendingCollective, ProcessGroup, RankCtx, SimError};
 use orbit_frontier::{ParallelLayout, RankMapping, TrainOptions};
+use orbit_tensor::dtensor::{DTensor, DeviceMesh, Layout, PendingReshard};
 use orbit_tensor::kernels::{AdamState, AdamW};
 use orbit_tensor::Tensor;
 use orbit_vit::loss::weighted_mse;
@@ -42,24 +44,30 @@ use super::tp::{
 use super::trainer::{configure_precision, norm, Trainer};
 use super::Engine;
 
-/// A unit gather in flight: the pending collective plus its transient
-/// allocation (gathered parameters + gradient staging buffer).
+/// A unit gather in flight: the pending `ShardFlat -> Replicate` reshard
+/// plus its transient allocation (gathered parameters + gradient staging
+/// buffer).
 struct InflightGather {
     unit: usize,
-    pending: PendingCollective,
+    pending: PendingReshard<PendingCollective>,
     alloc: Allocation,
 }
 
 /// The Hybrid-STOP training engine for one rank.
 pub struct HybridStopEngine {
     layout: ParallelLayout,
+    /// The full `tp x fsdp x ddp` device mesh this rank lives on (tp
+    /// fastest-varying, paper Fig. 4). Weight shards live on the `fsdp`
+    /// axis; gradient partials resolve on `fsdp` then `ddp`.
+    mesh: DeviceMesh,
     /// Front-end + head (replicated across TP, FSDP-sharded at rest).
     pub front: VitModel,
     /// This rank's TP block shards (values refreshed by FSDP gathers).
     pub blocks: Vec<TpBlock>,
-    /// Own FSDP shard of each unit's flat parameters
-    /// (unit 0 = front-end/head, unit 1+l = block l).
-    unit_shards: Vec<Vec<f32>>,
+    /// Each unit's persistent parameters: `ShardFlat` DTensors over the
+    /// mesh's `fsdp` axis (unit 0 = front-end/head, unit 1+l = block l;
+    /// the "global" of each is this rank's TP shard flat).
+    unit_params: Vec<DTensor>,
     /// Unsharded flat length of each unit (this rank's TP shard).
     unit_lens: Vec<usize>,
     states: Vec<AdamState>,
@@ -102,15 +110,30 @@ impl HybridStopEngine {
             unit_flats.push(tp_flatten(b));
         }
         let unit_lens: Vec<usize> = unit_flats.iter().map(|f| f.len()).collect();
-        let unit_shards: Vec<Vec<f32>> = unit_flats
-            .iter()
-            .map(|f| flat_shard(f, layout.fsdp, coords.fsdp_idx))
+        let mesh = DeviceMesh::grid(&[
+            ("tp", layout.tp, coords.tp_idx),
+            ("fsdp", layout.fsdp, coords.fsdp_idx),
+            ("ddp", layout.ddp, coords.ddp_idx),
+        ]);
+        let fsdp_mesh = mesh.sub(&["fsdp"]).expect("fsdp axis");
+        let unit_params: Vec<DTensor> = unit_flats
+            .into_iter()
+            .map(|f| {
+                let n = f.len();
+                DTensor::from_global(
+                    &Tensor::from_vec(1, n, f),
+                    fsdp_mesh.clone(),
+                    "fsdp",
+                    Layout::ShardFlat,
+                )
+                .expect("flat sharding is always legal")
+            })
             .collect();
-        let states: Vec<AdamState> = unit_shards
+        let states: Vec<AdamState> = unit_params
             .iter()
-            .map(|s| AdamState::new(s.len()))
+            .map(|p| AdamState::new(p.local().len()))
             .collect();
-        let total_shard: u64 = unit_shards.iter().map(|s| s.len() as u64).sum();
+        let total_shard: u64 = unit_params.iter().map(|p| p.local().len() as u64).sum();
         // Persistent: weights + grads + Adam moments of the owned shards
         // only — the Fig. 3 property.
         let persistent = ctx.device.alloc(16 * total_shard)?;
@@ -130,6 +153,7 @@ impl HybridStopEngine {
             ddp_group,
             world_group: ctx.world_group(),
             layout,
+            mesh,
             trainer: Trainer::with_replicas(
                 &cfg,
                 opt,
@@ -139,15 +163,16 @@ impl HybridStopEngine {
             ),
             front,
             blocks,
-            unit_shards,
+            unit_params,
             unit_lens,
             states,
             _persistent: persistent,
         })
     }
 
-    /// All-gather one unit's parameters within the FSDP group and return
-    /// the unsharded flat vector, charging a transient allocation.
+    /// Reshard one unit's parameters to `Replicate` within the FSDP group
+    /// and return the unsharded flat vector, charging a transient
+    /// allocation.
     fn gather_unit(
         &mut self,
         ctx: &mut RankCtx,
@@ -158,13 +183,18 @@ impl HybridStopEngine {
         // staging buffer for the backward reduce-scatter.
         let full = padded_len(self.unit_lens[unit], self.layout.fsdp) as u64;
         let alloc = ctx.device.alloc(2 * full * self.trainer.param_bytes())?;
-        let gathered = self.trainer.gather(
-            &mut self.fsdp_group,
-            &mut ctx.clock,
-            &self.unit_shards[unit],
-            prefetched,
-        )?;
-        Ok((flat_unshard(&gathered, self.unit_lens[unit]), alloc))
+        let prefetch = prefetched && self.trainer.opts.prefetch;
+        let flat = {
+            let mut comm = GroupComm::new(&mut self.fsdp_group, &mut ctx.clock);
+            self.unit_params[unit]
+                .reshard_start("fsdp", Layout::Replicate, &mut comm, prefetch)
+                .map_err(comm_err)?
+                .wait(&mut comm)
+                .map_err(comm_err)?
+                .into_local()
+                .into_vec()
+        };
+        Ok((flat, alloc))
     }
 
     /// Issue one unit's FSDP parameter gather without blocking. The
@@ -178,12 +208,17 @@ impl HybridStopEngine {
     ) -> Result<InflightGather, SimError> {
         let full = padded_len(self.unit_lens[unit], self.layout.fsdp) as u64;
         let alloc = ctx.device.alloc(2 * full * self.trainer.param_bytes())?;
-        let pending = self.trainer.gather_start(
-            &mut self.fsdp_group,
-            &ctx.clock,
-            &self.unit_shards[unit],
-            true,
-        )?;
+        let pending = {
+            let mut comm = GroupComm::new(&mut self.fsdp_group, &mut ctx.clock);
+            self.unit_params[unit]
+                .reshard_start(
+                    "fsdp",
+                    Layout::Replicate,
+                    &mut comm,
+                    self.trainer.opts.prefetch,
+                )
+                .map_err(comm_err)?
+        };
         Ok(InflightGather {
             unit,
             pending,
@@ -198,25 +233,62 @@ impl HybridStopEngine {
         ctx: &mut RankCtx,
         inflight: InflightGather,
     ) -> Result<(Vec<f32>, Allocation), SimError> {
-        let gathered = inflight.pending.wait(&mut ctx.clock)?;
-        Ok((
-            flat_unshard(&gathered, self.unit_lens[inflight.unit]),
-            inflight.alloc,
-        ))
+        let flat = {
+            let mut comm = GroupComm::new(&mut self.fsdp_group, &mut ctx.clock);
+            inflight
+                .pending
+                .wait(&mut comm)
+                .map_err(comm_err)?
+                .into_local()
+                .into_vec()
+        };
+        Ok((flat, inflight.alloc))
+    }
+
+    /// Resolve a unit's `Partial` gradient flat to `ShardFlat` within the
+    /// FSDP group — a reduce-scatter, with the padding supplied by the
+    /// layout lowering rather than hand-rolled here.
+    fn scatter_grads(&mut self, ctx: &mut RankCtx, grads: Vec<f32>) -> Result<Vec<f32>, CommError> {
+        let n = grads.len();
+        let fsdp_mesh = self.mesh.sub(&["fsdp"]).expect("fsdp axis");
+        let partial =
+            DTensor::partial(Tensor::from_vec(1, n, grads), fsdp_mesh, "fsdp").expect("fsdp axis");
+        let mut comm = GroupComm::new(&mut self.fsdp_group, &mut ctx.clock);
+        Ok(partial
+            .reshard("fsdp", Layout::ShardFlat, &mut comm)
+            .map_err(comm_err)?
+            .into_local()
+            .into_vec())
     }
 
     /// FSDP-unshard one flat per unit from `shards` (this rank's FSDP
-    /// shard of each unit), then hand front + blocks to the shared TP
-    /// reassembly. The same routine serves parameters and Adam moments.
+    /// shard of each unit, in the parameters' flat layout), then hand
+    /// front + blocks to the shared TP reassembly. The same routine serves
+    /// parameters and Adam moments.
     fn assemble_full(
         &mut self,
         ctx: &mut RankCtx,
         shards: &[&[f32]],
     ) -> Result<Vec<f32>, CommError> {
+        let fsdp_mesh = self.mesh.sub(&["fsdp"]).expect("fsdp axis");
         let mut unit_flats = Vec::with_capacity(shards.len());
         for (unit, shard) in shards.iter().enumerate() {
-            let gathered = self.fsdp_group.all_gather(&mut ctx.clock, shard)?;
-            unit_flats.push(flat_unshard(&gathered, self.unit_lens[unit]));
+            let t = DTensor::from_local_shard(
+                Tensor::from_vec(1, shard.len(), shard.to_vec()),
+                fsdp_mesh.clone(),
+                "fsdp",
+                Layout::ShardFlat,
+                1,
+                self.unit_lens[unit],
+            )
+            .expect("unit shard matches parameter layout");
+            let mut comm = GroupComm::new(&mut self.fsdp_group, &mut ctx.clock);
+            unit_flats.push(
+                t.reshard("fsdp", Layout::Replicate, &mut comm)
+                    .map_err(comm_err)?
+                    .into_local()
+                    .into_vec(),
+            );
         }
         let front_flat = unit_flats.remove(0);
         assemble_reference(
@@ -234,7 +306,11 @@ impl HybridStopEngine {
     /// column/row shards into full matrices. Used by tests and for
     /// checkpointing.
     pub fn gather_full_params(&mut self, ctx: &mut RankCtx) -> Result<Vec<f32>, CommError> {
-        let shards: Vec<Vec<f32>> = self.unit_shards.clone();
+        let shards: Vec<Vec<f32>> = self
+            .unit_params
+            .iter()
+            .map(|p| p.local().data().to_vec())
+            .collect();
         let refs: Vec<&[f32]> = shards.iter().map(|s| s.as_slice()).collect();
         self.assemble_full(ctx, &refs)
     }
@@ -421,33 +497,40 @@ impl Engine for HybridStopEngine {
                     self.blocks[l].backward(&cache, &dys[s], &mut self.tp_group, &mut ctx.clock)?;
             }
             sync_qk_grads(&mut self.blocks[l], &mut self.tp_group, &mut ctx.clock)?;
-            // Reduce-scatter this layer's gradients within the FSDP group.
-            let mut grads = tp_flatten_grads(&mut self.blocks[l]);
-            grads.resize(padded_len(grads.len(), self.layout.fsdp), 0.0);
-            unit_grad_shards[1 + l] = self
-                .fsdp_group
-                .reduce_scatter(&mut ctx.clock, &grads)?
-                .to_vec();
+            // This layer's gradients are `Partial` over the FSDP axis:
+            // resolve straight to `ShardFlat` (a reduce-scatter).
+            let grads = tp_flatten_grads(&mut self.blocks[l]);
+            unit_grad_shards[1 + l] = self.scatter_grads(ctx, grads)?;
         }
 
         // Front-end backward and its gradient reduce-scatter.
         for s in 0..b {
             self.front.front_backward(&front_caches[s], &dys[s]);
         }
-        let mut front_grads = self.front.flatten_grads();
-        front_grads.resize(padded_len(front_grads.len(), self.layout.fsdp), 0.0);
-        unit_grad_shards[0] = self
-            .fsdp_group
-            .reduce_scatter(&mut ctx.clock, &front_grads)?
-            .to_vec();
+        let front_grads = self.front.flatten_grads();
+        unit_grad_shards[0] = self.scatter_grads(ctx, front_grads)?;
         drop(front_alloc);
         drop(whole_model_allocs);
         ctx.clock.flush_prefetch();
 
-        // ---- DDP level: all-reduce owned gradient shards across replicas.
+        // ---- DDP level: the owned gradient shards are still `Partial`
+        // across data replicas; resolve to `Replicate` on the `ddp` axis.
         if self.layout.ddp > 1 {
+            let ddp_mesh = self.mesh.sub(&["ddp"]).expect("ddp axis");
             for shard in unit_grad_shards.iter_mut() {
-                *shard = self.ddp_group.all_reduce(&mut ctx.clock, shard)?.to_vec();
+                let n = shard.len();
+                let partial = DTensor::partial(
+                    Tensor::from_vec(1, n, std::mem::take(shard)),
+                    ddp_mesh.clone(),
+                    "ddp",
+                )
+                .expect("ddp axis");
+                let mut comm = GroupComm::new(&mut self.ddp_group, &mut ctx.clock);
+                *shard = partial
+                    .reshard("ddp", Layout::Replicate, &mut comm)
+                    .map_err(comm_err)?
+                    .into_local()
+                    .into_vec();
             }
         }
 
@@ -475,9 +558,11 @@ impl Engine for HybridStopEngine {
         // ---- Sharded optimizer step: each rank updates only its shards.
         if applied {
             for (unit, grads) in unit_grad_shards.iter().enumerate() {
-                self.trainer
-                    .opt
-                    .step(&mut self.states[unit], &mut self.unit_shards[unit], grads);
+                self.trainer.opt.step(
+                    &mut self.states[unit],
+                    self.unit_params[unit].local_mut().data_mut(),
+                    grads,
+                );
             }
         }
 
@@ -524,30 +609,41 @@ impl Engine for HybridStopEngine {
             ));
         }
         let cfg = self.front.cfg;
+        let tp = self.layout.tp;
         let tp_idx = self.tp_group.local_index();
         let fsdp = self.layout.fsdp;
         let fsdp_idx = self.fsdp_group.local_index();
-        // full reference flat -> per-unit FSDP shards in this layout.
-        let reshard = |full: &[f32]| -> Vec<Vec<f32>> {
-            let (front, blocks) = reshard_reference(&cfg, self.layout.tp, tp_idx, full);
+        // full reference flat -> per-unit flats in this rank's TP layout.
+        let reshard_units = |full: &[f32]| -> Vec<Vec<f32>> {
+            let (front, blocks) = reshard_reference(&cfg, tp, tp_idx, full);
             let mut units = vec![front];
             units.extend(blocks);
             units
-                .iter()
-                .map(|u| flat_shard(u, fsdp, fsdp_idx))
-                .collect()
         };
-        let param_units = reshard(&ck.params);
-        let m_units = reshard(&ck.adam_m);
-        let v_units = reshard(&ck.adam_v);
-        for (unit, shard) in param_units.into_iter().enumerate() {
-            if shard.len() != self.unit_shards[unit].len() {
+        let fsdp_mesh = self.mesh.sub(&["fsdp"]).expect("fsdp axis");
+        for (unit, full) in reshard_units(&ck.params).into_iter().enumerate() {
+            if full.len() != self.unit_lens[unit] {
                 return Err(SimError::State(format!(
                     "unit {unit} shard length mismatch on restore"
                 )));
             }
-            self.unit_shards[unit] = shard;
+            let n = full.len();
+            self.unit_params[unit] = DTensor::from_global(
+                &Tensor::from_vec(1, n, full),
+                fsdp_mesh.clone(),
+                "fsdp",
+                Layout::ShardFlat,
+            )
+            .expect("flat sharding is always legal");
         }
+        let m_units: Vec<Vec<f32>> = reshard_units(&ck.adam_m)
+            .iter()
+            .map(|u| flat_shard(u, fsdp, fsdp_idx))
+            .collect();
+        let v_units: Vec<Vec<f32>> = reshard_units(&ck.adam_v)
+            .iter()
+            .map(|u| flat_shard(u, fsdp, fsdp_idx))
+            .collect();
         for (unit, (m, v)) in m_units.into_iter().zip(v_units).enumerate() {
             self.states[unit].m = m;
             self.states[unit].v = v;

@@ -39,9 +39,10 @@ pub use tp::TensorParallelEngine;
 pub use trainer::Trainer;
 
 use crate::stats::StepStats;
-use orbit_comm::{OomError, RankCtx, SimError};
+use orbit_comm::{RankCtx, SimError};
 use orbit_frontier::perfmodel::Calibration;
-use orbit_frontier::{FrontierMachine, ParallelLayout, TrainOptions};
+use orbit_frontier::planner::PlanCandidate;
+use orbit_frontier::{FrontierMachine, ParallelLayout, Strategy, TrainOptions};
 use orbit_tensor::kernels::AdamW;
 use orbit_tensor::Tensor;
 use orbit_vit::{Batch, Checkpoint, VitConfig};
@@ -120,8 +121,60 @@ impl EngineSpec {
     }
 }
 
+/// Check that `spec` is constructible on a `world`-rank cluster with this
+/// model *before* any engine state is built, so an impossible request
+/// fails with one clear [`SimError::State`] instead of a panic (or a
+/// cryptic divide error) deep inside engine construction.
+fn validate_spec(spec: &EngineSpec, world: usize, cfg: &VitConfig) -> Result<(), SimError> {
+    match spec {
+        EngineSpec::Single | EngineSpec::Ddp | EngineSpec::Fsdp => Ok(()),
+        EngineSpec::TensorParallel => {
+            if cfg.dims.heads % world != 0 {
+                return Err(SimError::State(format!(
+                    "tensor_parallel needs the head count to divide over the world: \
+                     {} heads cannot split across {world} ranks",
+                    cfg.dims.heads
+                )));
+            }
+            Ok(())
+        }
+        EngineSpec::Pipeline => {
+            if world > cfg.dims.layers {
+                return Err(SimError::State(format!(
+                    "pipeline needs at least one transformer layer per stage: \
+                     {} layers cannot spread over {world} ranks",
+                    cfg.dims.layers
+                )));
+            }
+            Ok(())
+        }
+        EngineSpec::HybridStop(layout) => {
+            if layout.world() != world {
+                return Err(SimError::State(format!(
+                    "hybrid_stop layout tp={} x fsdp={} x ddp={} covers {} ranks \
+                     but the cluster has {world}",
+                    layout.tp,
+                    layout.fsdp,
+                    layout.ddp,
+                    layout.world()
+                )));
+            }
+            if cfg.dims.heads % layout.tp != 0 {
+                return Err(SimError::State(format!(
+                    "hybrid_stop tensor-parallel degree {} does not divide the \
+                     {} attention heads",
+                    layout.tp, cfg.dims.heads
+                )));
+            }
+            Ok(())
+        }
+    }
+}
+
 /// Construct the engine `spec` describes on the calling rank. All ranks
-/// must pass the same spec and seed.
+/// must pass the same spec and seed. The spec is validated against the
+/// cluster world size and model shape first, so an infeasible request
+/// fails with a clear [`SimError::State`] before any memory is charged.
 pub fn build_engine(
     ctx: &RankCtx,
     spec: EngineSpec,
@@ -129,7 +182,8 @@ pub fn build_engine(
     opt: AdamW,
     opts: TrainOptions,
     seed: u64,
-) -> Result<Box<dyn Engine>, OomError> {
+) -> Result<Box<dyn Engine>, SimError> {
+    validate_spec(&spec, ctx.world, &cfg)?;
     Ok(match spec {
         EngineSpec::Single => Box::new(SingleDeviceEngine::new(ctx, cfg, opt, opts, seed)?),
         EngineSpec::Ddp => Box::new(DdpEngine::new(ctx, cfg, opt, opts, seed)?),
@@ -142,6 +196,20 @@ pub fn build_engine(
             Box::new(HybridStopEngine::new(ctx, layout, cfg, opt, opts, seed)?)
         }
     })
+}
+
+/// The [`EngineSpec`] that executes a planner candidate: the bridge from
+/// the analytic search in `orbit_frontier::planner` to the simulated
+/// engines. Pipeline has no [`orbit_frontier::Strategy`] counterpart (the
+/// planner never proposes it), so every candidate maps onto a spec.
+pub fn spec_for_plan(candidate: &PlanCandidate) -> EngineSpec {
+    match candidate.strategy {
+        Strategy::SingleDevice => EngineSpec::Single,
+        Strategy::Ddp => EngineSpec::Ddp,
+        Strategy::Fsdp => EngineSpec::Fsdp,
+        Strategy::TensorParallel => EngineSpec::TensorParallel,
+        Strategy::HybridStop => EngineSpec::HybridStop(candidate.layout),
+    }
 }
 
 /// Sustained per-GPU throughput used for simulated compute time, under an
@@ -231,5 +299,66 @@ mod tests {
             EngineSpec::HybridStop(ParallelLayout::new(2, 2, 1)).name(),
             "hybrid_stop"
         );
+    }
+
+    /// Run `build_engine` with `spec` on a 4-rank cluster and assert every
+    /// rank fails fast with a [`SimError::State`] whose message contains
+    /// `needle`.
+    fn assert_rejected(spec: EngineSpec, needle: &str) {
+        let outcomes = orbit_comm::Cluster::frontier().try_run(4, |ctx| {
+            // test_tiny has 2 heads and 2 layers, so every spec below is
+            // infeasible at world 4 and must be rejected before any engine
+            // state is built.
+            build_engine(
+                ctx,
+                spec,
+                VitConfig::test_tiny(),
+                AdamW::default(),
+                TrainOptions::none(),
+                42,
+            )
+            .map(|_| ())
+        });
+        for outcome in &outcomes {
+            match outcome.sim_error() {
+                Some(SimError::State(msg)) => {
+                    assert!(msg.contains(needle), "unexpected message: {msg}")
+                }
+                other => panic!("expected a State error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_hybrid_layout_not_matching_world() {
+        assert_rejected(
+            EngineSpec::HybridStop(ParallelLayout::new(2, 2, 2)),
+            "covers 8 ranks",
+        );
+    }
+
+    #[test]
+    fn rejects_tensor_parallel_exceeding_heads() {
+        assert_rejected(EngineSpec::TensorParallel, "2 heads");
+    }
+
+    #[test]
+    fn rejects_pipeline_with_more_stages_than_layers() {
+        assert_rejected(EngineSpec::Pipeline, "2 layers");
+    }
+
+    #[test]
+    fn plan_candidates_map_onto_specs() {
+        use orbit_frontier::planner::Planner;
+        let plan = Planner::new(FrontierMachine::default())
+            .plan(&VitConfig::test_tiny().dims, 8, 8)
+            .expect("a feasible plan at 8 GPUs");
+        for cand in &plan.candidates {
+            let spec = spec_for_plan(cand);
+            if let EngineSpec::HybridStop(layout) = spec {
+                assert_eq!(layout.world(), 8);
+            }
+        }
+        assert_eq!(spec_for_plan(&plan.chosen).name(), plan.chosen_name());
     }
 }

@@ -6,9 +6,11 @@
 //! All ranks process the *same* data (one model replica). Scalability is
 //! capped by the attention head count — the limitation Hybrid-STOP removes.
 
+use crate::dcomm::{comm_err, GroupComm};
 use crate::stats::StepStats;
 use crate::tp_block::TpBlock;
 use orbit_comm::{Allocation, CommError, ProcessGroup, RankCtx, SimClock, SimError};
+use orbit_tensor::dtensor::{DTensor, Layout};
 use orbit_frontier::TrainOptions;
 use orbit_tensor::kernels::{AdamState, AdamW};
 use orbit_tensor::Tensor;
@@ -70,10 +72,15 @@ pub(crate) fn sync_qk_grads(
     if tp_group.size() <= 1 {
         return Ok(());
     }
+    let mesh = block.mesh.clone();
     if let Some(qk) = block.qk.as_mut() {
         for p in qk.iter_mut() {
-            let summed = tp_group.all_reduce(clock, p.grad.data())?;
-            p.grad.data_mut().copy_from_slice(&summed);
+            let partial = DTensor::partial(p.grad.clone(), mesh.clone(), "tp").expect("tp axis");
+            let mut comm = GroupComm::new(tp_group, clock);
+            p.grad = partial
+                .reshard("tp", Layout::Replicate, &mut comm)
+                .map_err(comm_err)?
+                .into_local();
         }
     }
     Ok(())

@@ -11,9 +11,7 @@
 
 use crate::scaler::GradScaler;
 use crate::stats::StepStats;
-use orbit_comm::{
-    Allocation, CommBuf, CommError, OomError, PendingCollective, ProcessGroup, RankCtx, SimClock,
-};
+use orbit_comm::{Allocation, CommError, OomError, ProcessGroup, RankCtx, SimClock};
 use orbit_frontier::perfmodel::Calibration;
 use orbit_frontier::{FrontierMachine, ModelDims, TrainOptions};
 use orbit_tensor::kernels::AdamW;
@@ -211,34 +209,6 @@ impl Trainer {
         let sustained = self.sustained(ctx.machine());
         ctx.clock
             .charge_compute(n_obs as f64 * flops_per_obs, sustained);
-    }
-
-    /// FSDP-style parameter gather, prefetched (issued nonblocking, its
-    /// modeled time overlapped with upcoming compute) when both the call
-    /// site and `opts.prefetch` allow it.
-    pub(crate) fn gather(
-        &self,
-        group: &mut ProcessGroup,
-        clock: &mut SimClock,
-        shard: &[f32],
-        prefetched: bool,
-    ) -> Result<CommBuf, CommError> {
-        self.gather_start(group, clock, shard, prefetched)?
-            .wait(clock)
-    }
-
-    /// Issue an FSDP-style parameter gather without blocking; the returned
-    /// handle's `wait()` yields the full flat parameter vector. Prefetch
-    /// (both here and at wait-time accounting) applies when the call site
-    /// and `opts.prefetch` allow it.
-    pub(crate) fn gather_start(
-        &self,
-        group: &mut ProcessGroup,
-        clock: &SimClock,
-        shard: &[f32],
-        prefetched: bool,
-    ) -> Result<PendingCollective, CommError> {
-        group.all_gather_start(clock, shard, prefetched && self.opts.prefetch)
     }
 
     /// Bytes per parameter moved by gathers / transient buffers (bf16 on

@@ -35,6 +35,7 @@
 //! head-limited), [`engines::PipelineEngine`] (GPipe-style),
 //! [`engines::HybridStopEngine`].
 
+pub mod dcomm;
 pub mod engines;
 pub mod resilient;
 pub mod scaler;
@@ -42,9 +43,10 @@ pub mod sharding;
 pub mod stats;
 pub mod tp_block;
 
+pub use dcomm::{comm_err, GroupComm};
 pub use engines::{
-    build_engine, DdpEngine, Engine, EngineSpec, FsdpEngine, HybridStopEngine, PipelineEngine,
-    SingleDeviceEngine, TensorParallelEngine, Trainer,
+    build_engine, spec_for_plan, DdpEngine, Engine, EngineSpec, FsdpEngine, HybridStopEngine,
+    PipelineEngine, SingleDeviceEngine, TensorParallelEngine, Trainer,
 };
 pub use resilient::{AttemptSpec, ResilientReport, ResilientTrainer};
 pub use scaler::GradScaler;

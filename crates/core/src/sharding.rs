@@ -1,77 +1,28 @@
 //! Shard arithmetic: the alternating column/row splits of paper Eqn. (2)
 //! and flat-vector sharding for the FSDP dimension.
+//!
+//! The implementations live in [`orbit_tensor::dtensor`] — the layout
+//! algebra underneath [`orbit_tensor::DTensor`] — so that engines and
+//! distributed tensors agree on one copy of the padding/split math. This
+//! module re-exports them under their historical `orbit_core::sharding`
+//! names. Note `shard_columns`/`shard_rows` now return a typed
+//! [`LayoutError`] on uneven splits instead of panicking.
 
-use orbit_tensor::Tensor;
-
-/// Column shard `A_{*,k}` of a weight matrix (paper Eqn. (2)). Requires
-/// the column count to divide evenly by `shards`.
-pub fn shard_columns(a: &Tensor, shards: usize, k: usize) -> Tensor {
-    assert!(k < shards, "shard index {k} out of {shards}");
-    assert_eq!(
-        a.cols() % shards,
-        0,
-        "{} columns not divisible by {shards} shards",
-        a.cols()
-    );
-    let w = a.cols() / shards;
-    a.slice_cols(k * w, (k + 1) * w)
-}
-
-/// Row shard `B_{k,*}` of a weight matrix (paper Eqn. (2)).
-pub fn shard_rows(b: &Tensor, shards: usize, k: usize) -> Tensor {
-    assert!(k < shards, "shard index {k} out of {shards}");
-    assert_eq!(
-        b.rows() % shards,
-        0,
-        "{} rows not divisible by {shards} shards",
-        b.rows()
-    );
-    let h = b.rows() / shards;
-    b.slice_rows(k * h, (k + 1) * h)
-}
-
-/// Padded length so a flat vector divides evenly into `shards` chunks.
-pub fn padded_len(len: usize, shards: usize) -> usize {
-    len.div_ceil(shards) * shards
-}
-
-/// This shard's `[start, end)` range of a flat vector padded to `shards`
-/// equal chunks. Tail shards beyond the data are empty ranges.
-pub fn flat_shard_range(len: usize, shards: usize, k: usize) -> (usize, usize) {
-    assert!(k < shards);
-    let chunk = padded_len(len, shards) / shards;
-    let start = (k * chunk).min(len);
-    let end = ((k + 1) * chunk).min(len);
-    (start, end)
-}
-
-/// Extract shard `k` of a flat vector, zero-padding the tail shard.
-pub fn flat_shard(data: &[f32], shards: usize, k: usize) -> Vec<f32> {
-    let chunk = padded_len(data.len(), shards) / shards;
-    let (start, end) = flat_shard_range(data.len(), shards, k);
-    let mut out = Vec::with_capacity(chunk);
-    out.extend_from_slice(&data[start..end]);
-    out.resize(chunk, 0.0);
-    out
-}
-
-/// Reassemble a flat vector of original length `len` from concatenated
-/// equal shards (inverse of [`flat_shard`] across all `k`).
-pub fn flat_unshard(concatenated: &[f32], len: usize) -> Vec<f32> {
-    assert!(concatenated.len() >= len, "missing shard data");
-    concatenated[..len].to_vec()
-}
+pub use orbit_tensor::dtensor::{
+    flat_shard, flat_shard_range, flat_unshard, padded_len, shard_columns, shard_rows, LayoutError,
+};
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use orbit_tensor::init::Rng;
+    use orbit_tensor::Tensor;
 
     #[test]
     fn column_shards_partition() {
         let mut rng = Rng::seed(1);
         let a = rng.normal_tensor(4, 8, 1.0);
-        let parts: Vec<Tensor> = (0..4).map(|k| shard_columns(&a, 4, k)).collect();
+        let parts: Vec<Tensor> = (0..4).map(|k| shard_columns(&a, 4, k).unwrap()).collect();
         let whole = Tensor::concat_cols(&parts.iter().collect::<Vec<_>>());
         assert_eq!(whole, a);
     }
@@ -80,15 +31,21 @@ mod tests {
     fn row_shards_partition() {
         let mut rng = Rng::seed(2);
         let b = rng.normal_tensor(8, 3, 1.0);
-        let parts: Vec<Tensor> = (0..2).map(|k| shard_rows(&b, 2, k)).collect();
+        let parts: Vec<Tensor> = (0..2).map(|k| shard_rows(&b, 2, k).unwrap()).collect();
         assert_eq!(Tensor::concat_rows(&parts.iter().collect::<Vec<_>>()), b);
     }
 
     #[test]
-    #[should_panic(expected = "not divisible")]
-    fn rejects_uneven_columns() {
+    fn rejects_uneven_columns_with_typed_error() {
         let a = Tensor::zeros(2, 7);
-        let _ = shard_columns(&a, 2, 0);
+        assert_eq!(
+            shard_columns(&a, 2, 0),
+            Err(LayoutError::UnevenSplit {
+                extent: 7,
+                shards: 2,
+                dim: 1
+            })
+        );
     }
 
     #[test]

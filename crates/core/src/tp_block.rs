@@ -15,6 +15,7 @@
 //! all-reduces those (Eqn. (3)). Weight gradients stay local to the shard.
 
 use orbit_comm::{CommError, ProcessGroup, SimClock};
+use orbit_tensor::dtensor::{DTensor, DeviceMesh, Layout};
 use orbit_tensor::kernels::attention::{mha_backward, mha_forward, MhaCache, QkNorm};
 use orbit_tensor::kernels::{
     gelu, gelu_backward, layernorm, layernorm_backward, linear, linear_backward, LayerNormCache,
@@ -22,7 +23,7 @@ use orbit_tensor::kernels::{
 use orbit_tensor::{Precision, Tensor};
 use orbit_vit::block::{Param, TransformerBlock};
 
-use crate::sharding::{shard_columns, shard_rows};
+use crate::dcomm::{comm_err, GroupComm};
 
 /// One rank's tensor-parallel shard of a transformer block.
 #[derive(Debug, Clone)]
@@ -47,6 +48,11 @@ pub struct TpBlock {
     pub heads_local: usize,
     pub tp: usize,
     pub precision: Precision,
+    /// One-axis `tp` mesh this shard lives on: weight layouts are
+    /// `Shard(1)` (Wq/Wk/Wv/W1 + their biases), `Shard(0)` (Wo/W2), or
+    /// `Replicate` (norms, bo/b2, QK-norm); partial activations resolve
+    /// `Partial -> Replicate` through it.
+    pub mesh: DeviceMesh,
 }
 
 /// Forward cache for [`TpBlock::backward`].
@@ -73,8 +79,24 @@ impl TpBlock {
             "tensor parallelism {tp} must divide head count {}",
             full.heads
         );
-        let shard_p_cols = |p: &Param| Param::new(shard_columns(&p.value, tp, tp_idx));
-        let shard_p_rows = |p: &Param| Param::new(shard_rows(&p.value, tp, tp_idx));
+        let mesh = DeviceMesh::one("tp", tp, tp_idx);
+        // Column/row shards are DTensor lowerings of the full weights; the
+        // head-divisibility assert above guarantees even splits (embed is a
+        // multiple of heads, heads a multiple of tp).
+        let shard_p_cols = |p: &Param| {
+            Param::new(
+                DTensor::from_global(&p.value, mesh.clone(), "tp", Layout::Shard(1))
+                    .expect("head-aligned column shard")
+                    .into_local(),
+            )
+        };
+        let shard_p_rows = |p: &Param| {
+            Param::new(
+                DTensor::from_global(&p.value, mesh.clone(), "tp", Layout::Shard(0))
+                    .expect("head-aligned row shard")
+                    .into_local(),
+            )
+        };
         let repl = |p: &Param| Param::new(p.value.clone());
         TpBlock {
             ln1_gamma: repl(&full.ln1_gamma),
@@ -100,7 +122,24 @@ impl TpBlock {
             heads_local: full.heads / tp,
             tp,
             precision: full.precision,
+            mesh: mesh.clone(),
         }
+    }
+
+    /// Resolve a `Partial` activation across the `tp` mesh axis — the
+    /// Eqn. (2)/(3) partial sum — to a replicated tensor.
+    fn tp_sum(
+        &self,
+        part: Tensor,
+        tp_group: &mut ProcessGroup,
+        clock: &mut SimClock,
+    ) -> Result<Tensor, CommError> {
+        let partial = DTensor::partial(part, self.mesh.clone(), "tp").expect("tp axis");
+        let mut comm = GroupComm::new(tp_group, clock);
+        Ok(partial
+            .reshard("tp", Layout::Replicate, &mut comm)
+            .map_err(comm_err)?
+            .into_local())
     }
 
     fn qk_norm_ref(&self) -> Option<QkNorm> {
@@ -121,7 +160,7 @@ impl TpBlock {
         clock: &mut SimClock,
     ) -> Result<(Tensor, TpBlockCache), CommError> {
         let p = self.precision;
-        let (tokens, d) = x.shape();
+        let (tokens, _) = x.shape();
         let (z1, ln1) = layernorm(x, &self.ln1_gamma.value, &self.ln1_beta.value);
         // Column-sharded projections: this rank computes its heads only.
         let q = linear(&z1, &self.wq.value, Some(&self.bq.value), p);
@@ -129,15 +168,10 @@ impl TpBlock {
         let v = linear(&z1, &self.wv.value, Some(&self.bv.value), p);
         let norm = self.qk_norm_ref();
         let (a_loc, mha) = mha_forward(&q, &k, &v, self.heads_local, norm.as_ref());
-        // Row-sharded output projection -> partial sum -> all-reduce
+        // Row-sharded output projection -> `Partial -> Replicate` reshard
         // (Eqn. (2): sum_k x A_{*,k} B_{k,*}).
         let o_part = linear(&a_loc, &self.wo.value, None, p);
-        let o_sum = Tensor::from_vec(
-            tokens,
-            d,
-            tp_group.all_reduce(clock, o_part.data())?.to_vec(),
-        );
-        let mut attn_out = o_sum;
+        let mut attn_out = self.tp_sum(o_part, tp_group, clock)?;
         for r in 0..tokens {
             for (vv, &b) in attn_out.row_mut(r).iter_mut().zip(self.bo.value.row(0)) {
                 *vv += b;
@@ -148,12 +182,7 @@ impl TpBlock {
         let u_loc = linear(&z2, &self.w1.value, Some(&self.b1.value), p);
         let g_loc = gelu(&u_loc);
         let m_part = linear(&g_loc, &self.w2.value, None, p);
-        let m_sum = Tensor::from_vec(
-            tokens,
-            d,
-            tp_group.all_reduce(clock, m_part.data())?.to_vec(),
-        );
-        let mut mlp_out = m_sum;
+        let mut mlp_out = self.tp_sum(m_part, tp_group, clock)?;
         for r in 0..tokens {
             for (vv, &b) in mlp_out.row_mut(r).iter_mut().zip(self.b2.value.row(0)) {
                 *vv += b;
@@ -204,11 +233,7 @@ impl TpBlock {
         self.w1.accumulate(&g1.dw);
         self.b1.accumulate(&g1.db.expect("bias grad"));
         // dz2 partials sum across the group (Eqn. (3)).
-        let dz2 = Tensor::from_vec(
-            tokens,
-            d,
-            tp_group.all_reduce(clock, g1.dx.data())?.to_vec(),
-        );
+        let dz2 = self.tp_sum(g1.dx, tp_group, clock)?;
         let ln2g = layernorm_backward(&cache.ln2, &self.ln2_gamma.value, &dz2);
         self.ln2_gamma.accumulate(&ln2g.dgamma);
         self.ln2_beta.accumulate(&ln2g.dbeta);
@@ -248,11 +273,7 @@ impl TpBlock {
         let mut dz1_part = gq.dx;
         dz1_part.add_assign(&gk.dx);
         dz1_part.add_assign(&gv.dx);
-        let dz1 = Tensor::from_vec(
-            tokens,
-            d,
-            tp_group.all_reduce(clock, dz1_part.data())?.to_vec(),
-        );
+        let dz1 = self.tp_sum(dz1_part, tp_group, clock)?;
         let ln1g = layernorm_backward(&cache.ln1, &self.ln1_gamma.value, &dz1);
         self.ln1_gamma.accumulate(&ln1g.dgamma);
         self.ln1_beta.accumulate(&ln1g.dbeta);
@@ -311,6 +332,7 @@ impl TpBlock {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sharding::{shard_columns, shard_rows};
     use orbit_comm::Cluster;
     use orbit_tensor::init::Rng;
     use orbit_vit::config::VitConfig;
@@ -344,8 +366,8 @@ mod tests {
                 assert!(dx.allclose(&dx_ref, 1e-4, 1e-5), "tp={tp} rank={rank} dx");
                 // Shard grads equal the corresponding slices of the
                 // reference grads.
-                let w1_ref = shard_columns(&reference.w1.grad, tp, rank);
-                let w2_ref = shard_rows(&reference.w2.grad, tp, rank);
+                let w1_ref = shard_columns(&reference.w1.grad, tp, rank).unwrap();
+                let w2_ref = shard_rows(&reference.w2.grad, tp, rank).unwrap();
                 assert!(dw1.allclose(&w1_ref, 1e-4, 1e-5), "tp={tp} rank={rank} dw1");
                 assert!(dw2.allclose(&w2_ref, 1e-4, 1e-5), "tp={tp} rank={rank} dw2");
             }

@@ -15,6 +15,9 @@
 //! 3. [`dims`] + [`perfmodel`]: closed-form parameter counts, memory
 //!    footprints, FLOP counts, communication volumes and walltimes for every
 //!    parallelism strategy and optimization combination the paper ablates.
+//! 4. [`planner`]: the auto-parallel search that enumerates legal
+//!    (strategy, layout, options) candidates, filters by memory, and ranks
+//!    them with the perf model — closing the loop back to the engines.
 //!
 //! The executable simulator in `orbit-comm` uses the same constants, and the
 //! integration tests cross-validate the closed forms against simulated runs
@@ -24,8 +27,10 @@ pub mod dims;
 pub mod machine;
 pub mod mapping;
 pub mod perfmodel;
+pub mod planner;
 
 pub use dims::ModelDims;
 pub use machine::{FrontierMachine, LinkKind};
 pub use mapping::{ParallelLayout, RankMapping};
 pub use perfmodel::{MemoryBreakdown, PerfModel, Strategy, TrainOptions};
+pub use planner::{Plan, PlanCandidate, PlanError, Planner};

@@ -1,0 +1,327 @@
+//! Auto-parallel planner: close the loop from the analytic performance
+//! model back to an executable engine choice.
+//!
+//! Given a machine, a model, a GPU count and a global batch, the
+//! [`Planner`] enumerates every *legal* parallelization the engines can
+//! execute — DDP, vanilla FSDP, Megatron TP, and each `tp x fsdp x ddp`
+//! factoring of Hybrid-STOP, crossed with the layer-wrapping and prefetch
+//! options the paper ablates — filters out configurations that do not fit
+//! in GPU memory, costs the survivors with [`PerfModel`], and returns them
+//! ranked by predicted time-per-global-batch. `orbit_core::spec_for_plan`
+//! turns the winner into an [`EngineSpec`](../../orbit_core) so the plan
+//! is directly executable on the simulated cluster; the `plan_bench`
+//! binary cross-checks the ranking against simulation.
+
+use crate::dims::ModelDims;
+use crate::machine::FrontierMachine;
+use crate::mapping::{ParallelLayout, RankMapping};
+use crate::perfmodel::{PerfModel, Strategy, TrainOptions};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One costed point in the parallelization search space.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PlanCandidate {
+    pub strategy: Strategy,
+    /// `tp x fsdp x ddp` factoring; degenerate axes are 1 for the
+    /// single-axis strategies.
+    pub layout: ParallelLayout,
+    pub opts: TrainOptions,
+    /// Predicted time for one global batch, seconds
+    /// ([`PerfModel::epoch_relative_time`]).
+    pub predicted: f64,
+    /// Predicted peak per-GPU memory, bytes.
+    pub predicted_mem: u64,
+    /// True when every tensor-parallel group fits inside one node (the
+    /// paper's Fig. 4 placement requirement; spilling costs dearly).
+    pub tp_intra_node: bool,
+}
+
+/// Stable snake_case name of a strategy, matching
+/// `orbit_core::EngineSpec::name` for the executable counterpart.
+pub fn strategy_name(s: Strategy) -> &'static str {
+    match s {
+        Strategy::SingleDevice => "single_device",
+        Strategy::Ddp => "ddp",
+        Strategy::Fsdp => "fsdp",
+        Strategy::TensorParallel => "tensor_parallel",
+        Strategy::HybridStop => "hybrid_stop",
+    }
+}
+
+/// The planner's output: every feasible candidate, ranked.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Plan {
+    pub gpus: usize,
+    pub global_batch: usize,
+    /// The best candidate (lowest predicted time).
+    pub chosen: PlanCandidate,
+    /// All feasible candidates including the chosen one, ascending by
+    /// predicted time.
+    pub candidates: Vec<PlanCandidate>,
+}
+
+impl Plan {
+    /// Engine name of the chosen strategy.
+    pub fn chosen_name(&self) -> &'static str {
+        strategy_name(self.chosen.strategy)
+    }
+}
+
+/// No enumerated candidate fits in GPU memory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    NoFeasible { gpus: usize, global_batch: usize },
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::NoFeasible { gpus, global_batch } => write!(
+                f,
+                "no parallelization of this model fits on {gpus} GPUs \
+                 at global batch {global_batch}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// Enumerates and ranks parallelization candidates with a [`PerfModel`].
+#[derive(Debug, Clone, Default)]
+pub struct Planner {
+    pub model: PerfModel,
+}
+
+impl Planner {
+    pub fn new(machine: FrontierMachine) -> Self {
+        Planner {
+            model: PerfModel::new(machine),
+        }
+    }
+
+    /// Number of data replicas a candidate runs — the divisor the global
+    /// batch must split over (mirrors `PerfModel::replicas`).
+    fn replicas(strategy: Strategy, layout: &ParallelLayout) -> usize {
+        match strategy {
+            Strategy::Ddp => layout.world(),
+            Strategy::HybridStop => layout.ddp,
+            _ => 1,
+        }
+    }
+
+    /// The option variants worth searching for a candidate: wrap policy
+    /// and prefetch only matter when there is an FSDP axis to shard over.
+    fn opts_variants(strategy: Strategy, layout: &ParallelLayout) -> Vec<TrainOptions> {
+        let has_fsdp_axis = match strategy {
+            Strategy::Fsdp => layout.fsdp > 1,
+            Strategy::HybridStop => layout.fsdp > 1,
+            _ => false,
+        };
+        if has_fsdp_axis {
+            vec![
+                TrainOptions::none(),
+                TrainOptions {
+                    layer_wrapping: true,
+                    ..TrainOptions::none()
+                },
+                TrainOptions {
+                    layer_wrapping: true,
+                    prefetch: true,
+                    ..TrainOptions::none()
+                },
+            ]
+        } else {
+            vec![TrainOptions::none()]
+        }
+    }
+
+    /// All legal `(strategy, layout)` points for `gpus` ranks: the global
+    /// batch must divide over the data replicas, tensor parallelism must
+    /// divide the head count, and a Hybrid-STOP layout must factor the
+    /// world exactly.
+    fn enumerate(
+        &self,
+        dims: &ModelDims,
+        gpus: usize,
+        global_batch: usize,
+    ) -> Vec<(Strategy, ParallelLayout)> {
+        let mut out = Vec::new();
+        if gpus == 1 {
+            out.push((Strategy::SingleDevice, ParallelLayout::new(1, 1, 1)));
+            return out;
+        }
+        if global_batch % gpus == 0 {
+            out.push((Strategy::Ddp, ParallelLayout::new(1, 1, gpus)));
+        }
+        out.push((Strategy::Fsdp, ParallelLayout::new(1, gpus, 1)));
+        if dims.heads % gpus == 0 {
+            out.push((Strategy::TensorParallel, ParallelLayout::new(gpus, 1, 1)));
+        }
+        for tp in (1..=gpus).filter(|t| gpus % t == 0 && dims.heads % t == 0) {
+            let rest = gpus / tp;
+            for fsdp in (1..=rest).filter(|f| rest % f == 0) {
+                let ddp = rest / fsdp;
+                if global_batch % ddp != 0 {
+                    continue;
+                }
+                out.push((Strategy::HybridStop, ParallelLayout::new(tp, fsdp, ddp)));
+            }
+        }
+        out
+    }
+
+    /// Enumerate, filter by memory, cost, and rank. The returned plan's
+    /// `candidates` are ascending by predicted time; `chosen` is the head.
+    pub fn plan(
+        &self,
+        dims: &ModelDims,
+        gpus: usize,
+        global_batch: usize,
+    ) -> Result<Plan, PlanError> {
+        let mut candidates = Vec::new();
+        for (strategy, layout) in self.enumerate(dims, gpus, global_batch) {
+            let local_batch = global_batch / Self::replicas(strategy, &layout);
+            for opts in Self::opts_variants(strategy, &layout) {
+                if !self.model.fits(dims, &layout, strategy, &opts, local_batch) {
+                    continue;
+                }
+                let predicted = self
+                    .model
+                    .epoch_relative_time(dims, &layout, strategy, &opts, global_batch);
+                let predicted_mem = self
+                    .model
+                    .memory(dims, &layout, strategy, &opts, local_batch)
+                    .total();
+                let tp_intra_node =
+                    RankMapping::new(layout).tp_groups_intra_node(&self.model.machine);
+                candidates.push(PlanCandidate {
+                    strategy,
+                    layout,
+                    opts,
+                    predicted,
+                    predicted_mem,
+                    tp_intra_node,
+                });
+            }
+        }
+        candidates.sort_by(|a, b| a.predicted.total_cmp(&b.predicted));
+        let chosen = candidates
+            .first()
+            .cloned()
+            .ok_or(PlanError::NoFeasible { gpus, global_batch })?;
+        Ok(Plan {
+            gpus,
+            global_batch,
+            chosen,
+            candidates,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_dims() -> ModelDims {
+        // Mirrors VitConfig::test_tiny (orbit-vit depends on this crate,
+        // so the dims are restated here).
+        ModelDims {
+            embed: 16,
+            layers: 2,
+            heads: 2,
+            channels: 3,
+            patch: 4,
+            img_h: 8,
+            img_w: 16,
+            out_channels: 2,
+        }
+    }
+
+    #[test]
+    fn single_gpu_plans_single_device() {
+        let plan = Planner::default().plan(&tiny_dims(), 1, 4).unwrap();
+        assert_eq!(plan.chosen.strategy, Strategy::SingleDevice);
+        assert_eq!(plan.chosen_name(), "single_device");
+        assert_eq!(plan.candidates.len(), 1);
+    }
+
+    #[test]
+    fn candidates_are_ranked_and_feasible() {
+        let planner = Planner::default();
+        let plan = planner.plan(&tiny_dims(), 8, 8).unwrap();
+        assert!(plan.candidates.len() >= 3, "{}", plan.candidates.len());
+        for pair in plan.candidates.windows(2) {
+            assert!(pair[0].predicted <= pair[1].predicted);
+        }
+        assert_eq!(plan.chosen.predicted, plan.candidates[0].predicted);
+        let usable = planner.model.machine.usable_mem();
+        for c in &plan.candidates {
+            assert!(c.predicted_mem <= usable);
+        }
+    }
+
+    #[test]
+    fn tensor_parallel_respects_head_count() {
+        // 2 heads cannot split over 8 ranks: no pure-TP candidate, and no
+        // hybrid candidate with tp > 2.
+        let plan = Planner::default().plan(&tiny_dims(), 8, 8).unwrap();
+        assert!(plan
+            .candidates
+            .iter()
+            .all(|c| c.strategy != Strategy::TensorParallel));
+        assert!(plan.candidates.iter().all(|c| c.layout.tp <= 2));
+    }
+
+    #[test]
+    fn batch_must_divide_over_replicas() {
+        // Global batch 6 over 4 GPUs: DDP (4 replicas) is illegal, but
+        // hybrid layouts with ddp in {1, 2} still qualify.
+        let plan = Planner::default().plan(&tiny_dims(), 4, 6).unwrap();
+        assert!(plan.candidates.iter().all(|c| c.strategy != Strategy::Ddp));
+        assert!(plan
+            .candidates
+            .iter()
+            .all(|c| 6 % Planner::replicas(c.strategy, &c.layout) == 0));
+    }
+
+    #[test]
+    fn hybrid_layouts_factor_the_world() {
+        let plan = Planner::default().plan(&tiny_dims(), 8, 8).unwrap();
+        for c in &plan.candidates {
+            if c.strategy == Strategy::HybridStop {
+                assert_eq!(c.layout.world(), 8);
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_model_yields_no_feasible_plan() {
+        // The 113 B production model cannot fit on a single 64 GB GPU.
+        let err = Planner::default()
+            .plan(&ModelDims::orbit_113b(91), 1, 1)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            PlanError::NoFeasible {
+                gpus: 1,
+                global_batch: 1
+            }
+        );
+    }
+
+    #[test]
+    fn narrow_nodes_change_tp_placement() {
+        // With 2-GPU nodes, a tp=2 group is intra-node but wider layouts
+        // on 8 GPUs keep their FSDP members across nodes.
+        let machine = FrontierMachine {
+            gpus_per_node: 2,
+            ..FrontierMachine::default()
+        };
+        let plan = Planner::new(machine).plan(&tiny_dims(), 8, 8).unwrap();
+        for c in &plan.candidates {
+            assert_eq!(c.tp_intra_node, c.layout.tp <= 2, "{:?}", c.layout);
+        }
+    }
+}

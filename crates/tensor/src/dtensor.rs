@@ -1,0 +1,1143 @@
+//! Layout-aware distributed tensors (`DTensor`) over a named device mesh.
+//!
+//! Every parallel engine in `orbit-core` used to hand-roll its own shard
+//! math (column/row splits for tensor parallelism, padded flat shards for
+//! FSDP, pending-reduce gradient buffers for DDP). This module makes the
+//! layout *declarative*, veScale-style: a [`DTensor`] wraps a local
+//! [`Tensor`] plus one [`Layout`] per axis of a named [`DeviceMesh`], and
+//! [`DTensor::reshard`] is the single first-class op that moves a tensor
+//! between layouts. Resharding lowers onto exactly the nonblocking
+//! collectives the engines already issue (`all_gather_start` /
+//! `reduce_scatter_start` / `all_reduce_start`), through the
+//! [`Collectives`] trait — so the collective payloads, issue order and
+//! padding are bit-identical to the hand-rolled versions, and the
+//! schedule verifier observes an unchanged issue stream.
+//!
+//! The shard arithmetic itself (`shard_columns`/`shard_rows` for paper
+//! Eqn. (2) splits, `flat_shard`/`flat_unshard`/`padded_len` for FSDP flat
+//! parameter shards) lives here as the module's layout algebra; the old
+//! `orbit_core::sharding` module re-exports it.
+//!
+//! # Layout algebra
+//!
+//! A placement on one mesh axis of size `n` (this rank at index `k`):
+//!
+//! - [`Layout::Replicate`] — every rank holds the full tensor.
+//! - [`Layout::Shard(d)`] — the tensor is split along dimension `d`
+//!   (0 = rows, 1 = cols) into `n` equal slices; rank `k` holds slice `k`.
+//! - [`Layout::ShardFlat`] — the tensor's row-major data, zero-padded to a
+//!   multiple of `n`, is split into `n` equal flat chunks (the FSDP unit).
+//! - [`Layout::Partial`] — every rank holds an unreduced addend; the
+//!   logical tensor is the element-wise sum over the axis (a gradient
+//!   before its reduction).
+//!
+//! At most one mesh axis may be non-[`Layout::Replicate`] at a time;
+//! resharding transitions exactly the named axis.
+
+use crate::tensor::Tensor;
+use std::fmt;
+
+// ---------------------------------------------------------------------------
+// Layouts and errors
+// ---------------------------------------------------------------------------
+
+/// Placement of a tensor on one mesh axis. See the module docs for the
+/// algebra.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Layout {
+    /// Full copy on every rank of the axis.
+    Replicate,
+    /// Split along dimension `0` (rows) or `1` (cols) into equal slices.
+    Shard(usize),
+    /// Row-major data padded to a multiple of the axis size and split into
+    /// equal flat chunks.
+    ShardFlat,
+    /// Unreduced addend: the logical tensor is the sum over the axis.
+    Partial,
+}
+
+impl fmt::Display for Layout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Layout::Replicate => write!(f, "replicate"),
+            Layout::Shard(d) => write!(f, "shard({d})"),
+            Layout::ShardFlat => write!(f, "shard_flat"),
+            Layout::Partial => write!(f, "partial"),
+        }
+    }
+}
+
+/// A typed layout violation — the replacement for the panics the old
+/// hand-rolled shard helpers raised.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LayoutError {
+    /// The named mesh axis does not exist.
+    UnknownAxis { axis: String },
+    /// A dimension's extent does not divide into the requested shard count.
+    UnevenSplit {
+        extent: usize,
+        shards: usize,
+        dim: usize,
+    },
+    /// `Shard(d)` with `d` outside the 2-D tensor (only 0 and 1 exist).
+    BadDim { dim: usize },
+    /// Shard index out of range for the shard count.
+    ShardIndex { index: usize, shards: usize },
+    /// The communicator's size does not match the mesh axis being
+    /// resharded over.
+    CommSizeMismatch {
+        axis: String,
+        expected: usize,
+        got: usize,
+    },
+    /// No lowering exists for this transition (e.g. anything →
+    /// [`Layout::Partial`], or sharding a second axis while another is
+    /// already non-replicated).
+    IllegalReshard { from: Layout, to: Layout },
+    /// A local shard's shape is inconsistent with the claimed layout and
+    /// global shape.
+    ShapeMismatch {
+        expected: (usize, usize),
+        got: (usize, usize),
+    },
+}
+
+impl fmt::Display for LayoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LayoutError::UnknownAxis { axis } => write!(f, "unknown mesh axis {axis:?}"),
+            LayoutError::UnevenSplit {
+                extent,
+                shards,
+                dim,
+            } => write!(
+                f,
+                "dimension {dim} extent {extent} not divisible by {shards} shards"
+            ),
+            LayoutError::BadDim { dim } => {
+                write!(f, "shard dimension {dim} out of range for a 2-D tensor")
+            }
+            LayoutError::ShardIndex { index, shards } => {
+                write!(f, "shard index {index} out of {shards}")
+            }
+            LayoutError::CommSizeMismatch {
+                axis,
+                expected,
+                got,
+            } => write!(
+                f,
+                "communicator size {got} does not match mesh axis {axis:?} of size {expected}"
+            ),
+            LayoutError::IllegalReshard { from, to } => {
+                write!(f, "no reshard lowering from {from} to {to}")
+            }
+            LayoutError::ShapeMismatch { expected, got } => write!(
+                f,
+                "local shape {}x{} inconsistent with layout (expected {}x{})",
+                got.0, got.1, expected.0, expected.1
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LayoutError {}
+
+/// A reshard failure: either the transition was illegal ([`LayoutError`])
+/// or the lowered collective failed (`E`, the communicator's error type).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReshardError<E> {
+    Layout(LayoutError),
+    Comm(E),
+}
+
+impl<E> From<LayoutError> for ReshardError<E> {
+    fn from(e: LayoutError) -> Self {
+        ReshardError::Layout(e)
+    }
+}
+
+impl<E: fmt::Display> fmt::Display for ReshardError<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReshardError::Layout(e) => write!(f, "{e}"),
+            ReshardError::Comm(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl<E: fmt::Debug + fmt::Display> std::error::Error for ReshardError<E> {}
+
+// ---------------------------------------------------------------------------
+// Shard arithmetic (the layout algebra's kernels)
+// ---------------------------------------------------------------------------
+
+/// Column shard `k` of `shards` (paper Eqn. (2): `A_{*,k}`). The column
+/// count must divide evenly.
+pub fn shard_columns(a: &Tensor, shards: usize, k: usize) -> Result<Tensor, LayoutError> {
+    if k >= shards {
+        return Err(LayoutError::ShardIndex { index: k, shards });
+    }
+    if a.cols() % shards != 0 {
+        return Err(LayoutError::UnevenSplit {
+            extent: a.cols(),
+            shards,
+            dim: 1,
+        });
+    }
+    let w = a.cols() / shards;
+    Ok(a.slice_cols(k * w, (k + 1) * w))
+}
+
+/// Row shard `k` of `shards` (paper Eqn. (2): `B_{k,*}`). The row count
+/// must divide evenly.
+pub fn shard_rows(a: &Tensor, shards: usize, k: usize) -> Result<Tensor, LayoutError> {
+    if k >= shards {
+        return Err(LayoutError::ShardIndex { index: k, shards });
+    }
+    if a.rows() % shards != 0 {
+        return Err(LayoutError::UnevenSplit {
+            extent: a.rows(),
+            shards,
+            dim: 0,
+        });
+    }
+    let h = a.rows() / shards;
+    Ok(a.slice_rows(k * h, (k + 1) * h))
+}
+
+/// Length of `len` elements padded up to a multiple of `shards` — the
+/// padded flat length FSDP-style sharding distributes.
+pub fn padded_len(len: usize, shards: usize) -> usize {
+    len.div_ceil(shards) * shards
+}
+
+/// Half-open range `[start, end)` of the original (unpadded) data covered
+/// by flat shard `k` of `shards`. Clamped to `len`, so trailing shards
+/// that are pure padding get an empty range.
+pub fn flat_shard_range(len: usize, shards: usize, k: usize) -> (usize, usize) {
+    let chunk = padded_len(len, shards) / shards;
+    let start = (k * chunk).min(len);
+    let end = ((k + 1) * chunk).min(len);
+    (start, end)
+}
+
+/// Flat shard `k` of `shards`: the data is zero-padded to
+/// [`padded_len`] and split into equal chunks, so every shard has the
+/// same length and `concat(shards)[..len] == data`.
+pub fn flat_shard(data: &[f32], shards: usize, k: usize) -> Vec<f32> {
+    let chunk = padded_len(data.len(), shards) / shards;
+    let (start, end) = flat_shard_range(data.len(), shards, k);
+    let mut out = Vec::with_capacity(chunk);
+    out.extend_from_slice(&data[start..end]);
+    out.resize(chunk, 0.0);
+    out
+}
+
+/// Inverse of [`flat_shard`]: trim the rank-ordered concatenation of all
+/// shards back to the original `len` (dropping the zero padding).
+pub fn flat_unshard(concatenated: &[f32], len: usize) -> Vec<f32> {
+    assert!(concatenated.len() >= len, "missing shard data");
+    concatenated[..len].to_vec()
+}
+
+// ---------------------------------------------------------------------------
+// Device mesh
+// ---------------------------------------------------------------------------
+
+/// One named axis of a device mesh, as seen from the calling rank.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MeshAxis {
+    /// Axis name (e.g. `"tp"`, `"fsdp"`, `"ddp"`).
+    pub name: String,
+    /// Number of ranks along the axis.
+    pub size: usize,
+    /// This rank's coordinate along the axis.
+    pub index: usize,
+}
+
+/// A named multi-axis device mesh, from the calling rank's point of view:
+/// each axis carries its size and this rank's coordinate. A 1-axis mesh
+/// describes a flat process group; Hybrid-STOP's orthogonal tp × fsdp ×
+/// ddp grid is a 3-axis mesh whose per-axis sub-meshes map onto the
+/// engine's per-axis communicators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeviceMesh {
+    axes: Vec<MeshAxis>,
+}
+
+impl DeviceMesh {
+    /// A 1-axis mesh.
+    pub fn one(name: &str, size: usize, index: usize) -> Self {
+        DeviceMesh::grid(&[(name, size, index)])
+    }
+
+    /// A multi-axis mesh from `(name, size, this rank's index)` triples.
+    /// Names must be unique, sizes >= 1, indices in range.
+    pub fn grid(axes: &[(&str, usize, usize)]) -> Self {
+        let mut out: Vec<MeshAxis> = Vec::with_capacity(axes.len());
+        for &(name, size, index) in axes {
+            assert!(size >= 1, "mesh axis {name:?} must have size >= 1");
+            assert!(
+                index < size,
+                "mesh axis {name:?} index {index} out of {size}"
+            );
+            assert!(
+                out.iter().all(|a| a.name != name),
+                "duplicate mesh axis {name:?}"
+            );
+            out.push(MeshAxis {
+                name: name.to_string(),
+                size,
+                index,
+            });
+        }
+        DeviceMesh { axes: out }
+    }
+
+    /// All axes, in construction order.
+    pub fn axes(&self) -> &[MeshAxis] {
+        &self.axes
+    }
+
+    /// Look up an axis by name.
+    pub fn axis(&self, name: &str) -> Result<&MeshAxis, LayoutError> {
+        self.axes
+            .iter()
+            .find(|a| a.name == name)
+            .ok_or_else(|| LayoutError::UnknownAxis {
+                axis: name.to_string(),
+            })
+    }
+
+    /// Position of an axis in [`Self::axes`].
+    fn axis_pos(&self, name: &str) -> Result<usize, LayoutError> {
+        self.axes
+            .iter()
+            .position(|a| a.name == name)
+            .ok_or_else(|| LayoutError::UnknownAxis {
+                axis: name.to_string(),
+            })
+    }
+
+    /// The sub-mesh consisting of the named axes (in the given order) —
+    /// e.g. the `"fsdp"` line of a 3-axis Hybrid-STOP grid.
+    pub fn sub(&self, names: &[&str]) -> Result<DeviceMesh, LayoutError> {
+        let mut axes = Vec::with_capacity(names.len());
+        for &n in names {
+            axes.push(self.axis(n)?.clone());
+        }
+        Ok(DeviceMesh { axes })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Collectives abstraction
+// ---------------------------------------------------------------------------
+
+/// The communicator a reshard lowers onto: one process group spanning
+/// exactly the mesh axis being resharded. `orbit-core` implements this
+/// for `ProcessGroup` + `SimClock` (its `GroupComm` adapter), so reshards
+/// issue the same nonblocking collectives — and record through the same
+/// schedule verifier — as the hand-written engines did.
+///
+/// Split into `*_start` + [`Collectives::wait`] so a reshard can stay
+/// in flight (prefetched) while compute proceeds, exactly like a raw
+/// `PendingCollective`.
+pub trait Collectives {
+    /// Communication failure type (e.g. `CommError`).
+    type Error;
+    /// In-flight operation handle (e.g. `PendingCollective`).
+    type Pending;
+
+    /// Number of ranks in the communicator.
+    fn size(&self) -> usize;
+
+    /// Nonblocking all-gather of equal-length shards; the waited result is
+    /// the rank-ordered concatenation. `prefetch` queues the modeled time
+    /// for overlap with subsequent compute.
+    fn all_gather_start(
+        &mut self,
+        shard: &[f32],
+        prefetch: bool,
+    ) -> Result<Self::Pending, Self::Error>;
+
+    /// Nonblocking reduce-scatter of a full-length buffer (length must
+    /// divide by [`Self::size`]); the waited result is this rank's chunk
+    /// of the element-wise sum.
+    fn reduce_scatter_start(&mut self, full: &[f32]) -> Result<Self::Pending, Self::Error>;
+
+    /// Nonblocking all-reduce (sum); the waited result is the full sum.
+    fn all_reduce_start(&mut self, buf: &[f32]) -> Result<Self::Pending, Self::Error>;
+
+    /// Block until `pending` completes and return this rank's result.
+    fn wait(&mut self, pending: Self::Pending) -> Result<Vec<f32>, Self::Error>;
+}
+
+// ---------------------------------------------------------------------------
+// DTensor
+// ---------------------------------------------------------------------------
+
+/// A distributed tensor: this rank's local shard plus the layout metadata
+/// ([`DeviceMesh`] + one [`Layout`] per axis) describing how the global
+/// tensor is placed. Constructed either from the global value
+/// ([`DTensor::from_global`]) or from an existing local shard
+/// ([`DTensor::from_local_shard`], [`DTensor::partial`]).
+#[derive(Debug, Clone)]
+pub struct DTensor {
+    local: Tensor,
+    mesh: DeviceMesh,
+    placements: Vec<Layout>,
+    global_rows: usize,
+    global_cols: usize,
+}
+
+impl DTensor {
+    /// A tensor replicated on every axis of the mesh.
+    pub fn replicated(t: Tensor, mesh: DeviceMesh) -> Self {
+        let placements = vec![Layout::Replicate; mesh.axes().len()];
+        let (r, c) = t.shape();
+        DTensor {
+            local: t,
+            mesh,
+            placements,
+            global_rows: r,
+            global_cols: c,
+        }
+    }
+
+    /// An unreduced addend on `axis` (a gradient awaiting its reduction):
+    /// the logical tensor is the element-wise sum of every rank's `local`.
+    pub fn partial(local: Tensor, mesh: DeviceMesh, axis: &str) -> Result<Self, LayoutError> {
+        let pos = mesh.axis_pos(axis)?;
+        let mut placements = vec![Layout::Replicate; mesh.axes().len()];
+        placements[pos] = Layout::Partial;
+        let (r, c) = local.shape();
+        Ok(DTensor {
+            local,
+            mesh,
+            placements,
+            global_rows: r,
+            global_cols: c,
+        })
+    }
+
+    /// Place a globally-known tensor onto `axis` with `layout`, computing
+    /// this rank's local shard. [`Layout::Partial`] cannot be constructed
+    /// from a global value (use [`DTensor::partial`]).
+    pub fn from_global(
+        global: &Tensor,
+        mesh: DeviceMesh,
+        axis: &str,
+        layout: Layout,
+    ) -> Result<Self, LayoutError> {
+        let pos = mesh.axis_pos(axis)?;
+        let (n, k) = {
+            let a = &mesh.axes()[pos];
+            (a.size, a.index)
+        };
+        let local = match layout {
+            Layout::Replicate => global.clone(),
+            Layout::Shard(0) => shard_rows(global, n, k)?,
+            Layout::Shard(1) => shard_columns(global, n, k)?,
+            Layout::Shard(d) => return Err(LayoutError::BadDim { dim: d }),
+            Layout::ShardFlat => {
+                let chunk = flat_shard(global.data(), n, k);
+                Tensor::from_vec(1, chunk.len(), chunk)
+            }
+            Layout::Partial => {
+                return Err(LayoutError::IllegalReshard {
+                    from: Layout::Replicate,
+                    to: Layout::Partial,
+                })
+            }
+        };
+        let mut placements = vec![Layout::Replicate; mesh.axes().len()];
+        placements[pos] = layout;
+        Ok(DTensor {
+            local,
+            mesh,
+            placements,
+            global_rows: global.rows(),
+            global_cols: global.cols(),
+        })
+    }
+
+    /// Adopt an existing local shard as `layout` on `axis` of a tensor
+    /// whose global shape is `global_rows x global_cols`, validating that
+    /// the shard's shape is consistent with the claim.
+    pub fn from_local_shard(
+        local: Tensor,
+        mesh: DeviceMesh,
+        axis: &str,
+        layout: Layout,
+        global_rows: usize,
+        global_cols: usize,
+    ) -> Result<Self, LayoutError> {
+        let pos = mesh.axis_pos(axis)?;
+        let n = mesh.axes()[pos].size;
+        let expected = match layout {
+            Layout::Replicate | Layout::Partial => (global_rows, global_cols),
+            Layout::Shard(0) => {
+                if global_rows % n != 0 {
+                    return Err(LayoutError::UnevenSplit {
+                        extent: global_rows,
+                        shards: n,
+                        dim: 0,
+                    });
+                }
+                (global_rows / n, global_cols)
+            }
+            Layout::Shard(1) => {
+                if global_cols % n != 0 {
+                    return Err(LayoutError::UnevenSplit {
+                        extent: global_cols,
+                        shards: n,
+                        dim: 1,
+                    });
+                }
+                (global_rows, global_cols / n)
+            }
+            Layout::Shard(d) => return Err(LayoutError::BadDim { dim: d }),
+            Layout::ShardFlat => (1, padded_len(global_rows * global_cols, n) / n),
+        };
+        if local.shape() != expected {
+            return Err(LayoutError::ShapeMismatch {
+                expected,
+                got: local.shape(),
+            });
+        }
+        let mut placements = vec![Layout::Replicate; mesh.axes().len()];
+        placements[pos] = layout;
+        Ok(DTensor {
+            local,
+            mesh,
+            placements,
+            global_rows,
+            global_cols,
+        })
+    }
+
+    /// This rank's local shard.
+    pub fn local(&self) -> &Tensor {
+        &self.local
+    }
+
+    /// Mutable access to the local shard (e.g. for an in-place optimizer
+    /// step on an FSDP parameter shard).
+    pub fn local_mut(&mut self) -> &mut Tensor {
+        &mut self.local
+    }
+
+    /// Consume into the local shard.
+    pub fn into_local(self) -> Tensor {
+        self.local
+    }
+
+    /// The mesh this tensor is placed on.
+    pub fn mesh(&self) -> &DeviceMesh {
+        &self.mesh
+    }
+
+    /// The global (logical) shape.
+    pub fn global_shape(&self) -> (usize, usize) {
+        (self.global_rows, self.global_cols)
+    }
+
+    /// The placement on the named axis.
+    pub fn layout_on(&self, axis: &str) -> Result<Layout, LayoutError> {
+        Ok(self.placements[self.mesh.axis_pos(axis)?])
+    }
+
+    /// Blocking reshard: [`DTensor::reshard_start`] + wait.
+    pub fn reshard<C: Collectives>(
+        &self,
+        axis: &str,
+        to: Layout,
+        comm: &mut C,
+    ) -> Result<DTensor, ReshardError<C::Error>> {
+        self.reshard_start(axis, to, comm, false)?.wait(comm)
+    }
+
+    /// Start a reshard of the named axis to layout `to`, lowering onto
+    /// `comm` (which must span exactly that axis). Purely local
+    /// transitions (e.g. `Replicate → Shard`) complete immediately;
+    /// communicating ones return with the collective in flight —
+    /// `prefetch` applies to gather-based lowerings and queues the
+    /// modeled time for compute overlap.
+    ///
+    /// Lowering table (axis size `n`, this rank `k`):
+    ///
+    /// | from \ to        | `Replicate`           | `Shard(d)`              | `ShardFlat`               |
+    /// |------------------|-----------------------|-------------------------|---------------------------|
+    /// | `Replicate`      | copy                  | local slice             | local `flat_shard`        |
+    /// | `Shard(d)`       | all-gather            | all-gather + slice      | all-gather + `flat_shard` |
+    /// | `ShardFlat`      | all-gather (trim pad) | all-gather + slice      | copy                      |
+    /// | `Partial`        | all-reduce            | all-reduce + slice      | pad + reduce-scatter      |
+    ///
+    /// Any transition *into* `Partial` (other than `Partial → Partial`,
+    /// a copy) is illegal, as is resharding an axis while a different
+    /// axis is non-replicated.
+    pub fn reshard_start<C: Collectives>(
+        &self,
+        axis: &str,
+        to: Layout,
+        comm: &mut C,
+        prefetch: bool,
+    ) -> Result<PendingReshard<C::Pending>, ReshardError<C::Error>> {
+        let pos = self.mesh.axis_pos(axis)?;
+        let ax = &self.mesh.axes()[pos];
+        let (n, k) = (ax.size, ax.index);
+        if comm.size() != n {
+            return Err(LayoutError::CommSizeMismatch {
+                axis: axis.to_string(),
+                expected: n,
+                got: comm.size(),
+            }
+            .into());
+        }
+        let from = self.placements[pos];
+        // Only the named axis transitions; every other axis must be
+        // replicated (a Partial elsewhere would be silently mis-summed by
+        // a gather here).
+        for (i, p) in self.placements.iter().enumerate() {
+            if i != pos && *p != Layout::Replicate {
+                return Err(LayoutError::IllegalReshard { from, to }.into());
+            }
+        }
+        if let Layout::Shard(d) = to {
+            if d > 1 {
+                return Err(LayoutError::BadDim { dim: d }.into());
+            }
+        }
+        if to == from {
+            return Ok(PendingReshard {
+                inner: Inner::Ready(self.clone()),
+            });
+        }
+        if to == Layout::Partial {
+            return Err(LayoutError::IllegalReshard { from, to }.into());
+        }
+
+        let mut placements = self.placements.clone();
+        placements[pos] = to;
+        let meta = OutMeta {
+            mesh: self.mesh.clone(),
+            placements,
+            axis_pos: pos,
+            target: to,
+            global_rows: self.global_rows,
+            global_cols: self.global_cols,
+        };
+
+        match from {
+            // Purely local: the full value is already here.
+            Layout::Replicate => {
+                let local = match to {
+                    Layout::Shard(0) => shard_rows(&self.local, n, k)?,
+                    Layout::Shard(1) => shard_columns(&self.local, n, k)?,
+                    Layout::ShardFlat => {
+                        let chunk = flat_shard(self.local.data(), n, k);
+                        Tensor::from_vec(1, chunk.len(), chunk)
+                    }
+                    _ => unreachable!("same-layout and Partial handled above"),
+                };
+                Ok(PendingReshard {
+                    inner: Inner::Ready(DTensor {
+                        local,
+                        mesh: meta.mesh,
+                        placements: meta.placements,
+                        global_rows: meta.global_rows,
+                        global_cols: meta.global_cols,
+                    }),
+                })
+            }
+            // Gather-based: reassemble the full tensor, then (in wait)
+            // apply the target placement locally.
+            Layout::Shard(d) => {
+                if d > 1 {
+                    return Err(LayoutError::BadDim { dim: d }.into());
+                }
+                let pending = comm
+                    .all_gather_start(self.local.data(), prefetch)
+                    .map_err(ReshardError::Comm)?;
+                Ok(PendingReshard {
+                    inner: Inner::Comm {
+                        pending,
+                        post: Post::GatherDim(d),
+                        meta,
+                    },
+                })
+            }
+            Layout::ShardFlat => {
+                let pending = comm
+                    .all_gather_start(self.local.data(), prefetch)
+                    .map_err(ReshardError::Comm)?;
+                Ok(PendingReshard {
+                    inner: Inner::Comm {
+                        pending,
+                        post: Post::GatherFlat,
+                        meta,
+                    },
+                })
+            }
+            // Reduction-based.
+            Layout::Partial => match to {
+                Layout::ShardFlat => {
+                    // The padded reduce-scatter the FSDP/Hybrid-STOP
+                    // gradient paths issued by hand: pad the addend to a
+                    // multiple of n with zeros, scatter the sum.
+                    let mut padded = self.local.data().to_vec();
+                    padded.resize(padded_len(padded.len(), n), 0.0);
+                    let pending = comm
+                        .reduce_scatter_start(&padded)
+                        .map_err(ReshardError::Comm)?;
+                    Ok(PendingReshard {
+                        inner: Inner::Comm {
+                            pending,
+                            post: Post::ReduceScatter,
+                            meta,
+                        },
+                    })
+                }
+                _ => {
+                    let pending = comm
+                        .all_reduce_start(self.local.data())
+                        .map_err(ReshardError::Comm)?;
+                    Ok(PendingReshard {
+                        inner: Inner::Comm {
+                            pending,
+                            post: Post::Reduce,
+                            meta,
+                        },
+                    })
+                }
+            },
+        }
+    }
+}
+
+/// How a waited collective result is turned back into a tensor.
+#[derive(Debug, Clone, Copy)]
+enum Post {
+    /// Buffer is the rank-ordered concatenation of `Shard(dim)` slices.
+    GatherDim(usize),
+    /// Buffer is the rank-ordered concatenation of padded flat chunks.
+    GatherFlat,
+    /// Buffer is the full element-wise sum.
+    Reduce,
+    /// Buffer is this rank's flat chunk of the sum — already the target.
+    ReduceScatter,
+}
+
+/// Output metadata carried through an in-flight reshard.
+#[derive(Debug, Clone)]
+struct OutMeta {
+    mesh: DeviceMesh,
+    placements: Vec<Layout>,
+    axis_pos: usize,
+    target: Layout,
+    global_rows: usize,
+    global_cols: usize,
+}
+
+enum Inner<P> {
+    Ready(DTensor),
+    Comm {
+        pending: P,
+        post: Post,
+        meta: OutMeta,
+    },
+}
+
+/// An in-flight reshard: holds the pending collective (if any) plus the
+/// metadata to assemble the target [`DTensor`] on
+/// [`PendingReshard::wait`]. Dropping it un-waited leaks the underlying
+/// handle — exactly like a raw `PendingCollective`, and flagged by the
+/// same schedule verifier.
+pub struct PendingReshard<P> {
+    inner: Inner<P>,
+}
+
+impl<P> PendingReshard<P> {
+    /// Complete the reshard: wait for the lowered collective (when one
+    /// was needed) and assemble this rank's shard of the target layout.
+    pub fn wait<C: Collectives<Pending = P>>(
+        self,
+        comm: &mut C,
+    ) -> Result<DTensor, ReshardError<C::Error>> {
+        let (pending, post, meta) = match self.inner {
+            Inner::Ready(t) => return Ok(t),
+            Inner::Comm {
+                pending,
+                post,
+                meta,
+            } => (pending, post, meta),
+        };
+        let mut buf = comm.wait(pending).map_err(ReshardError::Comm)?;
+        let ax = &meta.mesh.axes()[meta.axis_pos];
+        let (n, k) = (ax.size, ax.index);
+        let (rows, cols) = (meta.global_rows, meta.global_cols);
+
+        if let Post::ReduceScatter = post {
+            // The chunk *is* the ShardFlat local.
+            let local = Tensor::from_vec(1, buf.len(), buf);
+            return Ok(DTensor {
+                local,
+                mesh: meta.mesh,
+                placements: meta.placements,
+                global_rows: rows,
+                global_cols: cols,
+            });
+        }
+
+        // Reassemble the full (replicated) tensor...
+        let full = match post {
+            Post::GatherDim(0) => Tensor::from_vec(rows, cols, buf),
+            Post::GatherDim(_) => {
+                let chunk = rows * (cols / n);
+                let parts: Vec<Tensor> = (0..n)
+                    .map(|i| {
+                        Tensor::from_vec(rows, cols / n, buf[i * chunk..(i + 1) * chunk].to_vec())
+                    })
+                    .collect();
+                Tensor::concat_cols(&parts.iter().collect::<Vec<_>>())
+            }
+            Post::GatherFlat => {
+                buf.truncate(rows * cols);
+                Tensor::from_vec(rows, cols, buf)
+            }
+            Post::Reduce => Tensor::from_vec(rows, cols, buf),
+            Post::ReduceScatter => unreachable!("returned above"),
+        };
+        // ...then apply the target placement locally.
+        let local = match meta.target {
+            Layout::Replicate => full,
+            Layout::Shard(0) => shard_rows(&full, n, k)?,
+            Layout::Shard(1) => shard_columns(&full, n, k)?,
+            Layout::ShardFlat => {
+                let chunk = flat_shard(full.data(), n, k);
+                Tensor::from_vec(1, chunk.len(), chunk)
+            }
+            Layout::Shard(d) => return Err(LayoutError::BadDim { dim: d }.into()),
+            Layout::Partial => {
+                return Err(LayoutError::IllegalReshard {
+                    from: Layout::Replicate,
+                    to: Layout::Partial,
+                }
+                .into())
+            }
+        };
+        Ok(DTensor {
+            local,
+            mesh: meta.mesh,
+            placements: meta.placements,
+            global_rows: rows,
+            global_cols: cols,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A single-process communicator standing in for `n` ranks: the test
+    /// supplies every rank's would-be contribution, and collectives are
+    /// evaluated arithmetically. The real threaded-cluster semantics are
+    /// covered by `tests/properties.rs`.
+    struct FakeComm {
+        n: usize,
+        me: usize,
+        contrib: Vec<Vec<f32>>,
+    }
+
+    enum FakePending {
+        Gather,
+        Reduce,
+        Scatter,
+    }
+
+    impl Collectives for FakeComm {
+        type Error = String;
+        type Pending = FakePending;
+
+        fn size(&self) -> usize {
+            self.n
+        }
+
+        fn all_gather_start(
+            &mut self,
+            shard: &[f32],
+            _prefetch: bool,
+        ) -> Result<FakePending, String> {
+            assert_eq!(shard, self.contrib[self.me].as_slice(), "posted shard");
+            Ok(FakePending::Gather)
+        }
+
+        fn reduce_scatter_start(&mut self, full: &[f32]) -> Result<FakePending, String> {
+            assert_eq!(full, self.contrib[self.me].as_slice(), "posted buffer");
+            assert_eq!(full.len() % self.n, 0, "reduce_scatter divisibility");
+            Ok(FakePending::Scatter)
+        }
+
+        fn all_reduce_start(&mut self, buf: &[f32]) -> Result<FakePending, String> {
+            assert_eq!(buf, self.contrib[self.me].as_slice(), "posted buffer");
+            Ok(FakePending::Reduce)
+        }
+
+        fn wait(&mut self, pending: FakePending) -> Result<Vec<f32>, String> {
+            let sum = || {
+                let mut s = self.contrib[0].clone();
+                for c in &self.contrib[1..] {
+                    for (a, b) in s.iter_mut().zip(c) {
+                        *a += b;
+                    }
+                }
+                s
+            };
+            Ok(match pending {
+                FakePending::Gather => self.contrib.concat(),
+                FakePending::Reduce => sum(),
+                FakePending::Scatter => {
+                    let s = sum();
+                    let chunk = s.len() / self.n;
+                    s[self.me * chunk..(self.me + 1) * chunk].to_vec()
+                }
+            })
+        }
+    }
+
+    fn global_4x4() -> Tensor {
+        Tensor::from_vec(4, 4, (0..16).map(|i| i as f32).collect())
+    }
+
+    #[test]
+    fn shard_helpers_partition_and_reject() {
+        let t = global_4x4();
+        let left = shard_columns(&t, 2, 0).unwrap();
+        let right = shard_columns(&t, 2, 1).unwrap();
+        assert_eq!(Tensor::concat_cols(&[&left, &right]), t);
+        let top = shard_rows(&t, 2, 0).unwrap();
+        let bottom = shard_rows(&t, 2, 1).unwrap();
+        assert_eq!(Tensor::concat_rows(&[&top, &bottom]), t);
+        assert!(matches!(
+            shard_columns(&t, 3, 0),
+            Err(LayoutError::UnevenSplit { shards: 3, .. })
+        ));
+        assert!(matches!(
+            shard_rows(&t, 2, 2),
+            Err(LayoutError::ShardIndex {
+                index: 2,
+                shards: 2
+            })
+        ));
+    }
+
+    #[test]
+    fn flat_shard_roundtrip_with_padding() {
+        let data: Vec<f32> = (0..10).map(|i| i as f32).collect();
+        let parts: Vec<Vec<f32>> = (0..4).map(|k| flat_shard(&data, 4, k)).collect();
+        assert!(parts.iter().all(|p| p.len() == 3));
+        assert_eq!(flat_unshard(&parts.concat(), 10), data);
+        assert_eq!(padded_len(10, 4), 12);
+        assert_eq!(flat_shard_range(10, 4, 3), (9, 10));
+    }
+
+    #[test]
+    fn local_lowerings_match_shard_helpers() {
+        let t = global_4x4();
+        for (layout, k) in [
+            (Layout::Shard(0), 1usize),
+            (Layout::Shard(1), 0),
+            (Layout::ShardFlat, 1),
+        ] {
+            let mesh = DeviceMesh::one("x", 2, k);
+            let placed = DTensor::from_global(&t, mesh.clone(), "x", layout).unwrap();
+            let repl = DTensor::replicated(t.clone(), mesh);
+            // Replicate -> layout is purely local; no comm needed.
+            let mut comm = FakeComm {
+                n: 2,
+                me: k,
+                contrib: vec![vec![], vec![]],
+            };
+            let resharded = repl.reshard("x", layout, &mut comm).unwrap();
+            assert_eq!(resharded.local(), placed.local(), "{layout}");
+            assert_eq!(resharded.layout_on("x").unwrap(), layout);
+            assert_eq!(resharded.global_shape(), (4, 4));
+        }
+    }
+
+    #[test]
+    fn gather_lowerings_reassemble_the_global() {
+        let t = global_4x4();
+        for from in [Layout::Shard(0), Layout::Shard(1), Layout::ShardFlat] {
+            let shards: Vec<DTensor> = (0..2)
+                .map(|k| {
+                    DTensor::from_global(&t, DeviceMesh::one("x", 2, k), "x", from).unwrap()
+                })
+                .collect();
+            let contrib: Vec<Vec<f32>> =
+                shards.iter().map(|s| s.local().data().to_vec()).collect();
+            for (k, s) in shards.iter().enumerate() {
+                let mut comm = FakeComm {
+                    n: 2,
+                    me: k,
+                    contrib: contrib.clone(),
+                };
+                let repl = s.reshard("x", Layout::Replicate, &mut comm).unwrap();
+                assert_eq!(repl.local(), &t, "{from} -> replicate on rank {k}");
+                // And a transition straight to a *different* shard layout.
+                let to = if from == Layout::ShardFlat {
+                    Layout::Shard(0)
+                } else {
+                    Layout::ShardFlat
+                };
+                let direct = s.reshard("x", to, &mut comm).unwrap();
+                let expect = DTensor::from_global(&t, DeviceMesh::one("x", 2, k), "x", to).unwrap();
+                assert_eq!(direct.local(), expect.local(), "{from} -> {to} on rank {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn partial_resolution_sums_and_scatters() {
+        // Rank r holds addend full of (r+1); the logical tensor is the sum.
+        let addends: Vec<Tensor> = (0..2).map(|r| Tensor::full(2, 3, (r + 1) as f32)).collect();
+        let contrib: Vec<Vec<f32>> = addends.iter().map(|t| t.data().to_vec()).collect();
+        for k in 0..2 {
+            let p = DTensor::partial(addends[k].clone(), DeviceMesh::one("x", 2, k), "x").unwrap();
+            let mut comm = FakeComm {
+                n: 2,
+                me: k,
+                contrib: contrib.clone(),
+            };
+            let repl = p.reshard("x", Layout::Replicate, &mut comm).unwrap();
+            assert_eq!(repl.local(), &Tensor::full(2, 3, 3.0));
+            // Partial -> ShardFlat pads 6 elements to 6 (already even) and
+            // reduce-scatters; rank k gets chunk k of the sum.
+            let mut padded = addends[k].data().to_vec();
+            padded.resize(padded_len(6, 2), 0.0);
+            let mut comm = FakeComm {
+                n: 2,
+                me: k,
+                contrib: vec![padded.clone(), padded],
+            };
+            let p = DTensor::partial(addends[k].clone(), DeviceMesh::one("x", 2, k), "x").unwrap();
+            let sc = p.reshard("x", Layout::ShardFlat, &mut comm).unwrap();
+            assert_eq!(sc.local().len(), 3);
+            assert_eq!(sc.layout_on("x").unwrap(), Layout::ShardFlat);
+        }
+    }
+
+    #[test]
+    fn illegal_transitions_are_typed_errors() {
+        let t = global_4x4();
+        let mesh = DeviceMesh::one("x", 2, 0);
+        let mut comm = FakeComm {
+            n: 2,
+            me: 0,
+            contrib: vec![vec![], vec![]],
+        };
+        let repl = DTensor::replicated(t.clone(), mesh.clone());
+        assert!(matches!(
+            repl.reshard("x", Layout::Partial, &mut comm),
+            Err(ReshardError::Layout(LayoutError::IllegalReshard { .. }))
+        ));
+        assert!(matches!(
+            repl.reshard("y", Layout::Replicate, &mut comm),
+            Err(ReshardError::Layout(LayoutError::UnknownAxis { .. }))
+        ));
+        assert!(matches!(
+            repl.reshard("x", Layout::Shard(2), &mut comm),
+            Err(ReshardError::Layout(LayoutError::BadDim { dim: 2 }))
+        ));
+        // Comm size must match the axis.
+        let mut small = FakeComm {
+            n: 3,
+            me: 0,
+            contrib: vec![vec![]; 3],
+        };
+        assert!(matches!(
+            repl.reshard("x", Layout::Shard(0), &mut small),
+            Err(ReshardError::Layout(LayoutError::CommSizeMismatch { .. }))
+        ));
+        // from_global cannot build a Partial, and uneven splits are typed.
+        assert!(DTensor::from_global(&t, mesh.clone(), "x", Layout::Partial).is_err());
+        let odd = Tensor::zeros(3, 3);
+        assert!(matches!(
+            DTensor::from_global(&odd, mesh, "x", Layout::Shard(1)),
+            Err(LayoutError::UnevenSplit { .. })
+        ));
+    }
+
+    #[test]
+    fn second_sharded_axis_is_rejected() {
+        // A tensor already sharded on "a" cannot be resharded on "b":
+        // only one non-replicated axis at a time.
+        let t = global_4x4();
+        let mesh = DeviceMesh::grid(&[("a", 2, 0), ("b", 2, 1)]);
+        let sh = DTensor::from_global(&t, mesh, "a", Layout::Shard(0)).unwrap();
+        let mut comm = FakeComm {
+            n: 2,
+            me: 1,
+            contrib: vec![vec![], vec![]],
+        };
+        assert!(matches!(
+            sh.reshard("b", Layout::Shard(1), &mut comm),
+            Err(ReshardError::Layout(LayoutError::IllegalReshard { .. }))
+        ));
+    }
+
+    #[test]
+    fn mesh_sub_and_axis_lookup() {
+        let mesh = DeviceMesh::grid(&[("tp", 2, 1), ("fsdp", 4, 2), ("ddp", 2, 0)]);
+        let fsdp = mesh.sub(&["fsdp"]).unwrap();
+        assert_eq!(fsdp.axes().len(), 1);
+        assert_eq!(fsdp.axes()[0].size, 4);
+        assert_eq!(fsdp.axes()[0].index, 2);
+        assert!(mesh.sub(&["pp"]).is_err());
+        assert_eq!(mesh.axis("tp").unwrap().index, 1);
+    }
+
+    #[test]
+    fn same_layout_reshard_is_a_copy() {
+        let t = global_4x4();
+        let mesh = DeviceMesh::one("x", 2, 0);
+        let sh = DTensor::from_global(&t, mesh, "x", Layout::Shard(1)).unwrap();
+        let mut comm = FakeComm {
+            n: 2,
+            me: 0,
+            contrib: vec![vec![], vec![]],
+        };
+        let same = sh.reshard("x", Layout::Shard(1), &mut comm).unwrap();
+        assert_eq!(same.local(), sh.local());
+    }
+
+    #[test]
+    fn world_one_axes_degenerate_to_local_ops() {
+        // On a size-1 axis every layout holds the whole tensor and the
+        // collective lowerings are exercised with n = 1.
+        let t = global_4x4();
+        let mesh = DeviceMesh::one("x", 1, 0);
+        for layout in [Layout::Shard(0), Layout::Shard(1), Layout::ShardFlat] {
+            let placed = DTensor::from_global(&t, mesh.clone(), "x", layout).unwrap();
+            let mut comm = FakeComm {
+                n: 1,
+                me: 0,
+                contrib: vec![placed.local().data().to_vec()],
+            };
+            let back = placed.reshard("x", Layout::Replicate, &mut comm).unwrap();
+            assert_eq!(back.local(), &t, "{layout}");
+        }
+        let p = DTensor::partial(t.clone(), mesh, "x").unwrap();
+        let mut comm = FakeComm {
+            n: 1,
+            me: 0,
+            contrib: vec![t.data().to_vec()],
+        };
+        assert_eq!(
+            p.reshard("x", Layout::Replicate, &mut comm).unwrap().local(),
+            &t
+        );
+    }
+}

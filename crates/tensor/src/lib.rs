@@ -21,13 +21,19 @@
 //! - [`kernels`]: layer forward/backward pairs (linear, layernorm, GeLU,
 //!   softmax, attention, patch embedding, cross-attention aggregation).
 //! - [`init`]: deterministic parameter initialization.
+//! - [`dtensor`]: layout-aware distributed tensors — a [`dtensor::DTensor`]
+//!   carries a [`dtensor::Layout`] per axis of a named [`dtensor::DeviceMesh`],
+//!   and [`dtensor::DTensor::reshard`] lowers layout transitions onto the
+//!   nonblocking collectives behind the [`dtensor::Collectives`] trait.
 
 pub mod bf16;
+pub mod dtensor;
 pub mod init;
 pub mod kernels;
 pub mod matmul;
 pub mod tensor;
 
 pub use bf16::{bf16_to_f32, f32_to_bf16, round_bf16, Precision};
+pub use dtensor::{Collectives, DTensor, DeviceMesh, Layout, LayoutError, ReshardError};
 pub use matmul::{matmul, matmul_nt, matmul_p, matmul_tn};
 pub use tensor::Tensor;

@@ -96,6 +96,42 @@ fn all_engines_match_reference() {
 }
 
 #[test]
+fn engines_match_reference_across_world_sizes() {
+    // The DTensor refactor's acceptance bar: every engine stays
+    // loss-identical to the single-device reference at worlds 1, 4 and 8
+    // (tensor parallelism is capped at the 4 attention heads, so its
+    // world-8 coverage is the tp=2 axis of the hybrid grid).
+    let cfg = cfg();
+    let batch = make_batch(&cfg, 8, 13);
+    let steps = 2;
+    let want = reference_losses(cfg, &batch, steps);
+    let opt = AdamW::default();
+    let opts = TrainOptions::none();
+
+    let cases: [(EngineSpec, usize); 8] = [
+        (EngineSpec::Single, 1),
+        (EngineSpec::Ddp, 4),
+        (EngineSpec::Ddp, 8),
+        (EngineSpec::Fsdp, 4),
+        (EngineSpec::Fsdp, 8),
+        (EngineSpec::TensorParallel, 4),
+        (EngineSpec::HybridStop(ParallelLayout::new(1, 2, 2)), 4),
+        (EngineSpec::HybridStop(ParallelLayout::new(2, 2, 2)), 8),
+    ];
+    for (spec, world) in cases {
+        let results = Cluster::frontier().run(world, |ctx| {
+            let mut e: Box<dyn Engine> = build_engine(ctx, spec, cfg, opt, opts, 42).unwrap();
+            (0..steps)
+                .map(|_| e.train_step(ctx, &batch).unwrap().loss)
+                .collect::<Vec<_>>()
+        });
+        for ranks in &results {
+            assert_close(&format!("{}@{world}", spec.name()), ranks, &want, 1e-3);
+        }
+    }
+}
+
+#[test]
 fn hybrid_stop_final_params_match_reference() {
     let cfg = cfg();
     let batch = make_batch(&cfg, 4, 5);

@@ -4,8 +4,10 @@
 
 use orbit::comm::Cluster;
 use orbit::core::sharding::{flat_shard, flat_unshard, shard_columns, shard_rows};
+use orbit::core::GroupComm;
 use orbit::data::metrics::{lat_weights, wacc};
 use orbit::tensor::bf16::{bf16_to_f32, f32_to_bf16, round_bf16};
+use orbit::tensor::dtensor::{DTensor, DeviceMesh, Layout};
 use orbit::tensor::{matmul, matmul_nt, matmul_tn, Tensor};
 use proptest::prelude::*;
 
@@ -29,8 +31,8 @@ proptest! {
         let full = matmul(&matmul(&x, &a), &b);
         let mut acc = Tensor::zeros(3, 5);
         for k in 0..shards {
-            let ak = shard_columns(&a, shards, k);
-            let bk = shard_rows(&b, shards, k);
+            let ak = shard_columns(&a, shards, k).unwrap();
+            let bk = shard_rows(&b, shards, k).unwrap();
             acc.add_assign(&matmul(&matmul(&x, &ak), &bk));
         }
         prop_assert!(acc.allclose(&full, 1e-3, 1e-3));
@@ -49,8 +51,8 @@ proptest! {
         let full = matmul_nt(&matmul_nt(&dy, &b), &a);
         let mut acc = Tensor::zeros(3, 4);
         for k in 0..shards {
-            let ak = shard_columns(&a, shards, k);
-            let bk = shard_rows(&b, shards, k);
+            let ak = shard_columns(&a, shards, k).unwrap();
+            let bk = shard_rows(&b, shards, k).unwrap();
             acc.add_assign(&matmul_nt(&matmul_nt(&dy, &bk), &ak));
         }
         prop_assert!(acc.allclose(&full, 1e-3, 1e-3));
@@ -142,6 +144,106 @@ proptest! {
         // Every rank sees identical results.
         for r in &results[1..] {
             prop_assert_eq!(&r.0, gathered);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// DTensor reshard roundtrip on the real threaded cluster: for every
+    /// pair of non-Partial layouts, `A -> B -> A` lands bit-identically on
+    /// the direct placement of the global tensor (reshards only move and
+    /// slice data, so no tolerance is needed).
+    #[test]
+    fn reshard_roundtrips_are_bit_identical(
+        world in prop::sample::select(vec![2usize, 4]),
+        rows_per in 1usize..3,
+        cols_per in 1usize..3,
+    ) {
+        let rows = rows_per * world;
+        let cols = cols_per * world;
+        let global = Tensor::from_vec(
+            rows,
+            cols,
+            (0..rows * cols).map(|i| i as f32 - 7.0).collect(),
+        );
+        let layouts = [
+            Layout::Replicate,
+            Layout::Shard(0),
+            Layout::Shard(1),
+            Layout::ShardFlat,
+        ];
+        let results = Cluster::frontier().run(world, |ctx| {
+            let mesh = DeviceMesh::one("x", ctx.world, ctx.rank);
+            let mut group = ctx.world_group();
+            let mut clock = std::mem::take(&mut ctx.clock);
+            let mut ok = Vec::new();
+            for from in layouts {
+                for to in layouts {
+                    let placed =
+                        DTensor::from_global(&global, mesh.clone(), "x", from).unwrap();
+                    let mut comm = GroupComm::new(&mut group, &mut clock);
+                    let there = placed.reshard("x", to, &mut comm).unwrap();
+                    let back = there.reshard("x", from, &mut comm).unwrap();
+                    ok.push(
+                        back.local().data() == placed.local().data()
+                            && back.global_shape() == (rows, cols)
+                            && back.layout_on("x").unwrap() == from,
+                    );
+                }
+            }
+            ctx.clock = clock;
+            ok
+        });
+        for ranks in &results {
+            prop_assert!(ranks.iter().all(|&b| b), "some roundtrip diverged: {:?}", ranks);
+        }
+    }
+
+    /// Resolving a Partial over the real cluster: `Partial -> Replicate`
+    /// is the element-wise sum of every rank's addend, and `Partial ->
+    /// ShardFlat` is this rank's padded flat shard of that sum — exact
+    /// for integer-valued addends regardless of reduction order.
+    #[test]
+    fn partial_resolution_matches_sum(
+        world in prop::sample::select(vec![2usize, 3, 4]),
+        len in 1usize..12,
+    ) {
+        let results = Cluster::frontier().run(world, |ctx| {
+            let mesh = DeviceMesh::one("x", ctx.world, ctx.rank);
+            let mut group = ctx.world_group();
+            let mut clock = std::mem::take(&mut ctx.clock);
+            let addend: Vec<f32> =
+                (0..len).map(|i| ((ctx.rank + 1) * (i + 1)) as f32).collect();
+            let make = || {
+                DTensor::partial(
+                    Tensor::from_vec(1, len, addend.clone()),
+                    mesh.clone(),
+                    "x",
+                )
+                .unwrap()
+            };
+            let mut comm = GroupComm::new(&mut group, &mut clock);
+            let repl = make()
+                .reshard("x", Layout::Replicate, &mut comm)
+                .unwrap()
+                .into_local()
+                .into_vec();
+            let flat = make()
+                .reshard("x", Layout::ShardFlat, &mut comm)
+                .unwrap()
+                .into_local()
+                .into_vec();
+            ctx.clock = clock;
+            (repl, flat)
+        });
+        let sum: Vec<f32> = (0..len)
+            .map(|i| (0..world).map(|r| ((r + 1) * (i + 1)) as f32).sum())
+            .collect();
+        for (rank, (repl, flat)) in results.iter().enumerate() {
+            prop_assert_eq!(repl, &sum);
+            prop_assert_eq!(flat, &flat_shard(&sum, world, rank));
         }
     }
 }
