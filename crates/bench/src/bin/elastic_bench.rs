@@ -1,0 +1,273 @@
+//! `elastic_bench` — sharded-checkpoint roundtrip throughput and an
+//! elastic shrink-to-survivors recovery demonstration.
+//!
+//! Default (and `--smoke`, which only shrinks the workload): capture a
+//! real checkpoint, write it as crash-consistent shard sets at several
+//! shard counts (temp-file publish + manifest commit), reload each
+//! generation through the full CRC-validated reassembly path, verify
+//! bit-identity, and report write/read throughput; then run a world-4
+//! training that loses a rank mid-run and recovers through the planner.
+//! The grid lands in `results/elastic_bench.json` for CI to assert on.
+//!
+//! `--chaos SEED KIND` (KIND = kill | oom | torn_write): one seeded
+//! elastic recovery run for the CI chaos matrix — derives the fault
+//! site from SEED, asserts the run completes step-complete with finite
+//! losses, and exits nonzero otherwise. Writes no artifact.
+//!
+//! ```text
+//! elastic_bench [--smoke | --chaos SEED KIND]
+//! ```
+
+use orbit_bench::report::{print_table, write_json};
+use orbit_comm::{Cluster, FaultPlan};
+use orbit_core::{build_engine, ElasticTrainer, Engine, EngineSpec, TrainOptions};
+use orbit_tensor::init::Rng;
+use orbit_tensor::kernels::AdamW;
+use orbit_vit::{Batch, Checkpoint, ShardData, ShardStore, VitConfig};
+use serde_json::json;
+use std::time::{Duration, Instant};
+
+fn make_batch(cfg: &VitConfig, n: usize, seed: u64) -> Batch {
+    let mut rng = Rng::seed(seed);
+    Batch {
+        inputs: (0..n)
+            .map(|_| {
+                (0..cfg.dims.channels)
+                    .map(|_| rng.normal_tensor(cfg.dims.img_h, cfg.dims.img_w, 1.0))
+                    .collect()
+            })
+            .collect(),
+        targets: (0..n)
+            .map(|_| {
+                (0..cfg.dims.out_channels)
+                    .map(|_| rng.normal_tensor(cfg.dims.img_h, cfg.dims.img_w, 1.0))
+                    .collect()
+            })
+            .collect(),
+    }
+}
+
+fn temp_store(tag: &str) -> ShardStore {
+    let dir = std::env::temp_dir().join(format!(
+        "orbit_elastic_bench_{tag}_{}",
+        std::process::id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    ShardStore::new(dir).expect("create shard store")
+}
+
+/// A real checkpoint to shard: one optimizer step on the single-device
+/// reference engine, so params, Adam moments, and step count are all
+/// nontrivial.
+fn capture_checkpoint(cfg: &VitConfig) -> Checkpoint {
+    let outcomes = Cluster::frontier().try_run(1, |ctx| {
+        let mut engine = build_engine(
+            ctx,
+            EngineSpec::Single,
+            *cfg,
+            AdamW::default(),
+            TrainOptions::none(),
+            42,
+        )?;
+        ctx.begin_step(0)?;
+        engine.train_step(ctx, &make_batch(cfg, 4, 100))?;
+        engine.capture_checkpoint(ctx)
+    });
+    outcomes
+        .into_iter()
+        .next()
+        .and_then(|o| o.ok())
+        .expect("single-device capture")
+}
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+/// Write `ck` as a `count`-shard generation, commit, and reload through
+/// full validation. Returns (payload bytes, write seconds, read
+/// seconds) and panics unless the reload is bit-identical.
+fn roundtrip(store: &ShardStore, ck: &Checkpoint, generation: u64, count: usize) -> (usize, f64, f64) {
+    let t0 = Instant::now();
+    for index in 0..count {
+        store
+            .write_shard(generation, &ShardData::from_checkpoint(ck, index, count), None)
+            .expect("write shard");
+    }
+    let committed = store
+        .commit(generation, ck.adam_step, count, Duration::from_secs(5))
+        .expect("commit generation");
+    assert!(committed, "all shards are on disk; commit must succeed");
+    let write_s = t0.elapsed().as_secs_f64();
+
+    let t1 = Instant::now();
+    let loaded = store.load_generation(generation).expect("load generation");
+    let read_s = t1.elapsed().as_secs_f64();
+
+    let got = &loaded.checkpoint;
+    assert_eq!(bits(&got.params), bits(&ck.params), "{count}-shard params");
+    assert_eq!(bits(&got.adam_m), bits(&ck.adam_m), "{count}-shard adam_m");
+    assert_eq!(bits(&got.adam_v), bits(&ck.adam_v), "{count}-shard adam_v");
+    assert_eq!(got.adam_step, ck.adam_step);
+    let bytes = (ck.params.len() + ck.adam_m.len() + ck.adam_v.len()) * 4;
+    (bytes, write_s, read_s)
+}
+
+/// One seeded chaos-matrix cell: an elastic world-4 run with a fault of
+/// `kind` at a seed-derived site must finish step-complete and finite.
+fn chaos(seed: u64, kind: &str) {
+    let cfg = VitConfig::test_tiny();
+    let world = 4usize;
+    let steps = 5u64;
+    let rank = (seed as usize) % world;
+    let step = 1 + seed % 3;
+    let plan = match kind {
+        "kill" => FaultPlan::new().kill(rank, step),
+        "oom" => FaultPlan::new().oom(rank, step),
+        // A torn write alone kills nobody: pair it with a kill one step
+        // later so the relaunch must fall back past the torn generation.
+        "torn_write" => FaultPlan::new()
+            .torn_write(rank, step)
+            .kill((rank + 1) % world, step + 1),
+        other => panic!("unknown chaos kind {other:?} (kill | oom | torn_write)"),
+    };
+    let store = temp_store(&format!("chaos_{kind}_{seed}"));
+    let dir = store.dir().to_path_buf();
+    let trainer = ElasticTrainer::new(Cluster::frontier().with_fault_plan(plan), store)
+        .with_checkpoint_every(1);
+    let report = trainer
+        .train(
+            world,
+            cfg,
+            AdamW::default(),
+            TrainOptions::none(),
+            42,
+            steps,
+            |s| make_batch(&cfg, 8, 100 + s),
+        )
+        .expect("chaos run must recover");
+    assert_eq!(report.losses.len(), steps as usize, "step-complete");
+    assert!(report.losses.iter().all(|l| l.is_finite()), "finite losses");
+    assert!(report.restarts >= 1, "the fault must actually fire");
+    println!(
+        "chaos ok: seed={seed} kind={kind} restarts={} launches={:?}",
+        report.restarts,
+        report
+            .launches
+            .iter()
+            .map(|l| format!("{}x{}", l.spec.name(), l.world))
+            .collect::<Vec<_>>()
+    );
+    std::fs::remove_dir_all(dir).ok();
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--chaos") {
+        let seed: u64 = args[i + 1].parse().expect("--chaos SEED KIND");
+        chaos(seed, &args[i + 2]);
+        return;
+    }
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let cfg = VitConfig::test_tiny();
+
+    // Sharded-checkpoint roundtrip: every shard count reassembles the
+    // same bits; throughput is the honest cost of the temp-file publish
+    // plus CRC validation on reload.
+    let ck = capture_checkpoint(&cfg);
+    let store = temp_store("roundtrip");
+    let store_dir = store.dir().to_path_buf();
+    let counts: &[usize] = if smoke { &[1, 4, 8] } else { &[1, 2, 4, 8, 16] };
+    let mut rt_rows = Vec::new();
+    let mut rt_json = Vec::new();
+    for (i, &count) in counts.iter().enumerate() {
+        let (bytes, write_s, read_s) = roundtrip(&store, &ck, (i + 1) as u64, count);
+        let mb = bytes as f64 / 1e6;
+        rt_rows.push(vec![
+            count.to_string(),
+            format!("{:.2}", mb),
+            format!("{:.1}", mb / write_s),
+            format!("{:.1}", mb / read_s),
+        ]);
+        rt_json.push(json!({
+            "shards": count,
+            "payload_bytes": bytes,
+            "write_s": write_s,
+            "read_s": read_s,
+            "write_mbps": mb / write_s,
+            "read_mbps": mb / read_s,
+            "bit_identical": true,
+        }));
+    }
+    std::fs::remove_dir_all(store_dir).ok();
+    print_table(
+        "elastic_bench: sharded checkpoint roundtrip",
+        &["shards", "MB", "write MB/s", "read MB/s"],
+        &rt_rows,
+    );
+
+    // Elastic recovery: a world-4 run loses rank 1 at step 2 and must
+    // finish through a planner-chosen smaller layout.
+    let steps = if smoke { 6u64 } else { 10 };
+    let store = temp_store("recovery");
+    let store_dir = store.dir().to_path_buf();
+    let trainer = ElasticTrainer::new(
+        Cluster::frontier().with_fault_plan(FaultPlan::new().kill(1, 2)),
+        store,
+    )
+    .with_checkpoint_every(2);
+    let t0 = Instant::now();
+    let report = trainer
+        .train(
+            4,
+            cfg,
+            AdamW::default(),
+            TrainOptions::none(),
+            42,
+            steps,
+            |s| make_batch(&cfg, 8, 100 + s),
+        )
+        .expect("elastic recovery run");
+    let wall_s = t0.elapsed().as_secs_f64();
+    std::fs::remove_dir_all(store_dir).ok();
+    assert_eq!(report.losses.len(), steps as usize);
+    assert!(report.losses.iter().all(|l| l.is_finite()));
+    let launches: Vec<_> = report
+        .launches
+        .iter()
+        .map(|l| {
+            json!({
+                "engine": l.spec.name(),
+                "world": l.world,
+                "start_step": l.start_step,
+                "restored_generation": l.restored_generation,
+            })
+        })
+        .collect();
+    println!(
+        "recovery: {} steps, {} restart(s), {}",
+        steps,
+        report.restarts,
+        report
+            .launches
+            .iter()
+            .map(|l| format!("{}x{}@{}", l.spec.name(), l.world, l.start_step))
+            .collect::<Vec<_>>()
+            .join(" -> ")
+    );
+
+    let v = json!({
+        "experiment": "elastic_bench",
+        "smoke": smoke,
+        "roundtrip": rt_json,
+        "recovery": {
+            "initial_world": 4,
+            "steps": steps,
+            "restarts": report.restarts,
+            "launches": launches,
+            "losses_finite": true,
+            "wall_s": wall_s,
+        },
+    });
+    write_json("elastic_bench", &v);
+}

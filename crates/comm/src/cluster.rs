@@ -8,7 +8,10 @@
 //! launch reports a per-rank [`RankOutcome`] instead of panicking.
 
 use crate::clock::SimClock;
-use crate::fault::{FailureCause, FaultKind, FaultPlan, FaultPlanState, RankOutcome, SimError};
+use crate::fault::{
+    DeathCause, FailureCause, FailureLedger, FaultKind, FaultPlan, FaultPlanState, RankOutcome,
+    SimError, StorageFault,
+};
 use crate::group::{Engine, ProcessGroup, DEFAULT_OP_TIMEOUT};
 use crate::memory::Device;
 use crate::verify::{
@@ -35,7 +38,9 @@ pub struct Cluster {
     /// time cannot advance while a thread is OS-blocked in a rendezvous,
     /// so the deadlock backstop is necessarily wall-clock: it bounds how
     /// long a *real* thread waits, independent of the modeled timeline.
-    op_timeout: Duration,
+    /// `None` scales the default with the launch world size
+    /// ([`Cluster::op_timeout_for`]); `Some` is an explicit override.
+    op_timeout: Option<Duration>,
     /// Record every collective/p2p issue into a [`ScheduleLog`] and verify
     /// it post-hoc ([`crate::verify`]). On by default when debug
     /// assertions are on — the "race detector always armed in tests" mode.
@@ -50,6 +55,12 @@ pub struct Cluster {
     /// panicked, or died observing a peer failure). Fed to the verifier as
     /// fault-excused ranks so truncated schedules still verify.
     last_failed: Mutex<Vec<usize>>,
+    /// Cumulative hardware-death record across every launch of this
+    /// cluster — see [`FailureLedger`]. Elastic recovery reads it to size
+    /// the next world.
+    ledger: Mutex<FailureLedger>,
+    /// Number of launches completed (the ledger's launch index).
+    launches: std::sync::atomic::AtomicUsize,
 }
 
 impl Cluster {
@@ -59,11 +70,13 @@ impl Cluster {
             machine,
             device_capacity: None,
             fault_plan: None,
-            op_timeout: DEFAULT_OP_TIMEOUT,
+            op_timeout: None,
             verify: cfg!(debug_assertions),
             perturb_seed: None,
             last_schedule: Mutex::new(None),
             last_failed: Mutex::new(Vec::new()),
+            ledger: Mutex::new(FailureLedger::default()),
+            launches: std::sync::atomic::AtomicUsize::new(0),
         }
     }
 
@@ -86,12 +99,27 @@ impl Cluster {
         self
     }
 
-    /// Set the wall-clock rendezvous timeout (default 60 s). Ops that
-    /// cannot complete — e.g. a peer skipped a collective — fail with
-    /// [`CommError::Timeout`] instead of hanging forever.
+    /// Set the wall-clock rendezvous timeout explicitly. Ops that cannot
+    /// complete — e.g. a peer skipped a collective — fail with
+    /// [`CommError::Timeout`] instead of hanging forever. Without this
+    /// override the default scales with the launch world size
+    /// ([`Cluster::op_timeout_for`]): large worlds rendezvous more threads
+    /// per op on the same host cores, so a fixed constant that is generous
+    /// at world 2 flakes under load at world 64.
     pub fn with_op_timeout(mut self, timeout: Duration) -> Self {
-        self.op_timeout = timeout;
+        self.op_timeout = Some(timeout);
         self
+    }
+
+    /// The rendezvous timeout a `world`-rank launch of this cluster will
+    /// use: the explicit [`Cluster::with_op_timeout`] override, or a
+    /// default that grows with the world size (60 s base + 2 s per rank,
+    /// capped at 5 min).
+    pub fn op_timeout_for(&self, world: usize) -> Duration {
+        self.op_timeout.unwrap_or_else(|| {
+            let scaled = DEFAULT_OP_TIMEOUT + Duration::from_secs(2) * world as u32;
+            scaled.min(Duration::from_secs(300))
+        })
     }
 
     /// Enable or disable collective-schedule verification (default: on
@@ -223,7 +251,7 @@ impl Cluster {
                     let engine = Arc::clone(&engine);
                     let machine = Arc::clone(&machine);
                     let fault = self.fault_plan.as_ref().map(Arc::clone);
-                    let op_timeout = self.op_timeout;
+                    let op_timeout = self.op_timeout_for(world);
                     let f = &f;
                     let perturb = self
                         .perturb_seed
@@ -240,6 +268,7 @@ impl Cluster {
                             op_timeout,
                             link_factor: Arc::new(AtomicU64::new(1.0f64.to_bits())),
                             perturb,
+                            storage_fault: None,
                         };
                         let result = catch_unwind(AssertUnwindSafe(|| f(&mut ctx)));
                         match result {
@@ -273,7 +302,47 @@ impl Cluster {
         *self.last_schedule.lock().unwrap_or_else(|e| e.into_inner()) = log.map(|l| l.snapshot());
         let out: Vec<RankOutcome<R>> = out.into_iter().map(|o| o.unwrap()).collect();
         *self.last_failed.lock().unwrap_or_else(|e| e.into_inner()) = fault_victims(&out);
+        let launch_idx = self
+            .launches
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        {
+            let mut ledger = self.ledger.lock().unwrap_or_else(|e| e.into_inner());
+            for (rank, o) in out.iter().enumerate() {
+                let cause = match o.sim_error() {
+                    Some(SimError::Killed { step, .. }) => DeathCause::Killed { step: *step },
+                    Some(SimError::Comm(CommError::LinkDown { .. })) => DeathCause::LinkSevered,
+                    Some(SimError::Oom(_)) => DeathCause::Oom,
+                    _ => continue,
+                };
+                ledger.record(launch_idx, rank, cause);
+            }
+        }
         out
+    }
+
+    /// The machine this cluster simulates.
+    pub fn machine(&self) -> &FrontierMachine {
+        &self.machine
+    }
+
+    /// Per-device memory budget in bytes: the
+    /// [`Cluster::with_device_capacity`] override, or the machine's real
+    /// per-GPU capacity. The planner's memory filter should use this so
+    /// replanned layouts respect the same budget the engines run under.
+    pub fn mem_budget(&self) -> u64 {
+        self.device_capacity.unwrap_or(self.machine.mem_per_gpu)
+    }
+
+    /// Snapshot of the cumulative hardware-death ledger (see
+    /// [`FailureLedger`]). Updated after every launch.
+    pub fn failure_ledger(&self) -> FailureLedger {
+        self.ledger.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    /// Ranks still available out of an initial allocation of
+    /// `initial_world`, given every hardware death recorded so far.
+    pub fn survivors(&self, initial_world: usize) -> usize {
+        self.failure_ledger().survivors(initial_world)
     }
 }
 
@@ -353,6 +422,9 @@ pub struct RankCtx {
     /// This rank's seeded schedule-perturbation stream, when the launch
     /// explores thread interleavings.
     perturb: Option<Arc<SchedulePerturb>>,
+    /// Armed storage fault ([`FaultKind::TornWrite`]/
+    /// [`FaultKind::CorruptShard`]) awaiting the next checkpoint write.
+    storage_fault: Option<StorageFault>,
 }
 
 impl RankCtx {
@@ -418,9 +490,28 @@ impl RankCtx {
                         .record_fault(format!("poison alloc rank {}", self.rank));
                     self.device.poison_next_alloc();
                 }
+                FaultKind::TornWrite => {
+                    self.clock
+                        .record_fault(format!("torn write rank {}", self.rank));
+                    self.storage_fault = Some(StorageFault::Torn);
+                }
+                FaultKind::CorruptShard => {
+                    self.clock
+                        .record_fault(format!("corrupt shard rank {}", self.rank));
+                    self.storage_fault = Some(StorageFault::Corrupt);
+                }
             }
         }
         Ok(())
+    }
+
+    /// Consume the pending storage fault, if one was armed by the fault
+    /// plan. Checkpoint writers call this right before persisting a shard
+    /// and apply the returned fault to that write (tear or corrupt it);
+    /// like [`crate::Device::poison_next_alloc`], the fault fires exactly
+    /// once.
+    pub fn take_storage_fault(&mut self) -> Option<StorageFault> {
+        self.storage_fault.take()
     }
 }
 
@@ -606,6 +697,90 @@ mod tests {
             r
         });
         assert_eq!(results, vec![2.0; 2]);
+    }
+
+    #[test]
+    fn default_op_timeout_scales_with_world() {
+        let cluster = Cluster::frontier();
+        assert!(cluster.op_timeout_for(64) > cluster.op_timeout_for(2));
+        assert!(cluster.op_timeout_for(100_000) <= Duration::from_secs(300));
+        let pinned = Cluster::frontier().with_op_timeout(Duration::from_secs(7));
+        assert_eq!(pinned.op_timeout_for(2), Duration::from_secs(7));
+        assert_eq!(pinned.op_timeout_for(4096), Duration::from_secs(7));
+    }
+
+    #[test]
+    fn ledger_records_primary_hardware_deaths_only() {
+        use crate::fault::DeathCause;
+        let cluster = Cluster::frontier()
+            .with_op_timeout(Duration::from_secs(5))
+            .with_fault_plan(FaultPlan::new().kill(1, 0).sever_link(3, 0));
+        let outcomes = cluster.try_run(4, |ctx| {
+            ctx.begin_step(0)?;
+            // Rank 2 dies of a non-hardware cause: must not be ledgered.
+            if ctx.rank == 2 {
+                return Err(SimError::State("config bug".into()));
+            }
+            Ok(())
+        });
+        assert!(outcomes[0].is_ok());
+        let ledger = cluster.failure_ledger();
+        assert_eq!(ledger.dead(), 2, "{:?}", ledger.entries());
+        assert_eq!(cluster.survivors(4), 2);
+        assert!(ledger
+            .entries()
+            .iter()
+            .any(|e| e.rank == 1 && e.cause == DeathCause::Killed { step: 0 }));
+        assert!(ledger
+            .entries()
+            .iter()
+            .any(|e| e.rank == 3 && e.cause == DeathCause::LinkSevered));
+    }
+
+    #[test]
+    fn ledger_accumulates_across_launches_and_tags_launch_index() {
+        let cluster = Cluster::frontier().with_fault_plan(FaultPlan::new().kill(1, 0).kill(0, 1));
+        // Launch 0 runs only step 0: rank 1 dies, rank 0's event (step 1)
+        // stays pending for a later launch.
+        let _ = cluster.try_run(2, |ctx| {
+            ctx.begin_step(0)?;
+            Ok(())
+        });
+        assert_eq!(cluster.survivors(2), 1);
+        // Launch 1 at the shrunk world: the surviving capacity relaunches
+        // as rank 0 and the pending kill fires at step 1.
+        let _ = cluster.try_run(1, |ctx| {
+            for step in 0..2u64 {
+                ctx.begin_step(step)?;
+            }
+            Ok(())
+        });
+        let ledger = cluster.failure_ledger();
+        assert_eq!(ledger.entries().iter().filter(|e| e.launch == 0).count(), 1);
+        assert_eq!(ledger.entries().iter().filter(|e| e.launch == 1).count(), 1);
+        assert_eq!(ledger.dead(), 2);
+        assert_eq!(cluster.survivors(2), 0);
+    }
+
+    #[test]
+    fn begin_step_arms_storage_fault_once() {
+        use crate::fault::StorageFault;
+        let cluster =
+            Cluster::frontier().with_fault_plan(FaultPlan::new().torn_write(0, 1).corrupt_shard(1, 0));
+        let results = cluster.run(2, |ctx| {
+            let mut seen = Vec::new();
+            for step in 0..3u64 {
+                ctx.begin_step(step).unwrap();
+                if let Some(f) = ctx.take_storage_fault() {
+                    seen.push((step, f));
+                }
+            }
+            seen
+        });
+        assert_eq!(results[0], vec![(1, StorageFault::Torn)]);
+        assert_eq!(results[1], vec![(0, StorageFault::Corrupt)]);
+        // Storage faults are not deaths: the ledger stays empty.
+        assert_eq!(cluster.failure_ledger().dead(), 0);
     }
 
     #[test]

@@ -162,6 +162,84 @@ impl<R> RankOutcome<R> {
     }
 }
 
+/// Why a rank is recorded dead in the [`FailureLedger`]: the *hardware*
+/// failure taxonomy. Panics and plain state errors are program bugs, not
+/// lost nodes, and never enter the ledger.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeathCause {
+    /// Killed by the fault plan at the given step.
+    Killed { step: u64 },
+    /// Network link severed.
+    LinkSevered,
+    /// Device memory exhausted (organic or fault-injected).
+    Oom,
+}
+
+impl fmt::Display for DeathCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeathCause::Killed { step } => write!(f, "killed at step {step}"),
+            DeathCause::LinkSevered => write!(f, "link severed"),
+            DeathCause::Oom => write!(f, "out of device memory"),
+        }
+    }
+}
+
+/// One dead rank in the [`FailureLedger`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LedgerEntry {
+    /// Which launch of the cluster the rank died in (0-based, counted
+    /// across every `try_run`/`run` of the owning cluster).
+    pub launch: usize,
+    /// The rank id *within that launch's world* — launches after a shrink
+    /// renumber survivors densely, so ids are per-launch coordinates, not
+    /// stable node identities.
+    pub rank: usize,
+    pub cause: DeathCause,
+}
+
+/// Cumulative record of hardware deaths across every launch of a
+/// [`crate::Cluster`] — the bookkeeping an elastic trainer consults to
+/// derive the next world size. Each entry is one lost node; the surviving
+/// capacity is the initial world minus [`FailureLedger::dead`].
+///
+/// Only *primary* hardware causes are recorded (kill, severed link, OOM).
+/// Ranks that die observing a peer ([`CommError::PeerFailure`]) are
+/// survivors whose process exited — the blame attribution points at the
+/// root cause, which carries the single ledger entry — and panics or
+/// state errors are program bugs, not lost hardware.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FailureLedger {
+    entries: Vec<LedgerEntry>,
+}
+
+impl FailureLedger {
+    /// Record a death (runtime use; tests may build ledgers directly).
+    pub fn record(&mut self, launch: usize, rank: usize, cause: DeathCause) {
+        self.entries.push(LedgerEntry {
+            launch,
+            rank,
+            cause,
+        });
+    }
+
+    /// Every recorded death, in launch order.
+    pub fn entries(&self) -> &[LedgerEntry] {
+        &self.entries
+    }
+
+    /// Total nodes lost across all launches.
+    pub fn dead(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Ranks that can still be mustered out of an initial allocation of
+    /// `initial_world` nodes (saturating at zero).
+    pub fn survivors(&self, initial_world: usize) -> usize {
+        initial_world.saturating_sub(self.dead())
+    }
+}
+
 /// What an injected fault does to its target rank.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum FaultKind {
@@ -182,6 +260,28 @@ pub enum FaultKind {
     SeverLink,
     /// The rank's next device allocation fails with a simulated OOM.
     Oom,
+    /// The rank's next sharded-checkpoint write is torn: the shard file is
+    /// renamed into place but its payload is truncated, modeling a power
+    /// loss after the metadata journal committed but before the data pages
+    /// hit disk. The rank itself keeps running; the loader must detect the
+    /// tear and fall back to the previous committed generation.
+    TornWrite,
+    /// The rank's next sharded-checkpoint write lands complete but with a
+    /// flipped payload byte (silent media corruption); CRC validation must
+    /// reject the shard on load.
+    CorruptShard,
+}
+
+/// A pending storage fault armed on a rank by
+/// [`FaultKind::TornWrite`]/[`FaultKind::CorruptShard`], consumed by the
+/// next sharded-checkpoint writer via
+/// [`crate::RankCtx::take_storage_fault`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StorageFault {
+    /// Truncate the payload mid-write (file visible, data short).
+    Torn,
+    /// Flip a payload byte (file complete, data wrong).
+    Corrupt,
 }
 
 /// One scheduled fault: `kind` hits `rank` at the first `begin_step` whose
@@ -254,6 +354,26 @@ impl FaultPlan {
             rank,
             step,
             kind: FaultKind::Oom,
+        });
+        self
+    }
+
+    /// Tear `rank`'s next sharded-checkpoint shard write after `step`.
+    pub fn torn_write(mut self, rank: usize, step: u64) -> Self {
+        self.events.push(FaultEvent {
+            rank,
+            step,
+            kind: FaultKind::TornWrite,
+        });
+        self
+    }
+
+    /// Corrupt `rank`'s next sharded-checkpoint shard write after `step`.
+    pub fn corrupt_shard(mut self, rank: usize, step: u64) -> Self {
+        self.events.push(FaultEvent {
+            rank,
+            step,
+            kind: FaultKind::CorruptShard,
         });
         self
     }

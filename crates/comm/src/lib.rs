@@ -35,7 +35,10 @@ pub mod verify;
 
 pub use clock::SimClock;
 pub use cluster::{Cluster, RankCtx};
-pub use fault::{CommError, FailureCause, FaultEvent, FaultKind, FaultPlan, RankOutcome, SimError};
+pub use fault::{
+    CommError, DeathCause, FailureCause, FailureLedger, FaultEvent, FaultKind, FaultPlan,
+    LedgerEntry, RankOutcome, SimError, StorageFault,
+};
 pub use group::{CommBuf, PendingCollective, ProcessGroup};
 pub use memory::{Allocation, Device, OomError};
 pub use trace::{chrome_trace, CommEvent, CommOp, TraceEvent};

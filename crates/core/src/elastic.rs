@@ -1,0 +1,466 @@
+//! Elastic shrink-to-survivors training.
+//!
+//! [`ElasticTrainer`] closes the loop that [`crate::ResilientTrainer`]
+//! leaves open: instead of replaying a hand-written `AttemptSpec` list at
+//! a fixed world size, every relaunch asks the auto-parallel planner for
+//! the best engine layout that fits the ranks that are *still alive* —
+//! the [`orbit_comm::FailureLedger`] says how many died — and restores
+//! the last committed **sharded** checkpoint generation into that new
+//! layout. Because shards reassemble into a layout-independent
+//! [`Checkpoint`], shrinking from, say, FSDP×8 to Hybrid-STOP 2×3×1 is a
+//! pure reshard of the saved values: the recovered loss trajectory is
+//! bit-identical to an uninterrupted run launched at the replanned shape
+//! from the same generation.
+//!
+//! Checkpointing is crash-consistent end to end (see
+//! [`orbit_vit::sharded`]): each rank writes only its own shard every `k`
+//! steps — FSDP ranks with **no gather at all** via
+//! [`Engine::capture_shard`] — and rank 0 commits the generation's
+//! manifest only after every shard file is visible. A rank that dies
+//! mid-capture leaves an uncommitted (invisible) generation; a torn or
+//! corrupt shard is caught by CRC on load, and the store falls back to
+//! the previous committed generation. Storage faults injected by the
+//! [`orbit_comm::FaultPlan`] (`torn_write` / `corrupt_shard`) flow
+//! through [`orbit_comm::RankCtx::take_storage_fault`] into the shard
+//! writer, so exactly those failure modes are exercised in tests.
+
+use crate::engines::{build_engine, spec_for_plan, Engine, EngineSpec};
+use crate::stats::StepStats;
+use orbit_comm::{Cluster, RankOutcome, SimError, StorageFault};
+use orbit_frontier::{Planner, Strategy, TrainOptions};
+use orbit_tensor::kernels::AdamW;
+use orbit_vit::{Batch, Checkpoint, ShardFault, ShardStore, VitConfig};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// How long rank 0 polls for the full shard set before skipping a
+/// generation's commit (a peer died mid-capture; its death surfaces as a
+/// typed error at the next collective).
+const COMMIT_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// One launch of the elastic loop: what the planner chose and where it
+/// resumed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LaunchRecord {
+    /// Engine the planner chose for this launch.
+    pub spec: EngineSpec,
+    /// Surviving world size the launch ran at.
+    pub world: usize,
+    /// First global step this launch executed.
+    pub start_step: u64,
+    /// Checkpoint generation restored at launch, `None` for a cold start.
+    pub restored_generation: Option<u64>,
+    /// The exact options the launch ran with (planner layout choices
+    /// merged over the caller's precision choices) — what an
+    /// uninterrupted reference run must use to reproduce the launch.
+    pub opts: TrainOptions,
+}
+
+/// What an elastic run produced.
+#[derive(Debug, Clone)]
+pub struct ElasticReport {
+    /// One loss per global step, `0..steps`, stitched across relaunches:
+    /// a failed launch contributes only steps up to its last *committed*
+    /// generation; the relaunch replays from there.
+    pub losses: Vec<f32>,
+    /// Number of relaunches (0 for an uninterrupted run).
+    pub restarts: usize,
+    /// Every launch in order — records the shrink-to-survivors
+    /// transitions the planner chose.
+    pub launches: Vec<LaunchRecord>,
+    /// Full-model state after the final step.
+    pub final_checkpoint: Checkpoint,
+}
+
+/// Shrink-to-survivors training with planner-chosen relaunch layouts and
+/// crash-consistent sharded checkpoints.
+pub struct ElasticTrainer {
+    cluster: Cluster,
+    store: ShardStore,
+    checkpoint_every: u64,
+    max_restarts: usize,
+    allowed: Option<Vec<Strategy>>,
+}
+
+fn store_err(e: std::io::Error) -> SimError {
+    SimError::State(format!("checkpoint store: {e}"))
+}
+
+fn to_shard_fault(f: StorageFault) -> ShardFault {
+    match f {
+        StorageFault::Torn => ShardFault::Torn,
+        StorageFault::Corrupt => ShardFault::Corrupt,
+    }
+}
+
+impl ElasticTrainer {
+    /// Wrap a cluster (typically one carrying an
+    /// [`orbit_comm::FaultPlan`]) and a shard store for its checkpoints.
+    /// Defaults: checkpoint every 2 steps, at most 8 restarts, all
+    /// strategies eligible.
+    pub fn new(cluster: Cluster, store: ShardStore) -> Self {
+        ElasticTrainer {
+            cluster,
+            store,
+            checkpoint_every: 2,
+            max_restarts: 8,
+            allowed: None,
+        }
+    }
+
+    /// Capture a sharded generation after every `k` completed steps
+    /// (`k > 0`). The final step always commits a generation regardless.
+    pub fn with_checkpoint_every(mut self, k: u64) -> Self {
+        assert!(k > 0, "checkpoint interval must be positive");
+        self.checkpoint_every = k;
+        self
+    }
+
+    /// Give up (returning `Err`) after this many relaunches.
+    pub fn with_max_restarts(mut self, n: usize) -> Self {
+        self.max_restarts = n;
+        self
+    }
+
+    /// Restrict the planner to these strategies — e.g. pin one engine
+    /// family for a sweep, or the inference-capable subset for serving.
+    pub fn with_allowed_strategies(mut self, allowed: &[Strategy]) -> Self {
+        self.allowed = Some(allowed.to_vec());
+        self
+    }
+
+    /// The shard store this trainer commits generations into.
+    pub fn store(&self) -> &ShardStore {
+        &self.store
+    }
+
+    /// The cluster this trainer launches on (e.g. to inspect the
+    /// [`orbit_comm::FailureLedger`] after a run).
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// Plan the next launch for the current survivor count. Public so
+    /// tests (and `orbit-serve`) can ask "what would the trainer do now"
+    /// and launch an uninterrupted reference run at the same shape.
+    pub fn plan_launch(
+        &self,
+        cfg: &VitConfig,
+        initial_world: usize,
+        global_batch: usize,
+    ) -> Result<(EngineSpec, usize, TrainOptions), SimError> {
+        let survivors = self.cluster.survivors(initial_world);
+        if survivors == 0 {
+            return Err(SimError::State(
+                "no surviving ranks to relaunch on".into(),
+            ));
+        }
+        let planner = Planner::new(self.cluster.machine().clone());
+        let plan = planner
+            .plan_for_survivors(
+                &cfg.dims,
+                survivors,
+                global_batch,
+                Some(self.cluster.mem_budget()),
+                self.allowed.as_deref(),
+            )
+            .map_err(|e| SimError::State(format!("elastic replan failed: {e}")))?;
+        // The planner may shrink below the survivor count when the batch
+        // cannot split over an awkward world size; spare survivors idle.
+        Ok((spec_for_plan(&plan.chosen), plan.gpus, plan.chosen.opts))
+    }
+
+    /// Train for `steps` optimizer steps, shrinking to the survivors on
+    /// every failure. `batch_fn` maps a global step index to its batch
+    /// and must be deterministic — a replayed step must see the data of
+    /// the original attempt. The caller's `opts` contribute the precision
+    /// choice; the planner contributes `layer_wrapping`/`prefetch` per
+    /// launch (they are layout decisions, not training semantics).
+    pub fn train<F>(
+        &self,
+        initial_world: usize,
+        cfg: VitConfig,
+        opt: AdamW,
+        opts: TrainOptions,
+        seed: u64,
+        steps: u64,
+        batch_fn: F,
+    ) -> Result<ElasticReport, SimError>
+    where
+        F: Fn(u64) -> Batch + Sync,
+    {
+        assert!(initial_world > 0, "need at least one rank");
+        assert!(steps > 0, "need at least one step");
+        let global_batch = batch_fn(0).len();
+        let mut losses: Vec<f32> = Vec::new();
+        let mut restarts = 0usize;
+        let mut launches: Vec<LaunchRecord> = Vec::new();
+
+        loop {
+            let (spec, world, plan_opts) = self.plan_launch(&cfg, initial_world, global_batch)?;
+            let run_opts = TrainOptions {
+                mixed_precision: opts.mixed_precision,
+                activation_checkpointing: opts.activation_checkpointing,
+                ..plan_opts
+            };
+            // Restore state is loaded ONCE, host-side, before the launch:
+            // this is also what exercises generation fallback after a torn
+            // or corrupt shard write.
+            let resume = self.store.load_latest().map_err(store_err)?;
+            let start = resume.as_ref().map(|l| l.step).unwrap_or(0);
+            launches.push(LaunchRecord {
+                spec,
+                world,
+                start_step: start,
+                restored_generation: resume.as_ref().map(|l| l.generation),
+                opts: run_opts,
+            });
+            debug_assert_eq!(start as usize, losses.len());
+
+            // Rank 0 streams (step, loss) pairs out of the launch; the
+            // values are identical on every rank, so one writer suffices
+            // and survives any *other* rank's death.
+            let stream: Mutex<Vec<(u64, f32)>> = Mutex::new(Vec::new());
+            let ck_every = self.checkpoint_every;
+            let store = &self.store;
+            let resume_ref = &resume;
+
+            let outcomes: Vec<RankOutcome<Option<Checkpoint>>> =
+                self.cluster.try_run(world, |ctx| {
+                    let mut engine: Box<dyn Engine> =
+                        build_engine(ctx, spec, cfg, opt, run_opts, seed)?;
+                    if let Some(loaded) = resume_ref.as_ref() {
+                        engine.restore_checkpoint(ctx, &loaded.checkpoint)?;
+                    }
+                    for step in start..steps {
+                        ctx.begin_step(step)?;
+                        let batch = batch_fn(step);
+                        let stats: StepStats = engine.train_step(ctx, &batch)?;
+                        if ctx.rank == 0 {
+                            stream.lock().unwrap().push((step, stats.loss));
+                        }
+                        let done = step + 1;
+                        if done % ck_every == 0 || done == steps {
+                            // Generation number == global step: strictly
+                            // increasing across relaunches, so fallback
+                            // order is resume order.
+                            let fault = ctx.take_storage_fault().map(to_shard_fault);
+                            let shard = engine.capture_shard(ctx, ctx.rank, ctx.world)?;
+                            store.write_shard(done, &shard, fault).map_err(store_err)?;
+                            if ctx.rank == 0 {
+                                // Ok(false) = a peer never wrote its shard
+                                // (died mid-capture): skip the commit; the
+                                // death surfaces at the next collective.
+                                store
+                                    .commit(done, done, ctx.world, COMMIT_TIMEOUT)
+                                    .map_err(store_err)?;
+                            }
+                        }
+                    }
+                    let final_ck = engine.capture_checkpoint(ctx)?;
+                    Ok((ctx.rank == 0).then_some(final_ck))
+                });
+
+            let stream = stream.into_inner().unwrap();
+
+            if outcomes.iter().all(|o| o.is_ok()) {
+                for (step, loss) in stream {
+                    debug_assert_eq!(step as usize, losses.len());
+                    losses.push(loss);
+                }
+                let final_checkpoint = outcomes
+                    .into_iter()
+                    .next()
+                    .and_then(|o| o.ok())
+                    .flatten()
+                    .expect("rank 0 returns the final checkpoint");
+                return Ok(ElasticReport {
+                    losses,
+                    restarts,
+                    launches,
+                    final_checkpoint,
+                });
+            }
+
+            restarts += 1;
+            if restarts > self.max_restarts {
+                let cause = outcomes
+                    .iter()
+                    .find_map(|o| o.failure())
+                    .map(|c| c.to_string())
+                    .unwrap_or_else(|| "unknown".into());
+                return Err(SimError::State(format!(
+                    "gave up after {} restarts (last failure: {cause})",
+                    self.max_restarts
+                )));
+            }
+            // Keep only losses the relaunch will not replay: those below
+            // the newest generation that will actually load (fallback
+            // included — a torn gen g means the relaunch resumes at g-k).
+            let committed = self
+                .store
+                .load_latest()
+                .map_err(store_err)?
+                .map(|l| l.step)
+                .unwrap_or(0);
+            for (step, loss) in stream {
+                if step >= start && step < committed {
+                    debug_assert_eq!(step as usize, losses.len());
+                    losses.push(loss);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orbit_comm::FaultPlan;
+    use orbit_tensor::init::Rng;
+    use std::fs;
+
+    fn make_batch(cfg: &VitConfig, n: usize, seed: u64) -> Batch {
+        let mut rng = Rng::seed(seed);
+        Batch {
+            inputs: (0..n)
+                .map(|_| {
+                    (0..cfg.dims.channels)
+                        .map(|_| rng.normal_tensor(cfg.dims.img_h, cfg.dims.img_w, 1.0))
+                        .collect()
+                })
+                .collect(),
+            targets: (0..n)
+                .map(|_| {
+                    (0..cfg.dims.out_channels)
+                        .map(|_| rng.normal_tensor(cfg.dims.img_h, cfg.dims.img_w, 1.0))
+                        .collect()
+                })
+                .collect(),
+        }
+    }
+
+    fn temp_store(tag: &str) -> ShardStore {
+        let dir = std::env::temp_dir().join(format!(
+            "orbit_elastic_{tag}_{}",
+            std::process::id()
+        ));
+        fs::remove_dir_all(&dir).ok();
+        ShardStore::new(dir).unwrap()
+    }
+
+    #[test]
+    fn uninterrupted_elastic_run_reports_all_steps() {
+        let cfg = VitConfig::test_tiny();
+        let store = temp_store("clean");
+        let dir = store.dir().to_path_buf();
+        let trainer = ElasticTrainer::new(Cluster::frontier(), store);
+        let report = trainer
+            .train(
+                1,
+                cfg,
+                AdamW::default(),
+                TrainOptions::none(),
+                42,
+                3,
+                |step| make_batch(&cfg, 2, 100 + step),
+            )
+            .unwrap();
+        assert_eq!(report.losses.len(), 3);
+        assert_eq!(report.restarts, 0);
+        assert_eq!(report.launches.len(), 1);
+        assert_eq!(report.launches[0].spec, EngineSpec::Single);
+        assert_eq!(report.launches[0].restored_generation, None);
+        assert!(report.losses.iter().all(|l| l.is_finite() && *l > 0.0));
+        fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn killed_rank_shrinks_world_via_planner() {
+        let cfg = VitConfig::test_tiny();
+        let store = temp_store("shrink");
+        let dir = store.dir().to_path_buf();
+        let cluster = Cluster::frontier().with_fault_plan(FaultPlan::new().kill(1, 2));
+        let trainer = ElasticTrainer::new(cluster, store).with_checkpoint_every(1);
+        let report = trainer
+            .train(
+                2,
+                cfg,
+                AdamW::default(),
+                TrainOptions::none(),
+                42,
+                5,
+                |step| make_batch(&cfg, 2, 100 + step),
+            )
+            .unwrap();
+        assert_eq!(report.restarts, 1);
+        assert_eq!(report.losses.len(), 5);
+        assert_eq!(report.launches.len(), 2);
+        assert_eq!(report.launches[0].world, 2);
+        // One rank died: the planner must relaunch on the single survivor.
+        assert_eq!(report.launches[1].world, 1);
+        assert_eq!(report.launches[1].spec, EngineSpec::Single);
+        // Steps 0 and 1 committed generations before the kill at step 2.
+        assert_eq!(report.launches[1].restored_generation, Some(2));
+        assert_eq!(report.launches[1].start_step, 2);
+        fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn torn_write_resumes_from_previous_generation() {
+        let cfg = VitConfig::test_tiny();
+        let store = temp_store("torn");
+        let dir = store.dir().to_path_buf();
+        // The torn write arms at step 3, so the newest generation before
+        // the kill (gen 4, committed after step 3) carries a truncated
+        // rank-0 shard. The relaunch must fall back to generation 3 and
+        // replay step 3 — never loading the torn generation.
+        let plan = FaultPlan::new().torn_write(0, 3).kill(1, 4);
+        let cluster = Cluster::frontier().with_fault_plan(plan);
+        let trainer = ElasticTrainer::new(cluster, store).with_checkpoint_every(1);
+        let report = trainer
+            .train(
+                2,
+                cfg,
+                AdamW::default(),
+                TrainOptions::none(),
+                42,
+                6,
+                |step| make_batch(&cfg, 2, 100 + step),
+            )
+            .unwrap();
+        assert_eq!(report.restarts, 1);
+        assert_eq!(report.losses.len(), 6);
+        assert_eq!(report.launches[1].restored_generation, Some(3));
+        assert_eq!(report.launches[1].start_step, 3);
+        fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn strategy_pin_restricts_relaunch_family() {
+        let cfg = VitConfig::test_tiny();
+        let store = temp_store("pin");
+        let dir = store.dir().to_path_buf();
+        let cluster = Cluster::frontier().with_fault_plan(FaultPlan::new().kill(3, 2));
+        let trainer = ElasticTrainer::new(cluster, store)
+            .with_checkpoint_every(1)
+            .with_allowed_strategies(&[Strategy::Fsdp]);
+        let report = trainer
+            .train(
+                4,
+                cfg,
+                AdamW::default(),
+                TrainOptions::none(),
+                42,
+                4,
+                |step| make_batch(&cfg, 12, 100 + step),
+            )
+            .unwrap();
+        assert_eq!(report.restarts, 1);
+        assert_eq!(report.launches[0].spec, EngineSpec::Fsdp);
+        assert_eq!(report.launches[1].spec, EngineSpec::Fsdp);
+        assert_eq!(report.launches[1].world, 3);
+        assert_eq!(report.losses.len(), 4);
+        fs::remove_dir_all(dir).ok();
+    }
+}

@@ -16,7 +16,7 @@ use orbit_frontier::TrainOptions;
 use orbit_tensor::dtensor::{DTensor, DeviceMesh, Layout};
 use orbit_tensor::kernels::{AdamState, AdamW};
 use orbit_tensor::Tensor;
-use orbit_vit::{Batch, Checkpoint, VitConfig, VitModel};
+use orbit_vit::{config_fingerprint, Batch, Checkpoint, ShardData, VitConfig, VitModel};
 
 use super::trainer::{configure_precision, Trainer};
 use super::Engine;
@@ -234,6 +234,35 @@ impl Engine for FsdpEngine {
         )
     }
 
+    /// The gather-free fast path: when the requested slice is exactly this
+    /// rank's persistent `ShardFlat` shard, copy it out locally — **no
+    /// collective at all**, which is what makes sharded checkpointing
+    /// scale (each of N ranks writes 1/N instead of gathering the full
+    /// model N times). Any other slicing falls back to the generic
+    /// gather-then-slice path.
+    fn capture_shard(
+        &mut self,
+        ctx: &mut RankCtx,
+        index: usize,
+        count: usize,
+    ) -> Result<ShardData, SimError> {
+        if index == self.group.local_index() && count == self.group.size() {
+            return Ok(ShardData::from_local_shards(
+                index,
+                count,
+                config_fingerprint(&self.model.cfg),
+                self.state.step,
+                self.trainer.scaler_state(),
+                self.param_len,
+                self.params.local().data().to_vec(),
+                self.state.m.clone(),
+                self.state.v.clone(),
+            ));
+        }
+        let ck = self.capture_checkpoint(ctx)?;
+        Ok(ShardData::from_checkpoint(&ck, index, count))
+    }
+
     /// Re-shard the full checkpoint onto this rank: 1/N slices of the
     /// parameters and both Adam moments. Shard padding is zero-filled by
     /// the `ShardFlat` lowering, matching a freshly trained shard
@@ -330,6 +359,26 @@ mod tests {
             for (a, b) in params.iter().zip(&ref_params) {
                 assert!((a - b).abs() < 5e-4 * b.abs().max(1e-3), "{a} vs {b}");
             }
+        }
+    }
+
+    #[test]
+    fn local_capture_shard_matches_checkpoint_slicing() {
+        // The gather-free path must produce the same bytes as gathering
+        // the full checkpoint and slicing this rank's shard out of it.
+        let cfg = VitConfig::test_tiny();
+        let batch = make_batch(&cfg, 4, 7);
+        let results = Cluster::frontier().run(4, |ctx| {
+            let mut e =
+                FsdpEngine::new(ctx, cfg, AdamW::default(), TrainOptions::none(), 3).unwrap();
+            e.train_step(ctx, &batch).unwrap();
+            let ck = e.capture_checkpoint(ctx).unwrap();
+            let local = e.capture_shard(ctx, ctx.rank, ctx.world).unwrap();
+            (ck, local)
+        });
+        for (rank, (ck, local)) in results.iter().enumerate() {
+            let sliced = ShardData::from_checkpoint(ck, rank, 4);
+            assert_eq!(&sliced, local, "rank {rank}");
         }
     }
 

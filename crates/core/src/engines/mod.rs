@@ -45,7 +45,7 @@ use orbit_frontier::planner::PlanCandidate;
 use orbit_frontier::{FrontierMachine, ParallelLayout, Strategy, TrainOptions};
 use orbit_tensor::kernels::AdamW;
 use orbit_tensor::Tensor;
-use orbit_vit::{Batch, Checkpoint, VitConfig};
+use orbit_vit::{Batch, Checkpoint, ShardData, VitConfig};
 
 /// A distributed training engine: one parallelism strategy driving the
 /// shared ViT math over the simulated cluster.
@@ -66,6 +66,24 @@ pub trait Engine {
     /// together. The result is identical across ranks, so any one of them
     /// can persist it, and it can be restored into *any* engine layout.
     fn capture_checkpoint(&mut self, ctx: &mut RankCtx) -> Result<Checkpoint, SimError>;
+
+    /// Capture shard `index` of `count` of the sharded checkpoint format
+    /// (`orbit_vit::sharded`): this rank's slice of the parameters and
+    /// Adam moments plus the replicated scalar state. The default gathers
+    /// a full [`Checkpoint`] and slices it — correct for every engine but
+    /// paying the full-model gather. Engines whose persistent layout
+    /// *already is* the requested slice (FSDP's `ShardFlat`) override this
+    /// with a gather-free local copy. Collective in the default path: all
+    /// ranks must call it together.
+    fn capture_shard(
+        &mut self,
+        ctx: &mut RankCtx,
+        index: usize,
+        count: usize,
+    ) -> Result<ShardData, SimError> {
+        let ck = self.capture_checkpoint(ctx)?;
+        Ok(ShardData::from_checkpoint(&ck, index, count))
+    }
 
     /// Load a full-model [`Checkpoint`] into this engine's shard layout —
     /// the restart half of checkpoint/restart, including Hybrid-STOP's

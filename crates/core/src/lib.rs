@@ -36,6 +36,7 @@
 //! [`engines::HybridStopEngine`].
 
 pub mod dcomm;
+pub mod elastic;
 pub mod engines;
 pub mod resilient;
 pub mod scaler;
@@ -44,6 +45,7 @@ pub mod stats;
 pub mod tp_block;
 
 pub use dcomm::{comm_err, GroupComm};
+pub use elastic::{ElasticReport, ElasticTrainer, LaunchRecord};
 pub use engines::{
     build_engine, spec_for_plan, DdpEngine, Engine, EngineSpec, FsdpEngine, HybridStopEngine,
     PipelineEngine, SingleDeviceEngine, TensorParallelEngine, Trainer,

@@ -13,10 +13,17 @@
 //!
 //! Restoring into the *same* layout that captured a checkpoint is a pure
 //! permutation of the saved values, so the recovered loss trajectory is
-//! bit-identical to an uninterrupted run (in full precision; the dynamic
-//! [`crate::GradScaler`] state is intentionally not checkpointed — a
-//! restart re-enters mixed precision at the default scale, which only
-//! perturbs the scale schedule, never correctness).
+//! bit-identical to an uninterrupted run — including under mixed
+//! precision: format-v2 (`ORBITCK2`) checkpoints carry the dynamic
+//! [`crate::GradScaler`] state, and every engine's restore path resumes
+//! the exact scale schedule (scale, clean-step counter, skip count) the
+//! capture left off at, asserted by `scaler_schedule_survives_restart`
+//! below.
+//!
+//! `ResilientTrainer` replays a *static* attempt list at caller-chosen
+//! world sizes. [`crate::ElasticTrainer`] supersedes it when the world
+//! should instead shrink to the surviving ranks with a planner-chosen
+//! layout and crash-consistent sharded checkpoints.
 
 use crate::engines::{build_engine, EngineSpec};
 use crate::stats::StepStats;
@@ -274,6 +281,46 @@ mod tests {
         assert_eq!(report.restarts, 1);
         assert_eq!(report.losses.len(), 5);
         assert_eq!(report.launches.len(), 2);
+    }
+
+    #[test]
+    fn scaler_schedule_survives_restart() {
+        // A mixed-precision run that restarts must resume the loss-scale
+        // schedule exactly where the committed checkpoint left it: the
+        // final scaler state (and every loss) matches an uninterrupted
+        // run bit for bit.
+        let cfg = VitConfig::test_tiny();
+        let opts = TrainOptions {
+            mixed_precision: true,
+            ..TrainOptions::none()
+        };
+        let run = |cluster: Cluster| {
+            ResilientTrainer::new(cluster)
+                .with_checkpoint_every(1)
+                .train(
+                    &[AttemptSpec::new(EngineSpec::Ddp, 2)],
+                    cfg,
+                    AdamW::default(),
+                    opts,
+                    42,
+                    4,
+                    |step| make_batch(&cfg, 2, 100 + step),
+                )
+                .unwrap()
+        };
+        let interrupted = run(Cluster::frontier().with_fault_plan(FaultPlan::new().kill(1, 2)));
+        let clean = run(Cluster::frontier());
+        assert_eq!(interrupted.restarts, 1);
+        assert_eq!(clean.restarts, 0);
+        let si = interrupted
+            .final_checkpoint
+            .scaler
+            .expect("mixed precision captures scaler state");
+        let sc = clean.final_checkpoint.scaler.unwrap();
+        assert_eq!(si, sc, "scale schedule must survive the restart");
+        let a: Vec<u32> = interrupted.losses.iter().map(|l| l.to_bits()).collect();
+        let b: Vec<u32> = clean.losses.iter().map(|l| l.to_bits()).collect();
+        assert_eq!(a, b, "restored trajectory must be bit-identical");
     }
 
     #[test]

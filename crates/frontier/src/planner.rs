@@ -218,6 +218,63 @@ impl Planner {
             candidates,
         })
     }
+
+    /// The engine-level *data-parallel* width of a candidate: how many
+    /// ways the engines slice the global batch. Broader than
+    /// [`Planner::replicas`] (gradient replicas): FSDP holds one gradient
+    /// replica but still partitions data across every rank, and its
+    /// lockstep collectives require the batch to divide evenly.
+    fn data_shards(strategy: Strategy, layout: &ParallelLayout) -> usize {
+        match strategy {
+            Strategy::SingleDevice | Strategy::TensorParallel => 1,
+            Strategy::Ddp | Strategy::Fsdp => layout.world(),
+            Strategy::HybridStop => layout.fsdp * layout.ddp,
+        }
+    }
+
+    /// Replan for an elastic restart: the best *executable* plan at the
+    /// largest world size `<= survivors`, additionally constrained to an
+    /// explicit per-GPU memory budget (the failing cluster's devices may
+    /// be configured tighter than the machine default) and, optionally, a
+    /// subset of strategies — serving restricts to the inference-capable
+    /// engines.
+    ///
+    /// Unlike [`Planner::plan`], candidates whose engine-level data
+    /// partitioning does not divide the global batch are rejected (the
+    /// engines' lockstep microbatch loops assert even splits), and when
+    /// nothing is executable at exactly `survivors` ranks the search
+    /// shrinks further — an awkward survivor count (say 5 ranks for a
+    /// batch of 8) falls back to the largest world that works, leaving
+    /// the spare survivors idle. World 1 always has a single-device
+    /// candidate, so `Err(NoFeasible)` means nothing *fits in memory*
+    /// under the constraints at any usable world size.
+    pub fn plan_for_survivors(
+        &self,
+        dims: &ModelDims,
+        survivors: usize,
+        global_batch: usize,
+        mem_budget: Option<u64>,
+        allowed: Option<&[Strategy]>,
+    ) -> Result<Plan, PlanError> {
+        for world in (1..=survivors).rev() {
+            let Ok(mut plan) = self.plan(dims, world, global_batch) else {
+                continue;
+            };
+            plan.candidates.retain(|c| {
+                global_batch % Self::data_shards(c.strategy, &c.layout) == 0
+                    && mem_budget.map_or(true, |b| c.predicted_mem <= b)
+                    && allowed.map_or(true, |a| a.contains(&c.strategy))
+            });
+            if let Some(chosen) = plan.candidates.first().cloned() {
+                plan.chosen = chosen;
+                return Ok(plan);
+            }
+        }
+        Err(PlanError::NoFeasible {
+            gpus: survivors,
+            global_batch,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -309,6 +366,61 @@ mod tests {
                 global_batch: 1
             }
         );
+    }
+
+    #[test]
+    fn survivor_replan_shrinks_and_respects_filters() {
+        let planner = Planner::default();
+        // 8 ranks lost 3: replan at 5. Batch 10 divides 5, so DDP stays
+        // legal; FSDP is always a candidate at the odd world size.
+        let plan = planner
+            .plan_for_survivors(&tiny_dims(), 5, 10, None, None)
+            .unwrap();
+        assert_eq!(plan.gpus, 5);
+        assert!(plan.candidates.iter().any(|c| c.strategy == Strategy::Fsdp));
+        // Strategy filter: restrict to FSDP only.
+        let only_fsdp = planner
+            .plan_for_survivors(&tiny_dims(), 5, 10, None, Some(&[Strategy::Fsdp]))
+            .unwrap();
+        assert!(only_fsdp
+            .candidates
+            .iter()
+            .all(|c| c.strategy == Strategy::Fsdp));
+        assert_eq!(only_fsdp.chosen.strategy, Strategy::Fsdp);
+        // A memory budget below every candidate's footprint is NoFeasible.
+        let err = planner
+            .plan_for_survivors(&tiny_dims(), 5, 10, Some(1), None)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            PlanError::NoFeasible {
+                gpus: 5,
+                global_batch: 10
+            }
+        );
+    }
+
+    #[test]
+    fn survivor_replan_shrinks_past_awkward_world_sizes() {
+        // 6 survivors but a global batch of 8: no engine can split 8
+        // samples over 6 (or 5) lockstep data shards with 2 heads, so the
+        // planner leaves survivors idle and lands on 4 ranks.
+        let plan = Planner::default()
+            .plan_for_survivors(&tiny_dims(), 6, 8, None, None)
+            .unwrap();
+        assert_eq!(plan.gpus, 4);
+        assert_eq!(
+            8 % Planner::data_shards(plan.chosen.strategy, &plan.chosen.layout),
+            0
+        );
+    }
+
+    #[test]
+    fn survivor_replan_to_one_rank_is_single_device() {
+        let plan = Planner::default()
+            .plan_for_survivors(&tiny_dims(), 1, 4, None, None)
+            .unwrap();
+        assert_eq!(plan.chosen.strategy, Strategy::SingleDevice);
     }
 
     #[test]

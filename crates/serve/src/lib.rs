@@ -50,5 +50,5 @@ pub mod stats;
 
 pub use queue::{BatchLease, BatchPolicy, Polled, RequestQueue};
 pub use request::{ForecastRequest, ForecastResponse, RequestTiming, ServeError};
-pub use server::{ForecastServer, ServeConfig, ServeOutcome};
+pub use server::{ElasticServeOutcome, ForecastServer, ServeConfig, ServeOutcome};
 pub use stats::ServerStats;

@@ -32,11 +32,11 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
 use orbit_comm::{Cluster, FaultPlan, RankCtx, RankOutcome, SimError, TraceEvent};
-use orbit_core::{build_engine, Engine, EngineSpec};
-use orbit_frontier::TrainOptions;
+use orbit_core::{build_engine, spec_for_plan, Engine, EngineSpec};
+use orbit_frontier::{Planner, Strategy, TrainOptions};
 use orbit_tensor::kernels::AdamW;
 use orbit_tensor::Tensor;
-use orbit_vit::VitConfig;
+use orbit_vit::{Checkpoint, ShardStore, VitConfig};
 
 use crate::queue::{BatchLease, BatchPolicy, Polled, RequestQueue};
 use crate::request::{ForecastRequest, ForecastResponse};
@@ -112,6 +112,46 @@ pub struct ServeOutcome {
     pub survivors: Vec<bool>,
 }
 
+/// Result of an elastic serving run: one or more sessions over the same
+/// queue, reforming the replica group at a planner-chosen smaller world
+/// whenever it loses ranks mid-request.
+pub struct ElasticServeOutcome {
+    /// One response per request, sorted by id (exactly one each).
+    pub responses: Vec<ForecastResponse>,
+    /// Aggregate latency/throughput/rejection statistics across all
+    /// sessions (duplicates must stay 0: reformation never re-answers).
+    pub stats: ServerStats,
+    /// `"{engine}x{world}"` per session, in order — records the
+    /// reformation history (one entry = no reformation was needed).
+    pub groups: Vec<String>,
+    /// Ranks of the initial world still alive after the final session.
+    pub survivors: usize,
+}
+
+/// The strategies with an inference path — what a reformed group may be.
+const SERVABLE: [Strategy; 4] = [
+    Strategy::SingleDevice,
+    Strategy::Ddp,
+    Strategy::Fsdp,
+    Strategy::TensorParallel,
+];
+
+/// Least common multiple of `1..=n`: a virtual global-batch size every
+/// candidate world divides, so serving replans are never shrunk by the
+/// training-side batch-divisibility rule (batches here are formed by the
+/// queue, not split collectively).
+fn lcm_through(n: usize) -> usize {
+    fn gcd(mut a: usize, mut b: usize) -> usize {
+        while b != 0 {
+            let t = a % b;
+            a = b;
+            b = t;
+        }
+        a
+    }
+    (1..=n).fold(1, |acc, k| acc / gcd(acc, k) * k)
+}
+
 /// A serving session factory: owns the simulated cluster (and any fault
 /// plan) and runs sessions against it.
 pub struct ForecastServer {
@@ -155,6 +195,51 @@ impl ForecastServer {
         &self.cluster
     }
 
+    /// Launch one replica-group session (`spec` x `world`) draining
+    /// `queue`, optionally restoring `restored` into every engine first
+    /// (the sharded loaders make this collective-free for FSDP).
+    fn run_group_session(
+        &self,
+        spec: EngineSpec,
+        world: usize,
+        queue: &Arc<RequestQueue>,
+        restored: Option<&Checkpoint>,
+    ) -> Vec<RankOutcome<Vec<TraceEvent>>> {
+        let cfg = self.cfg;
+        // A fresh control log per session: member record indices restart
+        // at 0 with the reformed group.
+        let control = Arc::new(ControlLog::new());
+        let q = queue;
+        let ctl = &control;
+        self.cluster.try_run(world, |ctx| {
+            let mut engine = build_engine(
+                ctx,
+                spec,
+                cfg.model,
+                AdamW::default(),
+                TrainOptions::none(),
+                cfg.seed,
+            )?;
+            if let Some(ck) = restored {
+                engine.restore_checkpoint(ctx, ck)?;
+            }
+            match spec {
+                EngineSpec::Single | EngineSpec::Ddp => {
+                    serve_replica(ctx, engine.as_mut(), q)?;
+                }
+                EngineSpec::TensorParallel | EngineSpec::Fsdp => {
+                    if ctx.rank == 0 {
+                        serve_leader(ctx, engine.as_mut(), q, ctl)?;
+                    } else {
+                        serve_member(ctx, engine.as_mut(), ctl)?;
+                    }
+                }
+                _ => unreachable!("validated in ForecastServer::new"),
+            }
+            Ok(ctx.clock.take_events())
+        })
+    }
+
     /// Run one complete serving session over `requests` and return every
     /// response plus aggregate statistics. Exactly-once: each request id
     /// gets one response even across replica failures and retries.
@@ -170,33 +255,7 @@ impl ForecastServer {
         }
         queue.close();
 
-        let control = Arc::new(ControlLog::new());
-        let q = &queue;
-        let ctl = &control;
-        let outcomes = self.cluster.try_run(cfg.world, |ctx| {
-            let mut engine = build_engine(
-                ctx,
-                cfg.spec,
-                cfg.model,
-                AdamW::default(),
-                TrainOptions::none(),
-                cfg.seed,
-            )?;
-            match cfg.spec {
-                EngineSpec::Single | EngineSpec::Ddp => {
-                    serve_replica(ctx, engine.as_mut(), q)?;
-                }
-                EngineSpec::TensorParallel | EngineSpec::Fsdp => {
-                    if ctx.rank == 0 {
-                        serve_leader(ctx, engine.as_mut(), q, ctl)?;
-                    } else {
-                        serve_member(ctx, engine.as_mut(), ctl)?;
-                    }
-                }
-                _ => unreachable!("validated in ForecastServer::new"),
-            }
-            Ok(ctx.clock.take_events())
-        });
+        let outcomes = self.run_group_session(cfg.spec, cfg.world, &queue, None);
 
         // Anything the (possibly all-dead) replicas left behind fails.
         queue.fail_remaining();
@@ -217,6 +276,92 @@ impl ForecastServer {
             trace,
             survivors,
         }
+    }
+
+    /// Serve `requests` elastically: when the replica group loses ranks
+    /// mid-request, reform it at the planner-chosen layout for the
+    /// surviving world — restoring weights from the latest committed
+    /// generation of `store` when one is given — and keep draining the
+    /// *same* queue. Dropped leases re-queue and the response sink
+    /// deduplicates by id, so delivery stays exactly-once across
+    /// reformations (`stats.duplicates == 0`).
+    ///
+    /// Replicated layouts (`Single`, `Ddp`) self-heal within a session —
+    /// surviving replicas keep draining — so reformation triggers only
+    /// when the session ends with ranks dead *and* requests unanswered
+    /// (a sharded group decapitated mid-collective, or every replica
+    /// gone).
+    pub fn serve_elastic(
+        &self,
+        requests: Vec<ForecastRequest>,
+        store: Option<&ShardStore>,
+    ) -> Result<ElasticServeOutcome, SimError> {
+        let cfg = self.cfg;
+        let submitted = requests.len();
+        let queue = Arc::new(RequestQueue::new(
+            cfg.policy,
+            cfg.queue_capacity,
+            cfg.max_retries,
+        ));
+        for r in requests {
+            queue.submit(r);
+        }
+        queue.close();
+
+        // Weights are loaded once, host-side: every session (including
+        // the first) restores the same committed generation.
+        let restored = match store {
+            Some(s) => s
+                .load_latest()
+                .map_err(|e| SimError::State(format!("checkpoint store: {e}")))?
+                .map(|l| l.checkpoint),
+            None => None,
+        };
+
+        let mut spec = cfg.spec;
+        let mut world = cfg.world;
+        let mut groups: Vec<String> = Vec::new();
+        loop {
+            groups.push(format!("{}x{}", spec.name(), world));
+            let outcomes = self.run_group_session(spec, world, &queue, restored.as_ref());
+            let any_failed = outcomes.iter().any(|o| !o.is_ok());
+            let answered = queue.responses().len();
+            if answered >= submitted || !any_failed {
+                break;
+            }
+            // Cannot lose more ranks than the initial world holds, so a
+            // session count past that means a non-fault failure loop: stop
+            // and fail the stranded requests instead of spinning.
+            if groups.len() > cfg.world {
+                break;
+            }
+            let survivors = self.cluster.survivors(cfg.world);
+            if survivors == 0 {
+                break;
+            }
+            let plan = Planner::new(self.cluster.machine().clone())
+                .plan_for_survivors(
+                    &cfg.model.dims,
+                    survivors,
+                    lcm_through(survivors),
+                    Some(self.cluster.mem_budget()),
+                    Some(&SERVABLE),
+                )
+                .map_err(|e| SimError::State(format!("serve replan failed: {e}")))?;
+            spec = spec_for_plan(&plan.chosen);
+            world = plan.gpus;
+        }
+
+        // Anything no surviving group could answer fails.
+        queue.fail_remaining();
+        let responses = queue.responses();
+        let stats = ServerStats::from_run(&responses, &queue.batch_sizes(), queue.duplicates());
+        Ok(ElasticServeOutcome {
+            responses,
+            stats,
+            groups,
+            survivors: self.cluster.survivors(cfg.world),
+        })
     }
 }
 

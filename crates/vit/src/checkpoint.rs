@@ -242,6 +242,13 @@ impl Checkpoint {
 }
 
 fn fingerprint(cfg: &VitConfig) -> [u64; 5] {
+    config_fingerprint(cfg)
+}
+
+/// Architectural fingerprint of a config: (embed, layers, heads,
+/// channels, patch). Shared by the monolithic and sharded (v3)
+/// checkpoint formats so either can validate against a live config.
+pub fn config_fingerprint(cfg: &VitConfig) -> [u64; 5] {
     [
         cfg.dims.embed as u64,
         cfg.dims.layers as u64,

@@ -29,9 +29,11 @@ pub mod checkpoint;
 pub mod config;
 pub mod loss;
 pub mod model;
+pub mod sharded;
 pub mod tokenizer;
 
 pub use block::{BlockCache, TransformerBlock};
-pub use checkpoint::{Checkpoint, ScalerState};
+pub use checkpoint::{config_fingerprint, Checkpoint, ScalerState};
 pub use config::VitConfig;
 pub use model::{Batch, Forward, VitModel};
+pub use sharded::{LoadedCheckpoint, ShardData, ShardFault, ShardStore};

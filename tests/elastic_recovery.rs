@@ -1,0 +1,358 @@
+//! Elastic-recovery acceptance tests: a world-8 run that loses three
+//! ranks across two failures finishes via planner-chosen smaller
+//! layouts with a post-recovery loss trajectory bit-identical to
+//! uninterrupted runs at each replanned shape; a torn shard write is
+//! never loaded (the store falls back a generation); killing each rank
+//! at each step under every engine family still completes with
+//! step-complete finite losses; and elastic serving reforms sharded
+//! groups from the latest manifest with zero duplicate deliveries.
+
+use orbit::comm::{Cluster, FaultPlan};
+use orbit::core::{
+    build_engine, ElasticTrainer, Engine, EngineSpec, Strategy, TrainOptions,
+};
+use orbit::serve::{BatchPolicy, ForecastRequest, ForecastServer, ServeConfig};
+use orbit::tensor::init::Rng;
+use orbit::tensor::kernels::AdamW;
+use orbit::vit::{Batch, Checkpoint, ShardStore, VitConfig};
+use std::fs;
+use std::sync::Mutex;
+
+fn make_batch(cfg: &VitConfig, n: usize, seed: u64) -> Batch {
+    let mut rng = Rng::seed(seed);
+    Batch {
+        inputs: (0..n)
+            .map(|_| {
+                (0..cfg.dims.channels)
+                    .map(|_| rng.normal_tensor(cfg.dims.img_h, cfg.dims.img_w, 1.0))
+                    .collect()
+            })
+            .collect(),
+        targets: (0..n)
+            .map(|_| {
+                (0..cfg.dims.out_channels)
+                    .map(|_| rng.normal_tensor(cfg.dims.img_h, cfg.dims.img_w, 1.0))
+                    .collect()
+            })
+            .collect(),
+    }
+}
+
+/// `n` requests with normal-random images arriving `gap` seconds apart.
+fn make_requests(cfg: &VitConfig, n: usize, gap: f64, seed: u64) -> Vec<ForecastRequest> {
+    let mut rng = Rng::seed(seed);
+    (0..n)
+        .map(|i| {
+            let images = (0..cfg.dims.channels)
+                .map(|_| rng.normal_tensor(cfg.dims.img_h, cfg.dims.img_w, 1.0))
+                .collect();
+            ForecastRequest::new(i as u64, images, gap * i as f64)
+        })
+        .collect()
+}
+
+fn temp_store(tag: &str) -> ShardStore {
+    let dir = std::env::temp_dir().join(format!(
+        "orbit_elastic_it_{tag}_{}",
+        std::process::id()
+    ));
+    fs::remove_dir_all(&dir).ok();
+    ShardStore::new(dir).unwrap()
+}
+
+/// A store holding committed generations from a short clean FSDP run —
+/// the "latest manifest" elastic serving restores weights from.
+fn trained_store(tag: &str) -> ShardStore {
+    let cfg = VitConfig::test_tiny();
+    let trainer = ElasticTrainer::new(Cluster::frontier(), temp_store(tag))
+        .with_checkpoint_every(1)
+        .with_allowed_strategies(&[Strategy::Fsdp]);
+    let report = trainer
+        .train(
+            4,
+            cfg,
+            AdamW::default(),
+            TrainOptions::none(),
+            42,
+            2,
+            |step| make_batch(&cfg, 8, 100 + step),
+        )
+        .unwrap();
+    assert_eq!(report.restarts, 0);
+    trainer.store().clone()
+}
+
+/// The launch's reference trajectory: an *uninterrupted* run at the same
+/// spec/world/options, restored from the same committed generation,
+/// trained on the same per-step batches.
+fn reference_losses(
+    spec: EngineSpec,
+    world: usize,
+    opts: TrainOptions,
+    ck: &Checkpoint,
+    start: u64,
+    end: u64,
+    cfg: &VitConfig,
+    global_batch: usize,
+) -> Vec<f32> {
+    let stream: Mutex<Vec<f32>> = Mutex::new(Vec::new());
+    let outcomes = Cluster::frontier().try_run(world, |ctx| {
+        let mut engine = build_engine(ctx, spec, *cfg, AdamW::default(), opts, 42)?;
+        engine.restore_checkpoint(ctx, ck)?;
+        for step in start..end {
+            ctx.begin_step(step)?;
+            let stats = engine.train_step(ctx, &make_batch(cfg, global_batch, 100 + step))?;
+            if ctx.rank == 0 {
+                stream.lock().unwrap().push(stats.loss);
+            }
+        }
+        Ok(())
+    });
+    assert!(
+        outcomes.iter().all(|o| o.is_ok()),
+        "reference run must not fail"
+    );
+    stream.into_inner().unwrap()
+}
+
+/// The headline acceptance test: world 8 loses rank 7 at step 2, then
+/// ranks 2 and 3 of the relaunched group at step 4 — three ranks across
+/// two failures. Training must finish through planner-chosen smaller
+/// layouts, and every post-recovery loss must be bit-identical to an
+/// uninterrupted run launched at the same replanned shape from the same
+/// committed generation.
+#[test]
+fn world8_loses_three_ranks_and_recovers_bit_identically() {
+    let cfg = VitConfig::test_tiny();
+    let steps = 8u64;
+    let store = temp_store("accept");
+    let dir = store.dir().to_path_buf();
+    let plan = FaultPlan::new().kill(7, 2).kill(2, 4).kill(3, 4);
+    let cluster = Cluster::frontier().with_fault_plan(plan);
+    let trainer = ElasticTrainer::new(cluster, store).with_checkpoint_every(2);
+    let report = trainer
+        .train(
+            8,
+            cfg,
+            AdamW::default(),
+            TrainOptions::none(),
+            42,
+            steps,
+            |step| make_batch(&cfg, 8, 100 + step),
+        )
+        .unwrap();
+
+    assert_eq!(report.restarts, 2);
+    assert_eq!(report.launches.len(), 3);
+    assert_eq!(report.losses.len(), steps as usize);
+    assert!(report.losses.iter().all(|l| l.is_finite()));
+    assert_eq!(trainer.cluster().failure_ledger().dead(), 3);
+
+    // Every relaunch shrank below the initial world (8 % survivors != 0
+    // forces the planner past the raw survivor counts 7 and 5).
+    assert_eq!(report.launches[0].world, 8);
+    for launch in &report.launches[1..] {
+        assert!(launch.world < 8, "relaunch must shrink: {launch:?}");
+    }
+
+    for (i, launch) in report.launches.iter().enumerate().skip(1) {
+        let generation = launch
+            .restored_generation
+            .expect("every relaunch restores a committed generation");
+        let loaded = trainer.store().load_generation(generation).unwrap();
+        assert_eq!(loaded.step, launch.start_step);
+        let end = report
+            .launches
+            .get(i + 1)
+            .map(|l| l.start_step)
+            .unwrap_or(steps);
+        let reference = reference_losses(
+            launch.spec,
+            launch.world,
+            launch.opts,
+            &loaded.checkpoint,
+            launch.start_step,
+            end,
+            &cfg,
+            8,
+        );
+        let got: Vec<u32> = report.losses[launch.start_step as usize..end as usize]
+            .iter()
+            .map(|l| l.to_bits())
+            .collect();
+        let want: Vec<u32> = reference.iter().map(|l| l.to_bits()).collect();
+        assert_eq!(
+            got, want,
+            "launch {i} ({:?} x{}) must match its uninterrupted reference bit-for-bit",
+            launch.spec, launch.world
+        );
+    }
+    fs::remove_dir_all(dir).ok();
+}
+
+/// A torn write injected during capture leaves the newest manifest
+/// pointing at a truncated shard. The loader must refuse that
+/// generation outright and the relaunch must resume from the previous
+/// committed one — a corrupt shard is never loaded.
+#[test]
+fn torn_write_generation_is_never_loaded() {
+    let cfg = VitConfig::test_tiny();
+    let store = temp_store("torn");
+    let dir = store.dir().to_path_buf();
+    // Rank 0's storage fault arms at step 3, so generation 4 (captured
+    // after step 3) is torn; the kill at step 4 then forces a relaunch.
+    let plan = FaultPlan::new().torn_write(0, 3).kill(1, 4);
+    let cluster = Cluster::frontier().with_fault_plan(plan);
+    let trainer = ElasticTrainer::new(cluster, store).with_checkpoint_every(1);
+    let report = trainer
+        .train(
+            4,
+            cfg,
+            AdamW::default(),
+            TrainOptions::none(),
+            42,
+            6,
+            |step| make_batch(&cfg, 8, 100 + step),
+        )
+        .unwrap();
+    assert_eq!(report.restarts, 1);
+    assert_eq!(report.losses.len(), 6);
+    assert!(report.losses.iter().all(|l| l.is_finite()));
+    // The relaunch skipped torn generation 4 and resumed from 3.
+    assert_eq!(report.launches[1].restored_generation, Some(3));
+    assert_eq!(report.launches[1].start_step, 3);
+    // Loading the torn generation directly must error, not return junk.
+    assert!(trainer.store().load_generation(4).is_err());
+    fs::remove_dir_all(dir).ok();
+}
+
+/// The sweep satellite, training half: world 8, one engine family per
+/// sweep, killing each rank at each of two steps. Every combination must
+/// recover elastically with a step-complete, finite loss trajectory.
+#[test]
+fn kill_sweep_every_rank_every_family_recovers() {
+    let cfg = VitConfig::test_tiny();
+    let steps = 4u64;
+    for family in [Strategy::Ddp, Strategy::Fsdp, Strategy::HybridStop] {
+        for rank in 0..8usize {
+            for kill_step in [1u64, 3] {
+                let store = temp_store(&format!("sweep_{family:?}_{rank}_{kill_step}"));
+                let dir = store.dir().to_path_buf();
+                let cluster = Cluster::frontier()
+                    .with_fault_plan(FaultPlan::new().kill(rank, kill_step));
+                let trainer = ElasticTrainer::new(cluster, store)
+                    .with_checkpoint_every(1)
+                    .with_allowed_strategies(&[family]);
+                let report = trainer
+                    .train(
+                        8,
+                        cfg,
+                        AdamW::default(),
+                        TrainOptions::none(),
+                        42,
+                        steps,
+                        |step| make_batch(&cfg, 8, 100 + step),
+                    )
+                    .unwrap_or_else(|e| {
+                        panic!("{family:?} kill({rank},{kill_step}): {e}")
+                    });
+                assert_eq!(
+                    report.restarts, 1,
+                    "{family:?} kill({rank},{kill_step}) must restart exactly once"
+                );
+                assert_eq!(
+                    report.losses.len(),
+                    steps as usize,
+                    "{family:?} kill({rank},{kill_step}) must be step-complete"
+                );
+                assert!(
+                    report.losses.iter().all(|l| l.is_finite()),
+                    "{family:?} kill({rank},{kill_step}) produced a non-finite loss"
+                );
+                // One rank died, and 8 % 7 != 0, so every family lands on
+                // a strictly smaller planner-chosen world.
+                assert!(report.launches[1].world < 8);
+                fs::remove_dir_all(dir).ok();
+            }
+        }
+    }
+}
+
+/// The sweep satellite, serving half: on every served layout, kill each
+/// rank on its first batch and serve elastically from a trained
+/// manifest. Every request must get exactly one response — completed or
+/// typed-failed — with zero duplicate deliveries.
+#[test]
+fn serve_kill_sweep_has_zero_duplicates() {
+    let cfg = VitConfig::test_tiny();
+    let store = trained_store("serve_sweep");
+    let dir = store.dir().to_path_buf();
+    // All requests pending at t=0 so every replica's first poll yields a
+    // batch — the kill at batch 0 then fires on every layout.
+    let n = 8;
+    for (spec, world) in [
+        (EngineSpec::Ddp, 4),
+        (EngineSpec::TensorParallel, 2),
+        (EngineSpec::Fsdp, 4),
+    ] {
+        for rank in 0..world {
+            let server = ForecastServer::new(
+                ServeConfig::new(spec, world, cfg).with_policy(BatchPolicy::immediate()),
+            )
+            .with_fault_plan(FaultPlan::new().kill(rank, 0));
+            let outcome = server
+                .serve_elastic(make_requests(&cfg, n, 0.0, 11), Some(&store))
+                .unwrap_or_else(|e| panic!("{spec:?}x{world} kill({rank}): {e}"));
+            assert_eq!(
+                outcome.stats.duplicates, 0,
+                "{spec:?}x{world} kill({rank}): duplicate delivery"
+            );
+            assert_eq!(
+                outcome.responses.len(),
+                n,
+                "{spec:?}x{world} kill({rank}): every id answered exactly once"
+            );
+            assert_eq!(
+                outcome.stats.completed + outcome.stats.failed,
+                n,
+                "{spec:?}x{world} kill({rank}): requests neither served nor failed"
+            );
+            assert_eq!(outcome.survivors, world - 1);
+        }
+    }
+    fs::remove_dir_all(dir).ok();
+}
+
+/// Elastic serving's reformation path end to end: an FSDP x4 group loses
+/// a member mid-request, reforms at the planner-chosen smaller world
+/// restoring the same trained manifest, and drains the queue — all
+/// requests completed, exactly once.
+#[test]
+fn sharded_group_reforms_from_manifest_and_drains() {
+    let cfg = VitConfig::test_tiny();
+    let store = trained_store("reform");
+    let dir = store.dir().to_path_buf();
+    let n = 8;
+    let server = ForecastServer::new(
+        ServeConfig::new(EngineSpec::Fsdp, 4, cfg).with_policy(BatchPolicy::immediate()),
+    )
+    .with_fault_plan(FaultPlan::new().kill(1, 1));
+    let outcome = server
+        .serve_elastic(make_requests(&cfg, n, 0.05, 7), Some(&store))
+        .unwrap();
+    assert_eq!(outcome.groups[0], "fsdpx4");
+    assert!(
+        outcome.groups.len() >= 2,
+        "losing a shard member must reform the group: {:?}",
+        outcome.groups
+    );
+    // The reformed group runs at a strictly smaller world.
+    for g in &outcome.groups[1..] {
+        let world: usize = g.rsplit('x').next().unwrap().parse().unwrap();
+        assert!(world < 4, "reformed group must shrink: {:?}", outcome.groups);
+    }
+    assert_eq!(outcome.survivors, 3);
+    assert_eq!(outcome.stats.completed, n);
+    assert_eq!(outcome.stats.duplicates, 0);
+    fs::remove_dir_all(dir).ok();
+}
