@@ -6,8 +6,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use orbit_tensor::init::Rng;
-use orbit_tensor::kernels::{gelu, layernorm, linear, mha_forward, softmax_rows};
-use orbit_tensor::{matmul_p, Precision, Tensor};
+use orbit_tensor::kernels::{gelu, layernorm, linear, mha_forward, mha_forward_path, softmax_rows};
+use orbit_tensor::{matmul_p, AttnPath, Precision, Tensor, Workspace};
 
 fn bench_matmul(c: &mut Criterion) {
     let mut group = c.benchmark_group("matmul");
@@ -50,9 +50,39 @@ fn bench_layer_kernels(c: &mut Criterion) {
     });
 }
 
+fn bench_attention_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("attention_path");
+    let ws = Workspace::new();
+    for &tokens in &[256usize, 512] {
+        let d = 512;
+        let mut rng = Rng::seed(3);
+        let q = rng.normal_tensor(tokens, d, 1.0);
+        let k = rng.normal_tensor(tokens, d, 1.0);
+        let v = rng.normal_tensor(tokens, d, 1.0);
+        group.bench_with_input(BenchmarkId::new("reference", tokens), &tokens, |b, _| {
+            b.iter(|| {
+                mha_forward_path(
+                    &q,
+                    &k,
+                    &v,
+                    8,
+                    None,
+                    Precision::F32,
+                    AttnPath::Reference,
+                    &ws,
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("fused", tokens), &tokens, |b, _| {
+            b.iter(|| mha_forward_path(&q, &k, &v, 8, None, Precision::F32, AttnPath::Fused, &ws))
+        });
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_matmul, bench_layer_kernels
+    targets = bench_matmul, bench_layer_kernels, bench_attention_paths
 }
 criterion_main!(benches);

@@ -20,7 +20,7 @@
 
 use orbit_bench::report::{print_table, write_json};
 use orbit_comm::{Cluster, FaultPlan};
-use orbit_core::{build_engine, ElasticTrainer, Engine, EngineSpec, TrainOptions};
+use orbit_core::{build_engine, ElasticTrainer, EngineSpec, TrainOptions};
 use orbit_tensor::init::Rng;
 use orbit_tensor::kernels::AdamW;
 use orbit_vit::{Batch, Checkpoint, ShardData, ShardStore, VitConfig};
@@ -48,10 +48,8 @@ fn make_batch(cfg: &VitConfig, n: usize, seed: u64) -> Batch {
 }
 
 fn temp_store(tag: &str) -> ShardStore {
-    let dir = std::env::temp_dir().join(format!(
-        "orbit_elastic_bench_{tag}_{}",
-        std::process::id()
-    ));
+    let dir =
+        std::env::temp_dir().join(format!("orbit_elastic_bench_{tag}_{}", std::process::id()));
     std::fs::remove_dir_all(&dir).ok();
     ShardStore::new(dir).expect("create shard store")
 }
@@ -87,11 +85,20 @@ fn bits(v: &[f32]) -> Vec<u32> {
 /// Write `ck` as a `count`-shard generation, commit, and reload through
 /// full validation. Returns (payload bytes, write seconds, read
 /// seconds) and panics unless the reload is bit-identical.
-fn roundtrip(store: &ShardStore, ck: &Checkpoint, generation: u64, count: usize) -> (usize, f64, f64) {
+fn roundtrip(
+    store: &ShardStore,
+    ck: &Checkpoint,
+    generation: u64,
+    count: usize,
+) -> (usize, f64, f64) {
     let t0 = Instant::now();
     for index in 0..count {
         store
-            .write_shard(generation, &ShardData::from_checkpoint(ck, index, count), None)
+            .write_shard(
+                generation,
+                &ShardData::from_checkpoint(ck, index, count),
+                None,
+            )
             .expect("write shard");
     }
     let committed = store

@@ -119,10 +119,7 @@ fn main() {
         }
 
         let chosen_sim = simulated[0].expect("chosen plan is always simulated");
-        let worst_sim = simulated
-            .iter()
-            .flatten()
-            .fold(0.0f64, |a, &b| a.max(b));
+        let worst_sim = simulated.iter().flatten().fold(0.0f64, |a, &b| a.max(b));
         let margin = worst_sim / chosen_sim;
 
         let mut rows = Vec::new();
@@ -155,7 +152,15 @@ fn main() {
         }
         print_table(
             &format!("{name}: planner ranking vs simulation ({GPUS} GPUs, batch {GLOBAL_BATCH})"),
-            &["strategy", "layout", "wrap", "pf", "predicted", "simulated", ""],
+            &[
+                "strategy",
+                "layout",
+                "wrap",
+                "pf",
+                "predicted",
+                "simulated",
+                "",
+            ],
             &rows,
         );
         println!(

@@ -336,7 +336,10 @@ impl Cluster {
     /// Snapshot of the cumulative hardware-death ledger (see
     /// [`FailureLedger`]). Updated after every launch.
     pub fn failure_ledger(&self) -> FailureLedger {
-        self.ledger.lock().unwrap_or_else(|e| e.into_inner()).clone()
+        self.ledger
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
     }
 
     /// Ranks still available out of an initial allocation of
@@ -765,8 +768,8 @@ mod tests {
     #[test]
     fn begin_step_arms_storage_fault_once() {
         use crate::fault::StorageFault;
-        let cluster =
-            Cluster::frontier().with_fault_plan(FaultPlan::new().torn_write(0, 1).corrupt_shard(1, 0));
+        let cluster = Cluster::frontier()
+            .with_fault_plan(FaultPlan::new().torn_write(0, 1).corrupt_shard(1, 0));
         let results = cluster.run(2, |ctx| {
             let mut seen = Vec::new();
             for step in 0..3u64 {

@@ -151,9 +151,7 @@ impl ElasticTrainer {
     ) -> Result<(EngineSpec, usize, TrainOptions), SimError> {
         let survivors = self.cluster.survivors(initial_world);
         if survivors == 0 {
-            return Err(SimError::State(
-                "no surviving ranks to relaunch on".into(),
-            ));
+            return Err(SimError::State("no surviving ranks to relaunch on".into()));
         }
         let planner = Planner::new(self.cluster.machine().clone());
         let plan = planner
@@ -176,6 +174,7 @@ impl ElasticTrainer {
     /// the original attempt. The caller's `opts` contribute the precision
     /// choice; the planner contributes `layer_wrapping`/`prefetch` per
     /// launch (they are layout decisions, not training semantics).
+    #[allow(clippy::too_many_arguments)]
     pub fn train<F>(
         &self,
         initial_world: usize,
@@ -341,10 +340,7 @@ mod tests {
     }
 
     fn temp_store(tag: &str) -> ShardStore {
-        let dir = std::env::temp_dir().join(format!(
-            "orbit_elastic_{tag}_{}",
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir().join(format!("orbit_elastic_{tag}_{}", std::process::id()));
         fs::remove_dir_all(&dir).ok();
         ShardStore::new(dir).unwrap()
     }

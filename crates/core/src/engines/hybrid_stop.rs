@@ -764,7 +764,7 @@ mod tests {
                 layer_wrapping: wrap,
                 activation_checkpointing: ckpt,
                 prefetch: wrap,
-                mixed_precision: false,
+                ..TrainOptions::none()
             };
             let results = Cluster::frontier().run(4, |ctx| {
                 let mut e =

@@ -147,7 +147,7 @@ fn validate_spec(spec: &EngineSpec, world: usize, cfg: &VitConfig) -> Result<(),
     match spec {
         EngineSpec::Single | EngineSpec::Ddp | EngineSpec::Fsdp => Ok(()),
         EngineSpec::TensorParallel => {
-            if cfg.dims.heads % world != 0 {
+            if !cfg.dims.heads.is_multiple_of(world) {
                 return Err(SimError::State(format!(
                     "tensor_parallel needs the head count to divide over the world: \
                      {} heads cannot split across {world} ranks",
@@ -177,7 +177,7 @@ fn validate_spec(spec: &EngineSpec, world: usize, cfg: &VitConfig) -> Result<(),
                     layout.world()
                 )));
             }
-            if cfg.dims.heads % layout.tp != 0 {
+            if !cfg.dims.heads.is_multiple_of(layout.tp) {
                 return Err(SimError::State(format!(
                     "hybrid_stop tensor-parallel degree {} does not divide the \
                      {} attention heads",

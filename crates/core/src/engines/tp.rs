@@ -10,8 +10,8 @@ use crate::dcomm::{comm_err, GroupComm};
 use crate::stats::StepStats;
 use crate::tp_block::TpBlock;
 use orbit_comm::{Allocation, CommError, ProcessGroup, RankCtx, SimClock, SimError};
-use orbit_tensor::dtensor::{DTensor, Layout};
 use orbit_frontier::TrainOptions;
+use orbit_tensor::dtensor::{DTensor, Layout};
 use orbit_tensor::kernels::{AdamState, AdamW};
 use orbit_tensor::Tensor;
 use orbit_vit::block::Param;

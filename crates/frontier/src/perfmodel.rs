@@ -51,6 +51,11 @@ pub struct TrainOptions {
     pub prefetch: bool,
     /// Recompute activations in the backward pass instead of storing them.
     pub activation_checkpointing: bool,
+    /// Stream attention through fixed key/value tiles (the fused
+    /// online-softmax kernel) instead of materializing the full
+    /// `heads x T x T` score matrix. Turns the attention activation term
+    /// from quadratic to linear in sequence length.
+    pub fused_attention: bool,
 }
 
 impl TrainOptions {
@@ -61,6 +66,7 @@ impl TrainOptions {
             mixed_precision: true,
             prefetch: true,
             activation_checkpointing: true,
+            fused_attention: true,
         }
     }
 
@@ -71,9 +77,14 @@ impl TrainOptions {
             mixed_precision: false,
             prefetch: false,
             activation_checkpointing: false,
+            fused_attention: false,
         }
     }
 }
+
+/// KV-tile rows held live by the fused attention kernel — mirrors
+/// `KV_TILE` in `orbit-tensor`'s streaming kernel.
+const ATTN_KV_TILE: f64 = 64.0;
 
 /// Calibration constants: the handful of empirical knobs the first-principles
 /// formulas need. Defaults are tuned so the modeled Table I column and the
@@ -309,7 +320,25 @@ impl PerfModel {
         } else {
             0.0
         };
-        (per_layer * l + tokenizer + live) as u64
+        // Attention score state. The naive kernel materializes a
+        // `heads x T x T` probability matrix per sample for the backward;
+        // the fused streaming kernel keeps only one KV tile of scores plus
+        // a logsumexp per row, in f32 regardless of compute precision.
+        // Heads are what tensor parallelism shards, so the term divides by
+        // `tp_shard` either way. Stored for every layer without
+        // checkpointing, and for the single live (recompute) layer with it.
+        let heads = dims.heads as f64 / tp_shard;
+        let attn_per_layer = if opts.fused_attention {
+            b * heads * t * (ATTN_KV_TILE + 1.0) * 4.0
+        } else {
+            b * heads * t * t * cb
+        };
+        let attn_layers = if opts.activation_checkpointing {
+            1.0
+        } else {
+            l
+        };
+        (per_layer * l + tokenizer + live + attn_per_layer * attn_layers) as u64
     }
 
     /// True if the configuration fits in GPU memory.
@@ -776,6 +805,35 @@ mod tests {
             &TrainOptions::all_on(),
             2
         ));
+    }
+
+    #[test]
+    fn fused_attention_unlocks_long_sequences() {
+        // ORBIT-2-style downscaling: shrinking the patch edge to 1 px
+        // explodes the token count to 128*256 = 32768. The naive kernel's
+        // heads x T x T probability matrix then dwarfs GPU memory even with
+        // checkpointing (one live layer), while the fused kernel's
+        // O(T * tile) state is negligible — `fits` must flip on the same
+        // config when the attention plan changes.
+        let m = model();
+        let mut dims = ModelDims::paper(2048, 8, 32, 48);
+        dims.patch = 1;
+        let layout = ParallelLayout::new(1, 8, 1);
+        let fused = TrainOptions::all_on();
+        let naive = TrainOptions {
+            fused_attention: false,
+            ..TrainOptions::all_on()
+        };
+        let mem_naive = m.memory(&dims, &layout, Strategy::Fsdp, &naive, 2);
+        let mem_fused = m.memory(&dims, &layout, Strategy::Fsdp, &fused, 2);
+        assert!(
+            mem_naive.activations > 8 * mem_fused.activations,
+            "naive {} !>> fused {}",
+            mem_naive.activations,
+            mem_fused.activations
+        );
+        assert!(!m.fits(&dims, &layout, Strategy::Fsdp, &naive, 2));
+        assert!(m.fits(&dims, &layout, Strategy::Fsdp, &fused, 2));
     }
 
     #[test]

@@ -119,21 +119,30 @@ impl Planner {
             Strategy::HybridStop => layout.fsdp > 1,
             _ => false,
         };
+        // Every engine routes attention through the fused streaming kernel
+        // (`AttnPath::Auto` in orbit-tensor), so all candidates are modeled
+        // with the linear attention memory term rather than the quadratic
+        // naive one — without this, long-sequence configs that actually run
+        // fine would be rejected on modeled memory.
+        let base = TrainOptions {
+            fused_attention: true,
+            ..TrainOptions::none()
+        };
         if has_fsdp_axis {
             vec![
-                TrainOptions::none(),
+                base,
                 TrainOptions {
                     layer_wrapping: true,
-                    ..TrainOptions::none()
+                    ..base
                 },
                 TrainOptions {
                     layer_wrapping: true,
                     prefetch: true,
-                    ..TrainOptions::none()
+                    ..base
                 },
             ]
         } else {
-            vec![TrainOptions::none()]
+            vec![base]
         }
     }
 
@@ -152,18 +161,18 @@ impl Planner {
             out.push((Strategy::SingleDevice, ParallelLayout::new(1, 1, 1)));
             return out;
         }
-        if global_batch % gpus == 0 {
+        if global_batch.is_multiple_of(gpus) {
             out.push((Strategy::Ddp, ParallelLayout::new(1, 1, gpus)));
         }
         out.push((Strategy::Fsdp, ParallelLayout::new(1, gpus, 1)));
-        if dims.heads % gpus == 0 {
+        if dims.heads.is_multiple_of(gpus) {
             out.push((Strategy::TensorParallel, ParallelLayout::new(gpus, 1, 1)));
         }
-        for tp in (1..=gpus).filter(|t| gpus % t == 0 && dims.heads % t == 0) {
+        for tp in (1..=gpus).filter(|t| gpus.is_multiple_of(*t) && dims.heads.is_multiple_of(*t)) {
             let rest = gpus / tp;
-            for fsdp in (1..=rest).filter(|f| rest % f == 0) {
+            for fsdp in (1..=rest).filter(|f| rest.is_multiple_of(*f)) {
                 let ddp = rest / fsdp;
-                if global_batch % ddp != 0 {
+                if !global_batch.is_multiple_of(ddp) {
                     continue;
                 }
                 out.push((Strategy::HybridStop, ParallelLayout::new(tp, fsdp, ddp)));
@@ -187,9 +196,9 @@ impl Planner {
                 if !self.model.fits(dims, &layout, strategy, &opts, local_batch) {
                     continue;
                 }
-                let predicted = self
-                    .model
-                    .epoch_relative_time(dims, &layout, strategy, &opts, global_batch);
+                let predicted =
+                    self.model
+                        .epoch_relative_time(dims, &layout, strategy, &opts, global_batch);
                 let predicted_mem = self
                     .model
                     .memory(dims, &layout, strategy, &opts, local_batch)
@@ -261,9 +270,9 @@ impl Planner {
                 continue;
             };
             plan.candidates.retain(|c| {
-                global_batch % Self::data_shards(c.strategy, &c.layout) == 0
-                    && mem_budget.map_or(true, |b| c.predicted_mem <= b)
-                    && allowed.map_or(true, |a| a.contains(&c.strategy))
+                global_batch.is_multiple_of(Self::data_shards(c.strategy, &c.layout))
+                    && mem_budget.is_none_or(|b| c.predicted_mem <= b)
+                    && allowed.is_none_or(|a| a.contains(&c.strategy))
             });
             if let Some(chosen) = plan.candidates.first().cloned() {
                 plan.chosen = chosen;

@@ -177,7 +177,7 @@ pub fn shard_columns(a: &Tensor, shards: usize, k: usize) -> Result<Tensor, Layo
     if k >= shards {
         return Err(LayoutError::ShardIndex { index: k, shards });
     }
-    if a.cols() % shards != 0 {
+    if !a.cols().is_multiple_of(shards) {
         return Err(LayoutError::UnevenSplit {
             extent: a.cols(),
             shards,
@@ -194,7 +194,7 @@ pub fn shard_rows(a: &Tensor, shards: usize, k: usize) -> Result<Tensor, LayoutE
     if k >= shards {
         return Err(LayoutError::ShardIndex { index: k, shards });
     }
-    if a.rows() % shards != 0 {
+    if !a.rows().is_multiple_of(shards) {
         return Err(LayoutError::UnevenSplit {
             extent: a.rows(),
             shards,
@@ -478,7 +478,7 @@ impl DTensor {
         let expected = match layout {
             Layout::Replicate | Layout::Partial => (global_rows, global_cols),
             Layout::Shard(0) => {
-                if global_rows % n != 0 {
+                if !global_rows.is_multiple_of(n) {
                     return Err(LayoutError::UnevenSplit {
                         extent: global_rows,
                         shards: n,
@@ -488,7 +488,7 @@ impl DTensor {
                 (global_rows / n, global_cols)
             }
             Layout::Shard(1) => {
-                if global_cols % n != 0 {
+                if !global_cols.is_multiple_of(n) {
                     return Err(LayoutError::UnevenSplit {
                         extent: global_cols,
                         shards: n,
@@ -972,12 +972,9 @@ mod tests {
         let t = global_4x4();
         for from in [Layout::Shard(0), Layout::Shard(1), Layout::ShardFlat] {
             let shards: Vec<DTensor> = (0..2)
-                .map(|k| {
-                    DTensor::from_global(&t, DeviceMesh::one("x", 2, k), "x", from).unwrap()
-                })
+                .map(|k| DTensor::from_global(&t, DeviceMesh::one("x", 2, k), "x", from).unwrap())
                 .collect();
-            let contrib: Vec<Vec<f32>> =
-                shards.iter().map(|s| s.local().data().to_vec()).collect();
+            let contrib: Vec<Vec<f32>> = shards.iter().map(|s| s.local().data().to_vec()).collect();
             for (k, s) in shards.iter().enumerate() {
                 let mut comm = FakeComm {
                     n: 2,
@@ -1004,8 +1001,8 @@ mod tests {
         // Rank r holds addend full of (r+1); the logical tensor is the sum.
         let addends: Vec<Tensor> = (0..2).map(|r| Tensor::full(2, 3, (r + 1) as f32)).collect();
         let contrib: Vec<Vec<f32>> = addends.iter().map(|t| t.data().to_vec()).collect();
-        for k in 0..2 {
-            let p = DTensor::partial(addends[k].clone(), DeviceMesh::one("x", 2, k), "x").unwrap();
+        for (k, addend) in addends.iter().enumerate() {
+            let p = DTensor::partial(addend.clone(), DeviceMesh::one("x", 2, k), "x").unwrap();
             let mut comm = FakeComm {
                 n: 2,
                 me: k,
@@ -1136,7 +1133,9 @@ mod tests {
             contrib: vec![t.data().to_vec()],
         };
         assert_eq!(
-            p.reshard("x", Layout::Replicate, &mut comm).unwrap().local(),
+            p.reshard("x", Layout::Replicate, &mut comm)
+                .unwrap()
+                .local(),
             &t
         );
     }

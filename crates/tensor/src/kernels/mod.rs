@@ -14,7 +14,10 @@ pub mod norm;
 pub mod optimizer;
 
 pub use activation::{gelu, gelu_backward, softmax_rows, softmax_rows_backward};
-pub use attention::{mha_backward, mha_forward, MhaCache, MhaGrads};
+pub use attention::{
+    mha_backward, mha_backward_ws, mha_forward, mha_forward_path, mha_forward_ws, AttnPath,
+    MhaCache, MhaGrads, QkNorm,
+};
 pub use embed::{fold_patches, unfold_patches};
 pub use linear::{linear, linear_backward, LinearGrads};
 pub use norm::{layernorm, layernorm_backward, LayerNormCache, LayerNormGrads};

@@ -17,6 +17,13 @@ pub struct LayerNormCache {
     pub rstd: Vec<f32>,
 }
 
+impl LayerNormCache {
+    /// Number of f32 values this cache keeps resident for the backward.
+    pub fn resident_floats(&self) -> usize {
+        self.xhat.len() + self.rstd.len()
+    }
+}
+
 /// Gradients produced by [`layernorm_backward`].
 #[derive(Debug, Clone)]
 pub struct LayerNormGrads {

@@ -21,6 +21,8 @@
 //! - [`kernels`]: layer forward/backward pairs (linear, layernorm, GeLU,
 //!   softmax, attention, patch embedding, cross-attention aggregation).
 //! - [`init`]: deterministic parameter initialization.
+//! - [`workspace`]: a pooled scratch arena ([`Workspace`]) threaded through
+//!   the hot kernels so steady-state training steps allocate nothing.
 //! - [`dtensor`]: layout-aware distributed tensors — a [`dtensor::DTensor`]
 //!   carries a [`dtensor::Layout`] per axis of a named [`dtensor::DeviceMesh`],
 //!   and [`dtensor::DTensor::reshard`] lowers layout transitions onto the
@@ -32,8 +34,11 @@ pub mod init;
 pub mod kernels;
 pub mod matmul;
 pub mod tensor;
+pub mod workspace;
 
 pub use bf16::{bf16_to_f32, f32_to_bf16, round_bf16, Precision};
 pub use dtensor::{Collectives, DTensor, DeviceMesh, Layout, LayoutError, ReshardError};
+pub use kernels::attention::AttnPath;
 pub use matmul::{matmul, matmul_nt, matmul_p, matmul_tn};
 pub use tensor::Tensor;
+pub use workspace::Workspace;

@@ -1,17 +1,51 @@
-//! Blocked, rayon-parallel GEMM.
+//! Blocked, packed, rayon-parallel GEMM.
 //!
 //! Each simulated GPU executes its shard's matmuls through these kernels.
-//! The loop order is `i-k-j` (output-row outer, reduction middle, output-col
-//! inner) so the innermost loop streams both `B`'s row and `C`'s row — the
-//! cache-friendly order for row-major data — and the output rows are
-//! distributed over the rayon pool.
+//! Two code paths share every kernel:
+//!
+//! - a **legacy** `i-k-j` loop (output-row outer, reduction middle, output-col
+//!   inner) for small problems, where the innermost loop streams both `B`'s
+//!   row and `C`'s row — the cache-friendly order for row-major data;
+//! - a **packed** path for large problems that first copies `B` into
+//!   contiguous `KC x NC` panels (GEBP-style), then drives a 4x-unrolled
+//!   inner kernel over `MC`-row chunks of `A`/`C` distributed across the
+//!   rayon pool.
+//!
+//! Determinism is sacred here: for every output element the packed path
+//! performs *exactly* the same additions in *exactly* the same (ascending
+//! `k`) order as the legacy path, including the `a == 0.0` skip, so the two
+//! paths are bit-identical and path selection can depend on shape without
+//! perturbing any engine-equivalence test. Parallel dispatch is **work-based**
+//! (`m*k*n` mul-adds) rather than row-based, so tall-skinny and short-wide
+//! shapes both dispatch sensibly.
 
 use crate::bf16::{round_bf16, Precision};
 use crate::tensor::Tensor;
+use crate::workspace::Workspace;
 use rayon::prelude::*;
 
-/// Rows below which the parallel dispatch overhead exceeds the win.
-const PAR_THRESHOLD: usize = 8;
+/// Mul-adds above which parallel dispatch overhead pays for itself.
+const PAR_MIN_WORK: usize = 1 << 15;
+/// Mul-adds above which panel-packing `B` pays for itself.
+const PACK_MIN_WORK: usize = 1 << 17;
+/// Minimum output rows for the packed path (packing amortizes across rows).
+const PACK_MIN_ROWS: usize = 8;
+/// Output-row chunk per rayon task in the packed path.
+const MC: usize = 64;
+/// Reduction-dimension panel height.
+const KC: usize = 128;
+/// Output-column panel width.
+const NC: usize = 256;
+
+#[inline]
+fn use_parallel(m: usize, k: usize, n: usize) -> bool {
+    m >= 2 && m.saturating_mul(k).saturating_mul(n) >= PAR_MIN_WORK
+}
+
+#[inline]
+fn use_packed(m: usize, k: usize, n: usize) -> bool {
+    m >= PACK_MIN_ROWS && m.saturating_mul(k).saturating_mul(n) >= PACK_MIN_WORK
+}
 
 /// `C = A * B` where `A` is `m x k` and `B` is `k x n`.
 pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
@@ -22,15 +56,32 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
 ///
 /// In [`Precision::BF16Mixed`], every input element is rounded through
 /// bfloat16 before use while the accumulator stays f32 — matching the
-/// MI250X BF16 MFMA pipeline the paper runs on.
+/// MI250X BF16 MFMA pipeline the paper runs on. The packed path rounds `B`
+/// once at pack time (rounding is idempotent, so this is bit-identical to
+/// rounding at every use).
 pub fn matmul_p(a: &Tensor, b: &Tensor, prec: Precision) -> Tensor {
     let (m, k) = a.shape();
     let (k2, n) = b.shape();
     assert_eq!(k, k2, "matmul inner dim mismatch: {k} vs {k2}");
     let mut c = Tensor::zeros(m, n);
-    let bd = b.data();
-    let ad = a.data();
+    if use_packed(m, k, n) {
+        gemm_nn_packed(a.data(), b.data(), c.data_mut(), m, k, n, prec);
+    } else {
+        gemm_nn_legacy(a.data(), b.data(), c.data_mut(), m, k, n, prec);
+    }
+    c
+}
 
+/// Legacy `i-k-j` kernel; rows go parallel when the work warrants it.
+fn gemm_nn_legacy(
+    ad: &[f32],
+    bd: &[f32],
+    cd: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    prec: Precision,
+) {
     let body = |(i, crow): (usize, &mut [f32])| {
         let arow = &ad[i * k..(i + 1) * k];
         match prec {
@@ -59,13 +110,131 @@ pub fn matmul_p(a: &Tensor, b: &Tensor, prec: Precision) -> Tensor {
             }
         }
     };
-
-    if m >= PAR_THRESHOLD {
-        c.data_mut().par_chunks_mut(n).enumerate().for_each(body);
+    if use_parallel(m, k, n) {
+        cd.par_chunks_mut(n).enumerate().for_each(body);
     } else {
-        c.data_mut().chunks_mut(n).enumerate().for_each(body);
+        cd.chunks_mut(n).enumerate().for_each(body);
     }
-    c
+}
+
+/// Packed GEBP kernel: `B` is copied into contiguous `KC x NC` panels once,
+/// then `MC`-row chunks of `C` are filled in parallel. Additions per output
+/// element happen in ascending-`k` order with the `a == 0.0` skip — exactly
+/// the legacy order — so the result is bit-identical to the legacy path.
+fn gemm_nn_packed(
+    ad: &[f32],
+    bd: &[f32],
+    cd: &mut [f32],
+    _m: usize,
+    k: usize,
+    n: usize,
+    prec: Precision,
+) {
+    let ws = Workspace::global();
+    let mut packed = ws.take(k * n);
+    // Panel (J, Kb) starts at `k*j0 + k0*ncw`: all columns left of this panel
+    // occupy `k*j0` slots and earlier k-panels of this column block occupy
+    // `k0*ncw` — a closed form both pack and compute derive independently.
+    for j0 in (0..n).step_by(NC) {
+        let ncw = NC.min(n - j0);
+        for k0 in (0..k).step_by(KC) {
+            let kcw = KC.min(k - k0);
+            let base = k * j0 + k0 * ncw;
+            for kk in 0..kcw {
+                let src = &bd[(k0 + kk) * n + j0..(k0 + kk) * n + j0 + ncw];
+                let dst = &mut packed[base + kk * ncw..base + (kk + 1) * ncw];
+                match prec {
+                    Precision::F32 => dst.copy_from_slice(src),
+                    Precision::BF16Mixed => {
+                        for (d, &s) in dst.iter_mut().zip(src) {
+                            *d = round_bf16(s);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let packed_ref = &packed;
+    cd.par_chunks_mut(MC * n)
+        .enumerate()
+        .for_each(|(chunk, cchunk)| {
+            let i0 = chunk * MC;
+            let rows = cchunk.len() / n;
+            for j0 in (0..n).step_by(NC) {
+                let ncw = NC.min(n - j0);
+                for k0 in (0..k).step_by(KC) {
+                    let kcw = KC.min(k - k0);
+                    let panel = &packed_ref[k * j0 + k0 * ncw..k * j0 + k0 * ncw + kcw * ncw];
+                    for i in 0..rows {
+                        let arow = &ad[(i0 + i) * k + k0..(i0 + i) * k + k0 + kcw];
+                        let crow = &mut cchunk[i * n + j0..i * n + j0 + ncw];
+                        gebp_row(arow, panel, crow, kcw, ncw, prec);
+                    }
+                }
+            }
+        });
+    ws.put(packed);
+}
+
+/// One row of the packed micro-kernel: `crow += arow * panel`, 4x-unrolled
+/// over `k`, keeping each `C` element in a register across the 4 lanes.
+/// Additions stay in ascending-`k` order; zero `a` values are skipped.
+#[inline]
+fn gebp_row(
+    arow: &[f32],
+    panel: &[f32],
+    crow: &mut [f32],
+    kcw: usize,
+    ncw: usize,
+    prec: Precision,
+) {
+    let load = |v: f32| match prec {
+        Precision::F32 => v,
+        Precision::BF16Mixed => round_bf16(v),
+    };
+    let mut kk = 0;
+    while kk + 4 <= kcw {
+        let a0 = load(arow[kk]);
+        let a1 = load(arow[kk + 1]);
+        let a2 = load(arow[kk + 2]);
+        let a3 = load(arow[kk + 3]);
+        let b0 = &panel[kk * ncw..(kk + 1) * ncw];
+        let b1 = &panel[(kk + 1) * ncw..(kk + 2) * ncw];
+        let b2 = &panel[(kk + 2) * ncw..(kk + 3) * ncw];
+        let b3 = &panel[(kk + 3) * ncw..(kk + 4) * ncw];
+        if a0 != 0.0 && a1 != 0.0 && a2 != 0.0 && a3 != 0.0 {
+            for j in 0..ncw {
+                let mut cj = crow[j];
+                cj += a0 * b0[j];
+                cj += a1 * b1[j];
+                cj += a2 * b2[j];
+                cj += a3 * b3[j];
+                crow[j] = cj;
+            }
+        } else {
+            // Preserve the zero-skip semantics lane by lane.
+            for (al, bl) in [(a0, b0), (a1, b1), (a2, b2), (a3, b3)] {
+                if al == 0.0 {
+                    continue;
+                }
+                for (cv, &bv) in crow.iter_mut().zip(bl) {
+                    *cv += al * bv;
+                }
+            }
+        }
+        kk += 4;
+    }
+    while kk < kcw {
+        let av = load(arow[kk]);
+        if av != 0.0 {
+            let brow = &panel[kk * ncw..(kk + 1) * ncw];
+            for (cv, &bv) in crow.iter_mut().zip(brow) {
+                *cv += av * bv;
+            }
+        }
+        kk += 1;
+    }
 }
 
 /// `C = A^T * B` where `A` is `k x m` and `B` is `k x n` (no explicit
@@ -77,51 +246,49 @@ pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
     let ad = a.data();
     let bd = b.data();
     let mut c = Tensor::zeros(m, n);
-    // Accumulate rank-1 updates serially over k, parallelizing each update's
+    // Each output row accumulates serially over k, parallelizing across
     // output rows; serial-k keeps determinism (no atomic float adds).
-    if m >= PAR_THRESHOLD {
-        c.data_mut()
-            .par_chunks_mut(n)
-            .enumerate()
-            .for_each(|(i, crow)| {
-                for kk in 0..k {
-                    let av = ad[kk * m + i];
-                    if av == 0.0 {
-                        continue;
-                    }
-                    let brow = &bd[kk * n..(kk + 1) * n];
-                    for (cv, &bv) in crow.iter_mut().zip(brow) {
-                        *cv += av * bv;
-                    }
-                }
-            });
-    } else {
-        for i in 0..m {
-            let crow = &mut c.data_mut()[i * n..(i + 1) * n];
-            for kk in 0..k {
-                let av = ad[kk * m + i];
-                if av == 0.0 {
-                    continue;
-                }
-                let brow = &bd[kk * n..(kk + 1) * n];
-                for (cv, &bv) in crow.iter_mut().zip(brow) {
-                    *cv += av * bv;
-                }
+    let body = |(i, crow): (usize, &mut [f32])| {
+        for kk in 0..k {
+            let av = ad[kk * m + i];
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &bd[kk * n..(kk + 1) * n];
+            for (cv, &bv) in crow.iter_mut().zip(brow) {
+                *cv += av * bv;
             }
         }
+    };
+    if use_parallel(m, k, n) {
+        c.data_mut().par_chunks_mut(n).enumerate().for_each(body);
+    } else {
+        c.data_mut().chunks_mut(n).enumerate().for_each(body);
     }
     c
 }
 
 /// `C = A * B^T` where `A` is `m x k` and `B` is `n x k`. This is the
 /// gradient kernel `dX = dY W^T` and the attention-score kernel `Q K^T`.
+///
+/// The packed path interleaves 4 rows of `B` lane-by-lane so the inner loop
+/// computes 4 independent dot products at once (vectorizable across lanes);
+/// each dot product still accumulates in ascending-`k` order with a single
+/// accumulator, bit-identical to the legacy scalar dot.
 pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
     let (m, k) = a.shape();
     let (n, k2) = b.shape();
     assert_eq!(k, k2, "matmul_nt inner dim mismatch: {k} vs {k2}");
-    let ad = a.data();
-    let bd = b.data();
     let mut c = Tensor::zeros(m, n);
+    if use_packed(m, k, n) {
+        gemm_nt_packed(a.data(), b.data(), c.data_mut(), m, k, n);
+    } else {
+        gemm_nt_legacy(a.data(), b.data(), c.data_mut(), m, k, n);
+    }
+    c
+}
+
+fn gemm_nt_legacy(ad: &[f32], bd: &[f32], cd: &mut [f32], m: usize, k: usize, n: usize) {
     let body = |(i, crow): (usize, &mut [f32])| {
         let arow = &ad[i * k..(i + 1) * k];
         for (j, cv) in crow.iter_mut().enumerate() {
@@ -133,12 +300,83 @@ pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
             *cv = acc;
         }
     };
-    if m >= PAR_THRESHOLD {
-        c.data_mut().par_chunks_mut(n).enumerate().for_each(body);
+    if use_parallel(m, k, n) {
+        cd.par_chunks_mut(n).enumerate().for_each(body);
     } else {
-        c.data_mut().chunks_mut(n).enumerate().for_each(body);
+        cd.chunks_mut(n).enumerate().for_each(body);
     }
-    c
+}
+
+/// Lane width of the packed NT kernel: 4 rows of `B` share the inner loop.
+const NT_LANES: usize = 4;
+
+fn gemm_nt_packed(ad: &[f32], bd: &[f32], cd: &mut [f32], m: usize, k: usize, n: usize) {
+    let ws = Workspace::global();
+    let mut packed = ws.take(k * n);
+    // Group `B` rows in fours; group `g` (rows j0..j0+lanes) lives at
+    // `j0 * k`, stored lane-interleaved: packed[j0*k + kk*lanes + l].
+    for j0 in (0..n).step_by(NT_LANES) {
+        let lanes = NT_LANES.min(n - j0);
+        let dst = &mut packed[j0 * k..j0 * k + lanes * k];
+        for l in 0..lanes {
+            let src = &bd[(j0 + l) * k..(j0 + l + 1) * k];
+            for (kk, &v) in src.iter().enumerate() {
+                dst[kk * lanes + l] = v;
+            }
+        }
+    }
+
+    let packed_ref = &packed;
+    let body = |(i, crow): (usize, &mut [f32])| {
+        let arow = &ad[i * k..(i + 1) * k];
+        for j0 in (0..n).step_by(NT_LANES) {
+            let lanes = NT_LANES.min(n - j0);
+            let panel = &packed_ref[j0 * k..j0 * k + lanes * k];
+            if lanes == NT_LANES {
+                let mut acc = [0.0f32; NT_LANES];
+                let mut kk = 0;
+                while kk + 4 <= k {
+                    let a0 = arow[kk];
+                    let a1 = arow[kk + 1];
+                    let a2 = arow[kk + 2];
+                    let a3 = arow[kk + 3];
+                    let p = &panel[kk * NT_LANES..(kk + 4) * NT_LANES];
+                    for (l, s) in acc.iter_mut().enumerate() {
+                        let mut sl = *s;
+                        sl += a0 * p[l];
+                        sl += a1 * p[NT_LANES + l];
+                        sl += a2 * p[2 * NT_LANES + l];
+                        sl += a3 * p[3 * NT_LANES + l];
+                        *s = sl;
+                    }
+                    kk += 4;
+                }
+                while kk < k {
+                    let av = arow[kk];
+                    let p = &panel[kk * NT_LANES..(kk + 1) * NT_LANES];
+                    for (l, s) in acc.iter_mut().enumerate() {
+                        *s += av * p[l];
+                    }
+                    kk += 1;
+                }
+                crow[j0..j0 + NT_LANES].copy_from_slice(&acc);
+            } else {
+                for l in 0..lanes {
+                    let mut acc = 0.0f32;
+                    for (kk, &av) in arow.iter().enumerate() {
+                        acc += av * panel[kk * lanes + l];
+                    }
+                    crow[j0 + l] = acc;
+                }
+            }
+        }
+    };
+    if use_parallel(m, k, n) {
+        cd.par_chunks_mut(n).enumerate().for_each(body);
+    } else {
+        cd.chunks_mut(n).enumerate().for_each(body);
+    }
+    ws.put(packed);
 }
 
 #[cfg(test)]
@@ -185,6 +423,71 @@ mod tests {
             let b = rng.normal_tensor(k, n, 1.0);
             let c = matmul(&a, &b);
             assert!(c.allclose(&naive(&a, &b), 1e-5, 1e-5), "{m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn packed_path_is_bit_identical_to_legacy() {
+        // The engine bit-identity suites rely on path selection never
+        // changing numerics: packed and legacy must agree to the bit,
+        // including the a == 0.0 skip semantics.
+        let mut rng = Rng::seed(19);
+        for &(m, k, n) in &[(16usize, 130usize, 257usize), (64, 96, 300), (9, 500, 40)] {
+            let mut a = rng.normal_tensor(m, k, 1.0);
+            // Sprinkle exact zeros to exercise the skip lanes.
+            for (idx, v) in a.data_mut().iter_mut().enumerate() {
+                if idx % 7 == 0 {
+                    *v = 0.0;
+                }
+            }
+            let b = rng.normal_tensor(k, n, 1.0);
+            for prec in [Precision::F32, Precision::BF16Mixed] {
+                let mut c_packed = Tensor::zeros(m, n);
+                let mut c_legacy = Tensor::zeros(m, n);
+                gemm_nn_packed(a.data(), b.data(), c_packed.data_mut(), m, k, n, prec);
+                gemm_nn_legacy(a.data(), b.data(), c_legacy.data_mut(), m, k, n, prec);
+                assert_eq!(c_packed, c_legacy, "{m}x{k}x{n} {prec:?}");
+            }
+            let mut c_packed = Tensor::zeros(m, n);
+            let mut c_legacy = Tensor::zeros(m, n);
+            let bt = rng.normal_tensor(n, k, 1.0);
+            gemm_nt_packed(a.data(), bt.data(), c_packed.data_mut(), m, k, n);
+            gemm_nt_legacy(a.data(), bt.data(), c_legacy.data_mut(), m, k, n);
+            assert_eq!(c_packed, c_legacy, "nt {m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn shape_sweep_tall_skinny_and_short_wide() {
+        // Work-based dispatch must stay correct across shapes that the old
+        // rows-based threshold classified badly: tall-skinny (many rows,
+        // tiny work) and short-wide (few rows, huge work).
+        let mut rng = Rng::seed(23);
+        for &(m, k, n) in &[
+            (1024usize, 4usize, 4usize), // tall-skinny: rows >> work/row
+            (257, 3, 5),
+            (3, 129, 257), // short-wide: few rows, wide panels
+            (4, 300, 300), // crosses PAR_MIN_WORK with m < old PAR_THRESHOLD
+            (2, 70, 70),
+            (8, 64, 512), // crosses PACK_MIN_WORK exactly at PACK_MIN_ROWS
+            (100, 100, 100),
+        ] {
+            let a = rng.normal_tensor(m, k, 1.0);
+            let b = rng.normal_tensor(k, n, 1.0);
+            assert!(
+                matmul(&a, &b).allclose(&naive(&a, &b), 1e-4, 1e-4),
+                "nn {m}x{k}x{n}"
+            );
+            let bt = rng.normal_tensor(n, k, 1.0);
+            assert!(
+                matmul_nt(&a, &bt).allclose(&naive(&a, &bt.transpose()), 1e-4, 1e-4),
+                "nt {m}x{k}x{n}"
+            );
+            let at = rng.normal_tensor(k, m, 1.0);
+            assert!(
+                matmul_tn(&at, &b).allclose(&naive(&at.transpose(), &b), 1e-4, 1e-4),
+                "tn {m}x{k}x{n}"
+            );
         }
     }
 

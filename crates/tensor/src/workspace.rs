@@ -1,0 +1,242 @@
+//! Reusable scratch arena for compute kernels.
+//!
+//! Every simulated GPU runs its kernels on the host CPU, so a training step
+//! that allocates fresh `Vec<f32>` scratch inside each kernel call spends a
+//! measurable fraction of its wall-clock in the allocator and loses cache
+//! residency between steps. A [`Workspace`] is a pool of `Vec<f32>` buffers:
+//! kernels [`take`](Workspace::take) a zeroed buffer of the length they need
+//! and [`put`](Workspace::put) it back when done, so steady-state steps reuse
+//! the same allocations instead of minting new ones.
+//!
+//! Lifetime rules:
+//! - A buffer taken from a workspace must be returned to the *same*
+//!   workspace (`Workspace` is cheaply clonable and clones share the pool).
+//! - Buffers are zero-filled on `take`, so pooling never changes numerics —
+//!   a kernel behaves identically whether its scratch is fresh or recycled.
+//! - The pool is thread-safe; rayon worker closures may take/put
+//!   concurrently. Accounting (outstanding/peak bytes) is exact even under
+//!   concurrency because it is updated atomically at take/put boundaries.
+//!
+//! The peak-byte accounting doubles as the measurement hook for the
+//! streaming-attention memory claim: the fused kernel's scratch high-water
+//! mark must stay `o(T^2)` in the sequence length (see the long-sequence
+//! test in `kernels::attention` and `kernel_bench`).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Maximum number of idle buffers kept in the pool; returning more drops the
+/// smallest excess buffer instead of hoarding memory without bound.
+const MAX_POOLED: usize = 64;
+
+#[derive(Debug, Default)]
+struct Inner {
+    pool: Mutex<Vec<Vec<f32>>>,
+    /// Bytes currently lent out via `take` and not yet returned.
+    outstanding: AtomicUsize,
+    /// High-water mark of `outstanding` since creation / last reset.
+    peak: AtomicUsize,
+    /// `take` calls served from a pooled buffer with sufficient capacity.
+    hits: AtomicUsize,
+    /// `take` calls that had to (re)allocate.
+    misses: AtomicUsize,
+}
+
+/// A shared, thread-safe pool of reusable `f32` scratch buffers.
+///
+/// Cloning a `Workspace` is cheap and shares the underlying pool, which is
+/// how one arena gets threaded through a model's blocks and the rayon tasks
+/// they spawn.
+#[derive(Debug, Clone, Default)]
+pub struct Workspace {
+    inner: Arc<Inner>,
+}
+
+impl Workspace {
+    /// A fresh, empty workspace.
+    pub fn new() -> Self {
+        Workspace::default()
+    }
+
+    /// Process-wide fallback workspace used by kernel entry points that are
+    /// not (yet) threaded through an explicit arena.
+    pub fn global() -> &'static Workspace {
+        static GLOBAL: OnceLock<Workspace> = OnceLock::new();
+        GLOBAL.get_or_init(Workspace::new)
+    }
+
+    /// Borrow a zero-filled buffer of exactly `len` elements.
+    ///
+    /// Prefers the pooled buffer with the smallest sufficient capacity
+    /// (best fit); falls back to growing an existing buffer or allocating.
+    pub fn take(&self, len: usize) -> Vec<f32> {
+        let mut buf = {
+            let mut pool = self.inner.pool.lock().expect("workspace pool poisoned");
+            let best = pool
+                .iter()
+                .enumerate()
+                .filter(|(_, b)| b.capacity() >= len)
+                .min_by_key(|(_, b)| b.capacity())
+                .map(|(i, _)| i);
+            match best {
+                Some(i) => {
+                    self.inner.hits.fetch_add(1, Ordering::Relaxed);
+                    pool.swap_remove(i)
+                }
+                None => {
+                    self.inner.misses.fetch_add(1, Ordering::Relaxed);
+                    // Recycle the largest existing buffer's allocation if any
+                    // (it will grow), else start fresh.
+                    pool.pop().unwrap_or_default()
+                }
+            }
+        };
+        buf.clear();
+        buf.resize(len, 0.0);
+        let bytes = len * std::mem::size_of::<f32>();
+        let now = self.inner.outstanding.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.inner.peak.fetch_max(now, Ordering::Relaxed);
+        buf
+    }
+
+    /// Return a buffer previously obtained from [`take`](Workspace::take).
+    pub fn put(&self, buf: Vec<f32>) {
+        let bytes = buf.len() * std::mem::size_of::<f32>();
+        self.inner.outstanding.fetch_sub(bytes, Ordering::Relaxed);
+        if buf.capacity() == 0 {
+            return;
+        }
+        let mut pool = self.inner.pool.lock().expect("workspace pool poisoned");
+        pool.push(buf);
+        if pool.len() > MAX_POOLED {
+            // Drop the smallest buffer: big ones are the expensive ones to
+            // re-create.
+            if let Some(i) = pool
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, b)| b.capacity())
+                .map(|(i, _)| i)
+            {
+                pool.swap_remove(i);
+            }
+        }
+    }
+
+    /// Bytes currently lent out and not yet returned.
+    pub fn outstanding_bytes(&self) -> usize {
+        self.inner.outstanding.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of outstanding bytes since creation or the last
+    /// [`reset_peak`](Workspace::reset_peak).
+    pub fn peak_bytes(&self) -> usize {
+        self.inner.peak.load(Ordering::Relaxed)
+    }
+
+    /// Reset the high-water mark to the current outstanding level.
+    pub fn reset_peak(&self) {
+        self.inner
+            .peak
+            .store(self.outstanding_bytes(), Ordering::Relaxed);
+    }
+
+    /// Total capacity bytes parked in the idle pool.
+    pub fn pooled_bytes(&self) -> usize {
+        let pool = self.inner.pool.lock().expect("workspace pool poisoned");
+        pool.iter()
+            .map(|b| b.capacity() * std::mem::size_of::<f32>())
+            .sum()
+    }
+
+    /// `take` calls served without allocating (pool hit).
+    pub fn hits(&self) -> usize {
+        self.inner.hits.load(Ordering::Relaxed)
+    }
+
+    /// `take` calls that had to allocate or grow a buffer.
+    pub fn misses(&self) -> usize {
+        self.inner.misses.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_is_zero_filled_even_when_recycled() {
+        let ws = Workspace::new();
+        let mut b = ws.take(16);
+        b.iter_mut().for_each(|v| *v = 7.0);
+        ws.put(b);
+        let b2 = ws.take(8);
+        assert_eq!(b2.len(), 8);
+        assert!(b2.iter().all(|&v| v == 0.0));
+        ws.put(b2);
+    }
+
+    #[test]
+    fn steady_state_reuses_allocations() {
+        let ws = Workspace::new();
+        // Warm up: one round trip allocates.
+        let b = ws.take(1024);
+        ws.put(b);
+        let misses_before = ws.misses();
+        for _ in 0..100 {
+            let b = ws.take(1024);
+            ws.put(b);
+        }
+        assert_eq!(ws.misses(), misses_before, "steady state must not allocate");
+        assert!(ws.hits() >= 100);
+    }
+
+    #[test]
+    fn peak_accounting_tracks_concurrent_high_water() {
+        let ws = Workspace::new();
+        let a = ws.take(256); // 1 KiB
+        let b = ws.take(256); // 1 KiB more
+        assert_eq!(ws.outstanding_bytes(), 2048);
+        assert_eq!(ws.peak_bytes(), 2048);
+        ws.put(a);
+        ws.put(b);
+        assert_eq!(ws.outstanding_bytes(), 0);
+        assert_eq!(ws.peak_bytes(), 2048, "peak survives returns");
+        ws.reset_peak();
+        assert_eq!(ws.peak_bytes(), 0);
+    }
+
+    #[test]
+    fn best_fit_prefers_smallest_sufficient_buffer() {
+        let ws = Workspace::new();
+        let small = ws.take(8);
+        let big = ws.take(4096);
+        ws.put(small);
+        ws.put(big);
+        // Asking for 8 must grab the 8-capacity buffer, leaving the big one.
+        let b = ws.take(8);
+        assert!(b.capacity() < 4096);
+        ws.put(b);
+    }
+
+    #[test]
+    fn pool_is_bounded() {
+        let ws = Workspace::new();
+        let bufs: Vec<_> = (0..2 * MAX_POOLED).map(|i| ws.take(i + 1)).collect();
+        for b in bufs {
+            ws.put(b);
+        }
+        let pool = ws.inner.pool.lock().unwrap();
+        assert!(pool.len() <= MAX_POOLED);
+    }
+
+    #[test]
+    fn clones_share_the_pool() {
+        let ws = Workspace::new();
+        let ws2 = ws.clone();
+        let b = ws.take(64);
+        ws2.put(b);
+        assert_eq!(ws.outstanding_bytes(), 0);
+        let _ = ws2.take(64); // served from the buffer ws allocated
+        assert_eq!(ws2.hits(), 1);
+    }
+}

@@ -7,11 +7,13 @@
 
 use crate::config::VitConfig;
 use orbit_tensor::init::Rng;
-use orbit_tensor::kernels::attention::{mha_backward, mha_forward, MhaCache, QkNorm};
+use orbit_tensor::kernels::attention::{
+    mha_backward_ws, mha_forward_path, AttnPath, MhaCache, QkNorm,
+};
 use orbit_tensor::kernels::{
     gelu, gelu_backward, layernorm, layernorm_backward, linear, linear_backward, LayerNormCache,
 };
-use orbit_tensor::{Precision, Tensor};
+use orbit_tensor::{Precision, Tensor, Workspace};
 use serde::{Deserialize, Serialize};
 
 /// A learnable tensor with its gradient accumulator.
@@ -139,15 +141,32 @@ impl TransformerBlock {
         })
     }
 
-    /// Forward for one sequence `x` (`tokens x d`).
+    /// Forward for one sequence `x` (`tokens x d`), scratch from the
+    /// process-global workspace.
     pub fn forward(&self, x: &Tensor) -> (Tensor, BlockCache) {
+        self.forward_ws(x, Workspace::global())
+    }
+
+    /// Forward with an explicit scratch arena — the zero-allocation hot
+    /// path. Numerically identical to [`Self::forward`]; the arena only
+    /// changes where kernel scratch comes from.
+    pub fn forward_ws(&self, x: &Tensor, ws: &Workspace) -> (Tensor, BlockCache) {
         let p = self.precision;
         let (z1, ln1) = layernorm(x, &self.ln1_gamma.value, &self.ln1_beta.value);
         let q = linear(&z1, &self.wq.value, Some(&self.bq.value), p);
         let k = linear(&z1, &self.wk.value, Some(&self.bk.value), p);
         let v = linear(&z1, &self.wv.value, Some(&self.bv.value), p);
         let norm = self.qk_norm_ref();
-        let (a, mha) = mha_forward(&q, &k, &v, self.heads, norm.as_ref());
+        let (a, mha) = mha_forward_path(
+            &q,
+            &k,
+            &v,
+            self.heads,
+            norm.as_ref(),
+            Precision::F32,
+            AttnPath::Auto,
+            ws,
+        );
         let attn_out = linear(&a, &self.wo.value, Some(&self.bo.value), p);
         let h = x.add(&attn_out);
         let (z2, ln2) = layernorm(&h, &self.ln2_gamma.value, &self.ln2_beta.value);
@@ -172,8 +191,13 @@ impl TransformerBlock {
     }
 
     /// Backward for one sequence: accumulates parameter gradients and
-    /// returns `dL/dx`.
+    /// returns `dL/dx`. Scratch from the process-global workspace.
     pub fn backward(&mut self, cache: &BlockCache, dy: &Tensor) -> Tensor {
+        self.backward_ws(cache, dy, Workspace::global())
+    }
+
+    /// Backward with an explicit scratch arena.
+    pub fn backward_ws(&mut self, cache: &BlockCache, dy: &Tensor, ws: &Workspace) -> Tensor {
         // y = h + g W2 + b2
         let g2 = linear_backward(&cache.g, &self.w2.value, dy, true);
         self.w2.accumulate(&g2.dw);
@@ -193,7 +217,7 @@ impl TransformerBlock {
         self.wo.accumulate(&go.dw);
         self.bo.accumulate(&go.db.expect("bias grad"));
         let norm = self.qk_norm_ref();
-        let mg = mha_backward(&cache.mha, norm.as_ref(), &go.dx);
+        let mg = mha_backward_ws(&cache.mha, norm.as_ref(), &go.dx, ws);
         if let (Some(qk), Some((dgq, dbq, dgk, dbk))) = (self.qk.as_mut(), mg.dqk_norm) {
             qk[0].accumulate(&dgq);
             qk[1].accumulate(&dbq);

@@ -8,7 +8,7 @@ use orbit_tensor::init::Rng;
 use orbit_tensor::kernels::{
     fold_patches, linear, linear_backward, unfold_patches, AdamState, AdamW,
 };
-use orbit_tensor::Tensor;
+use orbit_tensor::{Tensor, Workspace};
 
 /// One training batch: per-sample input channel images and target output
 /// channel images.
@@ -57,6 +57,11 @@ pub struct VitModel {
     pub blocks: Vec<TransformerBlock>,
     pub head_w: Param,
     pub head_b: Param,
+    /// Scratch arena shared by every block's kernels: after the first
+    /// step the pool is warm and the hot path stops allocating. Clones of
+    /// the model share the pool (it holds no model state — only recycled
+    /// scratch buffers), and it is deliberately not serialized.
+    pub ws: Workspace,
 }
 
 impl VitModel {
@@ -82,6 +87,7 @@ impl VitModel {
             blocks,
             head_w: Param::new(rng_head.trunc_normal_tensor(d, out, cfg.init_std)),
             head_b: Param::new(Tensor::zeros(1, out)),
+            ws: Workspace::new(),
             cfg,
         }
     }
@@ -148,7 +154,7 @@ impl VitModel {
         let mut x = x0.clone();
         let mut caches = Vec::with_capacity(self.blocks.len());
         for b in &self.blocks {
-            let (y, c) = b.forward(&x);
+            let (y, c) = b.forward_ws(&x, &self.ws);
             caches.push(c);
             x = y;
         }
@@ -166,8 +172,9 @@ impl VitModel {
     /// channel. Accumulates parameter gradients.
     pub fn backward(&mut self, fwd: &Forward, d_preds: &[Tensor]) {
         let mut dx = self.head_backward(&fwd.top, d_preds);
+        let ws = self.ws.clone();
         for (b, c) in self.blocks.iter_mut().zip(fwd.blocks.iter()).rev() {
-            dx = b.backward(c, &dx);
+            dx = b.backward_ws(c, &dx, &ws);
         }
         self.front_backward(&fwd.front, &dx);
     }
@@ -180,7 +187,7 @@ impl VitModel {
         let mut x = x0;
         let mut boundaries = vec![x.clone()];
         for b in &self.blocks {
-            let (y, _) = b.forward(&x);
+            let (y, _) = b.forward_ws(&x, &self.ws);
             boundaries.push(y.clone());
             x = y;
         }
@@ -194,10 +201,11 @@ impl VitModel {
     pub fn backward_ckpt(&mut self, images: &[Tensor], boundaries: &[Tensor], d_preds: &[Tensor]) {
         let top = boundaries.last().expect("boundaries include the top");
         let mut dx = self.head_backward(top, d_preds);
+        let ws = self.ws.clone();
         for l in (0..self.blocks.len()).rev() {
             // Recompute this block's cache from its input boundary.
-            let (_, cache) = self.blocks[l].forward(&boundaries[l]);
-            dx = self.blocks[l].backward(&cache, &dx);
+            let (_, cache) = self.blocks[l].forward_ws(&boundaries[l], &ws);
+            dx = self.blocks[l].backward_ws(&cache, &dx, &ws);
         }
         // Recompute the front-end caches.
         let (_, front) = self.front_forward(images);
@@ -452,6 +460,33 @@ mod tests {
         for (x, y) in ga.iter().zip(&gb) {
             assert!((x - y).abs() <= 1e-5 + 1e-4 * y.abs(), "{x} vs {y}");
         }
+    }
+
+    #[test]
+    fn steady_state_training_stops_allocating_scratch() {
+        // After one warm-up step the model's workspace pool holds every
+        // scratch shape the kernels need; further steps must be all hits.
+        let c = cfg();
+        let mut model = VitModel::init(c, 42);
+        let mut rng = Rng::seed(8);
+        let (imgs, targets) = sample(&mut rng, &c);
+        let batch = Batch {
+            inputs: vec![imgs],
+            targets: vec![targets],
+        };
+        let w = lat_weights(c.dims.img_h);
+        let opt = AdamW::default();
+        let mut state = model.init_adam_state();
+        model.train_step(&batch, &w, &opt, &mut state);
+        let misses_after_warmup = model.ws.misses();
+        for _ in 0..3 {
+            model.train_step(&batch, &w, &opt, &mut state);
+        }
+        assert_eq!(
+            model.ws.misses(),
+            misses_after_warmup,
+            "steady-state training must reuse pooled scratch, not allocate"
+        );
     }
 
     #[test]

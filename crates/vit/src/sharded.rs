@@ -412,7 +412,9 @@ impl ShardStore {
             .file_name()
             .and_then(|n| n.to_str())
             .ok_or_else(|| bad("non-utf8 store path"))?;
-        let tmp = self.dir.join(format!(".tmp-{}-{}", std::process::id(), name));
+        let tmp = self
+            .dir
+            .join(format!(".tmp-{}-{}", std::process::id(), name));
         {
             let mut w = BufWriter::new(File::create(&tmp)?);
             w.write_all(bytes)?;
@@ -458,13 +460,11 @@ impl ShardStore {
             Some(ShardFault::Torn) => {
                 bytes.truncate(header_len + payload.len() / 2);
             }
-            Some(ShardFault::Corrupt) => {
-                if !payload.is_empty() {
-                    let at = header_len + payload.len() / 2;
-                    bytes[at] ^= 0xFF;
-                }
+            Some(ShardFault::Corrupt) if !payload.is_empty() => {
+                let at = header_len + payload.len() / 2;
+                bytes[at] ^= 0xFF;
             }
-            None => {}
+            _ => {}
         }
         self.publish(&self.shard_path(generation, shard.index), &bytes)
     }
@@ -650,7 +650,10 @@ mod tests {
         let dir = std::env::temp_dir().join(format!(
             "orbit_sharded_{tag}_{}_{}",
             std::process::id(),
-            std::thread::current().name().unwrap_or("t").replace("::", "_")
+            std::thread::current()
+                .name()
+                .unwrap_or("t")
+                .replace("::", "_")
         ));
         fs::remove_dir_all(&dir).ok();
         ShardStore::new(dir).unwrap()
@@ -713,9 +716,7 @@ mod tests {
         let shard = ShardData::from_checkpoint(&ck, 0, 2);
         store.write_shard(1, &shard, None).unwrap();
         // Shard 1 never arrives (its rank died mid-capture).
-        let committed = store
-            .commit(1, 1, 2, Duration::from_millis(20))
-            .unwrap();
+        let committed = store.commit(1, 1, 2, Duration::from_millis(20)).unwrap();
         assert!(!committed);
         assert_eq!(store.generations().unwrap(), Vec::<u64>::new());
         fs::remove_dir_all(store.dir()).ok();

@@ -8,9 +8,7 @@
 //! groups from the latest manifest with zero duplicate deliveries.
 
 use orbit::comm::{Cluster, FaultPlan};
-use orbit::core::{
-    build_engine, ElasticTrainer, Engine, EngineSpec, Strategy, TrainOptions,
-};
+use orbit::core::{build_engine, ElasticTrainer, EngineSpec, Strategy, TrainOptions};
 use orbit::serve::{BatchPolicy, ForecastRequest, ForecastServer, ServeConfig};
 use orbit::tensor::init::Rng;
 use orbit::tensor::kernels::AdamW;
@@ -52,10 +50,7 @@ fn make_requests(cfg: &VitConfig, n: usize, gap: f64, seed: u64) -> Vec<Forecast
 }
 
 fn temp_store(tag: &str) -> ShardStore {
-    let dir = std::env::temp_dir().join(format!(
-        "orbit_elastic_it_{tag}_{}",
-        std::process::id()
-    ));
+    let dir = std::env::temp_dir().join(format!("orbit_elastic_it_{tag}_{}", std::process::id()));
     fs::remove_dir_all(&dir).ok();
     ShardStore::new(dir).unwrap()
 }
@@ -85,6 +80,7 @@ fn trained_store(tag: &str) -> ShardStore {
 /// The launch's reference trajectory: an *uninterrupted* run at the same
 /// spec/world/options, restored from the same committed generation,
 /// trained on the same per-step batches.
+#[allow(clippy::too_many_arguments)]
 fn reference_losses(
     spec: EngineSpec,
     world: usize,
@@ -238,8 +234,8 @@ fn kill_sweep_every_rank_every_family_recovers() {
             for kill_step in [1u64, 3] {
                 let store = temp_store(&format!("sweep_{family:?}_{rank}_{kill_step}"));
                 let dir = store.dir().to_path_buf();
-                let cluster = Cluster::frontier()
-                    .with_fault_plan(FaultPlan::new().kill(rank, kill_step));
+                let cluster =
+                    Cluster::frontier().with_fault_plan(FaultPlan::new().kill(rank, kill_step));
                 let trainer = ElasticTrainer::new(cluster, store)
                     .with_checkpoint_every(1)
                     .with_allowed_strategies(&[family]);
@@ -253,9 +249,7 @@ fn kill_sweep_every_rank_every_family_recovers() {
                         steps,
                         |step| make_batch(&cfg, 8, 100 + step),
                     )
-                    .unwrap_or_else(|e| {
-                        panic!("{family:?} kill({rank},{kill_step}): {e}")
-                    });
+                    .unwrap_or_else(|e| panic!("{family:?} kill({rank},{kill_step}): {e}"));
                 assert_eq!(
                     report.restarts, 1,
                     "{family:?} kill({rank},{kill_step}) must restart exactly once"
@@ -349,7 +343,11 @@ fn sharded_group_reforms_from_manifest_and_drains() {
     // The reformed group runs at a strictly smaller world.
     for g in &outcome.groups[1..] {
         let world: usize = g.rsplit('x').next().unwrap().parse().unwrap();
-        assert!(world < 4, "reformed group must shrink: {:?}", outcome.groups);
+        assert!(
+            world < 4,
+            "reformed group must shrink: {:?}",
+            outcome.groups
+        );
     }
     assert_eq!(outcome.survivors, 3);
     assert_eq!(outcome.stats.completed, n);

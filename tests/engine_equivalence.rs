@@ -201,8 +201,7 @@ fn checkpointed_hybrid_stop_matches_uncheckpointed() {
             let opts = TrainOptions {
                 activation_checkpointing: ckpt,
                 layer_wrapping: true,
-                prefetch: false,
-                mixed_precision: false,
+                ..TrainOptions::none()
             };
             let mut e = HybridStopEngine::new(ctx, layout, cfg, opt, opts, 42).unwrap();
             (0..2)
