@@ -15,5 +15,7 @@
 //! instant; the executable experiments (Figs. 8-10) train scaled-down
 //! models on the synthetic climate archive and take minutes.
 
+#![forbid(unsafe_code)]
+
 pub mod experiments;
 pub mod report;

@@ -13,6 +13,7 @@ use crate::fault::{
     SimError, StorageFault,
 };
 use crate::group::{Engine, ProcessGroup, DEFAULT_OP_TIMEOUT};
+use crate::lint::{CommPlan, LintShared};
 use crate::memory::Device;
 use crate::verify::{
     verify_schedule_with_faults, ScheduleLog, SchedulePerturb, ScheduleRecord, VerifyReport,
@@ -199,6 +200,98 @@ impl Cluster {
         (results, report)
     }
 
+    /// Extract a communication program *statically*: run `f` on `world`
+    /// rank threads with every [`ProcessGroup`] in lint-extraction mode,
+    /// so collectives record their issue and complete immediately with
+    /// zero-filled placeholder results — no rendezvous, no simulated
+    /// compute, no memory-capacity enforcement. The closure typically
+    /// drives one engine step on placeholder tensors; the returned
+    /// [`CommPlan`] IR captures every rank's op stream (kind, payload
+    /// shape, group, issue site, layout transition) plus per-rank peak
+    /// memory, ready for [`crate::lint::analyze`].
+    ///
+    /// Ranks that fail (error or panic) become
+    /// [`crate::lint::LintFinding::ExtractionFailure`] material in the
+    /// plan's `failures` — never a panic of the harness — and their peers
+    /// unblock through the usual failure-detection path.
+    pub fn record_comm_plan<F>(&self, world: usize, f: F) -> CommPlan
+    where
+        F: Fn(&mut RankCtx) -> Result<(), SimError> + Sync,
+    {
+        assert!(world > 0, "world must be positive");
+        let log = Arc::new(ScheduleLog::new());
+        let lint = Arc::new(LintShared::new());
+        let engine = Arc::new(Engine::new_with_log(Some(Arc::clone(&log))));
+        let machine = Arc::new(self.machine.clone());
+        let mut peaks = vec![0u64; world];
+        let mut failures: Vec<(usize, String)> = Vec::new();
+        let mut outcomes: Vec<Option<(u64, Option<String>)>> = (0..world).map(|_| None).collect();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..world)
+                .map(|rank| {
+                    let engine = Arc::clone(&engine);
+                    let machine = Arc::clone(&machine);
+                    let lint = Arc::clone(&lint);
+                    let op_timeout = self.op_timeout_for(world);
+                    let f = &f;
+                    s.spawn(move || {
+                        let mut ctx = RankCtx {
+                            rank,
+                            world,
+                            // Budget violations are a *finding* over the
+                            // recorded peaks, not a mid-extraction OOM.
+                            device: Device::new(u64::MAX),
+                            clock: SimClock::new(),
+                            engine: Arc::clone(&engine),
+                            machine,
+                            fault: None,
+                            op_timeout,
+                            link_factor: Arc::new(AtomicU64::new(1.0f64.to_bits())),
+                            perturb: None,
+                            storage_fault: None,
+                            lint: Some(lint),
+                        };
+                        let result = catch_unwind(AssertUnwindSafe(|| f(&mut ctx)));
+                        let cause = match result {
+                            Ok(Ok(())) => None,
+                            Ok(Err(e)) => {
+                                if matches!(e, SimError::Comm(CommError::PeerFailure { .. })) {
+                                    engine.mark_failed_secondary(rank);
+                                } else {
+                                    engine.mark_failed(rank);
+                                }
+                                Some(e.to_string())
+                            }
+                            Err(payload) => {
+                                engine.mark_failed(rank);
+                                Some(panic_message(&*payload))
+                            }
+                        };
+                        (ctx.device.peak(), cause)
+                    })
+                })
+                .collect();
+            for (rank, h) in handles.into_iter().enumerate() {
+                outcomes[rank] = Some(h.join().expect("rank harness thread died"));
+            }
+        });
+        for (rank, outcome) in outcomes.into_iter().enumerate() {
+            let (peak, cause) = outcome.expect("every rank joined");
+            peaks[rank] = peak;
+            if let Some(cause) = cause {
+                failures.push((rank, cause));
+            }
+        }
+        CommPlan::from_parts(
+            world,
+            self.mem_budget(),
+            log.snapshot(),
+            lint.take_notes(),
+            peaks,
+            failures,
+        )
+    }
+
     /// Verify the most recent launch's collective schedule, if it was
     /// recorded (`verify` on, or a [`Cluster::verify_run`] launch). Useful
     /// after a failed [`Cluster::try_run`] to diagnose *why* ranks timed
@@ -269,6 +362,7 @@ impl Cluster {
                             link_factor: Arc::new(AtomicU64::new(1.0f64.to_bits())),
                             perturb,
                             storage_fault: None,
+                            lint: None,
                         };
                         let result = catch_unwind(AssertUnwindSafe(|| f(&mut ctx)));
                         match result {
@@ -428,6 +522,9 @@ pub struct RankCtx {
     /// Armed storage fault ([`FaultKind::TornWrite`]/
     /// [`FaultKind::CorruptShard`]) awaiting the next checkpoint write.
     storage_fault: Option<StorageFault>,
+    /// Lint-extraction sidecar ([`Cluster::record_comm_plan`]): when set,
+    /// every group this rank builds runs in abstract recording mode.
+    lint: Option<Arc<LintShared>>,
 }
 
 impl RankCtx {
@@ -441,6 +538,9 @@ impl RankCtx {
         g.set_link_factor(Arc::clone(&self.link_factor));
         if let Some(p) = &self.perturb {
             g.set_perturb(Arc::clone(p));
+        }
+        if let Some(l) = &self.lint {
+            g.set_lint(Arc::clone(l));
         }
         g
     }

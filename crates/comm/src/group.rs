@@ -55,9 +55,11 @@
 
 use crate::clock::SimClock;
 use crate::fault::CommError;
+use crate::lint::LintShared;
 use crate::trace::{CommEvent, CommOp};
 use crate::verify::{OpStatus, ScheduleLog, SchedulePerturb, ScheduleRecord};
 use orbit_frontier::machine::{FrontierMachine, LinkKind};
+use orbit_tensor::dtensor::ReshardNote;
 use orbit_tensor::{bf16_to_f32, f32_to_bf16};
 use rayon::prelude::*;
 use std::collections::HashMap;
@@ -665,6 +667,13 @@ pub struct ProcessGroup {
     /// Seeded schedule perturbation (injected yields/sleeps on rendezvous
     /// arrival paths), when the launch explores thread interleavings.
     perturb: Option<Arc<SchedulePerturb>>,
+    /// Lint-extraction mode ([`crate::Cluster::record_comm_plan`]):
+    /// collectives complete at issue with zero placeholders instead of
+    /// rendezvousing, and reshard annotations are captured per log index.
+    lint: Option<Arc<LintShared>>,
+    /// Layout-transition note for the *next* collective, staged by
+    /// [`ProcessGroup::annotate_reshard`] in lint mode.
+    pending_note: Option<ReshardNote>,
 }
 
 impl ProcessGroup {
@@ -718,6 +727,8 @@ impl ProcessGroup {
             timeout: DEFAULT_OP_TIMEOUT,
             link_factor: healthy_link_factor(),
             perturb: None,
+            lint: None,
+            pending_note: None,
         }
     }
 
@@ -735,6 +746,22 @@ impl ProcessGroup {
     /// [`crate::Cluster::with_schedule_perturbation`]).
     pub(crate) fn set_perturb(&mut self, perturb: Arc<SchedulePerturb>) {
         self.perturb = Some(perturb);
+    }
+
+    /// Switch this group into lint-extraction mode (see
+    /// [`crate::Cluster::record_comm_plan`]): collectives are recorded and
+    /// complete at issue with zero-filled placeholder results.
+    pub(crate) fn set_lint(&mut self, lint: Arc<LintShared>) {
+        self.lint = Some(lint);
+    }
+
+    /// Attach layout-transition metadata to the next collective issued on
+    /// this group. A no-op outside lint-extraction mode, so callers (the
+    /// dtensor reshard adapter) may call it unconditionally.
+    pub fn annotate_reshard(&mut self, note: ReshardNote) {
+        if self.lint.is_some() {
+            self.pending_note = Some(note);
+        }
     }
 
     fn jitter(&self) {
@@ -860,6 +887,37 @@ impl ProcessGroup {
             log_idx: None,
             waited: false,
         };
+        // Lint-extraction mode: record the issue and complete immediately
+        // with a zero-filled placeholder of the result's shape — no
+        // rendezvous, so a cross-rank divergent program still records its
+        // whole per-rank stream instead of hanging. Broadcast stays on the
+        // real path: its result size is data-dependent (only the root
+        // knows it), which a static placeholder cannot reproduce.
+        if !matches!(kind, OpKind::Broadcast { .. }) {
+            if let Some(lint) = self.lint.clone() {
+                handle.log_idx = self.record_issue(
+                    kind.op(),
+                    root,
+                    None,
+                    elements,
+                    wire_total,
+                    clock_now,
+                    OpStatus::Issued,
+                );
+                if let (Some(idx), Some(note)) = (handle.log_idx, self.pending_note.take()) {
+                    lint.attach_note(idx, note);
+                }
+                let result: Arc<[f32]> = match kind {
+                    OpKind::AllGather => vec![0.0; p * data.len()].into(),
+                    OpKind::ReduceScatter | OpKind::AllReduce => vec![0.0; data.len()].into(),
+                    OpKind::Barrier => Vec::new().into(),
+                    OpKind::Broadcast { .. } => unreachable!("broadcast keeps the real path"),
+                };
+                handle.ready = Some(result);
+                self.seq += 1;
+                return Ok(handle);
+            }
+        }
         if p == 1 {
             handle.log_idx = self.record_issue(
                 kind.op(),

@@ -23,12 +23,19 @@
 //! [`fault`] module for the failure model. The [`verify`] module layers a
 //! collective-schedule verifier on top (cross-rank consistency, leak and
 //! deadlock detection, seeded schedule exploration); see
-//! [`cluster::Cluster::verify_run`].
+//! [`cluster::Cluster::verify_run`]. Its static counterpart is the
+//! [`lint`] module: [`cluster::Cluster::record_comm_plan`] extracts a
+//! [`lint::CommPlan`] IR symbolically (no simulation steps) and
+//! [`lint::analyze`] verifies it structurally — the `orbit-lint` CLI and
+//! planner pre-flight build on this.
+
+#![forbid(unsafe_code)]
 
 pub mod clock;
 pub mod cluster;
 pub mod fault;
 pub mod group;
+pub mod lint;
 pub mod memory;
 pub mod trace;
 pub mod verify;
@@ -40,6 +47,7 @@ pub use fault::{
     LedgerEntry, RankOutcome, SimError, StorageFault,
 };
 pub use group::{CommBuf, PendingCollective, ProcessGroup};
+pub use lint::{analyze, CommPlan, LintFinding, LintReport, PlanOp};
 pub use memory::{Allocation, Device, OomError};
 pub use trace::{chrome_trace, CommEvent, CommOp, TraceEvent};
 pub use verify::{

@@ -1,0 +1,967 @@
+//! Static analysis of communication programs: the `CommPlan` IR and the
+//! `orbit-lint` passes over it.
+//!
+//! The dynamic verifier ([`crate::verify`], PR 4) replays a schedule
+//! recorded from a full simulated run. This module is the *static* front
+//! half of that story: [`crate::Cluster::record_comm_plan`] drives each
+//! rank's program against abstract communicators (collectives complete at
+//! issue with zero-filled placeholders — see `ProcessGroup::start`'s lint
+//! branch), producing a per-rank [`CommPlan`] IR of op kind, payload
+//! shape, layout transition, rank group, and issue site **without
+//! executing a single simulation step**. [`analyze`] then runs structural
+//! passes over the IR:
+//!
+//! 1. **Collective matching** — every group's members must issue the same
+//!    kinds/roots/payloads in the same order (the silent-hang class on
+//!    real NCCL).
+//! 2. **Deadlock freedom** — point-to-point receives must be satisfiable
+//!    by some completion order of the recorded sends.
+//! 3. **Layout soundness** — every reshard-lowered collective is checked
+//!    against the dtensor algebra ([`orbit_tensor::dtensor::reshard_legal`],
+//!    [`orbit_tensor::dtensor::split_legal`]) and for cross-rank
+//!    agreement of the transition.
+//! 4. **P2P balance** — per directed pair, sends and receives must pair
+//!    off.
+//! 5. **Peak memory** — each rank's device high-water mark must fit the
+//!    machine budget.
+//!
+//! The passes are implemented independently of [`crate::verify`] so the
+//! differential test (static verdict vs dynamic replay on the same
+//! records) compares two genuinely separate analyzers.
+
+use crate::trace::CommOp;
+use crate::verify::{OpStatus, ScheduleRecord};
+use orbit_tensor::dtensor::{reshard_legal, split_legal, LayoutError, ReshardNote};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Mutex;
+
+/// Sidecar shared by every lint-mode [`crate::ProcessGroup`] of one
+/// extraction: maps schedule-log indices to the reshard annotation the
+/// dtensor layer attached to that op.
+#[derive(Debug, Default)]
+pub struct LintShared {
+    notes: Mutex<HashMap<usize, ReshardNote>>,
+}
+
+impl LintShared {
+    pub(crate) fn new() -> Self {
+        LintShared::default()
+    }
+
+    /// Tag the op at schedule-log index `idx` with its layout transition.
+    pub(crate) fn attach_note(&self, idx: usize, note: ReshardNote) {
+        self.notes
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(idx, note);
+    }
+
+    pub(crate) fn take_notes(&self) -> HashMap<usize, ReshardNote> {
+        std::mem::take(&mut *self.notes.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+}
+
+/// One operation of the extracted communication program, as issued by one
+/// rank. The IR element of a [`CommPlan`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanOp {
+    /// Global rank that issued the op.
+    pub rank: usize,
+    /// Issue site: position of this op within the rank's own stream
+    /// (0-based). Diagnostics name `rank`/`op`/`site`.
+    pub site: usize,
+    /// Global ranks of the communicator, in group order.
+    pub ranks: Vec<usize>,
+    /// The operation kind.
+    pub op: CommOp,
+    /// Broadcast root (group-local), when known.
+    pub root: Option<usize>,
+    /// Point-to-point endpoints as group-local `(src, dst)`, when known.
+    pub peer: Option<(usize, usize)>,
+    /// Payload elements this rank contributes.
+    pub elements: usize,
+    /// Modeled wire bytes for this rank.
+    pub wire_bytes: f64,
+    /// Lifecycle status at extraction end.
+    pub status: OpStatus,
+    /// The layout transition this op implements, when it lowered a
+    /// dtensor reshard.
+    pub reshard: Option<ReshardNote>,
+}
+
+/// The extracted communication program of one engine configuration: every
+/// rank's op stream plus per-rank peak memory, against one machine
+/// budget. Built by [`crate::Cluster::record_comm_plan`], or by hand (via
+/// [`CommPlan::from_parts`]) for seeded-bad analyzer tests.
+#[derive(Debug, Clone)]
+pub struct CommPlan {
+    /// World size the program was extracted at.
+    pub world: usize,
+    /// Per-GPU memory budget, bytes.
+    pub budget: u64,
+    /// All ops, in global issue order (per-rank order preserved).
+    pub ops: Vec<PlanOp>,
+    /// Per-rank device high-water marks, bytes (`peaks[rank]`).
+    pub peaks: Vec<u64>,
+    /// Ranks whose extraction closure failed, with the failure rendered
+    /// to a string (panic message or error).
+    pub failures: Vec<(usize, String)>,
+    /// The raw schedule records the IR was lifted from — the dynamic
+    /// verifier's input format, retained so differential tests can replay
+    /// the identical extraction through `verify_schedule`.
+    records: Vec<ScheduleRecord>,
+}
+
+impl CommPlan {
+    /// Assemble a plan from raw schedule records plus sidecar data. Sites
+    /// are assigned per rank in record order; reshard notes are joined by
+    /// record index.
+    pub fn from_parts(
+        world: usize,
+        budget: u64,
+        records: Vec<ScheduleRecord>,
+        mut notes: HashMap<usize, ReshardNote>,
+        peaks: Vec<u64>,
+        failures: Vec<(usize, String)>,
+    ) -> Self {
+        let mut sites: HashMap<usize, usize> = HashMap::new();
+        let ops = records
+            .iter()
+            .enumerate()
+            .map(|(idx, r)| {
+                let site = sites.entry(r.rank).or_insert(0);
+                let op = PlanOp {
+                    rank: r.rank,
+                    site: *site,
+                    ranks: r.ranks.clone(),
+                    op: r.op,
+                    root: r.root,
+                    peer: r.peer,
+                    elements: r.elements,
+                    wire_bytes: r.wire_bytes,
+                    status: r.status,
+                    reshard: notes.remove(&idx),
+                };
+                *site += 1;
+                op
+            })
+            .collect();
+        CommPlan {
+            world,
+            budget,
+            ops,
+            peaks,
+            failures,
+            records,
+        }
+    }
+
+    /// The raw schedule records backing this plan, in issue order —
+    /// feedable to [`crate::verify_schedule`] for differential checks.
+    pub fn records(&self) -> &[ScheduleRecord] {
+        &self.records
+    }
+}
+
+/// One defect found by a static pass. `Display` names the first offending
+/// rank, op, and issue site.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LintFinding {
+    /// Two members of a group issued different collectives (kind, root,
+    /// payload size, or reshard annotation) at the same group position.
+    CollectiveMismatch {
+        group: Vec<usize>,
+        pos: usize,
+        rank: usize,
+        op: CommOp,
+        site: usize,
+        expect_rank: usize,
+        expect_op: CommOp,
+        detail: String,
+    },
+    /// A member of a group issued fewer collectives on it than its peers.
+    MissingCollective {
+        group: Vec<usize>,
+        rank: usize,
+        issued: usize,
+        expected: usize,
+        next_op: CommOp,
+        next_rank: usize,
+    },
+    /// Shard arithmetic cannot cover the global tensor: a reduce-scatter
+    /// payload that does not divide by the group size, or all-gather
+    /// members contributing unequal shard lengths.
+    ShardCoverageGap {
+        group: Vec<usize>,
+        rank: usize,
+        op: CommOp,
+        site: usize,
+        detail: String,
+    },
+    /// A recorded layout transition violates the dtensor reshard algebra.
+    LayoutViolation {
+        rank: usize,
+        op: CommOp,
+        site: usize,
+        err: LayoutError,
+    },
+    /// A directed point-to-point pair has unequal send and receive
+    /// counts.
+    P2pImbalance {
+        group: Vec<usize>,
+        src: usize,
+        dst: usize,
+        sends: usize,
+        recvs: usize,
+        rank: usize,
+        op: CommOp,
+        site: usize,
+    },
+    /// No completion order satisfies the recorded receives: a rank blocks
+    /// forever on a message nobody sends.
+    WouldDeadlock {
+        rank: usize,
+        op: CommOp,
+        site: usize,
+        waiting_on: usize,
+    },
+    /// A rank's peak memory exceeds the machine budget.
+    OverBudget { rank: usize, peak: u64, budget: u64 },
+    /// The rank's program could not be extracted at all (its closure
+    /// panicked or returned an error while recording).
+    ExtractionFailure { rank: usize, cause: String },
+}
+
+fn group_str(group: &[usize]) -> String {
+    let s: Vec<String> = group.iter().map(|r| r.to_string()).collect();
+    format!("[{}]", s.join(","))
+}
+
+impl fmt::Display for LintFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LintFinding::CollectiveMismatch {
+                group,
+                pos,
+                rank,
+                op,
+                site,
+                expect_rank,
+                expect_op,
+                detail,
+            } => write!(
+                f,
+                "collective mismatch on group {}: at group position {pos}, rank {rank} issued \
+                 {} at site {site} but rank {expect_rank} issued {} ({detail})",
+                group_str(group),
+                op.name(),
+                expect_op.name(),
+            ),
+            LintFinding::MissingCollective {
+                group,
+                rank,
+                issued,
+                expected,
+                next_op,
+                next_rank,
+            } => write!(
+                f,
+                "missing collective on group {}: rank {rank} issued {issued} collectives but \
+                 rank {next_rank} issued {expected} (first unmatched: {} at group position \
+                 {issued})",
+                group_str(group),
+                next_op.name(),
+            ),
+            LintFinding::ShardCoverageGap {
+                group,
+                rank,
+                op,
+                site,
+                detail,
+            } => write!(
+                f,
+                "shard coverage gap on group {}: rank {rank} {} at site {site}: {detail}",
+                group_str(group),
+                op.name(),
+            ),
+            LintFinding::LayoutViolation {
+                rank,
+                op,
+                site,
+                err,
+            } => write!(
+                f,
+                "layout violation: rank {rank} {} at site {site}: {err}",
+                op.name(),
+            ),
+            LintFinding::P2pImbalance {
+                group,
+                src,
+                dst,
+                sends,
+                recvs,
+                rank,
+                op,
+                site,
+            } => write!(
+                f,
+                "p2p imbalance on group {}: {sends} send(s) vs {recvs} recv(s) for pair \
+                 {src}->{dst}; first unpaired: rank {rank} {} at site {site}",
+                group_str(group),
+                op.name(),
+            ),
+            LintFinding::WouldDeadlock {
+                rank,
+                op,
+                site,
+                waiting_on,
+            } => write!(
+                f,
+                "would deadlock: rank {rank} blocks at {} (site {site}) waiting on group-local \
+                 rank {waiting_on}, which never sends",
+                op.name(),
+            ),
+            LintFinding::OverBudget { rank, peak, budget } => write!(
+                f,
+                "over budget: rank {rank} peak memory {peak} bytes exceeds device budget \
+                 {budget} bytes",
+            ),
+            LintFinding::ExtractionFailure { rank, cause } => {
+                write!(f, "extraction failure: rank {rank}: {cause}")
+            }
+        }
+    }
+}
+
+/// The verdict of [`analyze`] over one [`CommPlan`].
+#[derive(Debug, Clone, Default)]
+pub struct LintReport {
+    /// All findings, in pass order (matching, deadlock, layout, p2p,
+    /// memory, extraction).
+    pub findings: Vec<LintFinding>,
+}
+
+impl LintReport {
+    /// No findings: the program is statically certified.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+impl fmt::Display for LintReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_clean() {
+            return write!(f, "comm plan statically clean");
+        }
+        writeln!(f, "{} lint finding(s):", self.findings.len())?;
+        for finding in &self.findings {
+            writeln!(f, "  - {finding}")?;
+        }
+        Ok(())
+    }
+}
+
+fn is_collective(op: CommOp) -> bool {
+    !matches!(op, CommOp::Send | CommOp::Recv)
+}
+
+/// Key identifying one communicator: its member ranks in group order.
+type GroupKey = Vec<usize>;
+
+/// Run every static pass over the plan. Pure: no clocks, no threads, no
+/// replay — structure only.
+pub fn analyze(plan: &CommPlan) -> LintReport {
+    let mut findings = Vec::new();
+    check_collective_matching(plan, &mut findings);
+    check_deadlock_freedom(plan, &mut findings);
+    check_layout_soundness(plan, &mut findings);
+    check_p2p_balance(plan, &mut findings);
+    check_memory(plan, &mut findings);
+    for (rank, cause) in &plan.failures {
+        findings.push(LintFinding::ExtractionFailure {
+            rank: *rank,
+            cause: cause.clone(),
+        });
+    }
+    LintReport { findings }
+}
+
+/// Per-group, per-member streams of collective ops, in issue order.
+fn collective_streams(plan: &CommPlan) -> Vec<(GroupKey, HashMap<usize, Vec<&PlanOp>>)> {
+    let mut order: Vec<GroupKey> = Vec::new();
+    let mut groups: HashMap<GroupKey, HashMap<usize, Vec<&PlanOp>>> = HashMap::new();
+    for op in plan.ops.iter().filter(|o| is_collective(o.op)) {
+        let entry = groups.entry(op.ranks.clone()).or_insert_with(|| {
+            order.push(op.ranks.clone());
+            HashMap::new()
+        });
+        entry.entry(op.rank).or_default().push(op);
+    }
+    order
+        .into_iter()
+        .map(|key| {
+            let streams = groups.remove(&key).unwrap_or_default();
+            (key, streams)
+        })
+        .collect()
+}
+
+/// Pass 1: cross-rank collective matching. Every member of a group must
+/// issue the same sequence of (kind, root, payload) on it; the
+/// lowest-rank member is the reference. Also checks per-op shard
+/// arithmetic: reduce-scatter payloads must divide by the group size, and
+/// all-gather members must contribute equal shard lengths.
+fn check_collective_matching(plan: &CommPlan, findings: &mut Vec<LintFinding>) {
+    for (group, streams) in collective_streams(plan) {
+        let p = group.len();
+        // Per-record arithmetic first (meaningful even for lone streams).
+        for stream in streams.values() {
+            for op in stream {
+                if op.op == CommOp::ReduceScatter && p > 0 && !op.elements.is_multiple_of(p) {
+                    findings.push(LintFinding::ShardCoverageGap {
+                        group: group.clone(),
+                        rank: op.rank,
+                        op: op.op,
+                        site: op.site,
+                        detail: format!(
+                            "payload of {} elements does not divide into {p} shards",
+                            op.elements
+                        ),
+                    });
+                }
+            }
+        }
+        let Some(&ref_rank) = streams.keys().min() else {
+            continue;
+        };
+        let reference = &streams[&ref_rank];
+        let mut members: Vec<&usize> = streams.keys().filter(|&&r| r != ref_rank).collect();
+        members.sort();
+        for &rank in members {
+            let stream = &streams[&rank];
+            let mut diverged = false;
+            for (pos, (op, want)) in stream.iter().zip(reference.iter()).enumerate() {
+                let mismatch = |detail: String| LintFinding::CollectiveMismatch {
+                    group: group.clone(),
+                    pos,
+                    rank: op.rank,
+                    op: op.op,
+                    site: op.site,
+                    expect_rank: ref_rank,
+                    expect_op: want.op,
+                    detail,
+                };
+                if op.op != want.op {
+                    findings.push(mismatch(format!(
+                        "op kind {} vs {}",
+                        op.op.name(),
+                        want.op.name()
+                    )));
+                    diverged = true;
+                    break;
+                }
+                if op.root != want.root {
+                    findings.push(mismatch(format!(
+                        "broadcast root {:?} vs {:?}",
+                        op.root, want.root
+                    )));
+                    diverged = true;
+                    break;
+                }
+                if op.elements != want.elements {
+                    if op.op == CommOp::AllGather {
+                        findings.push(LintFinding::ShardCoverageGap {
+                            group: group.clone(),
+                            rank: op.rank,
+                            op: op.op,
+                            site: op.site,
+                            detail: format!(
+                                "contributes {} elements where rank {ref_rank} contributes {} — \
+                                 unequal shards cannot assemble one global tensor",
+                                op.elements, want.elements
+                            ),
+                        });
+                    } else {
+                        findings.push(mismatch(format!(
+                            "payload {} vs {} elements",
+                            op.elements, want.elements
+                        )));
+                    }
+                    diverged = true;
+                    break;
+                }
+            }
+            if diverged {
+                continue;
+            }
+            if stream.len() != reference.len() {
+                let (short_rank, long_rank) = if stream.len() < reference.len() {
+                    (rank, ref_rank)
+                } else {
+                    (ref_rank, rank)
+                };
+                let (short, long) = if stream.len() < reference.len() {
+                    (stream, reference)
+                } else {
+                    (reference, stream)
+                };
+                findings.push(LintFinding::MissingCollective {
+                    group: group.clone(),
+                    rank: short_rank,
+                    issued: short.len(),
+                    expected: long.len(),
+                    next_op: long[short.len()].op,
+                    next_rank: long_rank,
+                });
+            }
+        }
+    }
+}
+
+/// Pass 2: point-to-point deadlock freedom. Optimistic structural model:
+/// collectives are assumed to complete (pass 1 checks their matching),
+/// sends complete at issue (buffered mailbox semantics, as the runtime
+/// implements), and only `recv` blocks its rank's cursor until a matching
+/// send exists. Any rank whose cursor cannot reach the end of its stream
+/// under the fixpoint is reported stuck at its first blocked receive.
+fn check_deadlock_freedom(plan: &CommPlan, findings: &mut Vec<LintFinding>) {
+    // Per-rank streams of p2p ops only, in issue order.
+    let mut ranks: Vec<usize> = Vec::new();
+    let mut streams: HashMap<usize, Vec<&PlanOp>> = HashMap::new();
+    for op in plan.ops.iter().filter(|o| !is_collective(o.op)) {
+        let entry = streams.entry(op.rank).or_insert_with(|| {
+            ranks.push(op.rank);
+            Vec::new()
+        });
+        entry.push(op);
+    }
+    ranks.sort_unstable();
+    let mut cursors: HashMap<usize, usize> = ranks.iter().map(|&r| (r, 0)).collect();
+    // Mailbox depth per (group, src, dst).
+    let mut mail: HashMap<(GroupKey, usize, usize), usize> = HashMap::new();
+    loop {
+        let mut progressed = false;
+        for &rank in &ranks {
+            let stream = &streams[&rank];
+            let cursor = cursors.get_mut(&rank).expect("cursor per rank");
+            while *cursor < stream.len() {
+                let op = stream[*cursor];
+                let Some((src, dst)) = op.peer else {
+                    *cursor += 1;
+                    continue;
+                };
+                match op.op {
+                    CommOp::Send => {
+                        *mail.entry((op.ranks.clone(), src, dst)).or_insert(0) += 1;
+                        *cursor += 1;
+                        progressed = true;
+                    }
+                    CommOp::Recv => {
+                        let depth = mail.entry((op.ranks.clone(), src, dst)).or_insert(0);
+                        if *depth > 0 {
+                            *depth -= 1;
+                            *cursor += 1;
+                            progressed = true;
+                        } else {
+                            break; // blocked until a matching send appears
+                        }
+                    }
+                    _ => {
+                        *cursor += 1;
+                    }
+                }
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    for &rank in &ranks {
+        let stream = &streams[&rank];
+        let cursor = cursors[&rank];
+        if cursor < stream.len() {
+            let op = stream[cursor];
+            let waiting_on = op.peer.map(|(src, _)| src).unwrap_or(0);
+            findings.push(LintFinding::WouldDeadlock {
+                rank,
+                op: op.op,
+                site: op.site,
+                waiting_on,
+            });
+        }
+    }
+}
+
+/// Pass 3: layout-transition soundness. Every op carrying a
+/// [`ReshardNote`] is checked against the reshard algebra (legal
+/// transition, even splits for both end layouts, communicator sized to
+/// the axis) and for cross-rank agreement: members at the same group
+/// position must record the same transition with distinct coordinates.
+fn check_layout_soundness(plan: &CommPlan, findings: &mut Vec<LintFinding>) {
+    for op in &plan.ops {
+        let Some(note) = &op.reshard else { continue };
+        let violation = |err: LayoutError| LintFinding::LayoutViolation {
+            rank: op.rank,
+            op: op.op,
+            site: op.site,
+            err,
+        };
+        if let Err(err) = reshard_legal(note.from, note.to) {
+            findings.push(violation(err));
+        }
+        if let Err(err) = split_legal(note.from, note.global_rows, note.global_cols, note.ranks) {
+            findings.push(violation(err));
+        }
+        if let Err(err) = split_legal(note.to, note.global_rows, note.global_cols, note.ranks) {
+            findings.push(violation(err));
+        }
+        if note.ranks != op.ranks.len() {
+            findings.push(violation(LayoutError::CommSizeMismatch {
+                axis: note.axis.clone(),
+                expected: note.ranks,
+                got: op.ranks.len(),
+            }));
+        }
+    }
+    // Cross-rank agreement of annotated transitions at each group
+    // position.
+    for (group, streams) in collective_streams(plan) {
+        let Some(&ref_rank) = streams.keys().min() else {
+            continue;
+        };
+        let reference = &streams[&ref_rank];
+        let mut members: Vec<&usize> = streams.keys().filter(|&&r| r != ref_rank).collect();
+        members.sort();
+        for &rank in members {
+            for (pos, (op, want)) in streams[&rank].iter().zip(reference.iter()).enumerate() {
+                let (Some(note), Some(ref_note)) = (&op.reshard, &want.reshard) else {
+                    continue;
+                };
+                let agree = note.axis == ref_note.axis
+                    && note.from == ref_note.from
+                    && note.to == ref_note.to
+                    && note.ranks == ref_note.ranks
+                    && note.global_rows == ref_note.global_rows
+                    && note.global_cols == ref_note.global_cols
+                    && note.coord != ref_note.coord;
+                if !agree {
+                    findings.push(LintFinding::CollectiveMismatch {
+                        group: group.clone(),
+                        pos,
+                        rank: op.rank,
+                        op: op.op,
+                        site: op.site,
+                        expect_rank: ref_rank,
+                        expect_op: want.op,
+                        detail: format!(
+                            "reshard disagreement: {}:{}→{} over {} (coord {}) vs {}:{}→{} over \
+                             {} (coord {})",
+                            note.axis,
+                            note.from,
+                            note.to,
+                            note.ranks,
+                            note.coord,
+                            ref_note.axis,
+                            ref_note.from,
+                            ref_note.to,
+                            ref_note.ranks,
+                            ref_note.coord,
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Pass 4: point-to-point balance. For each directed `(src, dst)` pair of
+/// each group, the send count must equal the receive count — an excess on
+/// either side is a message no one consumes or a wait no one satisfies.
+fn check_p2p_balance(plan: &CommPlan, findings: &mut Vec<LintFinding>) {
+    /// One directed `(group, src, dst)` channel.
+    type Channel = (GroupKey, usize, usize);
+    /// Send count, receive count, and the channel's ops in issue order.
+    type Tally<'a> = (usize, usize, Vec<&'a PlanOp>);
+    let mut order: Vec<Channel> = Vec::new();
+    let mut pairs: HashMap<Channel, Tally> = HashMap::new();
+    for op in plan.ops.iter().filter(|o| !is_collective(o.op)) {
+        let Some((src, dst)) = op.peer else { continue };
+        let key = (op.ranks.clone(), src, dst);
+        let entry = pairs.entry(key.clone()).or_insert_with(|| {
+            order.push(key);
+            (0, 0, Vec::new())
+        });
+        match op.op {
+            CommOp::Send => entry.0 += 1,
+            CommOp::Recv => entry.1 += 1,
+            _ => {}
+        }
+        entry.2.push(op);
+    }
+    for key in order {
+        let (sends, recvs, ops) = &pairs[&key];
+        if sends != recvs {
+            // The exemplar is the first op of the majority kind past the
+            // paired prefix.
+            let excess_kind = if sends > recvs {
+                CommOp::Send
+            } else {
+                CommOp::Recv
+            };
+            let paired = (*sends).min(*recvs);
+            let exemplar = ops
+                .iter()
+                .filter(|o| o.op == excess_kind)
+                .nth(paired)
+                .or_else(|| ops.first())
+                .expect("imbalance implies at least one op");
+            findings.push(LintFinding::P2pImbalance {
+                group: key.0.clone(),
+                src: key.1,
+                dst: key.2,
+                sends: *sends,
+                recvs: *recvs,
+                rank: exemplar.rank,
+                op: exemplar.op,
+                site: exemplar.site,
+            });
+        }
+    }
+}
+
+/// Pass 5: peak memory vs budget. A budget of `u64::MAX` means no limit.
+fn check_memory(plan: &CommPlan, findings: &mut Vec<LintFinding>) {
+    if plan.budget == u64::MAX {
+        return;
+    }
+    for (rank, &peak) in plan.peaks.iter().enumerate() {
+        if peak > plan.budget {
+            findings.push(LintFinding::OverBudget {
+                rank,
+                peak,
+                budget: plan.budget,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(rank: usize, ranks: Vec<usize>, op: CommOp, elements: usize) -> ScheduleRecord {
+        ScheduleRecord::completed(rank, ranks, op, elements)
+    }
+
+    fn plan_of(world: usize, records: Vec<ScheduleRecord>) -> CommPlan {
+        CommPlan::from_parts(
+            world,
+            u64::MAX,
+            records,
+            HashMap::new(),
+            vec![0; world],
+            Vec::new(),
+        )
+    }
+
+    #[test]
+    fn clean_matched_program_passes() {
+        let g = vec![0, 1];
+        let records = vec![
+            rec(0, g.clone(), CommOp::AllGather, 8),
+            rec(1, g.clone(), CommOp::AllGather, 8),
+            rec(0, g.clone(), CommOp::AllReduce, 4),
+            rec(1, g.clone(), CommOp::AllReduce, 4),
+        ];
+        let report = analyze(&plan_of(2, records));
+        assert!(report.is_clean(), "unexpected findings: {report}");
+    }
+
+    #[test]
+    fn mismatched_op_order_is_flagged_at_first_divergence() {
+        let g = vec![0, 1];
+        let records = vec![
+            rec(0, g.clone(), CommOp::AllGather, 8),
+            rec(0, g.clone(), CommOp::AllReduce, 4),
+            rec(1, g.clone(), CommOp::AllReduce, 4),
+            rec(1, g.clone(), CommOp::AllGather, 8),
+        ];
+        let report = analyze(&plan_of(2, records));
+        let msg = report.to_string();
+        assert!(msg.contains("collective mismatch"), "got: {msg}");
+        assert!(msg.contains("group position 0"), "got: {msg}");
+        assert!(msg.contains("rank 1"), "got: {msg}");
+    }
+
+    #[test]
+    fn missing_collective_is_flagged() {
+        let g = vec![0, 1];
+        let records = vec![
+            rec(0, g.clone(), CommOp::AllGather, 8),
+            rec(0, g.clone(), CommOp::AllReduce, 4),
+            rec(1, g.clone(), CommOp::AllGather, 8),
+        ];
+        let report = analyze(&plan_of(2, records));
+        assert!(
+            report.to_string().contains("missing collective"),
+            "got: {report}"
+        );
+    }
+
+    #[test]
+    fn uneven_reduce_scatter_is_a_coverage_gap() {
+        let g = vec![0, 1];
+        let records = vec![
+            rec(0, g.clone(), CommOp::ReduceScatter, 7),
+            rec(1, g.clone(), CommOp::ReduceScatter, 7),
+        ];
+        let report = analyze(&plan_of(2, records));
+        let msg = report.to_string();
+        assert!(msg.contains("shard coverage gap"), "got: {msg}");
+        assert!(msg.contains("does not divide into 2 shards"), "got: {msg}");
+    }
+
+    #[test]
+    fn unequal_all_gather_shards_are_a_coverage_gap() {
+        let g = vec![0, 1];
+        let records = vec![
+            rec(0, g.clone(), CommOp::AllGather, 8),
+            rec(1, g.clone(), CommOp::AllGather, 6),
+        ];
+        let report = analyze(&plan_of(2, records));
+        assert!(
+            report.to_string().contains("unequal shards"),
+            "got: {report}"
+        );
+    }
+
+    #[test]
+    fn unreceived_send_is_an_imbalance_not_a_deadlock() {
+        let g = vec![0, 1];
+        let records = vec![rec(0, g.clone(), CommOp::Send, 4).with_peer(0, 1)];
+        let report = analyze(&plan_of(2, records));
+        let msg = report.to_string();
+        assert!(msg.contains("p2p imbalance"), "got: {msg}");
+        assert!(!msg.contains("would deadlock"), "got: {msg}");
+    }
+
+    #[test]
+    fn recv_without_send_deadlocks() {
+        let g = vec![0, 1];
+        let records = vec![rec(1, g.clone(), CommOp::Recv, 0).with_peer(0, 1)];
+        let report = analyze(&plan_of(2, records));
+        let msg = report.to_string();
+        assert!(msg.contains("would deadlock"), "got: {msg}");
+        assert!(msg.contains("rank 1"), "got: {msg}");
+    }
+
+    #[test]
+    fn cyclic_recv_first_ring_deadlocks_but_send_first_passes() {
+        let g = vec![0, 1];
+        // Both ranks recv before sending: classic head-to-head deadlock.
+        let bad = vec![
+            rec(0, g.clone(), CommOp::Recv, 0).with_peer(1, 0),
+            rec(0, g.clone(), CommOp::Send, 4).with_peer(0, 1),
+            rec(1, g.clone(), CommOp::Recv, 0).with_peer(0, 1),
+            rec(1, g.clone(), CommOp::Send, 4).with_peer(1, 0),
+        ];
+        let report = analyze(&plan_of(2, bad));
+        assert!(
+            report.to_string().contains("would deadlock"),
+            "got: {report}"
+        );
+        // Send-first resolves: buffered sends unblock both receives.
+        let good = vec![
+            rec(0, g.clone(), CommOp::Send, 4).with_peer(0, 1),
+            rec(0, g.clone(), CommOp::Recv, 0).with_peer(1, 0),
+            rec(1, g.clone(), CommOp::Send, 4).with_peer(1, 0),
+            rec(1, g.clone(), CommOp::Recv, 0).with_peer(0, 1),
+        ];
+        let report = analyze(&plan_of(2, good));
+        assert!(report.is_clean(), "unexpected findings: {report}");
+    }
+
+    #[test]
+    fn illegal_reshard_note_is_a_layout_violation() {
+        use orbit_tensor::dtensor::Layout;
+        let g = vec![0, 1];
+        let records = vec![
+            rec(0, g.clone(), CommOp::AllReduce, 8),
+            rec(1, g.clone(), CommOp::AllReduce, 8),
+        ];
+        let note = |coord: usize| ReshardNote {
+            axis: "tp".into(),
+            from: Layout::Replicate,
+            to: Layout::Partial,
+            ranks: 2,
+            coord,
+            global_rows: 2,
+            global_cols: 4,
+        };
+        let mut notes = HashMap::new();
+        notes.insert(0, note(0));
+        notes.insert(1, note(1));
+        let plan = CommPlan::from_parts(2, u64::MAX, records, notes, vec![0, 0], Vec::new());
+        let msg = analyze(&plan).to_string();
+        assert!(msg.contains("layout violation"), "got: {msg}");
+        assert!(msg.contains("no reshard lowering"), "got: {msg}");
+    }
+
+    #[test]
+    fn uneven_shard_note_is_a_layout_violation() {
+        use orbit_tensor::dtensor::Layout;
+        let g = vec![0, 1];
+        let records = vec![
+            rec(0, g.clone(), CommOp::AllGather, 7),
+            rec(1, g.clone(), CommOp::AllGather, 7),
+        ];
+        let note = |coord: usize| ReshardNote {
+            axis: "fsdp".into(),
+            from: Layout::Shard(0),
+            to: Layout::Replicate,
+            ranks: 2,
+            coord,
+            global_rows: 7,
+            global_cols: 2,
+        };
+        let mut notes = HashMap::new();
+        notes.insert(0, note(0));
+        notes.insert(1, note(1));
+        let plan = CommPlan::from_parts(2, u64::MAX, records, notes, vec![0, 0], Vec::new());
+        let msg = analyze(&plan).to_string();
+        assert!(msg.contains("layout violation"), "got: {msg}");
+        assert!(msg.contains("not divisible by 2 shards"), "got: {msg}");
+    }
+
+    #[test]
+    fn over_budget_rank_is_flagged() {
+        let plan = CommPlan::from_parts(
+            2,
+            1_000,
+            Vec::new(),
+            HashMap::new(),
+            vec![500, 1_500],
+            Vec::new(),
+        );
+        let msg = analyze(&plan).to_string();
+        assert!(msg.contains("over budget"), "got: {msg}");
+        assert!(msg.contains("rank 1"), "got: {msg}");
+        assert!(msg.contains("1500"), "got: {msg}");
+    }
+
+    #[test]
+    fn extraction_failure_is_reported() {
+        let plan = CommPlan::from_parts(
+            1,
+            u64::MAX,
+            Vec::new(),
+            HashMap::new(),
+            vec![0],
+            vec![(0, "boom".into())],
+        );
+        let msg = analyze(&plan).to_string();
+        assert!(msg.contains("extraction failure"), "got: {msg}");
+        assert!(msg.contains("boom"), "got: {msg}");
+    }
+}

@@ -11,7 +11,7 @@
 //! other way.)
 
 use orbit_comm::{CommError, PendingCollective, ProcessGroup, SimClock};
-use orbit_tensor::dtensor::{Collectives, ReshardError};
+use orbit_tensor::dtensor::{Collectives, ReshardError, ReshardNote};
 
 /// A [`Collectives`] implementation over one `ProcessGroup`. Borrows the
 /// group and clock only for the duration of the reshard calls, so engines
@@ -54,6 +54,12 @@ impl Collectives for GroupComm<'_> {
 
     fn wait(&mut self, pending: PendingCollective) -> Result<Vec<f32>, CommError> {
         Ok(pending.wait(self.clock)?.to_vec())
+    }
+
+    fn annotate_reshard(&mut self, note: &ReshardNote) {
+        // No-op on real runs; in lint-extraction mode the group tags the
+        // next collective with the transition for the static layout pass.
+        self.group.annotate_reshard(note.clone());
     }
 }
 

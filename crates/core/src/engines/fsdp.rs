@@ -9,10 +9,10 @@
 //! rank updates only its own shard.
 
 use crate::dcomm::{comm_err, GroupComm};
-use crate::sharding::{flat_shard, padded_len};
 use crate::stats::StepStats;
 use orbit_comm::{Allocation, CommError, ProcessGroup, RankCtx, SimError};
 use orbit_frontier::TrainOptions;
+use orbit_tensor::dtensor::{flat_shard, padded_len};
 use orbit_tensor::dtensor::{DTensor, DeviceMesh, Layout};
 use orbit_tensor::kernels::{AdamState, AdamW};
 use orbit_tensor::Tensor;

@@ -26,11 +26,11 @@
 //! pass).
 
 use crate::dcomm::{comm_err, GroupComm};
-use crate::sharding::{flat_shard, padded_len};
 use crate::stats::StepStats;
 use crate::tp_block::TpBlock;
 use orbit_comm::{Allocation, CommError, PendingCollective, ProcessGroup, RankCtx, SimError};
 use orbit_frontier::{ParallelLayout, RankMapping, TrainOptions};
+use orbit_tensor::dtensor::{flat_shard, padded_len};
 use orbit_tensor::dtensor::{DTensor, DeviceMesh, Layout, PendingReshard};
 use orbit_tensor::kernels::{AdamState, AdamW};
 use orbit_tensor::Tensor;

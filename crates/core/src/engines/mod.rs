@@ -193,7 +193,29 @@ fn validate_spec(spec: &EngineSpec, world: usize, cfg: &VitConfig) -> Result<(),
 /// must pass the same spec and seed. The spec is validated against the
 /// cluster world size and model shape first, so an infeasible request
 /// fails with a clear [`SimError::State`] before any memory is charged.
+///
+/// In debug builds this additionally pre-flights the spec through the
+/// static comm-plan analyzer (`orbit_comm::lint`) once per configuration
+/// per process — a statically invalid program fails construction with the
+/// first lint finding instead of hanging or diverging at runtime. Set
+/// `ORBIT_LINT_PREFLIGHT=0` to opt out.
 pub fn build_engine(
+    ctx: &RankCtx,
+    spec: EngineSpec,
+    cfg: VitConfig,
+    opt: AdamW,
+    opts: TrainOptions,
+    seed: u64,
+) -> Result<Box<dyn Engine>, SimError> {
+    validate_spec(&spec, ctx.world, &cfg)?;
+    crate::lint::debug_preflight(ctx.machine(), ctx.world, &spec, &cfg, &opts)?;
+    build_engine_inner(ctx, spec, cfg, opt, opts, seed)
+}
+
+/// [`build_engine`] without the debug pre-flight: validation plus
+/// construction only. The lint extraction harness itself builds engines
+/// through this entry point (the pre-flight would recurse).
+pub(crate) fn build_engine_inner(
     ctx: &RankCtx,
     spec: EngineSpec,
     cfg: VitConfig,

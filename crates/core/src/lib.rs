@@ -35,12 +35,14 @@
 //! head-limited), [`engines::PipelineEngine`] (GPipe-style),
 //! [`engines::HybridStopEngine`].
 
+#![forbid(unsafe_code)]
+
 pub mod dcomm;
 pub mod elastic;
 pub mod engines;
+pub mod lint;
 pub mod resilient;
 pub mod scaler;
-pub mod sharding;
 pub mod stats;
 pub mod tp_block;
 
@@ -50,6 +52,7 @@ pub use engines::{
     build_engine, spec_for_plan, DdpEngine, Engine, EngineSpec, FsdpEngine, HybridStopEngine,
     PipelineEngine, SingleDeviceEngine, TensorParallelEngine, Trainer,
 };
+pub use lint::{extract_comm_plan, lint_engine_spec, planner_static_check};
 pub use resilient::{AttemptSpec, ResilientReport, ResilientTrainer};
 pub use scaler::GradScaler;
 pub use stats::StepStats;

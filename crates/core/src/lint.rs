@@ -1,0 +1,158 @@
+//! Driving the static analyzer over real engines: symbolic extraction of
+//! an [`EngineSpec`]'s communication program, the `build_engine` debug
+//! pre-flight, and the planner's static-check hook.
+//!
+//! [`extract_comm_plan`] builds the requested engine inside
+//! [`orbit_comm::Cluster::record_comm_plan`] and drives one training step
+//! over a zero-filled placeholder batch. Collectives complete at issue
+//! (no rendezvous, no simulated time from waits), so what comes back is
+//! the engine's communication *program* — a
+//! [`CommPlan`](orbit_comm::CommPlan) IR — not a simulation run.
+//! [`lint_engine_spec`] then runs [`orbit_comm::analyze`]'s structural
+//! passes over it.
+
+use crate::engines::{build_engine_inner, spec_for_plan, EngineSpec};
+use orbit_comm::lint::{analyze, CommPlan, LintReport};
+use orbit_comm::Cluster;
+use orbit_frontier::planner::PlanCandidate;
+use orbit_frontier::{FrontierMachine, TrainOptions};
+use orbit_tensor::kernels::AdamW;
+use orbit_tensor::Tensor;
+use orbit_vit::{Batch, VitConfig};
+use std::collections::HashSet;
+use std::sync::{Mutex, OnceLock};
+
+/// Seed used for engine construction during extraction. The recorded
+/// program is seed-independent (collective structure depends on shapes,
+/// not values); any constant works.
+const LINT_SEED: u64 = 42;
+
+/// A zero-filled batch of `samples` observations shaped for `cfg` — the
+/// placeholder data symbolic extraction drives engines with. `samples`
+/// should be a multiple of every data-replica count the engine under
+/// extraction can use; [`extract_comm_plan`] passes the world size, which
+/// every layout's `fsdp x ddp` replica product divides.
+pub fn placeholder_batch(cfg: &VitConfig, samples: usize) -> Batch {
+    let zeros = |n: usize| {
+        (0..samples)
+            .map(|_| {
+                (0..n)
+                    .map(|_| Tensor::zeros(cfg.dims.img_h, cfg.dims.img_w))
+                    .collect()
+            })
+            .collect()
+    };
+    Batch {
+        inputs: zeros(cfg.dims.channels),
+        targets: zeros(cfg.dims.out_channels),
+    }
+}
+
+/// Symbolically extract the communication program of `spec` at `world`
+/// ranks on `machine`: every rank builds the engine and runs one training
+/// step against abstract communicators, recording op kind, payload shape,
+/// layout transition, group, and issue site — without a simulation run.
+/// Construction or step failures (including an infeasible spec) surface
+/// as `ExtractionFailure` material in the plan, never as a panic.
+pub fn extract_comm_plan(
+    machine: &FrontierMachine,
+    world: usize,
+    spec: EngineSpec,
+    cfg: VitConfig,
+    opts: TrainOptions,
+) -> CommPlan {
+    let cluster = Cluster::new(machine.clone());
+    let batch = placeholder_batch(&cfg, world);
+    cluster.record_comm_plan(world, |ctx| {
+        let mut engine = build_engine_inner(ctx, spec, cfg, AdamW::default(), opts, LINT_SEED)?;
+        engine.train_step(ctx, &batch)?;
+        Ok(())
+    })
+}
+
+/// [`extract_comm_plan`] + [`analyze`]: the full static verdict on one
+/// engine configuration. A clean report certifies the spec's collective
+/// program is cross-rank consistent, deadlock-free, layout-sound,
+/// p2p-balanced, and within the machine's memory budget.
+pub fn lint_engine_spec(
+    machine: &FrontierMachine,
+    world: usize,
+    spec: EngineSpec,
+    cfg: VitConfig,
+    opts: TrainOptions,
+) -> LintReport {
+    analyze(&extract_comm_plan(machine, world, spec, cfg, opts))
+}
+
+/// A static-check hook for [`orbit_frontier::planner::Planner::with_static_check`]:
+/// lints each candidate's engine at the candidate's own world size and
+/// rejects it with the first finding as the actionable reason. The
+/// closure owns its machine and config copies, so the planner stays free
+/// of any dependency on the engines.
+pub fn planner_static_check(
+    machine: FrontierMachine,
+    cfg: VitConfig,
+) -> impl Fn(&PlanCandidate) -> Result<(), String> + Send + Sync {
+    move |candidate: &PlanCandidate| {
+        let spec = spec_for_plan(candidate);
+        let world = candidate.layout.world();
+        let report = lint_engine_spec(&machine, world, spec, cfg, candidate.opts);
+        match report.findings.first() {
+            None => Ok(()),
+            Some(finding) => Err(format!(
+                "orbit-lint: {} at world {world}: {finding}",
+                spec.name()
+            )),
+        }
+    }
+}
+
+/// Debug-mode pre-flight for `build_engine`: before constructing the
+/// requested engine for real, statically lint its communication program
+/// once per (spec, world, shape, options) per process. A finding fails
+/// construction with a [`SimError`](orbit_comm::SimError) naming it; a
+/// clean verdict is memoized so repeated builds (every test, every
+/// elastic relaunch) pay nothing. Opt out with `ORBIT_LINT_PREFLIGHT=0`.
+/// Compiled-out (always `Ok`) in release builds.
+pub(crate) fn debug_preflight(
+    machine: &FrontierMachine,
+    world: usize,
+    spec: &EngineSpec,
+    cfg: &VitConfig,
+    opts: &TrainOptions,
+) -> Result<(), orbit_comm::SimError> {
+    if !cfg!(debug_assertions) {
+        return Ok(());
+    }
+    if std::env::var_os("ORBIT_LINT_PREFLIGHT").is_some_and(|v| v == "0") {
+        return Ok(());
+    }
+    let key = format!(
+        "{spec:?}|{world}|{:?}|{}{}{}{}{}",
+        cfg.dims,
+        opts.layer_wrapping as u8,
+        opts.mixed_precision as u8,
+        opts.prefetch as u8,
+        opts.activation_checkpointing as u8,
+        opts.fused_attention as u8,
+    );
+    static CERTIFIED: OnceLock<Mutex<HashSet<String>>> = OnceLock::new();
+    let certified = CERTIFIED.get_or_init(|| Mutex::new(HashSet::new()));
+    // The lock is held across the nested extraction on purpose: every
+    // rank of the outer launch funnels through here *before* issuing any
+    // collective, so peers simply queue on the mutex until the first
+    // rank's verdict is memoized — no outer rendezvous can be pending.
+    let mut certified = certified.lock().unwrap_or_else(|e| e.into_inner());
+    if certified.contains(&key) {
+        return Ok(());
+    }
+    let report = lint_engine_spec(machine, world, *spec, *cfg, *opts);
+    if !report.is_clean() {
+        return Err(orbit_comm::SimError::State(format!(
+            "static comm-plan preflight failed for {} at world {world}: {report}",
+            spec.name()
+        )));
+    }
+    certified.insert(key);
+    Ok(())
+}

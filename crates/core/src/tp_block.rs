@@ -332,8 +332,8 @@ impl TpBlock {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::sharding::{shard_columns, shard_rows};
     use orbit_comm::Cluster;
+    use orbit_tensor::dtensor::{shard_columns, shard_rows};
     use orbit_tensor::init::Rng;
     use orbit_vit::config::VitConfig;
 

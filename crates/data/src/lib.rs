@@ -20,6 +20,8 @@
 //! - [`loader`]: batched sampling with 6-hour cadence and lead-time pairs.
 //! - [`metrics`]: latitude-weighted anomaly correlation (wACC) and RMSE.
 
+#![forbid(unsafe_code)]
+
 pub mod catalog;
 pub mod generator;
 pub mod loader;

@@ -23,6 +23,8 @@
 //! integration tests cross-validate the closed forms against simulated runs
 //! at small scale.
 
+#![forbid(unsafe_code)]
+
 pub mod dims;
 pub mod machine;
 pub mod mapping;
@@ -33,4 +35,4 @@ pub use dims::ModelDims;
 pub use machine::{FrontierMachine, LinkKind};
 pub use mapping::{ParallelLayout, RankMapping};
 pub use perfmodel::{MemoryBreakdown, PerfModel, Strategy, TrainOptions};
-pub use planner::{Plan, PlanCandidate, PlanError, Planner};
+pub use planner::{Plan, PlanCandidate, PlanError, Planner, RejectedCandidate, StaticCheckFn};

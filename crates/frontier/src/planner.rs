@@ -59,6 +59,18 @@ pub struct Plan {
     /// All feasible candidates including the chosen one, ascending by
     /// predicted time.
     pub candidates: Vec<PlanCandidate>,
+    /// Candidates that fit in memory but were pruned by the installed
+    /// static check ([`Planner::with_static_check`]), with the check's
+    /// actionable diagnostic. Empty without a check installed.
+    pub rejected: Vec<RejectedCandidate>,
+}
+
+/// A candidate pruned by the planner's static check, with the reason —
+/// e.g. an `orbit-lint` finding naming the offending rank/op/site.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RejectedCandidate {
+    pub candidate: PlanCandidate,
+    pub reason: String,
 }
 
 impl Plan {
@@ -88,17 +100,47 @@ impl fmt::Display for PlanError {
 
 impl std::error::Error for PlanError {}
 
+/// A pluggable static validity check over one candidate: `Ok(())` keeps
+/// it, `Err(reason)` prunes it into [`Plan::rejected`] with the reason.
+/// The canonical implementation is `orbit_core::planner_static_check`,
+/// which lints the candidate's communication program symbolically — the
+/// closure indirection keeps this crate free of engine dependencies.
+pub type StaticCheckFn = std::sync::Arc<dyn Fn(&PlanCandidate) -> Result<(), String> + Send + Sync>;
+
 /// Enumerates and ranks parallelization candidates with a [`PerfModel`].
-#[derive(Debug, Clone, Default)]
+#[derive(Clone, Default)]
 pub struct Planner {
     pub model: PerfModel,
+    /// Optional static validity check applied to every memory-feasible
+    /// candidate before costing (see [`Planner::with_static_check`]).
+    static_check: Option<StaticCheckFn>,
+}
+
+impl fmt::Debug for Planner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Planner")
+            .field("model", &self.model)
+            .field("static_check", &self.static_check.is_some())
+            .finish()
+    }
 }
 
 impl Planner {
     pub fn new(machine: FrontierMachine) -> Self {
         Planner {
             model: PerfModel::new(machine),
+            static_check: None,
         }
+    }
+
+    /// Install a static validity check: every candidate that passes the
+    /// memory filter is handed to `check`, and a rejection removes it
+    /// from the ranking with an actionable diagnostic in
+    /// [`Plan::rejected`]. [`Planner::plan_for_survivors`] inherits the
+    /// check through [`Planner::plan`].
+    pub fn with_static_check(mut self, check: StaticCheckFn) -> Self {
+        self.static_check = Some(check);
+        self
     }
 
     /// Number of data replicas a candidate runs — the divisor the global
@@ -190,6 +232,7 @@ impl Planner {
         global_batch: usize,
     ) -> Result<Plan, PlanError> {
         let mut candidates = Vec::new();
+        let mut rejected = Vec::new();
         for (strategy, layout) in self.enumerate(dims, gpus, global_batch) {
             let local_batch = global_batch / Self::replicas(strategy, &layout);
             for opts in Self::opts_variants(strategy, &layout) {
@@ -205,14 +248,21 @@ impl Planner {
                     .total();
                 let tp_intra_node =
                     RankMapping::new(layout).tp_groups_intra_node(&self.model.machine);
-                candidates.push(PlanCandidate {
+                let candidate = PlanCandidate {
                     strategy,
                     layout,
                     opts,
                     predicted,
                     predicted_mem,
                     tp_intra_node,
-                });
+                };
+                if let Some(check) = &self.static_check {
+                    if let Err(reason) = check(&candidate) {
+                        rejected.push(RejectedCandidate { candidate, reason });
+                        continue;
+                    }
+                }
+                candidates.push(candidate);
             }
         }
         candidates.sort_by(|a, b| a.predicted.total_cmp(&b.predicted));
@@ -225,6 +275,7 @@ impl Planner {
             global_batch,
             chosen,
             candidates,
+            rejected,
         })
     }
 

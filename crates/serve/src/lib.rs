@@ -43,6 +43,8 @@
 //! assert_eq!(outcome.stats.duplicates, 0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod queue;
 pub mod request;
 pub mod server;

@@ -15,8 +15,8 @@
 //!
 //! The shard arithmetic itself (`shard_columns`/`shard_rows` for paper
 //! Eqn. (2) splits, `flat_shard`/`flat_unshard`/`padded_len` for FSDP flat
-//! parameter shards) lives here as the module's layout algebra; the old
-//! `orbit_core::sharding` module re-exports it.
+//! parameter shards) lives here as the module's layout algebra; engines
+//! import it from this module directly.
 //!
 //! # Layout algebra
 //!
@@ -241,6 +241,76 @@ pub fn flat_unshard(concatenated: &[f32], len: usize) -> Vec<f32> {
 }
 
 // ---------------------------------------------------------------------------
+// Static legality queries
+// ---------------------------------------------------------------------------
+
+/// Whether a reshard lowering exists from `from` to `to`, without any
+/// tensor or mesh in hand — the static half of the checks
+/// [`DTensor::reshard_start`] performs, exposed so analyzers (the
+/// `orbit-lint` layout pass) can validate a recorded transition against
+/// the same algebra the runtime enforces. `Shard` dims beyond the 2-D
+/// tensor are [`LayoutError::BadDim`]; any transition *into*
+/// [`Layout::Partial`] other than the identity is
+/// [`LayoutError::IllegalReshard`].
+pub fn reshard_legal(from: Layout, to: Layout) -> Result<(), LayoutError> {
+    if let Layout::Shard(d) = to {
+        if d > 1 {
+            return Err(LayoutError::BadDim { dim: d });
+        }
+    }
+    if let Layout::Shard(d) = from {
+        if d > 1 {
+            return Err(LayoutError::BadDim { dim: d });
+        }
+    }
+    if to == from {
+        return Ok(());
+    }
+    if to == Layout::Partial {
+        return Err(LayoutError::IllegalReshard { from, to });
+    }
+    Ok(())
+}
+
+/// Whether a `global_rows x global_cols` tensor admits `layout` over `n`
+/// shards: `Shard(d)` requires the dimension's extent to divide evenly
+/// ([`LayoutError::UnevenSplit`] otherwise); `ShardFlat` always splits
+/// (it pads); `Replicate`/`Partial` place the full tensor everywhere.
+pub fn split_legal(
+    layout: Layout,
+    global_rows: usize,
+    global_cols: usize,
+    n: usize,
+) -> Result<(), LayoutError> {
+    match layout {
+        Layout::Replicate | Layout::Partial | Layout::ShardFlat => Ok(()),
+        Layout::Shard(0) => {
+            if global_rows.is_multiple_of(n) {
+                Ok(())
+            } else {
+                Err(LayoutError::UnevenSplit {
+                    extent: global_rows,
+                    shards: n,
+                    dim: 0,
+                })
+            }
+        }
+        Layout::Shard(1) => {
+            if global_cols.is_multiple_of(n) {
+                Ok(())
+            } else {
+                Err(LayoutError::UnevenSplit {
+                    extent: global_cols,
+                    shards: n,
+                    dim: 1,
+                })
+            }
+        }
+        Layout::Shard(d) => Err(LayoutError::BadDim { dim: d }),
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Device mesh
 // ---------------------------------------------------------------------------
 
@@ -371,6 +441,38 @@ pub trait Collectives {
 
     /// Block until `pending` completes and return this rank's result.
     fn wait(&mut self, pending: Self::Pending) -> Result<Vec<f32>, Self::Error>;
+
+    /// Attach layout-transition metadata to the *next* collective this
+    /// communicator issues. [`DTensor::reshard_start`] calls this just
+    /// before lowering onto a collective so recording backends (the
+    /// `orbit-lint` abstract communicator) can tag the op with the
+    /// reshard it implements; real communicators ignore it.
+    fn annotate_reshard(&mut self, note: &ReshardNote) {
+        let _ = note;
+    }
+}
+
+/// The layout transition a collective implements, as seen by one rank —
+/// recorded by lint-mode communicators via
+/// [`Collectives::annotate_reshard`] so the static layout pass can check
+/// every recorded transition against the reshard algebra
+/// ([`reshard_legal`], [`split_legal`]) and across ranks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReshardNote {
+    /// Mesh axis being resharded.
+    pub axis: String,
+    /// Layout before the transition.
+    pub from: Layout,
+    /// Layout after the transition.
+    pub to: Layout,
+    /// Size of the mesh axis (number of shards).
+    pub ranks: usize,
+    /// This rank's coordinate along the axis.
+    pub coord: usize,
+    /// Global tensor rows.
+    pub global_rows: usize,
+    /// Global tensor columns.
+    pub global_cols: usize,
 }
 
 // ---------------------------------------------------------------------------
@@ -620,6 +722,18 @@ impl DTensor {
 
         let mut placements = self.placements.clone();
         placements[pos] = to;
+        // Transition metadata for recording communicators — attached just
+        // before each collective lowering below (local transitions issue
+        // nothing, so nothing to annotate).
+        let note = ReshardNote {
+            axis: axis.to_string(),
+            from,
+            to,
+            ranks: n,
+            coord: k,
+            global_rows: self.global_rows,
+            global_cols: self.global_cols,
+        };
         let meta = OutMeta {
             mesh: self.mesh.clone(),
             placements,
@@ -657,6 +771,7 @@ impl DTensor {
                 if d > 1 {
                     return Err(LayoutError::BadDim { dim: d }.into());
                 }
+                comm.annotate_reshard(&note);
                 let pending = comm
                     .all_gather_start(self.local.data(), prefetch)
                     .map_err(ReshardError::Comm)?;
@@ -669,6 +784,7 @@ impl DTensor {
                 })
             }
             Layout::ShardFlat => {
+                comm.annotate_reshard(&note);
                 let pending = comm
                     .all_gather_start(self.local.data(), prefetch)
                     .map_err(ReshardError::Comm)?;
@@ -688,6 +804,7 @@ impl DTensor {
                     // multiple of n with zeros, scatter the sum.
                     let mut padded = self.local.data().to_vec();
                     padded.resize(padded_len(padded.len(), n), 0.0);
+                    comm.annotate_reshard(&note);
                     let pending = comm
                         .reduce_scatter_start(&padded)
                         .map_err(ReshardError::Comm)?;
@@ -700,6 +817,7 @@ impl DTensor {
                     })
                 }
                 _ => {
+                    comm.annotate_reshard(&note);
                     let pending = comm
                         .all_reduce_start(self.local.data())
                         .map_err(ReshardError::Comm)?;

@@ -500,6 +500,11 @@ mod simd {
     /// 8-lane version of [`super::fast_exp`]: same magic-constant
     /// round-to-nearest and the same degree-5 `exp2` polynomial (evaluated
     /// with fused multiply-adds).
+    ///
+    /// # Safety
+    /// Requires AVX2+FMA (only called from `#[target_feature]` kernels
+    /// below, which inherit the caller's proof); pure register math, no
+    /// memory access.
     #[inline(always)]
     unsafe fn exp8(x: __m256) -> __m256 {
         let log2e = _mm256_set1_ps(std::f32::consts::LOG2_E);
@@ -526,6 +531,10 @@ mod simd {
     }
 
     /// Exact lane-wise max reduction of one register.
+    ///
+    /// # Safety
+    /// Requires AVX2 (inherited from the `#[target_feature]` callers);
+    /// pure register math, no memory access.
     #[inline(always)]
     unsafe fn hmax(v: __m256) -> f32 {
         let lo = _mm256_castps256_ps128(v);
@@ -538,6 +547,10 @@ mod simd {
 
     /// Fixed-order lane sum of one register (low/high halves added, then
     /// pairwise).
+    ///
+    /// # Safety
+    /// Requires AVX2 (inherited from the `#[target_feature]` callers);
+    /// pure register math, no memory access.
     #[inline(always)]
     unsafe fn hsum(v: __m256) -> f32 {
         let lo = _mm256_castps256_ps128(v);
@@ -779,11 +792,18 @@ mod simd {
 
 /// Fallback for non-x86_64 targets: vector dispatch always refuses, every
 /// call site keeps its scalar path.
+///
+/// # Safety
+/// The stubs mirror the x86_64 signatures (so call sites compile
+/// unchanged) but are unreachable: every caller gates on `ok()`, which is
+/// always `false` here, so none of them can actually be invoked.
 #[cfg(not(target_arch = "x86_64"))]
 mod simd {
     pub fn ok() -> bool {
         false
     }
+    /// # Safety
+    /// Never called: `ok()` is always `false` on this target.
     pub unsafe fn scores2_full(
         _: &[f32],
         _: &[f32],
@@ -794,6 +814,8 @@ mod simd {
     ) {
         unreachable!()
     }
+    /// # Safety
+    /// Never called: `ok()` is always `false` on this target.
     pub unsafe fn accum_rows64(
         _: &[f32],
         _: &[f32],
@@ -805,15 +827,23 @@ mod simd {
     ) {
         unreachable!()
     }
+    /// # Safety
+    /// Never called: `ok()` is always `false` on this target.
     pub unsafe fn max_exp_sum_full(_: &mut [f32], _: f32) -> (f32, f32) {
         unreachable!()
     }
+    /// # Safety
+    /// Never called: `ok()` is always `false` on this target.
     pub unsafe fn combine_ds_full(_: &mut [f32], _: &[f32], _: f32, _: f32, _: f32) {
         unreachable!()
     }
+    /// # Safety
+    /// Never called: `ok()` is always `false` on this target.
     pub unsafe fn combine_p_ds_full(_: &mut [f32], _: &mut [f32], _: f32, _: f32, _: f32) {
         unreachable!()
     }
+    /// # Safety
+    /// Never called: `ok()` is always `false` on this target.
     #[allow(clippy::too_many_arguments)]
     pub unsafe fn sweep_b_accum64(
         _: &[f32],

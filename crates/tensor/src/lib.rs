@@ -37,7 +37,10 @@ pub mod tensor;
 pub mod workspace;
 
 pub use bf16::{bf16_to_f32, f32_to_bf16, round_bf16, Precision};
-pub use dtensor::{Collectives, DTensor, DeviceMesh, Layout, LayoutError, ReshardError};
+pub use dtensor::{
+    reshard_legal, split_legal, Collectives, DTensor, DeviceMesh, Layout, LayoutError,
+    ReshardError, ReshardNote,
+};
 pub use kernels::attention::AttnPath;
 pub use matmul::{matmul, matmul_nt, matmul_p, matmul_tn};
 pub use tensor::Tensor;

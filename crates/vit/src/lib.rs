@@ -23,6 +23,8 @@
 //! engines in `orbit-core` execute the same kernels on shards and are
 //! tested for gradient equivalence against it.
 
+#![forbid(unsafe_code)]
+
 pub mod baselines;
 pub mod block;
 pub mod checkpoint;

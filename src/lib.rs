@@ -1,6 +1,9 @@
 //! ORBIT-RS umbrella crate: re-exports the full workspace public API.
 //!
 //! See the README for a quickstart and DESIGN.md for the system inventory.
+
+#![forbid(unsafe_code)]
+
 pub use orbit_comm as comm;
 pub use orbit_core as core;
 pub use orbit_data as data;

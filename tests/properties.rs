@@ -3,10 +3,10 @@
 //! semantics, shard partitioning, BF16 rounding, and metric bounds.
 
 use orbit::comm::Cluster;
-use orbit::core::sharding::{flat_shard, flat_unshard, shard_columns, shard_rows};
 use orbit::core::GroupComm;
 use orbit::data::metrics::{lat_weights, wacc};
 use orbit::tensor::bf16::{bf16_to_f32, f32_to_bf16, round_bf16};
+use orbit::tensor::dtensor::{flat_shard, flat_unshard, shard_columns, shard_rows};
 use orbit::tensor::dtensor::{DTensor, DeviceMesh, Layout};
 use orbit::tensor::init::Rng;
 use orbit::tensor::kernels::{mha_backward_ws, mha_forward_path, QkNorm};
