@@ -441,6 +441,19 @@ impl Cluster {
     pub fn survivors(&self, initial_world: usize) -> usize {
         self.failure_ledger().survivors(initial_world)
     }
+
+    /// Return up to `count` repaired nodes to the usable pool (see
+    /// [`FailureLedger::revive`]): subsequent [`survivors`] readings grow
+    /// back, so an elastic caller can replan at a *larger* world. Returns
+    /// how many nodes actually came back.
+    ///
+    /// [`survivors`]: Cluster::survivors
+    pub fn revive(&self, count: usize) -> usize {
+        self.ledger
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .revive(count)
+    }
 }
 
 /// Ranks whose failure is *explained by the fault model* and may therefore

@@ -238,6 +238,17 @@ impl FailureLedger {
     pub fn survivors(&self, initial_world: usize) -> usize {
         initial_world.saturating_sub(self.dead())
     }
+
+    /// Mark up to `count` lost nodes as repaired and returned to the
+    /// usable pool — the scale-*up* half of elasticity. Oldest deaths are
+    /// repaired first (they have been in the shop longest). Returns how
+    /// many nodes actually came back, so callers can reconcile their own
+    /// pool accounting against a ledger with fewer deaths than requested.
+    pub fn revive(&mut self, count: usize) -> usize {
+        let revived = count.min(self.entries.len());
+        self.entries.drain(..revived);
+        revived
+    }
 }
 
 /// What an injected fault does to its target rank.

@@ -131,7 +131,12 @@ impl Engine for DdpEngine {
         ck.restore(&mut self.model, &mut self.state)
             .map_err(|e| SimError::State(e.to_string()))?;
         self.trainer.restore_scaler(ck.scaler);
+        self.trainer.restore_generation(ck.adam_step);
         Ok(())
+    }
+
+    fn generation(&self) -> u64 {
+        self.trainer.generation()
     }
 
     fn name(&self) -> &str {

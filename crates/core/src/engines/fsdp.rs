@@ -294,7 +294,12 @@ impl Engine for FsdpEngine {
         self.state.v = flat_shard(&ck.adam_v, world, me);
         self.state.step = ck.adam_step;
         self.trainer.restore_scaler(ck.scaler);
+        self.trainer.restore_generation(ck.adam_step);
         Ok(())
+    }
+
+    fn generation(&self) -> u64 {
+        self.trainer.generation()
     }
 
     fn name(&self) -> &str {

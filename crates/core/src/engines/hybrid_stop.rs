@@ -650,7 +650,12 @@ impl Engine for HybridStopEngine {
             self.states[unit].step = ck.adam_step;
         }
         self.trainer.restore_scaler(ck.scaler);
+        self.trainer.restore_generation(ck.adam_step);
         Ok(())
+    }
+
+    fn generation(&self) -> u64 {
+        self.trainer.generation()
     }
 
     fn name(&self) -> &str {

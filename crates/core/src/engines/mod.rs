@@ -109,6 +109,16 @@ pub trait Engine {
         )))
     }
 
+    /// Model generation of the engine's current weights: the committed
+    /// checkpoint generation they were restored from (the store commits
+    /// `adam_step` as the generation, so this equals the global step at
+    /// commit), or 0 for freshly initialized weights. The serving layer
+    /// stamps predictions with it so response caches can refuse entries
+    /// computed by superseded weights.
+    fn generation(&self) -> u64 {
+        0
+    }
+
     /// Stable snake_case strategy name (used in reports and traces).
     fn name(&self) -> &str;
 }

@@ -336,7 +336,12 @@ impl Engine for PipelineEngine {
         self.state.v = v;
         self.state.step = ck.adam_step;
         self.trainer.restore_scaler(ck.scaler);
+        self.trainer.restore_generation(ck.adam_step);
         Ok(())
+    }
+
+    fn generation(&self) -> u64 {
+        self.trainer.generation()
     }
 
     fn name(&self) -> &str {

@@ -428,7 +428,12 @@ impl Engine for TensorParallelEngine {
         self.state.v = reshard(&ck.adam_v);
         self.state.step = ck.adam_step;
         self.trainer.restore_scaler(ck.scaler);
+        self.trainer.restore_generation(ck.adam_step);
         Ok(())
+    }
+
+    fn generation(&self) -> u64 {
+        self.trainer.generation()
     }
 
     fn name(&self) -> &str {

@@ -53,6 +53,9 @@ pub struct Trainer {
     clip_norm: Option<f32>,
     replica_id: usize,
     n_replicas: usize,
+    /// Committed checkpoint generation the current weights came from
+    /// (== the global step at commit); 0 for fresh initialization.
+    generation: u64,
 }
 
 impl Trainer {
@@ -79,6 +82,7 @@ impl Trainer {
             clip_norm: None,
             replica_id,
             n_replicas,
+            generation: 0,
         }
     }
 
@@ -278,6 +282,21 @@ impl Trainer {
             self.scaler
                 .restore_state(s.scale, s.clean_steps, s.skipped_steps);
         }
+    }
+
+    /// Record the generation of the checkpoint the engine just restored
+    /// (its `adam_step`, which the sharded store commits as the
+    /// checkpoint generation). [`Engine::generation`] reports it so the
+    /// serving layer can tag predictions for cache invalidation.
+    ///
+    /// [`Engine::generation`]: super::Engine::generation
+    pub(crate) fn restore_generation(&mut self, generation: u64) {
+        self.generation = generation;
+    }
+
+    /// The committed generation of the current weights (0 = fresh init).
+    pub(crate) fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Rescale factor that caps `grad_norm` at the configured clip

@@ -1,0 +1,172 @@
+//! Load-driven autoscaling: when a route grows or shrinks its group set.
+//!
+//! The scaler is a three-state machine per route — **Hold** inside a
+//! cooldown window, **Up** under queue pressure, **Down** under slack —
+//! evaluated at fixed virtual-time intervals on two signals the queue
+//! already exports: admitted depth (pending requests) and per-group
+//! idleness. Decisions are purely a function of `(now, signals)`, so a
+//! serving soak's scaling history is deterministic and replayable.
+
+/// Thresholds and limits for one route's scaler.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AutoScalePolicy {
+    /// Scale up when pending depth exceeds this many requests *per
+    /// currently running group*.
+    pub high_depth_per_group: usize,
+    /// Scale down when total pending depth is at or below this and at
+    /// least one group is idle.
+    pub low_depth: usize,
+    /// Virtual seconds between scaling actions on one route (Hold state;
+    /// prevents thrash while a prior action's effect is still landing).
+    pub cooldown: f64,
+    /// Never fewer groups than this.
+    pub min_groups: usize,
+    /// Never more groups than this.
+    pub max_groups: usize,
+}
+
+impl Default for AutoScalePolicy {
+    fn default() -> Self {
+        AutoScalePolicy {
+            high_depth_per_group: 8,
+            low_depth: 1,
+            cooldown: 5.0,
+            min_groups: 1,
+            max_groups: 8,
+        }
+    }
+}
+
+/// What the scaler wants done to a route's group set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScaleDecision {
+    /// Spin up one more group from the spare pool.
+    Up,
+    /// Drain and retire one idle group back to the pool.
+    Down,
+    /// Leave the group set alone (in cooldown, or load is in band).
+    Hold,
+}
+
+/// Signals the fleet samples for one route at an evaluation tick.
+#[derive(Debug, Clone, Copy)]
+pub struct RouteLoad {
+    /// Admitted requests waiting for a batch slot.
+    pub depth: usize,
+    /// Groups currently running.
+    pub groups: usize,
+    /// Groups with nothing assigned (no lease, no routed batch).
+    pub idle_groups: usize,
+}
+
+/// One route's scaler state.
+#[derive(Debug, Clone)]
+pub struct AutoScaler {
+    policy: AutoScalePolicy,
+    /// Virtual time of the last Up/Down action (`-inf` = never).
+    last_action: f64,
+}
+
+impl AutoScaler {
+    pub fn new(policy: AutoScalePolicy) -> Self {
+        assert!(policy.min_groups >= 1, "a route keeps at least one group");
+        assert!(policy.max_groups >= policy.min_groups);
+        assert!(policy.cooldown >= 0.0);
+        AutoScaler {
+            policy,
+            last_action: f64::NEG_INFINITY,
+        }
+    }
+
+    pub fn policy(&self) -> AutoScalePolicy {
+        self.policy
+    }
+
+    /// Evaluate the state machine at virtual time `now`. `Up`/`Down`
+    /// returns record the action time and start a cooldown; the caller
+    /// applies the decision (or not — e.g. an `Up` with a drained pool is
+    /// dropped, and the cooldown still holds so the scaler does not spin).
+    pub fn decide(&mut self, now: f64, load: RouteLoad) -> ScaleDecision {
+        if now - self.last_action < self.policy.cooldown {
+            return ScaleDecision::Hold;
+        }
+        if load.groups < self.policy.min_groups {
+            self.last_action = now;
+            return ScaleDecision::Up;
+        }
+        if load.depth > self.policy.high_depth_per_group * load.groups.max(1)
+            && load.groups < self.policy.max_groups
+        {
+            self.last_action = now;
+            return ScaleDecision::Up;
+        }
+        if load.depth <= self.policy.low_depth
+            && load.idle_groups > 0
+            && load.groups > self.policy.min_groups
+        {
+            self.last_action = now;
+            return ScaleDecision::Down;
+        }
+        ScaleDecision::Hold
+    }
+}
+
+/// One applied scaling action, for the fleet's replayable history.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScaleEvent {
+    /// Virtual time the action was applied.
+    pub t: f64,
+    /// Route index.
+    pub route: usize,
+    pub decision: ScaleDecision,
+    /// Groups running after the action.
+    pub groups: usize,
+    /// World size of the group spun up / retired.
+    pub world: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn load(depth: usize, groups: usize, idle_groups: usize) -> RouteLoad {
+        RouteLoad {
+            depth,
+            groups,
+            idle_groups,
+        }
+    }
+
+    #[test]
+    fn pressure_scales_up_and_slack_scales_down() {
+        let mut scaler = AutoScaler::new(AutoScalePolicy {
+            high_depth_per_group: 4,
+            low_depth: 1,
+            cooldown: 10.0,
+            min_groups: 1,
+            max_groups: 3,
+        });
+        // Depth 9 over 2 groups (> 4 per group): up.
+        assert_eq!(scaler.decide(0.0, load(9, 2, 0)), ScaleDecision::Up);
+        // Cooldown holds even under pressure.
+        assert_eq!(scaler.decide(5.0, load(50, 2, 0)), ScaleDecision::Hold);
+        // After cooldown, slack with an idle group: down.
+        assert_eq!(scaler.decide(10.0, load(0, 3, 2)), ScaleDecision::Down);
+        // Never below min_groups.
+        assert_eq!(scaler.decide(25.0, load(0, 1, 1)), ScaleDecision::Hold);
+    }
+
+    #[test]
+    fn max_groups_caps_growth_and_busy_groups_block_shrink() {
+        let mut scaler = AutoScaler::new(AutoScalePolicy {
+            high_depth_per_group: 2,
+            low_depth: 1,
+            cooldown: 0.0,
+            min_groups: 1,
+            max_groups: 2,
+        });
+        assert_eq!(scaler.decide(0.0, load(100, 2, 0)), ScaleDecision::Hold);
+        // Low depth but nobody idle: hold, not down.
+        assert_eq!(scaler.decide(1.0, load(0, 2, 0)), ScaleDecision::Hold);
+    }
+}

@@ -1,0 +1,236 @@
+//! Bounded LRU response cache with model-generation invalidation.
+//!
+//! Keys come in two flavors ([`CacheKey`]): an exact input hash (the
+//! same observation fields asked twice), and a climatology window —
+//! rollout initializations over the same climatology window share one
+//! answer, the pattern that makes caching pay off under autoregressive
+//! forecast traffic. Every entry is tagged with the **model generation**
+//! (committed checkpoint generation) of the weights that produced it.
+//! A lookup whose tag differs from the route's current generation is a
+//! *stale* entry: it is evicted and reported as a miss, never served —
+//! the zero-stale-serves invariant. [`ResponseCache::invalidate_route`]
+//! drops a route's entries eagerly when its manifest advances; the tag
+//! check is the backstop that holds even if an invalidation is missed.
+//!
+//! Recency is tracked with a monotone tick: a `BTreeMap<tick, key>`
+//! index makes both touch and LRU eviction `O(log n)` with no external
+//! linked-list crate.
+
+use std::collections::{BTreeMap, HashMap};
+
+/// What identifies a cachable response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CacheKey {
+    /// Hash of the exact input fields: identical observations get
+    /// identical forecasts (the model is deterministic).
+    Exact(u64),
+    /// Climatology window id: initializations drawn from the same
+    /// climatology window share an answer across rollout sessions.
+    Climatology {
+        /// Window index (e.g. day-of-year bucket).
+        window: u64,
+    },
+}
+
+/// Hit/miss/eviction counters for one cache's lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: usize,
+    pub misses: usize,
+    /// Entries evicted by the LRU bound.
+    pub evictions: usize,
+    /// Entries dropped eagerly by a route invalidation.
+    pub invalidated: usize,
+    /// Lookups that found an entry tagged with a superseded generation:
+    /// rejected (and evicted), counted as misses. The *refused* serves.
+    pub stale_rejected: usize,
+}
+
+impl CacheStats {
+    /// Hits over all lookups (0.0 before any lookup).
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.hits + self.misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / lookups as f64
+        }
+    }
+}
+
+struct Entry<V> {
+    value: V,
+    generation: u64,
+    tick: u64,
+}
+
+/// Bounded LRU cache over `(route, key)` with generation-tagged entries.
+pub struct ResponseCache<V> {
+    capacity: usize,
+    entries: HashMap<(usize, CacheKey), Entry<V>>,
+    /// Recency index: tick -> key. Ticks are unique (monotone counter).
+    lru: BTreeMap<u64, (usize, CacheKey)>,
+    next_tick: u64,
+    stats: CacheStats,
+}
+
+impl<V: Clone> ResponseCache<V> {
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        ResponseCache {
+            capacity,
+            entries: HashMap::new(),
+            lru: BTreeMap::new(),
+            next_tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    fn touch(&mut self, route: usize, key: CacheKey) {
+        let entry = self.entries.get_mut(&(route, key)).expect("entry exists");
+        self.lru.remove(&entry.tick);
+        entry.tick = self.next_tick;
+        self.lru.insert(self.next_tick, (route, key));
+        self.next_tick += 1;
+    }
+
+    /// Look up `key` on `route` as served by `current_generation`
+    /// weights. A present entry tagged with any other generation is
+    /// stale: it is evicted, counted, and reported as a miss — the cache
+    /// never serves a response a newer model has superseded.
+    pub fn lookup(&mut self, route: usize, key: CacheKey, current_generation: u64) -> Option<V> {
+        match self.entries.get(&(route, key)) {
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+            Some(entry) if entry.generation != current_generation => {
+                self.stats.stale_rejected += 1;
+                self.stats.misses += 1;
+                let entry = self.entries.remove(&(route, key)).expect("entry exists");
+                self.lru.remove(&entry.tick);
+                None
+            }
+            Some(entry) => {
+                let value = entry.value.clone();
+                self.stats.hits += 1;
+                self.touch(route, key);
+                Some(value)
+            }
+        }
+    }
+
+    /// Insert (or refresh) an entry produced by `generation` weights,
+    /// evicting the least-recently-used entry when at capacity.
+    pub fn insert(&mut self, route: usize, key: CacheKey, generation: u64, value: V) {
+        if let Some(old) = self.entries.remove(&(route, key)) {
+            self.lru.remove(&old.tick);
+        } else if self.entries.len() >= self.capacity {
+            let (&tick, &victim) = self
+                .lru
+                .iter()
+                .next()
+                .expect("cache full implies lru entry");
+            self.lru.remove(&tick);
+            self.entries.remove(&victim);
+            self.stats.evictions += 1;
+        }
+        self.entries.insert(
+            (route, key),
+            Entry {
+                value,
+                generation,
+                tick: self.next_tick,
+            },
+        );
+        self.lru.insert(self.next_tick, (route, key));
+        self.next_tick += 1;
+    }
+
+    /// Eagerly drop every entry on `route` whose tag is not
+    /// `new_generation` — called when the route's model manifest
+    /// advances. Returns how many entries were dropped.
+    pub fn invalidate_route(&mut self, route: usize, new_generation: u64) -> usize {
+        let victims: Vec<(u64, (usize, CacheKey))> = self
+            .entries
+            .iter()
+            .filter(|(&(r, _), e)| r == route && e.generation != new_generation)
+            .map(|(&k, e)| (e.tick, k))
+            .collect();
+        for (tick, key) in &victims {
+            self.lru.remove(tick);
+            self.entries.remove(key);
+        }
+        self.stats.invalidated += victims.len();
+        victims.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_insert_and_counters() {
+        let mut cache = ResponseCache::new(4);
+        let key = CacheKey::Exact(1);
+        assert_eq!(cache.lookup(0, key, 0), None);
+        cache.insert(0, key, 0, 10u64);
+        assert_eq!(cache.lookup(0, key, 0), Some(10));
+        // Same key on a different route is a different entry.
+        assert_eq!(cache.lookup(1, key, 0), None);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (1, 2));
+        assert!((s.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_entry() {
+        let mut cache = ResponseCache::new(2);
+        cache.insert(0, CacheKey::Exact(1), 0, 1u64);
+        cache.insert(0, CacheKey::Exact(2), 0, 2u64);
+        // Touch 1 so 2 becomes the LRU victim.
+        assert_eq!(cache.lookup(0, CacheKey::Exact(1), 0), Some(1));
+        cache.insert(0, CacheKey::Exact(3), 0, 3u64);
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.lookup(0, CacheKey::Exact(2), 0), None);
+        assert_eq!(cache.lookup(0, CacheKey::Exact(1), 0), Some(1));
+    }
+
+    #[test]
+    fn stale_generation_is_refused_and_evicted() {
+        let mut cache = ResponseCache::new(4);
+        let key = CacheKey::Climatology { window: 7 };
+        cache.insert(0, key, 3, 30u64);
+        // The route's model advanced to generation 4: the entry must
+        // never be served, even though it is present.
+        assert_eq!(cache.lookup(0, key, 4), None);
+        assert_eq!(cache.stats().stale_rejected, 1);
+        // And it was evicted, not left to rot.
+        assert_eq!(cache.len(), 0);
+    }
+
+    #[test]
+    fn route_invalidation_drops_only_that_route() {
+        let mut cache = ResponseCache::new(8);
+        cache.insert(0, CacheKey::Exact(1), 1, 1u64);
+        cache.insert(0, CacheKey::Exact(2), 1, 2u64);
+        cache.insert(1, CacheKey::Exact(1), 1, 3u64);
+        assert_eq!(cache.invalidate_route(0, 2), 2);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.lookup(1, CacheKey::Exact(1), 1), Some(3));
+        assert_eq!(cache.stats().invalidated, 2);
+    }
+}

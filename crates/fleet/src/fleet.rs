@@ -1,0 +1,839 @@
+//! The fleet front door: policy-routed, cached, autoscaling serving over
+//! heterogeneous model variants.
+//!
+//! A [`Fleet`] owns one route per [`RouteSpec`] — each route a real
+//! [`RequestQueue`] with its own [`RoutePolicy`](orbit_serve::RoutePolicy)
+//! and a set of simulated replica *groups* sized out of a shared
+//! [`RankPool`] by the frontier planner. Requests flow through a
+//! generation-tagged [`ResponseCache`] before admission; misses are
+//! batched, routed, and served in virtual time; an [`AutoScaler`] per
+//! route grows the group set from spare/returned ranks under queue
+//! pressure and drains idle groups back under slack.
+//!
+//! The driver is a single-threaded discrete-event simulation. It always
+//! processes the earliest event; at equal times, generation updates land
+//! before arrivals (a request arriving with an update sees the new
+//! weights), arrivals before group polls, and autoscale ticks last.
+//! Group service uses the non-blocking [`RequestQueue::try_poll`]:
+//! [`Polled::Pending`] parks the group until an event that can change
+//! its situation (an admission, a completion or lease drop, a roster
+//! change) wakes it — mirroring the condvar the threaded server blocks
+//! on, without threads.
+//!
+//! Faults are first-class: a [`GroupKill`] drops the victim's lease
+//! mid-service (requests re-queue under the retry budget, the
+//! exactly-once sink still dedupes) and sends its ranks to repair, to
+//! return to the pool later; a [`GenerationUpdate`] bumps a route's model
+//! generation and invalidates its cache slice, and the generation tag
+//! check makes stale serves structurally impossible even across the
+//! update boundary.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Arc;
+
+use orbit_frontier::{Planner, Strategy};
+use orbit_serve::{
+    ForecastRequest, ForecastResponse, Polled, RequestQueue, RequestTiming, ServerStats, SloBuckets,
+};
+
+use crate::autoscale::{AutoScalePolicy, AutoScaler, RouteLoad, ScaleDecision, ScaleEvent};
+use crate::cache::{CacheKey, CacheStats, ResponseCache};
+use crate::pool::RankPool;
+use crate::variant::RouteSpec;
+
+/// Strategies with an inference path (mirrors the serving layer's list;
+/// `Pipeline`/`HybridStop` have no forecast route).
+const SERVABLE: [Strategy; 4] = [
+    Strategy::SingleDevice,
+    Strategy::Ddp,
+    Strategy::Fsdp,
+    Strategy::TensorParallel,
+];
+
+/// Least common multiple of `1..=n`: a virtual global batch every
+/// candidate world divides, so group sizing is never shrunk by the
+/// training-side divisibility rule (serving batches come from the queue).
+fn lcm_through(n: usize) -> usize {
+    fn gcd(mut a: usize, mut b: usize) -> usize {
+        while b != 0 {
+            let t = a % b;
+            a = b;
+            b = t;
+        }
+        a
+    }
+    (1..=n).fold(1, |acc, k| acc / gcd(acc, k) * k)
+}
+
+/// One request against the fleet: a serving request plus the fleet-level
+/// envelope (which route, what cache identity, which rollout session).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetRequest {
+    /// Unique id across the whole run (the exactly-once sink keys on it).
+    pub id: u64,
+    /// Route index into [`FleetConfig::routes`].
+    pub route: usize,
+    /// Cache identity; `None` bypasses the cache entirely.
+    pub key: Option<CacheKey>,
+    /// Rollout session for sticky routing and warm-state accounting.
+    pub session: Option<u64>,
+    /// Simulated arrival time, seconds.
+    pub t_arrival: f64,
+    /// Absolute simulated deadline, if any.
+    pub deadline: Option<f64>,
+}
+
+/// Kill the next group serving a batch on `route` at or after `at`: its
+/// lease drops mid-service (requests re-queue) and its ranks enter
+/// repair, returning to the pool `repair_after` later.
+#[derive(Debug, Clone, Copy)]
+pub struct GroupKill {
+    pub route: usize,
+    pub at: f64,
+    pub repair_after: f64,
+}
+
+/// Advance a route's committed model generation at virtual time `at`:
+/// the route's cache slice is invalidated and later completions are
+/// tagged with the new generation.
+#[derive(Debug, Clone, Copy)]
+pub struct GenerationUpdate {
+    pub route: usize,
+    pub at: f64,
+    pub generation: u64,
+}
+
+/// Faults and model-lifecycle events injected into one run.
+#[derive(Debug, Clone, Default)]
+pub struct FleetPlan {
+    pub kills: Vec<GroupKill>,
+    pub updates: Vec<GenerationUpdate>,
+}
+
+/// Fleet-wide configuration: the routes plus shared-resource knobs.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    pub routes: Vec<RouteSpec>,
+    /// Ranks the fleet owns; every group borrows from this pool.
+    pub pool_ranks: usize,
+    /// Autoscaler thresholds applied to every route.
+    pub autoscale: AutoScalePolicy,
+    /// Virtual seconds between autoscale evaluations.
+    pub scale_interval: f64,
+    /// Response-cache entry bound (shared across routes).
+    pub cache_capacity: usize,
+    /// Virtual seconds to answer from cache (front-door hash + copy).
+    pub cache_hit_cost: f64,
+    /// SLO deadlines for latency bucketing.
+    pub slo: SloBuckets,
+}
+
+impl FleetConfig {
+    pub fn new(routes: Vec<RouteSpec>, pool_ranks: usize) -> Self {
+        assert!(!routes.is_empty(), "a fleet serves at least one route");
+        FleetConfig {
+            routes,
+            pool_ranks,
+            autoscale: AutoScalePolicy::default(),
+            scale_interval: 1.0,
+            cache_capacity: 4096,
+            cache_hit_cost: 1e-3,
+            slo: SloBuckets::default_serving(),
+        }
+    }
+
+    pub fn with_autoscale(mut self, policy: AutoScalePolicy, interval: f64) -> Self {
+        assert!(interval > 0.0);
+        self.autoscale = policy;
+        self.scale_interval = interval;
+        self
+    }
+
+    pub fn with_cache(mut self, capacity: usize, hit_cost: f64) -> Self {
+        assert!(hit_cost >= 0.0);
+        self.cache_capacity = capacity;
+        self.cache_hit_cost = hit_cost;
+        self
+    }
+
+    pub fn with_slo(mut self, slo: SloBuckets) -> Self {
+        self.slo = slo;
+        self
+    }
+}
+
+/// Per-route results of one run.
+#[derive(Debug, Clone)]
+pub struct RouteReport {
+    /// Route (variant) name.
+    pub name: String,
+    /// Routing policy that placed this route's batches.
+    pub policy: &'static str,
+    /// Model generation at the end of the run.
+    pub generation: u64,
+    /// Latency/throughput/SLO statistics over the route's responses
+    /// (cache-served responses included).
+    pub stats: ServerStats,
+    /// Responses answered by the cache front door.
+    pub cache_served: usize,
+    /// Groups launched over the route's lifetime (initial + scale-ups).
+    pub groups_launched: usize,
+    /// Kills applied to this route's groups.
+    pub kills: usize,
+}
+
+/// Everything one fleet run produced.
+#[derive(Debug, Clone)]
+pub struct FleetOutcome {
+    /// One response per request, sorted by id.
+    pub responses: Vec<ForecastResponse>,
+    /// Aggregate statistics across every route.
+    pub stats: ServerStats,
+    pub routes: Vec<RouteReport>,
+    /// Cache counters (shared cache, all routes).
+    pub cache: CacheStats,
+    /// Cache-served responses whose generation tag differed from the
+    /// route's current generation at serve time. The zero-stale-serves
+    /// invariant: must be 0.
+    pub stale_serves: usize,
+    /// Requests answered more than once (queue-detected duplicate
+    /// deliveries plus any id collisions across routes). Must be 0.
+    pub duplicates: usize,
+    /// Requests that got no response at all. Must be 0.
+    pub unanswered: usize,
+    /// Applied scaling actions, in time order.
+    pub scale_events: Vec<ScaleEvent>,
+    /// Kills that actually fired (a kill whose route never serves again
+    /// after its trigger time stays latent).
+    pub kills_applied: usize,
+}
+
+/// One live replica group in the simulation.
+struct Group {
+    /// The group's virtual clock: when it next looks for work.
+    clock: f64,
+    /// Ranks borrowed from the pool.
+    world: usize,
+    /// Parked on [`Polled::Pending`] until a queue event wakes it.
+    waiting: bool,
+}
+
+/// One route's live state during a run.
+struct RouteState {
+    spec: RouteSpec,
+    queue: Arc<RequestQueue>,
+    groups: BTreeMap<usize, Group>,
+    /// Monotone group-id source; ids are never reused.
+    next_group: usize,
+    /// Current committed model generation.
+    generation: u64,
+    scaler: AutoScaler,
+    /// `(group, session)` pairs already holding the session's warm state.
+    warm: HashSet<(usize, u64)>,
+    /// Arrivals not yet admitted or cache-answered; 0 closes the queue.
+    remaining: usize,
+    groups_launched: usize,
+    kills: usize,
+    cache_served: usize,
+}
+
+impl RouteState {
+    fn wake_all(&mut self) {
+        for g in self.groups.values_mut() {
+            g.waiting = false;
+        }
+    }
+
+    /// Wake parked groups that have a batch routed to them (outstanding
+    /// work in the queue's roster accounting).
+    fn wake_loaded(&mut self) {
+        for load in self.queue.replica_loads() {
+            if load.outstanding > 0 {
+                if let Some(g) = self.groups.get_mut(&load.replica) {
+                    g.waiting = false;
+                }
+            }
+        }
+    }
+}
+
+/// What the driver does next (ordering field two: see module docs).
+#[derive(Clone, Copy, PartialEq)]
+enum Ev {
+    Update,
+    Arrival,
+    Poll(usize, usize),
+    Scale,
+}
+
+/// The fleet front door.
+pub struct Fleet {
+    cfg: FleetConfig,
+    planner: Planner,
+}
+
+impl Fleet {
+    pub fn new(cfg: FleetConfig) -> Self {
+        Fleet {
+            cfg,
+            planner: Planner::default(),
+        }
+    }
+
+    pub fn config(&self) -> &FleetConfig {
+        &self.cfg
+    }
+
+    /// Size and launch one group for `rs` out of the pool at virtual time
+    /// `now`. Returns `None` when the pool cannot cover any feasible
+    /// world (the caller drops the scale-up; cooldown still applies).
+    fn launch_group(&self, pool: &mut RankPool, now: f64, rs: &mut RouteState) -> Option<usize> {
+        pool.tick(now);
+        let plan = self
+            .planner
+            .plan_for_pool(
+                &rs.spec.variant.model.dims,
+                pool.spare(),
+                rs.spec.group_world,
+                lcm_through(rs.spec.group_world),
+                None,
+                Some(&SERVABLE),
+            )
+            .ok()?;
+        let world = plan.gpus;
+        pool.allocate(world);
+        let id = rs.next_group;
+        rs.next_group += 1;
+        rs.groups.insert(
+            id,
+            Group {
+                clock: now,
+                world,
+                waiting: false,
+            },
+        );
+        rs.queue.add_replica(id);
+        rs.groups_launched += 1;
+        Some(id)
+    }
+
+    /// Remove group `g` from `rs`, retiring it from the queue's roster
+    /// (spilling its routed batches) and dropping its warm sessions.
+    /// Rank accounting is the caller's: release vs. fail.
+    fn remove_group(rs: &mut RouteState, g: usize) -> usize {
+        let group = rs.groups.remove(&g).expect("group exists");
+        rs.queue.retire_replica(g);
+        rs.warm.retain(|&(gg, _)| gg != g);
+        rs.wake_all();
+        group.world
+    }
+
+    /// Run `requests` (any arrival order; they are sorted) under `plan`
+    /// to completion and report.
+    pub fn run(&self, mut requests: Vec<FleetRequest>, plan: FleetPlan) -> FleetOutcome {
+        requests.sort_by(|a, b| a.t_arrival.total_cmp(&b.t_arrival).then(a.id.cmp(&b.id)));
+        let mut updates = plan.updates;
+        updates.sort_by(|a, b| a.at.total_cmp(&b.at));
+        let mut kills: Vec<(GroupKill, bool)> =
+            plan.kills.into_iter().map(|k| (k, false)).collect();
+
+        // Request metadata the queue does not carry: id -> (route, key).
+        let mut meta: HashMap<u64, (usize, Option<CacheKey>)> = HashMap::new();
+        let mut remaining_per_route = vec![0usize; self.cfg.routes.len()];
+        for req in &requests {
+            assert!(req.route < self.cfg.routes.len(), "route out of range");
+            assert!(
+                meta.insert(req.id, (req.route, req.key)).is_none(),
+                "duplicate request id {}",
+                req.id
+            );
+            remaining_per_route[req.route] += 1;
+        }
+
+        let mut pool = RankPool::new(self.cfg.pool_ranks);
+        let mut cache: ResponseCache<u64> = ResponseCache::new(self.cfg.cache_capacity);
+        let mut routes: Vec<RouteState> = self
+            .cfg
+            .routes
+            .iter()
+            .enumerate()
+            .map(|(ri, spec)| {
+                let queue = Arc::new(
+                    RequestQueue::new(spec.batch, spec.queue_capacity, spec.max_retries)
+                        .with_route(spec.route.build()),
+                );
+                let mut rs = RouteState {
+                    spec: spec.clone(),
+                    queue,
+                    groups: BTreeMap::new(),
+                    next_group: 0,
+                    generation: spec.variant.generation,
+                    scaler: AutoScaler::new(self.cfg.autoscale),
+                    warm: HashSet::new(),
+                    remaining: remaining_per_route[ri],
+                    groups_launched: 0,
+                    kills: 0,
+                    cache_served: 0,
+                };
+                for _ in 0..spec.initial_groups {
+                    assert!(
+                        self.launch_group(&mut pool, 0.0, &mut rs).is_some(),
+                        "pool of {} ranks cannot cover the initial groups",
+                        self.cfg.pool_ranks
+                    );
+                }
+                if rs.remaining == 0 {
+                    rs.queue.close();
+                }
+                rs
+            })
+            .collect();
+
+        let mut next_req = 0usize;
+        let mut next_update = 0usize;
+        let mut next_scale = self.cfg.scale_interval;
+        let mut scale_events: Vec<ScaleEvent> = Vec::new();
+        let mut cache_responses: Vec<(usize, ForecastResponse)> = Vec::new();
+        let mut stale_serves = 0usize;
+        let mut kills_applied = 0usize;
+
+        loop {
+            // Earliest event wins; ties break on the Ev ordering (update,
+            // arrival, poll by (route, group), scale).
+            let mut best: Option<(f64, u8, Ev)> = None;
+            let mut consider = |t: f64, pri: u8, ev: Ev| {
+                if best.is_none_or(|(bt, bp, _)| t < bt || (t == bt && pri < bp)) {
+                    best = Some((t, pri, ev));
+                }
+            };
+            if next_update < updates.len() {
+                consider(updates[next_update].at, 0, Ev::Update);
+            }
+            if next_req < requests.len() {
+                consider(requests[next_req].t_arrival, 1, Ev::Arrival);
+            }
+            for (ri, rs) in routes.iter().enumerate() {
+                for (&g, group) in &rs.groups {
+                    if !group.waiting {
+                        consider(group.clock, 2, Ev::Poll(ri, g));
+                    }
+                }
+            }
+            // Scale ticks run while traffic is still arriving, and as a
+            // rescue heartbeat when a late kill left a route with backlog
+            // but no groups (the tick re-launches once repairs mature).
+            let traffic_open = next_req < requests.len()
+                || routes
+                    .iter()
+                    .any(|rs| rs.groups.is_empty() && rs.queue.backlog() > 0);
+            if traffic_open {
+                consider(next_scale, 3, Ev::Scale);
+            }
+            let Some((now, _, ev)) = best else { break };
+
+            match ev {
+                Ev::Update => {
+                    let u = updates[next_update];
+                    next_update += 1;
+                    let rs = &mut routes[u.route];
+                    rs.generation = u.generation;
+                    cache.invalidate_route(u.route, u.generation);
+                }
+                Ev::Arrival => {
+                    let req = requests[next_req].clone();
+                    next_req += 1;
+                    let ri = req.route;
+                    let hit = req.key.and_then(|key| {
+                        cache
+                            .lookup(ri, key, routes[ri].generation)
+                            .map(|g| (key, g))
+                    });
+                    let rs = &mut routes[ri];
+                    rs.remaining -= 1;
+                    if let Some((_, tag)) = hit {
+                        // Front-door answer: never enqueued. The tag
+                        // equals the route generation by construction
+                        // (lookup refuses anything else); count any
+                        // mismatch as a stale serve so the invariant is
+                        // checked end to end, not assumed.
+                        if tag != rs.generation {
+                            stale_serves += 1;
+                        }
+                        rs.cache_served += 1;
+                        cache_responses.push((
+                            ri,
+                            ForecastResponse {
+                                id: req.id,
+                                result: Ok(Vec::new()),
+                                timing: RequestTiming {
+                                    t_arrival: req.t_arrival,
+                                    t_batch: req.t_arrival,
+                                    t_done: req.t_arrival + self.cfg.cache_hit_cost,
+                                },
+                                replica: usize::MAX,
+                                batch_size: 1,
+                                generation: tag,
+                            },
+                        ));
+                    } else {
+                        let mut fr = ForecastRequest::new(req.id, Vec::new(), req.t_arrival);
+                        if let Some(d) = req.deadline {
+                            fr = fr.with_deadline(d);
+                        }
+                        if let Some(s) = req.session {
+                            fr = fr.with_session(s);
+                        }
+                        rs.queue.submit(fr);
+                        rs.wake_all();
+                    }
+                    if rs.remaining == 0 {
+                        rs.queue.close();
+                        rs.wake_all();
+                    }
+                }
+                Ev::Poll(ri, g) => {
+                    let rs = &mut routes[ri];
+                    let clock = rs.groups[&g].clock;
+                    match rs.queue.try_poll(g, clock) {
+                        Polled::Batch(lease) => {
+                            let n = lease.len();
+                            let start = clock.max(lease.t_batch());
+                            let fresh: Vec<u64> = {
+                                let mut seen = HashSet::new();
+                                lease
+                                    .requests()
+                                    .iter()
+                                    .filter_map(|r| r.session)
+                                    .filter(|&s| seen.insert(s) && !rs.warm.contains(&(g, s)))
+                                    .collect()
+                            };
+                            let t_done = start
+                                + rs.spec.service.time(n)
+                                + rs.spec.session_warmup * fresh.len() as f64;
+                            let kill = kills
+                                .iter_mut()
+                                .find(|(k, used)| !*used && k.route == ri && k.at <= t_done);
+                            if let Some((k, used)) = kill {
+                                // The group dies mid-service: dropping
+                                // the lease re-queues the batch under the
+                                // retry budget; the ranks go to repair.
+                                *used = true;
+                                let t_kill = k.at.max(start);
+                                let repair = t_kill + k.repair_after;
+                                drop(lease);
+                                let world = Self::remove_group(rs, g);
+                                pool.fail(world, repair);
+                                rs.kills += 1;
+                                kills_applied += 1;
+                            } else {
+                                for s in fresh {
+                                    rs.warm.insert((g, s));
+                                }
+                                for r in lease.requests() {
+                                    let (_, key) = meta[&r.id];
+                                    if let Some(key) = key {
+                                        cache.insert(ri, key, rs.generation, rs.generation);
+                                    }
+                                }
+                                lease.complete_tagged(t_done, rs.generation, vec![Vec::new(); n]);
+                                rs.groups.get_mut(&g).expect("group exists").clock = t_done;
+                                rs.wake_all();
+                            }
+                        }
+                        Polled::IdleUntil(t) => {
+                            let group = rs.groups.get_mut(&g).expect("group exists");
+                            if t > group.clock {
+                                group.clock = t;
+                            } else {
+                                // Defensive: a non-advancing wake would
+                                // spin the driver; park until an event.
+                                group.waiting = true;
+                            }
+                        }
+                        Polled::Pending => {
+                            rs.groups.get_mut(&g).expect("group exists").waiting = true;
+                            // The poll may still have formed and routed
+                            // batches to other groups: hand them the cue.
+                            rs.wake_loaded();
+                        }
+                        Polled::Shutdown => {
+                            let world = Self::remove_group(rs, g);
+                            pool.release(world);
+                        }
+                    }
+                }
+                Ev::Scale => {
+                    pool.tick(now);
+                    for (ri, rs) in routes.iter_mut().enumerate() {
+                        if rs.remaining == 0 && rs.queue.backlog() == 0 {
+                            continue;
+                        }
+                        let loads = rs.queue.replica_loads();
+                        let idle = rs
+                            .groups
+                            .keys()
+                            .filter(|g| {
+                                loads
+                                    .iter()
+                                    .find(|l| l.replica == **g)
+                                    .is_none_or(|l| l.outstanding == 0)
+                            })
+                            .count();
+                        let load = RouteLoad {
+                            depth: rs.queue.depth(),
+                            groups: rs.groups.len(),
+                            idle_groups: idle,
+                        };
+                        match rs.scaler.decide(now, load) {
+                            ScaleDecision::Up => {
+                                if let Some(g) = self.launch_group(&mut pool, now, rs) {
+                                    let world = rs.groups[&g].world;
+                                    scale_events.push(ScaleEvent {
+                                        t: now,
+                                        route: ri,
+                                        decision: ScaleDecision::Up,
+                                        groups: rs.groups.len(),
+                                        world,
+                                    });
+                                }
+                            }
+                            ScaleDecision::Down => {
+                                // Drain the youngest idle group back.
+                                let victim = rs
+                                    .groups
+                                    .iter()
+                                    .rev()
+                                    .find(|(g, _)| {
+                                        loads
+                                            .iter()
+                                            .find(|l| l.replica == **g)
+                                            .is_none_or(|l| l.outstanding == 0)
+                                    })
+                                    .map(|(&g, _)| g);
+                                if let Some(g) = victim {
+                                    let world = Self::remove_group(rs, g);
+                                    pool.release(world);
+                                    scale_events.push(ScaleEvent {
+                                        t: now,
+                                        route: ri,
+                                        decision: ScaleDecision::Down,
+                                        groups: rs.groups.len(),
+                                        world,
+                                    });
+                                }
+                            }
+                            ScaleDecision::Hold => {}
+                        }
+                    }
+                    next_scale = now + self.cfg.scale_interval;
+                }
+            }
+        }
+
+        // Safety net: answer anything somehow still in flight (none, in a
+        // correct run) so exactly-once accounting sees every id.
+        for rs in &routes {
+            rs.queue.fail_remaining();
+        }
+
+        // Assemble per-route and overall reports.
+        let mut all: Vec<ForecastResponse> = Vec::new();
+        let mut all_batches: Vec<usize> = Vec::new();
+        let mut queue_dups = 0usize;
+        let mut reports: Vec<RouteReport> = Vec::new();
+        for (ri, rs) in routes.iter().enumerate() {
+            let mut responses = rs.queue.responses();
+            responses.extend(
+                cache_responses
+                    .iter()
+                    .filter(|(r, _)| *r == ri)
+                    .map(|(_, resp)| resp.clone()),
+            );
+            let batches = rs.queue.batch_sizes();
+            let dups = rs.queue.duplicates();
+            queue_dups += dups;
+            reports.push(RouteReport {
+                name: rs.spec.variant.name.clone(),
+                policy: rs.queue.route_name(),
+                generation: rs.generation,
+                stats: ServerStats::from_run_with(&responses, &batches, dups, &self.cfg.slo),
+                cache_served: rs.cache_served,
+                groups_launched: rs.groups_launched,
+                kills: rs.kills,
+            });
+            all.extend(responses);
+            all_batches.extend(batches);
+        }
+        all.sort_by_key(|r| r.id);
+        let mut extra_dups = 0usize;
+        let mut answered: HashSet<u64> = HashSet::with_capacity(all.len());
+        for r in &all {
+            if !answered.insert(r.id) {
+                extra_dups += 1;
+            }
+        }
+        let unanswered = meta.keys().filter(|id| !answered.contains(id)).count();
+        let duplicates = queue_dups + extra_dups;
+        let stats = ServerStats::from_run_with(&all, &all_batches, duplicates, &self.cfg.slo);
+
+        FleetOutcome {
+            responses: all,
+            stats,
+            routes: reports,
+            cache: cache.stats(),
+            stale_serves,
+            duplicates,
+            unanswered,
+            scale_events,
+            kills_applied,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::variant::{ModelVariant, ServiceProfile};
+    use crate::workload::WorkloadSpec;
+    use orbit_serve::{BatchPolicy, RouteKind};
+    use orbit_vit::VitConfig;
+
+    fn two_route_cfg(route: RouteKind) -> FleetConfig {
+        let model = VitConfig::test_tiny();
+        let fast = RouteSpec::new(
+            ModelVariant::new("medium-res", model, 1),
+            ServiceProfile::new(0.01, 0.005),
+        )
+        .with_route(route)
+        .with_groups(2, 1);
+        let slow = RouteSpec::new(
+            ModelVariant::new("high-res", model, 2),
+            ServiceProfile::new(0.03, 0.01),
+        )
+        .with_route(route)
+        .with_groups(1, 1);
+        FleetConfig::new(vec![fast, slow], 8)
+    }
+
+    #[test]
+    fn mixed_soak_is_exactly_once_with_cache_hits() {
+        let cfg = two_route_cfg(RouteKind::LeastLoaded);
+        let reqs = WorkloadSpec::mixed(2000, 2, 7).generate();
+        let out = Fleet::new(cfg).run(reqs, FleetPlan::default());
+        assert_eq!(out.responses.len(), 2000);
+        assert_eq!(out.duplicates, 0);
+        assert_eq!(out.unanswered, 0);
+        assert_eq!(out.stale_serves, 0);
+        assert!(out.cache.hits > 0, "climatology reuse must hit");
+        assert!(out.stats.completed > 0);
+        // Per-route reports cover both variants.
+        assert_eq!(out.routes.len(), 2);
+        assert!(out.routes.iter().all(|r| r.stats.completed > 0));
+    }
+
+    #[test]
+    fn kills_and_generation_updates_keep_invariants() {
+        let cfg = two_route_cfg(RouteKind::RoundRobin);
+        let reqs = WorkloadSpec::mixed(3000, 2, 11).generate();
+        let horizon = reqs.last().unwrap().t_arrival;
+        let plan = FleetPlan {
+            kills: vec![
+                GroupKill {
+                    route: 0,
+                    at: horizon * 0.3,
+                    repair_after: horizon * 0.1,
+                },
+                GroupKill {
+                    route: 1,
+                    at: horizon * 0.5,
+                    repair_after: horizon * 0.1,
+                },
+            ],
+            updates: vec![
+                GenerationUpdate {
+                    route: 0,
+                    at: horizon * 0.4,
+                    generation: 7,
+                },
+                GenerationUpdate {
+                    route: 1,
+                    at: horizon * 0.6,
+                    generation: 9,
+                },
+            ],
+        };
+        let out = Fleet::new(cfg).run(reqs, plan);
+        assert_eq!(out.kills_applied, 2);
+        assert_eq!(out.duplicates, 0, "exactly-once survives kills");
+        assert_eq!(out.unanswered, 0);
+        assert_eq!(out.stale_serves, 0, "no stale serve across an update");
+        assert!(out.cache.invalidated > 0 || out.cache.stale_rejected > 0);
+        assert_eq!(out.routes[0].generation, 7);
+        assert_eq!(out.routes[1].generation, 9);
+        assert!(out.routes.iter().all(|r| r.kills == 1));
+    }
+
+    #[test]
+    fn pressure_scales_up_and_slack_scales_down() {
+        let model = VitConfig::test_tiny();
+        // One slow group, heavy traffic: the scaler must grow the route,
+        // then drain it again once arrivals stop.
+        let route = RouteSpec::new(
+            ModelVariant::new("medium-res", model, 1),
+            ServiceProfile::new(0.05, 0.02),
+        )
+        .with_groups(1, 1)
+        .with_capacity(4096);
+        let cfg = FleetConfig::new(vec![route], 6).with_autoscale(
+            AutoScalePolicy {
+                high_depth_per_group: 4,
+                low_depth: 1,
+                cooldown: 0.5,
+                min_groups: 1,
+                max_groups: 4,
+            },
+            0.25,
+        );
+        let mut spec = WorkloadSpec::mixed(1500, 1, 5);
+        spec.mean_gap = 0.01;
+        let out = Fleet::new(cfg).run(spec.generate(), FleetPlan::default());
+        assert!(
+            out.scale_events
+                .iter()
+                .any(|e| e.decision == ScaleDecision::Up),
+            "queue pressure must trigger a scale-up: {:?}",
+            out.scale_events
+        );
+        assert_eq!(out.duplicates, 0);
+        assert_eq!(out.unanswered, 0);
+    }
+
+    #[test]
+    fn sticky_beats_round_robin_on_rollout_traffic() {
+        let model = VitConfig::test_tiny();
+        let mk = |route: RouteKind| {
+            // Immediate batching: every request is routed by its own
+            // session, so the comparison isolates the pinning effect.
+            let spec = RouteSpec::new(
+                ModelVariant::new("medium-res", model, 1),
+                ServiceProfile::new(0.002, 0.001),
+            )
+            .with_route(route)
+            .with_batch(BatchPolicy::immediate())
+            .with_groups(3, 1)
+            .with_session_warmup(0.05)
+            .with_capacity(4096);
+            FleetConfig::new(vec![spec], 3)
+        };
+        let reqs = WorkloadSpec::rollout(2000, 1, 13).generate();
+        let sticky = Fleet::new(mk(RouteKind::Sticky)).run(reqs.clone(), FleetPlan::default());
+        let rr = Fleet::new(mk(RouteKind::RoundRobin)).run(reqs, FleetPlan::default());
+        assert_eq!(sticky.duplicates + rr.duplicates, 0);
+        assert!(
+            sticky.stats.mean_latency < rr.stats.mean_latency,
+            "sticky {} vs round-robin {}: pinning sessions must avoid re-warms",
+            sticky.stats.mean_latency,
+            rr.stats.mean_latency
+        );
+    }
+}

@@ -1,0 +1,47 @@
+//! orbit-fleet: a policy-routed, cached, autoscaling multi-model
+//! serving fleet over the orbit-serve data plane.
+//!
+//! A pretrained ORBIT base model ships as a family of fine-tuned
+//! variants — medium-res weather, high-res weather, air pollution, waves
+//! — each behind a named route with its own latency/throughput profile.
+//! This crate simulates operating that family as one *fleet* on a shared
+//! rank pool, in virtual time, on top of the real serving primitives:
+//!
+//! - **Routing** ([`fleet`]): each route is a real
+//!   [`RequestQueue`](orbit_serve::RequestQueue) whose batches are placed
+//!   across replica groups by a pluggable
+//!   [`RoutePolicy`](orbit_serve::RoutePolicy) — round-robin,
+//!   least-loaded, or sticky sessions for autoregressive rollouts.
+//! - **Caching** ([`cache`]): a bounded LRU in front of admission, keyed
+//!   by exact input hash or climatology window, every entry tagged with
+//!   the model generation that produced it. Stale tags are refused and
+//!   evicted, never served.
+//! - **Autoscaling** ([`autoscale`], [`pool`]): a per-route state
+//!   machine grows groups out of spare/repaired ranks under queue
+//!   pressure and drains idle groups under slack, with the frontier
+//!   planner sizing each group.
+//! - **Workloads** ([`workload`]): deterministic rollout-session and
+//!   ad-hoc traffic generators for soaks and benchmarks.
+//!
+//! The headline invariants — every request answered exactly once and no
+//! response served from superseded weights — hold under kills,
+//! autoscale events, and mid-run model-generation updates, and the fleet
+//! soak ([`Fleet::run`]) checks them end to end rather than assuming
+//! them.
+
+pub mod autoscale;
+pub mod cache;
+pub mod fleet;
+pub mod pool;
+pub mod variant;
+pub mod workload;
+
+pub use autoscale::{AutoScalePolicy, AutoScaler, RouteLoad, ScaleDecision, ScaleEvent};
+pub use cache::{CacheKey, CacheStats, ResponseCache};
+pub use fleet::{
+    Fleet, FleetConfig, FleetOutcome, FleetPlan, FleetRequest, GenerationUpdate, GroupKill,
+    RouteReport,
+};
+pub use pool::RankPool;
+pub use variant::{ModelVariant, RouteSpec, ServiceProfile};
+pub use workload::WorkloadSpec;

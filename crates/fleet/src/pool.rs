@@ -1,0 +1,112 @@
+//! Shared rank pool: the accounting layer the autoscaler draws on.
+//!
+//! The fleet owns a fixed allocation of ranks. Each replica group borrows
+//! `world` of them while it exists; a killed group's ranks go into repair
+//! and *return* at a later virtual time (the returned-rank half of
+//! elasticity that shrink-only serving left open); a drained group's
+//! ranks come back immediately. The pool never materializes rank ids —
+//! groups are launched on their own simulated clusters — it guarantees
+//! the fleet never runs more simultaneous ranks than it owns.
+
+/// Rank accounting for one serving fleet.
+#[derive(Debug, Clone)]
+pub struct RankPool {
+    total: usize,
+    allocated: usize,
+    /// Ranks in repair: `(available_at, count)`, unordered.
+    repairs: Vec<(f64, usize)>,
+}
+
+impl RankPool {
+    pub fn new(total: usize) -> Self {
+        assert!(total > 0, "a fleet needs at least one rank");
+        RankPool {
+            total,
+            allocated: 0,
+            repairs: Vec::new(),
+        }
+    }
+
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    pub fn allocated(&self) -> usize {
+        self.allocated
+    }
+
+    /// Ranks available to lend right now (repaired ranks count only
+    /// after [`tick`](RankPool::tick) passes their return time).
+    pub fn spare(&self) -> usize {
+        let in_repair: usize = self.repairs.iter().map(|&(_, n)| n).sum();
+        self.total - self.allocated - in_repair
+    }
+
+    /// Admit repaired ranks whose return time has passed. Returns how
+    /// many came back on this tick.
+    pub fn tick(&mut self, now: f64) -> usize {
+        let mut returned = 0;
+        self.repairs.retain(|&(at, n)| {
+            if at <= now {
+                returned += n;
+                false
+            } else {
+                true
+            }
+        });
+        returned
+    }
+
+    /// Borrow `n` ranks for a new group. Panics if the pool cannot cover
+    /// it — callers must size against [`spare`](RankPool::spare).
+    pub fn allocate(&mut self, n: usize) {
+        assert!(n <= self.spare(), "pool overdraw: {} > {}", n, self.spare());
+        self.allocated += n;
+    }
+
+    /// Return `n` healthy ranks (a drained group): immediately spare.
+    pub fn release(&mut self, n: usize) {
+        assert!(n <= self.allocated, "releasing ranks the pool never lent");
+        self.allocated -= n;
+    }
+
+    /// Lose `n` allocated ranks to a fault; they return to the spare set
+    /// once [`tick`](RankPool::tick) passes `available_at`.
+    pub fn fail(&mut self, n: usize, available_at: f64) {
+        assert!(n <= self.allocated, "failing ranks the pool never lent");
+        self.allocated -= n;
+        self.repairs.push((available_at, n));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn failed_ranks_return_after_repair() {
+        let mut pool = RankPool::new(8);
+        pool.allocate(6);
+        assert_eq!(pool.spare(), 2);
+        // Four ranks die; they are neither allocated nor spare until
+        // their repair completes.
+        pool.fail(4, 10.0);
+        assert_eq!(pool.allocated(), 2);
+        assert_eq!(pool.spare(), 2);
+        assert_eq!(pool.tick(5.0), 0);
+        assert_eq!(pool.spare(), 2);
+        assert_eq!(pool.tick(10.0), 4);
+        assert_eq!(pool.spare(), 6);
+        // Healthy release is immediate.
+        pool.release(2);
+        assert_eq!(pool.spare(), 8);
+        assert_eq!(pool.allocated(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "pool overdraw")]
+    fn overdraw_panics() {
+        let mut pool = RankPool::new(2);
+        pool.allocate(3);
+    }
+}

@@ -1,0 +1,126 @@
+//! Model variants and route specifications — the fleet's product shape.
+//!
+//! A fleet serves several fine-tuned variants of the base model behind
+//! named routes (the Aurora product shape: medium-res, high-res,
+//! air-pollution, wave). Each route owns its variant, routing policy,
+//! batching policy, and autoscaling envelope; the fleet maps requests to
+//! routes by index.
+
+use orbit_serve::{BatchPolicy, RouteKind};
+use orbit_vit::VitConfig;
+
+/// One fine-tuned model variant a route serves.
+#[derive(Debug, Clone)]
+pub struct ModelVariant {
+    /// Route name (e.g. `"medium-res"`, `"high-res"`).
+    pub name: String,
+    /// Architecture/config of this variant.
+    pub model: VitConfig,
+    /// Weight seed (stands in for the fine-tune lineage).
+    pub seed: u64,
+    /// Current committed model generation from the variant's checkpoint
+    /// manifest; bumped by a generation update, which invalidates the
+    /// route's cache entries.
+    pub generation: u64,
+}
+
+impl ModelVariant {
+    pub fn new(name: &str, model: VitConfig, seed: u64) -> Self {
+        ModelVariant {
+            name: name.to_string(),
+            model,
+            seed,
+            generation: 0,
+        }
+    }
+}
+
+/// Virtual service-time model for one variant's groups, probed from the
+/// real engines (serve-bench style) or set directly: a batch of `n`
+/// requests takes `base + per_request * n` simulated seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceProfile {
+    /// Fixed per-batch cost (dispatch + weight streaming).
+    pub base: f64,
+    /// Marginal per-request cost within a batch.
+    pub per_request: f64,
+}
+
+impl ServiceProfile {
+    pub fn new(base: f64, per_request: f64) -> Self {
+        assert!(base >= 0.0 && per_request > 0.0);
+        ServiceProfile { base, per_request }
+    }
+
+    /// Simulated seconds to serve a batch of `n`.
+    pub fn time(&self, n: usize) -> f64 {
+        self.base + self.per_request * n as f64
+    }
+}
+
+/// Everything one named route needs: variant, policies, and sizing.
+#[derive(Debug, Clone)]
+pub struct RouteSpec {
+    pub variant: ModelVariant,
+    /// How batches are placed across this route's replica groups.
+    pub route: RouteKind,
+    pub batch: BatchPolicy,
+    pub queue_capacity: usize,
+    pub max_retries: u32,
+    /// Groups to spin up before traffic starts.
+    pub initial_groups: usize,
+    /// Per-group world-size cap when sizing groups out of the pool.
+    pub group_world: usize,
+    /// Virtual service-time model of one group.
+    pub service: ServiceProfile,
+    /// One-time cost of warming a rollout session's state on a group
+    /// that has not served that session before.
+    pub session_warmup: f64,
+}
+
+impl RouteSpec {
+    /// A route with serving-shaped defaults: least-loaded routing,
+    /// batches of 4 with a 50 ms linger, capacity 256, 2 retries, one
+    /// single-rank group.
+    pub fn new(variant: ModelVariant, service: ServiceProfile) -> Self {
+        RouteSpec {
+            variant,
+            route: RouteKind::LeastLoaded,
+            batch: BatchPolicy::batched(4, 0.05),
+            queue_capacity: 256,
+            max_retries: 2,
+            initial_groups: 1,
+            group_world: 1,
+            service,
+            session_warmup: 0.0,
+        }
+    }
+
+    pub fn with_route(mut self, route: RouteKind) -> Self {
+        self.route = route;
+        self
+    }
+
+    pub fn with_batch(mut self, batch: BatchPolicy) -> Self {
+        self.batch = batch;
+        self
+    }
+
+    pub fn with_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity;
+        self
+    }
+
+    pub fn with_groups(mut self, initial: usize, group_world: usize) -> Self {
+        assert!(initial >= 1 && group_world >= 1);
+        self.initial_groups = initial;
+        self.group_world = group_world;
+        self
+    }
+
+    pub fn with_session_warmup(mut self, warmup: f64) -> Self {
+        assert!(warmup >= 0.0);
+        self.session_warmup = warmup;
+        self
+    }
+}

@@ -1,0 +1,201 @@
+//! Deterministic traffic generation for fleet soaks.
+//!
+//! Two populations, mirroring forecast-service traffic:
+//!
+//! - **Rollout sessions** (AERIS/ORBIT-2 style): autoregressive
+//!   forecasts of `rollout_len` steps, one request per step, spaced
+//!   `step_gap` apart, all steps sharing a session id (what sticky
+//!   routing exploits). Step 0 initializes from a shared climatology
+//!   window — a [`CacheKey::Climatology`] key many sessions repeat —
+//!   and later steps are unique inputs keyed by input hash.
+//! - **Ad-hoc queries**: sessionless one-shot requests over a popular-key
+//!   distribution, a fraction of which repeat exact inputs
+//!   ([`CacheKey::Exact`] hits).
+//!
+//! Everything derives from SplitMix64 streams seeded by `seed`, so a
+//! workload is a pure function of its spec.
+
+use crate::cache::CacheKey;
+use crate::fleet::FleetRequest;
+
+/// SplitMix64: the repo's standard cheap deterministic stream.
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Uniform f64 in [0, 1).
+fn unit(x: &mut u64) -> f64 {
+    (splitmix64(x) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Shape of one generated workload.
+#[derive(Debug, Clone)]
+pub struct WorkloadSpec {
+    /// Total requests to generate (sessions are truncated to fit).
+    pub requests: usize,
+    /// Relative traffic weight per route (index = route id).
+    pub route_weights: Vec<f64>,
+    /// Fraction of requests that belong to rollout sessions (0..=1).
+    pub rollout_share: f64,
+    /// Steps per rollout session.
+    pub rollout_len: usize,
+    /// Virtual seconds between consecutive steps of one session.
+    pub step_gap: f64,
+    /// Mean virtual seconds between workload starts (sessions count as
+    /// one start); arrivals jitter uniformly around the mean.
+    pub mean_gap: f64,
+    /// Distinct climatology windows session initializations draw from.
+    pub climatology_windows: u64,
+    /// Distinct popular exact inputs the ad-hoc population draws from
+    /// (smaller = hotter = more cache hits).
+    pub popular_inputs: u64,
+    /// Per-request absolute deadline offset from arrival (None = none).
+    pub deadline: Option<f64>,
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// A small mixed workload over `routes` routes.
+    pub fn mixed(requests: usize, routes: usize, seed: u64) -> Self {
+        WorkloadSpec {
+            requests,
+            route_weights: vec![1.0; routes],
+            rollout_share: 0.6,
+            rollout_len: 8,
+            step_gap: 0.05,
+            mean_gap: 0.02,
+            climatology_windows: 16,
+            popular_inputs: 64,
+            deadline: None,
+            seed,
+        }
+    }
+
+    /// Pure rollout traffic (every request belongs to a session) — the
+    /// pattern where sticky routing and climatology caching pay off.
+    pub fn rollout(requests: usize, routes: usize, seed: u64) -> Self {
+        WorkloadSpec {
+            rollout_share: 1.0,
+            ..Self::mixed(requests, routes, seed)
+        }
+    }
+
+    /// Pick a route by weight.
+    fn route(&self, stream: &mut u64) -> usize {
+        let total: f64 = self.route_weights.iter().sum();
+        let mut draw = unit(stream) * total;
+        for (i, w) in self.route_weights.iter().enumerate() {
+            if draw < *w {
+                return i;
+            }
+            draw -= w;
+        }
+        self.route_weights.len() - 1
+    }
+
+    /// Generate the workload, sorted by arrival time, ids dense from 0.
+    pub fn generate(&self) -> Vec<FleetRequest> {
+        assert!(!self.route_weights.is_empty());
+        assert!((0.0..=1.0).contains(&self.rollout_share));
+        assert!(self.rollout_len >= 1 && self.mean_gap > 0.0);
+        let mut stream = self.seed;
+        let mut out = Vec::with_capacity(self.requests);
+        let mut t = 0.0f64;
+        let mut session = 0u64;
+        while out.len() < self.requests {
+            // Arrival jitter: uniform in [0.5, 1.5) * mean_gap keeps the
+            // rate while breaking lockstep.
+            t += self.mean_gap * (0.5 + unit(&mut stream));
+            let route = self.route(&mut stream);
+            if unit(&mut stream) < self.rollout_share {
+                // One rollout session: step 0 keys on a shared
+                // climatology window; later steps are unique inputs.
+                session += 1;
+                let window = splitmix64(&mut stream) % self.climatology_windows;
+                for step in 0..self.rollout_len {
+                    if out.len() >= self.requests {
+                        break;
+                    }
+                    let id = out.len() as u64;
+                    let t_arrival = t + step as f64 * self.step_gap;
+                    let key = if step == 0 {
+                        CacheKey::Climatology { window }
+                    } else {
+                        CacheKey::Exact(splitmix64(&mut stream))
+                    };
+                    out.push(FleetRequest {
+                        id,
+                        route,
+                        key: Some(key),
+                        session: Some(session),
+                        t_arrival,
+                        deadline: self.deadline.map(|d| t_arrival + d),
+                    });
+                }
+            } else {
+                let id = out.len() as u64;
+                let key = CacheKey::Exact(splitmix64(&mut stream) % self.popular_inputs);
+                out.push(FleetRequest {
+                    id,
+                    route,
+                    key: Some(key),
+                    session: None,
+                    t_arrival: t,
+                    deadline: self.deadline.map(|d| t + d),
+                });
+            }
+        }
+        // Session steps extend past later starts: restore arrival order.
+        out.sort_by(|a, b| a.t_arrival.total_cmp(&b.t_arrival).then(a.id.cmp(&b.id)));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_is_deterministic_sorted_and_mixed() {
+        let spec = WorkloadSpec::mixed(500, 2, 9);
+        let a = spec.generate();
+        let b = spec.generate();
+        assert_eq!(a.len(), 500);
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0].t_arrival <= w[1].t_arrival));
+        // Both routes see traffic; both populations are present.
+        assert!(a.iter().any(|r| r.route == 0) && a.iter().any(|r| r.route == 1));
+        assert!(a.iter().any(|r| r.session.is_some()));
+        assert!(a.iter().any(|r| r.session.is_none()));
+        // Ids are dense and unique.
+        let mut ids: Vec<u64> = a.iter().map(|r| r.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..500).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn rollout_sessions_share_climatology_windows() {
+        let spec = WorkloadSpec::rollout(400, 1, 3);
+        let reqs = spec.generate();
+        let inits: Vec<&FleetRequest> = reqs
+            .iter()
+            .filter(|r| matches!(r.key, Some(CacheKey::Climatology { .. })))
+            .collect();
+        // Many sessions, only 16 windows: some window must repeat.
+        let mut windows: Vec<u64> = inits
+            .iter()
+            .map(|r| match r.key {
+                Some(CacheKey::Climatology { window }) => window,
+                _ => unreachable!(),
+            })
+            .collect();
+        let total = windows.len();
+        windows.sort_unstable();
+        windows.dedup();
+        assert!(windows.len() < total, "shared windows make cache hits");
+    }
+}

@@ -335,6 +335,32 @@ impl Planner {
             global_batch,
         })
     }
+
+    /// Size one replica group out of a shared rank pool: the best
+    /// executable plan at the largest world `<= min(spare, max_world)`.
+    /// A serving fleet calls this when it scales a route up — `spare` is
+    /// what the pool can lend right now, and `max_world` caps how much of
+    /// it one group may take so a single route cannot starve the rest of
+    /// the fleet. Same constraint semantics as
+    /// [`Planner::plan_for_survivors`].
+    pub fn plan_for_pool(
+        &self,
+        dims: &ModelDims,
+        spare: usize,
+        max_world: usize,
+        global_batch: usize,
+        mem_budget: Option<u64>,
+        allowed: Option<&[Strategy]>,
+    ) -> Result<Plan, PlanError> {
+        let cap = spare.min(max_world);
+        if cap == 0 {
+            return Err(PlanError::NoFeasible {
+                gpus: 0,
+                global_batch,
+            });
+        }
+        self.plan_for_survivors(dims, cap, global_batch, mem_budget, allowed)
+    }
 }
 
 #[cfg(test)]
@@ -473,6 +499,26 @@ mod tests {
             8 % Planner::data_shards(plan.chosen.strategy, &plan.chosen.layout),
             0
         );
+    }
+
+    #[test]
+    fn pool_plan_caps_one_group_at_max_world() {
+        let planner = Planner::default();
+        // 12 spare ranks but a per-group cap of 4: the group takes at
+        // most 4, not the whole pool.
+        let plan = planner
+            .plan_for_pool(&tiny_dims(), 12, 4, 8, None, None)
+            .unwrap();
+        assert!(plan.gpus <= 4);
+        // A drained pool (or a zero cap) is NoFeasible, not a panic.
+        assert!(planner
+            .plan_for_pool(&tiny_dims(), 0, 4, 8, None, None)
+            .is_err());
+        // The pool itself can be the binding constraint.
+        let plan = planner
+            .plan_for_pool(&tiny_dims(), 2, 8, 8, None, None)
+            .unwrap();
+        assert!(plan.gpus <= 2);
     }
 
     #[test]

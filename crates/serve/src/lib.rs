@@ -47,10 +47,14 @@
 
 pub mod queue;
 pub mod request;
+pub mod route;
 pub mod server;
 pub mod stats;
 
 pub use queue::{BatchLease, BatchPolicy, Polled, RequestQueue};
 pub use request::{ForecastRequest, ForecastResponse, RequestTiming, ServeError};
+pub use route::{
+    FirstPoller, LeastLoaded, ReplicaLoad, RoundRobin, RouteKind, RoutePolicy, StickySession,
+};
 pub use server::{ElasticServeOutcome, ForecastServer, ServeConfig, ServeOutcome};
-pub use stats::ServerStats;
+pub use stats::{ServerStats, SloBucket, SloBuckets};

@@ -1,5 +1,5 @@
 //! Concurrent request queue with dynamic batching, admission control,
-//! and fault-driven re-queueing.
+//! policy routing, and fault-driven re-queueing.
 //!
 //! The queue runs in *virtual time*: requests are pre-submitted with
 //! simulated arrival stamps and only become visible to the batcher once a
@@ -18,12 +18,19 @@
 //!    when the lane is full (backpressure).
 //! 3. The dynamic batcher ([`RequestQueue::poll`]) groups pending
 //!    requests under a [`BatchPolicy`] (close at `max_batch`, or when the
-//!    linger window since the head request's arrival elapses) and hands
-//!    them out as a [`BatchLease`].
+//!    linger window since the head request's arrival elapses). The
+//!    [`RoutePolicy`] then places the batch: either on the polling
+//!    replica itself (first-poller arbitration, the legacy default) or on
+//!    a specific live replica, in which case the batch waits in the
+//!    *ready* lane until that replica polls and claims it as a
+//!    [`BatchLease`].
 //! 4. The lease is either **completed** with predictions, or — if the
 //!    serving replica dies mid-request and the lease drops — its requests
 //!    are re-queued at the front with `retries + 1` for a surviving
-//!    replica, up to the retry budget.
+//!    replica, up to the retry budget. [`RequestQueue::retire_replica`]
+//!    additionally removes a dead replica from the live roster and spills
+//!    any batches already routed to it back into the pending lane for
+//!    re-routing (no retry charge: they never started serving).
 
 use std::collections::BTreeMap;
 use std::collections::VecDeque;
@@ -33,6 +40,7 @@ use std::time::Duration;
 use orbit_tensor::Tensor;
 
 use crate::request::{ForecastRequest, ForecastResponse, RequestTiming, ServeError};
+use crate::route::{FirstPoller, ReplicaLoad, RoutePolicy};
 
 /// Real-time backstop: a poller blocked this long on the condvar means
 /// the serving session itself deadlocked (a bug, not simulated behavior).
@@ -76,8 +84,29 @@ pub enum Polled {
     /// Nothing servable yet: advance the simulated clock to this time and
     /// poll again (next arrival or linger-window close).
     IdleUntil(f64),
-    /// The queue is closed and drained; the replica may exit.
+    /// ([`RequestQueue::try_poll`] only.) Progress is in another
+    /// replica's hands — an outstanding lease or a batch routed elsewhere
+    /// must resolve first. A blocking [`RequestQueue::poll`] never
+    /// returns this; it waits on the condvar instead.
+    Pending,
+    /// The queue is closed and drained (or this replica was retired); the
+    /// replica may exit.
     Shutdown,
+}
+
+/// A formed batch routed to a specific replica, awaiting its poll.
+struct ReadyBatch {
+    reqs: Vec<ForecastRequest>,
+    target: usize,
+    t_batch: f64,
+}
+
+/// Per-replica roster entry.
+struct ReplicaState {
+    alive: bool,
+    /// Requests currently assigned: routed batches awaiting pickup plus
+    /// leased (in-flight) requests.
+    outstanding: usize,
 }
 
 struct QueueState {
@@ -85,13 +114,40 @@ struct QueueState {
     future: VecDeque<ForecastRequest>,
     /// Admitted and waiting for a batch slot (bounded by `capacity`).
     pending: VecDeque<ForecastRequest>,
+    /// Formed batches waiting for their routed target replica to poll.
+    ready: VecDeque<ReadyBatch>,
+    /// Live-replica roster with per-replica load accounting.
+    replicas: BTreeMap<usize, ReplicaState>,
     /// Virtual arrival clock: max simulated `now` any poller has seen.
     cursor: f64,
     closed: bool,
-    /// Requests currently held by outstanding [`BatchLease`]s.
+    /// Requests drained from pending but unanswered: leased + ready.
     in_flight: usize,
     /// Sizes of completed (served) batches.
     batch_sizes: Vec<usize>,
+}
+
+impl QueueState {
+    fn alive_loads(&self) -> Vec<ReplicaLoad> {
+        self.replicas
+            .iter()
+            .filter(|(_, r)| r.alive)
+            .map(|(&replica, r)| ReplicaLoad {
+                replica,
+                outstanding: r.outstanding,
+            })
+            .collect()
+    }
+
+    /// Spill a routed batch's requests back to the front of the pending
+    /// lane (preserving their order) for re-routing. No retry charge:
+    /// the batch never started serving.
+    fn spill(&mut self, batch: ReadyBatch) {
+        self.in_flight -= batch.reqs.len();
+        for r in batch.reqs.into_iter().rev() {
+            self.pending.push_front(r);
+        }
+    }
 }
 
 struct SinkState {
@@ -101,12 +157,21 @@ struct SinkState {
     duplicates: usize,
 }
 
+/// One step of the poll state machine (see [`RequestQueue::poll_step`]).
+enum Step {
+    Out(Polled),
+    /// Progress is in another replica's hands: block (poll) or report
+    /// `Polled::Pending` (try_poll).
+    WouldBlock,
+}
+
 /// The shared queue + response sink one serving session runs through.
 pub struct RequestQueue {
     state: Mutex<QueueState>,
     cv: Condvar,
     sink: Mutex<SinkState>,
     policy: BatchPolicy,
+    route: Arc<dyn RoutePolicy>,
     /// Max requests in the pending lane; arrivals beyond it are rejected.
     capacity: usize,
     /// Re-queue budget per request after replica failures.
@@ -114,12 +179,16 @@ pub struct RequestQueue {
 }
 
 impl RequestQueue {
+    /// A queue with legacy first-poller arbitration (see
+    /// [`with_route`](RequestQueue::with_route) to install a policy).
     pub fn new(policy: BatchPolicy, capacity: usize, max_retries: u32) -> Self {
         assert!(capacity > 0, "queue capacity must be positive");
         RequestQueue {
             state: Mutex::new(QueueState {
                 future: VecDeque::new(),
                 pending: VecDeque::new(),
+                ready: VecDeque::new(),
+                replicas: BTreeMap::new(),
                 cursor: 0.0,
                 closed: false,
                 in_flight: 0,
@@ -131,9 +200,21 @@ impl RequestQueue {
                 duplicates: 0,
             }),
             policy,
+            route: Arc::new(FirstPoller),
             capacity,
             max_retries,
         }
+    }
+
+    /// Install a routing policy (builder style, before sharing the queue).
+    pub fn with_route(mut self, route: Arc<dyn RoutePolicy>) -> Self {
+        self.route = route;
+        self
+    }
+
+    /// The installed routing policy's name.
+    pub fn route_name(&self) -> &'static str {
+        self.route.name()
     }
 
     fn lock(&self) -> MutexGuard<'_, QueueState> {
@@ -146,12 +227,10 @@ impl RequestQueue {
     pub fn submit(&self, req: ForecastRequest) {
         let mut st = self.lock();
         assert!(!st.closed, "submit after close");
-        // Insert keeping arrival order; ties keep submission order.
-        let pos = st
-            .future
-            .iter()
-            .position(|r| r.t_arrival > req.t_arrival)
-            .unwrap_or(st.future.len());
+        // Insert keeping arrival order; ties keep submission order. The
+        // partition point is found by binary search so pre-sorted bulk
+        // submission (the common case) stays O(log n) per request.
+        let pos = st.future.partition_point(|r| r.t_arrival <= req.t_arrival);
         st.future.insert(pos, req);
         drop(st);
         self.cv.notify_all();
@@ -163,64 +242,211 @@ impl RequestQueue {
         self.cv.notify_all();
     }
 
-    /// Poll for work at simulated time `now`. Blocks (real time) only
-    /// when another replica holds requests in flight that may re-queue.
-    pub fn poll(self: &Arc<Self>, now: f64) -> Polled {
+    /// Declare the serving roster. Routing policies place batches only on
+    /// registered, live replicas; polling auto-registers too, but a
+    /// session should register its full roster up front so the first
+    /// batches already see every replica. Re-registering (an elastic
+    /// reformation) replaces the roster and spills batches routed to the
+    /// previous one back into the pending lane.
+    pub fn register_replicas(&self, ids: &[usize]) {
+        let mut st = self.lock();
+        while let Some(batch) = st.ready.pop_back() {
+            st.spill(batch);
+        }
+        st.replicas = ids
+            .iter()
+            .map(|&id| {
+                (
+                    id,
+                    ReplicaState {
+                        alive: true,
+                        outstanding: 0,
+                    },
+                )
+            })
+            .collect();
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    /// Add one replica to the live roster without disturbing batches
+    /// already routed (unlike [`RequestQueue::register_replicas`], which
+    /// replaces the roster wholesale). A scaling fleet calls this when it
+    /// spins up a group mid-session; re-adding a live id is a no-op and a
+    /// retired id comes back alive with zero outstanding work.
+    pub fn add_replica(&self, replica: usize) {
+        let mut st = self.lock();
+        let r = st.replicas.entry(replica).or_insert(ReplicaState {
+            alive: true,
+            outstanding: 0,
+        });
+        r.alive = true;
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    /// Remove a dead replica from the roster and spill batches routed to
+    /// it back into the pending lane for re-routing. Serving loops call
+    /// this when a replica exits with an error; a retired replica's next
+    /// poll returns [`Polled::Shutdown`].
+    pub fn retire_replica(&self, replica: usize) {
+        let mut st = self.lock();
+        if let Some(r) = st.replicas.get_mut(&replica) {
+            r.alive = false;
+            r.outstanding = 0;
+        }
+        let mut keep = VecDeque::with_capacity(st.ready.len());
+        let mut spilled = Vec::new();
+        while let Some(batch) = st.ready.pop_front() {
+            if batch.target == replica {
+                spilled.push(batch);
+            } else {
+                keep.push_back(batch);
+            }
+        }
+        st.ready = keep;
+        // Newest-routed first back to the front keeps pending in the
+        // original arrival order.
+        for batch in spilled.into_iter().rev() {
+            st.spill(batch);
+        }
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    /// One poll attempt under the lock. Returns `Step::WouldBlock` when
+    /// progress is currently in another replica's hands.
+    fn poll_step(self: &Arc<Self>, st: &mut QueueState, replica: usize, now: f64) -> Step {
+        if now > st.cursor {
+            st.cursor = now;
+        }
+        match st.replicas.get(&replica) {
+            Some(r) if !r.alive => return Step::Out(Polled::Shutdown),
+            Some(_) => {}
+            None => {
+                st.replicas.insert(
+                    replica,
+                    ReplicaState {
+                        alive: true,
+                        outstanding: 0,
+                    },
+                );
+            }
+        }
+        self.admit_until_cursor(st);
+        self.expire_deadlines(st);
+
+        // A batch already routed to this replica takes priority.
+        if let Some(i) = st.ready.iter().position(|b| b.target == replica) {
+            let batch = st.ready.remove(i).expect("position was just found");
+            return Step::Out(Polled::Batch(BatchLease {
+                queue: Arc::clone(self),
+                t_batch: batch.t_batch,
+                reqs: batch.reqs,
+                replica,
+                done: false,
+            }));
+        }
+
+        // Form every batch the policy window allows, routing each as it
+        // closes. A batch placed on this replica (explicitly, or by
+        // first-poller arbitration when the policy abstains) returns
+        // immediately; batches placed elsewhere wait in the ready lane.
+        while let Some(head) = st.pending.front() {
+            let t_close = head.t_arrival + self.policy.max_linger;
+            let no_more_arrivals = st.closed && st.future.is_empty();
+            if !(st.pending.len() >= self.policy.max_batch
+                || st.cursor >= t_close
+                || no_more_arrivals)
+            {
+                break;
+            }
+            let n = st.pending.len().min(self.policy.max_batch);
+            let reqs: Vec<ForecastRequest> = st.pending.drain(..n).collect();
+            st.in_flight += n;
+            let loads = st.alive_loads();
+            let target = self
+                .route
+                .route(&reqs, &loads)
+                .filter(|t| st.replicas.get(t).is_some_and(|r| r.alive))
+                .unwrap_or(replica);
+            if let Some(r) = st.replicas.get_mut(&target) {
+                r.outstanding += n;
+            }
+            if target == replica {
+                return Step::Out(Polled::Batch(BatchLease {
+                    queue: Arc::clone(self),
+                    t_batch: st.cursor,
+                    reqs,
+                    replica,
+                    done: false,
+                }));
+            }
+            st.ready.push_back(ReadyBatch {
+                reqs,
+                target,
+                t_batch: st.cursor,
+            });
+            self.cv.notify_all();
+        }
+
+        if let Some(head) = st.pending.front() {
+            // Wake when the linger window closes or the next arrival
+            // lands, whichever is sooner. Both are > cursor, so the
+            // virtual clock always advances.
+            let mut wake = head.t_arrival + self.policy.max_linger;
+            if let Some(next) = st.future.front() {
+                wake = wake.min(next.t_arrival);
+            }
+            return Step::Out(Polled::IdleUntil(wake));
+        }
+        if let Some(next) = st.future.front() {
+            return Step::Out(Polled::IdleUntil(next.t_arrival));
+        }
+        if st.closed && st.in_flight == 0 {
+            return Step::Out(Polled::Shutdown);
+        }
+        Step::WouldBlock
+    }
+
+    /// Poll for work at simulated time `now` as `replica`. Blocks (real
+    /// time) only when another replica holds requests in flight that may
+    /// re-queue, or a formed batch is routed to a different replica.
+    pub fn poll(self: &Arc<Self>, replica: usize, now: f64) -> Polled {
         let mut st = self.lock();
         loop {
-            if now > st.cursor {
-                st.cursor = now;
-            }
-            self.admit_until_cursor(&mut st);
-            self.expire_deadlines(&mut st);
-
-            if let Some(head) = st.pending.front() {
-                let t_close = head.t_arrival + self.policy.max_linger;
-                let no_more_arrivals = st.closed && st.future.is_empty();
-                if st.pending.len() >= self.policy.max_batch
-                    || st.cursor >= t_close
-                    || no_more_arrivals
-                {
-                    let n = st.pending.len().min(self.policy.max_batch);
-                    let reqs: Vec<ForecastRequest> = st.pending.drain(..n).collect();
-                    st.in_flight += n;
-                    return Polled::Batch(BatchLease {
-                        queue: Arc::clone(self),
-                        t_batch: st.cursor,
-                        reqs,
-                        done: false,
-                    });
+            match self.poll_step(&mut st, replica, now) {
+                Step::Out(polled) => return polled,
+                Step::WouldBlock => {
+                    // Another replica holds a lease (its requests may
+                    // re-queue), a routed batch awaits its target, or the
+                    // session is still submitting: block until the state
+                    // changes. Real-time timeout = the session is stuck.
+                    let (guard, timeout) = self
+                        .cv
+                        .wait_timeout(st, STALL_TIMEOUT)
+                        .unwrap_or_else(|e| e.into_inner());
+                    st = guard;
+                    assert!(
+                        !timeout.timed_out(),
+                        "serving queue stalled: {} in flight, closed={}",
+                        st.in_flight,
+                        st.closed
+                    );
                 }
-                // Wake when the linger window closes or the next arrival
-                // lands, whichever is sooner. Both are > cursor, so the
-                // virtual clock always advances.
-                let mut wake = t_close;
-                if let Some(next) = st.future.front() {
-                    wake = wake.min(next.t_arrival);
-                }
-                return Polled::IdleUntil(wake);
             }
+        }
+    }
 
-            if let Some(next) = st.future.front() {
-                return Polled::IdleUntil(next.t_arrival);
-            }
-            if st.closed && st.in_flight == 0 {
-                return Polled::Shutdown;
-            }
-            // Another replica holds a lease (its requests may re-queue),
-            // or the session is still submitting: block until the state
-            // changes. Real-time timeout = the session itself is stuck.
-            let (guard, timeout) = self
-                .cv
-                .wait_timeout(st, STALL_TIMEOUT)
-                .unwrap_or_else(|e| e.into_inner());
-            st = guard;
-            assert!(
-                !timeout.timed_out(),
-                "serving queue stalled: {} in flight, closed={}",
-                st.in_flight,
-                st.closed
-            );
+    /// Non-blocking poll for discrete-event drivers (a single thread
+    /// multiplexing many replicas): where [`poll`](RequestQueue::poll)
+    /// would block it returns [`Polled::Pending`] — retry this replica
+    /// after some other replica completes or drops a lease.
+    pub fn try_poll(self: &Arc<Self>, replica: usize, now: f64) -> Polled {
+        let mut st = self.lock();
+        match self.poll_step(&mut st, replica, now) {
+            Step::Out(polled) => polled,
+            Step::WouldBlock => Polled::Pending,
         }
     }
 
@@ -269,6 +495,7 @@ impl RequestQueue {
             },
             replica: usize::MAX,
             batch_size: 0,
+            generation: 0,
         });
     }
 
@@ -291,6 +518,9 @@ impl RequestQueue {
         let (stranded, cursor): (Vec<ForecastRequest>, f64) = {
             let mut st = self.lock();
             let cursor = st.cursor;
+            while let Some(batch) = st.ready.pop_back() {
+                st.spill(batch);
+            }
             let mut out: Vec<ForecastRequest> = st.pending.drain(..).collect();
             out.extend(st.future.drain(..));
             (out, cursor)
@@ -305,10 +535,40 @@ impl RequestQueue {
         self.lock().cursor
     }
 
+    /// Admitted requests waiting for a batch slot (the autoscaler's
+    /// primary pressure signal).
+    pub fn depth(&self) -> usize {
+        self.lock().pending.len()
+    }
+
+    /// Requests drained from pending but unanswered (leased + routed).
+    pub fn in_flight(&self) -> usize {
+        self.lock().in_flight
+    }
+
+    /// Submitted requests that have not yet arrived at the cursor.
+    pub fn backlog(&self) -> usize {
+        self.lock().future.len()
+    }
+
+    /// Live-replica load snapshot, ascending by replica id.
+    pub fn replica_loads(&self) -> Vec<ReplicaLoad> {
+        self.lock().alive_loads()
+    }
+
     /// All responses so far, sorted by request id.
     pub fn responses(&self) -> Vec<ForecastResponse> {
         let sink = self.sink.lock().unwrap_or_else(|e| e.into_inner());
         sink.responses.values().cloned().collect()
+    }
+
+    /// Responses delivered so far, without cloning them out.
+    pub fn responses_len(&self) -> usize {
+        self.sink
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .responses
+            .len()
     }
 
     /// Responses delivered for an id that already had one (must be 0 for
@@ -334,6 +594,8 @@ pub struct BatchLease {
     reqs: Vec<ForecastRequest>,
     /// Cursor time when the batch closed.
     t_batch: f64,
+    /// The replica serving this batch (the poller that claimed it).
+    replica: usize,
     done: bool,
 }
 
@@ -355,6 +617,11 @@ impl BatchLease {
         self.t_batch
     }
 
+    /// The replica serving this batch.
+    pub fn replica(&self) -> usize {
+        self.replica
+    }
+
     /// The batch's model inputs, one `Vec<Tensor>` per request, in batch
     /// order (the shape [`Engine::predict`] consumes).
     ///
@@ -364,8 +631,15 @@ impl BatchLease {
     }
 
     /// Deliver predictions (one per request, in batch order) finishing at
-    /// simulated time `t_done` on `replica`.
-    pub fn complete(mut self, t_done: f64, replica: usize, mut preds: Vec<Vec<Tensor>>) {
+    /// simulated time `t_done`, tagged with model generation 0.
+    pub fn complete(self, t_done: f64, preds: Vec<Vec<Tensor>>) {
+        self.complete_tagged(t_done, 0, preds);
+    }
+
+    /// Deliver predictions tagged with the serving engine's model
+    /// generation (the committed checkpoint generation the weights came
+    /// from; response caches key invalidation on it).
+    pub fn complete_tagged(mut self, t_done: f64, generation: u64, mut preds: Vec<Vec<Tensor>>) {
         assert_eq!(
             preds.len(),
             self.reqs.len(),
@@ -373,6 +647,7 @@ impl BatchLease {
         );
         self.done = true;
         let n = self.reqs.len();
+        let replica = self.replica;
         for (req, pred) in self.reqs.drain(..).zip(preds.drain(..)) {
             self.queue.deliver(ForecastResponse {
                 id: req.id,
@@ -384,10 +659,14 @@ impl BatchLease {
                 },
                 replica,
                 batch_size: n,
+                generation,
             });
         }
         let mut st = self.queue.lock();
         st.in_flight -= n;
+        if let Some(r) = st.replicas.get_mut(&replica) {
+            r.outstanding = r.outstanding.saturating_sub(n);
+        }
         st.batch_sizes.push(n);
         drop(st);
         self.queue.cv.notify_all();
@@ -408,6 +687,9 @@ impl Drop for BatchLease {
         {
             let mut st = self.queue.lock();
             st.in_flight -= n;
+            if let Some(r) = st.replicas.get_mut(&self.replica) {
+                r.outstanding = r.outstanding.saturating_sub(n);
+            }
             for mut req in reqs.into_iter().rev() {
                 if req.retries >= self.queue.max_retries {
                     exhausted.push(req);
@@ -428,6 +710,7 @@ impl Drop for BatchLease {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::route::{LeastLoaded, RoundRobin, StickySession};
 
     fn req(id: u64, t: f64) -> ForecastRequest {
         ForecastRequest::new(id, vec![Tensor::full(2, 2, id as f32)], t)
@@ -446,17 +729,18 @@ mod tests {
         let mut now = 0.0;
         let mut served = Vec::new();
         loop {
-            match q.poll(now) {
+            match q.poll(0, now) {
                 Polled::Batch(lease) => {
                     assert_eq!(lease.len(), 1);
                     served.push(lease.requests()[0].id);
                     let t = lease.t_batch();
-                    lease.complete(t, 0, vec![vec![]]);
+                    lease.complete(t, vec![vec![]]);
                 }
                 Polled::IdleUntil(t) => {
                     assert!(t > now, "virtual time must advance");
                     now = t;
                 }
+                Polled::Pending => unreachable!("blocking poll never returns Pending"),
                 Polled::Shutdown => break,
             }
         }
@@ -474,14 +758,15 @@ mod tests {
         let mut now = 0.0;
         let mut batches = Vec::new();
         loop {
-            match q.poll(now) {
+            match q.poll(0, now) {
                 Polled::Batch(lease) => {
                     batches.push(lease.requests().iter().map(|r| r.id).collect::<Vec<_>>());
                     let t = lease.t_batch();
                     let n = lease.len();
-                    lease.complete(t, 0, vec![vec![]; n]);
+                    lease.complete(t, vec![vec![]; n]);
                 }
                 Polled::IdleUntil(t) => now = t,
+                Polled::Pending => unreachable!(),
                 Polled::Shutdown => break,
             }
         }
@@ -499,14 +784,15 @@ mod tests {
         let mut now = 0.0;
         let mut sizes = Vec::new();
         loop {
-            match q.poll(now) {
+            match q.poll(0, now) {
                 Polled::Batch(lease) => {
                     sizes.push(lease.len());
                     let t = lease.t_batch();
                     let n = lease.len();
-                    lease.complete(t, 0, vec![vec![]; n]);
+                    lease.complete(t, vec![vec![]; n]);
                 }
                 Polled::IdleUntil(t) => now = t,
+                Polled::Pending => unreachable!(),
                 Polled::Shutdown => break,
             }
         }
@@ -521,11 +807,11 @@ mod tests {
         }
         q.close();
         // First poll admits 3, rejects 7.
-        match q.poll(0.0) {
+        match q.poll(0, 0.0) {
             Polled::Batch(lease) => {
                 let t = lease.t_batch();
                 let n = lease.len();
-                lease.complete(t, 0, vec![vec![]; n]);
+                lease.complete(t, vec![vec![]; n]);
             }
             _ => panic!("expected a batch"),
         }
@@ -545,13 +831,14 @@ mod tests {
         q.close();
         let mut now = 0.0;
         loop {
-            match q.poll(now) {
+            match q.poll(0, now) {
                 Polled::Batch(lease) => {
                     let t = lease.t_batch();
                     let n = lease.len();
-                    lease.complete(t, 0, vec![vec![]; n]);
+                    lease.complete(t, vec![vec![]; n]);
                 }
                 Polled::IdleUntil(t) => now = t,
+                Polled::Pending => unreachable!(),
                 Polled::Shutdown => break,
             }
         }
@@ -566,7 +853,7 @@ mod tests {
         q.submit(req(7, 0.0));
         q.close();
         // First attempt dies (lease dropped).
-        match q.poll(0.0) {
+        match q.poll(0, 0.0) {
             Polled::Batch(lease) => {
                 assert_eq!(lease.requests()[0].retries, 0);
                 drop(lease);
@@ -574,17 +861,18 @@ mod tests {
             _ => panic!("expected a batch"),
         }
         // Retry succeeds.
-        match q.poll(0.0) {
+        match q.poll(1, 0.0) {
             Polled::Batch(lease) => {
                 assert_eq!(lease.requests()[0].retries, 1);
+                assert_eq!(lease.replica(), 1);
                 let t = lease.t_batch();
-                lease.complete(t, 1, vec![vec![]]);
+                lease.complete(t, vec![vec![]]);
             }
             _ => panic!("expected the retried batch"),
         }
         // A third attempt would exceed the budget; instead verify the
         // response arrived exactly once.
-        assert!(matches!(q.poll(0.0), Polled::Shutdown));
+        assert!(matches!(q.poll(1, 0.0), Polled::Shutdown));
         assert_eq!(q.responses().len(), 1);
         assert_eq!(q.duplicates(), 0);
     }
@@ -594,11 +882,11 @@ mod tests {
         let q = Arc::new(RequestQueue::new(BatchPolicy::immediate(), 8, 0));
         q.submit(req(3, 0.0));
         q.close();
-        match q.poll(0.0) {
+        match q.poll(0, 0.0) {
             Polled::Batch(lease) => drop(lease),
             _ => panic!("expected a batch"),
         }
-        assert!(matches!(q.poll(0.0), Polled::Shutdown));
+        assert!(matches!(q.poll(0, 0.0), Polled::Shutdown));
         let resp = q.responses();
         assert_eq!(resp[0].result, Err(ServeError::ReplicaFailure));
     }
@@ -609,10 +897,10 @@ mod tests {
         q.submit(req(0, 0.0));
         q.submit(req(1, 2.0));
         q.close();
-        match q.poll(1.0) {
+        match q.poll(0, 1.0) {
             Polled::Batch(lease) => {
                 let t = lease.t_batch();
-                lease.complete(t, 0, vec![vec![]]);
+                lease.complete(t, vec![vec![]]);
             }
             _ => panic!("expected request 0 as a batch"),
         }
@@ -623,5 +911,138 @@ mod tests {
         assert_eq!(resp[1].result, Err(ServeError::ReplicaFailure));
         // Rejection time never precedes the stranded request's arrival.
         assert!(resp[1].timing.t_done >= 2.0);
+    }
+
+    /// Drain a queue single-threaded as `replica`, using try_poll so
+    /// batches routed to other replicas surface as `Pending`.
+    fn drain_as(q: &Arc<RequestQueue>, replica: usize) -> Vec<Vec<u64>> {
+        let mut now = 0.0;
+        let mut batches = Vec::new();
+        loop {
+            match q.try_poll(replica, now) {
+                Polled::Batch(lease) => {
+                    batches.push(lease.requests().iter().map(|r| r.id).collect());
+                    let t = lease.t_batch();
+                    let n = lease.len();
+                    lease.complete(t, vec![vec![]; n]);
+                }
+                Polled::IdleUntil(t) => now = t,
+                Polled::Pending => break,
+                Polled::Shutdown => break,
+            }
+        }
+        batches
+    }
+
+    #[test]
+    fn round_robin_routes_batches_across_the_roster() {
+        let q = Arc::new(
+            RequestQueue::new(BatchPolicy::immediate(), 8, 1)
+                .with_route(Arc::new(RoundRobin::default())),
+        );
+        q.register_replicas(&[0, 1]);
+        for id in 0..4 {
+            q.submit(req(id, 0.0));
+        }
+        q.close();
+        // Replica 0 polls: forms all four batches; round-robin gives it
+        // ids 0 and 2, and routes 1 and 3 to replica 1's ready lane.
+        assert_eq!(drain_as(&q, 0), vec![vec![0], vec![2]]);
+        assert_eq!(drain_as(&q, 1), vec![vec![1], vec![3]]);
+        assert!(matches!(q.try_poll(0, 0.0), Polled::Shutdown));
+        assert_eq!(q.duplicates(), 0);
+    }
+
+    #[test]
+    fn least_loaded_prefers_the_idle_replica() {
+        let q = Arc::new(
+            RequestQueue::new(BatchPolicy::immediate(), 8, 1).with_route(Arc::new(LeastLoaded)),
+        );
+        q.register_replicas(&[0, 1]);
+        q.submit(req(0, 0.0));
+        q.submit(req(1, 0.0));
+        q.close();
+        // Replica 0 polls and takes the first batch (both idle, low id
+        // wins); while it holds that lease, the second batch must route
+        // to the now-less-loaded replica 1.
+        let lease = match q.try_poll(0, 0.0) {
+            Polled::Batch(l) => l,
+            _ => panic!("expected a batch for replica 0"),
+        };
+        assert_eq!(drain_as(&q, 1), vec![vec![1]]);
+        let t = lease.t_batch();
+        lease.complete(t, vec![vec![]]);
+        assert!(matches!(q.try_poll(0, 0.0), Polled::Shutdown));
+    }
+
+    #[test]
+    fn retire_spills_routed_batches_for_rerouting() {
+        let q = Arc::new(
+            RequestQueue::new(BatchPolicy::immediate(), 8, 1)
+                .with_route(Arc::new(StickySession::default())),
+        );
+        q.register_replicas(&[0, 1]);
+        for id in 0..2 {
+            q.submit(req(id, 0.0).with_session(9));
+        }
+        q.close();
+        // Both batches carry session 9, so both land on one replica.
+        let sticky_home = match q.try_poll(0, 0.0) {
+            Polled::Batch(lease) => {
+                let home = lease.replica();
+                let t = lease.t_batch();
+                lease.complete(t, vec![vec![]]);
+                home
+            }
+            // Session 9 hashed to replica 1: everything is in its lane.
+            Polled::Pending => 1,
+            _ => panic!("expected a batch or pending"),
+        };
+        // The sticky home dies before serving the rest: its routed
+        // batches spill and re-route to the survivor without a retry
+        // charge.
+        q.retire_replica(sticky_home);
+        let other = 1 - sticky_home;
+        loop {
+            match q.try_poll(other, 0.0) {
+                Polled::Batch(lease) => {
+                    assert_eq!(lease.requests()[0].retries, 0);
+                    let t = lease.t_batch();
+                    lease.complete(t, vec![vec![]]);
+                }
+                Polled::Shutdown => break,
+                _ => panic!("survivor must be able to drain"),
+            }
+        }
+        assert_eq!(q.responses().len(), 2);
+        assert!(q.responses().iter().all(|r| r.is_ok()));
+        assert_eq!(q.duplicates(), 0);
+        // The retired replica itself is told to shut down.
+        assert!(matches!(q.try_poll(sticky_home, 0.0), Polled::Shutdown));
+    }
+
+    #[test]
+    fn try_poll_reports_pending_when_anothers_batch_waits() {
+        let q = Arc::new(
+            RequestQueue::new(BatchPolicy::immediate(), 8, 1)
+                .with_route(Arc::new(StickySession::default())),
+        );
+        q.register_replicas(&[0, 1]);
+        q.submit(req(0, 0.0).with_session(3));
+        q.close();
+        let home = StickySession::default()
+            .route(&[req(0, 0.0).with_session(3)], &q.replica_loads())
+            .unwrap();
+        let other = 1 - home;
+        // The non-home replica cannot take the routed batch: Pending.
+        assert!(matches!(q.try_poll(other, 0.0), Polled::Pending));
+        match q.try_poll(home, 0.0) {
+            Polled::Batch(lease) => {
+                let t = lease.t_batch();
+                lease.complete(t, vec![vec![]]);
+            }
+            _ => panic!("home replica should receive its routed batch"),
+        }
+        assert!(matches!(q.try_poll(other, 0.0), Polled::Shutdown));
     }
 }

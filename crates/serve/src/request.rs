@@ -27,6 +27,10 @@ pub struct ForecastRequest {
     /// How many times this request has been re-queued after the replica
     /// serving it died mid-batch.
     pub retries: u32,
+    /// Rollout session this request belongs to: consecutive steps of one
+    /// autoregressive forecast share a session id, so sticky routing can
+    /// keep them on the replica holding the session's warm state.
+    pub session: Option<u64>,
 }
 
 impl ForecastRequest {
@@ -38,12 +42,19 @@ impl ForecastRequest {
             t_arrival,
             deadline: None,
             retries: 0,
+            session: None,
         }
     }
 
     /// Set an absolute simulated-time deadline.
     pub fn with_deadline(mut self, t: f64) -> Self {
         self.deadline = Some(t);
+        self
+    }
+
+    /// Tag the request with its rollout session id.
+    pub fn with_session(mut self, session: u64) -> Self {
+        self.session = Some(session);
         self
     }
 }
@@ -112,6 +123,11 @@ pub struct ForecastResponse {
     pub replica: usize,
     /// Size of the batch the request was served in (0 for rejections).
     pub batch_size: usize,
+    /// Model generation (committed checkpoint generation) of the weights
+    /// that produced the prediction; 0 for fresh weights or rejections.
+    /// Response caches compare it against the route's current generation
+    /// to refuse stale entries.
+    pub generation: u64,
 }
 
 impl ForecastResponse {

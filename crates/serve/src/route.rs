@@ -1,0 +1,257 @@
+//! Pluggable batch-to-replica routing policies.
+//!
+//! Historically the queue used *first-poller arbitration*: whichever
+//! replica thread happened to poll when a batch window closed took the
+//! batch, so placement was decided by real thread scheduling. A
+//! [`RoutePolicy`] makes placement an explicit, deterministic decision
+//! in virtual time: when a batch closes, the policy picks the serving
+//! replica from the live roster and the batch waits in the queue's
+//! *ready* lane until that replica polls. [`FirstPoller`] reproduces the
+//! legacy behavior as one policy among several, per the routing seam.
+//!
+//! Policies must be cheap (they run under the queue lock) and
+//! deterministic given the same batch-formation sequence, so a serving
+//! session's placement is reproducible even though replica threads run
+//! concurrently in real time.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::request::ForecastRequest;
+
+/// Live-replica load snapshot handed to [`RoutePolicy::route`], sorted
+/// ascending by replica id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicaLoad {
+    /// Replica id (rank for replicated layouts; group id in a fleet).
+    pub replica: usize,
+    /// Requests currently assigned: routed batches awaiting pickup plus
+    /// leased (in-flight) requests.
+    pub outstanding: usize,
+}
+
+/// Picks the serving replica for a freshly closed batch.
+///
+/// Returning `None` leaves the batch unrouted: the replica whose poll
+/// closed the batch takes it immediately (first-poller arbitration).
+/// Returning a replica absent from `replicas` (a policy bug) is treated
+/// the same way. Policies are shared across replica threads, so interior
+/// state must be synchronized.
+pub trait RoutePolicy: Send + Sync {
+    /// Short stable name for stats and bench tables.
+    fn name(&self) -> &'static str;
+
+    /// Choose among the live `replicas` for `batch` (never empty). The
+    /// batch is routed as a unit; `batch[0]` is the oldest request.
+    fn route(&self, batch: &[ForecastRequest], replicas: &[ReplicaLoad]) -> Option<usize>;
+}
+
+/// Legacy arbitration: whichever replica polls first takes the batch.
+#[derive(Debug, Default)]
+pub struct FirstPoller;
+
+impl RoutePolicy for FirstPoller {
+    fn name(&self) -> &'static str {
+        "first-poller"
+    }
+
+    fn route(&self, _batch: &[ForecastRequest], _replicas: &[ReplicaLoad]) -> Option<usize> {
+        None
+    }
+}
+
+/// Cycle through the live roster in id order, one batch per replica.
+#[derive(Debug, Default)]
+pub struct RoundRobin {
+    next: AtomicUsize,
+}
+
+impl RoutePolicy for RoundRobin {
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+
+    fn route(&self, _batch: &[ForecastRequest], replicas: &[ReplicaLoad]) -> Option<usize> {
+        if replicas.is_empty() {
+            return None;
+        }
+        let i = self.next.fetch_add(1, Ordering::Relaxed);
+        Some(replicas[i % replicas.len()].replica)
+    }
+}
+
+/// Send the batch to the replica with the fewest outstanding requests
+/// (ties break toward the lowest id).
+#[derive(Debug, Default)]
+pub struct LeastLoaded;
+
+impl RoutePolicy for LeastLoaded {
+    fn name(&self) -> &'static str {
+        "least-loaded"
+    }
+
+    fn route(&self, _batch: &[ForecastRequest], replicas: &[ReplicaLoad]) -> Option<usize> {
+        replicas
+            .iter()
+            .min_by_key(|r| (r.outstanding, r.replica))
+            .map(|r| r.replica)
+    }
+}
+
+/// Pin each rollout session to one replica, so autoregressive steps of
+/// the same session land where its warm state (KV caches, assimilation
+/// state) already lives. Keyed by [`ForecastRequest::session`]; the
+/// batch routes by its head request's session. Sessionless requests fall
+/// back to least-loaded. When a session's pinned replica leaves the live
+/// roster the session is re-pinned by hashing its id over the survivors.
+#[derive(Debug, Default)]
+pub struct StickySession {
+    pins: Mutex<HashMap<u64, usize>>,
+}
+
+/// SplitMix64: cheap, well-mixed hash for session spreading.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+impl RoutePolicy for StickySession {
+    fn name(&self) -> &'static str {
+        "sticky"
+    }
+
+    fn route(&self, batch: &[ForecastRequest], replicas: &[ReplicaLoad]) -> Option<usize> {
+        if replicas.is_empty() {
+            return None;
+        }
+        let Some(session) = batch.first().and_then(|r| r.session) else {
+            return LeastLoaded.route(batch, replicas);
+        };
+        let mut pins = self.pins.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(&pinned) = pins.get(&session) {
+            if replicas.iter().any(|r| r.replica == pinned) {
+                return Some(pinned);
+            }
+        }
+        let slot = (splitmix64(session) % replicas.len() as u64) as usize;
+        let chosen = replicas[slot].replica;
+        pins.insert(session, chosen);
+        Some(chosen)
+    }
+}
+
+/// Copyable policy selector for configs ([`crate::ServeConfig`] and fleet
+/// route specs stay `Copy`/`Clone` without carrying a trait object).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RouteKind {
+    /// Legacy first-poller arbitration.
+    #[default]
+    FirstPoller,
+    /// [`RoundRobin`].
+    RoundRobin,
+    /// [`LeastLoaded`].
+    LeastLoaded,
+    /// [`StickySession`].
+    Sticky,
+}
+
+impl RouteKind {
+    /// Instantiate the policy (fresh routing state).
+    pub fn build(self) -> std::sync::Arc<dyn RoutePolicy> {
+        match self {
+            RouteKind::FirstPoller => std::sync::Arc::new(FirstPoller),
+            RouteKind::RoundRobin => std::sync::Arc::new(RoundRobin::default()),
+            RouteKind::LeastLoaded => std::sync::Arc::new(LeastLoaded),
+            RouteKind::Sticky => std::sync::Arc::new(StickySession::default()),
+        }
+    }
+
+    /// The policy's stable name without instantiating it.
+    pub fn name(self) -> &'static str {
+        match self {
+            RouteKind::FirstPoller => "first-poller",
+            RouteKind::RoundRobin => "round-robin",
+            RouteKind::LeastLoaded => "least-loaded",
+            RouteKind::Sticky => "sticky",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn loads(outstanding: &[usize]) -> Vec<ReplicaLoad> {
+        outstanding
+            .iter()
+            .enumerate()
+            .map(|(replica, &outstanding)| ReplicaLoad {
+                replica,
+                outstanding,
+            })
+            .collect()
+    }
+
+    fn batch(session: Option<u64>) -> Vec<ForecastRequest> {
+        let mut r = ForecastRequest::new(0, vec![], 0.0);
+        r.session = session;
+        vec![r]
+    }
+
+    #[test]
+    fn first_poller_never_routes() {
+        assert_eq!(FirstPoller.route(&batch(None), &loads(&[0, 0])), None);
+    }
+
+    #[test]
+    fn round_robin_cycles_the_roster() {
+        let rr = RoundRobin::default();
+        let l = loads(&[0, 0, 0]);
+        let picks: Vec<_> = (0..6)
+            .map(|_| rr.route(&batch(None), &l).unwrap())
+            .collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn least_loaded_takes_argmin_with_low_id_ties() {
+        assert_eq!(LeastLoaded.route(&batch(None), &loads(&[3, 1, 1])), Some(1));
+        assert_eq!(LeastLoaded.route(&batch(None), &loads(&[0, 0])), Some(0));
+    }
+
+    #[test]
+    fn sticky_pins_then_repins_when_replica_leaves() {
+        let sticky = StickySession::default();
+        let l3 = loads(&[0, 0, 0]);
+        let first = sticky.route(&batch(Some(7)), &l3).unwrap();
+        // Same session, now with other replicas busier: pin holds.
+        assert_eq!(sticky.route(&batch(Some(7)), &l3), Some(first));
+        // Pinned replica leaves the roster: session re-pins to a survivor.
+        let survivors: Vec<ReplicaLoad> =
+            l3.iter().copied().filter(|r| r.replica != first).collect();
+        let repinned = sticky.route(&batch(Some(7)), &survivors).unwrap();
+        assert_ne!(repinned, first);
+        assert_eq!(sticky.route(&batch(Some(7)), &survivors), Some(repinned));
+    }
+
+    #[test]
+    fn sticky_without_session_falls_back_to_least_loaded() {
+        let sticky = StickySession::default();
+        assert_eq!(sticky.route(&batch(None), &loads(&[2, 0])), Some(1));
+    }
+
+    #[test]
+    fn kinds_build_matching_names() {
+        for kind in [
+            RouteKind::FirstPoller,
+            RouteKind::RoundRobin,
+            RouteKind::LeastLoaded,
+            RouteKind::Sticky,
+        ] {
+            assert_eq!(kind.build().name(), kind.name());
+        }
+    }
+}

@@ -28,6 +28,7 @@
 //! [`BatchLease`]: crate::queue::BatchLease
 //! [`TraceEvent::Span`]: orbit_comm::TraceEvent
 
+use std::collections::HashSet;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
@@ -40,6 +41,7 @@ use orbit_vit::{Checkpoint, ShardStore, VitConfig};
 
 use crate::queue::{BatchLease, BatchPolicy, Polled, RequestQueue};
 use crate::request::{ForecastRequest, ForecastResponse};
+use crate::route::RouteKind;
 use crate::stats::ServerStats;
 
 /// Everything a serving session needs besides the requests.
@@ -62,10 +64,19 @@ pub struct ServeConfig {
     pub queue_capacity: usize,
     /// Per-request re-queue budget after replica failures.
     pub max_retries: u32,
+    /// How formed batches are placed on replicas (default: legacy
+    /// first-poller arbitration).
+    pub route: RouteKind,
+    /// Simulated seconds a replica spends warming a rollout session's
+    /// state the first time it serves that session (0 = stateless).
+    /// Sticky routing pays this once per session; policies that bounce a
+    /// session across replicas pay it on every move.
+    pub session_warmup: f64,
 }
 
 impl ServeConfig {
-    /// Defaults: immediate batching, capacity 64, 2 retries, seed 42.
+    /// Defaults: immediate batching, capacity 64, 2 retries, seed 42,
+    /// first-poller routing, no session warmup.
     pub fn new(spec: EngineSpec, world: usize, model: VitConfig) -> Self {
         ServeConfig {
             spec,
@@ -75,6 +86,8 @@ impl ServeConfig {
             policy: BatchPolicy::immediate(),
             queue_capacity: 64,
             max_retries: 2,
+            route: RouteKind::FirstPoller,
+            session_warmup: 0.0,
         }
     }
 
@@ -96,6 +109,26 @@ impl ServeConfig {
     pub fn with_retries(mut self, retries: u32) -> Self {
         self.max_retries = retries;
         self
+    }
+
+    pub fn with_route(mut self, route: RouteKind) -> Self {
+        self.route = route;
+        self
+    }
+
+    pub fn with_session_warmup(mut self, warmup: f64) -> Self {
+        assert!(warmup >= 0.0, "session warmup must be non-negative");
+        self.session_warmup = warmup;
+        self
+    }
+
+    /// The replica ids a session under this layout polls with: every
+    /// rank for replicated layouts, the leader alone for sharded ones.
+    fn roster(&self, spec: EngineSpec, world: usize) -> Vec<usize> {
+        match spec {
+            EngineSpec::Single | EngineSpec::Ddp => (0..world).collect(),
+            _ => vec![0],
+        }
     }
 }
 
@@ -206,6 +239,10 @@ impl ForecastServer {
         restored: Option<&Checkpoint>,
     ) -> Vec<RankOutcome<Vec<TraceEvent>>> {
         let cfg = self.cfg;
+        // Declare the session's roster up front so routing policies see
+        // every replica before the first batch closes (re-registration
+        // also spills batches routed to a previous session's roster).
+        queue.register_replicas(&cfg.roster(spec, world));
         // A fresh control log per session: member record indices restart
         // at 0 with the reformed group.
         let control = Arc::new(ControlLog::new());
@@ -225,11 +262,11 @@ impl ForecastServer {
             }
             match spec {
                 EngineSpec::Single | EngineSpec::Ddp => {
-                    serve_replica(ctx, engine.as_mut(), q)?;
+                    retire_on_err(q, ctx.rank, serve_replica(ctx, engine.as_mut(), q, cfg))?;
                 }
                 EngineSpec::TensorParallel | EngineSpec::Fsdp => {
                     if ctx.rank == 0 {
-                        serve_leader(ctx, engine.as_mut(), q, ctl)?;
+                        retire_on_err(q, 0, serve_leader(ctx, engine.as_mut(), q, ctl, cfg))?;
                     } else {
                         serve_member(ctx, engine.as_mut(), ctl)?;
                     }
@@ -245,11 +282,10 @@ impl ForecastServer {
     /// gets one response even across replica failures and retries.
     pub fn serve(&self, requests: Vec<ForecastRequest>) -> ServeOutcome {
         let cfg = self.cfg;
-        let queue = Arc::new(RequestQueue::new(
-            cfg.policy,
-            cfg.queue_capacity,
-            cfg.max_retries,
-        ));
+        let queue = Arc::new(
+            RequestQueue::new(cfg.policy, cfg.queue_capacity, cfg.max_retries)
+                .with_route(cfg.route.build()),
+        );
         for r in requests {
             queue.submit(r);
         }
@@ -298,11 +334,10 @@ impl ForecastServer {
     ) -> Result<ElasticServeOutcome, SimError> {
         let cfg = self.cfg;
         let submitted = requests.len();
-        let queue = Arc::new(RequestQueue::new(
-            cfg.policy,
-            cfg.queue_capacity,
-            cfg.max_retries,
-        ));
+        let queue = Arc::new(
+            RequestQueue::new(cfg.policy, cfg.queue_capacity, cfg.max_retries)
+                .with_route(cfg.route.build()),
+        );
         for r in requests {
             queue.submit(r);
         }
@@ -381,17 +416,54 @@ fn record_spans(ctx: &mut RankCtx, lease: &BatchLease, t_done: f64) {
         .record_span(format!("batch x{}", lease.len()), t_batch, t_done - t_batch);
 }
 
+/// On an error exit, take the dead replica out of the queue's roster so
+/// batches already routed to it re-route to survivors.
+fn retire_on_err(
+    queue: &Arc<RequestQueue>,
+    replica: usize,
+    result: Result<(), SimError>,
+) -> Result<(), SimError> {
+    if result.is_err() {
+        queue.retire_replica(replica);
+    }
+    result
+}
+
+/// Charge the one-time session-warmup cost for every rollout session in
+/// the batch this replica has not served before (modeling the state
+/// locality sticky routing preserves), advancing the rank's clock.
+fn warm_sessions(ctx: &mut RankCtx, lease: &BatchLease, warmed: &mut HashSet<u64>, warmup: f64) {
+    if warmup <= 0.0 {
+        return;
+    }
+    let fresh = lease
+        .requests()
+        .iter()
+        .filter_map(|r| r.session)
+        .filter(|&s| warmed.insert(s))
+        .count();
+    if fresh > 0 {
+        let t = ctx.clock.now();
+        ctx.clock
+            .record_span(format!("session warm x{fresh}"), t, warmup * fresh as f64);
+        ctx.clock.sync_to(t + warmup * fresh as f64);
+    }
+}
+
 /// Serve as an independent replica (Single / DDP): parameters are local,
 /// so the rank polls, predicts, and replies with no collectives.
 fn serve_replica(
     ctx: &mut RankCtx,
     engine: &mut dyn Engine,
     queue: &Arc<RequestQueue>,
+    cfg: ServeConfig,
 ) -> Result<(), SimError> {
     let mut step = 0u64;
+    let mut warmed = HashSet::new();
     loop {
-        match queue.poll(ctx.clock.now()) {
+        match queue.poll(ctx.rank, ctx.clock.now()) {
             Polled::IdleUntil(t) => ctx.clock.sync_to(t),
+            Polled::Pending => unreachable!("blocking poll never returns Pending"),
             Polled::Shutdown => return Ok(()),
             Polled::Batch(lease) => {
                 // Fault boundary while the lease is held: a kill here (or
@@ -400,10 +472,11 @@ fn serve_replica(
                 ctx.begin_step(step)?;
                 step += 1;
                 ctx.clock.sync_to(lease.t_batch());
+                warm_sessions(ctx, &lease, &mut warmed, cfg.session_warmup);
                 let preds = engine.predict(ctx, &lease.inputs())?;
                 let t_done = ctx.clock.now();
                 record_spans(ctx, &lease, t_done);
-                lease.complete(t_done, ctx.rank, preds);
+                lease.complete_tagged(t_done, engine.generation(), preds);
             }
         }
     }
@@ -477,12 +550,15 @@ fn serve_leader(
     engine: &mut dyn Engine,
     queue: &Arc<RequestQueue>,
     control: &ControlLog,
+    cfg: ServeConfig,
 ) -> Result<(), SimError> {
     let guard = LeaderGuard(control);
     let mut step = 0u64;
+    let mut warmed = HashSet::new();
     loop {
-        match queue.poll(ctx.clock.now()) {
+        match queue.poll(ctx.rank, ctx.clock.now()) {
             Polled::IdleUntil(t) => ctx.clock.sync_to(t),
+            Polled::Pending => unreachable!("blocking poll never returns Pending"),
             Polled::Shutdown => {
                 drop(guard); // publishes the members' shutdown record
                 return Ok(());
@@ -491,12 +567,13 @@ fn serve_leader(
                 ctx.begin_step(step)?;
                 step += 1;
                 ctx.clock.sync_to(lease.t_batch());
+                warm_sessions(ctx, &lease, &mut warmed, cfg.session_warmup);
                 let inputs = lease.inputs();
                 control.publish(ControlMsg::Batch(inputs.clone()));
                 let preds = engine.predict(ctx, &inputs)?;
                 let t_done = ctx.clock.now();
                 record_spans(ctx, &lease, t_done);
-                lease.complete(t_done, ctx.rank, preds);
+                lease.complete_tagged(t_done, engine.generation(), preds);
             }
         }
     }

@@ -1,11 +1,62 @@
-//! Serving statistics: latency percentiles, throughput, batch-size
-//! histogram, and rejection counts for one serving session.
+//! Serving statistics: latency percentiles, SLO-bucket hit rates,
+//! throughput, batch-size histogram, and rejection counts for one
+//! serving session.
 
 use std::collections::BTreeMap;
 
 use serde_json::{json, Value};
 
 use crate::request::{ForecastResponse, ServeError};
+
+/// Ascending latency deadlines (simulated seconds) that bucket completed
+/// requests for SLO accounting. A request with latency *at or under* an
+/// edge counts toward that edge's bucket — edges are inclusive, so a
+/// response landing exactly on a deadline meets it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloBuckets {
+    edges: Vec<f64>,
+}
+
+impl SloBuckets {
+    /// Buckets at the given ascending, positive deadlines.
+    pub fn new(edges: &[f64]) -> Self {
+        assert!(!edges.is_empty(), "at least one SLO deadline");
+        for w in edges.windows(2) {
+            assert!(w[0] < w[1], "SLO deadlines must be strictly ascending");
+        }
+        assert!(edges[0] > 0.0, "SLO deadlines must be positive");
+        SloBuckets {
+            edges: edges.to_vec(),
+        }
+    }
+
+    /// Default serving deadlines: 50ms to 10s, roughly half-decade steps.
+    pub fn default_serving() -> Self {
+        SloBuckets::new(&[0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0])
+    }
+
+    pub fn edges(&self) -> &[f64] {
+        &self.edges
+    }
+}
+
+impl Default for SloBuckets {
+    fn default() -> Self {
+        SloBuckets::default_serving()
+    }
+}
+
+/// One point on the SLO curve: how many completed requests met this
+/// deadline (cumulative — a request that meets 0.1s also meets 0.5s).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloBucket {
+    /// The latency deadline (simulated seconds), inclusive.
+    pub deadline: f64,
+    /// Completed requests with `latency <= deadline`.
+    pub within: usize,
+    /// `within / completed` (0.0 for an empty session).
+    pub hit_rate: f64,
+}
 
 /// Aggregate statistics over one serving session's responses.
 #[derive(Debug, Clone, PartialEq)]
@@ -35,6 +86,9 @@ pub struct ServerStats {
     pub throughput: f64,
     /// Served-batch-size histogram: size -> number of batches.
     pub batch_hist: BTreeMap<usize, usize>,
+    /// Cumulative SLO curve over completed requests (one point per
+    /// configured deadline, ascending).
+    pub slo: Vec<SloBucket>,
 }
 
 /// Nearest-rank percentile of an ascending-sorted slice.
@@ -47,11 +101,27 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
 }
 
 impl ServerStats {
-    /// Aggregate a session's responses and served-batch sizes.
+    /// Aggregate a session's responses and served-batch sizes under the
+    /// default SLO deadlines.
     pub fn from_run(
         responses: &[ForecastResponse],
         batch_sizes: &[usize],
         duplicates: usize,
+    ) -> Self {
+        Self::from_run_with(
+            responses,
+            batch_sizes,
+            duplicates,
+            &SloBuckets::default_serving(),
+        )
+    }
+
+    /// Aggregate with explicit SLO deadlines.
+    pub fn from_run_with(
+        responses: &[ForecastResponse],
+        batch_sizes: &[usize],
+        duplicates: usize,
+        slo: &SloBuckets,
     ) -> Self {
         let mut latencies: Vec<f64> = responses
             .iter()
@@ -82,6 +152,26 @@ impl ServerStats {
             *batch_hist.entry(n).or_insert(0) += 1;
         }
 
+        // Latencies are sorted, so each cumulative bucket count is a
+        // partition point: first index with latency strictly past the
+        // (inclusive) deadline.
+        let slo = slo
+            .edges()
+            .iter()
+            .map(|&deadline| {
+                let within = latencies.partition_point(|&l| l <= deadline);
+                SloBucket {
+                    deadline,
+                    within,
+                    hit_rate: if completed > 0 {
+                        within as f64 / completed as f64
+                    } else {
+                        0.0
+                    },
+                }
+            })
+            .collect();
+
         ServerStats {
             completed,
             rejected_overload: count(ServeError::Overloaded),
@@ -103,6 +193,7 @@ impl ServerStats {
                 0.0
             },
             batch_hist,
+            slo,
         }
     }
 
@@ -129,6 +220,11 @@ impl ServerStats {
                 .batch_hist
                 .iter()
                 .map(|(size, n)| json!([size, n]))
+                .collect::<Vec<_>>(),
+            "slo": self
+                .slo
+                .iter()
+                .map(|b| json!([b.deadline, b.within, b.hit_rate]))
                 .collect::<Vec<_>>(),
         })
     }
@@ -166,6 +262,7 @@ mod tests {
             },
             replica: 0,
             batch_size: 1,
+            generation: 0,
         }
     }
 
@@ -180,6 +277,7 @@ mod tests {
             },
             replica: usize::MAX,
             batch_size: 0,
+            generation: 0,
         }
     }
 
@@ -222,5 +320,34 @@ mod tests {
         assert_eq!(stats.completed, 0);
         assert_eq!(stats.throughput, 0.0);
         assert_eq!(stats.makespan, 0.0);
+        assert!(stats.slo.iter().all(|b| b.within == 0 && b.hit_rate == 0.0));
+    }
+
+    #[test]
+    fn slo_bucket_edges_are_inclusive() {
+        // Latencies 0.5, 1.0, 1.5 against deadlines [0.5, 1.0, 2.0]: a
+        // response landing exactly on a deadline meets it.
+        let responses = vec![
+            ok_resp(0, 0.0, 0.5),
+            ok_resp(1, 0.0, 1.0),
+            ok_resp(2, 0.0, 1.5),
+        ];
+        let buckets = SloBuckets::new(&[0.5, 1.0, 2.0]);
+        let stats = ServerStats::from_run_with(&responses, &[1, 1, 1], 0, &buckets);
+        let within: Vec<usize> = stats.slo.iter().map(|b| b.within).collect();
+        assert_eq!(within, vec![1, 2, 3]);
+        let rates: Vec<f64> = stats.slo.iter().map(|b| b.hit_rate).collect();
+        assert_eq!(rates, vec![1.0 / 3.0, 2.0 / 3.0, 1.0]);
+        // Rejections never count toward an SLO bucket.
+        let with_err = [responses, vec![err_resp(3, ServeError::Overloaded)]].concat();
+        let stats = ServerStats::from_run_with(&with_err, &[1, 1, 1], 0, &buckets);
+        assert_eq!(stats.slo[2].within, 3);
+        assert_eq!(stats.slo[2].hit_rate, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn slo_edges_must_ascend() {
+        SloBuckets::new(&[1.0, 0.5]);
     }
 }

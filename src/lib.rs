@@ -7,6 +7,7 @@
 pub use orbit_comm as comm;
 pub use orbit_core as core;
 pub use orbit_data as data;
+pub use orbit_fleet as fleet;
 pub use orbit_frontier as frontier;
 pub use orbit_serve as serve;
 pub use orbit_tensor as tensor;

@@ -354,3 +354,78 @@ fn sharded_group_reforms_from_manifest_and_drains() {
     assert_eq!(outcome.stats.duplicates, 0);
     fs::remove_dir_all(dir).ok();
 }
+
+/// Elastic scale-up: ranks returning from repair are re-adopted. After a
+/// shrink-to-survivors session, the replan is stuck below the original
+/// world; reviving the repaired rank grows the next replan back to the
+/// full world, and a fresh session serves there with no reformation.
+#[test]
+fn revived_ranks_are_readopted_at_larger_world() {
+    use orbit::frontier::Planner;
+    let cfg = VitConfig::test_tiny();
+    let store = trained_store("revive");
+    let dir = store.dir().to_path_buf();
+    let server = ForecastServer::new(
+        ServeConfig::new(EngineSpec::Fsdp, 4, cfg).with_policy(BatchPolicy::immediate()),
+    )
+    .with_fault_plan(FaultPlan::new().kill(1, 1));
+    let first = server
+        .serve_elastic(make_requests(&cfg, 8, 0.05, 7), Some(&store))
+        .unwrap();
+    assert_eq!(first.survivors, 3);
+
+    // While the dead rank is in repair, every replan stays small.
+    let planner = Planner::new(server.cluster().machine().clone());
+    let servable = [
+        Strategy::SingleDevice,
+        Strategy::Ddp,
+        Strategy::Fsdp,
+        Strategy::TensorParallel,
+    ];
+    let budget = Some(server.cluster().mem_budget());
+    let shrunk = planner
+        .plan_for_survivors(
+            &cfg.dims,
+            server.cluster().survivors(4),
+            12,
+            budget,
+            Some(&servable),
+        )
+        .unwrap();
+    assert!(
+        shrunk.gpus < 4,
+        "planning over 3 survivors: {}",
+        shrunk.gpus
+    );
+
+    // The repaired rank returns: the pool grows and so does the replan.
+    assert_eq!(server.cluster().revive(1), 1);
+    assert_eq!(server.cluster().survivors(4), 4);
+    let grown = planner
+        .plan_for_survivors(
+            &cfg.dims,
+            server.cluster().survivors(4),
+            12,
+            budget,
+            Some(&servable),
+        )
+        .unwrap();
+    assert!(
+        grown.gpus > shrunk.gpus,
+        "returned rank must grow the replan: {} -> {}",
+        shrunk.gpus,
+        grown.gpus
+    );
+    assert_eq!(grown.gpus, 4);
+
+    // A fresh session on the revived cluster serves at the full world
+    // again: one group, no reformation, every request answered once.
+    let second = server
+        .serve_elastic(make_requests(&cfg, 8, 0.05, 9), Some(&store))
+        .unwrap();
+    assert_eq!(second.groups, vec!["fsdpx4".to_string()]);
+    assert_eq!(second.stats.completed, 8);
+    assert_eq!(second.stats.duplicates, 0);
+    assert_eq!(second.survivors, 4);
+    fs::remove_dir_all(dir).ok();
+}

@@ -330,3 +330,67 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The fleet response cache never serves stale weights: under any
+    /// interleaving of inserts (including entries produced by an older
+    /// generation, as an in-flight batch completing across an update
+    /// would), lookups, eager route invalidations, and *missed*
+    /// invalidations (a bare generation bump — the tag check alone must
+    /// protect), a hit always carries the route's current generation,
+    /// the LRU bound holds, and the hit/miss counters account for every
+    /// lookup.
+    #[test]
+    fn response_cache_never_serves_stale(
+        capacity in 1usize..6,
+        ops in proptest::collection::vec(0u64..192, 1..200),
+    ) {
+        use orbit::fleet::{CacheKey, ResponseCache};
+        let mut cache: ResponseCache<u64> = ResponseCache::new(capacity);
+        let mut gens = [0u64; 3];
+        let mut lookups = 0usize;
+        for code in ops {
+            // Decode (op, route, key kind, key value) from one draw:
+            // 4 ops x 3 routes x 2 kinds x 8 values = 192 codes.
+            let op = code % 4;
+            let route = (code / 4 % 3) as usize;
+            let exact = code / 12 % 2;
+            let v = code / 24 % 8;
+            let key = if exact == 1 {
+                CacheKey::Exact(v)
+            } else {
+                CacheKey::Climatology { window: v }
+            };
+            match op {
+                0 => {
+                    // Insert tagged with the current generation, or (when
+                    // v is odd) one generation behind — a straggler batch
+                    // that finished after the route's weights advanced.
+                    let tag = gens[route].saturating_sub(v % 2);
+                    cache.insert(route, key, tag, tag);
+                }
+                1 => {
+                    lookups += 1;
+                    if let Some(tag) = cache.lookup(route, key, gens[route]) {
+                        prop_assert_eq!(tag, gens[route], "stale serve");
+                    }
+                }
+                2 => {
+                    gens[route] += 1;
+                    cache.invalidate_route(route, gens[route]);
+                }
+                _ => {
+                    // Missed invalidation: the generation advances but
+                    // nobody tells the cache.
+                    gens[route] += 1;
+                }
+            }
+            prop_assert!(cache.len() <= capacity, "LRU bound violated");
+        }
+        let s = cache.stats();
+        prop_assert_eq!(s.hits + s.misses, lookups);
+        prop_assert!(s.stale_rejected <= s.misses);
+    }
+}
